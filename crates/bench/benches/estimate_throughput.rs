@@ -1,0 +1,35 @@
+//! Estimation throughput: time to estimate one inner product from two existing
+//! sketches, per method — the operation a dataset-search index performs per candidate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_core::traits::Sketcher;
+use ipsketch_data::SyntheticPairConfig;
+use std::time::Duration;
+
+fn bench_estimation(c: &mut Criterion) {
+    let pair = SyntheticPairConfig::default().generate(13).expect("valid configuration");
+
+    let mut group = c.benchmark_group("estimate_throughput");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for method in SketchMethod::all() {
+        let sketcher = AnySketcher::for_budget(method, 400.0, 3).expect("budget fits");
+        let sa = sketcher.sketch(&pair.a).expect("sketchable");
+        let sb = sketcher.sketch(&pair.b).expect("sketchable");
+        group.bench_with_input(
+            BenchmarkId::new(method.label(), 400),
+            &(sa, sb),
+            |b, (sa, sb)| {
+                b.iter(|| {
+                    sketcher
+                        .estimate_inner_product(std::hint::black_box(sa), std::hint::black_box(sb))
+                        .expect("compatible sketches")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

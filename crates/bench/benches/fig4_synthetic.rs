@@ -1,0 +1,39 @@
+//! Figure 4: end-to-end timing of one (overlap, storage, method-set) cell of the
+//! synthetic-data experiment at quick scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipsketch_bench::experiments::fig4::{self, Fig4Config};
+use ipsketch_core::method::SketchMethod;
+use ipsketch_data::SyntheticPairConfig;
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_synthetic");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &overlap in &[0.01, 0.5] {
+        let config = Fig4Config {
+            overlaps: vec![overlap],
+            storage_sizes: vec![200],
+            trials: 2,
+            methods: SketchMethod::paper_baselines().to_vec(),
+            data: SyntheticPairConfig {
+                dimension: 2_000,
+                nonzeros: 400,
+                overlap,
+                ..SyntheticPairConfig::default()
+            },
+            seed: 5,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("overlap", format!("{overlap}")),
+            &config,
+            |b, config| {
+                b.iter(|| fig4::run(std::hint::black_box(config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 5: end-to-end timing of the World-Bank-like winning-table experiment at a
+//! reduced number of column pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipsketch_bench::experiments::fig5::{self, Fig5Config};
+use ipsketch_bench::experiments::Scale;
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = Fig5Config {
+        pairs: 60,
+        ..Fig5Config::for_scale(Scale::Quick)
+    };
+    let mut group = c.benchmark_group("fig5_worldbank");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("60_pairs", |b| {
+        b.iter(|| fig5::run(std::hint::black_box(&config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 6: end-to-end timing of the text-similarity experiment on a reduced corpus
+//! (TF-IDF vectorization plus sketch-and-estimate over the sampled document pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipsketch_bench::experiments::fig6::{self, Fig6Config};
+use ipsketch_bench::experiments::Scale;
+use ipsketch_data::text::CorpusConfig;
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = Fig6Config {
+        corpus: CorpusConfig {
+            documents: 40,
+            vocabulary: 1_000,
+            topics: 4,
+            ..CorpusConfig::default()
+        },
+        storage_sizes: vec![200],
+        max_pairs: 200,
+        ..Fig6Config::for_scale(Scale::Quick)
+    };
+    let mut group = c.benchmark_group("fig6_text");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("small_corpus", |b| {
+        b.iter(|| fig6::run(std::hint::black_box(&config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

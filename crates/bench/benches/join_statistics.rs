@@ -1,0 +1,46 @@
+//! Dataset-search benchmark: cost of sketching a table column (index build) versus
+//! estimating the full set of post-join statistics from two sketched columns (query),
+//! compared against the exact join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipsketch_data::{Column, Table};
+use ipsketch_join::{exact_join_statistics, JoinEstimator};
+use std::time::Duration;
+
+fn make_table(name: &str, start: u64, rows: u64) -> Table {
+    let keys: Vec<u64> = (start..start + rows).collect();
+    let values: Vec<f64> = keys.iter().map(|&k| ((k % 31) as f64) - 15.0).collect();
+    Table::new(name, keys, vec![Column::new("v", values)]).expect("well formed")
+}
+
+fn bench_join(c: &mut Criterion) {
+    let table_a = make_table("A", 0, 5_000);
+    let table_b = make_table("B", 2_500, 5_000);
+    let estimator = JoinEstimator::weighted_minhash(400.0, 7).expect("budget fits");
+    let sa = estimator.sketch_column(&table_a, "v").expect("sketchable");
+    let sb = estimator.sketch_column(&table_b, "v").expect("sketchable");
+
+    let mut group = c.benchmark_group("join_statistics");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("sketch_column_5k_rows", |b| {
+        b.iter(|| estimator.sketch_column(std::hint::black_box(&table_a), "v").expect("ok"));
+    });
+    group.bench_function("estimate_from_sketches", |b| {
+        b.iter(|| estimator.estimate(std::hint::black_box(&sa), std::hint::black_box(&sb)).expect("ok"));
+    });
+    group.bench_function("exact_join_5k_rows", |b| {
+        b.iter(|| {
+            exact_join_statistics(
+                std::hint::black_box(&table_a),
+                "v",
+                std::hint::black_box(&table_b),
+                "v",
+            )
+            .expect("ok")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Sketching throughput: time to compress one sparse vector, per method and storage
+//! budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_core::traits::Sketcher;
+use ipsketch_data::SyntheticPairConfig;
+use std::time::Duration;
+
+fn bench_sketching(c: &mut Criterion) {
+    let pair = SyntheticPairConfig {
+        dimension: 10_000,
+        nonzeros: 2_000,
+        overlap: 0.1,
+        ..SyntheticPairConfig::default()
+    }
+    .generate(7)
+    .expect("valid configuration");
+    let vector = pair.a;
+
+    let mut group = c.benchmark_group("sketch_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for method in SketchMethod::all() {
+        for storage in [100usize, 400] {
+            let sketcher =
+                AnySketcher::for_budget(method, storage as f64, 11).expect("budget fits");
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), storage),
+                &sketcher,
+                |b, sketcher| {
+                    b.iter(|| sketcher.sketch(std::hint::black_box(&vector)).expect("sketchable"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketching);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 1: end-to-end timing of the bound-check experiment (and, as a side effect, a
+//! regeneration of its rows at quick scale on every bench run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipsketch_bench::experiments::table1::{self, Table1Config};
+use ipsketch_bench::experiments::Scale;
+use ipsketch_data::SyntheticPairConfig;
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = Table1Config {
+        trials: 2,
+        samples: 128,
+        data: SyntheticPairConfig {
+            dimension: 2_000,
+            nonzeros: 400,
+            ..SyntheticPairConfig::default()
+        },
+        ..Table1Config::for_scale(Scale::Quick)
+    };
+    let mut group = c.benchmark_group("table1_bounds");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("run_quick", |b| {
+        b.iter(|| table1::run(std::hint::black_box(&config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

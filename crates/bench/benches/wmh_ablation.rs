@@ -1,0 +1,40 @@
+//! Ablation A1: sketching cost of the naive expanded-vector Weighted MinHash sketcher
+//! versus the fast active-index sketcher, as the discretization parameter `L` grows.
+//!
+//! The naive implementation is `O(nnz · m · L)` while the fast one is
+//! `O(nnz · m · log L)` — this bench makes the gap (and its growth with `L`) visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipsketch_core::traits::Sketcher;
+use ipsketch_core::wmh::{NaiveWeightedMinHasher, WeightedMinHasher};
+use ipsketch_vector::SparseVector;
+use std::time::Duration;
+
+fn bench_wmh_variants(c: &mut Criterion) {
+    let vector =
+        SparseVector::from_pairs((0..200u64).map(|i| (i * 7 + 1, 1.0 + (i % 9) as f64)))
+            .expect("finite values");
+    let samples = 64;
+
+    let mut group = c.benchmark_group("wmh_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for log_l in [10u32, 14, 18] {
+        let l = 1u64 << log_l;
+        let fast = WeightedMinHasher::new(samples, 3, l).expect("valid");
+        group.bench_with_input(BenchmarkId::new("fast", l), &fast, |b, sketcher| {
+            b.iter(|| sketcher.sketch(std::hint::black_box(&vector)).expect("sketchable"));
+        });
+        // The naive sketcher is only benchmarked at the smaller L values (it is the
+        // point of the ablation that it does not scale).
+        if log_l <= 14 {
+            let naive = NaiveWeightedMinHasher::new(samples, 3, l).expect("valid");
+            group.bench_with_input(BenchmarkId::new("naive", l), &naive, |b, sketcher| {
+                b.iter(|| sketcher.sketch(std::hint::black_box(&vector)).expect("sketchable"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wmh_variants);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Extension experiment: the Figure-4 sweep with SimHash and ICWS included.
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin extensions [--full]`
+
+use ipsketch_bench::experiments::{extensions, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = extensions::config_for_scale(scale);
+    let cells = extensions::run(&config);
+    print!("{}", extensions::format(&config, &cells));
+}

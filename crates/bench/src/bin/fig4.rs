@@ -1,0 +1,20 @@
+//! Regenerates Figure 4 (synthetic-data error vs. storage, four overlap ratios).
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin fig4 [--full]`
+//! `--full` uses the paper's parameters (length-10000 vectors, 2000 non-zeros, 10
+//! trials); without it a reduced configuration that finishes in seconds is used.
+//! A CSV copy is written under `target/experiments/`.
+
+use ipsketch_bench::experiments::{fig4, Scale};
+use ipsketch_bench::report::default_output_dir;
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = fig4::Fig4Config::for_scale(scale);
+    let cells = fig4::run(&config);
+    print!("{}", fig4::format(&config, &cells));
+    match fig4::to_table(&cells).write_csv(&default_output_dir(), "fig4") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write CSV: {err}"),
+    }
+}

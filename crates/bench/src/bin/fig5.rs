@@ -1,0 +1,17 @@
+//! Regenerates Figure 5 (World-Bank-like winning tables, WMH vs JL and WMH vs MH).
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin fig5 [--full]`
+
+use ipsketch_bench::experiments::{fig5, Scale};
+use ipsketch_bench::report::default_output_dir;
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = fig5::Fig5Config::for_scale(scale);
+    let result = fig5::run(&config);
+    print!("{}", fig5::format(&config, &result));
+    match fig5::to_table(&result).write_csv(&default_output_dir(), "fig5") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write CSV: {err}"),
+    }
+}

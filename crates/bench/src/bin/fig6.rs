@@ -1,0 +1,17 @@
+//! Regenerates Figure 6 (text-similarity error vs. storage, all vs. long documents).
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin fig6 [--full]`
+
+use ipsketch_bench::experiments::{fig6, Scale};
+use ipsketch_bench::report::default_output_dir;
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = fig6::Fig6Config::for_scale(scale);
+    let cells = fig6::run(&config);
+    print!("{}", fig6::format(&config, &cells));
+    match fig6::to_table(&cells).write_csv(&default_output_dir(), "fig6") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write CSV: {err}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Ablation: MinHash accuracy under different hash families (Carter–Wegman 31/61-bit,
+//! SplitMix64, tabulation, multiply-shift).
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin hash_sweep [--full]`
+
+use ipsketch_bench::experiments::{hash_sweep, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = hash_sweep::HashSweepConfig::for_scale(scale);
+    let rows = hash_sweep::run(&config);
+    print!("{}", hash_sweep::format(&config, &rows));
+}

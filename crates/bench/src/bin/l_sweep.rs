@@ -1,0 +1,12 @@
+//! Ablation: Weighted MinHash accuracy as a function of the discretization parameter L.
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin l_sweep [--full]`
+
+use ipsketch_bench::experiments::{l_sweep, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = l_sweep::LSweepConfig::for_scale(scale);
+    let points = l_sweep::run(&config);
+    print!("{}", l_sweep::format(&config, &points));
+}

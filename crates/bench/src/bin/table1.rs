@@ -1,0 +1,13 @@
+//! Regenerates Table 1 as an empirical bound check (bound term, bound value, measured
+//! error and their ratio, per method).
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin table1 [--full]`
+
+use ipsketch_bench::experiments::{table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = table1::Table1Config::for_scale(scale);
+    let rows = table1::run(&config);
+    print!("{}", table1::format(&config, &rows));
+}

@@ -1,0 +1,11 @@
+//! Prints the storage-accounting table (samples granted and measured footprint per
+//! method and budget), verifying the Section-5 "Storage Size" bookkeeping.
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin table_storage`
+
+use ipsketch_bench::experiments::storage;
+
+fn main() {
+    let rows = storage::run(&[100, 200, 300, 400], 1);
+    print!("{}", storage::format(&rows));
+}

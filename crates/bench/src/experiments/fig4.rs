@@ -1,0 +1,244 @@
+//! Figure 4 — inner-product estimation error on synthetic data.
+//!
+//! For each overlap ratio (the paper's subplots (a)–(d): 1%, 5%, 10%, 50%), each
+//! storage budget and each method, the experiment generates fresh synthetic vector
+//! pairs (Section 5.1 parameters), sketches them, and reports the average scaled error
+//! over the trials — the series plotted in Figure 4.
+
+use super::{sketched_error, Scale};
+use crate::report::{fmt_f64, TextTable};
+use crate::runner::{default_threads, parallel_map};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_data::SyntheticPairConfig;
+use ipsketch_hash::mix::mix3;
+
+/// Configuration of the Figure-4 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Config {
+    /// Overlap ratios, one per subplot (paper: 0.01, 0.05, 0.10, 0.50).
+    pub overlaps: Vec<f64>,
+    /// Storage budgets in 64-bit-double equivalents (x-axis of the plots).
+    pub storage_sizes: Vec<usize>,
+    /// Number of independent trials per configuration (paper: 10).
+    pub trials: usize,
+    /// The methods to compare.
+    pub methods: Vec<SketchMethod>,
+    /// The synthetic data parameters (dimension, non-zeros, outliers).
+    pub data: SyntheticPairConfig,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Fig4Config {
+    /// The configuration for a given scale: `Paper` uses the paper's parameters,
+    /// `Quick` shrinks the vectors and trial count so the run finishes in seconds.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Self {
+                overlaps: vec![0.01, 0.05, 0.10, 0.50],
+                storage_sizes: vec![100, 200, 300, 400],
+                trials: 10,
+                methods: SketchMethod::paper_baselines().to_vec(),
+                data: SyntheticPairConfig::default(),
+                seed: 0xF164,
+            },
+            Scale::Quick => Self {
+                overlaps: vec![0.01, 0.05, 0.10, 0.50],
+                storage_sizes: vec![100, 200, 400],
+                trials: 4,
+                methods: SketchMethod::paper_baselines().to_vec(),
+                data: SyntheticPairConfig {
+                    dimension: 4_000,
+                    nonzeros: 800,
+                    ..SyntheticPairConfig::default()
+                },
+                seed: 0xF164,
+            },
+        }
+    }
+}
+
+/// One cell of the Figure-4 result grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Cell {
+    /// The overlap ratio of the subplot this cell belongs to.
+    pub overlap: f64,
+    /// The storage budget (doubles).
+    pub storage: usize,
+    /// The method.
+    pub method: SketchMethod,
+    /// Average scaled estimation error over the trials.
+    pub mean_error: f64,
+}
+
+/// Runs the Figure-4 experiment.
+///
+/// # Panics
+///
+/// Panics if the synthetic-data configuration is invalid (the built-in configurations
+/// are always valid).
+#[must_use]
+pub fn run(config: &Fig4Config) -> Vec<Fig4Cell> {
+    // One work item per (overlap, storage, method); trials run inside the item.
+    let mut items = Vec::new();
+    for &overlap in &config.overlaps {
+        for &storage in &config.storage_sizes {
+            for &method in &config.methods {
+                items.push((overlap, storage, method));
+            }
+        }
+    }
+    parallel_map(&items, default_threads(), |&(overlap, storage, method)| {
+        let data_config = SyntheticPairConfig {
+            overlap,
+            ..config.data
+        };
+        let mut total = 0.0;
+        for trial in 0..config.trials {
+            let pair_seed = mix3(config.seed, (overlap * 1e6) as u64, trial as u64);
+            let pair = data_config
+                .generate(pair_seed)
+                .expect("synthetic configuration is valid");
+            let sketcher = AnySketcher::for_budget(method, storage as f64, pair_seed ^ 0xA5)
+                .expect("storage budgets are large enough for every method");
+            total += sketched_error(&sketcher, &pair.a, &pair.b)
+                .expect("synthetic vectors are sketchable");
+        }
+        Fig4Cell {
+            overlap,
+            storage,
+            method,
+            mean_error: total / config.trials as f64,
+        }
+    })
+}
+
+/// Formats the result grid as one text table per subplot (overlap ratio), with one row
+/// per storage size and one column per method — the same series Figure 4 plots.
+#[must_use]
+pub fn format(config: &Fig4Config, cells: &[Fig4Cell]) -> String {
+    let mut out = String::new();
+    for &overlap in &config.overlaps {
+        out.push_str(&format!(
+            "Figure 4 — synthetic data, {:.0}% overlap (average scaled error, {} trials)\n",
+            overlap * 100.0,
+            config.trials
+        ));
+        let mut header = vec!["storage".to_string()];
+        header.extend(config.methods.iter().map(|m| m.label().to_string()));
+        let mut table = TextTable::new(header);
+        for &storage in &config.storage_sizes {
+            let mut row = vec![storage.to_string()];
+            for &method in &config.methods {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.overlap == overlap && c.storage == storage && c.method == method)
+                    .expect("cell exists for every configuration");
+                row.push(fmt_f64(cell.mean_error));
+            }
+            table.push_row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts the cells to a flat CSV-ready table.
+#[must_use]
+pub fn to_table(cells: &[Fig4Cell]) -> TextTable {
+    let mut table = TextTable::new(["overlap", "storage", "method", "mean_error"]);
+    for cell in cells {
+        table.push_row([
+            format!("{}", cell.overlap),
+            cell.storage.to_string(),
+            cell.method.label().to_string(),
+            format!("{}", cell.mean_error),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig4Config {
+        Fig4Config {
+            overlaps: vec![0.01, 0.5],
+            storage_sizes: vec![100, 400],
+            trials: 3,
+            methods: SketchMethod::paper_baselines().to_vec(),
+            data: SyntheticPairConfig {
+                dimension: 2_000,
+                nonzeros: 400,
+                ..SyntheticPairConfig::default()
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn produces_a_cell_per_configuration() {
+        let config = tiny_config();
+        let cells = run(&config);
+        assert_eq!(cells.len(), 2 * 2 * 5);
+        assert!(cells.iter().all(|c| c.mean_error.is_finite() && c.mean_error >= 0.0));
+    }
+
+    #[test]
+    fn wmh_beats_linear_sketches_at_low_overlap() {
+        // The paper's headline qualitative claim (Figure 4(a)): at 1% overlap WMH has
+        // clearly lower error than JL and CountSketch at the same storage.
+        let config = tiny_config();
+        let cells = run(&config);
+        let get = |method, overlap, storage| {
+            cells
+                .iter()
+                .find(|c| c.method == method && c.overlap == overlap && c.storage == storage)
+                .unwrap()
+                .mean_error
+        };
+        let wmh = get(SketchMethod::WeightedMinHash, 0.01, 400);
+        let jl = get(SketchMethod::Jl, 0.01, 400);
+        let cs = get(SketchMethod::CountSketch, 0.01, 400);
+        assert!(wmh < jl, "WMH {wmh} should beat JL {jl} at 1% overlap");
+        assert!(wmh < cs, "WMH {wmh} should beat CS {cs} at 1% overlap");
+    }
+
+    #[test]
+    fn gap_narrows_at_high_overlap() {
+        // Figure 4(d): at 50% overlap linear sketching is comparable to WMH — the ratio
+        // of errors should be much closer to 1 than at 1% overlap.
+        let config = tiny_config();
+        let cells = run(&config);
+        let get = |method, overlap| {
+            cells
+                .iter()
+                .find(|c| c.method == method && c.overlap == overlap && c.storage == 400)
+                .unwrap()
+                .mean_error
+        };
+        let ratio_low = get(SketchMethod::Jl, 0.01) / get(SketchMethod::WeightedMinHash, 0.01);
+        let ratio_high = get(SketchMethod::Jl, 0.5) / get(SketchMethod::WeightedMinHash, 0.5);
+        assert!(
+            ratio_low > ratio_high,
+            "JL/WMH error ratio should shrink as overlap grows: {ratio_low} vs {ratio_high}"
+        );
+    }
+
+    #[test]
+    fn formatting_contains_every_subplot_and_method() {
+        let config = tiny_config();
+        let cells = run(&config);
+        let text = format(&config, &cells);
+        assert!(text.contains("1% overlap"));
+        assert!(text.contains("50% overlap"));
+        for method in &config.methods {
+            assert!(text.contains(method.label()));
+        }
+        let table = to_table(&cells);
+        assert_eq!(table.len(), cells.len());
+    }
+}

@@ -1,0 +1,371 @@
+//! Figure 5 — "winning tables" on World-Bank-like column pairs.
+//!
+//! The paper estimates inner products between 5000 pairs of numerical columns
+//! (normalized to unit norm, sketch storage 400) and reports, for each bucket of
+//! (overlap ratio × kurtosis), the average difference between WMH's error and another
+//! method's error: negative (blue) cells mean WMH wins, positive (red) cells mean the
+//! other method wins.  We reproduce both panels: WMH − JL and WMH − MH.
+
+use super::{sketched_error, Scale};
+use crate::report::TextTable;
+use crate::runner::{default_threads, parallel_map};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_data::worldbank::{DataLake, DataLakeConfig};
+use ipsketch_vector::stats::moments;
+use ipsketch_vector::{jaccard_similarity, SparseVector};
+
+/// Configuration of the Figure-5 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Config {
+    /// The data-lake shape.
+    pub lake: DataLakeConfig,
+    /// Number of column pairs to evaluate (paper: 5000).
+    pub pairs: usize,
+    /// Sketch storage budget in doubles (paper: 400).
+    pub storage: usize,
+    /// Overlap-ratio bucket upper bounds (columns of the winning table).
+    pub overlap_buckets: Vec<f64>,
+    /// Kurtosis bucket upper bounds (rows of the winning table); the last bucket is
+    /// open-ended.
+    pub kurtosis_buckets: Vec<f64>,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Fig5Config {
+    /// The configuration for a given scale.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        let base = Self {
+            lake: DataLakeConfig::default(),
+            pairs: 5_000,
+            storage: 400,
+            overlap_buckets: vec![0.25, 0.5, 0.75, 1.0],
+            kurtosis_buckets: vec![10.0, 100.0, 1_000.0],
+            seed: 0xF165,
+        };
+        match scale {
+            Scale::Paper => base,
+            Scale::Quick => Self {
+                lake: DataLakeConfig {
+                    tables: 24,
+                    min_rows: 100,
+                    max_rows: 600,
+                    key_universe: 1_500,
+                    ..DataLakeConfig::default()
+                },
+                pairs: 400,
+                ..base
+            },
+        }
+    }
+
+    /// Number of kurtosis buckets (including the open-ended last one).
+    #[must_use]
+    pub fn kurtosis_bucket_count(&self) -> usize {
+        self.kurtosis_buckets.len() + 1
+    }
+}
+
+/// The per-pair measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PairMeasurement {
+    overlap_ratio: f64,
+    kurtosis: f64,
+    wmh_error: f64,
+    jl_error: f64,
+    mh_error: f64,
+}
+
+/// One cell of a winning table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Cell {
+    /// Index of the kurtosis bucket (row).
+    pub kurtosis_bucket: usize,
+    /// Index of the overlap bucket (column).
+    pub overlap_bucket: usize,
+    /// Number of pairs that fell into this bucket.
+    pub pairs: usize,
+    /// Mean of (WMH error − JL error); negative means WMH wins.
+    pub wmh_minus_jl: f64,
+    /// Mean of (WMH error − MH error); negative means WMH wins.
+    pub wmh_minus_mh: f64,
+}
+
+/// The full Figure-5 result: the bucketed winning tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Result {
+    /// All buckets (row-major: kurtosis bucket × overlap bucket).
+    pub cells: Vec<Fig5Cell>,
+    /// Total number of pairs evaluated.
+    pub pairs: usize,
+    /// Fraction of evaluated pairs with key-set Jaccard similarity below 0.1 (the
+    /// paper reports 42% for the World Bank data).
+    pub fraction_low_jaccard: f64,
+}
+
+/// Runs the Figure-5 experiment.
+#[must_use]
+pub fn run(config: &Fig5Config) -> Fig5Result {
+    let lake = config
+        .lake
+        .generate(config.seed)
+        .expect("lake configuration is valid");
+    let pairs = lake.sample_column_pairs(config.pairs, config.seed ^ 0x51);
+    let measurements = measure_pairs(config, &lake, &pairs);
+
+    let overlap_bucket_of = |ratio: f64| -> usize {
+        config
+            .overlap_buckets
+            .iter()
+            .position(|&ub| ratio <= ub)
+            .unwrap_or(config.overlap_buckets.len() - 1)
+    };
+    let kurtosis_bucket_of = |k: f64| -> usize {
+        config
+            .kurtosis_buckets
+            .iter()
+            .position(|&ub| k <= ub)
+            .unwrap_or(config.kurtosis_buckets.len())
+    };
+
+    let mut cells = Vec::new();
+    for row in 0..config.kurtosis_bucket_count() {
+        for col in 0..config.overlap_buckets.len() {
+            let bucket: Vec<&PairMeasurement> = measurements
+                .iter()
+                .filter(|m| kurtosis_bucket_of(m.kurtosis) == row && overlap_bucket_of(m.overlap_ratio) == col)
+                .collect();
+            let n = bucket.len();
+            let mean = |f: &dyn Fn(&PairMeasurement) -> f64| -> f64 {
+                if n == 0 {
+                    0.0
+                } else {
+                    bucket.iter().map(|m| f(m)).sum::<f64>() / n as f64
+                }
+            };
+            cells.push(Fig5Cell {
+                kurtosis_bucket: row,
+                overlap_bucket: col,
+                pairs: n,
+                wmh_minus_jl: mean(&|m| m.wmh_error - m.jl_error),
+                wmh_minus_mh: mean(&|m| m.wmh_error - m.mh_error),
+            });
+        }
+    }
+    let low_jaccard = measurements
+        .iter()
+        .filter(|m| m.overlap_ratio < 0.1)
+        .count() as f64
+        / measurements.len().max(1) as f64;
+    Fig5Result {
+        cells,
+        pairs: measurements.len(),
+        fraction_low_jaccard: low_jaccard,
+    }
+}
+
+/// Measures every sampled column pair: overlap ratio, kurtosis and the three methods'
+/// errors on the unit-normalized column vectors.
+fn measure_pairs(
+    config: &Fig5Config,
+    lake: &DataLake,
+    pairs: &[(
+        ipsketch_data::worldbank::ColumnRef,
+        ipsketch_data::worldbank::ColumnRef,
+    )],
+) -> Vec<PairMeasurement> {
+    parallel_map(pairs, default_threads(), |&(ra, rb)| {
+        let a_raw = lake.column_vector(ra);
+        let b_raw = lake.column_vector(rb);
+        // The paper normalizes columns to unit norm so all inner products are <= 1.
+        let a = normalize_or_keep(&a_raw);
+        let b = normalize_or_keep(&b_raw);
+        let overlap_ratio = jaccard_similarity(&a, &b);
+        // Kurtosis as the proxy for outliers: the maximum over the two columns.
+        let kurtosis = f64::max(
+            moments(a_raw.values()).map(|m| m.kurtosis).unwrap_or(0.0),
+            moments(b_raw.values()).map(|m| m.kurtosis).unwrap_or(0.0),
+        );
+        let seed = config.seed ^ (ra.table as u64) << 32 ^ (rb.table as u64) << 16 ^ ra.column as u64;
+        let error_of = |method: SketchMethod| {
+            let sketcher = AnySketcher::for_budget(method, config.storage as f64, seed)
+                .expect("storage budget fits all methods");
+            sketched_error(&sketcher, &a, &b).expect("lake columns are sketchable")
+        };
+        PairMeasurement {
+            overlap_ratio,
+            kurtosis,
+            wmh_error: error_of(SketchMethod::WeightedMinHash),
+            jl_error: error_of(SketchMethod::Jl),
+            mh_error: error_of(SketchMethod::MinHash),
+        }
+    })
+}
+
+fn normalize_or_keep(v: &SparseVector) -> SparseVector {
+    v.normalized().unwrap_or_else(|_| v.clone())
+}
+
+/// Formats the two winning tables (WMH−JL and WMH−MH) like the paper's heat maps:
+/// one row per kurtosis bucket, one column per overlap bucket, negative = WMH wins.
+#[must_use]
+pub fn format(config: &Fig5Config, result: &Fig5Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 5 — World-Bank-like data, {} column pairs, storage {} doubles\n",
+        result.pairs, config.storage
+    ));
+    out.push_str(&format!(
+        "fraction of pairs with key-set Jaccard < 0.1: {:.2}\n\n",
+        result.fraction_low_jaccard
+    ));
+    for (title, pick) in [
+        ("(a) mean(WMH error − JL error)", 0usize),
+        ("(b) mean(WMH error − MH error)", 1usize),
+    ] {
+        out.push_str(title);
+        out.push('\n');
+        let mut header = vec!["kurtosis \\ overlap".to_string()];
+        for (i, ub) in config.overlap_buckets.iter().enumerate() {
+            let lb = if i == 0 { 0.0 } else { config.overlap_buckets[i - 1] };
+            header.push(format!("({lb:.2},{ub:.2}]"));
+        }
+        let mut table = TextTable::new(header);
+        for row in 0..config.kurtosis_bucket_count() {
+            let label = if row < config.kurtosis_buckets.len() {
+                format!("<= {}", config.kurtosis_buckets[row])
+            } else {
+                format!("> {}", config.kurtosis_buckets.last().unwrap())
+            };
+            let mut cells_row = vec![label];
+            for col in 0..config.overlap_buckets.len() {
+                let cell = result
+                    .cells
+                    .iter()
+                    .find(|c| c.kurtosis_bucket == row && c.overlap_bucket == col)
+                    .expect("every bucket is present");
+                let value = if pick == 0 { cell.wmh_minus_jl } else { cell.wmh_minus_mh };
+                if cell.pairs == 0 {
+                    cells_row.push("   --".to_string());
+                } else {
+                    cells_row.push(format!("{value:+.4} (n={})", cell.pairs));
+                }
+            }
+            table.push_row(cells_row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts the result to a flat CSV-ready table.
+#[must_use]
+pub fn to_table(result: &Fig5Result) -> TextTable {
+    let mut table = TextTable::new([
+        "kurtosis_bucket",
+        "overlap_bucket",
+        "pairs",
+        "wmh_minus_jl",
+        "wmh_minus_mh",
+    ]);
+    for cell in &result.cells {
+        table.push_row([
+            cell.kurtosis_bucket.to_string(),
+            cell.overlap_bucket.to_string(),
+            cell.pairs.to_string(),
+            format!("{}", cell.wmh_minus_jl),
+            format!("{}", cell.wmh_minus_mh),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig5Config {
+        Fig5Config {
+            lake: DataLakeConfig {
+                tables: 12,
+                columns_per_table: 2,
+                min_rows: 80,
+                max_rows: 400,
+                key_universe: 1_000,
+            },
+            pairs: 120,
+            storage: 200,
+            overlap_buckets: vec![0.25, 0.5, 0.75, 1.0],
+            kurtosis_buckets: vec![10.0, 100.0, 1_000.0],
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn produces_full_bucket_grid() {
+        let config = tiny_config();
+        let result = run(&config);
+        assert_eq!(result.cells.len(), 4 * 4);
+        assert_eq!(result.pairs, 120);
+        assert!(result.fraction_low_jaccard >= 0.0 && result.fraction_low_jaccard <= 1.0);
+        let populated: usize = result.cells.iter().map(|c| c.pairs).sum();
+        assert_eq!(populated, 120, "every pair must land in exactly one bucket");
+    }
+
+    #[test]
+    fn wmh_wins_on_low_overlap_buckets_vs_jl() {
+        // The qualitative Figure-5 claim: averaged over the low-overlap columns
+        // (buckets 0 and 1), WMH − JL is negative.
+        let config = tiny_config();
+        let result = run(&config);
+        let mut weighted_sum = 0.0;
+        let mut count = 0usize;
+        for cell in &result.cells {
+            if cell.overlap_bucket <= 1 && cell.pairs > 0 {
+                weighted_sum += cell.wmh_minus_jl * cell.pairs as f64;
+                count += cell.pairs;
+            }
+        }
+        assert!(count > 10, "expected low-overlap pairs in the tiny lake");
+        let mean_diff = weighted_sum / count as f64;
+        assert!(
+            mean_diff < 0.0,
+            "WMH should beat JL on low-overlap pairs (mean diff {mean_diff})"
+        );
+    }
+
+    #[test]
+    fn wmh_wins_against_mh_on_high_kurtosis_buckets() {
+        let config = tiny_config();
+        let result = run(&config);
+        let mut weighted_sum = 0.0;
+        let mut count = 0usize;
+        for cell in &result.cells {
+            // High-kurtosis rows (buckets 2 and 3) are where outliers hurt MH.
+            if cell.kurtosis_bucket >= 2 && cell.pairs > 0 {
+                weighted_sum += cell.wmh_minus_mh * cell.pairs as f64;
+                count += cell.pairs;
+            }
+        }
+        if count > 10 {
+            let mean_diff = weighted_sum / count as f64;
+            assert!(
+                mean_diff <= 0.05,
+                "WMH should not lose badly to MH on high-kurtosis pairs: {mean_diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn formatting_includes_both_panels() {
+        let config = tiny_config();
+        let result = run(&config);
+        let text = format(&config, &result);
+        assert!(text.contains("WMH error − JL error"));
+        assert!(text.contains("WMH error − MH error"));
+        assert!(text.contains("Jaccard < 0.1"));
+        assert_eq!(to_table(&result).len(), result.cells.len());
+    }
+}

@@ -1,0 +1,322 @@
+//! Figure 6 — text-similarity estimation on a 20-Newsgroups-like corpus.
+//!
+//! Documents are represented as unit-norm TF-IDF vectors over unigrams and bigrams;
+//! the experiment estimates the cosine similarity (= inner product of the normalized
+//! vectors) for many document pairs at several storage budgets and reports the average
+//! error, (a) over all document pairs and (b) restricted to pairs where both documents
+//! are longer than 700 words — the regime where the paper shows WMH clearly winning
+//! and unweighted MinHash degrading.
+
+use super::Scale;
+use crate::report::{fmt_f64, TextTable};
+use crate::runner::{default_threads, parallel_map};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_core::traits::Sketcher;
+use ipsketch_data::text::CorpusConfig;
+use ipsketch_data::tfidf::{TfIdfConfig, TfIdfVectorizer};
+use ipsketch_hash::rng::Xoshiro256PlusPlus;
+
+/// Configuration of the Figure-6 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Config {
+    /// The corpus shape.
+    pub corpus: CorpusConfig,
+    /// Storage budgets (x-axis).
+    pub storage_sizes: Vec<usize>,
+    /// The methods to compare.
+    pub methods: Vec<SketchMethod>,
+    /// Maximum number of document pairs to evaluate per panel (the paper evaluates all
+    /// ~200k pairs of its 700 documents; `Quick` subsamples).
+    pub max_pairs: usize,
+    /// Word-count threshold for the "long documents" panel (paper: 700).
+    pub long_document_words: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// The configuration for a given scale.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Self {
+                corpus: CorpusConfig::default(),
+                storage_sizes: vec![100, 200, 300, 400],
+                methods: SketchMethod::paper_baselines().to_vec(),
+                max_pairs: usize::MAX,
+                long_document_words: 700,
+                seed: 0xF166,
+            },
+            Scale::Quick => Self {
+                corpus: CorpusConfig {
+                    documents: 120,
+                    vocabulary: 3_000,
+                    topics: 8,
+                    ..CorpusConfig::default()
+                },
+                storage_sizes: vec![100, 400],
+                methods: SketchMethod::paper_baselines().to_vec(),
+                max_pairs: 1_500,
+                long_document_words: 700,
+                seed: 0xF166,
+            },
+        }
+    }
+}
+
+/// One measured series point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Cell {
+    /// Which panel: `false` = all documents, `true` = only long documents.
+    pub long_documents_only: bool,
+    /// Storage budget.
+    pub storage: usize,
+    /// Method.
+    pub method: SketchMethod,
+    /// Average scaled estimation error over the evaluated pairs.
+    pub mean_error: f64,
+    /// Number of evaluated pairs.
+    pub pairs: usize,
+}
+
+/// Runs the Figure-6 experiment.
+#[must_use]
+pub fn run(config: &Fig6Config) -> Vec<Fig6Cell> {
+    // Build the corpus and its TF-IDF vectors once.
+    let corpus = config
+        .corpus
+        .generate(config.seed)
+        .expect("corpus configuration is valid");
+    let tokenized: Vec<Vec<String>> = corpus.documents.iter().map(|d| d.tokens.clone()).collect();
+    let vectorizer = TfIdfVectorizer::fit(&tokenized, TfIdfConfig::default())
+        .expect("generated corpora have non-empty vocabularies");
+    let vectors = vectorizer.vectorize_all(&tokenized);
+    let lengths: Vec<usize> = corpus.documents.iter().map(|d| d.len()).collect();
+
+    // Candidate pairs per panel.
+    let all_pairs = sample_pairs(vectors.len(), config.max_pairs, config.seed, |_, _| true);
+    let long_pairs = sample_pairs(vectors.len(), config.max_pairs, config.seed ^ 1, |i, j| {
+        lengths[i] > config.long_document_words && lengths[j] > config.long_document_words
+    });
+
+    let mut items = Vec::new();
+    for &(long_only, pairs) in &[(false, &all_pairs), (true, &long_pairs)] {
+        for &storage in &config.storage_sizes {
+            for &method in &config.methods {
+                items.push((long_only, pairs.clone(), storage, method));
+            }
+        }
+    }
+    parallel_map(&items, default_threads(), |(long_only, pairs, storage, method)| {
+        let sketcher = AnySketcher::for_budget(*method, *storage as f64, config.seed ^ 0xD0C)
+            .expect("storage budgets fit all methods");
+        // Sketch each referenced document once, then estimate all pairs from the cache.
+        let mut doc_ids: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
+        doc_ids.sort_unstable();
+        doc_ids.dedup();
+        let sketches: std::collections::HashMap<usize, _> = doc_ids
+            .iter()
+            .filter_map(|&i| sketcher.sketch(&vectors[i]).ok().map(|s| (i, s)))
+            .collect();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &(i, j) in pairs.iter() {
+            let (Some(sa), Some(sb)) = (sketches.get(&i), sketches.get(&j)) else {
+                continue; // skip degenerate (empty) documents
+            };
+            let estimate = sketcher
+                .estimate_inner_product(sa, sb)
+                .expect("sketches come from the same sketcher");
+            let exact = ipsketch_vector::inner_product(&vectors[i], &vectors[j]);
+            total += ipsketch_vector::scaled_absolute_error(
+                estimate,
+                exact,
+                vectors[i].norm(),
+                vectors[j].norm(),
+            );
+            count += 1;
+        }
+        Fig6Cell {
+            long_documents_only: *long_only,
+            storage: *storage,
+            method: *method,
+            mean_error: if count == 0 { 0.0 } else { total / count as f64 },
+            pairs: count,
+        }
+    })
+}
+
+/// Samples up to `max_pairs` distinct document pairs satisfying `filter`, or all of
+/// them when `max_pairs` is large enough.
+fn sample_pairs<F>(documents: usize, max_pairs: usize, seed: u64, filter: F) -> Vec<(usize, usize)>
+where
+    F: Fn(usize, usize) -> bool,
+{
+    let mut all: Vec<(usize, usize)> = Vec::new();
+    for i in 0..documents {
+        for j in (i + 1)..documents {
+            if filter(i, j) {
+                all.push((i, j));
+            }
+        }
+    }
+    if all.len() <= max_pairs {
+        return all;
+    }
+    let mut rng = Xoshiro256PlusPlus::from_seed_and_stream(seed, 0x9A12);
+    rng.shuffle(&mut all);
+    all.truncate(max_pairs);
+    all
+}
+
+/// Formats the two panels as text tables (one row per storage size, one column per
+/// method), mirroring Figure 6.
+#[must_use]
+pub fn format(config: &Fig6Config, cells: &[Fig6Cell]) -> String {
+    let mut out = String::new();
+    for (title, long_only) in [
+        ("Figure 6(a) — all documents", false),
+        (
+            "Figure 6(b) — documents > 700 words",
+            true,
+        ),
+    ] {
+        let pairs = cells
+            .iter()
+            .find(|c| c.long_documents_only == long_only)
+            .map_or(0, |c| c.pairs);
+        out.push_str(&format!("{title} (average scaled error over {pairs} pairs)\n"));
+        let mut header = vec!["storage".to_string()];
+        header.extend(config.methods.iter().map(|m| m.label().to_string()));
+        let mut table = TextTable::new(header);
+        for &storage in &config.storage_sizes {
+            let mut row = vec![storage.to_string()];
+            for &method in &config.methods {
+                let cell = cells
+                    .iter()
+                    .find(|c| {
+                        c.long_documents_only == long_only
+                            && c.storage == storage
+                            && c.method == method
+                    })
+                    .expect("cell exists for every configuration");
+                row.push(fmt_f64(cell.mean_error));
+            }
+            table.push_row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts the cells to a flat CSV-ready table.
+#[must_use]
+pub fn to_table(cells: &[Fig6Cell]) -> TextTable {
+    let mut table = TextTable::new(["panel", "storage", "method", "mean_error", "pairs"]);
+    for cell in cells {
+        table.push_row([
+            if cell.long_documents_only { "long" } else { "all" }.to_string(),
+            cell.storage.to_string(),
+            cell.method.label().to_string(),
+            format!("{}", cell.mean_error),
+            cell.pairs.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig6Config {
+        Fig6Config {
+            corpus: CorpusConfig {
+                documents: 60,
+                vocabulary: 1_500,
+                topics: 5,
+                ..CorpusConfig::default()
+            },
+            storage_sizes: vec![100, 400],
+            methods: SketchMethod::paper_baselines().to_vec(),
+            max_pairs: 300,
+            long_document_words: 700,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn produces_cells_for_both_panels() {
+        let config = tiny_config();
+        let cells = run(&config);
+        assert_eq!(cells.len(), 2 * 2 * 5);
+        assert!(cells.iter().all(|c| c.mean_error.is_finite() && c.mean_error >= 0.0));
+        // The all-documents panel evaluates the requested number of pairs.
+        let all_panel = cells.iter().find(|c| !c.long_documents_only).unwrap();
+        assert!(all_panel.pairs > 0 && all_panel.pairs <= 300);
+    }
+
+    #[test]
+    fn sampling_based_methods_beat_linear_sketches_on_tfidf_vectors() {
+        // The paper: "linear projection sketches have poor performance for small
+        // sketches" on this workload while sampling-based sketches do well.
+        let config = tiny_config();
+        let cells = run(&config);
+        let get = |method: SketchMethod| {
+            cells
+                .iter()
+                .find(|c| !c.long_documents_only && c.storage == 100 && c.method == method)
+                .unwrap()
+                .mean_error
+        };
+        let wmh = get(SketchMethod::WeightedMinHash);
+        let jl = get(SketchMethod::Jl);
+        assert!(
+            wmh < jl,
+            "WMH ({wmh}) should beat JL ({jl}) on sparse TF-IDF vectors at storage 100"
+        );
+    }
+
+    #[test]
+    fn error_decreases_with_storage_for_wmh() {
+        let config = tiny_config();
+        let cells = run(&config);
+        let get = |storage: usize| {
+            cells
+                .iter()
+                .find(|c| {
+                    !c.long_documents_only
+                        && c.storage == storage
+                        && c.method == SketchMethod::WeightedMinHash
+                })
+                .unwrap()
+                .mean_error
+        };
+        assert!(
+            get(400) <= get(100) * 1.2,
+            "error at 400 ({}) should not exceed error at 100 ({})",
+            get(400),
+            get(100)
+        );
+    }
+
+    #[test]
+    fn pair_sampling_respects_filter_and_limit() {
+        let pairs = sample_pairs(20, 50, 1, |i, j| i % 2 == 0 && j % 2 == 0);
+        assert!(pairs.len() <= 50);
+        assert!(pairs.iter().all(|&(i, j)| i % 2 == 0 && j % 2 == 0 && i < j));
+        let all = sample_pairs(10, usize::MAX, 1, |_, _| true);
+        assert_eq!(all.len(), 45);
+    }
+
+    #[test]
+    fn formatting_mentions_both_panels() {
+        let config = tiny_config();
+        let cells = run(&config);
+        let text = format(&config, &cells);
+        assert!(text.contains("all documents"));
+        assert!(text.contains("700 words"));
+        assert_eq!(to_table(&cells).len(), cells.len());
+    }
+}

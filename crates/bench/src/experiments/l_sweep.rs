@@ -1,0 +1,187 @@
+//! Ablation A2 — effect of the discretization parameter `L` on WMH accuracy.
+//!
+//! The paper (Section 5, "Choice of L") observes that `L` does not affect the sketch
+//! size, that it must be at least larger than `n` (otherwise small entries of the
+//! normalized vector round to zero), and that values 100–1000× larger are ideal.  This
+//! experiment sweeps `L` from far-too-small to comfortably large at a fixed sketch size
+//! and reports the mean error, reproducing that qualitative behaviour.
+
+use super::{sketched_error, Scale};
+use crate::report::{fmt_f64, TextTable};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_data::SyntheticPairConfig;
+use ipsketch_hash::mix::mix2;
+
+/// Configuration of the L-sweep ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LSweepConfig {
+    /// The discretization values to sweep.
+    pub discretizations: Vec<u64>,
+    /// Storage budget (doubles).
+    pub storage: usize,
+    /// Number of trials per value.
+    pub trials: usize,
+    /// Synthetic data parameters.
+    pub data: SyntheticPairConfig,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl LSweepConfig {
+    /// The configuration for a given scale.  The sweep is expressed relative to the
+    /// number of non-zeros `n` of the vectors: `L ∈ {n/10, n, 10n, 100n, 1000n}`.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        // Outliers are disabled for this ablation: with heavy outliers the inner
+        // product is dominated by a handful of entries that survive any L, which hides
+        // the effect the sweep is meant to show (rounding of the *small* entries).
+        let data = match scale {
+            Scale::Paper => SyntheticPairConfig {
+                outlier_fraction: 0.0,
+                ..SyntheticPairConfig::default()
+            },
+            Scale::Quick => SyntheticPairConfig {
+                dimension: 4_000,
+                nonzeros: 800,
+                outlier_fraction: 0.0,
+                ..SyntheticPairConfig::default()
+            },
+        };
+        let n = data.nonzeros as u64;
+        Self {
+            discretizations: vec![n / 10, n, 10 * n, 100 * n, 1000 * n],
+            storage: 400,
+            trials: if scale == Scale::Paper { 10 } else { 4 },
+            data,
+            seed: 0x15EE,
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LSweepPoint {
+    /// The discretization parameter `L`.
+    pub discretization: u64,
+    /// Mean scaled error at this `L`.
+    pub mean_error: f64,
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(config: &LSweepConfig) -> Vec<LSweepPoint> {
+    config
+        .discretizations
+        .iter()
+        .map(|&l| {
+            let mut total = 0.0;
+            for trial in 0..config.trials {
+                let seed = mix2(config.seed, trial as u64);
+                let pair = config.data.generate(seed).expect("valid configuration");
+                // Use positive values of comparable magnitude so the true inner product
+                // is substantial and the effect of rounding small entries to zero is
+                // visible (with zero-mean values the true inner product is itself near
+                // zero and every L looks equally "accurate").
+                let a = pair.a.mapped(|_, v| v.abs() + 0.1).expect("finite values");
+                let b = pair.b.mapped(|_, v| v.abs() + 0.1).expect("finite values");
+                let sketcher = AnySketcher::for_budget_with_discretization(
+                    SketchMethod::WeightedMinHash,
+                    config.storage as f64,
+                    seed,
+                    l.max(1),
+                )
+                .expect("storage budget is large enough");
+                total += sketched_error(&sketcher, &a, &b).expect("sketchable");
+            }
+            LSweepPoint {
+                discretization: l,
+                mean_error: total / config.trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats the sweep results.
+#[must_use]
+pub fn format(config: &LSweepConfig, points: &[LSweepPoint]) -> String {
+    let mut out = format!(
+        "Ablation — WMH error vs. discretization L (storage {}, nnz {}, {} trials)\n",
+        config.storage, config.data.nonzeros, config.trials
+    );
+    let mut table = TextTable::new(["L", "L / nnz", "mean error"]);
+    for p in points {
+        table.push_row([
+            p.discretization.to_string(),
+            format!("{:.1}", p.discretization as f64 / config.data.nonzeros as f64),
+            fmt_f64(p.mean_error),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LSweepConfig {
+        let data = SyntheticPairConfig {
+            dimension: 2_000,
+            nonzeros: 400,
+            overlap: 0.1,
+            outlier_fraction: 0.0,
+            ..SyntheticPairConfig::default()
+        };
+        LSweepConfig {
+            discretizations: vec![40, 400, 4_000, 400_000],
+            storage: 300,
+            trials: 4,
+            data,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn produces_one_point_per_l() {
+        let config = tiny_config();
+        let points = run(&config);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.mean_error.is_finite()));
+    }
+
+    #[test]
+    fn too_small_l_hurts_accuracy() {
+        // L = nnz/10 rounds most entries to zero; the error must be clearly worse than
+        // with a generous L (the paper's "necessary to at least ensure that L > n").
+        let config = tiny_config();
+        let points = run(&config);
+        let tiny_l = points[0].mean_error;
+        let large_l = points.last().unwrap().mean_error;
+        assert!(
+            tiny_l > 1.5 * large_l,
+            "error at L=nnz/10 ({tiny_l}) should be much worse than at large L ({large_l})"
+        );
+    }
+
+    #[test]
+    fn large_l_values_plateau() {
+        let config = tiny_config();
+        let points = run(&config);
+        let l_100n = points[2].mean_error;
+        let l_1000n = points[3].mean_error;
+        assert!(
+            (l_100n - l_1000n).abs() < 0.5 * l_100n.max(l_1000n).max(1e-6),
+            "accuracy should plateau once L is large: {l_100n} vs {l_1000n}"
+        );
+    }
+
+    #[test]
+    fn formatting_lists_every_l() {
+        let config = tiny_config();
+        let points = run(&config);
+        let text = format(&config, &points);
+        for p in &points {
+            assert!(text.contains(&p.discretization.to_string()));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! CountSketch inner-product estimation.
+//!
+//! CountSketch (Charikar, Chen & Farach-Colton) hashes each coordinate to one of `b`
+//! buckets per repetition with a random sign; the bucket-wise inner product of two
+//! sketches is an unbiased estimate of `⟨a, b⟩`, and taking the median across a small
+//! number of repetitions controls the variance.  The paper's experiments follow Larsen
+//! et al. and use 5 repetitions with the median estimator; we do the same (the number of
+//! repetitions is configurable).
+
+use crate::error::{incompatible, SketchError};
+use crate::storage::{linear_sketch_doubles, COUNTSKETCH_REPETITIONS};
+use crate::traits::{Sketch, Sketcher};
+use ipsketch_hash::sign::{BucketHasher, SignHasher};
+use ipsketch_vector::SparseVector;
+
+/// The CountSketch of a vector: `repetitions × buckets` bucket sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountSketch {
+    pub(crate) seed: u64,
+    pub(crate) buckets: usize,
+    /// Bucket sums, laid out repetition-major: `table[rep * buckets + bucket]`.
+    pub(crate) table: Vec<f64>,
+}
+
+impl CountSketch {
+    /// The number of repetitions.
+    #[must_use]
+    pub fn repetitions(&self) -> usize {
+        self.table.len().checked_div(self.buckets).unwrap_or(0)
+    }
+
+    /// The number of buckets per repetition.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The bucket sums of one repetition.
+    #[must_use]
+    pub fn repetition(&self, rep: usize) -> &[f64] {
+        &self.table[rep * self.buckets..(rep + 1) * self.buckets]
+    }
+}
+
+impl Sketch for CountSketch {
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        linear_sketch_doubles(self.table.len())
+    }
+}
+
+/// The CountSketch sketcher (sparse linear projection, median-of-repetitions estimator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountSketcher {
+    buckets: usize,
+    repetitions: usize,
+    seed: u64,
+}
+
+impl CountSketcher {
+    /// Creates a CountSketch sketcher with `buckets` buckets per repetition and the
+    /// default number of repetitions (5, following the paper's experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `buckets == 0`.
+    pub fn new(buckets: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_repetitions(buckets, COUNTSKETCH_REPETITIONS, seed)
+    }
+
+    /// Creates a CountSketch sketcher with an explicit number of repetitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `buckets == 0` or
+    /// `repetitions == 0`.
+    pub fn with_repetitions(
+        buckets: usize,
+        repetitions: usize,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
+        if buckets == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "buckets",
+                allowed: ">= 1",
+            });
+        }
+        if repetitions == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "repetitions",
+                allowed: ">= 1",
+            });
+        }
+        Ok(Self {
+            buckets,
+            repetitions,
+            seed,
+        })
+    }
+
+    /// Buckets per repetition.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Number of repetitions.
+    #[must_use]
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Sketcher for CountSketcher {
+    type Output = CountSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<CountSketch, SketchError> {
+        let bucket_hash = BucketHasher::new(self.seed, self.buckets)?;
+        let sign_hash = SignHasher::from_seed(self.seed ^ 0xC0_57_51_6E);
+        let mut table = vec![0.0; self.buckets * self.repetitions];
+        for (index, value) in vector.iter() {
+            for rep in 0..self.repetitions {
+                let bucket = bucket_hash.bucket(rep as u64, index);
+                let sign = sign_hash.sign(rep as u64, index);
+                table[rep * self.buckets + bucket] += sign * value;
+            }
+        }
+        Ok(CountSketch {
+            seed: self.seed,
+            buckets: self.buckets,
+            table,
+        })
+    }
+
+    fn estimate_inner_product(&self, a: &CountSketch, b: &CountSketch) -> Result<f64, SketchError> {
+        for (label, sketch) in [("first", a), ("second", b)] {
+            if sketch.seed != self.seed
+                || sketch.buckets != self.buckets
+                || sketch.table.len() != self.buckets * self.repetitions
+            {
+                return Err(incompatible(format!(
+                    "{label} CountSketch does not match this sketcher (buckets {}, len {})",
+                    sketch.buckets,
+                    sketch.table.len()
+                )));
+            }
+        }
+        // Per-repetition estimates, combined by the median.
+        let mut estimates: Vec<f64> = (0..self.repetitions)
+            .map(|rep| {
+                a.repetition(rep)
+                    .iter()
+                    .zip(b.repetition(rep))
+                    .map(|(x, y)| x * y)
+                    .sum()
+            })
+            .collect();
+        estimates.sort_by(|x, y| x.partial_cmp(y).expect("estimates are finite"));
+        let n = estimates.len();
+        Ok(if n % 2 == 1 {
+            estimates[n / 2]
+        } else {
+            (estimates[n / 2 - 1] + estimates[n / 2]) / 2.0
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "CS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::inner_product;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(CountSketcher::new(0, 1).is_err());
+        assert!(CountSketcher::with_repetitions(10, 0, 1).is_err());
+        let s = CountSketcher::new(80, 1).unwrap();
+        assert_eq!(s.buckets(), 80);
+        assert_eq!(s.repetitions(), 5);
+        assert_eq!(s.seed(), 1);
+        assert_eq!(s.name(), "CS");
+    }
+
+    #[test]
+    fn sketch_shape_and_storage() {
+        let s = CountSketcher::new(80, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(sk.len(), 400);
+        assert_eq!(sk.buckets(), 80);
+        assert_eq!(sk.repetitions(), 5);
+        assert!((sk.storage_doubles() - 400.0).abs() < 1e-12);
+        assert_eq!(sk.repetition(0).len(), 80);
+    }
+
+    #[test]
+    fn mass_is_preserved_per_repetition() {
+        // Each repetition distributes every coordinate (with a sign) into exactly one
+        // bucket, so the sum of |bucket sums| is at most the l1 norm and the sum of
+        // squares of a single-entry vector is exactly that entry squared.
+        let s = CountSketcher::new(16, 3).unwrap();
+        let v = SparseVector::from_pairs([(42, 3.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        for rep in 0..5 {
+            let sq: f64 = sk.repetition(rep).iter().map(|x| x * x).sum();
+            assert!((sq - 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sketching_is_linear() {
+        let s = CountSketcher::new(32, 7).unwrap();
+        let a = SparseVector::from_pairs([(0, 1.0), (5, 2.0)]).unwrap();
+        let b = SparseVector::from_pairs([(5, -1.0), (9, 4.0)]).unwrap();
+        let sum = SparseVector::from_pairs(a.iter().chain(b.iter())).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let ssum = s.sketch(&sum).unwrap();
+        for i in 0..sa.len() {
+            assert!((sa.table[i] + sb.table[i] - ssum.table[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimates_are_approximately_unbiased() {
+        let a = SparseVector::from_pairs((0..200u64).map(|i| (i, ((i % 5) as f64) - 2.0))).unwrap();
+        let b = SparseVector::from_pairs((100..300u64).map(|i| (i, ((i % 3) as f64) - 1.0)))
+            .unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let trials = 50;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = CountSketcher::new(80, seed).unwrap();
+            let sa = s.sketch(&a).unwrap();
+            let sb = s.sketch(&b).unwrap();
+            total += s.estimate_inner_product(&sa, &sb).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        // The median estimator has a small bias, so allow a slightly wider margin than
+        // for plain averaging.
+        assert!(
+            (mean - exact).abs() < 0.06 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+
+    #[test]
+    fn exact_for_identical_singleton_vectors() {
+        let s = CountSketcher::new(64, 5).unwrap();
+        let v = SparseVector::from_pairs([(7, 2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert!((s.estimate_inner_product(&sk, &sk).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector_gives_zero_sketch_and_estimates() {
+        let s = CountSketcher::new(16, 5).unwrap();
+        let empty = s.sketch(&SparseVector::new()).unwrap();
+        let v = s
+            .sketch(&SparseVector::from_pairs([(3, 2.0)]).unwrap())
+            .unwrap();
+        assert_eq!(s.estimate_inner_product(&empty, &v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let s1 = CountSketcher::new(16, 1).unwrap();
+        let s2 = CountSketcher::new(16, 2).unwrap();
+        let s3 = CountSketcher::new(8, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0)]).unwrap();
+        let a = s1.sketch(&v).unwrap();
+        assert!(s1
+            .estimate_inner_product(&a, &s2.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1
+            .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn median_of_even_repetitions() {
+        let s = CountSketcher::with_repetitions(32, 4, 9).unwrap();
+        let v = SparseVector::from_pairs([(1, 1.0), (2, 2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        // Self inner product: every repetition gives a positive estimate; the median of
+        // an even count is the average of the middle two and must be close to 5.
+        let est = s.estimate_inner_product(&sk, &sk).unwrap();
+        assert!(est > 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for the sketching crate.
+
+use ipsketch_hash::HashError;
+use ipsketch_vector::VectorError;
+use std::fmt;
+
+/// Errors produced when constructing sketchers, sketching vectors, or estimating inner
+/// products from sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// A construction parameter was invalid (zero sample count, zero buckets, …).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the allowed values.
+        allowed: &'static str,
+    },
+    /// Two sketches passed to an estimator were built with incompatible configurations
+    /// (different seeds, sample counts, discretization, or hash families).
+    IncompatibleSketches {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A sketch of an all-zero vector cannot support the requested estimate.
+    EmptySketch,
+    /// An error bubbled up from the vector substrate.
+    Vector(VectorError),
+    /// An error bubbled up from the hashing substrate.
+    Hash(HashError),
+    /// A serialized sketch could not be decoded.
+    Corrupt {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidParameter { name, allowed } => {
+                write!(f, "invalid parameter `{name}` (allowed: {allowed})")
+            }
+            SketchError::IncompatibleSketches { detail } => {
+                write!(f, "incompatible sketches: {detail}")
+            }
+            SketchError::EmptySketch => write!(f, "sketch of an empty (all-zero) vector"),
+            SketchError::Vector(e) => write!(f, "vector error: {e}"),
+            SketchError::Hash(e) => write!(f, "hash error: {e}"),
+            SketchError::Corrupt { detail } => write!(f, "corrupt sketch encoding: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SketchError::Vector(e) => Some(e),
+            SketchError::Hash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VectorError> for SketchError {
+    fn from(e: VectorError) -> Self {
+        SketchError::Vector(e)
+    }
+}
+
+impl From<HashError> for SketchError {
+    fn from(e: HashError) -> Self {
+        SketchError::Hash(e)
+    }
+}
+
+/// Convenience constructor for [`SketchError::IncompatibleSketches`].
+pub(crate) fn incompatible(detail: impl Into<String>) -> SketchError {
+    SketchError::IncompatibleSketches {
+        detail: detail.into(),
+    }
+}
+
+/// Convenience constructor for [`SketchError::Corrupt`].
+pub(crate) fn corrupt(detail: impl Into<String>) -> SketchError {
+    SketchError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<SketchError> = vec![
+            SketchError::InvalidParameter {
+                name: "samples",
+                allowed: ">= 1",
+            },
+            incompatible("different seeds"),
+            SketchError::EmptySketch,
+            SketchError::Vector(VectorError::ZeroVector),
+            SketchError::Hash(HashError::ZeroParameter { name: "len" }),
+            corrupt("truncated"),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let ve: SketchError = VectorError::ZeroVector.into();
+        assert!(matches!(ve, SketchError::Vector(_)));
+        let he: SketchError = HashError::ZeroParameter { name: "x" }.into();
+        assert!(matches!(he, SketchError::Hash(_)));
+    }
+
+    #[test]
+    fn source_is_exposed_for_wrapped_errors() {
+        use std::error::Error;
+        let e = SketchError::Vector(VectorError::ZeroVector);
+        assert!(e.source().is_some());
+        assert!(SketchError::EmptySketch.source().is_none());
+    }
+}

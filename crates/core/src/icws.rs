@@ -1,0 +1,345 @@
+//! Ioffe's Improved Consistent Weighted Sampling (ICWS), adapted to inner-product
+//! estimation.
+//!
+//! The paper's related-work section notes that the Consistent Weighted Sampling family
+//! (Manasse et al.; Ioffe) is "essentially equivalent, but computationally cheaper to
+//! apply" than explicit expansion-based Weighted MinHash.  This module implements
+//! Ioffe's ICWS as an alternative weighted sampler and reuses the paper's
+//! inverse-probability estimator structure (Algorithm 5) on top of it, giving a second,
+//! independent implementation of weighted inner-product sketching that the extension
+//! experiment (A4 in `DESIGN.md`) compares against WMH.
+//!
+//! ICWS samples index `k` with probability proportional to its weight `S_k` (here
+//! `S_k = ã[k]²`, the squared entries of the normalized vector, matching WMH's sampling
+//! distribution), and two vectors produce the *same* sample — the pair `(k, t_k)` — with
+//! probability equal to their weighted Jaccard similarity.  Unlike Algorithm 3 no
+//! discretization parameter is needed: ICWS handles real-valued weights exactly.
+
+use crate::error::{incompatible, SketchError};
+use crate::traits::{Sketch, Sketcher};
+use ipsketch_hash::mix::mix3;
+use ipsketch_hash::rng::Xoshiro256PlusPlus;
+use ipsketch_vector::SparseVector;
+
+/// One ICWS sample: the selected index, the integer "consistency token" `t`, and the
+/// normalized vector entry at the selected index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcwsSample {
+    /// The selected index of the original vector.
+    pub index: u64,
+    /// Ioffe's quantized log-weight token; two sketches collide only if both the index
+    /// and the token agree.
+    pub token: i64,
+    /// The normalized vector entry `ã[index]` (signed).
+    pub value: f64,
+}
+
+/// The ICWS sketch: `m` samples plus the vector norm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcwsSketch {
+    pub(crate) seed: u64,
+    pub(crate) samples: Vec<IcwsSample>,
+    pub(crate) norm: f64,
+}
+
+impl IcwsSketch {
+    /// The retained samples.
+    #[must_use]
+    pub fn samples(&self) -> &[IcwsSample] {
+        &self.samples
+    }
+
+    /// The stored Euclidean norm of the sketched vector.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+}
+
+impl Sketch for IcwsSketch {
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        // Index (64 bits) + token (64 bits) + value (64 bits) per sample, plus the norm.
+        self.samples.len() as f64 * 3.0 + 1.0
+    }
+}
+
+/// The ICWS sketcher and estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcwsSketcher {
+    samples: usize,
+    seed: u64,
+}
+
+impl IcwsSketcher {
+    /// Creates an ICWS sketcher with `samples` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `samples == 0`.
+    pub fn new(samples: usize, seed: u64) -> Result<Self, SketchError> {
+        if samples == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "samples",
+                allowed: ">= 1",
+            });
+        }
+        Ok(Self { samples, seed })
+    }
+
+    /// The number of samples `m`.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-(sample, index) random variates `(r, c, β)` of Ioffe's construction,
+    /// derived deterministically so that all vectors share them.
+    fn variates(&self, sample: u64, index: u64) -> (f64, f64, f64) {
+        let mut rng = Xoshiro256PlusPlus::new(mix3(self.seed ^ 0x1C57_5EED, sample, index));
+        // Gamma(2, 1) variates as the sum of two unit exponentials.
+        let r = -rng.next_open_unit_f64().ln() - rng.next_open_unit_f64().ln();
+        let c = -rng.next_open_unit_f64().ln() - rng.next_open_unit_f64().ln();
+        let beta = rng.next_unit_f64();
+        (r, c, beta)
+    }
+}
+
+impl Sketcher for IcwsSketcher {
+    type Output = IcwsSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<IcwsSketch, SketchError> {
+        let norm = vector.norm();
+        if norm == 0.0 {
+            return Err(SketchError::Vector(
+                ipsketch_vector::VectorError::ZeroVector,
+            ));
+        }
+        let normalized = vector.scaled(1.0 / norm);
+        let mut samples = Vec::with_capacity(self.samples);
+        for i in 0..self.samples {
+            let mut best_score = f64::INFINITY;
+            let mut best = IcwsSample {
+                index: 0,
+                token: 0,
+                value: 0.0,
+            };
+            for (index, value) in normalized.iter() {
+                let weight = value * value;
+                let (r, c, beta) = self.variates(i as u64, index);
+                // Ioffe's ICWS: t = floor(ln S / r + β), y = exp(r (t − β)), score = c / (y e^r).
+                let t = (weight.ln() / r + beta).floor();
+                let y = (r * (t - beta)).exp();
+                let score = c / (y * r.exp());
+                if score < best_score {
+                    best_score = score;
+                    best = IcwsSample {
+                        index,
+                        token: t as i64,
+                        value,
+                    };
+                }
+            }
+            samples.push(best);
+        }
+        Ok(IcwsSketch {
+            seed: self.seed,
+            samples,
+            norm,
+        })
+    }
+
+    /// Estimates `⟨a, b⟩` using the Algorithm-5 estimator structure on top of ICWS
+    /// samples.
+    ///
+    /// Collisions (same index and token) occur with probability equal to the weighted
+    /// Jaccard similarity `J̄` of the squared normalized vectors; since both vectors are
+    /// unit-norm, the weighted union size is `2 / (1 + J̄)`, which is estimated from the
+    /// observed collision rate.
+    fn estimate_inner_product(&self, a: &IcwsSketch, b: &IcwsSketch) -> Result<f64, SketchError> {
+        for (label, sketch) in [("first", a), ("second", b)] {
+            if sketch.seed != self.seed || sketch.samples.len() != self.samples {
+                return Err(incompatible(format!(
+                    "{label} ICWS sketch does not match this sketcher's seed/sample count"
+                )));
+            }
+        }
+        let m = self.samples as f64;
+        let mut collisions = 0usize;
+        let mut collision_sum = 0.0;
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            if sa.index == sb.index && sa.token == sb.token {
+                collisions += 1;
+                let q = (sa.value * sa.value).min(sb.value * sb.value);
+                collision_sum += sa.value * sb.value / q;
+            }
+        }
+        let jaccard_estimate = collisions as f64 / m;
+        let weighted_union = 2.0 / (1.0 + jaccard_estimate);
+        Ok(a.norm * b.norm * weighted_union / m * collision_sum)
+    }
+
+    fn name(&self) -> &'static str {
+        "ICWS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::{inner_product, weighted_jaccard};
+
+    #[test]
+    fn constructor_validates() {
+        assert!(IcwsSketcher::new(0, 1).is_err());
+        let s = IcwsSketcher::new(64, 2).unwrap();
+        assert_eq!(s.samples(), 64);
+        assert_eq!(s.seed(), 2);
+        assert_eq!(s.name(), "ICWS");
+    }
+
+    #[test]
+    fn sketch_shape_and_storage() {
+        let s = IcwsSketcher::new(32, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (7, -3.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(sk.len(), 32);
+        assert_eq!(sk.samples().len(), 32);
+        assert!((sk.norm() - v.norm()).abs() < 1e-12);
+        assert!((sk.storage_doubles() - 97.0).abs() < 1e-12);
+        // Every sampled index must belong to the support.
+        assert!(sk.samples().iter().all(|s| v.contains(s.index)));
+    }
+
+    #[test]
+    fn rejects_empty_vector() {
+        let s = IcwsSketcher::new(8, 1).unwrap();
+        assert!(s.sketch(&SparseVector::new()).is_err());
+    }
+
+    #[test]
+    fn deterministic_and_scale_invariant_samples() {
+        let v = SparseVector::from_pairs([(1, 1.0), (4, 2.0), (9, -1.5)]).unwrap();
+        let s = IcwsSketcher::new(64, 3).unwrap();
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v).unwrap();
+        assert_eq!(a, b);
+        // Scaling changes only the norm: the normalized weights are identical, so the
+        // selected (index, token) pairs are identical too.
+        let c = s.sketch(&v.scaled(5.0)).unwrap();
+        for (x, y) in a.samples().iter().zip(c.samples()) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.token, y.token);
+        }
+        assert!((c.norm() - 5.0 * a.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_follow_squared_weight_distribution() {
+        // Index 0 carries 90% of the squared mass; it should be selected ~90% of the
+        // time.
+        let v = SparseVector::from_pairs([(0, 3.0), (1, 1.0)]).unwrap();
+        let s = IcwsSketcher::new(4000, 17).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        let heavy = sk.samples().iter().filter(|s| s.index == 0).count() as f64 / 4000.0;
+        assert!((heavy - 0.9).abs() < 0.03, "heavy fraction {heavy}");
+    }
+
+    #[test]
+    fn collision_rate_matches_weighted_jaccard() {
+        let a = SparseVector::from_pairs((0..40u64).map(|i| (i, 1.0 + (i % 3) as f64))).unwrap();
+        let b = SparseVector::from_pairs((20..60u64).map(|i| (i, 2.0 - (i % 2) as f64))).unwrap();
+        let expected = weighted_jaccard(&a.normalized().unwrap(), &b.normalized().unwrap());
+        let s = IcwsSketcher::new(4000, 23).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let rate = sa
+            .samples()
+            .iter()
+            .zip(sb.samples())
+            .filter(|(x, y)| x.index == y.index && x.token == y.token)
+            .count() as f64
+            / 4000.0;
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "collision rate {rate}, weighted Jaccard {expected}"
+        );
+    }
+
+    #[test]
+    fn estimates_inner_products() {
+        let a = SparseVector::from_pairs((0..200u64).map(|i| (i, 1.0 + (i % 5) as f64))).unwrap();
+        let b = SparseVector::from_pairs((100..300u64).map(|i| (i, 0.5 + (i % 4) as f64)))
+            .unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let trials = 25;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = IcwsSketcher::new(400, seed).unwrap();
+            let sa = s.sketch(&a).unwrap();
+            let sb = s.sketch(&b).unwrap();
+            total += s.estimate_inner_product(&sa, &sb).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.05 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+
+    #[test]
+    fn disjoint_supports_estimate_zero() {
+        let s = IcwsSketcher::new(128, 5).unwrap();
+        let a = s.sketch(&SparseVector::indicator(0..50u64)).unwrap();
+        let b = s.sketch(&SparseVector::indicator(100..150u64)).unwrap();
+        assert_eq!(s.estimate_inner_product(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn handles_heavy_outlier_entries() {
+        let mut pairs_a: Vec<(u64, f64)> = (0..200u64).map(|i| (i, 0.2)).collect();
+        let mut pairs_b: Vec<(u64, f64)> = (100..300u64).map(|i| (i, 0.2)).collect();
+        pairs_a.push((500, 25.0));
+        pairs_b.push((500, 30.0));
+        let a = SparseVector::from_pairs(pairs_a).unwrap();
+        let b = SparseVector::from_pairs(pairs_b).unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let trials = 15;
+        let mut total_err = 0.0;
+        for seed in 0..trials {
+            let s = IcwsSketcher::new(256, seed).unwrap();
+            let sa = s.sketch(&a).unwrap();
+            let sb = s.sketch(&b).unwrap();
+            total_err += (s.estimate_inner_product(&sa, &sb).unwrap() - exact).abs();
+        }
+        let mean_err = total_err / f64::from(trials as u32) / scale;
+        assert!(mean_err < 0.1, "mean scaled error {mean_err}");
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let s1 = IcwsSketcher::new(16, 1).unwrap();
+        let s2 = IcwsSketcher::new(16, 2).unwrap();
+        let s3 = IcwsSketcher::new(8, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let a = s1.sketch(&v).unwrap();
+        assert!(s1
+            .estimate_inner_product(&a, &s2.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1
+            .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+}

@@ -1,0 +1,248 @@
+//! Johnson–Lindenstrauss / AMS random projection sketching (Fact 1 of the paper).
+//!
+//! The sketch of a vector `a` is `Πa` where `Π ∈ R^{m×n}` has i.i.d. `±1/√m` entries;
+//! the inner product of two sketches is an unbiased estimate of `⟨a, b⟩` with standard
+//! deviation roughly `‖a‖‖b‖/√m`.  The matrix is never materialized: entry `Π[r, j]`
+//! is produced on demand by a seeded sign hash, so sketching costs `O(nnz · m)` time and
+//! the sketcher itself is a few bytes.
+
+use crate::error::{incompatible, SketchError};
+use crate::storage::linear_sketch_doubles;
+use crate::traits::{Sketch, Sketcher};
+use ipsketch_hash::sign::SignHasher;
+use ipsketch_vector::SparseVector;
+
+/// The dense random-projection sketch `Πa` (a length-`m` real vector).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JlSketch {
+    pub(crate) seed: u64,
+    pub(crate) rows: Vec<f64>,
+}
+
+impl JlSketch {
+    /// The projected coordinates (`Πa`).
+    #[must_use]
+    pub fn rows(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// The seed the sketch was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Sketch for JlSketch {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        linear_sketch_doubles(self.rows.len())
+    }
+}
+
+/// The Johnson–Lindenstrauss (equivalently AMS "tug-of-war") sketcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JlSketcher {
+    rows: usize,
+    seed: u64,
+}
+
+impl JlSketcher {
+    /// Creates a JL sketcher with `rows` output dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `rows == 0`.
+    pub fn new(rows: usize, seed: u64) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "rows",
+                allowed: ">= 1",
+            });
+        }
+        Ok(Self { rows, seed })
+    }
+
+    /// The number of projection rows `m`.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Sketcher for JlSketcher {
+    type Output = JlSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<JlSketch, SketchError> {
+        let signs = SignHasher::from_seed(self.seed);
+        let scale = 1.0 / (self.rows as f64).sqrt();
+        let mut rows = vec![0.0; self.rows];
+        for (index, value) in vector.iter() {
+            for (r, row) in rows.iter_mut().enumerate() {
+                *row += signs.sign(r as u64, index) * value;
+            }
+        }
+        for row in &mut rows {
+            *row *= scale;
+        }
+        Ok(JlSketch {
+            seed: self.seed,
+            rows,
+        })
+    }
+
+    fn estimate_inner_product(&self, a: &JlSketch, b: &JlSketch) -> Result<f64, SketchError> {
+        if a.seed != self.seed || b.seed != self.seed {
+            return Err(incompatible("JL sketches were built with a different seed"));
+        }
+        if a.rows.len() != self.rows || b.rows.len() != self.rows {
+            return Err(incompatible(format!(
+                "JL sketches have {} / {} rows, expected {}",
+                a.rows.len(),
+                b.rows.len(),
+                self.rows
+            )));
+        }
+        Ok(a.rows.iter().zip(&b.rows).map(|(x, y)| x * y).sum())
+    }
+
+    fn name(&self) -> &'static str {
+        "JL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::inner_product;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(JlSketcher::new(0, 1).is_err());
+        let s = JlSketcher::new(64, 9).unwrap();
+        assert_eq!(s.rows(), 64);
+        assert_eq!(s.seed(), 9);
+        assert_eq!(s.name(), "JL");
+    }
+
+    #[test]
+    fn sketch_shape_and_storage() {
+        let s = JlSketcher::new(50, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (10, -2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(sk.len(), 50);
+        assert_eq!(sk.rows().len(), 50);
+        assert_eq!(sk.seed(), 1);
+        assert!((sk.storage_doubles() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector_sketches_to_zero() {
+        let s = JlSketcher::new(8, 1).unwrap();
+        let sk = s.sketch(&SparseVector::new()).unwrap();
+        assert!(sk.rows().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn sketching_is_linear() {
+        // S(a + b) = S(a) + S(b) and S(c·a) = c·S(a): the defining property of a linear
+        // sketch.
+        let s = JlSketcher::new(32, 7).unwrap();
+        let a = SparseVector::from_pairs([(0, 1.0), (5, 2.0), (9, -1.0)]).unwrap();
+        let b = SparseVector::from_pairs([(5, 3.0), (7, 4.0)]).unwrap();
+        let sum = SparseVector::from_pairs(a.iter().chain(b.iter())).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let ssum = s.sketch(&sum).unwrap();
+        for i in 0..32 {
+            assert!((sa.rows()[i] + sb.rows()[i] - ssum.rows()[i]).abs() < 1e-9);
+        }
+        let scaled = s.sketch(&a.scaled(2.5)).unwrap();
+        for i in 0..32 {
+            assert!((2.5 * sa.rows()[i] - scaled.rows()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm_is_preserved_in_expectation() {
+        // E[‖Πa‖²] = ‖a‖².
+        let a = SparseVector::from_pairs((0..100u64).map(|i| (i, 1.0 + (i % 3) as f64))).unwrap();
+        let exact = a.norm_squared();
+        let trials = 40;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = JlSketcher::new(64, seed).unwrap();
+            let sk = s.sketch(&a).unwrap();
+            total += sk.rows().iter().map(|x| x * x).sum::<f64>();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.1 * exact,
+            "mean {mean}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimates_inner_product_unbiasedly() {
+        let a = SparseVector::from_pairs((0..300u64).map(|i| (i, ((i % 5) as f64) - 2.0))).unwrap();
+        let b = SparseVector::from_pairs((150..450u64).map(|i| (i, ((i % 3) as f64) - 1.0)))
+            .unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let trials = 50;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = JlSketcher::new(256, seed).unwrap();
+            let sa = s.sketch(&a).unwrap();
+            let sb = s.sketch(&b).unwrap();
+            total += s.estimate_inner_product(&sa, &sb).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.03 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+
+    #[test]
+    fn error_scales_with_norm_product() {
+        // The Fact-1 guarantee: |est − exact| ≲ ‖a‖‖b‖/√m for a single trial (we allow a
+        // generous constant).
+        let a = SparseVector::from_pairs((0..500u64).map(|i| (i, 1.0))).unwrap();
+        let b = SparseVector::from_pairs((490..990u64).map(|i| (i, 1.0))).unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let m = 400;
+        let s = JlSketcher::new(m, 33).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let err = (s.estimate_inner_product(&sa, &sb).unwrap() - exact).abs();
+        assert!(
+            err < 6.0 * scale / (m as f64).sqrt(),
+            "error {err} too large relative to {scale}/sqrt({m})"
+        );
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let s1 = JlSketcher::new(16, 1).unwrap();
+        let s2 = JlSketcher::new(16, 2).unwrap();
+        let s3 = JlSketcher::new(8, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0)]).unwrap();
+        let a = s1.sketch(&v).unwrap();
+        let b = s2.sketch(&v).unwrap();
+        let c = s3.sketch(&v).unwrap();
+        assert!(s1.estimate_inner_product(&a, &b).is_err());
+        assert!(s1.estimate_inner_product(&a, &c).is_err());
+        assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+}

@@ -1,0 +1,338 @@
+//! k-minimum-values (KMV) sampling sketches.
+//!
+//! KMV sketches (Beyer et al.) hash every non-zero index with a *single* hash function
+//! and keep the `k` smallest hash values, storing alongside each the vector's value at
+//! that index — a sample of the support drawn without replacement.  Two KMV sketches
+//! can be combined to estimate the support-union size (via the k-th order statistic)
+//! and, as in the correlation-sketch line of work (Santos et al.) cited by the paper, to
+//! estimate inner products: the matching hash values among the `k` smallest of the
+//! union form a uniform sample of the support intersection.
+
+use crate::error::{incompatible, SketchError};
+use crate::storage::sampling_sketch_doubles;
+use crate::traits::{Sketch, Sketcher};
+use crate::union::union_size_from_kth_minimum;
+use ipsketch_hash::unit::{UnitHasher, Wegman61UnitHasher};
+use ipsketch_vector::{SparseVector, VectorError};
+
+/// One retained sample of a KMV sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmvEntry {
+    /// The hash value of the index (in `[0, 1)`), used for ordering and matching.
+    pub hash: f64,
+    /// The vector's value at that index.
+    pub value: f64,
+}
+
+/// The KMV sketch: the `k` smallest hash values over the support, each with its vector
+/// value, sorted by hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmvSketch {
+    pub(crate) seed: u64,
+    pub(crate) capacity: usize,
+    pub(crate) entries: Vec<KmvEntry>,
+}
+
+impl KmvSketch {
+    /// The retained entries, sorted by hash value.
+    #[must_use]
+    pub fn entries(&self) -> &[KmvEntry] {
+        &self.entries
+    }
+
+    /// The sketch capacity `k`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Sketch for KmvSketch {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        sampling_sketch_doubles(self.entries.len(), 0)
+    }
+}
+
+/// The KMV sketcher and its inner-product estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmvSketcher {
+    capacity: usize,
+    seed: u64,
+}
+
+impl KmvSketcher {
+    /// Creates a KMV sketcher retaining the `capacity` smallest hash values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `capacity < 2` (the union estimator
+    /// needs at least two order statistics).
+    pub fn new(capacity: usize, seed: u64) -> Result<Self, SketchError> {
+        if capacity < 2 {
+            return Err(SketchError::InvalidParameter {
+                name: "capacity",
+                allowed: ">= 2",
+            });
+        }
+        Ok(Self { capacity, seed })
+    }
+
+    /// The sketch capacity `k`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Sketcher for KmvSketcher {
+    type Output = KmvSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<KmvSketch, SketchError> {
+        if vector.is_empty() {
+            return Err(SketchError::Vector(VectorError::ZeroVector));
+        }
+        let hasher = Wegman61UnitHasher::from_seed(self.seed ^ 0x6B_6D76);
+        let mut entries: Vec<KmvEntry> = vector
+            .iter()
+            .map(|(index, value)| KmvEntry {
+                hash: hasher.hash_unit(index),
+                value,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.hash.partial_cmp(&b.hash).expect("hashes are finite"));
+        entries.truncate(self.capacity);
+        Ok(KmvSketch {
+            seed: self.seed,
+            capacity: self.capacity,
+            entries,
+        })
+    }
+
+    /// Estimates `⟨a, b⟩` from two KMV sketches.
+    ///
+    /// The `K ≤ k` smallest hash values of the union of the two sketches form a uniform
+    /// without-replacement sample of the support union; matches (hash values present in
+    /// both sketches) are a uniform sample of the intersection.  The estimator rescales
+    /// the sum of matched value products by `Û / K` where `Û = (K − 1)/τ` is the KMV
+    /// union-size estimate.
+    fn estimate_inner_product(&self, a: &KmvSketch, b: &KmvSketch) -> Result<f64, SketchError> {
+        for (label, sketch) in [("first", a), ("second", b)] {
+            if sketch.seed != self.seed || sketch.capacity != self.capacity {
+                return Err(incompatible(format!(
+                    "{label} KMV sketch does not match this sketcher's seed/capacity"
+                )));
+            }
+            if sketch.entries.is_empty() {
+                return Err(SketchError::EmptySketch);
+            }
+        }
+
+        // Merge the two sorted hash lists to find the K-th smallest distinct hash of the
+        // union and the matches below it.
+        let k = self.capacity;
+        let mut ia = 0;
+        let mut ib = 0;
+        let mut distinct = 0usize;
+        let mut tau = 0.0f64;
+        let mut match_sum = 0.0;
+        while (ia < a.entries.len() || ib < b.entries.len()) && distinct < k {
+            let ha = a.entries.get(ia).map(|e| e.hash);
+            let hb = b.entries.get(ib).map(|e| e.hash);
+            match (ha, hb) {
+                (Some(x), Some(y)) if x == y => {
+                    match_sum += a.entries[ia].value * b.entries[ib].value;
+                    tau = x;
+                    distinct += 1;
+                    ia += 1;
+                    ib += 1;
+                }
+                (Some(x), Some(y)) if x < y => {
+                    tau = x;
+                    distinct += 1;
+                    ia += 1;
+                }
+                (Some(_), Some(y)) => {
+                    tau = y;
+                    distinct += 1;
+                    ib += 1;
+                }
+                (Some(x), None) => {
+                    tau = x;
+                    distinct += 1;
+                    ia += 1;
+                }
+                (None, Some(y)) => {
+                    tau = y;
+                    distinct += 1;
+                    ib += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        if distinct == 0 {
+            return Err(SketchError::EmptySketch);
+        }
+        if distinct == 1 {
+            // A single retained hash cannot support the (K−1)/τ estimator; treat the
+            // union as a single element.
+            return Ok(match_sum);
+        }
+        let union_estimate = union_size_from_kth_minimum(distinct, tau)?;
+        Ok(union_estimate / distinct as f64 * match_sum)
+    }
+
+    fn name(&self) -> &'static str {
+        "KMV"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::inner_product;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(KmvSketcher::new(0, 1).is_err());
+        assert!(KmvSketcher::new(1, 1).is_err());
+        let s = KmvSketcher::new(64, 5).unwrap();
+        assert_eq!(s.capacity(), 64);
+        assert_eq!(s.seed(), 5);
+        assert_eq!(s.name(), "KMV");
+    }
+
+    #[test]
+    fn sketch_keeps_k_smallest_sorted() {
+        let s = KmvSketcher::new(10, 1).unwrap();
+        let v = SparseVector::from_pairs((0..100u64).map(|i| (i, i as f64 + 1.0))).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(sk.len(), 10);
+        assert_eq!(sk.capacity(), 10);
+        assert!(sk.entries().windows(2).all(|w| w[0].hash <= w[1].hash));
+        assert!((sk.storage_doubles() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_vectors_keep_everything() {
+        let s = KmvSketcher::new(50, 1).unwrap();
+        let v = SparseVector::from_pairs([(3, 1.0), (9, 2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(sk.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_vector() {
+        let s = KmvSketcher::new(8, 1).unwrap();
+        assert!(s.sketch(&SparseVector::new()).is_err());
+    }
+
+    #[test]
+    fn sketch_is_deterministic_and_value_preserving() {
+        let s = KmvSketcher::new(16, 11).unwrap();
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i, (i as f64) - 20.0))).unwrap();
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v).unwrap();
+        assert_eq!(a, b);
+        // Every stored value must be an actual value of the vector.
+        for e in a.entries() {
+            assert!(v.values().contains(&e.value));
+        }
+    }
+
+    #[test]
+    fn estimates_intersection_of_binary_vectors() {
+        let a_vec = SparseVector::indicator(0..1000u64);
+        let b_vec = SparseVector::indicator(700..1700u64);
+        let exact = inner_product(&a_vec, &b_vec); // 300
+        let trials = 25;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = KmvSketcher::new(256, seed).unwrap();
+            let a = s.sketch(&a_vec).unwrap();
+            let b = s.sketch(&b_vec).unwrap();
+            total += s.estimate_inner_product(&a, &b).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.15 * exact,
+            "mean {mean}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn disjoint_vectors_estimate_zero() {
+        let s = KmvSketcher::new(64, 3).unwrap();
+        let a = s.sketch(&SparseVector::indicator(0..100u64)).unwrap();
+        let b = s.sketch(&SparseVector::indicator(500..600u64)).unwrap();
+        assert_eq!(s.estimate_inner_product(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn identical_vectors_recover_norm_squared_approximately() {
+        let v = SparseVector::from_pairs((0..500u64).map(|i| (i, 1.0))).unwrap();
+        let exact = v.norm_squared();
+        let mut total = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let s = KmvSketcher::new(128, seed).unwrap();
+            let sk = s.sketch(&v).unwrap();
+            total += s.estimate_inner_product(&sk, &sk).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.12 * exact,
+            "mean {mean}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let s1 = KmvSketcher::new(16, 1).unwrap();
+        let s2 = KmvSketcher::new(16, 2).unwrap();
+        let s3 = KmvSketcher::new(32, 1).unwrap();
+        let v = SparseVector::indicator(0..10u64);
+        let a = s1.sketch(&v).unwrap();
+        assert!(s1
+            .estimate_inner_product(&a, &s2.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1
+            .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn weighted_vectors_are_estimated() {
+        let a_vec =
+            SparseVector::from_pairs((0..400u64).map(|i| (i, ((i % 9) as f64) / 4.0 - 1.0)))
+                .unwrap();
+        let b_vec =
+            SparseVector::from_pairs((200..600u64).map(|i| (i, ((i % 7) as f64) / 3.0 - 1.0)))
+                .unwrap();
+        let exact = inner_product(&a_vec, &b_vec);
+        let scale = a_vec.norm() * b_vec.norm();
+        let trials = 25;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = KmvSketcher::new(256, seed).unwrap();
+            let a = s.sketch(&a_vec).unwrap();
+            let b = s.sketch(&b_vec).unwrap();
+            total += s.estimate_inner_product(&a, &b).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.08 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+}

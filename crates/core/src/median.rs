@@ -1,0 +1,228 @@
+//! The median-trick combiner.
+//!
+//! Theorems 2 and 4 obtain failure probability `δ` by concatenating
+//! `t = O(log(1/δ))` independent sketches and returning the *median* of the `t`
+//! individual estimates: each estimate is within the error bound with probability 2/3,
+//! so by a Chernoff bound the median is within the bound with probability `1 − δ`.
+//! [`MedianCombiner`] wraps any [`Sketcher`] and applies exactly this construction.
+
+use crate::error::{incompatible, SketchError};
+use crate::traits::{Sketch, Sketcher};
+use ipsketch_hash::mix::mix2;
+use ipsketch_vector::SparseVector;
+
+/// A concatenation of `t` independent sketches of the same vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatedSketch<S> {
+    pub(crate) parts: Vec<S>,
+}
+
+impl<S> RepeatedSketch<S> {
+    /// The individual sketches.
+    #[must_use]
+    pub fn parts(&self) -> &[S] {
+        &self.parts
+    }
+}
+
+impl<S: Sketch> Sketch for RepeatedSketch<S> {
+    fn len(&self) -> usize {
+        self.parts.iter().map(Sketch::len).sum()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        self.parts.iter().map(Sketch::storage_doubles).sum()
+    }
+}
+
+/// Wraps a base sketcher constructor and repeats it `t` times with independent seeds,
+/// estimating by the median of the per-repetition estimates.
+#[derive(Debug, Clone)]
+pub struct MedianCombiner<S> {
+    repetitions: Vec<S>,
+}
+
+impl<S: Sketcher> MedianCombiner<S> {
+    /// Creates a median combiner with `repetitions` independent copies of the base
+    /// sketcher.  The `make` closure receives the repetition index and a derived seed
+    /// and must construct the corresponding base sketcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `repetitions == 0`, or any error
+    /// produced by `make`.
+    pub fn new<F>(repetitions: usize, seed: u64, mut make: F) -> Result<Self, SketchError>
+    where
+        F: FnMut(usize, u64) -> Result<S, SketchError>,
+    {
+        if repetitions == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "repetitions",
+                allowed: ">= 1",
+            });
+        }
+        let mut parts = Vec::with_capacity(repetitions);
+        for r in 0..repetitions {
+            parts.push(make(r, mix2(seed, r as u64))?);
+        }
+        Ok(Self { repetitions: parts })
+    }
+
+    /// The number of repetitions `t`.
+    #[must_use]
+    pub fn repetitions(&self) -> usize {
+        self.repetitions.len()
+    }
+
+    /// The number of repetitions required for failure probability `delta` given that a
+    /// single sketch succeeds with probability 2/3 (the paper's `O(log(1/δ))`, with the
+    /// standard explicit constant `⌈18 ln(1/δ)⌉`, rounded up to odd).
+    #[must_use]
+    pub fn repetitions_for_failure_probability(delta: f64) -> usize {
+        let delta = delta.clamp(1e-12, 0.5);
+        let t = (18.0 * (1.0 / delta).ln()).ceil() as usize;
+        if t % 2 == 0 {
+            t + 1
+        } else {
+            t
+        }
+    }
+}
+
+impl<S: Sketcher> Sketcher for MedianCombiner<S> {
+    type Output = RepeatedSketch<S::Output>;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<Self::Output, SketchError> {
+        let parts = self
+            .repetitions
+            .iter()
+            .map(|s| s.sketch(vector))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RepeatedSketch { parts })
+    }
+
+    fn estimate_inner_product(
+        &self,
+        a: &Self::Output,
+        b: &Self::Output,
+    ) -> Result<f64, SketchError> {
+        if a.parts.len() != self.repetitions.len() || b.parts.len() != self.repetitions.len() {
+            return Err(incompatible(format!(
+                "repeated sketches have {} / {} parts, expected {}",
+                a.parts.len(),
+                b.parts.len(),
+                self.repetitions.len()
+            )));
+        }
+        let mut estimates = Vec::with_capacity(self.repetitions.len());
+        for (sketcher, (pa, pb)) in self.repetitions.iter().zip(a.parts.iter().zip(&b.parts)) {
+            estimates.push(sketcher.estimate_inner_product(pa, pb)?);
+        }
+        estimates.sort_by(|x, y| x.partial_cmp(y).expect("estimates are finite"));
+        let n = estimates.len();
+        Ok(if n % 2 == 1 {
+            estimates[n / 2]
+        } else {
+            (estimates[n / 2 - 1] + estimates[n / 2]) / 2.0
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "median"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+    use crate::wmh::WeightedMinHasher;
+    use ipsketch_vector::inner_product;
+
+    #[test]
+    fn constructor_validates() {
+        let result: Result<MedianCombiner<MinHasher>, _> =
+            MedianCombiner::new(0, 1, |_, seed| MinHasher::new(8, seed));
+        assert!(result.is_err());
+        let combiner = MedianCombiner::new(5, 1, |_, seed| MinHasher::new(8, seed)).unwrap();
+        assert_eq!(combiner.repetitions(), 5);
+        assert_eq!(combiner.name(), "median");
+    }
+
+    #[test]
+    fn construction_errors_propagate() {
+        let result: Result<MedianCombiner<MinHasher>, _> =
+            MedianCombiner::new(3, 1, |_, _| MinHasher::new(0, 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn repetitions_for_failure_probability_is_odd_and_monotone() {
+        let t1 = MedianCombiner::<MinHasher>::repetitions_for_failure_probability(0.1);
+        let t2 = MedianCombiner::<MinHasher>::repetitions_for_failure_probability(0.01);
+        let t3 = MedianCombiner::<MinHasher>::repetitions_for_failure_probability(0.001);
+        assert!(t1 % 2 == 1 && t2 % 2 == 1 && t3 % 2 == 1);
+        assert!(t1 <= t2 && t2 <= t3);
+        assert!(t1 >= 1);
+    }
+
+    #[test]
+    fn repeated_sketch_storage_and_len_sum_parts() {
+        let combiner = MedianCombiner::new(3, 7, |_, seed| MinHasher::new(16, seed)).unwrap();
+        let v = SparseVector::indicator(0..20u64);
+        let sk = combiner.sketch(&v).unwrap();
+        assert_eq!(sk.parts().len(), 3);
+        assert_eq!(sk.len(), 48);
+        assert!((sk.storage_doubles() - 3.0 * 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_estimate_with_wmh_is_accurate() {
+        let a = SparseVector::from_pairs((0..150u64).map(|i| (i, 1.0 + (i % 4) as f64))).unwrap();
+        let b = SparseVector::from_pairs((75..225u64).map(|i| (i, 2.0 - (i % 3) as f64))).unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let combiner =
+            MedianCombiner::new(7, 99, |_, seed| WeightedMinHasher::new(128, seed, 1 << 20))
+                .unwrap();
+        let sa = combiner.sketch(&a).unwrap();
+        let sb = combiner.sketch(&b).unwrap();
+        let est = combiner.estimate_inner_product(&sa, &sb).unwrap();
+        assert!(
+            (est - exact).abs() < 0.25 * scale,
+            "median estimate {est}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn median_is_robust_to_outlier_repetition() {
+        // With an odd repetition count, the median ignores a single wildly-off
+        // repetition; verify the median lies between the per-repetition extremes.
+        let combiner = MedianCombiner::new(5, 3, |_, seed| MinHasher::new(64, seed)).unwrap();
+        let a = SparseVector::indicator(0..300u64);
+        let b = SparseVector::indicator(200..500u64);
+        let sa = combiner.sketch(&a).unwrap();
+        let sb = combiner.sketch(&b).unwrap();
+        let median = combiner.estimate_inner_product(&sa, &sb).unwrap();
+        let individual: Vec<f64> = combiner
+            .repetitions
+            .iter()
+            .zip(sa.parts().iter().zip(sb.parts()))
+            .map(|(s, (x, y))| s.estimate_inner_product(x, y).unwrap())
+            .collect();
+        let min = individual.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = individual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(median >= min && median <= max);
+    }
+
+    #[test]
+    fn mismatched_part_counts_rejected() {
+        let c3 = MedianCombiner::new(3, 1, |_, seed| MinHasher::new(8, seed)).unwrap();
+        let c5 = MedianCombiner::new(5, 1, |_, seed| MinHasher::new(8, seed)).unwrap();
+        let v = SparseVector::indicator(0..10u64);
+        let a3 = c3.sketch(&v).unwrap();
+        let a5 = c5.sketch(&v).unwrap();
+        assert!(c3.estimate_inner_product(&a3, &a5).is_err());
+        assert!(c3.estimate_inner_product(&a3, &a3).is_ok());
+    }
+}

@@ -1,0 +1,395 @@
+//! Dynamic, budget-driven front end over all sketching methods.
+//!
+//! The experiment harness and the examples compare several methods at equal *storage
+//! budgets* (the paper's Section 5 protocol).  [`SketchMethod`] enumerates the
+//! methods, [`AnySketcher`] wraps each concrete sketcher behind one type, and
+//! [`AnySketcher::for_budget`] performs the budget → parameter conversion using the
+//! accounting rules in [`crate::storage`].
+
+use crate::countsketch::{CountSketch, CountSketcher};
+use crate::error::{incompatible, SketchError};
+use crate::icws::{IcwsSketch, IcwsSketcher};
+use crate::jl::{JlSketch, JlSketcher};
+use crate::kmv::{KmvSketch, KmvSketcher};
+use crate::minhash::{MinHashSketch, MinHasher};
+use crate::simhash::{SimHashSketch, SimHashSketcher};
+use crate::storage;
+use crate::traits::{Sketch, Sketcher};
+use crate::wmh::{WeightedMinHashSketch, WeightedMinHasher};
+use ipsketch_vector::SparseVector;
+
+/// The default discretization parameter `L` used when building WMH sketchers through
+/// this front end (2²⁴ ≈ 16.7M, comfortably above the non-zero counts used anywhere in
+/// the experiments, per the paper's guidance that `L` should exceed `n` by 100–1000×).
+pub const DEFAULT_WMH_DISCRETIZATION: u64 = 1 << 24;
+
+/// An inner-product sketching method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SketchMethod {
+    /// Johnson–Lindenstrauss / AMS dense random projection.
+    Jl,
+    /// CountSketch with 5 repetitions and median estimation.
+    CountSketch,
+    /// Unweighted MinHash sampling (Algorithm 1).
+    MinHash,
+    /// k-minimum-values sampling.
+    Kmv,
+    /// Weighted MinHash sampling (Algorithm 3, the paper's method).
+    WeightedMinHash,
+    /// SimHash 1-bit random projections (extension).
+    SimHash,
+    /// Ioffe's consistent weighted sampling (extension).
+    Icws,
+}
+
+impl SketchMethod {
+    /// The five methods compared in the paper's experiments (Section 5), in the order
+    /// they appear in the plots.
+    #[must_use]
+    pub fn paper_baselines() -> [SketchMethod; 5] {
+        [
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+            SketchMethod::MinHash,
+            SketchMethod::Kmv,
+            SketchMethod::WeightedMinHash,
+        ]
+    }
+
+    /// All implemented methods, including the extensions.
+    #[must_use]
+    pub fn all() -> [SketchMethod; 7] {
+        [
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+            SketchMethod::MinHash,
+            SketchMethod::Kmv,
+            SketchMethod::WeightedMinHash,
+            SketchMethod::SimHash,
+            SketchMethod::Icws,
+        ]
+    }
+
+    /// The short label used in the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SketchMethod::Jl => "JL",
+            SketchMethod::CountSketch => "CS",
+            SketchMethod::MinHash => "MH",
+            SketchMethod::Kmv => "KMV",
+            SketchMethod::WeightedMinHash => "WMH",
+            SketchMethod::SimHash => "SimHash",
+            SketchMethod::Icws => "ICWS",
+        }
+    }
+
+    /// Parses a label produced by [`label`](Self::label) (case-insensitive).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<SketchMethod> {
+        match label.to_ascii_lowercase().as_str() {
+            "jl" => Some(SketchMethod::Jl),
+            "cs" | "countsketch" => Some(SketchMethod::CountSketch),
+            "mh" | "minhash" => Some(SketchMethod::MinHash),
+            "kmv" => Some(SketchMethod::Kmv),
+            "wmh" | "weightedminhash" => Some(SketchMethod::WeightedMinHash),
+            "simhash" => Some(SketchMethod::SimHash),
+            "icws" => Some(SketchMethod::Icws),
+            _ => None,
+        }
+    }
+}
+
+/// A sketch produced by [`AnySketcher`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnySketch {
+    /// A JL sketch.
+    Jl(JlSketch),
+    /// A CountSketch.
+    CountSketch(CountSketch),
+    /// A MinHash sketch.
+    MinHash(MinHashSketch),
+    /// A KMV sketch.
+    Kmv(KmvSketch),
+    /// A Weighted MinHash sketch.
+    WeightedMinHash(WeightedMinHashSketch),
+    /// A SimHash sketch.
+    SimHash(SimHashSketch),
+    /// An ICWS sketch.
+    Icws(IcwsSketch),
+}
+
+impl Sketch for AnySketch {
+    fn len(&self) -> usize {
+        match self {
+            AnySketch::Jl(s) => s.len(),
+            AnySketch::CountSketch(s) => s.len(),
+            AnySketch::MinHash(s) => s.len(),
+            AnySketch::Kmv(s) => s.len(),
+            AnySketch::WeightedMinHash(s) => s.len(),
+            AnySketch::SimHash(s) => s.len(),
+            AnySketch::Icws(s) => s.len(),
+        }
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        match self {
+            AnySketch::Jl(s) => s.storage_doubles(),
+            AnySketch::CountSketch(s) => s.storage_doubles(),
+            AnySketch::MinHash(s) => s.storage_doubles(),
+            AnySketch::Kmv(s) => s.storage_doubles(),
+            AnySketch::WeightedMinHash(s) => s.storage_doubles(),
+            AnySketch::SimHash(s) => s.storage_doubles(),
+            AnySketch::Icws(s) => s.storage_doubles(),
+        }
+    }
+}
+
+/// A runtime-selected sketcher.
+#[derive(Debug, Clone)]
+pub enum AnySketcher {
+    /// Johnson–Lindenstrauss.
+    Jl(JlSketcher),
+    /// CountSketch.
+    CountSketch(CountSketcher),
+    /// MinHash.
+    MinHash(MinHasher),
+    /// KMV.
+    Kmv(KmvSketcher),
+    /// Weighted MinHash.
+    WeightedMinHash(WeightedMinHasher),
+    /// SimHash.
+    SimHash(SimHashSketcher),
+    /// ICWS.
+    Icws(IcwsSketcher),
+}
+
+impl AnySketcher {
+    /// Builds a sketcher of the given method sized to (at most) `budget_doubles`
+    /// 64-bit-double equivalents of storage, using the paper's accounting rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] when the budget is too small to give
+    /// the method at least one sample/row/bucket.
+    pub fn for_budget(
+        method: SketchMethod,
+        budget_doubles: f64,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
+        Self::for_budget_with_discretization(method, budget_doubles, seed, DEFAULT_WMH_DISCRETIZATION)
+    }
+
+    /// Like [`for_budget`](Self::for_budget) but with an explicit WMH discretization
+    /// parameter `L` (ignored by the other methods).
+    pub fn for_budget_with_discretization(
+        method: SketchMethod,
+        budget_doubles: f64,
+        seed: u64,
+        discretization: u64,
+    ) -> Result<Self, SketchError> {
+        Ok(match method {
+            SketchMethod::Jl => {
+                AnySketcher::Jl(JlSketcher::new(storage::jl_rows_for_budget(budget_doubles), seed)?)
+            }
+            SketchMethod::CountSketch => AnySketcher::CountSketch(CountSketcher::new(
+                storage::countsketch_buckets_for_budget(budget_doubles),
+                seed,
+            )?),
+            SketchMethod::MinHash => AnySketcher::MinHash(MinHasher::new(
+                storage::sampling_samples_for_budget(budget_doubles),
+                seed,
+            )?),
+            SketchMethod::Kmv => AnySketcher::Kmv(KmvSketcher::new(
+                storage::sampling_samples_for_budget(budget_doubles),
+                seed,
+            )?),
+            SketchMethod::WeightedMinHash => AnySketcher::WeightedMinHash(WeightedMinHasher::new(
+                storage::wmh_samples_for_budget(budget_doubles),
+                seed,
+                discretization,
+            )?),
+            SketchMethod::SimHash => AnySketcher::SimHash(SimHashSketcher::new(
+                storage::simhash_bits_for_budget(budget_doubles),
+                seed,
+            )?),
+            SketchMethod::Icws => AnySketcher::Icws(IcwsSketcher::new(
+                storage::icws_samples_for_budget(budget_doubles),
+                seed,
+            )?),
+        })
+    }
+
+    /// The method of this sketcher.
+    #[must_use]
+    pub fn method(&self) -> SketchMethod {
+        match self {
+            AnySketcher::Jl(_) => SketchMethod::Jl,
+            AnySketcher::CountSketch(_) => SketchMethod::CountSketch,
+            AnySketcher::MinHash(_) => SketchMethod::MinHash,
+            AnySketcher::Kmv(_) => SketchMethod::Kmv,
+            AnySketcher::WeightedMinHash(_) => SketchMethod::WeightedMinHash,
+            AnySketcher::SimHash(_) => SketchMethod::SimHash,
+            AnySketcher::Icws(_) => SketchMethod::Icws,
+        }
+    }
+}
+
+impl Sketcher for AnySketcher {
+    type Output = AnySketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<AnySketch, SketchError> {
+        Ok(match self {
+            AnySketcher::Jl(s) => AnySketch::Jl(s.sketch(vector)?),
+            AnySketcher::CountSketch(s) => AnySketch::CountSketch(s.sketch(vector)?),
+            AnySketcher::MinHash(s) => AnySketch::MinHash(s.sketch(vector)?),
+            AnySketcher::Kmv(s) => AnySketch::Kmv(s.sketch(vector)?),
+            AnySketcher::WeightedMinHash(s) => AnySketch::WeightedMinHash(s.sketch(vector)?),
+            AnySketcher::SimHash(s) => AnySketch::SimHash(s.sketch(vector)?),
+            AnySketcher::Icws(s) => AnySketch::Icws(s.sketch(vector)?),
+        })
+    }
+
+    fn estimate_inner_product(&self, a: &AnySketch, b: &AnySketch) -> Result<f64, SketchError> {
+        match (self, a, b) {
+            (AnySketcher::Jl(s), AnySketch::Jl(x), AnySketch::Jl(y)) => {
+                s.estimate_inner_product(x, y)
+            }
+            (AnySketcher::CountSketch(s), AnySketch::CountSketch(x), AnySketch::CountSketch(y)) => {
+                s.estimate_inner_product(x, y)
+            }
+            (AnySketcher::MinHash(s), AnySketch::MinHash(x), AnySketch::MinHash(y)) => {
+                s.estimate_inner_product(x, y)
+            }
+            (AnySketcher::Kmv(s), AnySketch::Kmv(x), AnySketch::Kmv(y)) => {
+                s.estimate_inner_product(x, y)
+            }
+            (
+                AnySketcher::WeightedMinHash(s),
+                AnySketch::WeightedMinHash(x),
+                AnySketch::WeightedMinHash(y),
+            ) => s.estimate_inner_product(x, y),
+            (AnySketcher::SimHash(s), AnySketch::SimHash(x), AnySketch::SimHash(y)) => {
+                s.estimate_inner_product(x, y)
+            }
+            (AnySketcher::Icws(s), AnySketch::Icws(x), AnySketch::Icws(y)) => {
+                s.estimate_inner_product(x, y)
+            }
+            _ => Err(incompatible(
+                "sketch types do not match this sketcher's method",
+            )),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.method().label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::inner_product;
+
+    fn vectors() -> (SparseVector, SparseVector) {
+        let a = SparseVector::from_pairs((0..400u64).map(|i| (i, 1.0 + (i % 3) as f64))).unwrap();
+        let b = SparseVector::from_pairs((200..600u64).map(|i| (i, 2.0 - (i % 2) as f64))).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for method in SketchMethod::all() {
+            assert_eq!(SketchMethod::parse(method.label()), Some(method));
+        }
+        assert_eq!(SketchMethod::parse("unknown"), None);
+        assert_eq!(SketchMethod::parse("wmh"), Some(SketchMethod::WeightedMinHash));
+    }
+
+    #[test]
+    fn paper_baselines_is_subset_of_all() {
+        let all = SketchMethod::all();
+        for m in SketchMethod::paper_baselines() {
+            assert!(all.contains(&m));
+        }
+    }
+
+    #[test]
+    fn budget_construction_respects_storage() {
+        let (a, _) = vectors();
+        for method in SketchMethod::all() {
+            let sketcher = AnySketcher::for_budget(method, 400.0, 1).unwrap();
+            assert_eq!(sketcher.method(), method);
+            let sketch = sketcher.sketch(&a).unwrap();
+            assert!(
+                sketch.storage_doubles() <= 400.0 + 1e-9,
+                "{method:?} exceeded its budget: {}",
+                sketch.storage_doubles()
+            );
+            assert!(sketch.len() > 0);
+        }
+    }
+
+    #[test]
+    fn too_small_budget_is_rejected() {
+        assert!(AnySketcher::for_budget(SketchMethod::Jl, 0.0, 1).is_err());
+        assert!(AnySketcher::for_budget(SketchMethod::WeightedMinHash, 1.0, 1).is_err());
+        assert!(AnySketcher::for_budget(SketchMethod::Kmv, 2.0, 1).is_err());
+    }
+
+    #[test]
+    fn all_methods_estimate_reasonably_at_large_budget() {
+        let (a, b) = vectors();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        for method in SketchMethod::all() {
+            let mut total = 0.0;
+            let trials = 10;
+            for seed in 0..trials {
+                let sketcher = AnySketcher::for_budget(method, 800.0, seed).unwrap();
+                let sa = sketcher.sketch(&a).unwrap();
+                let sb = sketcher.sketch(&b).unwrap();
+                total += sketcher.estimate_inner_product(&sa, &sb).unwrap();
+            }
+            let mean = total / f64::from(trials as u32);
+            assert!(
+                (mean - exact).abs() < 0.2 * scale,
+                "{method:?}: mean {mean}, exact {exact}, scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_sketch_types_rejected() {
+        let (a, b) = vectors();
+        let jl = AnySketcher::for_budget(SketchMethod::Jl, 100.0, 1).unwrap();
+        let mh = AnySketcher::for_budget(SketchMethod::MinHash, 100.0, 1).unwrap();
+        let sa = jl.sketch(&a).unwrap();
+        let sb = mh.sketch(&b).unwrap();
+        assert!(matches!(
+            jl.estimate_inner_product(&sa, &sb),
+            Err(SketchError::IncompatibleSketches { .. })
+        ));
+    }
+
+    #[test]
+    fn name_matches_method_label() {
+        let s = AnySketcher::for_budget(SketchMethod::WeightedMinHash, 100.0, 1).unwrap();
+        assert_eq!(s.name(), "WMH");
+    }
+
+    #[test]
+    fn explicit_discretization_is_used() {
+        let s = AnySketcher::for_budget_with_discretization(
+            SketchMethod::WeightedMinHash,
+            100.0,
+            1,
+            1 << 10,
+        )
+        .unwrap();
+        match s {
+            AnySketcher::WeightedMinHash(w) => assert_eq!(w.discretization(), 1 << 10),
+            _ => panic!("expected a WMH sketcher"),
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Unweighted MinHash sketching (Algorithms 1 and 2 of the paper).
+//!
+//! For each of `m` independent hash functions `h_i : indices → [0, 1)`, the sketch of a
+//! vector `a` stores the minimum hash value over the non-zero indices of `a` together
+//! with the value of `a` at the minimizing index.  Matching hash values across two
+//! sketches identify a uniform sample from the intersection of the supports, which —
+//! rescaled by the Lemma-1 union-size estimate — yields an unbiased estimate of
+//! `⟨a, b⟩` (Theorem 4).  The guarantee requires the entries of the vectors to be
+//! uniformly bounded; the Weighted MinHash sketch of [`crate::wmh`] removes that
+//! assumption.
+
+use crate::error::{incompatible, SketchError};
+use crate::storage::sampling_sketch_doubles;
+use crate::traits::{Sketch, Sketcher};
+use crate::union::union_size_from_minima;
+use ipsketch_hash::family::{HashFamily, HashFamilyKind, UnitHashFamily};
+use ipsketch_hash::unit::UnitHasher;
+use ipsketch_vector::{SparseVector, VectorError};
+
+/// Configuration fingerprint stored inside every sketch so estimators can verify that
+/// two sketches are comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MinHashParams {
+    pub samples: usize,
+    pub seed: u64,
+    pub hash_kind: HashFamilyKind,
+}
+
+/// The unweighted MinHash sketch (Algorithm 1): per-sample minimum hash values and the
+/// vector values at the minimizing indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinHashSketch {
+    pub(crate) params: MinHashParams,
+    /// `H_a^hash`: the minimum hash value for each of the `m` hash functions.
+    pub(crate) hashes: Vec<f64>,
+    /// `H_a^val`: the vector value at the minimizing index for each hash function.
+    pub(crate) values: Vec<f64>,
+}
+
+impl MinHashSketch {
+    /// The per-sample minimum hash values (`H^hash`).
+    #[must_use]
+    pub fn hashes(&self) -> &[f64] {
+        &self.hashes
+    }
+
+    /// The per-sample values at the minimizing indices (`H^val`).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The seed the sketch was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.params.seed
+    }
+}
+
+impl Sketch for MinHashSketch {
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        // One 32-bit hash + one 64-bit value per sample.
+        sampling_sketch_doubles(self.hashes.len(), 0)
+    }
+}
+
+/// The unweighted MinHash sketcher (Algorithm 1) and estimator (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    params: MinHashParams,
+    family: UnitHashFamily,
+}
+
+impl MinHasher {
+    /// Creates a MinHash sketcher producing `samples` samples from `seed`, using the
+    /// default hash family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `samples == 0`.
+    pub fn new(samples: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_hash_kind(samples, seed, HashFamilyKind::default())
+    }
+
+    /// Creates a MinHash sketcher with an explicit hash family (used by the hash-family
+    /// ablation experiment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `samples == 0`.
+    pub fn with_hash_kind(
+        samples: usize,
+        seed: u64,
+        hash_kind: HashFamilyKind,
+    ) -> Result<Self, SketchError> {
+        if samples == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "samples",
+                allowed: ">= 1",
+            });
+        }
+        let family = UnitHashFamily::new(seed, samples, hash_kind)?;
+        Ok(Self {
+            params: MinHashParams {
+                samples,
+                seed,
+                hash_kind,
+            },
+            family,
+        })
+    }
+
+    /// The number of samples `m`.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.params.samples
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.params.seed
+    }
+}
+
+impl Sketcher for MinHasher {
+    type Output = MinHashSketch;
+
+    /// Algorithm 1: for each hash function, record the minimum hash over the support and
+    /// the vector value at the minimizing index.
+    fn sketch(&self, vector: &SparseVector) -> Result<MinHashSketch, SketchError> {
+        if vector.is_empty() {
+            return Err(SketchError::Vector(VectorError::ZeroVector));
+        }
+        let m = self.params.samples;
+        let mut hashes = Vec::with_capacity(m);
+        let mut values = Vec::with_capacity(m);
+        for i in 0..m {
+            let hasher = self.family.member(i);
+            let mut best_hash = f64::INFINITY;
+            let mut best_value = 0.0;
+            for (index, value) in vector.iter() {
+                let h = hasher.hash_unit(index);
+                if h < best_hash {
+                    best_hash = h;
+                    best_value = value;
+                }
+            }
+            hashes.push(best_hash);
+            values.push(best_value);
+        }
+        Ok(MinHashSketch {
+            params: self.params,
+            hashes,
+            values,
+        })
+    }
+
+    /// Algorithm 2: estimate the union size from the pairwise minima, then rescale the
+    /// collision sum.
+    fn estimate_inner_product(
+        &self,
+        a: &MinHashSketch,
+        b: &MinHashSketch,
+    ) -> Result<f64, SketchError> {
+        check_compatible(&self.params, a, b)?;
+        let m = a.hashes.len();
+        let minima: Vec<f64> = a
+            .hashes
+            .iter()
+            .zip(&b.hashes)
+            .map(|(&x, &y)| x.min(y))
+            .collect();
+        let union_estimate = union_size_from_minima(&minima)?;
+        let mut collision_sum = 0.0;
+        for i in 0..m {
+            if a.hashes[i] == b.hashes[i] {
+                collision_sum += a.values[i] * b.values[i];
+            }
+        }
+        Ok(union_estimate / m as f64 * collision_sum)
+    }
+
+    fn name(&self) -> &'static str {
+        "MH"
+    }
+}
+
+/// Validates that two MinHash sketches were produced by this sketcher's configuration.
+pub(crate) fn check_compatible(
+    params: &MinHashParams,
+    a: &MinHashSketch,
+    b: &MinHashSketch,
+) -> Result<(), SketchError> {
+    for (label, sketch) in [("first", a), ("second", b)] {
+        if sketch.params != *params {
+            return Err(incompatible(format!(
+                "{label} sketch was built with different parameters ({:?} vs {:?})",
+                sketch.params, params
+            )));
+        }
+        if sketch.hashes.len() != params.samples || sketch.values.len() != params.samples {
+            return Err(incompatible(format!(
+                "{label} sketch has {} samples, expected {}",
+                sketch.hashes.len(),
+                params.samples
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::inner_product;
+
+    fn binary_vector(indices: std::ops::Range<u64>) -> SparseVector {
+        SparseVector::indicator(indices)
+    }
+
+    #[test]
+    fn construction_validates_samples() {
+        assert!(MinHasher::new(0, 1).is_err());
+        let s = MinHasher::new(16, 1).unwrap();
+        assert_eq!(s.samples(), 16);
+        assert_eq!(s.seed(), 1);
+        assert_eq!(s.name(), "MH");
+    }
+
+    #[test]
+    fn sketch_rejects_empty_vector() {
+        let s = MinHasher::new(8, 1).unwrap();
+        assert!(s.sketch(&SparseVector::new()).is_err());
+    }
+
+    #[test]
+    fn sketch_shape_and_storage() {
+        let s = MinHasher::new(32, 1).unwrap();
+        let sk = s.sketch(&binary_vector(0..100)).unwrap();
+        assert_eq!(sk.len(), 32);
+        assert_eq!(sk.hashes().len(), 32);
+        assert_eq!(sk.values().len(), 32);
+        assert!(!sk.is_empty());
+        assert!((sk.storage_doubles() - 48.0).abs() < 1e-12);
+        assert_eq!(sk.seed(), 1);
+        assert!(sk.hashes().iter().all(|&h| (0.0..1.0).contains(&h)));
+        // For a binary vector, all sampled values are 1.
+        assert!(sk.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let s = MinHasher::new(16, 99).unwrap();
+        let v = binary_vector(0..50);
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_vectors_collide_on_every_sample() {
+        let s = MinHasher::new(64, 3).unwrap();
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i * 3, (i % 5) as f64 + 0.5))).unwrap();
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v).unwrap();
+        for i in 0..64 {
+            assert_eq!(a.hashes()[i], b.hashes()[i]);
+            assert_eq!(a.values()[i], b.values()[i]);
+        }
+    }
+
+    #[test]
+    fn disjoint_vectors_estimate_near_zero() {
+        let s = MinHasher::new(128, 5).unwrap();
+        let a = s.sketch(&binary_vector(0..100)).unwrap();
+        let b = s.sketch(&binary_vector(1000..1100)).unwrap();
+        let est = s.estimate_inner_product(&a, &b).unwrap();
+        assert_eq!(est, 0.0, "no collisions should be possible for disjoint supports");
+    }
+
+    #[test]
+    fn estimates_intersection_size_of_binary_vectors() {
+        // <a, b> = |A ∩ B| = 400 for these sets.
+        let a_vec = binary_vector(0..1000);
+        let b_vec = binary_vector(600..1600);
+        let exact = inner_product(&a_vec, &b_vec);
+        assert_eq!(exact, 400.0);
+        // Average over several seeds to keep the test robust.
+        let mut total = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let s = MinHasher::new(512, seed).unwrap();
+            let a = s.sketch(&a_vec).unwrap();
+            let b = s.sketch(&b_vec).unwrap();
+            total += s.estimate_inner_product(&a, &b).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.1 * exact,
+            "mean estimate {mean}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimates_weighted_inner_product_of_bounded_vectors() {
+        // Non-binary but bounded values (the Theorem-4 regime).
+        let a_vec =
+            SparseVector::from_pairs((0..500u64).map(|i| (i, ((i % 7) as f64 - 3.0) / 3.0))).unwrap();
+        let b_vec =
+            SparseVector::from_pairs((250..750u64).map(|i| (i, ((i % 5) as f64 - 2.0) / 2.0)))
+                .unwrap();
+        let exact = inner_product(&a_vec, &b_vec);
+        let mut total = 0.0;
+        let trials = 30;
+        for seed in 100..100 + trials {
+            let s = MinHasher::new(512, seed).unwrap();
+            let a = s.sketch(&a_vec).unwrap();
+            let b = s.sketch(&b_vec).unwrap();
+            total += s.estimate_inner_product(&a, &b).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        let scale = a_vec.norm() * b_vec.norm();
+        assert!(
+            (mean - exact).abs() < 0.05 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_more_samples() {
+        let a_vec = binary_vector(0..800);
+        let b_vec = binary_vector(400..1200);
+        let exact = inner_product(&a_vec, &b_vec);
+        let mean_abs_error = |samples: usize| {
+            let trials = 15;
+            let mut total = 0.0;
+            for seed in 0..trials {
+                let s = MinHasher::new(samples, seed).unwrap();
+                let a = s.sketch(&a_vec).unwrap();
+                let b = s.sketch(&b_vec).unwrap();
+                total += (s.estimate_inner_product(&a, &b).unwrap() - exact).abs();
+            }
+            total / f64::from(trials as u32)
+        };
+        let coarse = mean_abs_error(32);
+        let fine = mean_abs_error(512);
+        assert!(
+            fine < coarse,
+            "error should shrink with more samples: {fine} vs {coarse}"
+        );
+    }
+
+    #[test]
+    fn incompatible_sketches_are_rejected() {
+        let s1 = MinHasher::new(16, 1).unwrap();
+        let s2 = MinHasher::new(16, 2).unwrap();
+        let s3 = MinHasher::new(32, 1).unwrap();
+        let v = binary_vector(0..10);
+        let a = s1.sketch(&v).unwrap();
+        let b = s2.sketch(&v).unwrap();
+        let c = s3.sketch(&v).unwrap();
+        assert!(matches!(
+            s1.estimate_inner_product(&a, &b),
+            Err(SketchError::IncompatibleSketches { .. })
+        ));
+        assert!(matches!(
+            s1.estimate_inner_product(&a, &c),
+            Err(SketchError::IncompatibleSketches { .. })
+        ));
+        // Compatible sketches are accepted.
+        assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn hash_kind_variants_all_work() {
+        let v1 = binary_vector(0..200);
+        let v2 = binary_vector(100..300);
+        let exact = 100.0;
+        for kind in HashFamilyKind::all() {
+            let mut total = 0.0;
+            let trials = 10;
+            for seed in 0..trials {
+                let s = MinHasher::with_hash_kind(256, seed, kind).unwrap();
+                let a = s.sketch(&v1).unwrap();
+                let b = s.sketch(&v2).unwrap();
+                total += s.estimate_inner_product(&a, &b).unwrap();
+            }
+            let mean = total / f64::from(trials as u32);
+            assert!(
+                (mean - exact).abs() < 0.25 * exact,
+                "kind {kind:?}: mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Compact binary serialization of sketches.
+//!
+//! In the applications the paper targets (dataset search over data lakes), sketches are
+//! computed once, persisted in an index, and compared against many query sketches later.
+//! This module provides a small, self-describing binary encoding for every sketch type
+//! in the crate (magic number, format version, type tag, then the fields), built on the
+//! `bytes` crate.  The encoding is platform independent (little-endian, fixed-width
+//! integers) and validated on decode.
+
+use crate::countsketch::CountSketch;
+use crate::error::{corrupt, SketchError};
+use crate::icws::{IcwsSample, IcwsSketch};
+use crate::jl::JlSketch;
+use crate::kmv::{KmvEntry, KmvSketch};
+use crate::minhash::{MinHashParams, MinHashSketch};
+use crate::simhash::SimHashSketch;
+use crate::wmh::{WeightedMinHashSketch, WmhParams, WmhVariant};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ipsketch_hash::family::HashFamilyKind;
+
+/// Magic number identifying an `ipsketch` binary sketch.
+const MAGIC: u32 = 0x4950_534B; // "IPSK"
+/// Current format version.
+const VERSION: u8 = 1;
+
+/// Type tags.
+const TAG_MINHASH: u8 = 1;
+const TAG_WMH: u8 = 2;
+const TAG_JL: u8 = 3;
+const TAG_COUNTSKETCH: u8 = 4;
+const TAG_KMV: u8 = 5;
+const TAG_SIMHASH: u8 = 6;
+const TAG_ICWS: u8 = 7;
+
+/// A sketch that can be encoded to and decoded from a compact binary representation.
+pub trait BinarySketch: Sized {
+    /// Encodes the sketch.
+    fn to_bytes(&self) -> Bytes;
+
+    /// Decodes a sketch previously produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] if the buffer is truncated, has the wrong magic
+    /// number / version, or carries a different sketch type.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SketchError>;
+}
+
+fn write_header(buf: &mut BytesMut, tag: u8) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(tag);
+}
+
+fn read_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), SketchError> {
+    if buf.remaining() < 6 {
+        return Err(corrupt("buffer too short for header"));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic number {magic:#x}")));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported format version {version}")));
+    }
+    let tag = buf.get_u8();
+    if tag != expected_tag {
+        return Err(corrupt(format!(
+            "expected sketch tag {expected_tag}, found {tag}"
+        )));
+    }
+    Ok(())
+}
+
+fn put_f64_slice(buf: &mut BytesMut, values: &[f64]) {
+    buf.put_u64_le(values.len() as u64);
+    for &v in values {
+        buf.put_f64_le(v);
+    }
+}
+
+fn get_f64_vec(buf: &mut &[u8]) -> Result<Vec<f64>, SketchError> {
+    if buf.remaining() < 8 {
+        return Err(corrupt("missing length prefix"));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len * 8 {
+        return Err(corrupt("truncated f64 array"));
+    }
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, SketchError> {
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated u64"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, SketchError> {
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated f64"));
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn hash_kind_to_u8(kind: HashFamilyKind) -> u8 {
+    match kind {
+        HashFamilyKind::Wegman31 => 0,
+        HashFamilyKind::Wegman61 => 1,
+        HashFamilyKind::Mix => 2,
+        HashFamilyKind::Tabulation => 3,
+        HashFamilyKind::MultiplyShift => 4,
+    }
+}
+
+fn hash_kind_from_u8(value: u8) -> Result<HashFamilyKind, SketchError> {
+    Ok(match value {
+        0 => HashFamilyKind::Wegman31,
+        1 => HashFamilyKind::Wegman61,
+        2 => HashFamilyKind::Mix,
+        3 => HashFamilyKind::Tabulation,
+        4 => HashFamilyKind::MultiplyShift,
+        other => return Err(corrupt(format!("unknown hash-family tag {other}"))),
+    })
+}
+
+impl BinarySketch for MinHashSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_MINHASH);
+        buf.put_u64_le(self.params.samples as u64);
+        buf.put_u64_le(self.params.seed);
+        buf.put_u8(hash_kind_to_u8(self.params.hash_kind));
+        put_f64_slice(&mut buf, &self.hashes);
+        put_f64_slice(&mut buf, &self.values);
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_MINHASH)?;
+        let samples = get_u64(buf)? as usize;
+        let seed = get_u64(buf)?;
+        if buf.remaining() < 1 {
+            return Err(corrupt("missing hash-family tag"));
+        }
+        let hash_kind = hash_kind_from_u8(buf.get_u8())?;
+        let hashes = get_f64_vec(buf)?;
+        let values = get_f64_vec(buf)?;
+        if hashes.len() != samples || values.len() != samples {
+            return Err(corrupt("sample-count mismatch in MinHash sketch"));
+        }
+        Ok(MinHashSketch {
+            params: MinHashParams {
+                samples,
+                seed,
+                hash_kind,
+            },
+            hashes,
+            values,
+        })
+    }
+}
+
+impl BinarySketch for WeightedMinHashSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_WMH);
+        buf.put_u64_le(self.params.samples as u64);
+        buf.put_u64_le(self.params.seed);
+        buf.put_u64_le(self.params.discretization);
+        buf.put_u8(match self.params.variant {
+            WmhVariant::Fast => 0,
+            WmhVariant::Naive => 1,
+        });
+        buf.put_f64_le(self.norm);
+        put_f64_slice(&mut buf, &self.hashes);
+        put_f64_slice(&mut buf, &self.values);
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_WMH)?;
+        let samples = get_u64(buf)? as usize;
+        let seed = get_u64(buf)?;
+        let discretization = get_u64(buf)?;
+        if buf.remaining() < 1 {
+            return Err(corrupt("missing WMH variant tag"));
+        }
+        let variant = match buf.get_u8() {
+            0 => WmhVariant::Fast,
+            1 => WmhVariant::Naive,
+            other => return Err(corrupt(format!("unknown WMH variant tag {other}"))),
+        };
+        let norm = get_f64(buf)?;
+        let hashes = get_f64_vec(buf)?;
+        let values = get_f64_vec(buf)?;
+        if hashes.len() != samples || values.len() != samples {
+            return Err(corrupt("sample-count mismatch in WMH sketch"));
+        }
+        Ok(WeightedMinHashSketch {
+            params: WmhParams {
+                samples,
+                seed,
+                discretization,
+                variant,
+            },
+            hashes,
+            values,
+            norm,
+        })
+    }
+}
+
+impl BinarySketch for JlSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_JL);
+        buf.put_u64_le(self.seed);
+        put_f64_slice(&mut buf, &self.rows);
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_JL)?;
+        let seed = get_u64(buf)?;
+        let rows = get_f64_vec(buf)?;
+        Ok(JlSketch { seed, rows })
+    }
+}
+
+impl BinarySketch for CountSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_COUNTSKETCH);
+        buf.put_u64_le(self.seed);
+        buf.put_u64_le(self.buckets as u64);
+        put_f64_slice(&mut buf, &self.table);
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_COUNTSKETCH)?;
+        let seed = get_u64(buf)?;
+        let buckets = get_u64(buf)? as usize;
+        let table = get_f64_vec(buf)?;
+        if buckets == 0 || table.len() % buckets != 0 {
+            return Err(corrupt("CountSketch table length is not a multiple of buckets"));
+        }
+        Ok(CountSketch {
+            seed,
+            buckets,
+            table,
+        })
+    }
+}
+
+impl BinarySketch for KmvSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_KMV);
+        buf.put_u64_le(self.seed);
+        buf.put_u64_le(self.capacity as u64);
+        buf.put_u64_le(self.entries.len() as u64);
+        for entry in &self.entries {
+            buf.put_f64_le(entry.hash);
+            buf.put_f64_le(entry.value);
+        }
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_KMV)?;
+        let seed = get_u64(buf)?;
+        let capacity = get_u64(buf)? as usize;
+        let len = get_u64(buf)? as usize;
+        if buf.remaining() < len * 16 {
+            return Err(corrupt("truncated KMV entries"));
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            let hash = buf.get_f64_le();
+            let value = buf.get_f64_le();
+            entries.push(KmvEntry { hash, value });
+        }
+        if entries.len() > capacity {
+            return Err(corrupt("KMV sketch holds more entries than its capacity"));
+        }
+        Ok(KmvSketch {
+            seed,
+            capacity,
+            entries,
+        })
+    }
+}
+
+impl BinarySketch for SimHashSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_SIMHASH);
+        buf.put_u64_le(self.seed);
+        buf.put_u64_le(self.bits as u64);
+        buf.put_f64_le(self.norm);
+        buf.put_u64_le(self.words.len() as u64);
+        for &w in &self.words {
+            buf.put_u64_le(w);
+        }
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_SIMHASH)?;
+        let seed = get_u64(buf)?;
+        let bits = get_u64(buf)? as usize;
+        let norm = get_f64(buf)?;
+        let len = get_u64(buf)? as usize;
+        if buf.remaining() < len * 8 {
+            return Err(corrupt("truncated SimHash words"));
+        }
+        let words: Vec<u64> = (0..len).map(|_| buf.get_u64_le()).collect();
+        if words.len() != bits.div_ceil(64) {
+            return Err(corrupt("SimHash word count does not match bit count"));
+        }
+        Ok(SimHashSketch {
+            seed,
+            bits,
+            words,
+            norm,
+        })
+    }
+}
+
+impl BinarySketch for IcwsSketch {
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, TAG_ICWS);
+        buf.put_u64_le(self.seed);
+        buf.put_f64_le(self.norm);
+        buf.put_u64_le(self.samples.len() as u64);
+        for sample in &self.samples {
+            buf.put_u64_le(sample.index);
+            buf.put_i64_le(sample.token);
+            buf.put_f64_le(sample.value);
+        }
+        buf.freeze()
+    }
+
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        read_header(buf, TAG_ICWS)?;
+        let seed = get_u64(buf)?;
+        let norm = get_f64(buf)?;
+        let len = get_u64(buf)? as usize;
+        if buf.remaining() < len * 24 {
+            return Err(corrupt("truncated ICWS samples"));
+        }
+        let mut samples = Vec::with_capacity(len);
+        for _ in 0..len {
+            let index = buf.get_u64_le();
+            let token = buf.get_i64_le();
+            let value = buf.get_f64_le();
+            samples.push(IcwsSample {
+                index,
+                token,
+                value,
+            });
+        }
+        Ok(IcwsSketch {
+            seed,
+            samples,
+            norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countsketch::CountSketcher;
+    use crate::icws::IcwsSketcher;
+    use crate::jl::JlSketcher;
+    use crate::kmv::KmvSketcher;
+    use crate::minhash::MinHasher;
+    use crate::simhash::SimHashSketcher;
+    use crate::traits::Sketcher;
+    use crate::wmh::WeightedMinHasher;
+    use ipsketch_vector::SparseVector;
+
+    fn sample_vector() -> SparseVector {
+        SparseVector::from_pairs((0..50u64).map(|i| (i * 3, (i as f64) - 20.0))).unwrap()
+    }
+
+    #[test]
+    fn minhash_round_trip() {
+        let s = MinHasher::new(16, 7).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let decoded = MinHashSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+        // The decoded sketch is usable with the original sketcher.
+        assert!(s.estimate_inner_product(&sk, &decoded).is_ok());
+    }
+
+    #[test]
+    fn wmh_round_trip_both_variants() {
+        let fast = WeightedMinHasher::new(16, 7, 1 << 12).unwrap();
+        let sk = fast.sketch(&sample_vector()).unwrap();
+        let decoded = WeightedMinHashSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+        let naive = crate::wmh::NaiveWeightedMinHasher::new(8, 7, 256).unwrap();
+        let sk2 = naive.sketch(&sample_vector()).unwrap();
+        let decoded2 = WeightedMinHashSketch::from_bytes(&sk2.to_bytes()).unwrap();
+        assert_eq!(sk2, decoded2);
+    }
+
+    #[test]
+    fn jl_round_trip() {
+        let s = JlSketcher::new(32, 9).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let decoded = JlSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+    }
+
+    #[test]
+    fn countsketch_round_trip() {
+        let s = CountSketcher::new(24, 9).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let decoded = CountSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+    }
+
+    #[test]
+    fn kmv_round_trip() {
+        let s = KmvSketcher::new(20, 9).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let decoded = KmvSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+    }
+
+    #[test]
+    fn simhash_round_trip() {
+        let s = SimHashSketcher::new(100, 9).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let decoded = SimHashSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+    }
+
+    #[test]
+    fn icws_round_trip() {
+        let s = IcwsSketcher::new(20, 9).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let decoded = IcwsSketch::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_tag() {
+        let s = MinHasher::new(8, 7).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let bytes = sk.to_bytes();
+        assert!(matches!(
+            JlSketch::from_bytes(&bytes),
+            Err(SketchError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_buffers() {
+        let s = WeightedMinHasher::new(16, 7, 1 << 12).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let bytes = sk.to_bytes();
+        for cut in [0, 3, 6, 10, bytes.len() - 1] {
+            assert!(
+                WeightedMinHashSketch::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_version() {
+        let s = JlSketcher::new(4, 7).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let mut bytes = sk.to_bytes().to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(JlSketch::from_bytes(&bytes).is_err());
+        let mut bytes = sk.to_bytes().to_vec();
+        bytes[4] = 99; // version
+        assert!(JlSketch::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_hash_kind() {
+        let s = MinHasher::new(4, 7).unwrap();
+        let sk = s.sketch(&sample_vector()).unwrap();
+        let mut bytes = sk.to_bytes().to_vec();
+        // Header (6) + samples (8) + seed (8) = offset 22 holds the hash-kind tag.
+        bytes[22] = 200;
+        assert!(MinHashSketch::from_bytes(&bytes).is_err());
+    }
+}

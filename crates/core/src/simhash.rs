@@ -1,0 +1,305 @@
+//! SimHash (signed random projections).
+//!
+//! SimHash (Charikar) stores only the *sign* of each random projection `⟨g_r, a⟩` with
+//! Gaussian `g_r`, i.e. one bit per row.  The probability that two vectors' bits agree
+//! is `1 − θ/π` where `θ` is the angle between them, so the agreement rate estimates the
+//! cosine similarity and — after multiplying by the stored norms — the inner product.
+//! The paper discusses SimHash as the "1-bit quantized JL" point in the related-work
+//! spectrum; it is included here as an extension baseline for the storage/accuracy
+//! trade-off experiments.
+
+use crate::error::{incompatible, SketchError};
+use crate::traits::{Sketch, Sketcher};
+use ipsketch_hash::sign::SignHasher;
+use ipsketch_vector::{SparseVector, VectorError};
+
+/// The SimHash sketch: one sign bit per projection plus the vector's norm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimHashSketch {
+    pub(crate) seed: u64,
+    pub(crate) bits: usize,
+    /// Packed sign bits, 64 per word, row-major.
+    pub(crate) words: Vec<u64>,
+    pub(crate) norm: f64,
+}
+
+impl SimHashSketch {
+    /// The number of projection bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The stored Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Returns the `i`-th sign bit.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of agreeing bits with another sketch of the same length.
+    #[must_use]
+    pub fn agreement(&self, other: &SimHashSketch) -> usize {
+        let mut agree = 0usize;
+        for (i, (&wa, &wb)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut same = !(wa ^ wb);
+            // Mask out padding bits in the last word.
+            let valid = if (i + 1) * 64 <= self.bits {
+                64
+            } else {
+                self.bits - i * 64
+            };
+            if valid < 64 {
+                same &= (1u64 << valid) - 1;
+            }
+            agree += same.count_ones() as usize;
+        }
+        agree
+    }
+}
+
+impl Sketch for SimHashSketch {
+    fn len(&self) -> usize {
+        self.bits
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        // One bit per row plus one stored 64-bit norm.
+        self.bits as f64 / 64.0 + 1.0
+    }
+}
+
+/// The SimHash sketcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimHashSketcher {
+    bits: usize,
+    seed: u64,
+}
+
+impl SimHashSketcher {
+    /// Creates a SimHash sketcher with `bits` sign bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `bits == 0`.
+    pub fn new(bits: usize, seed: u64) -> Result<Self, SketchError> {
+        if bits == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "bits",
+                allowed: ">= 1",
+            });
+        }
+        Ok(Self { bits, seed })
+    }
+
+    /// The number of sign bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A standard-normal projection coefficient for `(row, index)`, derived
+    /// deterministically from the seed via the Box–Muller transform.
+    fn gaussian(&self, signs: &SignHasher, row: u64, index: u64) -> f64 {
+        // Two independent uniforms from disjoint sub-streams.
+        let u1 = signs.unit(row.wrapping_mul(2), index).max(f64::MIN_POSITIVE);
+        let u2 = signs.unit(row.wrapping_mul(2) + 1, index);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Sketcher for SimHashSketcher {
+    type Output = SimHashSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<SimHashSketch, SketchError> {
+        if vector.is_empty() {
+            return Err(SketchError::Vector(VectorError::ZeroVector));
+        }
+        let signs = SignHasher::from_seed(self.seed ^ 0x51_6D_4A_5B);
+        let words_len = self.bits.div_ceil(64);
+        let mut words = vec![0u64; words_len];
+        for row in 0..self.bits {
+            let mut projection = 0.0;
+            for (index, value) in vector.iter() {
+                projection += self.gaussian(&signs, row as u64, index) * value;
+            }
+            if projection >= 0.0 {
+                words[row / 64] |= 1u64 << (row % 64);
+            }
+        }
+        Ok(SimHashSketch {
+            seed: self.seed,
+            bits: self.bits,
+            words,
+            norm: vector.norm(),
+        })
+    }
+
+    fn estimate_inner_product(
+        &self,
+        a: &SimHashSketch,
+        b: &SimHashSketch,
+    ) -> Result<f64, SketchError> {
+        for (label, sketch) in [("first", a), ("second", b)] {
+            if sketch.seed != self.seed || sketch.bits != self.bits {
+                return Err(incompatible(format!(
+                    "{label} SimHash sketch does not match this sketcher's seed/bits"
+                )));
+            }
+        }
+        let agreement = a.agreement(b) as f64 / self.bits as f64;
+        // P[agree] = 1 − θ/π  ⇒  θ = π (1 − agreement); cos θ estimates the cosine.
+        let theta = std::f64::consts::PI * (1.0 - agreement);
+        Ok(a.norm * b.norm * theta.cos())
+    }
+
+    fn name(&self) -> &'static str {
+        "SimHash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::{cosine_similarity, inner_product};
+
+    #[test]
+    fn constructor_validates() {
+        assert!(SimHashSketcher::new(0, 1).is_err());
+        let s = SimHashSketcher::new(128, 4).unwrap();
+        assert_eq!(s.bits(), 128);
+        assert_eq!(s.seed(), 4);
+        assert_eq!(s.name(), "SimHash");
+    }
+
+    #[test]
+    fn sketch_shape_and_storage() {
+        let s = SimHashSketcher::new(100, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (9, -2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(sk.len(), 100);
+        assert_eq!(sk.bits(), 100);
+        assert!((sk.norm() - v.norm()).abs() < 1e-12);
+        assert!((sk.storage_doubles() - (100.0 / 64.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_vector() {
+        let s = SimHashSketcher::new(8, 1).unwrap();
+        assert!(s.sketch(&SparseVector::new()).is_err());
+    }
+
+    #[test]
+    fn identical_vectors_agree_on_every_bit() {
+        let s = SimHashSketcher::new(256, 7).unwrap();
+        let v = SparseVector::from_pairs((0..50u64).map(|i| (i, (i as f64) - 25.0))).unwrap();
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v).unwrap();
+        assert_eq!(a.agreement(&b), 256);
+        let est = s.estimate_inner_product(&a, &b).unwrap();
+        assert!((est - v.norm_squared()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_vectors_disagree_on_every_bit() {
+        let s = SimHashSketcher::new(256, 7).unwrap();
+        let v = SparseVector::from_pairs((0..50u64).map(|i| (i, (i as f64) + 1.0))).unwrap();
+        let neg = v.scaled(-1.0);
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&neg).unwrap();
+        assert_eq!(a.agreement(&b), 0);
+        let est = s.estimate_inner_product(&a, &b).unwrap();
+        assert!((est + v.norm_squared()).abs() < 1e-6 * v.norm_squared());
+    }
+
+    #[test]
+    fn scaling_does_not_change_bits() {
+        let s = SimHashSketcher::new(64, 3).unwrap();
+        let v = SparseVector::from_pairs([(1, 1.0), (5, -0.5), (9, 2.0)]).unwrap();
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v.scaled(7.0)).unwrap();
+        assert_eq!(a.words, b.words);
+        assert!((b.norm() - 7.0 * a.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_estimate_tracks_true_cosine() {
+        let a_vec = SparseVector::from_pairs((0..200u64).map(|i| (i, 1.0))).unwrap();
+        let b_vec = SparseVector::from_pairs((100..300u64).map(|i| (i, 1.0))).unwrap();
+        let true_cos = cosine_similarity(&a_vec, &b_vec);
+        let trials = 20;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = SimHashSketcher::new(2048, seed).unwrap();
+            let a = s.sketch(&a_vec).unwrap();
+            let b = s.sketch(&b_vec).unwrap();
+            total += s.estimate_inner_product(&a, &b).unwrap() / (a_vec.norm() * b_vec.norm());
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - true_cos).abs() < 0.05,
+            "mean cosine {mean}, true {true_cos}"
+        );
+    }
+
+    #[test]
+    fn inner_product_estimate_is_reasonable() {
+        let a_vec = SparseVector::from_pairs((0..300u64).map(|i| (i, ((i % 4) as f64) + 0.5)))
+            .unwrap();
+        let b_vec = SparseVector::from_pairs((150..450u64).map(|i| (i, ((i % 6) as f64) - 2.0)))
+            .unwrap();
+        let exact = inner_product(&a_vec, &b_vec);
+        let scale = a_vec.norm() * b_vec.norm();
+        let trials = 20;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let s = SimHashSketcher::new(4096, seed).unwrap();
+            let a = s.sketch(&a_vec).unwrap();
+            let b = s.sketch(&b_vec).unwrap();
+            total += s.estimate_inner_product(&a, &b).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.1 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let s1 = SimHashSketcher::new(64, 1).unwrap();
+        let s2 = SimHashSketcher::new(64, 2).unwrap();
+        let s3 = SimHashSketcher::new(32, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0)]).unwrap();
+        let a = s1.sketch(&v).unwrap();
+        assert!(s1
+            .estimate_inner_product(&a, &s2.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1
+            .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
+            .is_err());
+        assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn bit_accessor_matches_words() {
+        let s = SimHashSketcher::new(70, 5).unwrap();
+        let v = SparseVector::from_pairs((0..30u64).map(|i| (i, (i as f64) - 14.0))).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        let from_bits: usize = (0..70).filter(|&i| sk.bit(i)).count();
+        let from_words: usize = sk.agreement(&sk);
+        assert_eq!(from_words, 70);
+        assert!(from_bits <= 70);
+    }
+}

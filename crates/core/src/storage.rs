@@ -1,0 +1,132 @@
+//! Storage-size accounting.
+//!
+//! The paper compares methods at equal *storage*, not equal sample counts: linear
+//! sketches store `m` 64-bit doubles, while sampling-based sketches store, per sample,
+//! a 32-bit hash value and a 64-bit value, i.e. 1.5 doubles per sample (Section 5,
+//! "Storage Size").  This module centralizes that bookkeeping: converting a storage
+//! budget expressed in double-equivalents into the per-method sample/row count, and
+//! reporting the footprint of a built sketch.
+
+/// Bits in the unit of storage accounting (a 64-bit double).
+pub const DOUBLE_BITS: usize = 64;
+/// Bits used to store one sampling-sketch hash value (a 32-bit integer).
+pub const HASH_BITS: usize = 32;
+/// Number of CountSketch repetitions used throughout (following Larsen et al. as cited
+/// in the paper's experiments).
+pub const COUNTSKETCH_REPETITIONS: usize = 5;
+
+/// Double-equivalents occupied by one sample of a MinHash / KMV / WMH sketch:
+/// one 32-bit hash plus one 64-bit value.
+#[must_use]
+pub fn sampling_doubles_per_sample() -> f64 {
+    (HASH_BITS + DOUBLE_BITS) as f64 / DOUBLE_BITS as f64
+}
+
+/// Storage (in doubles) of a linear sketch with `rows` rows.
+#[must_use]
+pub fn linear_sketch_doubles(rows: usize) -> f64 {
+    rows as f64
+}
+
+/// Storage (in doubles) of a sampling sketch with `samples` samples plus
+/// `extra_scalars` stored 64-bit scalars (e.g. the norm kept by WMH).
+#[must_use]
+pub fn sampling_sketch_doubles(samples: usize, extra_scalars: usize) -> f64 {
+    samples as f64 * sampling_doubles_per_sample() + extra_scalars as f64
+}
+
+/// Number of rows a JL sketch may use within a storage budget of `budget_doubles`.
+#[must_use]
+pub fn jl_rows_for_budget(budget_doubles: f64) -> usize {
+    budget_doubles.floor().max(0.0) as usize
+}
+
+/// Number of buckets **per repetition** a CountSketch may use within a storage budget
+/// of `budget_doubles`, using [`COUNTSKETCH_REPETITIONS`] repetitions.
+#[must_use]
+pub fn countsketch_buckets_for_budget(budget_doubles: f64) -> usize {
+    (budget_doubles / COUNTSKETCH_REPETITIONS as f64).floor().max(0.0) as usize
+}
+
+/// Number of samples a MinHash / KMV sketch may use within a storage budget of
+/// `budget_doubles`.
+#[must_use]
+pub fn sampling_samples_for_budget(budget_doubles: f64) -> usize {
+    (budget_doubles / sampling_doubles_per_sample()).floor().max(0.0) as usize
+}
+
+/// Number of samples a Weighted MinHash sketch may use within a storage budget of
+/// `budget_doubles`, reserving one double for the stored norm.
+#[must_use]
+pub fn wmh_samples_for_budget(budget_doubles: f64) -> usize {
+    sampling_samples_for_budget((budget_doubles - 1.0).max(0.0))
+}
+
+/// Number of sign bits a SimHash sketch may use within a storage budget of
+/// `budget_doubles`, reserving one double for the stored norm.
+#[must_use]
+pub fn simhash_bits_for_budget(budget_doubles: f64) -> usize {
+    ((budget_doubles - 1.0).max(0.0) * DOUBLE_BITS as f64).floor() as usize
+}
+
+/// Number of samples an ICWS sketch may use within a storage budget of
+/// `budget_doubles`: each sample stores a 64-bit block identifier, a 64-bit collision
+/// token and a 64-bit value (3 doubles), plus one double for the norm.
+#[must_use]
+pub fn icws_samples_for_budget(budget_doubles: f64) -> usize {
+    ((budget_doubles - 1.0).max(0.0) / 3.0).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_sample_costs_one_and_a_half_doubles() {
+        assert!((sampling_doubles_per_sample() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_and_sampling_footprints() {
+        assert_eq!(linear_sketch_doubles(400), 400.0);
+        assert!((sampling_sketch_doubles(400, 0) - 600.0).abs() < 1e-12);
+        assert!((sampling_sketch_doubles(266, 1) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_conversions_match_paper_ratios() {
+        // With a budget of 400 doubles: JL gets 400 rows, sampling sketches get 266
+        // samples (1.5x fewer), CountSketch gets 80 buckets x 5 repetitions.
+        assert_eq!(jl_rows_for_budget(400.0), 400);
+        assert_eq!(sampling_samples_for_budget(400.0), 266);
+        assert_eq!(countsketch_buckets_for_budget(400.0), 80);
+        assert_eq!(wmh_samples_for_budget(400.0), 266);
+        assert_eq!(simhash_bits_for_budget(400.0), 399 * 64);
+        assert_eq!(icws_samples_for_budget(400.0), 133);
+    }
+
+    #[test]
+    fn budgets_too_small_yield_zero() {
+        assert_eq!(jl_rows_for_budget(0.0), 0);
+        assert_eq!(sampling_samples_for_budget(1.0), 0);
+        assert_eq!(wmh_samples_for_budget(1.0), 0);
+        assert_eq!(simhash_bits_for_budget(0.5), 0);
+        assert_eq!(countsketch_buckets_for_budget(3.0), 0);
+        assert_eq!(icws_samples_for_budget(1.0), 0);
+    }
+
+    #[test]
+    fn round_trip_budget_never_exceeds_budget() {
+        for budget in [10.0f64, 50.0, 100.0, 250.0, 400.0, 1000.0] {
+            let jl = linear_sketch_doubles(jl_rows_for_budget(budget));
+            assert!(jl <= budget);
+            let mh = sampling_sketch_doubles(sampling_samples_for_budget(budget), 0);
+            assert!(mh <= budget + 1e-9);
+            let wmh = sampling_sketch_doubles(wmh_samples_for_budget(budget), 1);
+            assert!(wmh <= budget + 1e-9);
+            let cs =
+                (countsketch_buckets_for_budget(budget) * COUNTSKETCH_REPETITIONS) as f64;
+            assert!(cs <= budget);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The unified sketching interface.
+//!
+//! Every sketching method in this crate is exposed as a [`Sketcher`]: a configured,
+//! seeded object that (1) compresses a sparse vector into a compact [`Sketch`] and (2)
+//! estimates the inner product of two vectors from their sketches alone.  The two
+//! sketches must have been produced by sketchers constructed with the same parameters
+//! and seed — the "shared random seed" assumption the paper makes for all methods —
+//! and every estimator validates this before estimating.
+
+use crate::error::SketchError;
+use ipsketch_vector::SparseVector;
+
+/// A compact summary of a vector from which inner products can be estimated.
+pub trait Sketch {
+    /// The number of samples / rows / repetitions in the sketch (the parameter `m` in
+    /// the paper).
+    fn len(&self) -> usize;
+
+    /// Whether the sketch contains no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The storage footprint of the sketch in 64-bit-double equivalents, following the
+    /// accounting of the paper's Section 5 ("Storage Size"): 64-bit values count 1,
+    /// 32-bit hash values count 1/2, single bits count 1/64.
+    fn storage_doubles(&self) -> f64;
+}
+
+/// A configured sketching method.
+pub trait Sketcher {
+    /// The sketch type this sketcher produces.
+    type Output: Sketch;
+
+    /// Compresses a vector into a sketch.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SketchError`] when the vector cannot be sketched (for
+    /// example, methods that must normalize by the vector's Euclidean norm reject the
+    /// all-zero vector).
+    fn sketch(&self, vector: &SparseVector) -> Result<Self::Output, SketchError>;
+
+    /// Estimates `⟨a, b⟩` from the sketches of `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] when the sketches were not produced
+    /// with identical configuration (sample count, seed, discretization, …).
+    fn estimate_inner_product(
+        &self,
+        a: &Self::Output,
+        b: &Self::Output,
+    ) -> Result<f64, SketchError>;
+
+    /// A short, stable, human-readable name for reports (e.g. `"WMH"`, `"JL"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial sketcher used to exercise the trait's default methods.
+    struct IdentitySketcher;
+
+    struct IdentitySketch(Vec<f64>);
+
+    impl Sketch for IdentitySketch {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn storage_doubles(&self) -> f64 {
+            self.0.len() as f64
+        }
+    }
+
+    impl Sketcher for IdentitySketcher {
+        type Output = IdentitySketch;
+
+        fn sketch(&self, vector: &SparseVector) -> Result<IdentitySketch, SketchError> {
+            Ok(IdentitySketch(vector.values().to_vec()))
+        }
+
+        fn estimate_inner_product(
+            &self,
+            a: &IdentitySketch,
+            b: &IdentitySketch,
+        ) -> Result<f64, SketchError> {
+            Ok(a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum())
+        }
+
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn default_is_empty_tracks_len() {
+        let s = IdentitySketch(vec![]);
+        assert!(s.is_empty());
+        let s = IdentitySketch(vec![1.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn trait_object_style_usage() {
+        let sketcher = IdentitySketcher;
+        let v = SparseVector::from_pairs([(0, 2.0), (1, 3.0)]).unwrap();
+        let s = sketcher.sketch(&v).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(sketcher.estimate_inner_product(&s, &s).unwrap(), 13.0);
+        assert_eq!(sketcher.name(), "identity");
+    }
+}

@@ -1,0 +1,356 @@
+//! The fast (active-index) Weighted MinHash sketcher.
+//!
+//! Algorithm 3 hashes every non-zero position of an expanded vector of length `n·L`.
+//! Done literally this costs `O(L)` hash evaluations per sample; the paper points out
+//! (Section 5, "Efficient Weighted Hashing") that the cost can be reduced to
+//! `O(log L)` per non-zero block per sample by only generating the *records* (successive
+//! minima) of the implicit hash stream, skipping ahead with geometric jumps.
+//!
+//! [`WeightedMinHasher`] implements exactly that: for every `(sample, block)` pair it
+//! replays the deterministic record stream of [`ipsketch_hash::record::RecordStream`]
+//! and reads the last record that falls inside the block's prefix of
+//! `ã[j]²·L` positions.  Because the stream depends only on `(seed, sample, block)`,
+//! independently computed sketches of different vectors remain *consistent*: whenever
+//! the expanded-vector model says two vectors share their minimum-hash position, the
+//! stored hash values are bit-identical, which is what the Algorithm 5 estimator
+//! requires.
+
+use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhVariant};
+use crate::error::SketchError;
+use crate::traits::Sketcher;
+use ipsketch_hash::mix::mix2;
+use ipsketch_hash::record::RecordStream;
+use ipsketch_vector::rounding::{normalize_and_round, repetition_counts};
+use ipsketch_vector::SparseVector;
+
+/// The `O(nnz · m · log L)` Weighted MinHash sketcher (Algorithm 3 with the
+/// active-index optimization) and its Algorithm-5 estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedMinHasher {
+    params: WmhParams,
+}
+
+impl WeightedMinHasher {
+    /// Creates a Weighted MinHash sketcher.
+    ///
+    /// * `samples` — the number of hash samples `m` (sketch size).
+    /// * `seed` — master random seed shared by all parties sketching vectors that will
+    ///   be compared.
+    /// * `discretization` — the parameter `L`: squared entries of the normalized vector
+    ///   are rounded to integer multiples of `1/L`.  `L` does not affect the sketch
+    ///   size; it should be comfortably larger than the number of non-zero entries
+    ///   (the paper recommends at least 100–1000×).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `samples == 0` or
+    /// `discretization == 0`.
+    pub fn new(samples: usize, seed: u64, discretization: u64) -> Result<Self, SketchError> {
+        validate_params(samples, discretization)?;
+        Ok(Self {
+            params: WmhParams {
+                samples,
+                seed,
+                discretization,
+                variant: WmhVariant::Fast,
+            },
+        })
+    }
+
+    /// The number of samples `m`.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.params.samples
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.params.seed
+    }
+
+    /// The discretization parameter `L`.
+    #[must_use]
+    pub fn discretization(&self) -> u64 {
+        self.params.discretization
+    }
+
+    /// The configuration fingerprint.
+    #[must_use]
+    pub fn params(&self) -> WmhParams {
+        self.params
+    }
+}
+
+impl Sketcher for WeightedMinHasher {
+    type Output = WeightedMinHashSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<WeightedMinHashSketch, SketchError> {
+        // Line 2 of Algorithm 3: normalize and round onto the 1/L grid.
+        let (rounded, norm) = normalize_and_round(vector, self.params.discretization)?;
+        // Lines 3–4 are implicit: we never materialize the expanded vector, only the
+        // per-block repetition counts ã[j]²·L.
+        let blocks = repetition_counts(&rounded, self.params.discretization);
+        debug_assert!(
+            !blocks.is_empty(),
+            "a rounded unit vector always has at least one non-empty block"
+        );
+
+        let m = self.params.samples;
+        // The record-stream seed namespace is derived from the master seed only, so all
+        // vectors sketched with the same configuration share it.
+        let stream_seed = mix2(self.params.seed, 0x57_4D48);
+        let mut hashes = Vec::with_capacity(m);
+        let mut values = Vec::with_capacity(m);
+        for sample in 0..m {
+            let mut best_hash = f64::INFINITY;
+            let mut best_value = 0.0;
+            for &(block, count) in &blocks {
+                let record = RecordStream::new(stream_seed, sample as u64, block)
+                    .prefix_min(count)
+                    .expect("count >= 1 by construction of repetition_counts");
+                if record.value < best_hash {
+                    best_hash = record.value;
+                    best_value = rounded.get(block);
+                }
+            }
+            hashes.push(best_hash);
+            values.push(best_value);
+        }
+        Ok(WeightedMinHashSketch {
+            params: self.params,
+            hashes,
+            values,
+            norm,
+        })
+    }
+
+    fn estimate_inner_product(
+        &self,
+        a: &WeightedMinHashSketch,
+        b: &WeightedMinHashSketch,
+    ) -> Result<f64, SketchError> {
+        if a.params != self.params || b.params != self.params {
+            return Err(crate::error::incompatible(
+                "sketches were not produced by this sketcher's configuration".to_string(),
+            ));
+        }
+        super::estimate(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "WMH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Sketch;
+    use ipsketch_vector::{inner_product, weighted_jaccard, SparseVector, VectorError};
+
+    #[test]
+    fn constructor_validates() {
+        assert!(WeightedMinHasher::new(0, 1, 100).is_err());
+        assert!(WeightedMinHasher::new(10, 1, 0).is_err());
+        let s = WeightedMinHasher::new(10, 3, 100).unwrap();
+        assert_eq!(s.samples(), 10);
+        assert_eq!(s.seed(), 3);
+        assert_eq!(s.discretization(), 100);
+        assert_eq!(s.name(), "WMH");
+    }
+
+    #[test]
+    fn rejects_zero_vector() {
+        let s = WeightedMinHasher::new(8, 1, 1024).unwrap();
+        assert!(matches!(
+            s.sketch(&SparseVector::new()),
+            Err(SketchError::Vector(VectorError::ZeroVector))
+        ));
+    }
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let v = SparseVector::from_pairs([(3, 1.0), (9, -2.0), (20, 0.5)]).unwrap();
+        let s = WeightedMinHasher::new(32, 7, 1 << 16).unwrap();
+        let a = s.sketch(&v).unwrap();
+        let b = s.sketch(&v).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_a_vector_changes_only_the_norm() {
+        // The sketch of c·a has the same hashes/values as the sketch of a, but norm
+        // scaled by c — this is exactly the normalization step of Algorithm 3.
+        let v = SparseVector::from_pairs([(1, 1.0), (5, 2.0), (9, -3.0)]).unwrap();
+        let scaled = v.scaled(4.0);
+        let s = WeightedMinHasher::new(64, 5, 1 << 18).unwrap();
+        let sa = s.sketch(&v).unwrap();
+        let sb = s.sketch(&scaled).unwrap();
+        assert_eq!(sa.hashes(), sb.hashes());
+        assert_eq!(sa.values(), sb.values());
+        assert!((sb.norm() - 4.0 * sa.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collision_rate_matches_weighted_jaccard() {
+        // Fact 5(1): P[W_a^hash[i] = W_b^hash[i]] equals the weighted Jaccard similarity
+        // of the rounded normalized vectors.
+        let a = SparseVector::from_pairs((0..60u64).map(|i| (i, 1.0 + (i % 3) as f64))).unwrap();
+        let b = SparseVector::from_pairs((30..90u64).map(|i| (i, 2.0 - (i % 2) as f64))).unwrap();
+        let an = a.normalized().unwrap();
+        let bn = b.normalized().unwrap();
+        let expected = weighted_jaccard(&an, &bn);
+
+        let m = 4000;
+        let s = WeightedMinHasher::new(m, 11, 1 << 22).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let collisions = sa
+            .hashes()
+            .iter()
+            .zip(sb.hashes())
+            .filter(|(x, y)| x == y)
+            .count();
+        let rate = collisions as f64 / m as f64;
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "collision rate {rate}, weighted Jaccard {expected}"
+        );
+    }
+
+    #[test]
+    fn collisions_sample_the_support_intersection() {
+        // Fact 5(2): on a collision, both values come from the same index, so the pair
+        // (va, vb) must equal (ã[j], b̃[j]) for some j in the intersection.
+        let a = SparseVector::from_pairs([(1, 3.0), (2, 1.0), (5, 2.0), (9, 4.0)]).unwrap();
+        let b = SparseVector::from_pairs([(2, 2.0), (5, 5.0), (7, 1.0)]).unwrap();
+        let s = WeightedMinHasher::new(512, 3, 1 << 20).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let an = a.normalized().unwrap();
+        let bn = b.normalized().unwrap();
+        let mut saw_collision = false;
+        for i in 0..512 {
+            if sa.hashes()[i] == sb.hashes()[i] {
+                saw_collision = true;
+                let va = sa.values()[i];
+                let vb = sb.values()[i];
+                // Identify which intersection index produced this collision (2 or 5).
+                // The stored values come from the *rounded* unit vectors, so allow the
+                // rounding error of Algorithm 4 (O(nnz/√L) per entry).
+                let matches_index = [2u64, 5].iter().any(|&j| {
+                    (va - an.get(j)).abs() < 1e-4 && (vb - bn.get(j)).abs() < 1e-4
+                });
+                assert!(matches_index, "collision values ({va}, {vb}) not from intersection");
+            }
+        }
+        assert!(saw_collision, "expected at least one collision with 512 samples");
+    }
+
+    #[test]
+    fn heavy_entry_vectors_are_estimated_accurately() {
+        // The motivating failure case for unweighted MinHash (Section 4): one index
+        // carries almost all of the inner product.  WMH must sample it.
+        let mut pairs_a: Vec<(u64, f64)> = (0..500u64).map(|i| (i, 0.1)).collect();
+        let mut pairs_b: Vec<(u64, f64)> = (250..750u64).map(|i| (i, 0.1)).collect();
+        pairs_a.push((1000, 50.0));
+        pairs_b.push((1000, 40.0));
+        let a = SparseVector::from_pairs(pairs_a).unwrap();
+        let b = SparseVector::from_pairs(pairs_b).unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+
+        let trials = 20;
+        let mut total_err = 0.0;
+        for seed in 0..trials {
+            let s = WeightedMinHasher::new(400, seed, 1 << 22).unwrap();
+            let sa = s.sketch(&a).unwrap();
+            let sb = s.sketch(&b).unwrap();
+            let est = s.estimate_inner_product(&sa, &sb).unwrap();
+            total_err += (est - exact).abs();
+        }
+        let mean_err = total_err / f64::from(trials as u32) / scale;
+        assert!(mean_err < 0.1, "mean scaled error {mean_err}");
+    }
+
+    #[test]
+    fn error_decreases_with_samples() {
+        let a = SparseVector::from_pairs((0..400u64).map(|i| (i, ((i % 11) as f64) - 5.0)))
+            .unwrap();
+        let b = SparseVector::from_pairs((200..600u64).map(|i| (i, ((i % 13) as f64) - 6.0)))
+            .unwrap();
+        let exact = inner_product(&a, &b);
+        let mean_err = |m: usize| {
+            let trials = 12;
+            let mut total = 0.0;
+            for seed in 0..trials {
+                let s = WeightedMinHasher::new(m, seed, 1 << 22).unwrap();
+                let sa = s.sketch(&a).unwrap();
+                let sb = s.sketch(&b).unwrap();
+                total += (s.estimate_inner_product(&sa, &sb).unwrap() - exact).abs();
+            }
+            total / f64::from(trials as u32)
+        };
+        let coarse = mean_err(64);
+        let fine = mean_err(1024);
+        assert!(fine < coarse, "fine {fine} should beat coarse {coarse}");
+    }
+
+    #[test]
+    fn sparse_low_overlap_beats_the_linear_bound_scale() {
+        // The headline claim: for sparse vectors with small support overlap the WMH
+        // error is far below ε·‖a‖‖b‖ at moderate sketch sizes.
+        let a = SparseVector::from_pairs((0..2000u64).map(|i| (i, 1.0))).unwrap();
+        let b = SparseVector::from_pairs((1980..3980u64).map(|i| (i, 1.0))).unwrap();
+        let exact = inner_product(&a, &b); // = 20
+        let scale = a.norm() * b.norm(); // = 2000
+        let s = WeightedMinHasher::new(256, 123, 1 << 22).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        let est = s.estimate_inner_product(&sa, &sb).unwrap();
+        // ε at m=256 is roughly 1/16, so the linear-sketch bound allows error ~125;
+        // WMH should be well inside 0.02·scale for this 1% overlap pair.
+        assert!(
+            (est - exact).abs() < 0.02 * scale,
+            "estimate {est}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn storage_includes_the_stored_norm() {
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let s = WeightedMinHasher::new(100, 1, 1 << 12).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert!((sk.storage_doubles() - 151.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_checks_sketcher_configuration() {
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let s1 = WeightedMinHasher::new(16, 1, 1 << 12).unwrap();
+        let s2 = WeightedMinHasher::new(16, 2, 1 << 12).unwrap();
+        let sk1 = s1.sketch(&v).unwrap();
+        let sk2 = s2.sketch(&v).unwrap();
+        assert!(s1.estimate_inner_product(&sk1, &sk2).is_err());
+        assert!(s2.estimate_inner_product(&sk1, &sk1).is_err());
+        assert!(s1.estimate_inner_product(&sk1, &sk1).is_ok());
+    }
+
+    #[test]
+    fn single_entry_vectors() {
+        let a = SparseVector::from_pairs([(42, 3.0)]).unwrap();
+        let b = SparseVector::from_pairs([(42, -2.0)]).unwrap();
+        let s = WeightedMinHasher::new(512, 9, 1 << 16).unwrap();
+        let sa = s.sketch(&a).unwrap();
+        let sb = s.sketch(&b).unwrap();
+        // Identical single-block expansion ⇒ every sample collides; the estimate is
+        // exactly ‖a‖‖b‖·(-1)·M̃ with M̃ ≈ 1 ± O(1/√m).
+        let est = s.estimate_inner_product(&sa, &sb).unwrap();
+        assert!((est + 6.0).abs() < 1.0, "estimate {est}, exact -6");
+        // Disjoint single entries never collide.
+        let c = SparseVector::from_pairs([(43, 5.0)]).unwrap();
+        let sc = s.sketch(&c).unwrap();
+        assert_eq!(s.estimate_inner_product(&sa, &sc).unwrap(), 0.0);
+    }
+}

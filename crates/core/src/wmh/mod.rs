@@ -1,0 +1,292 @@
+//! Weighted MinHash inner-product sketching — the paper's primary contribution.
+//!
+//! * [`WeightedMinHashSketch`] is the sketch of Algorithm 3: per-sample minimum hash
+//!   values over an implicit *expanded* vector, the (normalized, rounded) entry values
+//!   at the minimizing positions, and the Euclidean norm of the original vector.
+//! * [`WeightedMinHasher`] (module [`fast`]) builds the sketch with the "active index"
+//!   technique in `O(nnz · m · log L)` time.
+//! * [`NaiveWeightedMinHasher`] (module [`naive`]) builds it by literally materializing
+//!   and hashing every expanded position in `O(nnz · m · L)` time; it exists to
+//!   cross-check the fast implementation and to ablate the sketching cost.
+//! * [`estimate`](fn@estimate) implements Algorithm 5, the estimator whose guarantee is
+//!   Theorem 2: error at most `ε · max(‖a_I‖‖b‖, ‖a‖‖b_I‖)` with `m = O(1/ε²)` samples.
+
+mod fast;
+mod naive;
+
+pub use fast::WeightedMinHasher;
+pub use naive::NaiveWeightedMinHasher;
+
+use crate::error::{incompatible, SketchError};
+use crate::storage::sampling_sketch_doubles;
+use crate::traits::Sketch;
+use crate::union::union_size_from_minima;
+
+/// Which sketching implementation produced a WMH sketch.
+///
+/// Fast and naive sketches are *statistically* interchangeable but use different
+/// pseudo-random constructions, so sketches of the two variants must never be compared
+/// against each other; the estimator enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WmhVariant {
+    /// The `O(nnz · m · log L)` active-index sketcher (the default).
+    Fast,
+    /// The `O(nnz · m · L)` expanded-vector sketcher (testing / ablation only).
+    Naive,
+}
+
+/// Configuration fingerprint shared by a family of compatible WMH sketches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WmhParams {
+    /// Number of samples `m`.
+    pub samples: usize,
+    /// Master random seed `s`.
+    pub seed: u64,
+    /// Discretization parameter `L` (squared entries are rounded to multiples of `1/L`).
+    pub discretization: u64,
+    /// Which implementation produced the sketch.
+    pub variant: WmhVariant,
+}
+
+/// The Weighted MinHash sketch of Algorithm 3:
+/// `W_a = {W_a^hash, W_a^val, ‖a‖}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedMinHashSketch {
+    pub(crate) params: WmhParams,
+    /// `W^hash`: minimum hash value over the expanded vector, per sample.
+    pub(crate) hashes: Vec<f64>,
+    /// `W^val`: the rounded, normalized entry (`ã[j]`) at the minimizing position, per
+    /// sample.
+    pub(crate) values: Vec<f64>,
+    /// `‖a‖`: the Euclidean norm of the original (un-normalized) vector.
+    pub(crate) norm: f64,
+}
+
+impl WeightedMinHashSketch {
+    /// The per-sample minimum hash values (`W^hash`).
+    #[must_use]
+    pub fn hashes(&self) -> &[f64] {
+        &self.hashes
+    }
+
+    /// The per-sample sampled entries of the rounded unit vector (`W^val`).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The stored Euclidean norm of the sketched vector.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// The configuration fingerprint of the sketch.
+    #[must_use]
+    pub fn params(&self) -> WmhParams {
+        self.params
+    }
+}
+
+impl Sketch for WeightedMinHashSketch {
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn storage_doubles(&self) -> f64 {
+        // One 32-bit hash + one 64-bit value per sample, plus the stored norm.
+        sampling_sketch_doubles(self.hashes.len(), 1)
+    }
+}
+
+/// Algorithm 5: estimates `⟨a, b⟩` from two Weighted MinHash sketches.
+///
+/// # Errors
+///
+/// Returns [`SketchError::IncompatibleSketches`] if the sketches differ in sample
+/// count, seed, discretization parameter or sketcher variant, and
+/// [`SketchError::EmptySketch`] if the sketches contain no samples.
+pub fn estimate(
+    a: &WeightedMinHashSketch,
+    b: &WeightedMinHashSketch,
+) -> Result<f64, SketchError> {
+    if a.params != b.params {
+        return Err(incompatible(format!(
+            "sketch parameters differ: {:?} vs {:?}",
+            a.params, b.params
+        )));
+    }
+    if a.hashes.len() != b.hashes.len()
+        || a.hashes.len() != a.params.samples
+        || a.values.len() != a.hashes.len()
+        || b.values.len() != b.hashes.len()
+    {
+        return Err(incompatible(format!(
+            "sample counts differ or are inconsistent: {} vs {} (expected {})",
+            a.hashes.len(),
+            b.hashes.len(),
+            a.params.samples
+        )));
+    }
+    let m = a.hashes.len();
+    if m == 0 {
+        return Err(SketchError::EmptySketch);
+    }
+
+    // Line 2: estimate the weighted union size M = Σ_j max(ã[j]², b̃[j]²), which equals
+    // |Ā ∪ B̄| / L for the expanded supports, via the Lemma-1 estimator.
+    let minima: Vec<f64> = a
+        .hashes
+        .iter()
+        .zip(&b.hashes)
+        .map(|(&x, &y)| x.min(y))
+        .collect();
+    let expanded_union = union_size_from_minima(&minima)?;
+    let weighted_union = expanded_union / a.params.discretization as f64;
+
+    // Lines 1 & 3: inverse-probability-weighted collision sum.
+    let mut collision_sum = 0.0;
+    for i in 0..m {
+        if a.hashes[i] == b.hashes[i] {
+            let va = a.values[i];
+            let vb = b.values[i];
+            let q = (va * va).min(vb * vb);
+            debug_assert!(q > 0.0, "sampled entries are non-zero by construction");
+            collision_sum += va * vb / q;
+        }
+    }
+    let unit_estimate = weighted_union / m as f64 * collision_sum;
+
+    // Line 4: undo the normalization by the stored norms.
+    Ok(a.norm * b.norm * unit_estimate)
+}
+
+/// Shared parameter validation for the two sketcher constructors.
+pub(crate) fn validate_params(samples: usize, discretization: u64) -> Result<(), SketchError> {
+    if samples == 0 {
+        return Err(SketchError::InvalidParameter {
+            name: "samples",
+            allowed: ">= 1",
+        });
+    }
+    if discretization == 0 {
+        return Err(SketchError::InvalidParameter {
+            name: "discretization",
+            allowed: ">= 1",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Sketcher;
+    use ipsketch_vector::{inner_product, SparseVector};
+
+    fn test_vectors() -> (SparseVector, SparseVector) {
+        let a = SparseVector::from_pairs((0..300u64).map(|i| (i, 1.0 + (i % 7) as f64))).unwrap();
+        let b =
+            SparseVector::from_pairs((150..450u64).map(|i| (i, 0.5 + (i % 5) as f64))).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn sketch_accessors_and_storage() {
+        let (a, _) = test_vectors();
+        let sketcher = WeightedMinHasher::new(64, 9, 1 << 20).unwrap();
+        let sk = sketcher.sketch(&a).unwrap();
+        assert_eq!(sk.len(), 64);
+        assert!(!sk.is_empty());
+        assert_eq!(sk.hashes().len(), 64);
+        assert_eq!(sk.values().len(), 64);
+        assert!((sk.norm() - a.norm()).abs() < 1e-12);
+        assert!((sk.storage_doubles() - (64.0 * 1.5 + 1.0)).abs() < 1e-12);
+        assert_eq!(sk.params().samples, 64);
+        assert_eq!(sk.params().variant, WmhVariant::Fast);
+        // All sampled values come from the rounded unit vector, so |v| <= 1.
+        assert!(sk.values().iter().all(|&v| v != 0.0 && v.abs() <= 1.0));
+        assert!(sk.hashes().iter().all(|&h| (0.0..1.0).contains(&h)));
+    }
+
+    #[test]
+    fn estimate_rejects_mismatched_params() {
+        let (a, b) = test_vectors();
+        let s1 = WeightedMinHasher::new(64, 1, 1 << 20).unwrap();
+        let s2 = WeightedMinHasher::new(64, 2, 1 << 20).unwrap();
+        let s3 = WeightedMinHasher::new(64, 1, 1 << 21).unwrap();
+        let s4 = WeightedMinHasher::new(32, 1, 1 << 20).unwrap();
+        let sa = s1.sketch(&a).unwrap();
+        for other in [
+            s2.sketch(&b).unwrap(),
+            s3.sketch(&b).unwrap(),
+            s4.sketch(&b).unwrap(),
+        ] {
+            assert!(matches!(
+                estimate(&sa, &other),
+                Err(SketchError::IncompatibleSketches { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn estimate_rejects_cross_variant_sketches() {
+        let (a, b) = test_vectors();
+        let fast = WeightedMinHasher::new(32, 1, 4096).unwrap();
+        let naive = NaiveWeightedMinHasher::new(32, 1, 4096).unwrap();
+        let sa = fast.sketch(&a).unwrap();
+        let sb = naive.sketch(&b).unwrap();
+        assert!(matches!(
+            estimate(&sa, &sb),
+            Err(SketchError::IncompatibleSketches { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_vectors_give_exact_norm_squared() {
+        // For a == b every sample collides and va == vb, so the collision sum is m and
+        // the estimate is ‖a‖² · M̃; with the union estimator concentrating near 1 for a
+        // unit vector, the estimate should be close to ‖a‖² (and is exactly unbiased).
+        let (a, _) = test_vectors();
+        let exact = inner_product(&a, &a);
+        let mut total = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let sketcher = WeightedMinHasher::new(256, seed, 1 << 22).unwrap();
+            let sk = sketcher.sketch(&a).unwrap();
+            total += estimate(&sk, &sk).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.05 * exact,
+            "mean {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimator_is_approximately_unbiased() {
+        let (a, b) = test_vectors();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let mut total = 0.0;
+        let trials = 40;
+        for seed in 0..trials {
+            let sketcher = WeightedMinHasher::new(256, seed, 1 << 22).unwrap();
+            let sa = sketcher.sketch(&a).unwrap();
+            let sb = sketcher.sketch(&b).unwrap();
+            total += estimate(&sa, &sb).unwrap();
+        }
+        let mean = total / f64::from(trials as u32);
+        assert!(
+            (mean - exact).abs() < 0.03 * scale,
+            "mean {mean}, exact {exact}, scale {scale}"
+        );
+    }
+
+    #[test]
+    fn validate_params_rejects_zero() {
+        assert!(validate_params(0, 10).is_err());
+        assert!(validate_params(10, 0).is_err());
+        assert!(validate_params(10, 10).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the sketching crate.
+
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_core::serialize::BinarySketch;
+use ipsketch_core::traits::{Sketch, Sketcher};
+use ipsketch_core::wmh::WeightedMinHasher;
+use ipsketch_core::{countsketch::CountSketcher, jl::JlSketcher, kmv::KmvSketcher, minhash::MinHasher};
+use ipsketch_vector::SparseVector;
+use proptest::prelude::*;
+
+/// A non-empty sparse vector with positive-magnitude entries.
+fn nonzero_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u64..10_000, 0.05f64..50.0), 1..60).prop_map(|mut pairs| {
+        pairs.dedup_by_key(|p| p.0);
+        SparseVector::from_pairs(pairs).expect("finite values")
+    })
+}
+
+/// A pair of non-empty vectors with partially overlapping supports.
+fn vector_pair() -> impl Strategy<Value = (SparseVector, SparseVector)> {
+    (nonzero_vector(), nonzero_vector(), 0u64..100).prop_map(|(a, b, shift)| {
+        // Shift b's indices so the overlap varies across cases.
+        let shifted =
+            SparseVector::from_pairs(b.iter().map(|(i, v)| (i + shift, v))).expect("finite");
+        (a, shifted)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimates_are_symmetric((a, b) in vector_pair(), seed in any::<u64>()) {
+        for method in SketchMethod::all() {
+            let sketcher = AnySketcher::for_budget(method, 64.0, seed).unwrap();
+            let sa = sketcher.sketch(&a).unwrap();
+            let sb = sketcher.sketch(&b).unwrap();
+            let ab = sketcher.estimate_inner_product(&sa, &sb).unwrap();
+            let ba = sketcher.estimate_inner_product(&sb, &sa).unwrap();
+            prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()), "{method:?}: {ab} vs {ba}");
+        }
+    }
+
+    #[test]
+    fn sketching_is_deterministic(a in nonzero_vector(), seed in any::<u64>()) {
+        for method in SketchMethod::all() {
+            let sketcher = AnySketcher::for_budget(method, 64.0, seed).unwrap();
+            let s1 = sketcher.sketch(&a).unwrap();
+            let s2 = sketcher.sketch(&a).unwrap();
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn storage_respects_budget(a in nonzero_vector(), seed in any::<u64>(), budget in 16.0f64..300.0) {
+        for method in SketchMethod::all() {
+            let sketcher = AnySketcher::for_budget(method, budget, seed).unwrap();
+            let sketch = sketcher.sketch(&a).unwrap();
+            prop_assert!(
+                sketch.storage_doubles() <= budget + 1e-9,
+                "{method:?} used {} of budget {budget}",
+                sketch.storage_doubles()
+            );
+        }
+    }
+
+    #[test]
+    fn wmh_scaling_invariance(a in nonzero_vector(), seed in any::<u64>(), factor in 0.1f64..50.0) {
+        let sketcher = WeightedMinHasher::new(32, seed, 1 << 20).unwrap();
+        let original = sketcher.sketch(&a).unwrap();
+        let scaled = sketcher.sketch(&a.scaled(factor)).unwrap();
+        prop_assert_eq!(original.hashes(), scaled.hashes());
+        prop_assert_eq!(original.values(), scaled.values());
+        prop_assert!((scaled.norm() - factor * original.norm()).abs() < 1e-6 * scaled.norm());
+    }
+
+    #[test]
+    fn wmh_self_estimate_is_positive(a in nonzero_vector(), seed in any::<u64>()) {
+        let sketcher = WeightedMinHasher::new(64, seed, 1 << 20).unwrap();
+        let sk = sketcher.sketch(&a).unwrap();
+        let est = sketcher.estimate_inner_product(&sk, &sk).unwrap();
+        prop_assert!(est > 0.0, "self inner product estimate {est} should be positive");
+    }
+
+    #[test]
+    fn minhash_values_come_from_the_vector(a in nonzero_vector(), seed in any::<u64>()) {
+        let sketcher = MinHasher::new(16, seed).unwrap();
+        let sk = sketcher.sketch(&a).unwrap();
+        for &v in sk.values() {
+            prop_assert!(a.values().contains(&v));
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips(a in nonzero_vector(), seed in any::<u64>()) {
+        let mh = MinHasher::new(8, seed).unwrap().sketch(&a).unwrap();
+        prop_assert_eq!(
+            ipsketch_core::minhash::MinHashSketch::from_bytes(&mh.to_bytes()).unwrap(),
+            mh
+        );
+        let wmh = WeightedMinHasher::new(8, seed, 1 << 16).unwrap().sketch(&a).unwrap();
+        prop_assert_eq!(
+            ipsketch_core::wmh::WeightedMinHashSketch::from_bytes(&wmh.to_bytes()).unwrap(),
+            wmh
+        );
+        let jl = JlSketcher::new(8, seed).unwrap().sketch(&a).unwrap();
+        prop_assert_eq!(ipsketch_core::jl::JlSketch::from_bytes(&jl.to_bytes()).unwrap(), jl);
+        let cs = CountSketcher::new(8, seed).unwrap().sketch(&a).unwrap();
+        prop_assert_eq!(
+            ipsketch_core::countsketch::CountSketch::from_bytes(&cs.to_bytes()).unwrap(),
+            cs
+        );
+        let kmv = KmvSketcher::new(8, seed).unwrap().sketch(&a).unwrap();
+        prop_assert_eq!(ipsketch_core::kmv::KmvSketch::from_bytes(&kmv.to_bytes()).unwrap(), kmv);
+    }
+
+    #[test]
+    fn jl_linearity(a in nonzero_vector(), seed in any::<u64>(), factor in -5.0f64..5.0) {
+        prop_assume!(factor.abs() > 1e-3);
+        let sketcher = JlSketcher::new(16, seed).unwrap();
+        let sa = sketcher.sketch(&a).unwrap();
+        let scaled = sketcher.sketch(&a.scaled(factor)).unwrap();
+        for (x, y) in sa.rows().iter().zip(scaled.rows()) {
+            prop_assert!((x * factor - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn disjoint_sampling_sketches_estimate_zero(a in nonzero_vector(), seed in any::<u64>()) {
+        // Build b on a disjoint index range.
+        let offset = a.max_dimension() + 1;
+        let b = SparseVector::from_pairs(a.iter().map(|(i, v)| (i + offset, v))).unwrap();
+        for method in [SketchMethod::MinHash, SketchMethod::Kmv, SketchMethod::WeightedMinHash, SketchMethod::Icws] {
+            let sketcher = AnySketcher::for_budget(method, 64.0, seed).unwrap();
+            let sa = sketcher.sketch(&a).unwrap();
+            let sb = sketcher.sketch(&b).unwrap();
+            let est = sketcher.estimate_inner_product(&sa, &sb).unwrap();
+            prop_assert_eq!(est, 0.0, "{:?}", method);
+        }
+    }
+}

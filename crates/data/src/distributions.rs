@@ -1,0 +1,320 @@
+//! Self-contained random distributions.
+//!
+//! The workload generators need normal, log-normal, Zipf and Pareto variates.  Rather
+//! than pulling in a distributions crate, this module implements them directly on top
+//! of the reproducible [`Xoshiro256PlusPlus`] generator, so every generated dataset is
+//! bit-identical across platforms and builds given the same seed.
+
+use ipsketch_hash::rng::Xoshiro256PlusPlus;
+
+/// Standard-normal sampling via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation (must be non-negative).
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid normal parameters: mean {mean}, std_dev {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        let u1 = rng.next_open_unit_f64();
+        let u2 = rng.next_unit_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws one sample clipped to `[lo, hi]`.
+    pub fn sample_clipped(&self, rng: &mut Xoshiro256PlusPlus, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Log-normal sampling: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite() && mu.is_finite(),
+            "invalid log-normal parameters"
+        );
+        Self { mu, sigma }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        Normal::new(self.mu, self.sigma).sample(rng).exp()
+    }
+}
+
+/// Pareto (power-law tail) sampling with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (scale).
+    pub x_min: f64,
+    /// Tail exponent (shape); smaller means heavier tails.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    #[must_use]
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "invalid Pareto parameters");
+        Self { x_min, alpha }
+    }
+
+    /// Draws one sample by inverse-CDF.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        let u = rng.next_open_unit_f64();
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf-distributed ranks over `{1, …, n}` with exponent `s`, sampled by inversion
+/// against the precomputed CDF (exact, `O(log n)` per sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, …, n}` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// The support size `n`.
+    #[must_use]
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `{1, …, n}` (rank 1 is the most frequent).
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> usize {
+        let u = rng.next_unit_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite CDF"))
+        {
+            Ok(pos) | Err(pos) => (pos + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// A discrete mixture over component distributions (used to build column generators
+/// with a controlled mix of light and heavy tails).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mixture<T> {
+    components: Vec<(f64, T)>,
+}
+
+impl<T> Mixture<T> {
+    /// Creates a mixture from `(weight, component)` pairs; weights are normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component is given or any weight is negative / all weights are zero.
+    #[must_use]
+    pub fn new(components: Vec<(f64, T)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            components.iter().all(|(w, _)| *w >= 0.0) && total > 0.0,
+            "mixture weights must be non-negative and not all zero"
+        );
+        Self { components }
+    }
+
+    /// Picks a component according to the weights.
+    pub fn pick<'a>(&'a self, rng: &mut Xoshiro256PlusPlus) -> &'a T {
+        let total: f64 = self.components.iter().map(|(w, _)| *w).sum();
+        let mut target = rng.next_unit_f64() * total;
+        for (w, component) in &self.components {
+            if target < *w {
+                return component;
+            }
+            target -= w;
+        }
+        &self.components.last().expect("non-empty").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::stats::moments;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::new(0xD15_7121)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng();
+        let dist = Normal::new(2.0, 3.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| dist.sample(&mut rng)).collect();
+        let m = moments(&samples).unwrap();
+        assert!((m.mean - 2.0).abs() < 0.05, "mean {}", m.mean);
+        assert!((m.variance - 9.0).abs() < 0.3, "variance {}", m.variance);
+        assert!((m.kurtosis - 3.0).abs() < 0.15, "kurtosis {}", m.kurtosis);
+    }
+
+    #[test]
+    fn normal_clipping() {
+        let mut rng = rng();
+        let dist = Normal::new(0.0, 5.0);
+        for _ in 0..1000 {
+            let v = dist.sample_clipped(&mut rng, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn normal_rejects_negative_std() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = rng();
+        let dist = LogNormal::new(0.0, 1.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        let m = moments(&samples).unwrap();
+        assert!(m.skewness > 2.0, "log-normal should be right-skewed: {}", m.skewness);
+        // E[lognormal(0,1)] = exp(0.5) ≈ 1.6487.
+        assert!((m.mean - 1.6487).abs() < 0.1, "mean {}", m.mean);
+    }
+
+    #[test]
+    fn pareto_minimum_and_heavy_tail() {
+        let mut rng = rng();
+        let dist = Pareto::new(1.0, 2.5);
+        let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v >= 1.0));
+        let m = moments(&samples).unwrap();
+        // Mean of Pareto(1, 2.5) is alpha/(alpha-1) = 5/3.
+        assert!((m.mean - 5.0 / 3.0).abs() < 0.1, "mean {}", m.mean);
+        assert!(m.kurtosis > 3.0, "Pareto should be leptokurtic: {}", m.kurtosis);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Pareto parameters")]
+    fn pareto_rejects_bad_params() {
+        let _ = Pareto::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn zipf_rank_one_is_most_frequent() {
+        let mut rng = rng();
+        let dist = Zipf::new(100, 1.1);
+        assert_eq!(dist.support(), 100);
+        let mut counts = vec![0u32; 101];
+        for _ in 0..50_000 {
+            let r = dist.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            counts[r] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[50] * 5);
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_uniform() {
+        let mut rng = rng();
+        let dist = Zipf::new(10, 0.0);
+        let mut counts = [0u32; 11];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate().skip(1) {
+            let frac = f64::from(count) / f64::from(n);
+            assert!((frac - 0.1).abs() < 0.01, "rank {r}: {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf support must be non-empty")]
+    fn zipf_rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let mut rng = rng();
+        let mix = Mixture::new(vec![(0.8, "light"), (0.2, "heavy")]);
+        let n = 50_000;
+        let heavy = (0..n).filter(|_| *mix.pick(&mut rng) == "heavy").count();
+        let frac = heavy as f64 / f64::from(n);
+        assert!((frac - 0.2).abs() < 0.01, "heavy fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture needs at least one component")]
+    fn mixture_rejects_empty() {
+        let _: Mixture<u8> = Mixture::new(vec![]);
+    }
+
+    #[test]
+    fn distributions_are_reproducible() {
+        let sample = |seed: u64| {
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            let dist = Normal::new(0.0, 1.0);
+            (0..5).map(|_| dist.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8));
+    }
+}

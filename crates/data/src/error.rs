@@ -1,0 +1,91 @@
+//! Error type for the workload substrate.
+
+use std::fmt;
+
+/// Errors produced when configuring or generating workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A configuration parameter was outside its allowed range.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the allowed values.
+        allowed: &'static str,
+    },
+    /// A referenced column does not exist in a table.
+    UnknownColumn {
+        /// The table name.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A table was constructed with inconsistent column lengths.
+    RaggedTable {
+        /// The table name.
+        table: String,
+        /// Length of the key column.
+        keys: usize,
+        /// Length of the offending value column.
+        values: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { name, allowed } => {
+                write!(f, "invalid configuration `{name}` (allowed: {allowed})")
+            }
+            DataError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            DataError::RaggedTable {
+                table,
+                keys,
+                values,
+            } => write!(
+                f,
+                "table `{table}` is ragged: {keys} keys but a value column of length {values}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(DataError::InvalidConfig {
+            name: "nnz",
+            allowed: ">= 1"
+        }
+        .to_string()
+        .contains("nnz"));
+        assert!(DataError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into()
+        }
+        .to_string()
+        .contains('c'));
+        assert!(DataError::RaggedTable {
+            table: "t".into(),
+            keys: 3,
+            values: 5
+        }
+        .to_string()
+        .contains('5'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&DataError::InvalidConfig {
+            name: "x",
+            allowed: "y",
+        });
+    }
+}

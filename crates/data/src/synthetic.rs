@@ -1,0 +1,330 @@
+//! The paper's synthetic vector-pair generator (Section 5.1).
+//!
+//! "We generate length-10000 vectors `a` and `b`, each with 2000 non-zero entries.  The
+//! ratio of non-zero entries that overlap […] is adjusted to simulate different
+//! practical settings […].  The non-zero entries in `a` and `b` are normal random
+//! variables with values between −1 and 1, except 10% of entries are chosen randomly as
+//! outliers and set to random values between 20 and 30."
+//!
+//! [`SyntheticPairConfig`] exposes every one of those knobs (with the paper's values as
+//! defaults) and [`SyntheticPairConfig::generate`] produces a reproducible pair for a
+//! given seed.
+
+use crate::distributions::Normal;
+use crate::error::DataError;
+use ipsketch_hash::rng::Xoshiro256PlusPlus;
+use ipsketch_vector::SparseVector;
+
+/// Configuration of the Section 5.1 synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticPairConfig {
+    /// Ambient dimension `n` (paper: 10 000).
+    pub dimension: u64,
+    /// Number of non-zero entries per vector (paper: 2000).
+    pub nonzeros: usize,
+    /// Fraction of each vector's non-zero entries that are shared with the other vector
+    /// (paper: 1%, 5%, 10%, 50%).
+    pub overlap: f64,
+    /// Standard deviation of the base normal values before clipping to `[-1, 1]`.
+    pub value_std: f64,
+    /// Fraction of non-zero entries replaced by large outliers (paper: 10%).
+    pub outlier_fraction: f64,
+    /// Outlier magnitude range (paper: `[20, 30]`).
+    pub outlier_range: (f64, f64),
+}
+
+impl Default for SyntheticPairConfig {
+    fn default() -> Self {
+        Self {
+            dimension: 10_000,
+            nonzeros: 2_000,
+            overlap: 0.1,
+            value_std: 0.5,
+            outlier_fraction: 0.1,
+            outlier_range: (20.0, 30.0),
+        }
+    }
+}
+
+/// A generated vector pair together with its generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticPair {
+    /// The first vector.
+    pub a: SparseVector,
+    /// The second vector.
+    pub b: SparseVector,
+    /// The configuration that produced the pair.
+    pub config: SyntheticPairConfig,
+}
+
+impl SyntheticPairConfig {
+    /// Creates a configuration with the paper's defaults and the given overlap ratio.
+    #[must_use]
+    pub fn with_overlap(overlap: f64) -> Self {
+        Self {
+            overlap,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if any field is out of range (zero
+    /// non-zeros, overlap outside `[0, 1]`, more non-zeros than dimensions, …).
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.nonzeros == 0 {
+            return Err(DataError::InvalidConfig {
+                name: "nonzeros",
+                allowed: ">= 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.overlap) {
+            return Err(DataError::InvalidConfig {
+                name: "overlap",
+                allowed: "[0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.outlier_fraction) {
+            return Err(DataError::InvalidConfig {
+                name: "outlier_fraction",
+                allowed: "[0, 1]",
+            });
+        }
+        let shared = self.shared_count();
+        let needed = 2 * self.nonzeros - shared;
+        if (needed as u64) > self.dimension {
+            return Err(DataError::InvalidConfig {
+                name: "dimension",
+                allowed: "large enough to hold both supports at the requested overlap",
+            });
+        }
+        if self.value_std <= 0.0 || !self.value_std.is_finite() {
+            return Err(DataError::InvalidConfig {
+                name: "value_std",
+                allowed: "> 0",
+            });
+        }
+        if self.outlier_range.0 > self.outlier_range.1 {
+            return Err(DataError::InvalidConfig {
+                name: "outlier_range",
+                allowed: "lo <= hi",
+            });
+        }
+        Ok(())
+    }
+
+    /// The number of indices shared by the two supports.
+    #[must_use]
+    pub fn shared_count(&self) -> usize {
+        (self.overlap * self.nonzeros as f64).round() as usize
+    }
+
+    /// Generates a vector pair for the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if the configuration is invalid.
+    pub fn generate(&self, seed: u64) -> Result<SyntheticPair, DataError> {
+        self.validate()?;
+        let mut rng = Xoshiro256PlusPlus::from_seed_and_stream(seed, 0x5E17);
+        let shared = self.shared_count();
+        let only = self.nonzeros - shared;
+
+        // Choose disjoint index sets: `shared` common indices, then `only` private
+        // indices for each vector.
+        let total_needed = shared + 2 * only;
+        let chosen = rng.sample_indices(self.dimension as usize, total_needed);
+        // `sample_indices` returns sorted indices; shuffle so the shared/private split is
+        // not correlated with index magnitude.
+        let mut chosen: Vec<u64> = chosen.into_iter().map(|i| i as u64).collect();
+        rng.shuffle(&mut chosen);
+        let shared_idx = &chosen[..shared];
+        let a_only = &chosen[shared..shared + only];
+        let b_only = &chosen[shared + only..];
+
+        let a = self.fill_values(shared_idx.iter().chain(a_only).copied(), &mut rng);
+        let b = self.fill_values(shared_idx.iter().chain(b_only).copied(), &mut rng);
+        Ok(SyntheticPair {
+            a,
+            b,
+            config: *self,
+        })
+    }
+
+    /// Draws values for the given indices: clipped normals with a fraction of outliers.
+    fn fill_values<I>(&self, indices: I, rng: &mut Xoshiro256PlusPlus) -> SparseVector
+    where
+        I: Iterator<Item = u64>,
+    {
+        let normal = Normal::new(0.0, self.value_std);
+        let pairs: Vec<(u64, f64)> = indices
+            .map(|i| {
+                let value = if rng.next_bool(self.outlier_fraction) {
+                    // Outliers are positive, "random values between 20 and 30" as in the
+                    // paper's Section 5.1, so shared outliers dominate the inner product
+                    // at higher overlap — the regime where unweighted sampling fails.
+                    rng.next_range_f64(self.outlier_range.0, self.outlier_range.1)
+                } else {
+                    let mut v = normal.sample_clipped(rng, -1.0, 1.0);
+                    if v == 0.0 {
+                        // Keep the support size exact: re-draw a tiny non-zero value.
+                        v = 1e-6;
+                    }
+                    v
+                };
+                (i, value)
+            })
+            .collect();
+        SparseVector::from_pairs(pairs).expect("generated values are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::{overlap_stats, stats::sparse_value_moments};
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = SyntheticPairConfig::default();
+        assert_eq!(c.dimension, 10_000);
+        assert_eq!(c.nonzeros, 2_000);
+        assert!((c.outlier_fraction - 0.1).abs() < 1e-12);
+        assert_eq!(c.outlier_range, (20.0, 30.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(SyntheticPairConfig {
+            nonzeros: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticPairConfig {
+            overlap: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticPairConfig {
+            outlier_fraction: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticPairConfig {
+            dimension: 100,
+            nonzeros: 80,
+            overlap: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticPairConfig {
+            value_std: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticPairConfig {
+            outlier_range: (5.0, 2.0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticPairConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn generates_exact_support_sizes_and_overlap() {
+        for overlap in [0.01, 0.05, 0.1, 0.5, 1.0] {
+            let config = SyntheticPairConfig::with_overlap(overlap);
+            let pair = config.generate(42).unwrap();
+            assert_eq!(pair.a.nnz(), 2000);
+            assert_eq!(pair.b.nnz(), 2000);
+            let stats = overlap_stats(&pair.a, &pair.b);
+            assert_eq!(stats.intersection, config.shared_count(), "overlap {overlap}");
+        }
+    }
+
+    #[test]
+    fn zero_overlap_gives_disjoint_supports() {
+        let config = SyntheticPairConfig {
+            overlap: 0.0,
+            nonzeros: 500,
+            ..Default::default()
+        };
+        let pair = config.generate(1).unwrap();
+        assert_eq!(overlap_stats(&pair.a, &pair.b).intersection, 0);
+    }
+
+    #[test]
+    fn values_are_clipped_normals_plus_outliers() {
+        let pair = SyntheticPairConfig::default().generate(7).unwrap();
+        let mut outliers = 0usize;
+        for &v in pair.a.values() {
+            let in_base_range = (-1.0..=1.0).contains(&v);
+            let is_outlier = (20.0..=30.0).contains(&v.abs());
+            assert!(in_base_range || is_outlier, "value {v} in neither range");
+            if is_outlier {
+                outliers += 1;
+            }
+        }
+        let frac = outliers as f64 / pair.a.nnz() as f64;
+        assert!((frac - 0.1).abs() < 0.03, "outlier fraction {frac}");
+    }
+
+    #[test]
+    fn outliers_induce_high_kurtosis() {
+        let pair = SyntheticPairConfig::default().generate(3).unwrap();
+        let with_outliers = sparse_value_moments(&pair.a).unwrap().kurtosis;
+        let no_outlier_config = SyntheticPairConfig {
+            outlier_fraction: 0.0,
+            ..Default::default()
+        };
+        let clean = no_outlier_config.generate(3).unwrap();
+        let without_outliers = sparse_value_moments(&clean.a).unwrap().kurtosis;
+        assert!(
+            with_outliers > 3.0 * without_outliers,
+            "kurtosis with outliers {with_outliers} vs without {without_outliers}"
+        );
+    }
+
+    #[test]
+    fn generation_is_reproducible_and_seed_sensitive() {
+        let config = SyntheticPairConfig::default();
+        let p1 = config.generate(9).unwrap();
+        let p2 = config.generate(9).unwrap();
+        let p3 = config.generate(10).unwrap();
+        assert_eq!(p1, p2);
+        assert_ne!(p1.a, p3.a);
+    }
+
+    #[test]
+    fn indices_stay_below_dimension() {
+        let config = SyntheticPairConfig {
+            dimension: 5_000,
+            nonzeros: 1_000,
+            ..Default::default()
+        };
+        let pair = config.generate(11).unwrap();
+        assert!(pair.a.indices().iter().all(|&i| i < 5_000));
+        assert!(pair.b.indices().iter().all(|&i| i < 5_000));
+    }
+
+    #[test]
+    fn full_overlap_shares_all_indices() {
+        let config = SyntheticPairConfig {
+            overlap: 1.0,
+            nonzeros: 300,
+            ..Default::default()
+        };
+        let pair = config.generate(2).unwrap();
+        assert_eq!(pair.a.indices(), pair.b.indices());
+        // Values still differ (independent draws).
+        assert_ne!(pair.a.values(), pair.b.values());
+    }
+}

@@ -1,0 +1,238 @@
+//! A minimal relational table model.
+//!
+//! The dataset-search application of the paper (Section 1.2, Figure 2) works with
+//! tables that have a key column `K` and one or more numeric value columns `V`.
+//! [`Table`] captures exactly that: unique 64-bit keys (the paper's one-to-one join
+//! assumption — many-to-many joins are reduced to this case by pre-aggregation) and
+//! aligned numeric columns.
+
+use crate::error::DataError;
+use ipsketch_vector::stats::{moments, Moments};
+
+/// A named numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// One value per row, aligned with the table's key column.
+    pub values: Vec<f64>,
+}
+
+impl Column {
+    /// Creates a column.
+    #[must_use]
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Moment statistics of the column values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is empty or contains non-finite values.
+    pub fn moments(&self) -> Result<Moments, ipsketch_vector::VectorError> {
+        moments(&self.values)
+    }
+}
+
+/// A table with a unique key column and aligned numeric value columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    keys: Vec<u64>,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table.
+    ///
+    /// Keys must be unique (duplicates are rejected rather than silently aggregated) and
+    /// every value column must have exactly one value per key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::RaggedTable`] for misaligned columns and
+    /// [`DataError::InvalidConfig`] for duplicate keys.
+    pub fn new(
+        name: impl Into<String>,
+        keys: Vec<u64>,
+        columns: Vec<Column>,
+    ) -> Result<Self, DataError> {
+        let name = name.into();
+        for column in &columns {
+            if column.values.len() != keys.len() {
+                return Err(DataError::RaggedTable {
+                    table: name,
+                    keys: keys.len(),
+                    values: column.values.len(),
+                });
+            }
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(DataError::InvalidConfig {
+                name: "keys",
+                allowed: "unique join keys (aggregate many-to-many tables first)",
+            });
+        }
+        Ok(Self {
+            name,
+            keys,
+            columns,
+        })
+    }
+
+    /// The table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The key column.
+    #[must_use]
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// All value columns.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks up a value column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownColumn`] if no column has that name.
+    pub fn column(&self, name: &str) -> Result<&Column, DataError> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| DataError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Iterates over `(key, value)` pairs of the named column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownColumn`] if no column has that name.
+    pub fn key_value_pairs(&self, name: &str) -> Result<Vec<(u64, f64)>, DataError> {
+        let column = self.column(name)?;
+        Ok(self.keys.iter().copied().zip(column.values.iter().copied()).collect())
+    }
+
+    /// The worked example tables of the paper's Figure 2 (`T_A` and `T_B`), useful for
+    /// documentation, examples and tests.
+    #[must_use]
+    pub fn figure_2_tables() -> (Table, Table) {
+        let t_a = Table::new(
+            "T_A",
+            vec![1, 3, 4, 5, 6, 7, 8, 9, 11],
+            vec![Column::new(
+                "V_A",
+                vec![6.0, 2.0, 6.0, 1.0, 4.0, 2.0, 2.0, 8.0, 3.0],
+            )],
+        )
+        .expect("figure 2 table A is well formed");
+        let t_b = Table::new(
+            "T_B",
+            vec![2, 4, 5, 8, 10, 11, 12, 15, 16],
+            vec![Column::new(
+                "V_B",
+                vec![1.0, 5.0, 1.0, 2.0, 4.0, 2.5, 6.0, 6.0, 3.7],
+            )],
+        )
+        .expect("figure 2 table B is well formed");
+        (t_a, t_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_alignment_and_uniqueness() {
+        assert!(matches!(
+            Table::new("t", vec![1, 2], vec![Column::new("v", vec![1.0])]),
+            Err(DataError::RaggedTable { .. })
+        ));
+        assert!(matches!(
+            Table::new("t", vec![1, 1], vec![Column::new("v", vec![1.0, 2.0])]),
+            Err(DataError::InvalidConfig { .. })
+        ));
+        assert!(Table::new("t", vec![1, 2], vec![Column::new("v", vec![1.0, 2.0])]).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Table::new(
+            "demo",
+            vec![10, 20, 30],
+            vec![
+                Column::new("x", vec![1.0, 2.0, 3.0]),
+                Column::new("y", vec![4.0, 5.0, 6.0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.name(), "demo");
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.keys(), &[10, 20, 30]);
+        assert_eq!(t.columns().len(), 2);
+        assert_eq!(t.column("y").unwrap().values, vec![4.0, 5.0, 6.0]);
+        assert!(matches!(
+            t.column("z"),
+            Err(DataError::UnknownColumn { .. })
+        ));
+        assert_eq!(
+            t.key_value_pairs("x").unwrap(),
+            vec![(10, 1.0), (20, 2.0), (30, 3.0)]
+        );
+        assert!(t.key_value_pairs("nope").is_err());
+    }
+
+    #[test]
+    fn column_moments() {
+        let c = Column::new("v", vec![1.0, 2.0, 3.0]);
+        let m = c.moments().unwrap();
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!(Column::new("empty", vec![]).moments().is_err());
+    }
+
+    #[test]
+    fn figure_2_tables_match_the_paper() {
+        let (ta, tb) = Table::figure_2_tables();
+        assert_eq!(ta.rows(), 9);
+        assert_eq!(tb.rows(), 9);
+        // SUM(V_A) over the join keys {4, 5, 8, 11} is 12.0 (Figure 2).
+        let join_keys: Vec<u64> = ta
+            .keys()
+            .iter()
+            .copied()
+            .filter(|k| tb.keys().contains(k))
+            .collect();
+        assert_eq!(join_keys, vec![4, 5, 8, 11]);
+        let sum: f64 = ta
+            .key_value_pairs("V_A")
+            .unwrap()
+            .into_iter()
+            .filter(|(k, _)| join_keys.contains(k))
+            .map(|(_, v)| v)
+            .sum();
+        assert!((sum - 12.0).abs() < 1e-12);
+    }
+}

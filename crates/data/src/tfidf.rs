@@ -1,0 +1,325 @@
+//! TF-IDF vectorization with unigrams and bigrams.
+//!
+//! The paper's text-similarity experiment represents each document "as a vector in
+//! which each entry represents a term or a combination of 2 terms (bigrams), and is
+//! associated with a value that encodes term/bigram importance using TF-IDF weights";
+//! cosine similarity between such vectors is then estimated from sketches.  This module
+//! provides the full pipeline: vocabulary construction over a token corpus (optionally
+//! with bigrams and a minimum document frequency), smoothed IDF weights, and
+//! vectorization of token sequences into [`SparseVector`]s.
+
+use crate::error::DataError;
+use ipsketch_vector::SparseVector;
+use std::collections::HashMap;
+
+/// Configuration of the TF-IDF pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TfIdfConfig {
+    /// Include bigrams (adjacent token pairs) in addition to unigrams.
+    pub bigrams: bool,
+    /// Minimum number of documents a term must appear in to enter the vocabulary.
+    pub min_document_frequency: usize,
+    /// L2-normalize the output vectors (so inner products are cosine similarities).
+    pub normalize: bool,
+}
+
+impl Default for TfIdfConfig {
+    fn default() -> Self {
+        Self {
+            bigrams: true,
+            min_document_frequency: 1,
+            normalize: true,
+        }
+    }
+}
+
+/// A term vocabulary: term string → dense index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Vocabulary {
+    terms: HashMap<String, u64>,
+}
+
+impl Vocabulary {
+    /// Number of terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The index of a term, if present.
+    #[must_use]
+    pub fn index_of(&self, term: &str) -> Option<u64> {
+        self.terms.get(term).copied()
+    }
+}
+
+/// The fitted TF-IDF vectorizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfIdfVectorizer {
+    config: TfIdfConfig,
+    vocabulary: Vocabulary,
+    /// Smoothed inverse document frequency per vocabulary index.
+    idf: Vec<f64>,
+}
+
+/// Expands a token sequence into the terms of the model (unigrams and, optionally,
+/// bigrams joined with `"_"`).
+fn expand_terms(tokens: &[String], bigrams: bool) -> Vec<String> {
+    let mut terms: Vec<String> = tokens.to_vec();
+    if bigrams {
+        terms.extend(tokens.windows(2).map(|w| format!("{}_{}", w[0], w[1])));
+    }
+    terms
+}
+
+impl TfIdfVectorizer {
+    /// Fits a vectorizer on a corpus of tokenized documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if the corpus is empty or the resulting
+    /// vocabulary would be empty (e.g. the minimum document frequency filters every
+    /// term).
+    pub fn fit(documents: &[Vec<String>], config: TfIdfConfig) -> Result<Self, DataError> {
+        if documents.is_empty() {
+            return Err(DataError::InvalidConfig {
+                name: "documents",
+                allowed: "at least one document",
+            });
+        }
+        // Document frequencies.
+        let mut document_frequency: HashMap<String, usize> = HashMap::new();
+        for tokens in documents {
+            let mut seen: Vec<String> = expand_terms(tokens, config.bigrams);
+            seen.sort_unstable();
+            seen.dedup();
+            for term in seen {
+                *document_frequency.entry(term).or_insert(0) += 1;
+            }
+        }
+        // Vocabulary: deterministic order (sorted terms) so indices are reproducible.
+        let mut kept: Vec<(String, usize)> = document_frequency
+            .into_iter()
+            .filter(|(_, df)| *df >= config.min_document_frequency)
+            .collect();
+        kept.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        if kept.is_empty() {
+            return Err(DataError::InvalidConfig {
+                name: "min_document_frequency",
+                allowed: "small enough to keep at least one term",
+            });
+        }
+        let n_docs = documents.len() as f64;
+        let mut terms = HashMap::with_capacity(kept.len());
+        let mut idf = Vec::with_capacity(kept.len());
+        for (index, (term, df)) in kept.into_iter().enumerate() {
+            terms.insert(term, index as u64);
+            // Smoothed IDF, as in standard TF-IDF implementations.
+            idf.push(((1.0 + n_docs) / (1.0 + df as f64)).ln() + 1.0);
+        }
+        Ok(Self {
+            config,
+            vocabulary: Vocabulary { terms },
+            idf,
+        })
+    }
+
+    /// The fitted vocabulary.
+    #[must_use]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The configuration the vectorizer was fitted with.
+    #[must_use]
+    pub fn config(&self) -> TfIdfConfig {
+        self.config
+    }
+
+    /// The dimensionality of produced vectors (vocabulary size).
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Vectorizes one tokenized document.  Out-of-vocabulary terms are ignored;
+    /// documents with no in-vocabulary terms produce the empty vector.
+    #[must_use]
+    pub fn vectorize(&self, tokens: &[String]) -> SparseVector {
+        let mut term_counts: HashMap<u64, f64> = HashMap::new();
+        for term in expand_terms(tokens, self.config.bigrams) {
+            if let Some(index) = self.vocabulary.index_of(&term) {
+                *term_counts.entry(index).or_insert(0.0) += 1.0;
+            }
+        }
+        let vector = SparseVector::from_pairs(
+            term_counts
+                .into_iter()
+                .map(|(index, tf)| (index, tf * self.idf[index as usize])),
+        )
+        .expect("tf-idf weights are finite");
+        if self.config.normalize {
+            vector.normalized().unwrap_or(vector)
+        } else {
+            vector
+        }
+    }
+
+    /// Vectorizes a batch of documents in order.
+    #[must_use]
+    pub fn vectorize_all(&self, documents: &[Vec<String>]) -> Vec<SparseVector> {
+        documents.iter().map(|d| self.vectorize(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::{cosine_similarity, inner_product};
+
+    fn toy_corpus() -> Vec<Vec<String>> {
+        let docs = [
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "cats and dogs are animals",
+            "the stock market fell sharply today",
+        ];
+        docs.iter().map(|d| crate::text::tokenize(d)).collect()
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(TfIdfVectorizer::fit(&[], TfIdfConfig::default()).is_err());
+        let config = TfIdfConfig {
+            min_document_frequency: 100,
+            ..Default::default()
+        };
+        assert!(TfIdfVectorizer::fit(&toy_corpus(), config).is_err());
+    }
+
+    #[test]
+    fn vocabulary_contains_unigrams_and_bigrams() {
+        let v = TfIdfVectorizer::fit(&toy_corpus(), TfIdfConfig::default()).unwrap();
+        assert!(v.vocabulary().index_of("cat").is_some());
+        assert!(v.vocabulary().index_of("the_cat").is_some());
+        assert!(v.vocabulary().index_of("missing").is_none());
+        assert_eq!(v.dimension(), v.vocabulary().len());
+        assert!(!v.vocabulary().is_empty());
+    }
+
+    #[test]
+    fn unigram_only_mode_has_no_bigrams() {
+        let config = TfIdfConfig {
+            bigrams: false,
+            ..Default::default()
+        };
+        let v = TfIdfVectorizer::fit(&toy_corpus(), config).unwrap();
+        assert!(v.vocabulary().index_of("the_cat").is_none());
+        assert!(v.vocabulary().index_of("cat").is_some());
+    }
+
+    #[test]
+    fn min_document_frequency_filters_rare_terms() {
+        let config = TfIdfConfig {
+            bigrams: false,
+            min_document_frequency: 2,
+            normalize: true,
+        };
+        let v = TfIdfVectorizer::fit(&toy_corpus(), config).unwrap();
+        // "the" and "sat" appear in >= 2 documents; "stock" only in one.
+        assert!(v.vocabulary().index_of("the").is_some());
+        assert!(v.vocabulary().index_of("sat").is_some());
+        assert!(v.vocabulary().index_of("stock").is_none());
+    }
+
+    #[test]
+    fn vectors_are_normalized_and_sparse() {
+        let corpus = toy_corpus();
+        let v = TfIdfVectorizer::fit(&corpus, TfIdfConfig::default()).unwrap();
+        for doc in &corpus {
+            let vec = v.vectorize(doc);
+            assert!((vec.norm() - 1.0).abs() < 1e-9);
+            assert!(vec.nnz() <= 2 * doc.len());
+        }
+    }
+
+    #[test]
+    fn rare_terms_get_higher_weight_than_common_terms() {
+        let corpus = toy_corpus();
+        let config = TfIdfConfig {
+            bigrams: false,
+            min_document_frequency: 1,
+            normalize: false,
+        };
+        let v = TfIdfVectorizer::fit(&corpus, config).unwrap();
+        let doc = crate::text::tokenize("the stock");
+        let vec = v.vectorize(&doc);
+        let the_weight = vec.get(v.vocabulary().index_of("the").unwrap());
+        let stock_weight = vec.get(v.vocabulary().index_of("stock").unwrap());
+        assert!(
+            stock_weight > the_weight,
+            "idf should down-weight common terms: stock {stock_weight} vs the {the_weight}"
+        );
+    }
+
+    #[test]
+    fn similar_documents_have_higher_cosine() {
+        let corpus = toy_corpus();
+        let v = TfIdfVectorizer::fit(&corpus, TfIdfConfig::default()).unwrap();
+        let vectors = v.vectorize_all(&corpus);
+        let cat_dog = cosine_similarity(&vectors[0], &vectors[1]);
+        let cat_stock = cosine_similarity(&vectors[0], &vectors[3]);
+        assert!(
+            cat_dog > cat_stock,
+            "related documents should be more similar: {cat_dog} vs {cat_stock}"
+        );
+        // With normalization, inner product equals cosine similarity.
+        assert!(
+            (inner_product(&vectors[0], &vectors[1]) - cat_dog).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn out_of_vocabulary_documents_vectorize_to_empty() {
+        let v = TfIdfVectorizer::fit(&toy_corpus(), TfIdfConfig::default()).unwrap();
+        let vec = v.vectorize(&crate::text::tokenize("zyzzyva qwerty"));
+        assert!(vec.is_empty());
+    }
+
+    #[test]
+    fn works_on_generated_corpus() {
+        let corpus = crate::text::CorpusConfig {
+            documents: 80,
+            vocabulary: 500,
+            topics: 4,
+            ..Default::default()
+        }
+        .generate(3)
+        .unwrap();
+        let tokenized: Vec<Vec<String>> =
+            corpus.documents.iter().map(|d| d.tokens.clone()).collect();
+        let v = TfIdfVectorizer::fit(&tokenized, TfIdfConfig::default()).unwrap();
+        let vectors = v.vectorize_all(&tokenized);
+        assert_eq!(vectors.len(), 80);
+        assert!(vectors.iter().all(|vec| !vec.is_empty()));
+        // TF-IDF dimension should be much larger than any single document's support.
+        let max_nnz = vectors.iter().map(SparseVector::nnz).max().unwrap();
+        assert!(v.dimension() > max_nnz);
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let corpus = toy_corpus();
+        let a = TfIdfVectorizer::fit(&corpus, TfIdfConfig::default()).unwrap();
+        let b = TfIdfVectorizer::fit(&corpus, TfIdfConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let doc = crate::text::tokenize("the cat sat");
+        assert_eq!(a.vectorize(&doc), b.vectorize(&doc));
+    }
+}

@@ -1,0 +1,419 @@
+//! A World-Bank-like synthetic data lake (substitute for the paper's Section 5.2 data).
+//!
+//! Figure 5 of the paper evaluates sketches on 5000 pairs of numerical columns drawn
+//! from 56 World Bank datasets, and bins the results by two quantities: the *overlap
+//! ratio* of the two columns' key sets and the *kurtosis* of the column values.  The
+//! original datasets are not redistributable, but neither axis depends on what the
+//! values mean — only on the joint structure of key sets and value distributions.  This
+//! module therefore generates a data lake with the same shape:
+//!
+//! * every table's key set is a contiguous window into a global key universe (think
+//!   "days since 1960"), so pairs of tables naturally span the full range of overlap
+//!   ratios from disjoint to identical;
+//! * every column's values are drawn from a mixture of light-tailed (normal), skewed
+//!   (log-normal) and heavy-tailed (Pareto, outlier-contaminated normal) distributions,
+//!   so column kurtosis spans the `≤10 / ≤100 / ≤1000 / >1000` buckets of Figure 5.
+
+use crate::distributions::{LogNormal, Normal, Pareto};
+use crate::error::DataError;
+use crate::tables::{Column, Table};
+use ipsketch_hash::rng::Xoshiro256PlusPlus;
+use ipsketch_vector::SparseVector;
+
+/// How a column's values are generated (the mixture components of the lake).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnFlavor {
+    /// Normal values: kurtosis ≈ 3.
+    Gaussian,
+    /// Log-normal values: moderate kurtosis (tens to hundreds).
+    LogNormal,
+    /// Pareto values: high kurtosis (hundreds and up).
+    HeavyTail,
+    /// Mostly-normal values with a small fraction of extreme outliers: very high
+    /// kurtosis (often thousands).
+    Contaminated,
+}
+
+impl ColumnFlavor {
+    /// All flavors, in generation-cycle order.
+    #[must_use]
+    pub fn all() -> [ColumnFlavor; 4] {
+        [
+            ColumnFlavor::Gaussian,
+            ColumnFlavor::LogNormal,
+            ColumnFlavor::HeavyTail,
+            ColumnFlavor::Contaminated,
+        ]
+    }
+}
+
+/// Configuration of the synthetic data lake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataLakeConfig {
+    /// Number of tables ("datasets"); the paper uses 56.
+    pub tables: usize,
+    /// Number of numeric columns per table.
+    pub columns_per_table: usize,
+    /// Minimum number of rows per table.
+    pub min_rows: usize,
+    /// Maximum number of rows per table.
+    pub max_rows: usize,
+    /// Size of the global key universe the tables' key windows are drawn from.
+    pub key_universe: u64,
+}
+
+impl Default for DataLakeConfig {
+    fn default() -> Self {
+        Self {
+            tables: 56,
+            columns_per_table: 4,
+            min_rows: 200,
+            max_rows: 1_500,
+            key_universe: 4_000,
+        }
+    }
+}
+
+/// A generated data lake.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataLake {
+    tables: Vec<Table>,
+}
+
+/// A reference to one numeric column of the lake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Index of the table within the lake.
+    pub table: usize,
+    /// Index of the column within the table.
+    pub column: usize,
+}
+
+impl DataLakeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for empty lakes, empty tables, inverted row
+    /// ranges, or a key universe smaller than the largest table.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.tables == 0 {
+            return Err(DataError::InvalidConfig {
+                name: "tables",
+                allowed: ">= 1",
+            });
+        }
+        if self.columns_per_table == 0 {
+            return Err(DataError::InvalidConfig {
+                name: "columns_per_table",
+                allowed: ">= 1",
+            });
+        }
+        if self.min_rows == 0 || self.min_rows > self.max_rows {
+            return Err(DataError::InvalidConfig {
+                name: "min_rows/max_rows",
+                allowed: "1 <= min_rows <= max_rows",
+            });
+        }
+        if (self.max_rows as u64) > self.key_universe {
+            return Err(DataError::InvalidConfig {
+                name: "key_universe",
+                allowed: ">= max_rows",
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates the data lake for the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if the configuration is invalid.
+    pub fn generate(&self, seed: u64) -> Result<DataLake, DataError> {
+        self.validate()?;
+        let mut rng = Xoshiro256PlusPlus::from_seed_and_stream(seed, 0x0B_57_1A);
+        let mut tables = Vec::with_capacity(self.tables);
+        let flavors = ColumnFlavor::all();
+        for t in 0..self.tables {
+            let rows = self.min_rows + rng.next_bounded_usize(self.max_rows - self.min_rows + 1);
+            // A contiguous key window: like a date range covered by the dataset.
+            let start_max = self.key_universe - rows as u64;
+            let start = if start_max == 0 {
+                0
+            } else {
+                rng.next_bounded_u64(start_max + 1)
+            };
+            let keys: Vec<u64> = (start..start + rows as u64).collect();
+            let mut columns = Vec::with_capacity(self.columns_per_table);
+            for c in 0..self.columns_per_table {
+                // Cycle through the flavors with a random tweak so every table contains
+                // both light- and heavy-tailed columns.
+                let flavor = flavors[(c + rng.next_bounded_usize(flavors.len())) % flavors.len()];
+                let values = generate_column_values(flavor, rows, &mut rng);
+                columns.push(Column::new(format!("t{t}_c{c}"), values));
+            }
+            tables.push(
+                Table::new(format!("dataset_{t:03}"), keys, columns)
+                    .expect("generated tables are well formed"),
+            );
+        }
+        Ok(DataLake { tables })
+    }
+}
+
+/// Draws `rows` values of the given flavor.
+fn generate_column_values(
+    flavor: ColumnFlavor,
+    rows: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Vec<f64> {
+    match flavor {
+        ColumnFlavor::Gaussian => {
+            let dist = Normal::new(rng.next_range_f64(-5.0, 5.0), rng.next_range_f64(0.5, 3.0));
+            (0..rows).map(|_| dist.sample(rng)).collect()
+        }
+        ColumnFlavor::LogNormal => {
+            let dist = LogNormal::new(0.0, rng.next_range_f64(0.8, 1.3));
+            (0..rows).map(|_| dist.sample(rng)).collect()
+        }
+        ColumnFlavor::HeavyTail => {
+            let dist = Pareto::new(1.0, rng.next_range_f64(1.2, 2.5));
+            (0..rows).map(|_| dist.sample(rng)).collect()
+        }
+        ColumnFlavor::Contaminated => {
+            let base = Normal::new(0.0, 1.0);
+            let outlier_scale = rng.next_range_f64(50.0, 500.0);
+            (0..rows)
+                .map(|_| {
+                    if rng.next_bool(0.005) {
+                        outlier_scale * (1.0 + rng.next_unit_f64())
+                    } else {
+                        base.sample(rng)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+impl DataLake {
+    /// The tables of the lake.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Total number of numeric columns across all tables.
+    #[must_use]
+    pub fn total_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.columns().len()).sum()
+    }
+
+    /// The sparse key-indexed vector representation of one column (index = join key,
+    /// value = column value), i.e. the `x_V` vector of the paper's Figure 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of bounds (references produced by
+    /// [`sample_column_pairs`](Self::sample_column_pairs) are always valid).
+    #[must_use]
+    pub fn column_vector(&self, reference: ColumnRef) -> SparseVector {
+        let table = &self.tables[reference.table];
+        let column = &table.columns()[reference.column];
+        SparseVector::from_pairs(
+            table
+                .keys()
+                .iter()
+                .copied()
+                .zip(column.values.iter().copied()),
+        )
+        .expect("table values are finite")
+    }
+
+    /// Samples `count` random cross-table column pairs (the Figure 5 protocol evaluates
+    /// 5000 such pairs).
+    #[must_use]
+    pub fn sample_column_pairs(&self, count: usize, seed: u64) -> Vec<(ColumnRef, ColumnRef)> {
+        let mut rng = Xoshiro256PlusPlus::from_seed_and_stream(seed, 0x0704_17E5);
+        let mut pairs = Vec::with_capacity(count);
+        if self.tables.len() < 2 {
+            return pairs;
+        }
+        while pairs.len() < count {
+            let ta = rng.next_bounded_usize(self.tables.len());
+            let tb = rng.next_bounded_usize(self.tables.len());
+            if ta == tb {
+                continue;
+            }
+            let ca = rng.next_bounded_usize(self.tables[ta].columns().len());
+            let cb = rng.next_bounded_usize(self.tables[tb].columns().len());
+            pairs.push((
+                ColumnRef {
+                    table: ta,
+                    column: ca,
+                },
+                ColumnRef {
+                    table: tb,
+                    column: cb,
+                },
+            ));
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::{jaccard_similarity, stats::moments};
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(DataLakeConfig {
+            tables: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DataLakeConfig {
+            columns_per_table: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DataLakeConfig {
+            min_rows: 10,
+            max_rows: 5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DataLakeConfig {
+            max_rows: 10_000,
+            key_universe: 100,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DataLakeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn generates_expected_shape() {
+        let config = DataLakeConfig {
+            tables: 10,
+            columns_per_table: 3,
+            min_rows: 50,
+            max_rows: 200,
+            key_universe: 1_000,
+        };
+        let lake = config.generate(1).unwrap();
+        assert_eq!(lake.tables().len(), 10);
+        assert_eq!(lake.total_columns(), 30);
+        for table in lake.tables() {
+            assert!(table.rows() >= 50 && table.rows() <= 200);
+            assert_eq!(table.columns().len(), 3);
+            assert!(table.keys().iter().all(|&k| k < 1_000));
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let config = DataLakeConfig {
+            tables: 5,
+            ..Default::default()
+        };
+        assert_eq!(config.generate(3).unwrap(), config.generate(3).unwrap());
+        assert_ne!(config.generate(3).unwrap(), config.generate(4).unwrap());
+    }
+
+    #[test]
+    fn overlap_ratios_span_a_wide_range() {
+        let lake = DataLakeConfig::default().generate(7).unwrap();
+        let pairs = lake.sample_column_pairs(300, 11);
+        let mut low = 0;
+        let mut high = 0;
+        for (a, b) in &pairs {
+            let va = lake.column_vector(*a);
+            let vb = lake.column_vector(*b);
+            let j = jaccard_similarity(&va, &vb);
+            if j < 0.25 {
+                low += 1;
+            }
+            if j > 0.5 {
+                high += 1;
+            }
+        }
+        assert!(low > 20, "expected many low-overlap pairs, got {low}");
+        assert!(high > 20, "expected many high-overlap pairs, got {high}");
+    }
+
+    #[test]
+    fn kurtosis_spans_figure_5_buckets() {
+        let lake = DataLakeConfig::default().generate(13).unwrap();
+        let mut buckets = [0usize; 4]; // <=10, <=100, <=1000, >1000
+        for table in lake.tables() {
+            for column in table.columns() {
+                let k = moments(&column.values).unwrap().kurtosis;
+                let idx = if k <= 10.0 {
+                    0
+                } else if k <= 100.0 {
+                    1
+                } else if k <= 1000.0 {
+                    2
+                } else {
+                    3
+                };
+                buckets[idx] += 1;
+            }
+        }
+        assert!(buckets[0] > 0, "no light-tailed columns: {buckets:?}");
+        assert!(
+            buckets[1] + buckets[2] + buckets[3] > 0,
+            "no heavy-tailed columns: {buckets:?}"
+        );
+        // At least three of the four buckets should be populated for a default lake.
+        assert!(
+            buckets.iter().filter(|&&c| c > 0).count() >= 3,
+            "kurtosis buckets too narrow: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn column_pair_sampling_is_cross_table_and_reproducible() {
+        let lake = DataLakeConfig::default().generate(5).unwrap();
+        let pairs = lake.sample_column_pairs(100, 3);
+        assert_eq!(pairs.len(), 100);
+        assert!(pairs.iter().all(|(a, b)| a.table != b.table));
+        assert_eq!(pairs, lake.sample_column_pairs(100, 3));
+        // A single-table lake cannot produce cross-table pairs.
+        let tiny = DataLakeConfig {
+            tables: 1,
+            ..Default::default()
+        }
+        .generate(1)
+        .unwrap();
+        assert!(tiny.sample_column_pairs(10, 1).is_empty());
+    }
+
+    #[test]
+    fn column_vectors_use_keys_as_indices() {
+        let lake = DataLakeConfig {
+            tables: 2,
+            columns_per_table: 1,
+            min_rows: 10,
+            max_rows: 10,
+            key_universe: 100,
+        }
+        .generate(9)
+        .unwrap();
+        let v = lake.column_vector(ColumnRef { table: 0, column: 0 });
+        let table = &lake.tables()[0];
+        // Every key with a non-zero value appears in the vector with that value.
+        for (k, val) in table.keys().iter().zip(&table.columns()[0].values) {
+            if *val != 0.0 {
+                assert_eq!(v.get(*k), *val);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the hashing substrate.
+
+use std::fmt;
+
+/// Errors produced when constructing hash functions or hash families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashError {
+    /// A parameter that must be non-zero was zero (e.g. the number of hash functions in
+    /// a family, or the number of buckets of a bucket hash).
+    ZeroParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A parameter exceeded the supported range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the allowed range.
+        allowed: &'static str,
+    },
+}
+
+impl fmt::Display for HashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HashError::ZeroParameter { name } => {
+                write!(f, "parameter `{name}` must be non-zero")
+            }
+            HashError::OutOfRange { name, allowed } => {
+                write!(f, "parameter `{name}` is out of range (allowed: {allowed})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_parameter() {
+        let e = HashError::ZeroParameter { name: "m" };
+        assert_eq!(e.to_string(), "parameter `m` must be non-zero");
+    }
+
+    #[test]
+    fn display_out_of_range() {
+        let e = HashError::OutOfRange {
+            name: "buckets",
+            allowed: "1..=2^32",
+        };
+        assert!(e.to_string().contains("buckets"));
+        assert!(e.to_string().contains("1..=2^32"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&HashError::ZeroParameter { name: "m" });
+    }
+}

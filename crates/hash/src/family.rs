@@ -1,0 +1,247 @@
+//! Seeded families of independent unit hashers.
+//!
+//! MinHash-style sketches need `m` independent hash functions `h_1, …, h_m` (Algorithm
+//! 1 line 3, Algorithm 3 line 6).  A [`UnitHashFamily`] derives all of them from a
+//! single master seed, so that two parties who agree on `(seed, m)` — and nothing else —
+//! compute compatible sketches.
+
+use crate::error::HashError;
+use crate::mix::mix2;
+use crate::unit::{
+    DynUnitHasher, MixUnitHasher, MultiplyShiftUnitHasher, TabulationUnitHasher, UnitHasher,
+    Wegman31UnitHasher, Wegman61UnitHasher,
+};
+
+/// Which hash family backs a [`UnitHashFamily`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HashFamilyKind {
+    /// 2-wise independent Carter–Wegman hash over a 31-bit prime (the paper's choice).
+    Wegman31,
+    /// 2-wise independent Carter–Wegman hash over a 61-bit prime.
+    #[default]
+    Wegman61,
+    /// SplitMix64-based mixing hash (default: fastest with full 53-bit resolution).
+    Mix,
+    /// Simple tabulation hashing (3-wise independent, strong in practice).
+    Tabulation,
+    /// Multiply-shift hashing (2-universal, fastest arithmetic).
+    MultiplyShift,
+}
+
+impl HashFamilyKind {
+    /// All supported kinds, for sweeping in experiments.
+    #[must_use]
+    pub fn all() -> [HashFamilyKind; 5] {
+        [
+            HashFamilyKind::Wegman31,
+            HashFamilyKind::Wegman61,
+            HashFamilyKind::Mix,
+            HashFamilyKind::Tabulation,
+            HashFamilyKind::MultiplyShift,
+        ]
+    }
+
+    /// A short, stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            HashFamilyKind::Wegman31 => "wegman31",
+            HashFamilyKind::Wegman61 => "wegman61",
+            HashFamilyKind::Mix => "mix",
+            HashFamilyKind::Tabulation => "tabulation",
+            HashFamilyKind::MultiplyShift => "multiply-shift",
+        }
+    }
+}
+
+/// A family of hash functions derived from a seed.
+pub trait HashFamily {
+    /// The hasher type produced by this family.
+    type Hasher: UnitHasher;
+
+    /// Returns the `index`-th member of the family.
+    ///
+    /// Members with distinct indices behave as independent hash functions; the same
+    /// `(seed, index)` always yields the same function.
+    fn member(&self, index: usize) -> Self::Hasher;
+}
+
+/// A seeded family of `m` independent [`UnitHasher`]s of a runtime-selected kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitHashFamily {
+    seed: u64,
+    len: usize,
+    kind: HashFamilyKind,
+}
+
+impl UnitHashFamily {
+    /// Creates a family of `len` hash functions of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::ZeroParameter`] if `len == 0`.
+    pub fn new(seed: u64, len: usize, kind: HashFamilyKind) -> Result<Self, HashError> {
+        if len == 0 {
+            return Err(HashError::ZeroParameter { name: "len" });
+        }
+        Ok(Self { seed, len, kind })
+    }
+
+    /// Creates a family with the default (61-bit Carter–Wegman) hash kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::ZeroParameter`] if `len == 0`.
+    pub fn with_default_kind(seed: u64, len: usize) -> Result<Self, HashError> {
+        Self::new(seed, len, HashFamilyKind::default())
+    }
+
+    /// The number of hash functions in the family.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the family is empty (never true for a constructed family).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The backing hash family kind.
+    #[must_use]
+    pub fn kind(&self) -> HashFamilyKind {
+        self.kind
+    }
+
+    /// The seed of member `index` (derived from the master seed).
+    #[must_use]
+    fn member_seed(&self, index: usize) -> u64 {
+        mix2(self.seed, index as u64)
+    }
+
+    /// Iterates over all members of the family in index order.
+    pub fn iter(&self) -> impl Iterator<Item = DynUnitHasher> + '_ {
+        (0..self.len).map(move |i| self.member(i))
+    }
+}
+
+impl HashFamily for UnitHashFamily {
+    type Hasher = DynUnitHasher;
+
+    fn member(&self, index: usize) -> DynUnitHasher {
+        assert!(
+            index < self.len,
+            "hash family index {index} out of bounds (len {})",
+            self.len
+        );
+        let seed = self.member_seed(index);
+        match self.kind {
+            HashFamilyKind::Wegman31 => DynUnitHasher::Wegman31(Wegman31UnitHasher::from_seed(seed)),
+            HashFamilyKind::Wegman61 => DynUnitHasher::Wegman61(Wegman61UnitHasher::from_seed(seed)),
+            HashFamilyKind::Mix => DynUnitHasher::Mix(MixUnitHasher::from_seed(seed)),
+            HashFamilyKind::Tabulation => {
+                DynUnitHasher::Tabulation(TabulationUnitHasher::from_seed(seed))
+            }
+            HashFamilyKind::MultiplyShift => {
+                DynUnitHasher::MultiplyShift(MultiplyShiftUnitHasher::from_seed(seed))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_family() {
+        assert_eq!(
+            UnitHashFamily::new(1, 0, HashFamilyKind::Mix),
+            Err(HashError::ZeroParameter { name: "len" })
+        );
+    }
+
+    #[test]
+    fn family_is_reproducible() {
+        let f1 = UnitHashFamily::new(42, 8, HashFamilyKind::Wegman61).unwrap();
+        let f2 = UnitHashFamily::new(42, 8, HashFamilyKind::Wegman61).unwrap();
+        for i in 0..8 {
+            let a = f1.member(i);
+            let b = f2.member(i);
+            for key in [0u64, 7, 1 << 40] {
+                assert_eq!(a.hash_unit(key).to_bits(), b.hash_unit(key).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_distinct_functions() {
+        let f = UnitHashFamily::new(42, 4, HashFamilyKind::Mix).unwrap();
+        let a = f.member(0);
+        let b = f.member(1);
+        let agreements = (0..200u64)
+            .filter(|&k| (a.hash_unit(k) - b.hash_unit(k)).abs() < 1e-15)
+            .count();
+        assert!(agreements < 3);
+    }
+
+    #[test]
+    fn different_seeds_yield_different_families() {
+        let f1 = UnitHashFamily::with_default_kind(1, 4).unwrap();
+        let f2 = UnitHashFamily::with_default_kind(2, 4).unwrap();
+        let a = f1.member(0);
+        let b = f2.member(0);
+        let agreements = (0..200u64)
+            .filter(|&k| (a.hash_unit(k) - b.hash_unit(k)).abs() < 1e-15)
+            .count();
+        assert!(agreements < 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = UnitHashFamily::new(9, 5, HashFamilyKind::Tabulation).unwrap();
+        assert_eq!(f.len(), 5);
+        assert!(!f.is_empty());
+        assert_eq!(f.seed(), 9);
+        assert_eq!(f.kind(), HashFamilyKind::Tabulation);
+        assert_eq!(f.iter().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_member_panics() {
+        let f = UnitHashFamily::with_default_kind(9, 5).unwrap();
+        let _ = f.member(5);
+    }
+
+    #[test]
+    fn all_kinds_produce_valid_members() {
+        for kind in HashFamilyKind::all() {
+            let f = UnitHashFamily::new(123, 3, kind).unwrap();
+            for i in 0..3 {
+                let h = f.member(i);
+                let v = h.hash_unit(999);
+                assert!((0.0..1.0).contains(&v), "kind {kind:?} out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            HashFamilyKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn default_kind_is_wegman61() {
+        assert_eq!(HashFamilyKind::default(), HashFamilyKind::Wegman61);
+    }
+}

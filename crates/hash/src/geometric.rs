@@ -1,0 +1,131 @@
+//! Geometric-distribution skipping.
+//!
+//! The "active index" technique for fast Weighted MinHash sketching (paper, Section 5,
+//! "Efficient Weighted Hashing") relies on the following fact: when scanning a stream of
+//! i.i.d. `Uniform[0,1)` hash values and the current minimum is `z`, the number of
+//! additional values that must be inspected until one falls below `z` is geometrically
+//! distributed with success probability `z`.  Sampling that skip directly lets the
+//! sketcher jump over entire runs of irrelevant positions, reducing the per-block cost
+//! from `O(L)` to `O(log L)` in expectation.
+
+/// Samples a geometric random variable with success probability `p` from a single
+/// uniform variate `u ∈ (0, 1]` by inversion.
+///
+/// The returned value is the number of Bernoulli(`p`) trials up to and including the
+/// first success (support `1, 2, 3, …`).  Results are saturated at `u64::MAX` when `p`
+/// is so small (or `u` so close to 1) that the skip exceeds the representable range —
+/// callers always bound positions by a finite block length, so saturation is harmless.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]` or `u` is not in `(0, 1]`.
+#[must_use]
+pub fn geometric_skip(p: f64, u: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "success probability {p} out of (0, 1]");
+    assert!(u > 0.0 && u <= 1.0, "uniform variate {u} out of (0, 1]");
+    if p >= 1.0 {
+        return 1;
+    }
+    // Inverse CDF: G = ceil(ln(u) / ln(1 - p)), clamped to at least 1.
+    let denom = (1.0 - p).ln();
+    if denom == 0.0 {
+        // p is below the f64 resolution of (1 - p); the expected skip exceeds 2^52, so
+        // saturate (callers bound positions by a finite block length anyway).
+        return if u >= 1.0 { 1 } else { u64::MAX };
+    }
+    let skip = (u.ln() / denom).ceil();
+    if !skip.is_finite() || skip >= u64::MAX as f64 {
+        u64::MAX
+    } else if skip < 1.0 {
+        1
+    } else {
+        skip as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn p_one_always_returns_one() {
+        for u in [0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(geometric_skip(1.0, u), 1);
+        }
+    }
+
+    #[test]
+    fn small_u_gives_small_skip() {
+        // ln(u) close to 0 means the success happened immediately.
+        assert_eq!(geometric_skip(0.5, 0.6), 1);
+    }
+
+    #[test]
+    fn skip_is_at_least_one() {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        for _ in 0..10_000 {
+            let p = rng.next_range_f64(1e-6, 1.0);
+            let u = rng.next_open_unit_f64();
+            assert!(geometric_skip(p, u) >= 1);
+        }
+    }
+
+    #[test]
+    fn tiny_p_saturates_instead_of_overflowing() {
+        let skip = geometric_skip(1e-300, 0.999_999);
+        assert!(skip > 1);
+        // Must not panic and must be large.
+        let skip2 = geometric_skip(f64::MIN_POSITIVE, 0.5);
+        assert!(skip2 > 1_000_000);
+    }
+
+    #[test]
+    fn mean_matches_one_over_p() {
+        // E[Geometric(p)] = 1/p.
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        for &p in &[0.5, 0.2, 0.05] {
+            let n = 200_000;
+            let sum: f64 = (0..n)
+                .map(|_| geometric_skip(p, rng.next_open_unit_f64()) as f64)
+                .sum();
+            let mean = sum / f64::from(n);
+            let expected = 1.0 / p;
+            assert!(
+                (mean - expected).abs() / expected < 0.03,
+                "p={p}: mean {mean}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_matches_cdf() {
+        // P[G <= k] = 1 - (1-p)^k.  Check a few points for p = 0.3.
+        let p = 0.3;
+        let mut rng = Xoshiro256PlusPlus::new(13);
+        let n = 200_000;
+        let samples: Vec<u64> = (0..n)
+            .map(|_| geometric_skip(p, rng.next_open_unit_f64()))
+            .collect();
+        for k in [1u64, 2, 3, 5, 10] {
+            let empirical = samples.iter().filter(|&&g| g <= k).count() as f64 / f64::from(n);
+            let exact = 1.0 - (1.0 - p).powi(k as i32);
+            assert!(
+                (empirical - exact).abs() < 0.01,
+                "k={k}: empirical {empirical}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "success probability")]
+    fn zero_p_panics() {
+        let _ = geometric_skip(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform variate")]
+    fn zero_u_panics() {
+        let _ = geometric_skip(0.5, 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Avalanching 64-bit mixing functions.
+//!
+//! These finalizers take an arbitrary 64-bit input and produce an output whose bits are
+//! (empirically) uniform and nearly independent of the input bits.  They are the
+//! building block for deriving many independent hash streams from one master seed: the
+//! mix of `(seed, stream_id, key)` behaves like an independent random value for every
+//! distinct triple.
+//!
+//! The constants are the widely used SplitMix64 / MurmurHash3 finalizer constants.
+
+/// The SplitMix64 finalizer.
+///
+/// This is a bijection on `u64` with excellent avalanche properties: flipping any input
+/// bit flips each output bit with probability close to 1/2.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The MurmurHash3 64-bit finalizer (`fmix64`).
+///
+/// Another high-quality bijective mixer; used where two *different* mixers are needed
+/// to decorrelate derived streams.
+#[inline]
+#[must_use]
+pub fn murmur3_fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+/// Mixes two 64-bit words into one.
+///
+/// The combination is not symmetric: `mix2(a, b) != mix2(b, a)` in general, which is
+/// what we want when the two words play different roles (e.g. seed and key).
+#[inline]
+#[must_use]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ murmur3_fmix64(b).rotate_left(23))
+}
+
+/// Mixes three 64-bit words into one.
+#[inline]
+#[must_use]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix2(mix2(a, b), c)
+}
+
+/// Mixes four 64-bit words into one.
+#[inline]
+#[must_use]
+pub fn mix4(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    mix2(mix3(a, b, c), d)
+}
+
+/// Converts a 64-bit word into a double-precision value in `[0, 1)`.
+///
+/// Uses the top 53 bits so every representable output is equally likely and the result
+/// is never exactly 1.0.
+#[inline]
+#[must_use]
+pub fn u64_to_unit_f64(x: u64) -> f64 {
+    // 2^-53
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    ((x >> 11) as f64) * SCALE
+}
+
+/// Converts a 64-bit word into a strictly positive double in `(0, 1]`.
+///
+/// Useful when the value will be passed to `ln()` and must not be zero.
+#[inline]
+#[must_use]
+pub fn u64_to_open_unit_f64(x: u64) -> f64 {
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    (((x >> 11) as f64) + 1.0) * SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_eq!(splitmix64(12345), splitmix64(12345));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn splitmix_known_values_differ_from_input() {
+        // A bijective mixer should not be the identity on simple inputs.
+        for x in [0u64, 1, 2, u64::MAX, 0xDEADBEEF] {
+            assert_ne!(splitmix64(x), x);
+        }
+    }
+
+    #[test]
+    fn murmur_fmix_is_bijection_on_sample() {
+        // Spot-check injectivity on a few thousand inputs.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..5000u64 {
+            assert!(seen.insert(murmur3_fmix64(x)));
+        }
+    }
+
+    #[test]
+    fn mix2_not_symmetric() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+
+    #[test]
+    fn mix3_depends_on_all_arguments() {
+        let base = mix3(1, 2, 3);
+        assert_ne!(base, mix3(9, 2, 3));
+        assert_ne!(base, mix3(1, 9, 3));
+        assert_ne!(base, mix3(1, 2, 9));
+    }
+
+    #[test]
+    fn mix4_depends_on_all_arguments() {
+        let base = mix4(1, 2, 3, 4);
+        assert_ne!(base, mix4(9, 2, 3, 4));
+        assert_ne!(base, mix4(1, 9, 3, 4));
+        assert_ne!(base, mix4(1, 2, 9, 4));
+        assert_ne!(base, mix4(1, 2, 3, 9));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for x in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000, 42] {
+            let v = u64_to_unit_f64(x);
+            assert!((0.0..1.0).contains(&v), "value {v} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn open_unit_f64_strictly_positive() {
+        for x in [0u64, 1, u64::MAX, 42] {
+            let v = u64_to_open_unit_f64(x);
+            assert!(v > 0.0 && v <= 1.0, "value {v} out of (0,1]");
+        }
+    }
+
+    #[test]
+    fn unit_f64_roughly_uniform_mean() {
+        // The mean of the mapped mixer outputs over many consecutive integers should be
+        // close to 0.5 if the mixer avalanches properly.
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| u64_to_unit_f64(splitmix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn avalanche_bit_flip_changes_roughly_half_of_output_bits() {
+        let mut total_flips = 0u32;
+        let trials = 2_000;
+        for i in 0..trials {
+            let x = splitmix64(i as u64 ^ 0xABCD_EF01);
+            let bit = (i % 64) as u64;
+            let flipped = splitmix64((i as u64 ^ 0xABCD_EF01) ^ (1 << bit));
+            total_flips += (x ^ flipped).count_ones();
+        }
+        let avg = f64::from(total_flips) / f64::from(trials);
+        assert!(
+            (avg - 32.0).abs() < 3.0,
+            "average output-bit flips {avg} not close to 32"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Modular arithmetic over Mersenne primes.
+//!
+//! Carter–Wegman universal hashing works over a prime field.  The paper's experiments
+//! use a 31-bit prime so that hash values fit in a 32-bit integer (Section 5, "Choice of
+//! Hash Function"); we also provide the 61-bit Mersenne prime for hashing 64-bit key
+//! domains with more resolution.  Mersenne primes `2^k − 1` admit a fast reduction
+//! without division.
+
+/// The Mersenne prime `2^31 − 1`.
+pub const P31: u64 = (1 << 31) - 1;
+
+/// The Mersenne prime `2^61 − 1`.
+pub const P61: u64 = (1 << 61) - 1;
+
+/// Reduces `x` modulo `2^31 − 1`.
+///
+/// Accepts any `u64` input; the result is in `[0, P31)`.
+#[inline]
+#[must_use]
+pub fn mod_p31(mut x: u64) -> u64 {
+    // Repeatedly fold the high bits down: 2^31 ≡ 1 (mod p).
+    x = (x >> 31) + (x & P31);
+    x = (x >> 31) + (x & P31);
+    if x >= P31 {
+        x - P31
+    } else {
+        x
+    }
+}
+
+/// Reduces `x` modulo `2^61 − 1`, where `x < 2^122` is given as a 128-bit value.
+#[inline]
+#[must_use]
+pub fn mod_p61_u128(x: u128) -> u64 {
+    const P: u128 = P61 as u128;
+    let mut r = (x >> 61) + (x & P);
+    r = (r >> 61) + (r & P);
+    let mut r = r as u64;
+    if r >= P61 {
+        r -= P61;
+    }
+    r
+}
+
+/// Multiplies two residues modulo `2^61 − 1`.
+///
+/// Both inputs must already be reduced (`< P61`).
+#[inline]
+#[must_use]
+pub fn mul_mod_p61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    mod_p61_u128(u128::from(a) * u128::from(b))
+}
+
+/// Adds two residues modulo `2^61 − 1`.
+#[inline]
+#[must_use]
+pub fn add_mod_p61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    let s = a + b;
+    if s >= P61 {
+        s - P61
+    } else {
+        s
+    }
+}
+
+/// Multiplies two residues modulo `2^31 − 1`.
+#[inline]
+#[must_use]
+pub fn mul_mod_p31(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P31 && b < P31);
+    mod_p31_u128(u128::from(a) * u128::from(b))
+}
+
+/// Reduces a 128-bit value modulo `2^31 − 1`.
+#[inline]
+#[must_use]
+pub fn mod_p31_u128(x: u128) -> u64 {
+    const P: u128 = P31 as u128;
+    let mut r = (x >> 31) + (x & P);
+    r = (r >> 31) + (r & P);
+    r = (r >> 31) + (r & P);
+    let mut r = r as u64;
+    while r >= P31 {
+        r -= P31;
+    }
+    r
+}
+
+/// Adds two residues modulo `2^31 − 1`.
+#[inline]
+#[must_use]
+pub fn add_mod_p31(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P31 && b < P31);
+    let s = a + b;
+    if s >= P31 {
+        s - P31
+    } else {
+        s
+    }
+}
+
+/// Computes `base^exp mod 2^61 − 1` by square-and-multiply.
+#[must_use]
+pub fn pow_mod_p61(mut base: u64, mut exp: u64) -> u64 {
+    base %= P61;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_p61(acc, base);
+        }
+        base = mul_mod_p61(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p31_and_p61_are_prime_valued_constants() {
+        assert_eq!(P31, 2_147_483_647);
+        assert_eq!(P61, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn mod_p31_matches_naive() {
+        for x in [
+            0u64,
+            1,
+            P31 - 1,
+            P31,
+            P31 + 1,
+            2 * P31,
+            2 * P31 + 5,
+            u64::MAX,
+            0x1234_5678_9ABC_DEF0,
+        ] {
+            assert_eq!(mod_p31(x), x % P31, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mod_p31_exhaustive_random_sample() {
+        let mut state = 0xDEAD_BEEFu64;
+        for _ in 0..10_000 {
+            state = crate::mix::splitmix64(state);
+            assert_eq!(mod_p31(state), state % P31);
+        }
+    }
+
+    #[test]
+    fn mod_p61_matches_naive_u128() {
+        let cases: [u128; 7] = [
+            0,
+            1,
+            u128::from(P61) - 1,
+            u128::from(P61),
+            u128::from(P61) + 1,
+            u128::from(u64::MAX) * u128::from(u64::MAX),
+            (1u128 << 121) + 12345,
+        ];
+        for x in cases {
+            assert_eq!(u128::from(mod_p61_u128(x)), x % u128::from(P61), "x={x}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_p61_matches_naive() {
+        let mut state = 7u64;
+        for _ in 0..5_000 {
+            state = crate::mix::splitmix64(state);
+            let a = state % P61;
+            state = crate::mix::splitmix64(state);
+            let b = state % P61;
+            let expected = (u128::from(a) * u128::from(b)) % u128::from(P61);
+            assert_eq!(u128::from(mul_mod_p61(a, b)), expected);
+        }
+    }
+
+    #[test]
+    fn mul_mod_p31_matches_naive() {
+        let mut state = 11u64;
+        for _ in 0..5_000 {
+            state = crate::mix::splitmix64(state);
+            let a = state % P31;
+            state = crate::mix::splitmix64(state);
+            let b = state % P31;
+            let expected = (u128::from(a) * u128::from(b)) % u128::from(P31);
+            assert_eq!(u128::from(mul_mod_p31(a, b)), expected);
+        }
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        assert_eq!(add_mod_p31(P31 - 1, 1), 0);
+        assert_eq!(add_mod_p31(P31 - 1, 5), 4);
+        assert_eq!(add_mod_p61(P61 - 1, 1), 0);
+        assert_eq!(add_mod_p61(P61 - 3, 10), 7);
+        assert_eq!(add_mod_p31(3, 4), 7);
+    }
+
+    #[test]
+    fn pow_mod_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 (mod p) for a not divisible by p.
+        for a in [2u64, 3, 12345, 987_654_321] {
+            assert_eq!(pow_mod_p61(a, P61 - 1), 1);
+        }
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod_p61(2, 10), 1024);
+        assert_eq!(pow_mod_p61(5, 0), 1);
+        assert_eq!(pow_mod_p61(0, 5), 0);
+        assert_eq!(pow_mod_p61(7, 1), 7);
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic record streams for the "active index" Weighted MinHash sketcher.
+//!
+//! # Background
+//!
+//! Algorithm 3 of the paper conceptually hashes every position of an *expanded* vector
+//! `ā` of length `n·L`, where block `j` contains `ã[j]²·L` non-zero positions.  Doing
+//! this literally costs `O(L)` hash evaluations per block.  The active-index technique
+//! (Gollapudi & Panigrahy; exposition in Manasse et al.) instead generates only the
+//! *records* of the implicit hash stream — the successive minima — because the minimum
+//! over any block prefix is determined entirely by the last record inside that prefix.
+//!
+//! # Consistency
+//!
+//! The estimator (Algorithm 5) compares hash values across sketches computed
+//! *independently* for different vectors.  For those comparisons to be meaningful, the
+//! implicit hash value of expanded position `t` of block `j` under sample `i` must be a
+//! deterministic function of `(seed, i, j, t)`, identical for every vector.  A
+//! [`RecordStream`] achieves this by seeding its generator with exactly `(seed, i, j)`:
+//! two vectors that both contain block `j` replay the *same* record sequence and merely
+//! stop at their own prefix lengths.  The minimum over a prefix of length `k` is then
+//! the value of the last record with `position < k` — bit-identical across vectors
+//! whenever the expanded-vector model says the minima coincide.
+//!
+//! # Distribution
+//!
+//! For i.i.d. `Uniform[0,1)` values, the record process is: the first record sits at
+//! position 0 with a `Uniform[0,1)` value; given a record with value `z` at position
+//! `p`, the next record sits at `p + Geometric(z)` and its value is `Uniform[0, z)`.
+//! [`RecordStream`] samples this process directly, so the minimum over a prefix of
+//! length `k` has exactly the distribution of `min` of `k` i.i.d. uniforms, and the
+//! joint distribution across nested prefixes matches the idealized model as well.
+
+use crate::geometric::geometric_skip;
+use crate::mix::mix3;
+use crate::rng::Xoshiro256PlusPlus;
+
+/// A single record (running minimum) of the implicit hash stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Zero-based position within the block at which this minimum occurs.
+    pub position: u64,
+    /// The hash value at that position; strictly decreasing from record to record.
+    pub value: f64,
+}
+
+/// The deterministic stream of successive minima of an implicit sequence of uniform
+/// hash values, identified by `(seed, sample, block)`.
+#[derive(Debug, Clone)]
+pub struct RecordStream {
+    rng: Xoshiro256PlusPlus,
+    /// The most recently emitted record, if any.
+    current: Option<Record>,
+    /// Position of the next candidate record (position of current + sampled skip).
+    next_position: Option<u64>,
+}
+
+impl RecordStream {
+    /// Creates the record stream for hash sample `sample` and expanded block `block`
+    /// under master seed `seed`.
+    #[must_use]
+    pub fn new(seed: u64, sample: u64, block: u64) -> Self {
+        let stream_seed = mix3(seed ^ 0x5EC0_4D57_4EA3, sample, block);
+        Self {
+            rng: Xoshiro256PlusPlus::new(stream_seed),
+            current: None,
+            next_position: Some(0),
+        }
+    }
+
+    /// Returns the next record, advancing the stream.
+    ///
+    /// Positions are strictly increasing and values strictly decreasing.  Returns
+    /// `None` once the next record position would exceed `u64::MAX` (practically
+    /// unreachable) or the value has underflowed to zero.
+    pub fn next_record(&mut self) -> Option<Record> {
+        let position = self.next_position?;
+        let value = match self.current {
+            // First record: a fresh Uniform[0,1) value at position 0.
+            None => self.rng.next_unit_f64(),
+            // Subsequent records: uniform below the previous minimum.
+            Some(prev) => prev.value * self.rng.next_unit_f64(),
+        };
+        if value <= 0.0 {
+            // The value has underflowed; no meaningful further records exist.
+            self.next_position = None;
+            return None;
+        }
+        let record = Record { position, value };
+        self.current = Some(record);
+        let skip = geometric_skip(value, self.rng.next_open_unit_f64());
+        self.next_position = position.checked_add(skip);
+        Some(record)
+    }
+
+    /// Returns the minimum hash value over the prefix of the first `len` positions,
+    /// together with the position where it occurs.
+    ///
+    /// Returns `None` when `len == 0` (an empty prefix has no minimum).  The stream is
+    /// advanced; calling this repeatedly with increasing `len` values is supported and
+    /// efficient, but calling it with a *smaller* `len` than a previous call would give
+    /// stale results, so prefer one call per stream.
+    pub fn prefix_min(&mut self, len: u64) -> Option<Record> {
+        if len == 0 {
+            return None;
+        }
+        // Emit records until the next record would land at or beyond `len`.
+        loop {
+            match self.next_position {
+                Some(p) if p < len => {
+                    if self.next_record().is_none() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.current.filter(|r| r.position < len)
+    }
+}
+
+/// Convenience wrapper: the minimum hash value over the first `len` positions of the
+/// implicit stream identified by `(seed, sample, block)`.
+///
+/// Returns `None` if `len == 0`.
+#[must_use]
+pub fn prefix_min(seed: u64, sample: u64, block: u64, len: u64) -> Option<Record> {
+    RecordStream::new(seed, sample, block).prefix_min(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_have_increasing_positions_and_decreasing_values() {
+        let mut stream = RecordStream::new(1, 2, 3);
+        let mut prev: Option<Record> = None;
+        for _ in 0..50 {
+            let Some(r) = stream.next_record() else { break };
+            if let Some(p) = prev {
+                assert!(r.position > p.position);
+                assert!(r.value < p.value);
+            } else {
+                assert_eq!(r.position, 0);
+            }
+            assert!(r.value > 0.0 && r.value < 1.0);
+            prev = Some(r);
+        }
+        assert!(prev.is_some());
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let collect = || {
+            let mut s = RecordStream::new(7, 11, 13);
+            (0..20).map_while(|_| s.next_record()).collect::<Vec<_>>()
+        };
+        let a = collect();
+        let b = collect();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let first = |seed, sample, block| {
+            RecordStream::new(seed, sample, block)
+                .next_record()
+                .unwrap()
+                .value
+        };
+        let base = first(1, 2, 3);
+        assert_ne!(base.to_bits(), first(2, 2, 3).to_bits());
+        assert_ne!(base.to_bits(), first(1, 3, 3).to_bits());
+        assert_ne!(base.to_bits(), first(1, 2, 4).to_bits());
+    }
+
+    #[test]
+    fn prefix_min_zero_len_is_none() {
+        assert!(prefix_min(1, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn prefix_min_len_one_is_first_record() {
+        let mut s1 = RecordStream::new(5, 6, 7);
+        let first = s1.next_record().unwrap();
+        let m = prefix_min(5, 6, 7, 1).unwrap();
+        assert_eq!(m.position, 0);
+        assert_eq!(m.value.to_bits(), first.value.to_bits());
+    }
+
+    #[test]
+    fn prefix_min_is_monotone_in_len() {
+        // A longer prefix can only have a smaller (or equal) minimum.
+        for block in 0..20u64 {
+            let short = prefix_min(9, 0, block, 10).unwrap();
+            let long = prefix_min(9, 0, block, 1000).unwrap();
+            assert!(long.value <= short.value);
+            assert!(long.position < 1000 && short.position < 10);
+        }
+    }
+
+    #[test]
+    fn nested_prefixes_share_records() {
+        // If the longer prefix's minimum falls inside the shorter prefix, the minima are
+        // bit-identical — the consistency property the WMH estimator relies on.
+        let mut shared = 0;
+        for block in 0..200u64 {
+            let short = prefix_min(3, 1, block, 50).unwrap();
+            let long = prefix_min(3, 1, block, 80).unwrap();
+            if long.position < 50 {
+                assert_eq!(long.value.to_bits(), short.value.to_bits());
+                assert_eq!(long.position, short.position);
+                shared += 1;
+            } else {
+                assert!(long.value < short.value);
+            }
+        }
+        // The minimum of 80 uniforms falls in the first 50 positions with prob. 5/8.
+        assert!(shared > 80, "only {shared} of 200 blocks shared the minimum");
+    }
+
+    #[test]
+    fn prefix_min_distribution_matches_min_of_uniforms() {
+        // E[min of k uniforms] = 1/(k+1).
+        for &k in &[1u64, 4, 16, 64, 256] {
+            let n = 4000u64;
+            let mean: f64 = (0..n)
+                .map(|b| prefix_min(0xABC, 0, b, k).unwrap().value)
+                .sum::<f64>()
+                / n as f64;
+            let expected = 1.0 / (k as f64 + 1.0);
+            let tol = 4.0 * expected / (n as f64).sqrt() + 1e-4;
+            assert!(
+                (mean - expected).abs() < 4.0 * tol,
+                "k={k}: mean {mean}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_min_positions_are_uniform() {
+        // The argmin of k i.i.d. uniforms is uniform over the k positions; check the
+        // mean position for k = 10 is around (k-1)/2.
+        let k = 10u64;
+        let n = 20_000u64;
+        let mean_pos: f64 = (0..n)
+            .map(|b| prefix_min(0xDEF, 0, b, k).unwrap().position as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_pos - 4.5).abs() < 0.15,
+            "mean argmin position {mean_pos}, expected 4.5"
+        );
+    }
+
+    #[test]
+    fn large_prefix_len_terminates_quickly() {
+        // Even for a huge L the number of records is O(log L); this must return fast.
+        let r = prefix_min(4, 2, 9, 1u64 << 60).unwrap();
+        assert!(r.value > 0.0);
+        assert!(r.position < 1u64 << 60);
+    }
+}

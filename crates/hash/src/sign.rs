@@ -1,0 +1,201 @@
+//! Sign hashes and bucket hashes for linear sketches.
+//!
+//! The linear-sketching baselines need two derived hash primitives:
+//!
+//! * a **sign hash** `σ : keys → {−1, +1}` (Johnson–Lindenstrauss rows, CountSketch
+//!   signs, SimHash hyperplane signs), and
+//! * a **bucket hash** `g : keys → {0, …, B−1}` (CountSketch bucket assignment).
+//!
+//! Both are derived from the mixing functions in [`crate::mix`], keyed by a seed and a
+//! "row"/"repetition" identifier so that a single seed yields a whole family of
+//! independent functions without materializing any random matrix.
+
+use crate::error::HashError;
+use crate::mix::{mix3, u64_to_unit_f64};
+
+/// A family of ±1 sign hashes indexed by a row identifier.
+///
+/// `sign(row, key)` behaves like an independent Rademacher variable for every distinct
+/// `(row, key)` pair drawn from the seeded family.  This is exactly what is needed to
+/// evaluate the entries of the random matrix `Π` in Fact 1 on demand: the JL sketch row
+/// `r` of vector `a` is `Σ_j sign(r, j)·a[j] / √m`, and no `m × n` matrix is ever
+/// stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignHasher {
+    seed: u64,
+}
+
+impl SignHasher {
+    /// Creates the family from a seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Returns +1.0 or −1.0 for the given row and key.
+    #[inline]
+    #[must_use]
+    pub fn sign(&self, row: u64, key: u64) -> f64 {
+        if mix3(self.seed, row, key) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Returns a full 64-bit mixed value for the given row and key (used by SimHash,
+    /// which needs a Gaussian-ish projection rather than a pure sign; callers can map
+    /// this to whatever distribution they need).
+    #[inline]
+    #[must_use]
+    pub fn raw(&self, row: u64, key: u64) -> u64 {
+        mix3(self.seed, row, key)
+    }
+
+    /// Returns a uniform value in `[0, 1)` for the given row and key.
+    #[inline]
+    #[must_use]
+    pub fn unit(&self, row: u64, key: u64) -> f64 {
+        u64_to_unit_f64(self.raw(row, key))
+    }
+}
+
+/// A family of bucket hashes `g_r : keys → {0, …, buckets−1}` indexed by a repetition
+/// identifier, as used by CountSketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketHasher {
+    seed: u64,
+    buckets: u64,
+}
+
+impl BucketHasher {
+    /// Creates the family from a seed and a bucket count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::ZeroParameter`] if `buckets == 0`.
+    pub fn new(seed: u64, buckets: usize) -> Result<Self, HashError> {
+        if buckets == 0 {
+            return Err(HashError::ZeroParameter { name: "buckets" });
+        }
+        Ok(Self {
+            seed,
+            buckets: buckets as u64,
+        })
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets as usize
+    }
+
+    /// Maps `(repetition, key)` to a bucket index in `[0, buckets)`.
+    ///
+    /// Uses the multiply-high trick on the mixed value so all buckets are (essentially)
+    /// equally likely regardless of whether `buckets` divides `2^64`.
+    #[inline]
+    #[must_use]
+    pub fn bucket(&self, repetition: u64, key: u64) -> usize {
+        let h = mix3(self.seed ^ 0xB0C4_E7AA, repetition, key);
+        ((u128::from(h) * u128::from(self.buckets)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_is_plus_or_minus_one_and_deterministic() {
+        let s = SignHasher::from_seed(1);
+        let s2 = SignHasher::from_seed(1);
+        for row in 0..5u64 {
+            for key in 0..50u64 {
+                let v = s.sign(row, key);
+                assert!(v == 1.0 || v == -1.0);
+                assert_eq!(v, s2.sign(row, key));
+            }
+        }
+    }
+
+    #[test]
+    fn sign_balance() {
+        let s = SignHasher::from_seed(2);
+        let n = 50_000u64;
+        let sum: f64 = (0..n).map(|k| s.sign(0, k)).sum();
+        // Mean should be near zero: |sum| ~ O(sqrt(n)) ≈ 224.
+        assert!(sum.abs() < 1_500.0, "sum {sum}");
+    }
+
+    #[test]
+    fn sign_rows_are_decorrelated() {
+        let s = SignHasher::from_seed(3);
+        let n = 20_000u64;
+        let dot: f64 = (0..n).map(|k| s.sign(0, k) * s.sign(1, k)).sum();
+        assert!(dot.abs() < 1_000.0, "rows correlated: {dot}");
+    }
+
+    #[test]
+    fn sign_seeds_differ() {
+        let a = SignHasher::from_seed(4);
+        let b = SignHasher::from_seed(5);
+        let agreements = (0..1000u64).filter(|&k| a.sign(0, k) == b.sign(0, k)).count();
+        // Should be close to 500, certainly not 0 or 1000.
+        assert!((300..700).contains(&agreements), "{agreements}");
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let s = SignHasher::from_seed(6);
+        for key in 0..100u64 {
+            let v = s.unit(3, key);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bucket_hash_range_and_determinism() {
+        let b = BucketHasher::new(7, 17).unwrap();
+        assert_eq!(b.buckets(), 17);
+        let b2 = BucketHasher::new(7, 17).unwrap();
+        for rep in 0..3u64 {
+            for key in 0..200u64 {
+                let v = b.bucket(rep, key);
+                assert!(v < 17);
+                assert_eq!(v, b2.bucket(rep, key));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_hash_zero_buckets_rejected() {
+        assert_eq!(
+            BucketHasher::new(7, 0),
+            Err(HashError::ZeroParameter { name: "buckets" })
+        );
+    }
+
+    #[test]
+    fn bucket_hash_roughly_uniform() {
+        let b = BucketHasher::new(8, 10).unwrap();
+        let mut counts = [0u32; 10];
+        let n = 100_000u64;
+        for key in 0..n {
+            counts[b.bucket(0, key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = f64::from(c) / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket {i} has fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn bucket_repetitions_are_independent() {
+        let b = BucketHasher::new(9, 100).unwrap();
+        let n = 10_000u64;
+        let same = (0..n).filter(|&k| b.bucket(0, k) == b.bucket(1, k)).count();
+        // Expected collisions across repetitions ≈ n / buckets = 100.
+        assert!(same < 300, "{same} same-bucket keys across repetitions");
+    }
+}

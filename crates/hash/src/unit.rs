@@ -1,0 +1,296 @@
+//! The [`UnitHasher`] trait: hash functions into the unit interval.
+//!
+//! MinHash-style sketches are defined in terms of idealized random functions
+//! `h : {1,…,n} → [0,1]` (paper, Section 3).  This module defines the trait shared by
+//! all practical stand-ins and provides implementations backed by each hash family of
+//! this crate, so that the sketching code can be written once and the choice of hash
+//! function becomes an experiment parameter (experiment A3).
+
+use crate::mix::{mix2, splitmix64, u64_to_unit_f64};
+use crate::tabulation::TabulationHash;
+use crate::universal::{CarterWegman31, CarterWegman61, MultiplyShift};
+
+/// A hash function mapping 64-bit keys to uniform values in `[0, 1)`.
+///
+/// Implementations must be deterministic: the same key always maps to the same value,
+/// and two instances constructed from the same seed are interchangeable.  This is the
+/// property the MinHash estimators rely on when comparing hash values across
+/// independently computed sketches.
+pub trait UnitHasher {
+    /// Hashes `key` to a value in `[0, 1)`.
+    fn hash_unit(&self, key: u64) -> f64;
+
+    /// Hashes `key` to a raw 64-bit value (useful when the full entropy is needed, e.g.
+    /// for tie-breaking or discretized storage).
+    fn hash_u64(&self, key: u64) -> u64;
+}
+
+/// A [`UnitHasher`] backed by the paper's 2-wise independent 31-bit Carter–Wegman hash.
+///
+/// Hash values are of the form `v / (2^31 − 1)` with `v` a 32-bit integer, matching the
+/// storage model in the paper's experiments (32-bit hashes inside sampling sketches).
+///
+/// Keys are first passed through a fixed 64-bit bijection (the SplitMix64 finalizer)
+/// before the linear hash.  Composing a 2-universal family with a fixed permutation of
+/// the key domain preserves 2-universality, and the scrambling removes arithmetic
+/// structure (e.g. consecutive integer keys), for which the minimum of a *linear* hash
+/// is known to be biased — the union-size estimator of Lemma 1 relies on the minima
+/// behaving like those of independent uniforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wegman31UnitHasher {
+    inner: CarterWegman31,
+}
+
+impl Wegman31UnitHasher {
+    /// Creates the hasher from a seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: CarterWegman31::from_seed(seed),
+        }
+    }
+}
+
+impl UnitHasher for Wegman31UnitHasher {
+    #[inline]
+    fn hash_unit(&self, key: u64) -> f64 {
+        self.inner.hash_unit(splitmix64(key))
+    }
+
+    #[inline]
+    fn hash_u64(&self, key: u64) -> u64 {
+        u64::from(self.inner.hash(splitmix64(key)))
+    }
+}
+
+/// A [`UnitHasher`] backed by a 61-bit Carter–Wegman hash (higher resolution).
+///
+/// As with [`Wegman31UnitHasher`], keys are scrambled with a fixed bijection before the
+/// linear hash to remove arithmetic structure in the key set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wegman61UnitHasher {
+    inner: CarterWegman61,
+}
+
+impl Wegman61UnitHasher {
+    /// Creates the hasher from a seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: CarterWegman61::from_seed(seed),
+        }
+    }
+}
+
+impl UnitHasher for Wegman61UnitHasher {
+    #[inline]
+    fn hash_unit(&self, key: u64) -> f64 {
+        self.inner.hash_unit(splitmix64(key))
+    }
+
+    #[inline]
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.inner.hash(splitmix64(key))
+    }
+}
+
+/// A [`UnitHasher`] backed by the SplitMix64 finalizer (not provably universal, but the
+/// strongest mixer per cycle; the default for throughput-oriented use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixUnitHasher {
+    seed: u64,
+}
+
+impl MixUnitHasher {
+    /// Creates the hasher from a seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl UnitHasher for MixUnitHasher {
+    #[inline]
+    fn hash_unit(&self, key: u64) -> f64 {
+        u64_to_unit_f64(self.hash_u64(key))
+    }
+
+    #[inline]
+    fn hash_u64(&self, key: u64) -> u64 {
+        mix2(self.seed, key)
+    }
+}
+
+/// A [`UnitHasher`] backed by simple tabulation hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabulationUnitHasher {
+    inner: TabulationHash,
+}
+
+impl TabulationUnitHasher {
+    /// Creates the hasher from a seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: TabulationHash::from_seed(seed),
+        }
+    }
+}
+
+impl UnitHasher for TabulationUnitHasher {
+    #[inline]
+    fn hash_unit(&self, key: u64) -> f64 {
+        self.inner.hash_unit(key)
+    }
+
+    #[inline]
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.inner.hash(key)
+    }
+}
+
+/// A [`UnitHasher`] backed by the multiply-shift scheme.
+///
+/// As with the Carter–Wegman hashers, keys are scrambled with a fixed bijection before
+/// the multiply-shift so that structured key sets do not bias order statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShiftUnitHasher {
+    inner: MultiplyShift,
+}
+
+impl MultiplyShiftUnitHasher {
+    /// Creates the hasher from a seed, using 53 output bits (full double mantissa).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: MultiplyShift::from_seed(seed, 53),
+        }
+    }
+}
+
+impl UnitHasher for MultiplyShiftUnitHasher {
+    #[inline]
+    fn hash_unit(&self, key: u64) -> f64 {
+        self.inner.hash_unit(splitmix64(key))
+    }
+
+    #[inline]
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.inner.hash(splitmix64(key))
+    }
+}
+
+/// A runtime-selected [`UnitHasher`], so callers can switch hash families without
+/// generics (used by the hash-family ablation experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynUnitHasher {
+    /// 31-bit Carter–Wegman (the paper's choice).
+    Wegman31(Wegman31UnitHasher),
+    /// 61-bit Carter–Wegman.
+    Wegman61(Wegman61UnitHasher),
+    /// SplitMix64 mixer.
+    Mix(MixUnitHasher),
+    /// Simple tabulation.
+    Tabulation(TabulationUnitHasher),
+    /// Multiply-shift.
+    MultiplyShift(MultiplyShiftUnitHasher),
+}
+
+impl UnitHasher for DynUnitHasher {
+    #[inline]
+    fn hash_unit(&self, key: u64) -> f64 {
+        match self {
+            DynUnitHasher::Wegman31(h) => h.hash_unit(key),
+            DynUnitHasher::Wegman61(h) => h.hash_unit(key),
+            DynUnitHasher::Mix(h) => h.hash_unit(key),
+            DynUnitHasher::Tabulation(h) => h.hash_unit(key),
+            DynUnitHasher::MultiplyShift(h) => h.hash_unit(key),
+        }
+    }
+
+    #[inline]
+    fn hash_u64(&self, key: u64) -> u64 {
+        match self {
+            DynUnitHasher::Wegman31(h) => h.hash_u64(key),
+            DynUnitHasher::Wegman61(h) => h.hash_u64(key),
+            DynUnitHasher::Mix(h) => h.hash_u64(key),
+            DynUnitHasher::Tabulation(h) => h.hash_u64(key),
+            DynUnitHasher::MultiplyShift(h) => h.hash_u64(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_unit_hasher<H: UnitHasher>(h: &H, h_same: &H) {
+        for key in [0u64, 1, 42, u64::MAX, 1 << 33] {
+            let v = h.hash_unit(key);
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+            assert_eq!(v.to_bits(), h_same.hash_unit(key).to_bits(), "not deterministic");
+            assert_eq!(h.hash_u64(key), h_same.hash_u64(key));
+        }
+    }
+
+    fn check_mean<H: UnitHasher>(h: &H) {
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|k| h.hash_unit(k)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn wegman31_unit_hasher() {
+        let h = Wegman31UnitHasher::from_seed(1);
+        check_unit_hasher(&h, &Wegman31UnitHasher::from_seed(1));
+        check_mean(&h);
+    }
+
+    #[test]
+    fn wegman61_unit_hasher() {
+        let h = Wegman61UnitHasher::from_seed(2);
+        check_unit_hasher(&h, &Wegman61UnitHasher::from_seed(2));
+        check_mean(&h);
+    }
+
+    #[test]
+    fn mix_unit_hasher() {
+        let h = MixUnitHasher::from_seed(3);
+        check_unit_hasher(&h, &MixUnitHasher::from_seed(3));
+        check_mean(&h);
+    }
+
+    #[test]
+    fn tabulation_unit_hasher() {
+        let h = TabulationUnitHasher::from_seed(4);
+        check_unit_hasher(&h, &TabulationUnitHasher::from_seed(4));
+        check_mean(&h);
+    }
+
+    #[test]
+    fn multiply_shift_unit_hasher() {
+        let h = MultiplyShiftUnitHasher::from_seed(5);
+        check_unit_hasher(&h, &MultiplyShiftUnitHasher::from_seed(5));
+        check_mean(&h);
+    }
+
+    #[test]
+    fn dyn_unit_hasher_dispatches() {
+        let inner = Wegman31UnitHasher::from_seed(6);
+        let dynamic = DynUnitHasher::Wegman31(inner);
+        for key in [0u64, 9, 1000] {
+            assert_eq!(dynamic.hash_unit(key).to_bits(), inner.hash_unit(key).to_bits());
+            assert_eq!(dynamic.hash_u64(key), inner.hash_u64(key));
+        }
+    }
+
+    #[test]
+    fn different_families_disagree() {
+        let a = Wegman31UnitHasher::from_seed(7);
+        let b = MixUnitHasher::from_seed(7);
+        let agreements = (0..100u64)
+            .filter(|&k| (a.hash_unit(k) - b.hash_unit(k)).abs() < 1e-12)
+            .count();
+        assert!(agreements < 3);
+    }
+}

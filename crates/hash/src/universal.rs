@@ -1,0 +1,354 @@
+//! Universal and k-wise independent hash functions.
+//!
+//! These are the "low randomness" hash functions the paper uses in place of idealized
+//! uniform random functions (Section 3, Notation; Section 5, "Choice of Hash
+//! Function"): a 2-wise independent linear congruential hash over a 31-bit prime whose
+//! output, divided by the prime, serves as a hash value in `[0, 1)` storable in a 32-bit
+//! integer.
+//!
+//! We additionally provide a 61-bit variant (higher resolution for 64-bit key domains),
+//! a k-wise independent polynomial hash, and the multiply-shift scheme of
+//! Dietzfelbinger et al. which is 2-universal and extremely fast.
+
+use crate::mix::splitmix64;
+use crate::prime::{add_mod_p31, add_mod_p61, mul_mod_p31, mul_mod_p61, P31, P61};
+use crate::rng::SplitMix64;
+
+/// A 2-wise independent Carter–Wegman hash over the prime field `GF(2^31 − 1)`.
+///
+/// `h(x) = (a·x + b) mod p` with `a ∈ [1, p)`, `b ∈ [0, p)` drawn from a seed.  Keys are
+/// first reduced modulo `p`.  Output values lie in `[0, p)` and fit in 32 bits, matching
+/// the storage accounting used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarterWegman31 {
+    a: u64,
+    b: u64,
+}
+
+impl CarterWegman31 {
+    /// Creates a hash function whose coefficients are derived deterministically from
+    /// `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(splitmix64(seed ^ 0xC311_5EED));
+        // a must be non-zero for the linear map to be 2-universal.
+        let a = 1 + rng.next_u64() % (P31 - 1);
+        let b = rng.next_u64() % P31;
+        Self { a, b }
+    }
+
+    /// Evaluates the hash, returning a value in `[0, 2^31 − 1)`.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, key: u64) -> u32 {
+        let x = key % P31;
+        add_mod_p31(mul_mod_p31(self.a, x), self.b) as u32
+    }
+
+    /// Evaluates the hash and maps it to `[0, 1)` by dividing by the prime.
+    #[inline]
+    #[must_use]
+    pub fn hash_unit(&self, key: u64) -> f64 {
+        f64::from(self.hash(key)) / P31 as f64
+    }
+
+    /// The prime modulus.
+    #[must_use]
+    pub fn modulus() -> u64 {
+        P31
+    }
+}
+
+/// A 2-wise independent Carter–Wegman hash over the prime field `GF(2^61 − 1)`.
+///
+/// Same construction as [`CarterWegman31`] but with 61 bits of output, which avoids
+/// collisions of distinct keys mapping to equal unit values for domains larger than
+/// `2^31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarterWegman61 {
+    a: u64,
+    b: u64,
+}
+
+impl CarterWegman61 {
+    /// Creates a hash function whose coefficients are derived deterministically from
+    /// `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(splitmix64(seed ^ 0x61C0_FFEE));
+        let a = 1 + rng.next_u64() % (P61 - 1);
+        let b = rng.next_u64() % P61;
+        Self { a, b }
+    }
+
+    /// Evaluates the hash, returning a value in `[0, 2^61 − 1)`.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, key: u64) -> u64 {
+        let x = key % P61;
+        add_mod_p61(mul_mod_p61(self.a, x), self.b)
+    }
+
+    /// Evaluates the hash and maps it to `[0, 1)` by dividing by the prime.
+    #[inline]
+    #[must_use]
+    pub fn hash_unit(&self, key: u64) -> f64 {
+        self.hash(key) as f64 / P61 as f64
+    }
+
+    /// The prime modulus.
+    #[must_use]
+    pub fn modulus() -> u64 {
+        P61
+    }
+}
+
+/// A k-wise independent polynomial hash over `GF(2^61 − 1)`.
+///
+/// `h(x) = (c_{k−1} x^{k−1} + … + c_1 x + c_0) mod p`, evaluated with Horner's rule.
+/// Degree-`(k−1)` polynomials with random coefficients are k-wise independent, which is
+/// useful for stress-testing how much independence the sketching algorithms actually
+/// need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolynomialHash {
+    coefficients: Vec<u64>,
+}
+
+impl PolynomialHash {
+    /// Creates a k-wise independent hash (`k >= 1`) from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn from_seed(seed: u64, k: usize) -> Self {
+        assert!(k >= 1, "independence parameter k must be at least 1");
+        let mut rng = SplitMix64::new(splitmix64(seed ^ 0x9017_ABCD));
+        let mut coefficients: Vec<u64> = (0..k).map(|_| rng.next_u64() % P61).collect();
+        // Ensure the leading coefficient is non-zero so the polynomial has full degree.
+        if k > 1 && coefficients[k - 1] == 0 {
+            coefficients[k - 1] = 1;
+        }
+        Self { coefficients }
+    }
+
+    /// The independence parameter `k` (number of coefficients).
+    #[must_use]
+    pub fn independence(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Evaluates the hash, returning a value in `[0, 2^61 − 1)`.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, key: u64) -> u64 {
+        let x = key % P61;
+        let mut acc = 0u64;
+        for &c in self.coefficients.iter().rev() {
+            acc = add_mod_p61(mul_mod_p61(acc, x), c);
+        }
+        acc
+    }
+
+    /// Evaluates the hash and maps it to `[0, 1)`.
+    #[inline]
+    #[must_use]
+    pub fn hash_unit(&self, key: u64) -> f64 {
+        self.hash(key) as f64 / P61 as f64
+    }
+}
+
+/// The multiply-shift hash of Dietzfelbinger et al.
+///
+/// `h(x) = (a·x + b) >> (64 − out_bits)` with odd `a`.  This is 2-universal for
+/// `out_bits`-bit outputs and compiles to two instructions, making it the fastest
+/// option when strict pairwise independence of the *unit-interval* value is not needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShift {
+    a: u64,
+    b: u64,
+    out_bits: u32,
+}
+
+impl MultiplyShift {
+    /// Creates a multiply-shift hash producing `out_bits`-bit outputs (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_bits` is 0 or greater than 64.
+    #[must_use]
+    pub fn from_seed(seed: u64, out_bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&out_bits),
+            "out_bits must be between 1 and 64"
+        );
+        let mut rng = SplitMix64::new(splitmix64(seed ^ 0x0D1E_7F2B));
+        let a = rng.next_u64() | 1; // must be odd
+        let b = rng.next_u64();
+        Self { a, b, out_bits }
+    }
+
+    /// Evaluates the hash, returning an `out_bits`-bit value.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, key: u64) -> u64 {
+        let v = self.a.wrapping_mul(key).wrapping_add(self.b);
+        if self.out_bits == 64 {
+            v
+        } else {
+            v >> (64 - self.out_bits)
+        }
+    }
+
+    /// Evaluates the hash and maps it to `[0, 1)`.
+    #[inline]
+    #[must_use]
+    pub fn hash_unit(&self, key: u64) -> f64 {
+        let v = self.hash(key);
+        v as f64 / (1u128 << self.out_bits) as f64
+    }
+
+    /// The number of output bits.
+    #[must_use]
+    pub fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw31_deterministic_and_seed_sensitive() {
+        let h1 = CarterWegman31::from_seed(1);
+        let h2 = CarterWegman31::from_seed(1);
+        let h3 = CarterWegman31::from_seed(2);
+        assert_eq!(h1, h2);
+        assert_ne!(h1.hash(12345), h3.hash(12345));
+    }
+
+    #[test]
+    fn cw31_output_below_modulus() {
+        let h = CarterWegman31::from_seed(7);
+        for key in [0u64, 1, P31, P31 + 1, u64::MAX, 0xABCDEF] {
+            assert!(u64::from(h.hash(key)) < P31);
+            let u = h.hash_unit(key);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn cw31_is_linear_mod_p() {
+        // h(x) - h(0) should equal a*x mod p, i.e. h(x+y) - h(0) = (h(x)-h(0)) + (h(y)-h(0)).
+        let h = CarterWegman31::from_seed(99);
+        let h0 = u64::from(h.hash(0));
+        let lin = |x: u64| (u64::from(h.hash(x)) + P31 - h0) % P31;
+        for (x, y) in [(3u64, 8u64), (100, 250), (12345, 54321)] {
+            assert_eq!(lin((x + y) % P31), (lin(x) + lin(y)) % P31);
+        }
+    }
+
+    #[test]
+    fn cw31_pairwise_collision_rate() {
+        // For a 2-universal family, Pr[h(x)=h(y)] <= 1/p; with 2000 distinct keys we
+        // expect essentially no collisions among ~2M pairs for p ~ 2^31.
+        let h = CarterWegman31::from_seed(42);
+        let mut values: Vec<u32> = (0..2000u64).map(|k| h.hash(k * 7 + 1)).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(values.len() >= 1998, "too many collisions: {}", values.len());
+    }
+
+    #[test]
+    fn cw61_output_below_modulus_and_unit_range() {
+        let h = CarterWegman61::from_seed(7);
+        for key in [0u64, 1, P61, P61 + 1, u64::MAX] {
+            assert!(h.hash(key) < P61);
+            let u = h.hash_unit(key);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn cw61_distinct_keys_distinct_hashes_mostly() {
+        let h = CarterWegman61::from_seed(3);
+        let mut values: Vec<u64> = (0..5000u64).map(|k| h.hash(k)).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 5000, "61-bit hash should not collide here");
+    }
+
+    #[test]
+    fn cw_unit_hash_mean_near_half() {
+        let h = CarterWegman61::from_seed(5);
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|k| h.hash_unit(k)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn polynomial_hash_degree_one_matches_linear() {
+        // With k = 2, PolynomialHash is an (a x + b) hash; check linearity as for CW31.
+        let h = PolynomialHash::from_seed(4, 2);
+        let h0 = h.hash(0);
+        let lin = |x: u64| (h.hash(x) + P61 - h0) % P61;
+        for (x, y) in [(3u64, 8u64), (1000, 999), (123, 321)] {
+            assert_eq!(lin((x + y) % P61), (lin(x) + lin(y)) % P61);
+        }
+    }
+
+    #[test]
+    fn polynomial_hash_independence_parameter() {
+        let h = PolynomialHash::from_seed(9, 5);
+        assert_eq!(h.independence(), 5);
+        assert!(h.hash(12345) < P61);
+        assert!((0.0..1.0).contains(&h.hash_unit(77)));
+    }
+
+    #[test]
+    #[should_panic(expected = "independence parameter k must be at least 1")]
+    fn polynomial_hash_zero_k_panics() {
+        let _ = PolynomialHash::from_seed(1, 0);
+    }
+
+    #[test]
+    fn polynomial_hash_constant_when_k_is_one() {
+        let h = PolynomialHash::from_seed(6, 1);
+        assert_eq!(h.hash(1), h.hash(2));
+        assert_eq!(h.hash(100), h.hash(200));
+    }
+
+    #[test]
+    fn multiply_shift_range_and_determinism() {
+        let h = MultiplyShift::from_seed(10, 32);
+        assert_eq!(h.out_bits(), 32);
+        for key in [0u64, 1, 2, u64::MAX] {
+            assert!(h.hash(key) < (1 << 32));
+            assert!((0.0..1.0).contains(&h.hash_unit(key)));
+        }
+        let h2 = MultiplyShift::from_seed(10, 32);
+        assert_eq!(h.hash(999), h2.hash(999));
+    }
+
+    #[test]
+    fn multiply_shift_64_bit_output() {
+        let h = MultiplyShift::from_seed(10, 64);
+        // No shift applied, still deterministic and in [0,1) when normalized.
+        assert!((0.0..1.0).contains(&h.hash_unit(u64::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out_bits must be between 1 and 64")]
+    fn multiply_shift_invalid_bits_panics() {
+        let _ = MultiplyShift::from_seed(1, 0);
+    }
+
+    #[test]
+    fn multiply_shift_unit_mean_near_half() {
+        let h = MultiplyShift::from_seed(8, 48);
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|k| h.hash_unit(k * 13 + 7)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

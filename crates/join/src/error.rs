@@ -1,0 +1,117 @@
+//! Error type for the dataset-search application.
+
+use ipsketch_core::SketchError;
+use ipsketch_data::DataError;
+use ipsketch_vector::VectorError;
+use std::fmt;
+
+/// Errors produced by the dataset-search layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// An error bubbled up from the sketching layer.
+    Sketch(SketchError),
+    /// An error bubbled up from the data/table layer.
+    Data(DataError),
+    /// An error bubbled up from the vector layer.
+    Vector(VectorError),
+    /// A query referenced a column that is not in the index.
+    NotIndexed {
+        /// The missing table name.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A column has no rows, so join statistics are undefined.
+    EmptyColumn {
+        /// The table name.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Sketch(e) => write!(f, "sketch error: {e}"),
+            JoinError::Data(e) => write!(f, "data error: {e}"),
+            JoinError::Vector(e) => write!(f, "vector error: {e}"),
+            JoinError::NotIndexed { table, column } => {
+                write!(f, "column `{table}.{column}` is not in the index")
+            }
+            JoinError::EmptyColumn { table, column } => {
+                write!(f, "column `{table}.{column}` has no rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Sketch(e) => Some(e),
+            JoinError::Data(e) => Some(e),
+            JoinError::Vector(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for JoinError {
+    fn from(e: SketchError) -> Self {
+        JoinError::Sketch(e)
+    }
+}
+
+impl From<DataError> for JoinError {
+    fn from(e: DataError) -> Self {
+        JoinError::Data(e)
+    }
+}
+
+impl From<VectorError> for JoinError {
+    fn from(e: VectorError) -> Self {
+        JoinError::Vector(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: JoinError = SketchError::EmptySketch.into();
+        assert!(e.to_string().contains("sketch"));
+        let e: JoinError = DataError::InvalidConfig {
+            name: "x",
+            allowed: "y",
+        }
+        .into();
+        assert!(e.to_string().contains("data"));
+        let e: JoinError = VectorError::ZeroVector.into();
+        assert!(e.to_string().contains("vector"));
+        let e = JoinError::NotIndexed {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("t.c"));
+        let e = JoinError::EmptyColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("no rows"));
+    }
+
+    #[test]
+    fn sources_are_exposed() {
+        use std::error::Error;
+        assert!(JoinError::Sketch(SketchError::EmptySketch).source().is_some());
+        assert!(JoinError::NotIndexed {
+            table: "t".into(),
+            column: "c".into()
+        }
+        .source()
+        .is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! Sketch-based estimation of post-join statistics.
+//!
+//! [`JoinEstimator`] wraps one [`AnySketcher`] (any method, any budget) and pre-computes
+//! per column the sketches of the three Figure-3 vectors `x_1[K]`, `x_V` and `x_{V²}`.
+//! All of Figure 2's post-join statistics — and, following the correlation-sketches line
+//! of work the paper cites, the post-join Pearson correlation — are then estimated from
+//! pairwise sketch inner products only, without ever joining the tables.
+
+use crate::error::JoinError;
+use crate::exact::JoinStatistics;
+use crate::vectorize::ColumnVectors;
+use ipsketch_core::method::{AnySketch, AnySketcher, SketchMethod};
+use ipsketch_core::traits::{Sketch, Sketcher};
+use ipsketch_data::Table;
+
+/// The sketched representation of one table column: sketches of the key-indicator,
+/// value and squared-value vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchedColumn {
+    /// The table name.
+    pub table: String,
+    /// The column name.
+    pub column: String,
+    /// Number of rows in the source table.
+    pub rows: usize,
+    key_indicator: AnySketch,
+    values: AnySketch,
+    squared_values: AnySketch,
+}
+
+impl SketchedColumn {
+    /// Total storage of the three sketches, in 64-bit-double equivalents.
+    #[must_use]
+    pub fn storage_doubles(&self) -> f64 {
+        self.key_indicator.storage_doubles()
+            + self.values.storage_doubles()
+            + self.squared_values.storage_doubles()
+    }
+}
+
+/// Sketches table columns and estimates post-join statistics from the sketches.
+#[derive(Debug, Clone)]
+pub struct JoinEstimator {
+    sketcher: AnySketcher,
+}
+
+impl JoinEstimator {
+    /// Creates an estimator that uses the given sketcher for all three vectors.
+    #[must_use]
+    pub fn new(sketcher: AnySketcher) -> Self {
+        Self { sketcher }
+    }
+
+    /// Convenience constructor: a Weighted MinHash estimator within a per-vector
+    /// storage budget (in doubles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the budget is too small.
+    pub fn weighted_minhash(budget_doubles: f64, seed: u64) -> Result<Self, JoinError> {
+        Ok(Self::new(AnySketcher::for_budget(
+            SketchMethod::WeightedMinHash,
+            budget_doubles,
+            seed,
+        )?))
+    }
+
+    /// The underlying sketching method.
+    #[must_use]
+    pub fn method(&self) -> SketchMethod {
+        self.sketcher.method()
+    }
+
+    /// Sketches one table column (all three Figure-3 vectors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing, empty, or cannot be sketched.
+    pub fn sketch_column(&self, table: &Table, column: &str) -> Result<SketchedColumn, JoinError> {
+        let vectors = ColumnVectors::from_table(table, column)?;
+        // A column whose values are all zero still has a valid key-indicator sketch but
+        // no value mass; MinHash-family sketchers reject empty vectors, so guard early
+        // with a clear error.
+        if vectors.values.is_empty() {
+            return Err(JoinError::EmptyColumn {
+                table: vectors.table,
+                column: vectors.column,
+            });
+        }
+        Ok(SketchedColumn {
+            table: vectors.table,
+            column: vectors.column,
+            rows: vectors.rows,
+            key_indicator: self.sketcher.sketch(&vectors.key_indicator)?,
+            values: self.sketcher.sketch(&vectors.values)?,
+            squared_values: self.sketcher.sketch(&vectors.squared_values)?,
+        })
+    }
+
+    /// Estimates the full set of post-join statistics for a pair of sketched columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the sketches are incompatible (different seeds
+    /// or budgets).
+    pub fn estimate(
+        &self,
+        a: &SketchedColumn,
+        b: &SketchedColumn,
+    ) -> Result<JoinStatistics, JoinError> {
+        let join_size = self
+            .sketcher
+            .estimate_inner_product(&a.key_indicator, &b.key_indicator)?
+            .max(0.0);
+        let sum_a = self
+            .sketcher
+            .estimate_inner_product(&a.values, &b.key_indicator)?;
+        let sum_b = self
+            .sketcher
+            .estimate_inner_product(&a.key_indicator, &b.values)?;
+        let sum_a_squared = self
+            .sketcher
+            .estimate_inner_product(&a.squared_values, &b.key_indicator)?
+            .max(0.0);
+        let sum_b_squared = self
+            .sketcher
+            .estimate_inner_product(&a.key_indicator, &b.squared_values)?
+            .max(0.0);
+        let inner_product = self.sketcher.estimate_inner_product(&a.values, &b.values)?;
+        Ok(JoinStatistics::from_sufficient_statistics(
+            join_size,
+            sum_a,
+            sum_b,
+            sum_a_squared,
+            sum_b_squared,
+            inner_product,
+        ))
+    }
+
+    /// Estimates only the join size (joinability score) for a pair of sketched columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the sketches are incompatible.
+    pub fn estimate_join_size(
+        &self,
+        a: &SketchedColumn,
+        b: &SketchedColumn,
+    ) -> Result<f64, JoinError> {
+        Ok(self
+            .sketcher
+            .estimate_inner_product(&a.key_indicator, &b.key_indicator)?
+            .max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_join_statistics;
+    use ipsketch_data::{Column, DataLakeConfig, Table};
+
+    fn correlated_tables(rows: usize, shared: usize, correlation_sign: f64) -> (Table, Table) {
+        // Table A covers keys [0, rows); table B covers [rows-shared, 2*rows-shared).
+        let keys_a: Vec<u64> = (0..rows as u64).collect();
+        let keys_b: Vec<u64> = ((rows - shared) as u64..(2 * rows - shared) as u64).collect();
+        let values_a: Vec<f64> = keys_a.iter().map(|&k| (k % 17) as f64 + 1.0).collect();
+        let values_b: Vec<f64> = keys_b
+            .iter()
+            .map(|&k| correlation_sign * ((k % 17) as f64 + 1.0) + 0.5)
+            .collect();
+        (
+            Table::new("A", keys_a, vec![Column::new("v", values_a)]).unwrap(),
+            Table::new("B", keys_b, vec![Column::new("v", values_b)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let est = JoinEstimator::weighted_minhash(200.0, 1).unwrap();
+        assert_eq!(est.method(), SketchMethod::WeightedMinHash);
+        assert!(JoinEstimator::weighted_minhash(0.5, 1).is_err());
+        let jl = JoinEstimator::new(AnySketcher::for_budget(SketchMethod::Jl, 100.0, 1).unwrap());
+        assert_eq!(jl.method(), SketchMethod::Jl);
+    }
+
+    #[test]
+    fn sketch_column_validates_input() {
+        let est = JoinEstimator::weighted_minhash(100.0, 1).unwrap();
+        let (ta, _) = Table::figure_2_tables();
+        assert!(est.sketch_column(&ta, "V_A").is_ok());
+        assert!(est.sketch_column(&ta, "missing").is_err());
+        let zero = Table::new("z", vec![1, 2], vec![Column::new("v", vec![0.0, 0.0])]).unwrap();
+        assert!(matches!(
+            est.sketch_column(&zero, "v"),
+            Err(JoinError::EmptyColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn sketched_column_metadata_and_storage() {
+        let est = JoinEstimator::weighted_minhash(100.0, 1).unwrap();
+        let (ta, _) = Table::figure_2_tables();
+        let sc = est.sketch_column(&ta, "V_A").unwrap();
+        assert_eq!(sc.table, "T_A");
+        assert_eq!(sc.column, "V_A");
+        assert_eq!(sc.rows, 9);
+        assert!(sc.storage_doubles() <= 300.0 + 1e-9);
+        assert!(sc.storage_doubles() > 0.0);
+    }
+
+    #[test]
+    fn estimates_track_exact_statistics_on_large_tables() {
+        let (ta, tb) = correlated_tables(2_000, 1_000, 1.0);
+        let exact = exact_join_statistics(&ta, "v", &tb, "v").unwrap();
+        let est = JoinEstimator::weighted_minhash(600.0, 7).unwrap();
+        let sa = est.sketch_column(&ta, "v").unwrap();
+        let sb = est.sketch_column(&tb, "v").unwrap();
+        let approx = est.estimate(&sa, &sb).unwrap();
+
+        assert!(
+            (approx.join_size - exact.join_size).abs() / exact.join_size < 0.25,
+            "join size {} vs {}",
+            approx.join_size,
+            exact.join_size
+        );
+        assert!(
+            (approx.sum_a - exact.sum_a).abs() / exact.sum_a.abs() < 0.35,
+            "sum_a {} vs {}",
+            approx.sum_a,
+            exact.sum_a
+        );
+        assert!(
+            (approx.mean_a - exact.mean_a).abs() / exact.mean_a.abs() < 0.35,
+            "mean_a {} vs {}",
+            approx.mean_a,
+            exact.mean_a
+        );
+        assert!(
+            (approx.inner_product - exact.inner_product).abs() / exact.inner_product.abs() < 0.35,
+            "inner product {} vs {}",
+            approx.inner_product,
+            exact.inner_product
+        );
+        // The joined columns are identical up to an affine shift, so the true
+        // correlation is 1; the estimate should be clearly positive and large.
+        assert!(exact.correlation > 0.99);
+        assert!(
+            approx.correlation > 0.5,
+            "estimated correlation {} too far from 1",
+            approx.correlation
+        );
+    }
+
+    #[test]
+    fn negative_correlation_is_detected() {
+        let (ta, tb) = correlated_tables(2_000, 1_200, -1.0);
+        let exact = exact_join_statistics(&ta, "v", &tb, "v").unwrap();
+        assert!(exact.correlation < -0.99);
+        let est = JoinEstimator::weighted_minhash(600.0, 3).unwrap();
+        let sa = est.sketch_column(&ta, "v").unwrap();
+        let sb = est.sketch_column(&tb, "v").unwrap();
+        let approx = est.estimate(&sa, &sb).unwrap();
+        assert!(
+            approx.correlation < -0.4,
+            "estimated correlation {} should be strongly negative",
+            approx.correlation
+        );
+    }
+
+    #[test]
+    fn disjoint_tables_estimate_empty_join() {
+        let a = Table::new(
+            "a",
+            (0..100).collect(),
+            vec![Column::new("v", (0..100).map(f64::from).map(|x| x + 1.0).collect())],
+        )
+        .unwrap();
+        let b = Table::new(
+            "b",
+            (1_000..1_100).collect(),
+            vec![Column::new("v", (0..100).map(f64::from).map(|x| x + 1.0).collect())],
+        )
+        .unwrap();
+        let est = JoinEstimator::weighted_minhash(300.0, 5).unwrap();
+        let sa = est.sketch_column(&a, "v").unwrap();
+        let sb = est.sketch_column(&b, "v").unwrap();
+        let approx = est.estimate(&sa, &sb).unwrap();
+        assert_eq!(approx.join_size, 0.0);
+        assert_eq!(approx.inner_product, 0.0);
+        assert_eq!(approx.correlation, 0.0);
+        assert_eq!(est.estimate_join_size(&sa, &sb).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn incompatible_estimators_are_rejected() {
+        let (ta, tb) = Table::figure_2_tables();
+        let est1 = JoinEstimator::weighted_minhash(100.0, 1).unwrap();
+        let est2 = JoinEstimator::weighted_minhash(100.0, 2).unwrap();
+        let sa = est1.sketch_column(&ta, "V_A").unwrap();
+        let sb = est2.sketch_column(&tb, "V_B").unwrap();
+        assert!(est1.estimate(&sa, &sb).is_err());
+    }
+
+    #[test]
+    fn works_for_every_sketch_method_on_lake_columns() {
+        let lake = DataLakeConfig {
+            tables: 4,
+            columns_per_table: 1,
+            min_rows: 300,
+            max_rows: 600,
+            key_universe: 1_500,
+        }
+        .generate(21)
+        .unwrap();
+        let ta = &lake.tables()[0];
+        let tb = &lake.tables()[1];
+        let col_a = ta.columns()[0].name.clone();
+        let col_b = tb.columns()[0].name.clone();
+        let exact = exact_join_statistics(ta, &col_a, tb, &col_b).unwrap();
+        for method in SketchMethod::paper_baselines() {
+            let est =
+                JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 11).unwrap());
+            let sa = est.sketch_column(ta, &col_a).unwrap();
+            let sb = est.sketch_column(tb, &col_b).unwrap();
+            let approx = est.estimate(&sa, &sb).unwrap();
+            // Join size is bounded by the smaller table and should be in the right
+            // ballpark for every method at this budget.
+            assert!(
+                (approx.join_size - exact.join_size).abs()
+                    <= 0.5 * exact.join_size.max(50.0),
+                "{method:?}: join size {} vs exact {}",
+                approx.join_size,
+                exact.join_size
+            );
+        }
+    }
+}

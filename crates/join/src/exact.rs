@@ -1,0 +1,203 @@
+//! Exact post-join statistics (ground truth).
+//!
+//! These are the quantities of the paper's Figure 2 computed by actually performing the
+//! one-to-one join — the values the sketch-based estimators of [`crate::estimate`] are
+//! evaluated against.
+
+use crate::error::JoinError;
+use ipsketch_data::Table;
+
+/// Post-join statistics of a pair of table columns joined on their keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinStatistics {
+    /// Number of rows in the join (`SIZE`).
+    pub join_size: f64,
+    /// Sum of the first column over the joined rows (`SUM(V_A⋈)`).
+    pub sum_a: f64,
+    /// Sum of the second column over the joined rows (`SUM(V_B⋈)`).
+    pub sum_b: f64,
+    /// Mean of the first column over the joined rows (`MEAN(V_A⋈)`); zero if the join is
+    /// empty.
+    pub mean_a: f64,
+    /// Mean of the second column over the joined rows; zero if the join is empty.
+    pub mean_b: f64,
+    /// Post-join inner product `Σ V_A·V_B` over the joined rows.
+    pub inner_product: f64,
+    /// Pearson correlation between the two columns over the joined rows; zero if the
+    /// join has fewer than two rows or either column is constant on it.
+    pub correlation: f64,
+}
+
+impl JoinStatistics {
+    /// Builds the full statistics from the raw sufficient statistics
+    /// (`n, Σa, Σb, Σa², Σb², Σab`), which is also how the sketched estimator assembles
+    /// its answer.
+    #[must_use]
+    pub fn from_sufficient_statistics(
+        join_size: f64,
+        sum_a: f64,
+        sum_b: f64,
+        sum_a_squared: f64,
+        sum_b_squared: f64,
+        inner_product: f64,
+    ) -> Self {
+        let (mean_a, mean_b) = if join_size > 0.0 {
+            (sum_a / join_size, sum_b / join_size)
+        } else {
+            (0.0, 0.0)
+        };
+        let correlation = if join_size >= 2.0 {
+            let cov = join_size * inner_product - sum_a * sum_b;
+            let var_a = join_size * sum_a_squared - sum_a * sum_a;
+            let var_b = join_size * sum_b_squared - sum_b * sum_b;
+            let denom = (var_a * var_b).sqrt();
+            if denom > 0.0 {
+                (cov / denom).clamp(-1.0, 1.0)
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        Self {
+            join_size,
+            sum_a,
+            sum_b,
+            mean_a,
+            mean_b,
+            inner_product,
+            correlation,
+        }
+    }
+}
+
+/// Computes the exact post-join statistics of `table_a.column_a ⋈ table_b.column_b`
+/// (one-to-one join on the key columns).
+///
+/// # Errors
+///
+/// Returns [`JoinError::Data`] if either column does not exist.
+pub fn exact_join_statistics(
+    table_a: &Table,
+    column_a: &str,
+    table_b: &Table,
+    column_b: &str,
+) -> Result<JoinStatistics, JoinError> {
+    let pairs_a = table_a.key_value_pairs(column_a)?;
+    let pairs_b = table_b.key_value_pairs(column_b)?;
+    let mut b_by_key: std::collections::HashMap<u64, f64> = pairs_b.into_iter().collect();
+
+    let mut n = 0.0;
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    let mut sum_a_sq = 0.0;
+    let mut sum_b_sq = 0.0;
+    let mut ip = 0.0;
+    for (key, va) in pairs_a {
+        if let Some(vb) = b_by_key.remove(&key) {
+            n += 1.0;
+            sum_a += va;
+            sum_b += vb;
+            sum_a_sq += va * va;
+            sum_b_sq += vb * vb;
+            ip += va * vb;
+        }
+    }
+    Ok(JoinStatistics::from_sufficient_statistics(
+        n, sum_a, sum_b, sum_a_sq, sum_b_sq, ip,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_data::Column;
+
+    #[test]
+    fn figure_2_statistics() {
+        let (ta, tb) = Table::figure_2_tables();
+        let stats = exact_join_statistics(&ta, "V_A", &tb, "V_B").unwrap();
+        assert_eq!(stats.join_size, 4.0);
+        assert!((stats.sum_a - 12.0).abs() < 1e-12);
+        assert!((stats.sum_b - 10.5).abs() < 1e-12);
+        assert!((stats.mean_a - 3.0).abs() < 1e-12);
+        assert!((stats.mean_b - 2.625).abs() < 1e-12);
+        // 6·5 + 1·1 + 2·2 + 3·2.5 = 42.5.
+        assert!((stats.inner_product - 42.5).abs() < 1e-12);
+        assert!(stats.correlation.abs() <= 1.0);
+    }
+
+    #[test]
+    fn disjoint_tables_have_empty_join() {
+        let a = Table::new("a", vec![1, 2], vec![Column::new("v", vec![1.0, 2.0])]).unwrap();
+        let b = Table::new("b", vec![3, 4], vec![Column::new("v", vec![3.0, 4.0])]).unwrap();
+        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        assert_eq!(stats.join_size, 0.0);
+        assert_eq!(stats.sum_a, 0.0);
+        assert_eq!(stats.mean_a, 0.0);
+        assert_eq!(stats.correlation, 0.0);
+    }
+
+    #[test]
+    fn perfectly_correlated_columns() {
+        let keys: Vec<u64> = (0..50).collect();
+        let values_a: Vec<f64> = (0..50).map(f64::from).collect();
+        let values_b: Vec<f64> = (0..50).map(|i| 3.0 * f64::from(i) + 1.0).collect();
+        let a = Table::new("a", keys.clone(), vec![Column::new("v", values_a)]).unwrap();
+        let b = Table::new("b", keys, vec![Column::new("v", values_b)]).unwrap();
+        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        assert_eq!(stats.join_size, 50.0);
+        assert!((stats.correlation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anti_correlated_columns() {
+        let keys: Vec<u64> = (0..30).collect();
+        let values_a: Vec<f64> = (0..30).map(f64::from).collect();
+        let values_b: Vec<f64> = (0..30).map(|i| -2.0 * f64::from(i)).collect();
+        let a = Table::new("a", keys.clone(), vec![Column::new("v", values_a)]).unwrap();
+        let b = Table::new("b", keys, vec![Column::new("v", values_b)]).unwrap();
+        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        assert!((stats.correlation + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_has_zero_correlation() {
+        let keys: Vec<u64> = (0..10).collect();
+        let a = Table::new(
+            "a",
+            keys.clone(),
+            vec![Column::new("v", vec![5.0; 10])],
+        )
+        .unwrap();
+        let b = Table::new(
+            "b",
+            keys,
+            vec![Column::new("v", (0..10).map(f64::from).collect())],
+        )
+        .unwrap();
+        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        assert_eq!(stats.correlation, 0.0);
+        assert_eq!(stats.mean_a, 5.0);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let (ta, tb) = Table::figure_2_tables();
+        assert!(exact_join_statistics(&ta, "nope", &tb, "V_B").is_err());
+        assert!(exact_join_statistics(&ta, "V_A", &tb, "nope").is_err());
+    }
+
+    #[test]
+    fn sufficient_statistics_constructor_handles_degenerate_joins() {
+        let s = JoinStatistics::from_sufficient_statistics(0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(s.mean_a, 0.0);
+        assert_eq!(s.correlation, 0.0);
+        let s = JoinStatistics::from_sufficient_statistics(1.0, 2.0, 3.0, 4.0, 9.0, 6.0);
+        assert_eq!(s.mean_a, 2.0);
+        assert_eq!(s.correlation, 0.0, "single-row joins have no correlation");
+        // Correlation is clamped to [-1, 1] even with slightly inconsistent inputs.
+        let s = JoinStatistics::from_sufficient_statistics(3.0, 3.0, 3.0, 3.0001, 3.0001, 3.0002);
+        assert!(s.correlation <= 1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! A sketch index over a data lake.
+//!
+//! This is the end-to-end dataset-search workflow the paper motivates: every column of
+//! every table in the lake is sketched *once* (a small, reusable summary); a query
+//! column is then compared against all indexed sketches to rank candidate tables by
+//! estimated joinability (join size) or relatedness (absolute post-join correlation),
+//! using "a fraction of the computational resources in comparison to explicitly
+//! materializing table joins".
+
+use crate::error::JoinError;
+use crate::estimate::{JoinEstimator, SketchedColumn};
+use ipsketch_data::Table;
+
+/// Identifies one column of one table in the lake.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnId {
+    /// The table name.
+    pub table: String,
+    /// The column name.
+    pub column: String,
+}
+
+/// One ranked query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedColumn {
+    /// Which column this is.
+    pub id: ColumnId,
+    /// The ranking score (estimated join size or |estimated correlation|, depending on
+    /// the query).
+    pub score: f64,
+    /// The estimated join size with the query column.
+    pub estimated_join_size: f64,
+    /// The estimated post-join correlation with the query column.
+    pub estimated_correlation: f64,
+}
+
+/// A pre-sketched data lake supporting joinability and relatedness queries.
+#[derive(Debug, Clone)]
+pub struct SketchIndex {
+    estimator: JoinEstimator,
+    entries: Vec<(ColumnId, SketchedColumn)>,
+}
+
+impl SketchIndex {
+    /// Creates an empty index that will sketch columns with the given estimator.
+    #[must_use]
+    pub fn new(estimator: JoinEstimator) -> Self {
+        Self {
+            estimator,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of indexed columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The indexed column identifiers, in insertion order.
+    pub fn columns(&self) -> impl Iterator<Item = &ColumnId> {
+        self.entries.iter().map(|(id, _)| id)
+    }
+
+    /// Indexes every numeric column of a table.  Columns that cannot be sketched (e.g.
+    /// all-zero columns) are skipped and reported back by name.
+    ///
+    /// Returns the names of the skipped columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] only for structural problems (unknown columns cannot occur
+    /// here since the names come from the table itself).
+    pub fn insert_table(&mut self, table: &Table) -> Result<Vec<String>, JoinError> {
+        let mut skipped = Vec::new();
+        for column in table.columns() {
+            match self.estimator.sketch_column(table, &column.name) {
+                Ok(sketched) => self.entries.push((
+                    ColumnId {
+                        table: table.name().to_string(),
+                        column: column.name.clone(),
+                    },
+                    sketched,
+                )),
+                Err(JoinError::EmptyColumn { .. }) => skipped.push(column.name.clone()),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(skipped)
+    }
+
+    /// Sketches a query column with the same configuration as the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing or cannot be sketched.
+    pub fn sketch_query(&self, table: &Table, column: &str) -> Result<SketchedColumn, JoinError> {
+        self.estimator.sketch_column(table, column)
+    }
+
+    /// Looks up the stored sketch of an indexed column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::NotIndexed`] if the column is not in the index.
+    pub fn get(&self, table: &str, column: &str) -> Result<&SketchedColumn, JoinError> {
+        self.entries
+            .iter()
+            .find(|(id, _)| id.table == table && id.column == column)
+            .map(|(_, sketch)| sketch)
+            .ok_or_else(|| JoinError::NotIndexed {
+                table: table.to_string(),
+                column: column.to_string(),
+            })
+    }
+
+    /// Ranks all indexed columns (excluding those from the query's own table) by
+    /// estimated join size with the query column and returns the top `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the query sketch is incompatible with the index.
+    pub fn top_k_joinable(
+        &self,
+        query: &SketchedColumn,
+        k: usize,
+    ) -> Result<Vec<RankedColumn>, JoinError> {
+        self.rank(query, k, |r| r.estimated_join_size)
+    }
+
+    /// Ranks all indexed columns (excluding those from the query's own table) by the
+    /// absolute value of the estimated post-join correlation and returns the top `k`.
+    ///
+    /// Columns whose estimated join size is below `min_join_size` are excluded, since a
+    /// correlation over a (nearly) empty join is meaningless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the query sketch is incompatible with the index.
+    pub fn top_k_correlated(
+        &self,
+        query: &SketchedColumn,
+        k: usize,
+        min_join_size: f64,
+    ) -> Result<Vec<RankedColumn>, JoinError> {
+        let mut results = self.rank(query, usize::MAX, |r| r.estimated_correlation.abs())?;
+        results.retain(|r| r.estimated_join_size >= min_join_size);
+        results.truncate(k);
+        Ok(results)
+    }
+
+    /// Shared ranking implementation.
+    fn rank<F>(
+        &self,
+        query: &SketchedColumn,
+        k: usize,
+        score: F,
+    ) -> Result<Vec<RankedColumn>, JoinError>
+    where
+        F: Fn(&RankedColumn) -> f64,
+    {
+        let mut results = Vec::new();
+        for (id, candidate) in &self.entries {
+            if id.table == query.table {
+                continue;
+            }
+            let stats = self.estimator.estimate(query, candidate)?;
+            let mut ranked = RankedColumn {
+                id: id.clone(),
+                score: 0.0,
+                estimated_join_size: stats.join_size,
+                estimated_correlation: stats.correlation,
+            };
+            ranked.score = score(&ranked);
+            results.push(ranked);
+        }
+        results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        results.truncate(k);
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_data::{Column, DataLakeConfig, Table};
+
+    /// A small lake where table "query" joins heavily with "good" and not at all with
+    /// "bad", and the "good" table carries a strongly correlated column.
+    fn scenario() -> (Table, Table, Table) {
+        let keys: Vec<u64> = (0..500).collect();
+        let query = Table::new(
+            "query",
+            keys.clone(),
+            vec![Column::new("rides", (0..500).map(|i| f64::from(i) + 1.0).collect())],
+        )
+        .unwrap();
+        let good = Table::new(
+            "good",
+            (100..600).collect(),
+            vec![
+                Column::new(
+                    "precip",
+                    (100..600).map(|i| 2.0 * f64::from(i) + 3.0).collect(),
+                ),
+                Column::new("noise", (0..500).map(|i| f64::from((i * 37) % 11) - 5.0).collect()),
+            ],
+        )
+        .unwrap();
+        let bad = Table::new(
+            "bad",
+            (10_000..10_500).collect(),
+            vec![Column::new("other", (0..500).map(|i| f64::from(i % 7) + 1.0).collect())],
+        )
+        .unwrap();
+        (query, good, bad)
+    }
+
+    #[test]
+    fn empty_index_basics() {
+        let index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 1).unwrap());
+        assert_eq!(index.len(), 0);
+        assert!(index.is_empty());
+        assert_eq!(index.columns().count(), 0);
+        assert!(matches!(
+            index.get("t", "c"),
+            Err(JoinError::NotIndexed { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (query, good, bad) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 1).unwrap());
+        assert!(index.insert_table(&good).unwrap().is_empty());
+        assert!(index.insert_table(&bad).unwrap().is_empty());
+        assert_eq!(index.len(), 3);
+        assert!(index.get("good", "precip").is_ok());
+        assert!(index.get("good", "missing").is_err());
+        // Query sketches are built with the same configuration.
+        let q = index.sketch_query(&query, "rides").unwrap();
+        assert_eq!(q.table, "query");
+    }
+
+    #[test]
+    fn all_zero_columns_are_skipped_not_fatal() {
+        let zero = Table::new(
+            "zeros",
+            vec![1, 2, 3],
+            vec![
+                Column::new("z", vec![0.0, 0.0, 0.0]),
+                Column::new("ok", vec![1.0, 2.0, 3.0]),
+            ],
+        )
+        .unwrap();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(100.0, 1).unwrap());
+        let skipped = index.insert_table(&zero).unwrap();
+        assert_eq!(skipped, vec!["z".to_string()]);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn joinable_ranking_prefers_overlapping_tables() {
+        let (query, good, bad) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7).unwrap());
+        index.insert_table(&good).unwrap();
+        index.insert_table(&bad).unwrap();
+        let q = index.sketch_query(&query, "rides").unwrap();
+        let ranked = index.top_k_joinable(&q, 3).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].id.table, "good");
+        assert!(ranked[0].estimated_join_size > 200.0);
+        // The disjoint table lands at the bottom with (near-)zero join size.
+        assert_eq!(ranked.last().unwrap().id.table, "bad");
+        assert!(ranked.last().unwrap().estimated_join_size < 50.0);
+    }
+
+    #[test]
+    fn correlation_ranking_finds_the_related_column() {
+        let (query, good, bad) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(500.0, 11).unwrap());
+        index.insert_table(&good).unwrap();
+        index.insert_table(&bad).unwrap();
+        let q = index.sketch_query(&query, "rides").unwrap();
+        let ranked = index.top_k_correlated(&q, 2, 50.0).unwrap();
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].id.table, "good");
+        assert_eq!(ranked[0].id.column, "precip");
+        assert!(
+            ranked[0].estimated_correlation.abs() > 0.5,
+            "correlation {}",
+            ranked[0].estimated_correlation
+        );
+        // The disjoint table is filtered out by the minimum-join-size threshold.
+        assert!(ranked.iter().all(|r| r.id.table != "bad"));
+    }
+
+    #[test]
+    fn query_table_itself_is_excluded() {
+        let (query, good, _) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 3).unwrap());
+        index.insert_table(&query).unwrap();
+        index.insert_table(&good).unwrap();
+        let q = index.sketch_query(&query, "rides").unwrap();
+        let ranked = index.top_k_joinable(&q, 10).unwrap();
+        assert!(ranked.iter().all(|r| r.id.table != "query"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let lake = DataLakeConfig {
+            tables: 6,
+            columns_per_table: 2,
+            min_rows: 100,
+            max_rows: 300,
+            key_universe: 1_000,
+        }
+        .generate(5)
+        .unwrap();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 9).unwrap());
+        for table in lake.tables() {
+            index.insert_table(table).unwrap();
+        }
+        let query_table = &lake.tables()[0];
+        let q = index
+            .sketch_query(query_table, &query_table.columns()[0].name)
+            .unwrap();
+        let ranked = index.top_k_joinable(&q, 3).unwrap();
+        assert_eq!(ranked.len(), 3);
+        // Scores are sorted descending.
+        assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+}

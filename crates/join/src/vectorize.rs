@@ -1,0 +1,135 @@
+//! Table → vector reduction (Figure 3 of the paper).
+//!
+//! A table column `(K, V)` is turned into three sparse vectors over the join-key
+//! domain:
+//!
+//! * `x_1[K]` — the key-indicator vector (1 at every key of the table);
+//! * `x_V` — the value vector (value `V` at its key);
+//! * `x_{V²}` — the squared-value vector, which the paper notes "opens up the
+//!   possibility of also estimating other quantities like post-join variance" (and is
+//!   what the correlation estimator needs).
+//!
+//! With these, SIZE, SUM, MEAN and the post-join inner product of Figure 2 are all
+//! plain inner products.
+
+use crate::error::JoinError;
+use ipsketch_data::Table;
+use ipsketch_vector::SparseVector;
+
+/// The three vector representations of one table column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVectors {
+    /// The table name the vectors came from.
+    pub table: String,
+    /// The column name the vectors came from.
+    pub column: String,
+    /// Number of rows in the table.
+    pub rows: usize,
+    /// `x_1[K]`: indicator of the key set.
+    pub key_indicator: SparseVector,
+    /// `x_V`: column values indexed by key.
+    pub values: SparseVector,
+    /// `x_{V²}`: squared column values indexed by key.
+    pub squared_values: SparseVector,
+}
+
+impl ColumnVectors {
+    /// Builds the vector representations of `table.column`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Data`] if the column does not exist and
+    /// [`JoinError::EmptyColumn`] if the table has no rows.
+    pub fn from_table(table: &Table, column: &str) -> Result<Self, JoinError> {
+        let pairs = table.key_value_pairs(column)?;
+        if pairs.is_empty() {
+            return Err(JoinError::EmptyColumn {
+                table: table.name().to_string(),
+                column: column.to_string(),
+            });
+        }
+        let key_indicator = SparseVector::indicator(pairs.iter().map(|&(k, _)| k));
+        let values = SparseVector::from_pairs(pairs.iter().copied()).map_err(JoinError::Vector)?;
+        let squared_values =
+            SparseVector::from_pairs(pairs.iter().map(|&(k, v)| (k, v * v)))
+                .map_err(JoinError::Vector)?;
+        Ok(Self {
+            table: table.name().to_string(),
+            column: column.to_string(),
+            rows: pairs.len(),
+            key_indicator,
+            values,
+            squared_values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_vector::inner_product;
+
+    #[test]
+    fn figure_3_vectors_reproduce_figure_2_statistics() {
+        let (ta, tb) = Table::figure_2_tables();
+        let a = ColumnVectors::from_table(&ta, "V_A").unwrap();
+        let b = ColumnVectors::from_table(&tb, "V_B").unwrap();
+
+        // SIZE(V_A⋈) = <x_1[K_A], x_1[K_B]> = 4.
+        assert!((inner_product(&a.key_indicator, &b.key_indicator) - 4.0).abs() < 1e-12);
+        // SUM(V_A⋈) = <x_{V_A}, x_1[K_B]> = 12.
+        assert!((inner_product(&a.values, &b.key_indicator) - 12.0).abs() < 1e-12);
+        // SUM(V_B⋈) = <x_1[K_A], x_{V_B}> = 10.5.
+        assert!((inner_product(&a.key_indicator, &b.values) - 10.5).abs() < 1e-12);
+        // MEAN(V_A⋈) = 12 / 4 = 3.
+        let mean = inner_product(&a.values, &b.key_indicator)
+            / inner_product(&a.key_indicator, &b.key_indicator);
+        assert!((mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_and_shapes() {
+        let (ta, _) = Table::figure_2_tables();
+        let a = ColumnVectors::from_table(&ta, "V_A").unwrap();
+        assert_eq!(a.table, "T_A");
+        assert_eq!(a.column, "V_A");
+        assert_eq!(a.rows, 9);
+        assert_eq!(a.key_indicator.nnz(), 9);
+        assert_eq!(a.values.nnz(), 9);
+        assert_eq!(a.squared_values.nnz(), 9);
+        // Squared values really are squares.
+        for (k, v) in a.values.iter() {
+            assert!((a.squared_values.get(k) - v * v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unknown_column_and_empty_table_rejected() {
+        let (ta, _) = Table::figure_2_tables();
+        assert!(matches!(
+            ColumnVectors::from_table(&ta, "nope"),
+            Err(JoinError::Data(_))
+        ));
+        let empty = Table::new("empty", vec![], vec![ipsketch_data::Column::new("v", vec![])])
+            .unwrap();
+        assert!(matches!(
+            ColumnVectors::from_table(&empty, "v"),
+            Err(JoinError::EmptyColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_values_drop_from_value_vector_but_not_indicator() {
+        let table = Table::new(
+            "t",
+            vec![1, 2, 3],
+            vec![ipsketch_data::Column::new("v", vec![0.0, 5.0, -1.0])],
+        )
+        .unwrap();
+        let cv = ColumnVectors::from_table(&table, "v").unwrap();
+        assert_eq!(cv.key_indicator.nnz(), 3);
+        assert_eq!(cv.values.nnz(), 2);
+        assert_eq!(cv.values.get(2), 5.0);
+        assert_eq!(cv.squared_values.get(3), 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Dense vectors.
+//!
+//! A thin wrapper over `Vec<f64>` used where the ambient dimension is small and known
+//! (unit tests, the worked example of the paper's Figure 3, and the dense-vector
+//! regime in which the WMH guarantee matches linear sketching).
+
+use crate::error::VectorError;
+use crate::sparse::SparseVector;
+
+/// A dense real vector of fixed dimension.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseVector {
+    values: Vec<f64>,
+}
+
+impl DenseVector {
+    /// Creates a dense vector from raw values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VectorError::NonFiniteValue`] if any value is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self, VectorError> {
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(VectorError::NonFiniteValue {
+                    index: i as u64,
+                    value: v,
+                });
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// Creates the all-zero vector of the given dimension.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            values: vec![0.0; dim],
+        }
+    }
+
+    /// The dimension of the vector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read access to the raw values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the raw values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The dot product with another dense vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VectorError::DimensionMismatch`] if the dimensions differ.
+    pub fn dot(&self, other: &DenseVector) -> Result<f64, VectorError> {
+        if self.dim() != other.dim() {
+            return Err(VectorError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Converts to a sparse vector (dropping zeros).
+    #[must_use]
+    pub fn to_sparse(&self) -> SparseVector {
+        SparseVector::from_dense(&self.values).expect("dense values are validated finite")
+    }
+}
+
+impl From<SparseVector> for DenseVector {
+    /// Converts a sparse vector to the smallest dense vector containing its support.
+    fn from(sparse: SparseVector) -> Self {
+        let dim = usize::try_from(sparse.max_dimension()).expect("dimension fits in usize");
+        Self {
+            values: sparse.to_dense(dim).expect("dimension derived from the vector"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_values() {
+        assert!(DenseVector::new(vec![1.0, 2.0]).is_ok());
+        assert!(matches!(
+            DenseVector::new(vec![1.0, f64::NAN]),
+            Err(VectorError::NonFiniteValue { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zeros_and_dim() {
+        let z = DenseVector::zeros(4);
+        assert_eq!(z.dim(), 4);
+        assert_eq!(z.norm(), 0.0);
+        assert_eq!(z.values(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = DenseVector::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let b = DenseVector::new(vec![4.0, -5.0, 6.0]).unwrap();
+        assert!((a.dot(&b).unwrap() - 12.0).abs() < 1e-12);
+        assert!((a.norm() - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_dimension_mismatch() {
+        let a = DenseVector::new(vec![1.0, 2.0]).unwrap();
+        let b = DenseVector::new(vec![1.0]).unwrap();
+        assert!(matches!(
+            a.dot(&b),
+            Err(VectorError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn sparse_dense_roundtrip() {
+        let d = DenseVector::new(vec![0.0, 1.0, 0.0, 2.5]).unwrap();
+        let s = d.to_sparse();
+        assert_eq!(s.nnz(), 2);
+        let back = DenseVector::from(s);
+        assert_eq!(back.values(), &[0.0, 1.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn values_mut_allows_in_place_updates() {
+        let mut d = DenseVector::zeros(3);
+        d.values_mut()[1] = 7.0;
+        assert_eq!(d.values(), &[0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_sparse_to_dense_is_zero_dim() {
+        let d = DenseVector::from(SparseVector::new());
+        assert_eq!(d.dim(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the vector substrate.
+
+use std::fmt;
+
+/// Errors produced when constructing or transforming vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VectorError {
+    /// A value passed into a vector was not finite (NaN or ±∞).
+    NonFiniteValue {
+        /// Index of the offending entry.
+        index: u64,
+        /// The offending value.
+        value: f64,
+    },
+    /// An operation that requires a non-empty vector received an empty one.
+    EmptyVector {
+        /// Name of the operation.
+        operation: &'static str,
+    },
+    /// An operation that requires a unit-norm vector received one whose norm differs
+    /// from 1 by more than the allowed tolerance.
+    NotUnitNorm {
+        /// The actual Euclidean norm.
+        norm: f64,
+    },
+    /// A zero vector was supplied where a non-zero vector is required (e.g. it cannot be
+    /// normalized).
+    ZeroVector,
+    /// A parameter was out of its allowed range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the allowed range.
+        allowed: &'static str,
+    },
+    /// Dense/indexed access outside the vector's length.
+    DimensionMismatch {
+        /// Expected length/dimension.
+        expected: usize,
+        /// Actual length/dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for VectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorError::NonFiniteValue { index, value } => {
+                write!(f, "non-finite value {value} at index {index}")
+            }
+            VectorError::EmptyVector { operation } => {
+                write!(f, "operation `{operation}` requires a non-empty vector")
+            }
+            VectorError::NotUnitNorm { norm } => {
+                write!(f, "vector is not unit-norm (norm = {norm})")
+            }
+            VectorError::ZeroVector => write!(f, "zero vector is not allowed here"),
+            VectorError::InvalidParameter { name, allowed } => {
+                write!(f, "parameter `{name}` out of range (allowed: {allowed})")
+            }
+            VectorError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VectorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_data() {
+        let e = VectorError::NonFiniteValue {
+            index: 3,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("index 3"));
+
+        let e = VectorError::NotUnitNorm { norm: 2.0 };
+        assert!(e.to_string().contains('2'));
+
+        let e = VectorError::InvalidParameter {
+            name: "L",
+            allowed: ">= 1",
+        };
+        assert!(e.to_string().contains('L'));
+
+        let e = VectorError::DimensionMismatch {
+            expected: 4,
+            actual: 7,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('7'));
+
+        let e = VectorError::EmptyVector { operation: "mean" };
+        assert!(e.to_string().contains("mean"));
+
+        assert!(!VectorError::ZeroVector.to_string().is_empty());
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&VectorError::ZeroVector);
+    }
+}

@@ -1,0 +1,39 @@
+//! Vector substrate for inner-product sketching.
+//!
+//! The sketching algorithms of `ipsketch-core` operate on high-dimensional, typically
+//! very sparse real vectors.  This crate provides:
+//!
+//! * [`sparse::SparseVector`] — the primary vector representation (sorted
+//!   index/value pairs over a `u64` index domain, so the ambient dimension never has to
+//!   be materialized — exactly the setting of the paper's dataset-search application).
+//! * [`dense::DenseVector`] — a thin dense wrapper used by small examples and tests.
+//! * [`ops`] — exact inner products, support intersection/union, restricted norms,
+//!   Jaccard and weighted Jaccard similarity: all the quantities appearing in the
+//!   paper's error bounds (Fact 1, Theorem 2, Fact 5).
+//! * [`stats`] — moment statistics (mean, variance, skewness, kurtosis) used to bin the
+//!   World-Bank experiment (Figure 5).
+//! * [`rounding`] — Algorithm 4 of the paper: rounding a unit vector so its squared
+//!   entries are integer multiples of `1/L`.
+//! * [`metrics`] — the error metric reported in the paper's plots and the theoretical
+//!   error-bound terms of Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod error;
+pub mod metrics;
+pub mod ops;
+pub mod rounding;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::DenseVector;
+pub use error::VectorError;
+pub use metrics::{scaled_absolute_error, BoundTerms};
+pub use ops::{
+    cosine_similarity, inner_product, intersection_norms, jaccard_similarity, overlap_stats,
+    weighted_jaccard, weighted_union_size, OverlapStats,
+};
+pub use rounding::{is_grid_aligned, round_unit_vector, normalize_and_round};
+pub use sparse::SparseVector;

@@ -1,0 +1,235 @@
+//! Error metrics and theoretical bound terms.
+//!
+//! The paper reports, for every estimate, the absolute difference from the true inner
+//! product divided by `‖a‖‖b‖` (Section 5, "Estimation Error") — the same scaling that
+//! appears on the right-hand side of the linear-sketching guarantee, so errors are
+//! comparable across datasets.  This module computes that metric and the per-method
+//! theoretical bound terms of Table 1, which the Table-1 experiment checks empirically.
+
+use crate::ops::{intersection_norms, overlap_stats};
+use crate::sparse::SparseVector;
+
+/// The paper's scaled estimation error: `|estimate − ⟨a,b⟩| / (‖a‖·‖b‖)`.
+///
+/// Returns the raw absolute error if either vector has zero norm (so the metric is
+/// still well defined for degenerate inputs).
+#[must_use]
+pub fn scaled_absolute_error(estimate: f64, truth: f64, norm_a: f64, norm_b: f64) -> f64 {
+    let denom = norm_a * norm_b;
+    if denom == 0.0 {
+        (estimate - truth).abs()
+    } else {
+        (estimate - truth).abs() / denom
+    }
+}
+
+/// The theoretical error-bound terms of Table 1 for a specific vector pair, all without
+/// the `ε` factor (i.e. the data-dependent part of each bound).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundTerms {
+    /// Linear sketching (JL / AMS / CountSketch): `‖a‖·‖b‖`.
+    pub linear: f64,
+    /// Unweighted MinHash (Theorem 4, with `c = max(‖a‖∞, ‖b‖∞)`):
+    /// `c² · sqrt(max(|A|, |B|) · |A ∩ B|)`.
+    pub minhash: f64,
+    /// Weighted MinHash (Theorem 2): `max(‖a_I‖·‖b‖, ‖a‖·‖b_I‖)`.
+    pub weighted_minhash: f64,
+}
+
+impl BoundTerms {
+    /// Computes all bound terms for a pair of vectors.
+    #[must_use]
+    pub fn compute(a: &SparseVector, b: &SparseVector) -> Self {
+        let stats = overlap_stats(a, b);
+        let (norm_a_i, norm_b_i) = (stats.norm_a_restricted, stats.norm_b_restricted);
+        let norm_a = a.norm();
+        let norm_b = b.norm();
+        let c = a.norm_inf().max(b.norm_inf());
+        let max_support = stats.nnz_a.max(stats.nnz_b) as f64;
+        Self {
+            linear: norm_a * norm_b,
+            minhash: c * c * (max_support * stats.intersection as f64).sqrt(),
+            weighted_minhash: (norm_a_i * norm_b).max(norm_a * norm_b_i),
+        }
+    }
+
+    /// The ratio `weighted_minhash / linear`, i.e. how much smaller the Theorem-2 bound
+    /// is than the Fact-1 bound for this pair (`<= 1` always; small values mean WMH
+    /// should win by a large margin).
+    #[must_use]
+    pub fn improvement_ratio(&self) -> f64 {
+        if self.linear == 0.0 {
+            1.0
+        } else {
+            self.weighted_minhash / self.linear
+        }
+    }
+}
+
+/// Convenience: the Theorem-2 bound term `max(‖a_I‖·‖b‖, ‖a‖·‖b_I‖)`.
+#[must_use]
+pub fn weighted_minhash_bound_term(a: &SparseVector, b: &SparseVector) -> f64 {
+    let (na_i, nb_i) = intersection_norms(a, b);
+    (na_i * b.norm()).max(a.norm() * nb_i)
+}
+
+/// Convenience: the Fact-1 (linear sketching) bound term `‖a‖·‖b‖`.
+#[must_use]
+pub fn linear_sketch_bound_term(a: &SparseVector, b: &SparseVector) -> f64 {
+    a.norm() * b.norm()
+}
+
+/// Aggregates a stream of error observations and reports summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorAccumulator {
+    errors: Vec<f64>,
+}
+
+impl ErrorAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one error observation.
+    pub fn record(&mut self, error: f64) {
+        self.errors.push(error);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Mean of the recorded errors (zero for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.errors.is_empty() {
+            0.0
+        } else {
+            self.errors.iter().sum::<f64>() / self.errors.len() as f64
+        }
+    }
+
+    /// Maximum recorded error (zero for an empty accumulator).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.errors.iter().fold(0.0, |acc, &e| acc.max(e))
+    }
+
+    /// The `q`-th quantile of the recorded errors (`0 <= q <= 1`), using linear
+    /// interpolation; zero for an empty accumulator.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.errors.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// All recorded errors, in insertion order.
+    #[must_use]
+    pub fn observations(&self) -> &[f64] {
+        &self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_error_basic() {
+        assert!((scaled_absolute_error(11.0, 10.0, 2.0, 5.0) - 0.1).abs() < 1e-12);
+        assert_eq!(scaled_absolute_error(10.0, 10.0, 2.0, 5.0), 0.0);
+        // Zero norms fall back to the unscaled error.
+        assert_eq!(scaled_absolute_error(3.0, 1.0, 0.0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn bound_terms_on_binary_vectors_match_set_bounds() {
+        // For binary vectors the WMH bound equals sqrt(max(|A|,|B|)·|A∩B|) (Section 2).
+        let a = SparseVector::indicator(0..100u64);
+        let b = SparseVector::indicator(50..200u64);
+        let terms = BoundTerms::compute(&a, &b);
+        let intersection = 50.0f64;
+        let expected_wmh = (150.0f64 * intersection).sqrt();
+        assert!((terms.weighted_minhash - expected_wmh).abs() < 1e-9);
+        assert!((terms.minhash - expected_wmh).abs() < 1e-9);
+        assert!((terms.linear - (100.0f64 * 150.0).sqrt()).abs() < 1e-9);
+        assert!(terms.weighted_minhash <= terms.linear + 1e-12);
+    }
+
+    #[test]
+    fn wmh_bound_beats_linear_for_low_overlap() {
+        let a = SparseVector::indicator(0..1000u64);
+        let b = SparseVector::indicator(990..1990u64);
+        let terms = BoundTerms::compute(&a, &b);
+        assert!(terms.improvement_ratio() < 0.15);
+    }
+
+    #[test]
+    fn wmh_bound_matches_linear_for_identical_dense_vectors() {
+        let a = SparseVector::from_pairs((0..50u64).map(|i| (i, (i + 1) as f64))).unwrap();
+        let terms = BoundTerms::compute(&a, &a);
+        assert!((terms.improvement_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_vectors_have_zero_wmh_bound() {
+        let a = SparseVector::indicator(0..10u64);
+        let b = SparseVector::indicator(20..30u64);
+        let terms = BoundTerms::compute(&a, &b);
+        assert_eq!(terms.weighted_minhash, 0.0);
+        assert_eq!(terms.minhash, 0.0);
+        assert!(terms.linear > 0.0);
+        assert_eq!(terms.improvement_ratio(), 0.0);
+    }
+
+    #[test]
+    fn helper_bounds_agree_with_bound_terms() {
+        let a = SparseVector::from_pairs([(0, 1.0), (1, 2.0), (5, 3.0)]).unwrap();
+        let b = SparseVector::from_pairs([(1, -1.0), (5, 0.5), (9, 4.0)]).unwrap();
+        let terms = BoundTerms::compute(&a, &b);
+        assert!((terms.weighted_minhash - weighted_minhash_bound_term(&a, &b)).abs() < 1e-12);
+        assert!((terms.linear - linear_sketch_bound_term(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_ratio_of_empty_pair_is_one() {
+        let terms = BoundTerms::compute(&SparseVector::new(), &SparseVector::new());
+        assert_eq!(terms.improvement_ratio(), 1.0);
+    }
+
+    #[test]
+    fn error_accumulator_summary() {
+        let mut acc = ErrorAccumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.max(), 0.0);
+        assert_eq!(acc.quantile(0.5), 0.0);
+        for e in [0.1, 0.3, 0.2, 0.4] {
+            acc.record(e);
+        }
+        assert_eq!(acc.count(), 4);
+        assert!((acc.mean() - 0.25).abs() < 1e-12);
+        assert!((acc.max() - 0.4).abs() < 1e-12);
+        assert!((acc.quantile(0.0) - 0.1).abs() < 1e-12);
+        assert!((acc.quantile(1.0) - 0.4).abs() < 1e-12);
+        assert!((acc.quantile(0.5) - 0.25).abs() < 1e-12);
+        assert_eq!(acc.observations().len(), 4);
+    }
+}

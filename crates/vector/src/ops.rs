@@ -1,0 +1,423 @@
+//! Exact operations between pairs of sparse vectors.
+//!
+//! These are the ground-truth quantities the sketching experiments compare against, and
+//! the quantities appearing in the paper's error bounds:
+//!
+//! * the inner product `⟨a, b⟩`;
+//! * the support intersection `I = {i : a[i] ≠ 0 and b[i] ≠ 0}` and union;
+//! * the restricted norms `‖a_I‖` and `‖b_I‖` of Theorem 2;
+//! * Jaccard similarity of the supports (the "overlap" axis of Figures 4 and 5);
+//! * weighted Jaccard similarity of Fact 5.
+
+use crate::sparse::SparseVector;
+
+/// Summary of how two sparse vectors overlap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapStats {
+    /// Number of non-zero entries of the first vector (`|A|`).
+    pub nnz_a: usize,
+    /// Number of non-zero entries of the second vector (`|B|`).
+    pub nnz_b: usize,
+    /// Size of the support intersection (`|A ∩ B|`).
+    pub intersection: usize,
+    /// Size of the support union (`|A ∪ B|`).
+    pub union: usize,
+    /// Euclidean norm of `a` restricted to the intersection (`‖a_I‖`).
+    pub norm_a_restricted: f64,
+    /// Euclidean norm of `b` restricted to the intersection (`‖b_I‖`).
+    pub norm_b_restricted: f64,
+    /// Exact inner product `⟨a, b⟩`.
+    pub inner_product: f64,
+}
+
+impl OverlapStats {
+    /// Jaccard similarity of the supports, `|A ∩ B| / |A ∪ B|`; zero when both vectors
+    /// are empty.
+    #[must_use]
+    pub fn jaccard(&self) -> f64 {
+        if self.union == 0 {
+            0.0
+        } else {
+            self.intersection as f64 / self.union as f64
+        }
+    }
+
+    /// The overlap ratio used in the synthetic experiments: intersection size divided by
+    /// the smaller support size; zero when either vector is empty.
+    #[must_use]
+    pub fn overlap_ratio(&self) -> f64 {
+        let smaller = self.nnz_a.min(self.nnz_b);
+        if smaller == 0 {
+            0.0
+        } else {
+            self.intersection as f64 / smaller as f64
+        }
+    }
+}
+
+/// Computes the exact inner product `⟨a, b⟩` by merging the sorted supports.
+#[must_use]
+pub fn inner_product(a: &SparseVector, b: &SparseVector) -> f64 {
+    merge_fold(a, b, 0.0, |acc, _idx, va, vb| acc + va * vb)
+}
+
+/// Computes `(‖a_I‖, ‖b_I‖)`: the Euclidean norms of `a` and `b` restricted to the
+/// intersection of their supports (the quantities in Theorem 2).
+#[must_use]
+pub fn intersection_norms(a: &SparseVector, b: &SparseVector) -> (f64, f64) {
+    let (sq_a, sq_b) = merge_fold(a, b, (0.0, 0.0), |acc, _idx, va, vb| {
+        (acc.0 + va * va, acc.1 + vb * vb)
+    });
+    (sq_a.sqrt(), sq_b.sqrt())
+}
+
+/// Computes the Jaccard similarity of the two supports.
+#[must_use]
+pub fn jaccard_similarity(a: &SparseVector, b: &SparseVector) -> f64 {
+    overlap_stats(a, b).jaccard()
+}
+
+/// Computes the *weighted* Jaccard similarity of Fact 5:
+/// `Σ_j min(a[j]², b[j]²) / Σ_j max(a[j]², b[j]²)`.
+///
+/// Returns zero when both vectors are empty.
+#[must_use]
+pub fn weighted_jaccard(a: &SparseVector, b: &SparseVector) -> f64 {
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+    let mut ia = 0;
+    let mut ib = 0;
+    let (idx_a, val_a) = (a.indices(), a.values());
+    let (idx_b, val_b) = (b.indices(), b.values());
+    while ia < idx_a.len() || ib < idx_b.len() {
+        let next_a = idx_a.get(ia).copied();
+        let next_b = idx_b.get(ib).copied();
+        match (next_a, next_b) {
+            (Some(x), Some(y)) if x == y => {
+                let sa = val_a[ia] * val_a[ia];
+                let sb = val_b[ib] * val_b[ib];
+                min_sum += sa.min(sb);
+                max_sum += sa.max(sb);
+                ia += 1;
+                ib += 1;
+            }
+            (Some(x), Some(y)) if x < y => {
+                max_sum += val_a[ia] * val_a[ia];
+                ia += 1;
+            }
+            (Some(_), Some(_)) => {
+                max_sum += val_b[ib] * val_b[ib];
+                ib += 1;
+            }
+            (Some(_), None) => {
+                max_sum += val_a[ia] * val_a[ia];
+                ia += 1;
+            }
+            (None, Some(_)) => {
+                max_sum += val_b[ib] * val_b[ib];
+                ib += 1;
+            }
+            (None, None) => unreachable!("loop condition guarantees one side remains"),
+        }
+    }
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// The weighted union size `M = Σ_j max(a[j]², b[j]²)` appearing in the analysis of
+/// Algorithm 5.
+#[must_use]
+pub fn weighted_union_size(a: &SparseVector, b: &SparseVector) -> f64 {
+    let mut max_sum = 0.0;
+    let mut ia = 0;
+    let mut ib = 0;
+    let (idx_a, val_a) = (a.indices(), a.values());
+    let (idx_b, val_b) = (b.indices(), b.values());
+    while ia < idx_a.len() || ib < idx_b.len() {
+        match (idx_a.get(ia).copied(), idx_b.get(ib).copied()) {
+            (Some(x), Some(y)) if x == y => {
+                max_sum += (val_a[ia] * val_a[ia]).max(val_b[ib] * val_b[ib]);
+                ia += 1;
+                ib += 1;
+            }
+            (Some(x), Some(y)) if x < y => {
+                max_sum += val_a[ia] * val_a[ia];
+                ia += 1;
+            }
+            (Some(_), Some(_)) => {
+                max_sum += val_b[ib] * val_b[ib];
+                ib += 1;
+            }
+            (Some(_), None) => {
+                max_sum += val_a[ia] * val_a[ia];
+                ia += 1;
+            }
+            (None, Some(_)) => {
+                max_sum += val_b[ib] * val_b[ib];
+                ib += 1;
+            }
+            (None, None) => unreachable!("loop condition guarantees one side remains"),
+        }
+    }
+    max_sum
+}
+
+/// Computes the cosine similarity `⟨a, b⟩ / (‖a‖‖b‖)`; zero if either vector is empty.
+#[must_use]
+pub fn cosine_similarity(a: &SparseVector, b: &SparseVector) -> f64 {
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        inner_product(a, b) / denom
+    }
+}
+
+/// Computes the full [`OverlapStats`] summary for a pair of vectors in a single merge
+/// pass over the supports.
+#[must_use]
+pub fn overlap_stats(a: &SparseVector, b: &SparseVector) -> OverlapStats {
+    let mut intersection = 0usize;
+    let mut ip = 0.0;
+    let mut sq_a = 0.0;
+    let mut sq_b = 0.0;
+    let mut ia = 0;
+    let mut ib = 0;
+    let (idx_a, val_a) = (a.indices(), a.values());
+    let (idx_b, val_b) = (b.indices(), b.values());
+    while ia < idx_a.len() && ib < idx_b.len() {
+        match idx_a[ia].cmp(&idx_b[ib]) {
+            std::cmp::Ordering::Equal => {
+                intersection += 1;
+                ip += val_a[ia] * val_b[ib];
+                sq_a += val_a[ia] * val_a[ia];
+                sq_b += val_b[ib] * val_b[ib];
+                ia += 1;
+                ib += 1;
+            }
+            std::cmp::Ordering::Less => ia += 1,
+            std::cmp::Ordering::Greater => ib += 1,
+        }
+    }
+    let nnz_a = a.nnz();
+    let nnz_b = b.nnz();
+    OverlapStats {
+        nnz_a,
+        nnz_b,
+        intersection,
+        union: nnz_a + nnz_b - intersection,
+        norm_a_restricted: sq_a.sqrt(),
+        norm_b_restricted: sq_b.sqrt(),
+        inner_product: ip,
+    }
+}
+
+/// Merge-iterates over the intersection of the supports, folding `(acc, index, a[i],
+/// b[i])` with `f`.
+fn merge_fold<T, F>(a: &SparseVector, b: &SparseVector, init: T, mut f: F) -> T
+where
+    F: FnMut(T, u64, f64, f64) -> T,
+{
+    let mut acc = init;
+    let mut ia = 0;
+    let mut ib = 0;
+    let (idx_a, val_a) = (a.indices(), a.values());
+    let (idx_b, val_b) = (b.indices(), b.values());
+    while ia < idx_a.len() && ib < idx_b.len() {
+        match idx_a[ia].cmp(&idx_b[ib]) {
+            std::cmp::Ordering::Equal => {
+                acc = f(acc, idx_a[ia], val_a[ia], val_b[ib]);
+                ia += 1;
+                ib += 1;
+            }
+            std::cmp::Ordering::Less => ia += 1,
+            std::cmp::Ordering::Greater => ib += 1,
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_a() -> SparseVector {
+        // The x_{V_A} vector from the paper's Figure 3 (1-indexed there, 0-indexed here).
+        SparseVector::from_pairs([
+            (0, 6.0),
+            (2, 2.0),
+            (3, 6.0),
+            (4, 1.0),
+            (5, 4.0),
+            (6, 2.0),
+            (7, 2.0),
+            (8, 8.0),
+            (10, 3.0),
+        ])
+        .unwrap()
+    }
+
+    fn vec_b() -> SparseVector {
+        // The x_{V_B} vector from the paper's Figure 3.
+        SparseVector::from_pairs([
+            (1, 1.0),
+            (3, 5.0),
+            (4, 1.0),
+            (7, 2.0),
+            (9, 4.0),
+            (10, 2.5),
+            (11, 6.0),
+            (14, 6.0),
+            (15, 3.7),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_product_matches_figure_2() {
+        // Post-join inner product of V_A and V_B: 6·5 + 1·1 + 2·2 + 3·2.5 = 42.5.
+        assert!((inner_product(&vec_a(), &vec_b()) - 42.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_with_indicator_gives_sum_aggregate() {
+        // SUM(V_A over the join) = <x_{V_A}, x_1[K_B]> = 6 + 1 + 2 + 3 = 12 (Figure 2).
+        let kb = SparseVector::indicator([1u64, 3, 4, 7, 9, 10, 11, 14, 15]);
+        assert!((inner_product(&vec_a(), &kb) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_size_via_indicator_vectors() {
+        let ka = SparseVector::indicator(vec_a().indices().to_vec());
+        let kb = SparseVector::indicator(vec_b().indices().to_vec());
+        assert!((inner_product(&ka, &kb) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_disjoint_and_empty() {
+        let a = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let b = SparseVector::from_pairs([(5, 1.0)]).unwrap();
+        assert_eq!(inner_product(&a, &b), 0.0);
+        assert_eq!(inner_product(&a, &SparseVector::new()), 0.0);
+        assert_eq!(inner_product(&SparseVector::new(), &SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn intersection_norms_match_restriction() {
+        let a = vec_a();
+        let b = vec_b();
+        let (na, nb) = intersection_norms(&a, &b);
+        // Intersection indices are {3, 4, 7, 10}.
+        let expected_a = (36.0 + 1.0 + 4.0 + 9.0f64).sqrt();
+        let expected_b = (25.0 + 1.0 + 4.0 + 6.25f64).sqrt();
+        assert!((na - expected_a).abs() < 1e-12);
+        assert!((nb - expected_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_figure_2_tables_is_2_over_7() {
+        // Figure 2: 4 of 14 unique keys shared → Jaccard = 2/7.
+        let ka = SparseVector::indicator(vec_a().indices().to_vec());
+        let kb = SparseVector::indicator(vec_b().indices().to_vec());
+        assert!((jaccard_similarity(&ka, &kb) - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_edge_cases() {
+        let empty = SparseVector::new();
+        assert_eq!(jaccard_similarity(&empty, &empty), 0.0);
+        let a = SparseVector::indicator([1, 2, 3]);
+        assert_eq!(jaccard_similarity(&a, &a), 1.0);
+        let b = SparseVector::indicator([4, 5]);
+        assert_eq!(jaccard_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn weighted_jaccard_identical_vectors_is_one() {
+        let a = vec_a();
+        assert!((weighted_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_disjoint_is_zero() {
+        let a = SparseVector::from_pairs([(0, 2.0)]).unwrap();
+        let b = SparseVector::from_pairs([(1, 3.0)]).unwrap();
+        assert_eq!(weighted_jaccard(&a, &b), 0.0);
+        assert_eq!(weighted_jaccard(&SparseVector::new(), &SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn weighted_jaccard_hand_example() {
+        // a² = [4, 1], b² = [1, 9] on the same support.
+        let a = SparseVector::from_pairs([(0, 2.0), (1, 1.0)]).unwrap();
+        let b = SparseVector::from_pairs([(0, 1.0), (1, 3.0)]).unwrap();
+        let expected = (1.0 + 1.0) / (4.0 + 9.0);
+        assert!((weighted_jaccard(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_union_size_hand_example() {
+        let a = SparseVector::from_pairs([(0, 2.0), (1, 1.0), (3, 1.0)]).unwrap();
+        let b = SparseVector::from_pairs([(0, 1.0), (1, 3.0), (7, 2.0)]).unwrap();
+        // max(4,1) + max(1,9) + 1 + 4 = 18.
+        assert!((weighted_union_size(&a, &b) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_relates_min_max_sums() {
+        let a = vec_a();
+        let b = vec_b();
+        let wj = weighted_jaccard(&a, &b);
+        assert!(wj > 0.0 && wj < 1.0);
+        // For unit-normalized vectors the weighted union is between 1 and 2.
+        let an = a.normalized().unwrap();
+        let bn = b.normalized().unwrap();
+        let m = weighted_union_size(&an, &bn);
+        assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_and_edge_cases() {
+        let a = vec_a();
+        let b = vec_b();
+        let c = cosine_similarity(&a, &b);
+        assert!(c > 0.0 && c <= 1.0);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn overlap_stats_full_summary() {
+        let a = vec_a();
+        let b = vec_b();
+        let stats = overlap_stats(&a, &b);
+        assert_eq!(stats.nnz_a, 9);
+        assert_eq!(stats.nnz_b, 9);
+        assert_eq!(stats.intersection, 4);
+        assert_eq!(stats.union, 14);
+        assert!((stats.inner_product - 42.5).abs() < 1e-12);
+        assert!((stats.jaccard() - 2.0 / 7.0).abs() < 1e-12);
+        assert!((stats.overlap_ratio() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_stats_empty_vectors() {
+        let stats = overlap_stats(&SparseVector::new(), &SparseVector::new());
+        assert_eq!(stats.union, 0);
+        assert_eq!(stats.jaccard(), 0.0);
+        assert_eq!(stats.overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn theorem_2_bound_never_exceeds_fact_1_bound() {
+        // max(‖a_I‖‖b‖, ‖a‖‖b_I‖) <= ‖a‖‖b‖ always.
+        let a = vec_a();
+        let b = vec_b();
+        let (na_i, nb_i) = intersection_norms(&a, &b);
+        let theorem2 = (na_i * b.norm()).max(a.norm() * nb_i);
+        assert!(theorem2 <= a.norm() * b.norm() + 1e-12);
+    }
+}

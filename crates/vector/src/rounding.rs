@@ -1,0 +1,284 @@
+//! Vector rounding for Weighted MinHash (Algorithm 4 of the paper).
+//!
+//! Weighted MinHash samples index `i` with probability proportional to `ã[i]²` by
+//! repeating the index `ã[i]²·L` times in an expanded vector, so the squared entries of
+//! the (unit-norm) input must be integer multiples of `1/L`.  Algorithm 4 rounds every
+//! squared entry *down* to the grid except the largest-magnitude entry, which absorbs
+//! the lost mass and is rounded *up* — keeping the output exactly unit norm and, as the
+//! paper's Lemma 3 shows, introducing only a small relative error when `L` is large
+//! enough.
+
+use crate::error::VectorError;
+use crate::sparse::SparseVector;
+
+/// Tolerance used when validating that an input vector has unit norm.
+const UNIT_NORM_TOLERANCE: f64 = 1e-6;
+
+/// Rounds a unit vector so that every squared entry is an integer multiple of `1/L`
+/// (Algorithm 4).
+///
+/// All entries are rounded towards zero onto the grid except the largest-magnitude
+/// entry, which is rounded up so that the output is again exactly unit norm.  Entries
+/// whose squared value is below `1/L` round to zero and are removed from the support
+/// (unless they are the largest-magnitude entry).
+///
+/// # Errors
+///
+/// * [`VectorError::InvalidParameter`] if `l == 0`.
+/// * [`VectorError::ZeroVector`] if the vector is empty.
+/// * [`VectorError::NotUnitNorm`] if `‖z‖` differs from 1 by more than `1e-6`.
+pub fn round_unit_vector(z: &SparseVector, l: u64) -> Result<SparseVector, VectorError> {
+    if l == 0 {
+        return Err(VectorError::InvalidParameter {
+            name: "L",
+            allowed: ">= 1",
+        });
+    }
+    if z.is_empty() {
+        return Err(VectorError::ZeroVector);
+    }
+    let norm = z.norm();
+    if (norm - 1.0).abs() > UNIT_NORM_TOLERANCE {
+        return Err(VectorError::NotUnitNorm { norm });
+    }
+    let l_f = l as f64;
+
+    // Line 1: round every squared entry down to the grid.
+    // Line 2: locate the largest-magnitude entry of the *input*.
+    let mut max_abs = f64::NEG_INFINITY;
+    let mut max_index = 0u64;
+    for (i, v) in z.iter() {
+        if v.abs() > max_abs {
+            max_abs = v.abs();
+            max_index = i;
+        }
+    }
+
+    let mut rounded_squared_sum = 0.0;
+    let mut entries: Vec<(u64, f64, f64)> = Vec::with_capacity(z.nnz()); // (index, sign, squared)
+    for (i, v) in z.iter() {
+        let squared = v * v;
+        let grid_units = (squared * l_f).floor();
+        let rounded_squared = grid_units / l_f;
+        rounded_squared_sum += rounded_squared;
+        entries.push((i, v.signum(), rounded_squared));
+    }
+
+    // Line 3: the largest-magnitude entry absorbs the mass lost to rounding, restoring
+    // unit norm exactly (up to floating-point error).
+    let delta = 1.0 - rounded_squared_sum;
+    let mut out: Vec<(u64, f64)> = Vec::with_capacity(entries.len());
+    for (i, sign, squared) in entries {
+        let final_squared = if i == max_index { squared + delta } else { squared };
+        if final_squared > 0.0 {
+            out.push((i, sign * final_squared.sqrt()));
+        }
+    }
+    SparseVector::from_pairs(out)
+}
+
+/// Normalizes `a` to unit norm and rounds it with [`round_unit_vector`]; returns the
+/// rounded unit vector together with the original norm `‖a‖` (which Weighted MinHash
+/// sketches store explicitly).
+///
+/// # Errors
+///
+/// Propagates the errors of [`round_unit_vector`]; additionally returns
+/// [`VectorError::ZeroVector`] when `a` is the zero vector.
+pub fn normalize_and_round(a: &SparseVector, l: u64) -> Result<(SparseVector, f64), VectorError> {
+    let norm = a.norm();
+    if norm == 0.0 {
+        return Err(VectorError::ZeroVector);
+    }
+    let unit = a.scaled(1.0 / norm);
+    let rounded = round_unit_vector(&unit, l)?;
+    Ok((rounded, norm))
+}
+
+/// Checks whether every squared entry of `z` is (within floating-point tolerance) an
+/// integer multiple of `1/L`.
+#[must_use]
+pub fn is_grid_aligned(z: &SparseVector, l: u64) -> bool {
+    if l == 0 {
+        return false;
+    }
+    let l_f = l as f64;
+    z.iter().all(|(_, v)| {
+        let units = v * v * l_f;
+        (units - units.round()).abs() < 1e-6 * units.max(1.0)
+    })
+}
+
+/// The number of expanded-vector repetitions of each entry of a grid-aligned unit
+/// vector: `round(z[i]²·L)` for every entry in the support, in index order.
+///
+/// This is the block-length vector consumed by the Weighted MinHash sketcher.
+#[must_use]
+pub fn repetition_counts(z: &SparseVector, l: u64) -> Vec<(u64, u64)> {
+    let l_f = l as f64;
+    z.iter()
+        .map(|(i, v)| (i, (v * v * l_f).round() as u64))
+        .filter(|&(_, reps)| reps > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(pairs: &[(u64, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied())
+            .unwrap()
+            .normalized()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let v = unit(&[(0, 1.0)]);
+        assert!(matches!(
+            round_unit_vector(&v, 0),
+            Err(VectorError::InvalidParameter { name: "L", .. })
+        ));
+        assert!(matches!(
+            round_unit_vector(&SparseVector::new(), 10),
+            Err(VectorError::ZeroVector)
+        ));
+        let not_unit = SparseVector::from_pairs([(0, 2.0)]).unwrap();
+        assert!(matches!(
+            round_unit_vector(&not_unit, 10),
+            Err(VectorError::NotUnitNorm { .. })
+        ));
+    }
+
+    #[test]
+    fn single_entry_vector_is_unchanged() {
+        let v = unit(&[(7, -3.0)]);
+        let r = round_unit_vector(&v, 100).unwrap();
+        assert_eq!(r.nnz(), 1);
+        assert!((r.get(7) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_is_unit_norm() {
+        let v = unit(&[(0, 0.3), (1, -2.0), (2, 0.07), (3, 5.5), (9, 1.0)]);
+        for l in [8u64, 64, 1024, 1 << 20] {
+            let r = round_unit_vector(&v, l).unwrap();
+            assert!(
+                (r.norm() - 1.0).abs() < 1e-9,
+                "L={l}: norm {}",
+                r.norm()
+            );
+        }
+    }
+
+    #[test]
+    fn output_squared_entries_on_grid() {
+        let v = unit(&[(0, 0.3), (1, -2.0), (2, 0.07), (3, 5.5), (9, 1.0)]);
+        for l in [16u64, 256, 65_536] {
+            let r = round_unit_vector(&v, l).unwrap();
+            assert!(is_grid_aligned(&r, l), "L={l}");
+        }
+    }
+
+    #[test]
+    fn signs_are_preserved() {
+        let v = unit(&[(0, 0.5), (1, -2.0), (2, 3.0)]);
+        let r = round_unit_vector(&v, 1000).unwrap();
+        for (i, value) in r.iter() {
+            assert_eq!(value.signum(), v.get(i).signum(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn non_max_entries_round_down_and_max_rounds_up() {
+        let v = unit(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let r = round_unit_vector(&v, 64).unwrap();
+        for (i, value) in r.iter() {
+            if i == 2 {
+                assert!(value.abs() >= v.get(2).abs() - 1e-12, "max entry must not shrink");
+            } else {
+                assert!(value.abs() <= v.get(i).abs() + 1e-12, "entry {i} must not grow");
+            }
+        }
+    }
+
+    #[test]
+    fn small_entries_round_to_zero_with_small_l() {
+        // With L = 4 the squared entries smaller than 1/4 vanish (except the max).
+        let v = unit(&[(0, 10.0), (1, 0.1), (2, 0.1)]);
+        let r = round_unit_vector(&v, 4).unwrap();
+        assert_eq!(r.nnz(), 1);
+        assert!((r.get(0).abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_l_preserves_vector_closely() {
+        let v = unit(&[(0, 0.3), (1, -2.0), (2, 0.07), (3, 5.5), (9, 1.0)]);
+        let r = round_unit_vector(&v, 1 << 30).unwrap();
+        for (i, value) in v.iter() {
+            assert!(
+                (r.get(i) - value).abs() < 1e-4,
+                "index {i}: {} vs {value}",
+                r.get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_lemma_3_style_bound() {
+        // |<ẑ, ŷ> − <z, y>| should shrink as L grows.
+        let a = unit(&[(0, 1.0), (1, 2.0), (2, 3.0), (5, 0.5), (9, 0.25)]);
+        let b = unit(&[(0, 2.0), (2, -1.0), (5, 4.0), (7, 1.0)]);
+        let exact = crate::ops::inner_product(&a, &b);
+        let mut previous_error = f64::INFINITY;
+        for l in [64u64, 4096, 1 << 20] {
+            let ra = round_unit_vector(&a, l).unwrap();
+            let rb = round_unit_vector(&b, l).unwrap();
+            let err = (crate::ops::inner_product(&ra, &rb) - exact).abs();
+            assert!(err <= previous_error + 1e-9, "error should not grow with L");
+            previous_error = err;
+        }
+        assert!(previous_error < 1e-4);
+    }
+
+    #[test]
+    fn normalize_and_round_returns_norm() {
+        let a = SparseVector::from_pairs([(0, 3.0), (1, 4.0)]).unwrap();
+        let (rounded, norm) = normalize_and_round(&a, 1 << 16).unwrap();
+        assert!((norm - 5.0).abs() < 1e-12);
+        assert!((rounded.norm() - 1.0).abs() < 1e-9);
+        assert!(matches!(
+            normalize_and_round(&SparseVector::new(), 16),
+            Err(VectorError::ZeroVector)
+        ));
+    }
+
+    #[test]
+    fn is_grid_aligned_detects_misalignment() {
+        let aligned = SparseVector::from_pairs([(0, (0.25f64).sqrt()), (1, (0.75f64).sqrt())]).unwrap();
+        assert!(is_grid_aligned(&aligned, 4));
+        let misaligned = unit(&[(0, 1.0), (1, 1.7)]);
+        assert!(!is_grid_aligned(&misaligned, 4));
+        assert!(!is_grid_aligned(&aligned, 0));
+    }
+
+    #[test]
+    fn repetition_counts_sum_to_l() {
+        let v = unit(&[(0, 0.3), (1, -2.0), (2, 0.07), (3, 5.5), (9, 1.0)]);
+        for l in [16u64, 1024, 1 << 20] {
+            let r = round_unit_vector(&v, l).unwrap();
+            let total: u64 = repetition_counts(&r, l).iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, l, "L={l}");
+        }
+    }
+
+    #[test]
+    fn repetition_counts_drop_zero_blocks() {
+        let v = unit(&[(0, 10.0), (1, 0.01)]);
+        let r = round_unit_vector(&v, 8).unwrap();
+        let reps = repetition_counts(&r, 8);
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0], (0, 8));
+    }
+}

@@ -1,0 +1,311 @@
+//! Moment statistics of value collections.
+//!
+//! The World-Bank experiment (paper, Figure 5) bins column pairs by the *kurtosis* of
+//! their values, using high kurtosis as a proxy for the presence of outliers — the
+//! regime where unweighted sampling sketches degrade and weighted sampling (or linear
+//! sketching) is required.  This module computes the usual central-moment statistics
+//! for slices of values and for the non-zero values of a sparse vector.
+
+use crate::error::VectorError;
+use crate::sparse::SparseVector;
+
+/// Summary of the first four moments of a collection of values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (second central moment).
+    pub variance: f64,
+    /// Skewness (third standardized moment); zero when the variance is zero.
+    pub skewness: f64,
+    /// Pearson kurtosis (fourth standardized moment, so a normal distribution has
+    /// kurtosis 3); zero when the variance is zero.
+    pub kurtosis: f64,
+}
+
+impl Moments {
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Excess kurtosis (Pearson kurtosis minus 3).
+    #[must_use]
+    pub fn excess_kurtosis(&self) -> f64 {
+        self.kurtosis - 3.0
+    }
+}
+
+/// Computes the first four moments of a slice of values.
+///
+/// # Errors
+///
+/// Returns [`VectorError::EmptyVector`] if the slice is empty, and
+/// [`VectorError::NonFiniteValue`] if any value is NaN or infinite.
+pub fn moments(values: &[f64]) -> Result<Moments, VectorError> {
+    if values.is_empty() {
+        return Err(VectorError::EmptyVector { operation: "moments" });
+    }
+    for (i, &v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(VectorError::NonFiniteValue {
+                index: i as u64,
+                value: v,
+            });
+        }
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut m4 = 0.0;
+    for &v in values {
+        let d = v - mean;
+        let d2 = d * d;
+        m2 += d2;
+        m3 += d2 * d;
+        m4 += d2 * d2;
+    }
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    let (skewness, kurtosis) = if m2 > 0.0 {
+        (m3 / m2.powf(1.5), m4 / (m2 * m2))
+    } else {
+        (0.0, 0.0)
+    };
+    Ok(Moments {
+        count: values.len(),
+        mean,
+        variance: m2,
+        skewness,
+        kurtosis,
+    })
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`VectorError::EmptyVector`] if the slice is empty.
+pub fn mean(values: &[f64]) -> Result<f64, VectorError> {
+    if values.is_empty() {
+        return Err(VectorError::EmptyVector { operation: "mean" });
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population variance of a slice.
+///
+/// # Errors
+///
+/// Returns [`VectorError::EmptyVector`] if the slice is empty.
+pub fn variance(values: &[f64]) -> Result<f64, VectorError> {
+    Ok(moments(values)?.variance)
+}
+
+/// Pearson kurtosis of a slice (normal distribution ⇒ 3).
+///
+/// # Errors
+///
+/// Returns [`VectorError::EmptyVector`] if the slice is empty.
+pub fn kurtosis(values: &[f64]) -> Result<f64, VectorError> {
+    Ok(moments(values)?.kurtosis)
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`VectorError::DimensionMismatch`] if the lengths differ and
+/// [`VectorError::EmptyVector`] if they are empty.  Returns 0 when either slice has
+/// zero variance.
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> Result<f64, VectorError> {
+    if x.len() != y.len() {
+        return Err(VectorError::DimensionMismatch {
+            expected: x.len(),
+            actual: y.len(),
+        });
+    }
+    if x.is_empty() {
+        return Err(VectorError::EmptyVector {
+            operation: "pearson_correlation",
+        });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    let denom = (vx * vy).sqrt();
+    if denom == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(cov / denom)
+    }
+}
+
+/// Moments of the non-zero values of a sparse vector.
+///
+/// # Errors
+///
+/// Returns [`VectorError::EmptyVector`] if the vector has no non-zero entries.
+pub fn sparse_value_moments(vector: &SparseVector) -> Result<Moments, VectorError> {
+    moments(vector.values())
+}
+
+/// Median of a slice (the average of the two middle values for even lengths).
+///
+/// # Errors
+///
+/// Returns [`VectorError::EmptyVector`] if the slice is empty.
+pub fn median(values: &[f64]) -> Result<f64, VectorError> {
+    if values.is_empty() {
+        return Err(VectorError::EmptyVector { operation: "median" });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Ok(sorted[n / 2])
+    } else {
+        Ok((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_constant_values() {
+        let m = moments(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(m.count, 3);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.variance, 0.0);
+        assert_eq!(m.skewness, 0.0);
+        assert_eq!(m.kurtosis, 0.0);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn moments_hand_example() {
+        // Values: 1, 2, 3, 4 — mean 2.5, population variance 1.25.
+        let m = moments(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        assert!((m.variance - 1.25).abs() < 1e-12);
+        // Symmetric distribution ⇒ zero skewness.
+        assert!(m.skewness.abs() < 1e-12);
+        // Kurtosis of the discrete uniform on 4 points: m4 = (2.25² + .25²)·2/4 = 2.5625+...
+        let expected_kurtosis = ((1.5f64).powi(4) + (0.5f64).powi(4)) * 2.0 / 4.0 / (1.25 * 1.25);
+        assert!((m.kurtosis - expected_kurtosis).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_reject_bad_input() {
+        assert!(matches!(
+            moments(&[]),
+            Err(VectorError::EmptyVector { .. })
+        ));
+        assert!(matches!(
+            moments(&[1.0, f64::NAN]),
+            Err(VectorError::NonFiniteValue { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn kurtosis_of_gaussian_like_sample_is_near_three() {
+        // A deterministic "pseudo-normal" sample via the inverse of a rough sigmoid is
+        // overkill; instead use the sum of 12 uniforms minus 6 (Irwin–Hall), whose
+        // kurtosis is very close to 3.
+        let mut values = Vec::new();
+        let mut state = 1u64;
+        let next = |s: &mut u64| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((*s >> 11) as f64) / (1u64 << 53) as f64
+        };
+        for _ in 0..50_000 {
+            let s: f64 = (0..12).map(|_| next(&mut state)).sum::<f64>() - 6.0;
+            values.push(s);
+        }
+        let k = kurtosis(&values).unwrap();
+        assert!((k - 3.0).abs() < 0.15, "kurtosis {k}");
+    }
+
+    #[test]
+    fn heavy_tailed_sample_has_high_kurtosis() {
+        // Mostly small values with a few huge outliers → kurtosis far above 3.
+        let mut values = vec![1.0; 1000];
+        values.extend([1000.0; 5]);
+        let k = kurtosis(&values).unwrap();
+        assert!(k > 50.0, "kurtosis {k}");
+    }
+
+    #[test]
+    fn skewness_sign_tracks_asymmetry() {
+        let right_skewed = [1.0, 1.0, 1.0, 1.0, 10.0];
+        let left_skewed = [-10.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(moments(&right_skewed).unwrap().skewness > 0.0);
+        assert!(moments(&left_skewed).unwrap().skewness < 0.0);
+    }
+
+    #[test]
+    fn mean_variance_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]).unwrap(), 2.0);
+        assert!((variance(&[1.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[]).is_err());
+    }
+
+    #[test]
+    fn excess_kurtosis_offsets_by_three() {
+        let m = moments(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((m.excess_kurtosis() - (m.kurtosis - 3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pearson_correlation_perfect_and_anti() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson_correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson_correlation(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_correlation_edge_cases() {
+        assert!(matches!(
+            pearson_correlation(&[1.0], &[1.0, 2.0]),
+            Err(VectorError::DimensionMismatch { .. })
+        ));
+        assert!(pearson_correlation(&[], &[]).is_err());
+        // Zero-variance input yields zero correlation rather than NaN.
+        assert_eq!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sparse_value_moments_uses_nonzeros_only() {
+        let v = SparseVector::from_pairs([(0, 2.0), (100, 4.0)]).unwrap();
+        let m = sparse_value_moments(&v).unwrap();
+        assert_eq!(m.count, 2);
+        assert_eq!(m.mean, 3.0);
+        assert!(sparse_value_moments(&SparseVector::new()).is_err());
+    }
+
+    #[test]
+    fn median_odd_even_and_error() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(median(&[7.0]).unwrap(), 7.0);
+        assert!(median(&[]).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the vector substrate.
+
+use ipsketch_vector::metrics::BoundTerms;
+use ipsketch_vector::ops::{
+    cosine_similarity, inner_product, intersection_norms, jaccard_similarity, overlap_stats,
+    weighted_jaccard, weighted_union_size,
+};
+use ipsketch_vector::rounding::{is_grid_aligned, repetition_counts, round_unit_vector};
+use ipsketch_vector::sparse::SparseVector;
+use ipsketch_vector::stats::{moments, pearson_correlation};
+use proptest::prelude::*;
+
+/// Strategy producing a sparse vector with indices below 200 and bounded values.
+fn sparse_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u64..200, -100.0f64..100.0), 0..40)
+        .prop_map(|pairs| SparseVector::from_pairs(pairs).expect("finite values"))
+}
+
+/// Strategy producing a non-zero sparse vector.
+fn nonzero_sparse_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u64..200, 0.01f64..100.0), 1..40).prop_map(|mut pairs| {
+        // Guarantee at least one non-cancelling entry by construction (positive values,
+        // duplicates sum, so nothing cancels).
+        pairs.dedup_by_key(|p| p.0);
+        SparseVector::from_pairs(pairs).expect("finite values")
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_pairs_is_sorted_dedup_and_nonzero(v in sparse_vector()) {
+        prop_assert!(v.indices().windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(v.values().iter().all(|&x| x != 0.0 && x.is_finite()));
+        prop_assert_eq!(v.indices().len(), v.values().len());
+    }
+
+    #[test]
+    fn inner_product_is_symmetric(a in sparse_vector(), b in sparse_vector()) {
+        prop_assert!((inner_product(&a, &b) - inner_product(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_product_with_self_is_norm_squared(a in sparse_vector()) {
+        prop_assert!((inner_product(&a, &a) - a.norm_squared()).abs() < 1e-9 * (1.0 + a.norm_squared()));
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in sparse_vector(), b in sparse_vector()) {
+        prop_assert!(inner_product(&a, &b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn inner_product_matches_dense(a in sparse_vector(), b in sparse_vector()) {
+        let dim = 200;
+        let da = a.to_dense(dim).unwrap();
+        let db = b.to_dense(dim).unwrap();
+        let dense_ip: f64 = da.iter().zip(&db).map(|(x, y)| x * y).sum();
+        prop_assert!((inner_product(&a, &b) - dense_ip).abs() < 1e-9 * (1.0 + dense_ip.abs()));
+    }
+
+    #[test]
+    fn jaccard_in_unit_interval_and_symmetric(a in sparse_vector(), b in sparse_vector()) {
+        let j = jaccard_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_in_unit_interval(a in sparse_vector(), b in sparse_vector()) {
+        let wj = weighted_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&wj));
+        prop_assert!((wj - weighted_jaccard(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_of_self_is_one(a in nonzero_sparse_vector()) {
+        prop_assert!((weighted_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_union_between_norms(a in sparse_vector(), b in sparse_vector()) {
+        // max(‖a‖², ‖b‖²) <= M <= ‖a‖² + ‖b‖².
+        let m = weighted_union_size(&a, &b);
+        prop_assert!(m >= a.norm_squared().max(b.norm_squared()) - 1e-9);
+        prop_assert!(m <= a.norm_squared() + b.norm_squared() + 1e-9);
+    }
+
+    #[test]
+    fn cosine_in_range(a in sparse_vector(), b in sparse_vector()) {
+        let c = cosine_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn overlap_stats_consistent(a in sparse_vector(), b in sparse_vector()) {
+        let stats = overlap_stats(&a, &b);
+        prop_assert_eq!(stats.nnz_a, a.nnz());
+        prop_assert_eq!(stats.nnz_b, b.nnz());
+        prop_assert!(stats.intersection <= stats.nnz_a.min(stats.nnz_b));
+        prop_assert_eq!(stats.union, stats.nnz_a + stats.nnz_b - stats.intersection);
+        prop_assert!((stats.inner_product - inner_product(&a, &b)).abs() < 1e-9);
+        let (na, nb) = intersection_norms(&a, &b);
+        prop_assert!((stats.norm_a_restricted - na).abs() < 1e-9);
+        prop_assert!((stats.norm_b_restricted - nb).abs() < 1e-9);
+        prop_assert!(na <= a.norm() + 1e-12);
+        prop_assert!(nb <= b.norm() + 1e-12);
+    }
+
+    #[test]
+    fn theorem2_bound_below_fact1_bound(a in sparse_vector(), b in sparse_vector()) {
+        let terms = BoundTerms::compute(&a, &b);
+        prop_assert!(terms.weighted_minhash <= terms.linear + 1e-9);
+        prop_assert!(terms.improvement_ratio() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rounding_preserves_unit_norm_and_grid(a in nonzero_sparse_vector(), log_l in 3u32..24) {
+        let l = 1u64 << log_l;
+        let unit = a.normalized().unwrap();
+        let rounded = round_unit_vector(&unit, l).unwrap();
+        prop_assert!((rounded.norm() - 1.0).abs() < 1e-6, "norm {}", rounded.norm());
+        prop_assert!(is_grid_aligned(&rounded, l));
+        // Support of the rounded vector is a subset of the original support.
+        for (i, _) in rounded.iter() {
+            prop_assert!(unit.contains(i));
+        }
+        // Repetition counts sum to exactly L.
+        let total: u64 = repetition_counts(&rounded, l).iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, l);
+    }
+
+    #[test]
+    fn rounding_converges_with_l(a in nonzero_sparse_vector()) {
+        let unit = a.normalized().unwrap();
+        let coarse = round_unit_vector(&unit, 1 << 6).unwrap();
+        let fine = round_unit_vector(&unit, 1 << 22).unwrap();
+        let err_coarse: f64 = unit.iter().map(|(i, v)| (coarse.get(i) - v).abs()).fold(0.0, f64::max);
+        let err_fine: f64 = unit.iter().map(|(i, v)| (fine.get(i) - v).abs()).fold(0.0, f64::max);
+        prop_assert!(err_fine <= err_coarse + 1e-9);
+        prop_assert!(err_fine < 1e-2);
+    }
+
+    #[test]
+    fn moments_shift_invariance(values in proptest::collection::vec(-50.0f64..50.0, 2..50), shift in -10.0f64..10.0) {
+        let m1 = moments(&values).unwrap();
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let m2 = moments(&shifted).unwrap();
+        prop_assert!((m1.variance - m2.variance).abs() < 1e-6 * (1.0 + m1.variance));
+        prop_assert!((m1.mean + shift - m2.mean).abs() < 1e-9);
+        // Kurtosis and skewness are shift-invariant (when variance is non-negligible).
+        if m1.variance > 1e-3 {
+            prop_assert!((m1.kurtosis - m2.kurtosis).abs() < 1e-3 * (1.0 + m1.kurtosis));
+            prop_assert!((m1.skewness - m2.skewness).abs() < 1e-3 * (1.0 + m1.skewness.abs()));
+        }
+    }
+
+    #[test]
+    fn correlation_bounded(x in proptest::collection::vec(-50.0f64..50.0, 2..40)) {
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let r = pearson_correlation(&x, &y).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let self_r = pearson_correlation(&x, &x).unwrap();
+        prop_assert!(self_r == 0.0 || (self_r - 1.0).abs() < 1e-9);
+    }
+}

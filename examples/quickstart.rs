@@ -1,0 +1,50 @@
+//! Quickstart: sketch two sparse vectors with Weighted MinHash and estimate their
+//! inner product, comparing against the exact value and the classic linear-sketch
+//! baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ipsketch::core::method::{AnySketcher, SketchMethod};
+use ipsketch::core::traits::{Sketch, Sketcher};
+use ipsketch::core::wmh::WeightedMinHasher;
+use ipsketch::vector::{inner_product, SparseVector};
+
+fn main() {
+    // Two sparse vectors over a huge (implicit) index domain: only the non-zero
+    // entries are ever materialized.  They overlap on a small set of indices, the
+    // regime where Weighted MinHash shines (Theorem 2 of the paper).
+    let a = SparseVector::from_pairs((0..2_000u64).map(|i| (i, 1.0 + (i % 7) as f64)))
+        .expect("finite values");
+    let b = SparseVector::from_pairs((1_900..3_900u64).map(|i| (i, 2.0 - (i % 5) as f64)))
+        .expect("finite values");
+    let exact = inner_product(&a, &b);
+    println!("exact inner product  : {exact:.2}");
+    println!("norm product |a||b|  : {:.2}\n", a.norm() * b.norm());
+
+    // --- Direct use of the Weighted MinHash sketcher -------------------------------
+    // m = 256 samples, shared seed 42, discretization L = 2^24.
+    let sketcher = WeightedMinHasher::new(256, 42, 1 << 24).expect("valid parameters");
+    let sketch_a = sketcher.sketch(&a).expect("non-zero vector");
+    let sketch_b = sketcher.sketch(&b).expect("non-zero vector");
+    let estimate = sketcher
+        .estimate_inner_product(&sketch_a, &sketch_b)
+        .expect("compatible sketches");
+    println!(
+        "WMH (m=256)          : {estimate:.2}   (sketch storage: {:.0} doubles each)",
+        sketch_a.storage_doubles()
+    );
+
+    // --- The budget-driven front end, comparing all the paper's baselines ----------
+    println!("\nAll methods at an equal 400-double storage budget:");
+    for method in SketchMethod::paper_baselines() {
+        let sketcher = AnySketcher::for_budget(method, 400.0, 42).expect("budget fits");
+        let sa = sketcher.sketch(&a).expect("sketchable");
+        let sb = sketcher.sketch(&b).expect("sketchable");
+        let est = sketcher.estimate_inner_product(&sa, &sb).expect("compatible");
+        println!(
+            "  {:>4}: estimate {est:>10.2}   |error|/(|a||b|) = {:.4}",
+            method.label(),
+            (est - exact).abs() / (a.norm() * b.norm())
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Facade crate re-exporting the full `ipsketch` public API.
+//!
+//! See the individual crates for details:
+//! - [`hash`]: hashing substrate
+//! - [`vector`]: sparse/dense vectors, statistics and rounding
+//! - [`core`]: the sketching algorithms and estimators
+//! - [`data`]: synthetic workload generators
+//! - [`join`]: the dataset-search application
+//! - [`bench`]: the experiment harness
+
+#![forbid(unsafe_code)]
+
+pub use ipsketch_bench as bench;
+pub use ipsketch_core as core;
+pub use ipsketch_data as data;
+pub use ipsketch_hash as hash;
+pub use ipsketch_join as join;
+pub use ipsketch_vector as vector;

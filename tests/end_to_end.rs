@@ -1,0 +1,257 @@
+//! Cross-crate integration tests: the full pipeline from workload generation through
+//! sketching to estimation, exercised through the public facade (`ipsketch::*`) exactly
+//! as a downstream user would.
+
+use ipsketch::core::method::{AnySketcher, SketchMethod};
+use ipsketch::core::serialize::BinarySketch;
+use ipsketch::core::traits::{Sketch, Sketcher};
+use ipsketch::core::wmh::{WeightedMinHashSketch, WeightedMinHasher};
+use ipsketch::data::{DataLakeConfig, SyntheticPairConfig, Table};
+use ipsketch::join::{exact_join_statistics, JoinEstimator, SketchIndex};
+use ipsketch::vector::{inner_product, BoundTerms, SparseVector};
+
+/// The headline claim, end to end: on sparse vectors with small support overlap,
+/// Weighted MinHash achieves lower error than the linear sketches at equal storage.
+#[test]
+fn wmh_beats_linear_sketching_on_sparse_low_overlap_vectors() {
+    let config = SyntheticPairConfig {
+        dimension: 8_000,
+        nonzeros: 1_600,
+        overlap: 0.02,
+        ..SyntheticPairConfig::default()
+    };
+    let storage = 300.0;
+    let trials = 6;
+    let mut total_error = std::collections::HashMap::new();
+    for trial in 0..trials {
+        let pair = config.generate(1_000 + trial).unwrap();
+        let exact = inner_product(&pair.a, &pair.b);
+        let scale = pair.a.norm() * pair.b.norm();
+        for method in [
+            SketchMethod::WeightedMinHash,
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+        ] {
+            let sketcher = AnySketcher::for_budget(method, storage, 77 + trial).unwrap();
+            let sa = sketcher.sketch(&pair.a).unwrap();
+            let sb = sketcher.sketch(&pair.b).unwrap();
+            let est = sketcher.estimate_inner_product(&sa, &sb).unwrap();
+            *total_error.entry(method.label()).or_insert(0.0) += (est - exact).abs() / scale;
+        }
+    }
+    let wmh = total_error["WMH"];
+    assert!(
+        wmh < total_error["JL"],
+        "WMH ({wmh}) should beat JL ({})",
+        total_error["JL"]
+    );
+    assert!(
+        wmh < total_error["CS"],
+        "WMH ({wmh}) should beat CountSketch ({})",
+        total_error["CS"]
+    );
+}
+
+/// Theorem 2's error bound holds empirically with a comfortable constant across many
+/// random pairs, and the bound itself is far below the Fact-1 bound for sparse pairs.
+#[test]
+fn theorem_2_bound_holds_empirically() {
+    let config = SyntheticPairConfig {
+        dimension: 5_000,
+        nonzeros: 1_000,
+        overlap: 0.05,
+        ..SyntheticPairConfig::default()
+    };
+    let samples = 400;
+    let epsilon = 1.0 / (samples as f64).sqrt();
+    let mut violations = 0;
+    let trials = 10;
+    for trial in 0..trials {
+        let pair = config.generate(trial).unwrap();
+        let sketcher = WeightedMinHasher::new(samples, trial ^ 0xBEEF, 1 << 24).unwrap();
+        let sa = sketcher.sketch(&pair.a).unwrap();
+        let sb = sketcher.sketch(&pair.b).unwrap();
+        let est = sketcher.estimate_inner_product(&sa, &sb).unwrap();
+        let error = (est - inner_product(&pair.a, &pair.b)).abs();
+        let terms = BoundTerms::compute(&pair.a, &pair.b);
+        // Allow a constant factor of 5 on the O(1/sqrt(m)) guarantee: the estimator is
+        // heavy-tailed (a single mismatched-outlier collision can dominate a trial), so
+        // a small number of excursions beyond the constant-probability bound is expected.
+        if error > 5.0 * epsilon * terms.weighted_minhash {
+            violations += 1;
+        }
+        assert!(terms.weighted_minhash < 0.5 * terms.linear);
+    }
+    assert!(
+        violations <= 2,
+        "{violations} of {trials} trials violated 5x the Theorem-2 bound"
+    );
+}
+
+/// Sketches survive serialization and are still usable for estimation afterwards —
+/// the "precompute once, query later" dataset-search workflow.
+#[test]
+fn serialized_sketches_round_trip_and_estimate() {
+    let a = SparseVector::from_pairs((0..500u64).map(|i| (i * 3, 1.0 + (i % 7) as f64))).unwrap();
+    let b = SparseVector::from_pairs((600..1_100u64).map(|i| (i * 3 % 2_000, 0.5 + (i % 5) as f64)))
+        .unwrap();
+    let sketcher = WeightedMinHasher::new(256, 9, 1 << 22).unwrap();
+    let sa = sketcher.sketch(&a).unwrap();
+    let sb = sketcher.sketch(&b).unwrap();
+    let direct = sketcher.estimate_inner_product(&sa, &sb).unwrap();
+
+    let decoded_a = WeightedMinHashSketch::from_bytes(&sa.to_bytes()).unwrap();
+    let decoded_b = WeightedMinHashSketch::from_bytes(&sb.to_bytes()).unwrap();
+    let from_disk = sketcher.estimate_inner_product(&decoded_a, &decoded_b).unwrap();
+    assert_eq!(direct.to_bits(), from_disk.to_bits());
+    // Encoded size is proportional to the sample count (sanity check on the format).
+    assert!(sa.to_bytes().len() < 300 * 24);
+}
+
+/// The dataset-search pipeline: exact statistics from a real join vs. statistics
+/// estimated purely from sketches, across a generated data lake.
+#[test]
+fn join_statistics_estimation_tracks_ground_truth_across_a_lake() {
+    let lake = DataLakeConfig {
+        tables: 6,
+        columns_per_table: 2,
+        min_rows: 400,
+        max_rows: 900,
+        key_universe: 2_000,
+    }
+    .generate(31)
+    .unwrap();
+    let estimator = JoinEstimator::weighted_minhash(500.0, 3).unwrap();
+    let mut checked = 0;
+    for i in 0..lake.tables().len() {
+        for j in (i + 1)..lake.tables().len() {
+            let ta = &lake.tables()[i];
+            let tb = &lake.tables()[j];
+            let ca = &ta.columns()[0].name;
+            let cb = &tb.columns()[0].name;
+            let exact = exact_join_statistics(ta, ca, tb, cb).unwrap();
+            if exact.join_size < 100.0 {
+                continue;
+            }
+            let sa = estimator.sketch_column(ta, ca).unwrap();
+            let sb = estimator.sketch_column(tb, cb).unwrap();
+            let approx = estimator.estimate(&sa, &sb).unwrap();
+            assert!(
+                (approx.join_size - exact.join_size).abs() / exact.join_size < 0.4,
+                "join size estimate {} too far from {}",
+                approx.join_size,
+                exact.join_size
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "expected several overlapping table pairs, got {checked}");
+}
+
+/// The sketch index finds a planted joinable-and-correlated table in a lake of
+/// distractors, querying only sketches.
+#[test]
+fn sketch_index_finds_planted_related_table() {
+    let days: Vec<u64> = (0..400).collect();
+    let signal: Vec<f64> = days.iter().map(|&d| ((d * 13 % 101) as f64) - 50.0).collect();
+    let query_values: Vec<f64> = signal.iter().map(|s| 3.0 * s + 10.0).collect();
+    let query_table = Table::new(
+        "query",
+        days.clone(),
+        vec![ipsketch::data::Column::new("metric", query_values)],
+    )
+    .unwrap();
+    let planted = Table::new(
+        "planted",
+        days,
+        vec![ipsketch::data::Column::new("signal", signal)],
+    )
+    .unwrap();
+    let lake = DataLakeConfig {
+        tables: 12,
+        columns_per_table: 2,
+        min_rows: 200,
+        max_rows: 600,
+        key_universe: 3_000,
+    }
+    .generate(8)
+    .unwrap();
+
+    let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 5).unwrap());
+    index.insert_table(&planted).unwrap();
+    for table in lake.tables() {
+        index.insert_table(table).unwrap();
+    }
+    let query = index.sketch_query(&query_table, "metric").unwrap();
+    let top = index.top_k_correlated(&query, 3, 100.0).unwrap();
+    assert!(!top.is_empty());
+    assert_eq!(top[0].id.table, "planted");
+    assert!(top[0].estimated_correlation.abs() > 0.6);
+}
+
+/// All methods respect a shared storage budget and produce finite estimates across the
+/// three workload generators (synthetic, data lake, text).
+#[test]
+fn every_method_handles_every_workload_within_budget() {
+    let budget = 250.0;
+    // Synthetic.
+    let pair = SyntheticPairConfig {
+        dimension: 3_000,
+        nonzeros: 600,
+        ..SyntheticPairConfig::default()
+    }
+    .generate(4)
+    .unwrap();
+    // Data lake columns.
+    let lake = DataLakeConfig {
+        tables: 2,
+        columns_per_table: 1,
+        min_rows: 300,
+        max_rows: 400,
+        key_universe: 900,
+    }
+    .generate(4)
+    .unwrap();
+    let lake_a = lake.column_vector(ipsketch::data::worldbank::ColumnRef { table: 0, column: 0 });
+    let lake_b = lake.column_vector(ipsketch::data::worldbank::ColumnRef { table: 1, column: 0 });
+    // Text.
+    let corpus = ipsketch::data::text::CorpusConfig {
+        documents: 30,
+        vocabulary: 800,
+        topics: 3,
+        ..ipsketch::data::text::CorpusConfig::default()
+    }
+    .generate(4)
+    .unwrap();
+    let tokenized: Vec<Vec<String>> = corpus.documents.iter().map(|d| d.tokens.clone()).collect();
+    let vectorizer = ipsketch::data::tfidf::TfIdfVectorizer::fit(
+        &tokenized,
+        ipsketch::data::tfidf::TfIdfConfig::default(),
+    )
+    .unwrap();
+    let docs = vectorizer.vectorize_all(&tokenized);
+
+    let workloads = [
+        ("synthetic", &pair.a, &pair.b),
+        ("lake", &lake_a, &lake_b),
+        ("text", &docs[0], &docs[1]),
+    ];
+    for (name, a, b) in workloads {
+        let scale = a.norm() * b.norm();
+        for method in SketchMethod::all() {
+            let sketcher = AnySketcher::for_budget(method, budget, 13).unwrap();
+            let sa = sketcher.sketch(a).unwrap();
+            let sb = sketcher.sketch(b).unwrap();
+            assert!(
+                sa.storage_doubles() <= budget + 1e-9,
+                "{name}/{method:?} exceeded budget"
+            );
+            let est = sketcher.estimate_inner_product(&sa, &sb).unwrap();
+            assert!(est.is_finite(), "{name}/{method:?} produced a non-finite estimate");
+            assert!(
+                (est - inner_product(a, b)).abs() <= 1.5 * scale.max(1.0),
+                "{name}/{method:?} estimate {est} is wildly off"
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration tests for the experiment harness: every figure/table driver runs end to
+//! end at quick scale and reproduces the paper's qualitative findings.
+
+use ipsketch::bench::experiments::{extensions, fig4, fig5, fig6, hash_sweep, l_sweep, storage, table1, Scale};
+use ipsketch::core::method::SketchMethod;
+use ipsketch::data::SyntheticPairConfig;
+
+#[test]
+fn figure_4_quick_run_reproduces_the_crossover_story() {
+    let mut config = fig4::Fig4Config::for_scale(Scale::Quick);
+    config.trials = 3;
+    config.storage_sizes = vec![200, 400];
+    config.data = SyntheticPairConfig {
+        dimension: 3_000,
+        nonzeros: 600,
+        ..SyntheticPairConfig::default()
+    };
+    let cells = fig4::run(&config);
+    assert_eq!(
+        cells.len(),
+        config.overlaps.len() * config.storage_sizes.len() * config.methods.len()
+    );
+    // WMH wins at 1% overlap / storage 400.
+    let error = |method, overlap| {
+        cells
+            .iter()
+            .find(|c| c.method == method && c.overlap == overlap && c.storage == 400)
+            .unwrap()
+            .mean_error
+    };
+    assert!(error(SketchMethod::WeightedMinHash, 0.01) < error(SketchMethod::Jl, 0.01));
+    // And the WMH-over-JL advantage shrinks by 50% overlap.
+    let advantage_low = error(SketchMethod::Jl, 0.01) / error(SketchMethod::WeightedMinHash, 0.01);
+    let advantage_high = error(SketchMethod::Jl, 0.5) / error(SketchMethod::WeightedMinHash, 0.5);
+    assert!(advantage_low > advantage_high);
+}
+
+#[test]
+fn figure_5_quick_run_produces_populated_winning_tables() {
+    let mut config = fig5::Fig5Config::for_scale(Scale::Quick);
+    config.pairs = 150;
+    let result = fig5::run(&config);
+    assert_eq!(result.pairs, 150);
+    let populated: usize = result.cells.iter().map(|c| c.pairs).sum();
+    assert_eq!(populated, 150);
+    // Overall (averaged over all pairs) WMH should not lose to JL on this lake.
+    let mut total = 0.0;
+    for cell in &result.cells {
+        total += cell.wmh_minus_jl * cell.pairs as f64;
+    }
+    assert!(total / 150.0 < 0.01, "overall WMH-JL difference {}", total / 150.0);
+}
+
+#[test]
+fn figure_6_quick_run_shows_sampling_sketches_winning_on_text() {
+    let mut config = fig6::Fig6Config::for_scale(Scale::Quick);
+    config.corpus.documents = 60;
+    config.max_pairs = 400;
+    config.storage_sizes = vec![200];
+    let cells = fig6::run(&config);
+    let error = |method| {
+        cells
+            .iter()
+            .find(|c| !c.long_documents_only && c.method == method)
+            .unwrap()
+            .mean_error
+    };
+    assert!(error(SketchMethod::WeightedMinHash) < error(SketchMethod::Jl));
+    // Unweighted MinHash is competitive on TF-IDF vectors but its advantage over JL is
+    // not guaranteed at this reduced corpus size; only require that it is not far worse.
+    assert!(error(SketchMethod::MinHash) < 2.0 * error(SketchMethod::Jl));
+}
+
+#[test]
+fn table_1_quick_run_orders_the_bounds_correctly() {
+    let config = table1::Table1Config {
+        trials: 4,
+        samples: 256,
+        data: SyntheticPairConfig {
+            dimension: 3_000,
+            nonzeros: 600,
+            ..SyntheticPairConfig::default()
+        },
+        ..table1::Table1Config::for_scale(Scale::Quick)
+    };
+    let rows = table1::run(&config);
+    let bound = |method| rows.iter().find(|r| r.method == method).unwrap().bound_term;
+    // Table 1's ordering: WMH bound <= linear bound; for these real-valued vectors with
+    // outliers the unweighted MinHash bound (c²-scaled) is the loosest.
+    assert!(bound(SketchMethod::WeightedMinHash) <= bound(SketchMethod::Jl) * 1.0001);
+    assert!(bound(SketchMethod::MinHash) > bound(SketchMethod::WeightedMinHash));
+}
+
+#[test]
+fn storage_accounting_grants_the_paper_ratios() {
+    let rows = storage::run(&[400], 2);
+    let samples = |method| rows.iter().find(|r| r.method == method).unwrap().samples;
+    assert_eq!(samples(SketchMethod::Jl), 400);
+    assert_eq!(samples(SketchMethod::MinHash), 266);
+    assert_eq!(samples(SketchMethod::CountSketch), 80 * 5);
+    assert!(rows.iter().all(|r| r.utilization <= 1.0 + 1e-9));
+}
+
+#[test]
+fn ablations_run_at_quick_scale() {
+    // L-sweep: error at generous L is no worse than at L = nnz/10.
+    let l_config = l_sweep::LSweepConfig {
+        trials: 2,
+        ..l_sweep::LSweepConfig::for_scale(Scale::Quick)
+    };
+    let points = l_sweep::run(&l_config);
+    assert_eq!(points.len(), l_config.discretizations.len());
+    assert!(points.last().unwrap().mean_error <= points[0].mean_error + 1e-9);
+
+    // Hash sweep: all families give comparable error (a loose factor — with only a
+    // handful of trials the between-family noise is substantial).
+    let h_config = hash_sweep::HashSweepConfig {
+        trials: 4,
+        ..hash_sweep::HashSweepConfig::for_scale(Scale::Quick)
+    };
+    let rows = hash_sweep::run(&h_config);
+    let min = rows.iter().map(|r| r.mean_error).fold(f64::INFINITY, f64::min);
+    let max = rows.iter().map(|r| r.mean_error).fold(0.0, f64::max);
+    assert!(max < 5.0 * min, "hash families disagree too much: {min} vs {max}");
+
+    // Extensions: SimHash and ICWS produce finite errors alongside the baselines.
+    let mut e_config = extensions::config_for_scale(Scale::Quick);
+    e_config.overlaps = vec![0.05];
+    e_config.storage_sizes = vec![200];
+    e_config.trials = 2;
+    e_config.data = SyntheticPairConfig {
+        dimension: 2_000,
+        nonzeros: 400,
+        ..SyntheticPairConfig::default()
+    };
+    let cells = extensions::run(&e_config);
+    assert_eq!(cells.len(), SketchMethod::all().len());
+    assert!(cells.iter().all(|c| c.mean_error.is_finite()));
+}
