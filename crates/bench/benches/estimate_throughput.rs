@@ -8,10 +8,14 @@ use ipsketch_data::SyntheticPairConfig;
 use std::time::Duration;
 
 fn bench_estimation(c: &mut Criterion) {
-    let pair = SyntheticPairConfig::default().generate(13).expect("valid configuration");
+    let pair = SyntheticPairConfig::default()
+        .generate(13)
+        .expect("valid configuration");
 
     let mut group = c.benchmark_group("estimate_throughput");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for method in SketchMethod::all() {
         let sketcher = AnySketcher::for_budget(method, 400.0, 3).expect("budget fits");
         let sa = sketcher.sketch(&pair.a).expect("sketchable");

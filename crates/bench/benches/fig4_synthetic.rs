@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_synthetic");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &overlap in &[0.01, 0.5] {
         let config = Fig4Config {
             overlaps: vec![overlap],

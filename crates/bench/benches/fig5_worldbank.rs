@@ -12,7 +12,9 @@ fn bench_fig5(c: &mut Criterion) {
         ..Fig5Config::for_scale(Scale::Quick)
     };
     let mut group = c.benchmark_group("fig5_worldbank");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("60_pairs", |b| {
         b.iter(|| fig5::run(std::hint::black_box(&config)));
     });

@@ -20,7 +20,9 @@ fn bench_fig6(c: &mut Criterion) {
         ..Fig6Config::for_scale(Scale::Quick)
     };
     let mut group = c.benchmark_group("fig6_text");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("small_corpus", |b| {
         b.iter(|| fig6::run(std::hint::black_box(&config)));
     });

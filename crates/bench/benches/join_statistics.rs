@@ -21,12 +21,22 @@ fn bench_join(c: &mut Criterion) {
     let sb = estimator.sketch_column(&table_b, "v").expect("sketchable");
 
     let mut group = c.benchmark_group("join_statistics");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("sketch_column_5k_rows", |b| {
-        b.iter(|| estimator.sketch_column(std::hint::black_box(&table_a), "v").expect("ok"));
+        b.iter(|| {
+            estimator
+                .sketch_column(std::hint::black_box(&table_a), "v")
+                .expect("ok")
+        });
     });
     group.bench_function("estimate_from_sketches", |b| {
-        b.iter(|| estimator.estimate(std::hint::black_box(&sa), std::hint::black_box(&sb)).expect("ok"));
+        b.iter(|| {
+            estimator
+                .estimate(std::hint::black_box(&sa), std::hint::black_box(&sb))
+                .expect("ok")
+        });
     });
     group.bench_function("exact_join_5k_rows", |b| {
         b.iter(|| {

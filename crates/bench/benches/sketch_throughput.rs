@@ -19,7 +19,9 @@ fn bench_sketching(c: &mut Criterion) {
     let vector = pair.a;
 
     let mut group = c.benchmark_group("sketch_throughput");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for method in SketchMethod::all() {
         for storage in [100usize, 400] {
             let sketcher =
@@ -28,7 +30,11 @@ fn bench_sketching(c: &mut Criterion) {
                 BenchmarkId::new(method.label(), storage),
                 &sketcher,
                 |b, sketcher| {
-                    b.iter(|| sketcher.sketch(std::hint::black_box(&vector)).expect("sketchable"));
+                    b.iter(|| {
+                        sketcher
+                            .sketch(std::hint::black_box(&vector))
+                            .expect("sketchable")
+                    });
                 },
             );
         }

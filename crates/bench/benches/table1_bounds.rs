@@ -19,7 +19,9 @@ fn bench_table1(c: &mut Criterion) {
         ..Table1Config::for_scale(Scale::Quick)
     };
     let mut group = c.benchmark_group("table1_bounds");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("run_quick", |b| {
         b.iter(|| table1::run(std::hint::black_box(&config)));
     });

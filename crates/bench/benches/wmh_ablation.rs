@@ -11,25 +11,34 @@ use ipsketch_vector::SparseVector;
 use std::time::Duration;
 
 fn bench_wmh_variants(c: &mut Criterion) {
-    let vector =
-        SparseVector::from_pairs((0..200u64).map(|i| (i * 7 + 1, 1.0 + (i % 9) as f64)))
-            .expect("finite values");
+    let vector = SparseVector::from_pairs((0..200u64).map(|i| (i * 7 + 1, 1.0 + (i % 9) as f64)))
+        .expect("finite values");
     let samples = 64;
 
     let mut group = c.benchmark_group("wmh_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for log_l in [10u32, 14, 18] {
         let l = 1u64 << log_l;
         let fast = WeightedMinHasher::new(samples, 3, l).expect("valid");
         group.bench_with_input(BenchmarkId::new("fast", l), &fast, |b, sketcher| {
-            b.iter(|| sketcher.sketch(std::hint::black_box(&vector)).expect("sketchable"));
+            b.iter(|| {
+                sketcher
+                    .sketch(std::hint::black_box(&vector))
+                    .expect("sketchable")
+            });
         });
         // The naive sketcher is only benchmarked at the smaller L values (it is the
         // point of the ablation that it does not scale).
         if log_l <= 14 {
             let naive = NaiveWeightedMinHasher::new(samples, 3, l).expect("valid");
             group.bench_with_input(BenchmarkId::new("naive", l), &naive, |b, sketcher| {
-                b.iter(|| sketcher.sketch(std::hint::black_box(&vector)).expect("sketchable"));
+                b.iter(|| {
+                    sketcher
+                        .sketch(std::hint::black_box(&vector))
+                        .expect("sketchable")
+                });
             });
         }
     }

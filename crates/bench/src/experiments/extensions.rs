@@ -80,7 +80,10 @@ mod tests {
         };
         for method in SketchMethod::all() {
             let err = get(method);
-            assert!(err.is_finite() && err >= 0.0 && err < 1.0, "{method:?}: {err}");
+            assert!(
+                err.is_finite() && (0.0..1.0).contains(&err),
+                "{method:?}: {err}"
+            );
         }
         assert!(
             get(SketchMethod::WeightedMinHash) < get(SketchMethod::Jl),

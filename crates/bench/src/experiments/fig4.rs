@@ -184,7 +184,9 @@ mod tests {
         let config = tiny_config();
         let cells = run(&config);
         assert_eq!(cells.len(), 2 * 2 * 5);
-        assert!(cells.iter().all(|c| c.mean_error.is_finite() && c.mean_error >= 0.0));
+        assert!(cells
+            .iter()
+            .all(|c| c.mean_error.is_finite() && c.mean_error >= 0.0));
     }
 
     #[test]

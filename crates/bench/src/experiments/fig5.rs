@@ -134,7 +134,10 @@ pub fn run(config: &Fig5Config) -> Fig5Result {
         for col in 0..config.overlap_buckets.len() {
             let bucket: Vec<&PairMeasurement> = measurements
                 .iter()
-                .filter(|m| kurtosis_bucket_of(m.kurtosis) == row && overlap_bucket_of(m.overlap_ratio) == col)
+                .filter(|m| {
+                    kurtosis_bucket_of(m.kurtosis) == row
+                        && overlap_bucket_of(m.overlap_ratio) == col
+                })
                 .collect();
             let n = bucket.len();
             let mean = |f: &dyn Fn(&PairMeasurement) -> f64| -> f64 {
@@ -187,7 +190,8 @@ fn measure_pairs(
             moments(a_raw.values()).map(|m| m.kurtosis).unwrap_or(0.0),
             moments(b_raw.values()).map(|m| m.kurtosis).unwrap_or(0.0),
         );
-        let seed = config.seed ^ (ra.table as u64) << 32 ^ (rb.table as u64) << 16 ^ ra.column as u64;
+        let seed =
+            config.seed ^ (ra.table as u64) << 32 ^ (rb.table as u64) << 16 ^ ra.column as u64;
         let error_of = |method: SketchMethod| {
             let sketcher = AnySketcher::for_budget(method, config.storage as f64, seed)
                 .expect("storage budget fits all methods");
@@ -228,7 +232,11 @@ pub fn format(config: &Fig5Config, result: &Fig5Result) -> String {
         out.push('\n');
         let mut header = vec!["kurtosis \\ overlap".to_string()];
         for (i, ub) in config.overlap_buckets.iter().enumerate() {
-            let lb = if i == 0 { 0.0 } else { config.overlap_buckets[i - 1] };
+            let lb = if i == 0 {
+                0.0
+            } else {
+                config.overlap_buckets[i - 1]
+            };
             header.push(format!("({lb:.2},{ub:.2}]"));
         }
         let mut table = TextTable::new(header);
@@ -245,7 +253,11 @@ pub fn format(config: &Fig5Config, result: &Fig5Result) -> String {
                     .iter()
                     .find(|c| c.kurtosis_bucket == row && c.overlap_bucket == col)
                     .expect("every bucket is present");
-                let value = if pick == 0 { cell.wmh_minus_jl } else { cell.wmh_minus_mh };
+                let value = if pick == 0 {
+                    cell.wmh_minus_jl
+                } else {
+                    cell.wmh_minus_mh
+                };
                 if cell.pairs == 0 {
                     cells_row.push("   --".to_string());
                 } else {

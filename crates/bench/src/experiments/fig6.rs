@@ -107,43 +107,51 @@ pub fn run(config: &Fig6Config) -> Vec<Fig6Cell> {
             }
         }
     }
-    parallel_map(&items, default_threads(), |(long_only, pairs, storage, method)| {
-        let sketcher = AnySketcher::for_budget(*method, *storage as f64, config.seed ^ 0xD0C)
-            .expect("storage budgets fit all methods");
-        // Sketch each referenced document once, then estimate all pairs from the cache.
-        let mut doc_ids: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
-        doc_ids.sort_unstable();
-        doc_ids.dedup();
-        let sketches: std::collections::HashMap<usize, _> = doc_ids
-            .iter()
-            .filter_map(|&i| sketcher.sketch(&vectors[i]).ok().map(|s| (i, s)))
-            .collect();
-        let mut total = 0.0;
-        let mut count = 0usize;
-        for &(i, j) in pairs.iter() {
-            let (Some(sa), Some(sb)) = (sketches.get(&i), sketches.get(&j)) else {
-                continue; // skip degenerate (empty) documents
-            };
-            let estimate = sketcher
-                .estimate_inner_product(sa, sb)
-                .expect("sketches come from the same sketcher");
-            let exact = ipsketch_vector::inner_product(&vectors[i], &vectors[j]);
-            total += ipsketch_vector::scaled_absolute_error(
-                estimate,
-                exact,
-                vectors[i].norm(),
-                vectors[j].norm(),
-            );
-            count += 1;
-        }
-        Fig6Cell {
-            long_documents_only: *long_only,
-            storage: *storage,
-            method: *method,
-            mean_error: if count == 0 { 0.0 } else { total / count as f64 },
-            pairs: count,
-        }
-    })
+    parallel_map(
+        &items,
+        default_threads(),
+        |(long_only, pairs, storage, method)| {
+            let sketcher = AnySketcher::for_budget(*method, *storage as f64, config.seed ^ 0xD0C)
+                .expect("storage budgets fit all methods");
+            // Sketch each referenced document once, then estimate all pairs from the cache.
+            let mut doc_ids: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
+            doc_ids.sort_unstable();
+            doc_ids.dedup();
+            let sketches: std::collections::HashMap<usize, _> = doc_ids
+                .iter()
+                .filter_map(|&i| sketcher.sketch(&vectors[i]).ok().map(|s| (i, s)))
+                .collect();
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for &(i, j) in pairs.iter() {
+                let (Some(sa), Some(sb)) = (sketches.get(&i), sketches.get(&j)) else {
+                    continue; // skip degenerate (empty) documents
+                };
+                let estimate = sketcher
+                    .estimate_inner_product(sa, sb)
+                    .expect("sketches come from the same sketcher");
+                let exact = ipsketch_vector::inner_product(&vectors[i], &vectors[j]);
+                total += ipsketch_vector::scaled_absolute_error(
+                    estimate,
+                    exact,
+                    vectors[i].norm(),
+                    vectors[j].norm(),
+                );
+                count += 1;
+            }
+            Fig6Cell {
+                long_documents_only: *long_only,
+                storage: *storage,
+                method: *method,
+                mean_error: if count == 0 {
+                    0.0
+                } else {
+                    total / count as f64
+                },
+                pairs: count,
+            }
+        },
+    )
 }
 
 /// Samples up to `max_pairs` distinct document pairs satisfying `filter`, or all of
@@ -176,16 +184,15 @@ pub fn format(config: &Fig6Config, cells: &[Fig6Cell]) -> String {
     let mut out = String::new();
     for (title, long_only) in [
         ("Figure 6(a) — all documents", false),
-        (
-            "Figure 6(b) — documents > 700 words",
-            true,
-        ),
+        ("Figure 6(b) — documents > 700 words", true),
     ] {
         let pairs = cells
             .iter()
             .find(|c| c.long_documents_only == long_only)
             .map_or(0, |c| c.pairs);
-        out.push_str(&format!("{title} (average scaled error over {pairs} pairs)\n"));
+        out.push_str(&format!(
+            "{title} (average scaled error over {pairs} pairs)\n"
+        ));
         let mut header = vec!["storage".to_string()];
         header.extend(config.methods.iter().map(|m| m.label().to_string()));
         let mut table = TextTable::new(header);
@@ -216,7 +223,12 @@ pub fn to_table(cells: &[Fig6Cell]) -> TextTable {
     let mut table = TextTable::new(["panel", "storage", "method", "mean_error", "pairs"]);
     for cell in cells {
         table.push_row([
-            if cell.long_documents_only { "long" } else { "all" }.to_string(),
+            if cell.long_documents_only {
+                "long"
+            } else {
+                "all"
+            }
+            .to_string(),
             cell.storage.to_string(),
             cell.method.label().to_string(),
             format!("{}", cell.mean_error),
@@ -251,7 +263,9 @@ mod tests {
         let config = tiny_config();
         let cells = run(&config);
         assert_eq!(cells.len(), 2 * 2 * 5);
-        assert!(cells.iter().all(|c| c.mean_error.is_finite() && c.mean_error >= 0.0));
+        assert!(cells
+            .iter()
+            .all(|c| c.mean_error.is_finite() && c.mean_error >= 0.0));
         // The all-documents panel evaluates the requested number of pairs.
         let all_panel = cells.iter().find(|c| !c.long_documents_only).unwrap();
         assert!(all_panel.pairs > 0 && all_panel.pairs <= 300);
@@ -305,7 +319,9 @@ mod tests {
     fn pair_sampling_respects_filter_and_limit() {
         let pairs = sample_pairs(20, 50, 1, |i, j| i % 2 == 0 && j % 2 == 0);
         assert!(pairs.len() <= 50);
-        assert!(pairs.iter().all(|&(i, j)| i % 2 == 0 && j % 2 == 0 && i < j));
+        assert!(pairs
+            .iter()
+            .all(|&(i, j)| i % 2 == 0 && j % 2 == 0 && i < j));
         let all = sample_pairs(10, usize::MAX, 1, |_, _| true);
         assert_eq!(all.len(), 45);
     }

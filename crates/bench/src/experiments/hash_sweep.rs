@@ -78,7 +78,9 @@ pub fn run(config: &HashSweepConfig) -> Vec<HashSweepRow> {
                     MinHasher::with_hash_kind(config.samples, seed, family).expect("samples >= 1");
                 let sa = sketcher.sketch(&pair.a).expect("sketchable");
                 let sb = sketcher.sketch(&pair.b).expect("sketchable");
-                let estimate = sketcher.estimate_inner_product(&sa, &sb).expect("compatible");
+                let estimate = sketcher
+                    .estimate_inner_product(&sa, &sb)
+                    .expect("compatible");
                 total += scaled_absolute_error(
                     estimate,
                     inner_product(&pair.a, &pair.b),
@@ -121,7 +123,10 @@ mod tests {
         };
         let rows = run(&config);
         assert_eq!(rows.len(), HashFamilyKind::all().len());
-        let min = rows.iter().map(|r| r.mean_error).fold(f64::INFINITY, f64::min);
+        let min = rows
+            .iter()
+            .map(|r| r.mean_error)
+            .fold(f64::INFINITY, f64::min);
         let max = rows.iter().map(|r| r.mean_error).fold(0.0, f64::max);
         assert!(min > 0.0);
         // All practical hash families should land within a small factor of each other.

@@ -112,7 +112,10 @@ pub fn format(config: &LSweepConfig, points: &[LSweepPoint]) -> String {
     for p in points {
         table.push_row([
             p.discretization.to_string(),
-            format!("{:.1}", p.discretization as f64 / config.data.nonzeros as f64),
+            format!(
+                "{:.1}",
+                p.discretization as f64 / config.data.nonzeros as f64
+            ),
             fmt_f64(p.mean_error),
         ]);
     }

@@ -23,7 +23,7 @@ pub mod table1;
 use ipsketch_core::method::AnySketcher;
 use ipsketch_core::traits::Sketcher;
 use ipsketch_core::SketchError;
-use ipsketch_vector::{scaled_absolute_error, inner_product, SparseVector};
+use ipsketch_vector::{inner_product, scaled_absolute_error, SparseVector};
 
 /// How large an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

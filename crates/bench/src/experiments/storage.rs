@@ -57,9 +57,8 @@ pub fn run(budgets: &[usize], seed: u64) -> Vec<StorageRow> {
 /// Formats the storage report.
 #[must_use]
 pub fn format(rows: &[StorageRow]) -> String {
-    let mut out = String::from(
-        "Storage accounting — samples granted and measured footprint per budget\n",
-    );
+    let mut out =
+        String::from("Storage accounting — samples granted and measured footprint per budget\n");
     let mut table = TextTable::new([
         "budget (doubles)",
         "method",

@@ -88,8 +88,14 @@ pub fn run(config: &Table1Config) -> Vec<Table1Row> {
     let methods = [
         (SketchMethod::Jl, "eps * |a| * |b|"),
         (SketchMethod::CountSketch, "eps * |a| * |b|"),
-        (SketchMethod::MinHash, "eps * c^2 * sqrt(max(|A|,|B|) * |A n B|)"),
-        (SketchMethod::Kmv, "eps * c^2 * sqrt(max(|A|,|B|) * |A n B|)"),
+        (
+            SketchMethod::MinHash,
+            "eps * c^2 * sqrt(max(|A|,|B|) * |A n B|)",
+        ),
+        (
+            SketchMethod::Kmv,
+            "eps * c^2 * sqrt(max(|A|,|B|) * |A n B|)",
+        ),
         (
             SketchMethod::WeightedMinHash,
             "eps * max(|a_I| |b|, |a| |b_I|)",
@@ -119,7 +125,9 @@ pub fn run(config: &Table1Config) -> Vec<Table1Row> {
                 let sketcher = build_with_samples(method, config.samples, seed ^ 0x7A);
                 let sa = sketcher.sketch(&pair.a).expect("sketchable");
                 let sb = sketcher.sketch(&pair.b).expect("sketchable");
-                let estimate = sketcher.estimate_inner_product(&sa, &sb).expect("compatible");
+                let estimate = sketcher
+                    .estimate_inner_product(&sa, &sb)
+                    .expect("compatible");
                 bound_term_total += bound_term;
                 error_total += (estimate - inner_product(&pair.a, &pair.b)).abs();
             }
@@ -152,13 +160,15 @@ fn build_with_samples(method: SketchMethod, samples: usize, seed: u64) -> AnySke
     use ipsketch_core::wmh::WeightedMinHasher;
     match method {
         SketchMethod::Jl => AnySketcher::Jl(JlSketcher::new(samples, seed).expect("samples >= 1")),
-        SketchMethod::CountSketch => AnySketcher::CountSketch(
-            CountSketcher::new(samples / 5, seed).expect("samples >= 5"),
-        ),
+        SketchMethod::CountSketch => {
+            AnySketcher::CountSketch(CountSketcher::new(samples / 5, seed).expect("samples >= 5"))
+        }
         SketchMethod::MinHash => {
             AnySketcher::MinHash(MinHasher::new(samples, seed).expect("samples >= 1"))
         }
-        SketchMethod::Kmv => AnySketcher::Kmv(KmvSketcher::new(samples, seed).expect("samples >= 2")),
+        SketchMethod::Kmv => {
+            AnySketcher::Kmv(KmvSketcher::new(samples, seed).expect("samples >= 2"))
+        }
         SketchMethod::WeightedMinHash => AnySketcher::WeightedMinHash(
             WeightedMinHasher::new(samples, seed, DEFAULT_WMH_DISCRETIZATION)
                 .expect("samples >= 1"),
@@ -228,7 +238,9 @@ mod tests {
     fn produces_one_row_per_method() {
         let rows = run(&tiny_config());
         assert_eq!(rows.len(), 5);
-        assert!(rows.iter().all(|r| r.bound_term > 0.0 && r.measured_error >= 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.bound_term > 0.0 && r.measured_error >= 0.0));
     }
 
     #[test]

@@ -31,8 +31,7 @@ where
     }
     drop(sender);
 
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let receiver = receiver.clone();

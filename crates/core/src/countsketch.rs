@@ -237,8 +237,8 @@ mod tests {
     #[test]
     fn estimates_are_approximately_unbiased() {
         let a = SparseVector::from_pairs((0..200u64).map(|i| (i, ((i % 5) as f64) - 2.0))).unwrap();
-        let b = SparseVector::from_pairs((100..300u64).map(|i| (i, ((i % 3) as f64) - 1.0)))
-            .unwrap();
+        let b =
+            SparseVector::from_pairs((100..300u64).map(|i| (i, ((i % 3) as f64) - 1.0))).unwrap();
         let exact = inner_product(&a, &b);
         let scale = a.norm() * b.norm();
         let trials = 50;

@@ -278,8 +278,7 @@ mod tests {
     #[test]
     fn estimates_inner_products() {
         let a = SparseVector::from_pairs((0..200u64).map(|i| (i, 1.0 + (i % 5) as f64))).unwrap();
-        let b = SparseVector::from_pairs((100..300u64).map(|i| (i, 0.5 + (i % 4) as f64)))
-            .unwrap();
+        let b = SparseVector::from_pairs((100..300u64).map(|i| (i, 0.5 + (i % 4) as f64))).unwrap();
         let exact = inner_product(&a, &b);
         let scale = a.norm() * b.norm();
         let trials = 25;

@@ -194,8 +194,8 @@ mod tests {
     #[test]
     fn estimates_inner_product_unbiasedly() {
         let a = SparseVector::from_pairs((0..300u64).map(|i| (i, ((i % 5) as f64) - 2.0))).unwrap();
-        let b = SparseVector::from_pairs((150..450u64).map(|i| (i, ((i % 3) as f64) - 1.0)))
-            .unwrap();
+        let b =
+            SparseVector::from_pairs((150..450u64).map(|i| (i, ((i % 3) as f64) - 1.0))).unwrap();
         let exact = inner_product(&a, &b);
         let scale = a.norm() * b.norm();
         let trials = 50;

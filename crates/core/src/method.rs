@@ -177,7 +177,12 @@ impl AnySketcher {
         budget_doubles: f64,
         seed: u64,
     ) -> Result<Self, SketchError> {
-        Self::for_budget_with_discretization(method, budget_doubles, seed, DEFAULT_WMH_DISCRETIZATION)
+        Self::for_budget_with_discretization(
+            method,
+            budget_doubles,
+            seed,
+            DEFAULT_WMH_DISCRETIZATION,
+        )
     }
 
     /// Like [`for_budget`](Self::for_budget) but with an explicit WMH discretization
@@ -189,9 +194,10 @@ impl AnySketcher {
         discretization: u64,
     ) -> Result<Self, SketchError> {
         Ok(match method {
-            SketchMethod::Jl => {
-                AnySketcher::Jl(JlSketcher::new(storage::jl_rows_for_budget(budget_doubles), seed)?)
-            }
+            SketchMethod::Jl => AnySketcher::Jl(JlSketcher::new(
+                storage::jl_rows_for_budget(budget_doubles),
+                seed,
+            )?),
             SketchMethod::CountSketch => AnySketcher::CountSketch(CountSketcher::new(
                 storage::countsketch_buckets_for_budget(budget_doubles),
                 seed,
@@ -303,7 +309,10 @@ mod tests {
             assert_eq!(SketchMethod::parse(method.label()), Some(method));
         }
         assert_eq!(SketchMethod::parse("unknown"), None);
-        assert_eq!(SketchMethod::parse("wmh"), Some(SketchMethod::WeightedMinHash));
+        assert_eq!(
+            SketchMethod::parse("wmh"),
+            Some(SketchMethod::WeightedMinHash)
+        );
     }
 
     #[test]

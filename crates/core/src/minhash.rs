@@ -265,7 +265,8 @@ mod tests {
     #[test]
     fn identical_vectors_collide_on_every_sample() {
         let s = MinHasher::new(64, 3).unwrap();
-        let v = SparseVector::from_pairs((0..40u64).map(|i| (i * 3, (i % 5) as f64 + 0.5))).unwrap();
+        let v =
+            SparseVector::from_pairs((0..40u64).map(|i| (i * 3, (i % 5) as f64 + 0.5))).unwrap();
         let a = s.sketch(&v).unwrap();
         let b = s.sketch(&v).unwrap();
         for i in 0..64 {
@@ -280,7 +281,10 @@ mod tests {
         let a = s.sketch(&binary_vector(0..100)).unwrap();
         let b = s.sketch(&binary_vector(1000..1100)).unwrap();
         let est = s.estimate_inner_product(&a, &b).unwrap();
-        assert_eq!(est, 0.0, "no collisions should be possible for disjoint supports");
+        assert_eq!(
+            est, 0.0,
+            "no collisions should be possible for disjoint supports"
+        );
     }
 
     #[test]
@@ -310,7 +314,8 @@ mod tests {
     fn estimates_weighted_inner_product_of_bounded_vectors() {
         // Non-binary but bounded values (the Theorem-4 regime).
         let a_vec =
-            SparseVector::from_pairs((0..500u64).map(|i| (i, ((i % 7) as f64 - 3.0) / 3.0))).unwrap();
+            SparseVector::from_pairs((0..500u64).map(|i| (i, ((i % 7) as f64 - 3.0) / 3.0)))
+                .unwrap();
         let b_vec =
             SparseVector::from_pairs((250..750u64).map(|i| (i, ((i % 5) as f64 - 2.0) / 2.0)))
                 .unwrap();

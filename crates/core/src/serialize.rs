@@ -250,7 +250,9 @@ impl BinarySketch for CountSketch {
         let buckets = get_u64(buf)? as usize;
         let table = get_f64_vec(buf)?;
         if buckets == 0 || table.len() % buckets != 0 {
-            return Err(corrupt("CountSketch table length is not a multiple of buckets"));
+            return Err(corrupt(
+                "CountSketch table length is not a multiple of buckets",
+            ));
         }
         Ok(CountSketch {
             seed,

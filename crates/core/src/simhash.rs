@@ -113,7 +113,9 @@ impl SimHashSketcher {
     /// deterministically from the seed via the Box–Muller transform.
     fn gaussian(&self, signs: &SignHasher, row: u64, index: u64) -> f64 {
         // Two independent uniforms from disjoint sub-streams.
-        let u1 = signs.unit(row.wrapping_mul(2), index).max(f64::MIN_POSITIVE);
+        let u1 = signs
+            .unit(row.wrapping_mul(2), index)
+            .max(f64::MIN_POSITIVE);
         let u2 = signs.unit(row.wrapping_mul(2) + 1, index);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
@@ -255,10 +257,10 @@ mod tests {
 
     #[test]
     fn inner_product_estimate_is_reasonable() {
-        let a_vec = SparseVector::from_pairs((0..300u64).map(|i| (i, ((i % 4) as f64) + 0.5)))
-            .unwrap();
-        let b_vec = SparseVector::from_pairs((150..450u64).map(|i| (i, ((i % 6) as f64) - 2.0)))
-            .unwrap();
+        let a_vec =
+            SparseVector::from_pairs((0..300u64).map(|i| (i, ((i % 4) as f64) + 0.5))).unwrap();
+        let b_vec =
+            SparseVector::from_pairs((150..450u64).map(|i| (i, ((i % 6) as f64) - 2.0))).unwrap();
         let exact = inner_product(&a_vec, &b_vec);
         let scale = a_vec.norm() * b_vec.norm();
         let trials = 20;

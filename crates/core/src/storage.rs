@@ -45,14 +45,18 @@ pub fn jl_rows_for_budget(budget_doubles: f64) -> usize {
 /// of `budget_doubles`, using [`COUNTSKETCH_REPETITIONS`] repetitions.
 #[must_use]
 pub fn countsketch_buckets_for_budget(budget_doubles: f64) -> usize {
-    (budget_doubles / COUNTSKETCH_REPETITIONS as f64).floor().max(0.0) as usize
+    (budget_doubles / COUNTSKETCH_REPETITIONS as f64)
+        .floor()
+        .max(0.0) as usize
 }
 
 /// Number of samples a MinHash / KMV sketch may use within a storage budget of
 /// `budget_doubles`.
 #[must_use]
 pub fn sampling_samples_for_budget(budget_doubles: f64) -> usize {
-    (budget_doubles / sampling_doubles_per_sample()).floor().max(0.0) as usize
+    (budget_doubles / sampling_doubles_per_sample())
+        .floor()
+        .max(0.0) as usize
 }
 
 /// Number of samples a Weighted MinHash sketch may use within a storage budget of
@@ -124,8 +128,7 @@ mod tests {
             assert!(mh <= budget + 1e-9);
             let wmh = sampling_sketch_doubles(wmh_samples_for_budget(budget), 1);
             assert!(wmh <= budget + 1e-9);
-            let cs =
-                (countsketch_buckets_for_budget(budget) * COUNTSKETCH_REPETITIONS) as f64;
+            let cs = (countsketch_buckets_for_budget(budget) * COUNTSKETCH_REPETITIONS) as f64;
             assert!(cs <= budget);
         }
     }

@@ -239,13 +239,19 @@ mod tests {
                 // Identify which intersection index produced this collision (2 or 5).
                 // The stored values come from the *rounded* unit vectors, so allow the
                 // rounding error of Algorithm 4 (O(nnz/√L) per entry).
-                let matches_index = [2u64, 5].iter().any(|&j| {
-                    (va - an.get(j)).abs() < 1e-4 && (vb - bn.get(j)).abs() < 1e-4
-                });
-                assert!(matches_index, "collision values ({va}, {vb}) not from intersection");
+                let matches_index = [2u64, 5]
+                    .iter()
+                    .any(|&j| (va - an.get(j)).abs() < 1e-4 && (vb - bn.get(j)).abs() < 1e-4);
+                assert!(
+                    matches_index,
+                    "collision values ({va}, {vb}) not from intersection"
+                );
             }
         }
-        assert!(saw_collision, "expected at least one collision with 512 samples");
+        assert!(
+            saw_collision,
+            "expected at least one collision with 512 samples"
+        );
     }
 
     #[test]
@@ -276,10 +282,10 @@ mod tests {
 
     #[test]
     fn error_decreases_with_samples() {
-        let a = SparseVector::from_pairs((0..400u64).map(|i| (i, ((i % 11) as f64) - 5.0)))
-            .unwrap();
-        let b = SparseVector::from_pairs((200..600u64).map(|i| (i, ((i % 13) as f64) - 6.0)))
-            .unwrap();
+        let a =
+            SparseVector::from_pairs((0..400u64).map(|i| (i, ((i % 11) as f64) - 5.0))).unwrap();
+        let b =
+            SparseVector::from_pairs((200..600u64).map(|i| (i, ((i % 13) as f64) - 6.0))).unwrap();
         let exact = inner_product(&a, &b);
         let mean_err = |m: usize| {
             let trials = 12;

@@ -106,10 +106,7 @@ impl Sketch for WeightedMinHashSketch {
 /// Returns [`SketchError::IncompatibleSketches`] if the sketches differ in sample
 /// count, seed, discretization parameter or sketcher variant, and
 /// [`SketchError::EmptySketch`] if the sketches contain no samples.
-pub fn estimate(
-    a: &WeightedMinHashSketch,
-    b: &WeightedMinHashSketch,
-) -> Result<f64, SketchError> {
+pub fn estimate(a: &WeightedMinHashSketch, b: &WeightedMinHashSketch) -> Result<f64, SketchError> {
     if a.params != b.params {
         return Err(incompatible(format!(
             "sketch parameters differ: {:?} vs {:?}",
@@ -186,8 +183,7 @@ mod tests {
 
     fn test_vectors() -> (SparseVector, SparseVector) {
         let a = SparseVector::from_pairs((0..300u64).map(|i| (i, 1.0 + (i % 7) as f64))).unwrap();
-        let b =
-            SparseVector::from_pairs((150..450u64).map(|i| (i, 0.5 + (i % 5) as f64))).unwrap();
+        let b = SparseVector::from_pairs((150..450u64).map(|i| (i, 0.5 + (i % 5) as f64))).unwrap();
         (a, b)
     }
 

@@ -65,7 +65,11 @@ impl Sketcher for NaiveWeightedMinHasher {
         // reject vectors whose indices would overflow that addressing scheme (the fast
         // sketcher has no such limitation).
         for &(block, _) in &blocks {
-            if block.checked_mul(l).and_then(|base| base.checked_add(l - 1)).is_none() {
+            if block
+                .checked_mul(l)
+                .and_then(|base| base.checked_add(l - 1))
+                .is_none()
+            {
                 return Err(SketchError::InvalidParameter {
                     name: "discretization",
                     allowed: "block_index * L must fit in 64 bits for the naive sketcher",
@@ -202,10 +206,8 @@ mod tests {
     fn naive_and_fast_agree_statistically() {
         // Different pseudo-randomness, same algorithm: averaged over seeds the two
         // implementations must estimate the same inner product.
-        let a = SparseVector::from_pairs((0..50u64).map(|i| (i, ((i % 7) as f64) - 3.0)))
-            .unwrap();
-        let b = SparseVector::from_pairs((25..75u64).map(|i| (i, ((i % 4) as f64) - 1.5)))
-            .unwrap();
+        let a = SparseVector::from_pairs((0..50u64).map(|i| (i, ((i % 7) as f64) - 3.0))).unwrap();
+        let b = SparseVector::from_pairs((25..75u64).map(|i| (i, ((i % 4) as f64) - 1.5))).unwrap();
         let exact = inner_product(&a, &b);
         let scale = a.norm() * b.norm();
         let trials = 15;

@@ -4,7 +4,9 @@ use ipsketch_core::method::{AnySketcher, SketchMethod};
 use ipsketch_core::serialize::BinarySketch;
 use ipsketch_core::traits::{Sketch, Sketcher};
 use ipsketch_core::wmh::WeightedMinHasher;
-use ipsketch_core::{countsketch::CountSketcher, jl::JlSketcher, kmv::KmvSketcher, minhash::MinHasher};
+use ipsketch_core::{
+    countsketch::CountSketcher, jl::JlSketcher, kmv::KmvSketcher, minhash::MinHasher,
+};
 use ipsketch_vector::SparseVector;
 use proptest::prelude::*;
 

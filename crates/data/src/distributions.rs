@@ -165,7 +165,10 @@ impl<T> Mixture<T> {
     /// Panics if no component is given or any weight is negative / all weights are zero.
     #[must_use]
     pub fn new(components: Vec<(f64, T)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(
             components.iter().all(|(w, _)| *w >= 0.0) && total > 0.0,
@@ -231,7 +234,11 @@ mod tests {
         let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&v| v > 0.0));
         let m = moments(&samples).unwrap();
-        assert!(m.skewness > 2.0, "log-normal should be right-skewed: {}", m.skewness);
+        assert!(
+            m.skewness > 2.0,
+            "log-normal should be right-skewed: {}",
+            m.skewness
+        );
         // E[lognormal(0,1)] = exp(0.5) ≈ 1.6487.
         assert!((m.mean - 1.6487).abs() < 0.1, "mean {}", m.mean);
     }
@@ -245,7 +252,11 @@ mod tests {
         let m = moments(&samples).unwrap();
         // Mean of Pareto(1, 2.5) is alpha/(alpha-1) = 5/3.
         assert!((m.mean - 5.0 / 3.0).abs() < 0.1, "mean {}", m.mean);
-        assert!(m.kurtosis > 3.0, "Pareto should be leptokurtic: {}", m.kurtosis);
+        assert!(
+            m.kurtosis > 3.0,
+            "Pareto should be leptokurtic: {}",
+            m.kurtosis
+        );
     }
 
     #[test]

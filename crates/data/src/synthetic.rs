@@ -246,7 +246,11 @@ mod tests {
             assert_eq!(pair.a.nnz(), 2000);
             assert_eq!(pair.b.nnz(), 2000);
             let stats = overlap_stats(&pair.a, &pair.b);
-            assert_eq!(stats.intersection, config.shared_count(), "overlap {overlap}");
+            assert_eq!(
+                stats.intersection,
+                config.shared_count(),
+                "overlap {overlap}"
+            );
         }
     }
 

@@ -132,7 +132,12 @@ impl Table {
     /// Returns [`DataError::UnknownColumn`] if no column has that name.
     pub fn key_value_pairs(&self, name: &str) -> Result<Vec<(u64, f64)>, DataError> {
         let column = self.column(name)?;
-        Ok(self.keys.iter().copied().zip(column.values.iter().copied()).collect())
+        Ok(self
+            .keys
+            .iter()
+            .copied()
+            .zip(column.values.iter().copied())
+            .collect())
     }
 
     /// The worked example tables of the paper's Figure 2 (`T_A` and `T_B`), useful for

@@ -60,7 +60,10 @@ impl Corpus {
     /// Documents longer than `min_words` words (the Figure 6(b) filter).
     #[must_use]
     pub fn longer_than(&self, min_words: usize) -> Vec<&Document> {
-        self.documents.iter().filter(|d| d.len() > min_words).collect()
+        self.documents
+            .iter()
+            .filter(|d| d.len() > min_words)
+            .collect()
     }
 }
 
@@ -252,7 +255,10 @@ mod tests {
         let lengths: Vec<usize> = corpus.documents.iter().map(Document::len).collect();
         let long = corpus.longer_than(700).len();
         let short = lengths.iter().filter(|&&l| l < 200).count();
-        assert!(long >= 20, "expected a meaningful share of long documents, got {long}");
+        assert!(
+            long >= 20,
+            "expected a meaningful share of long documents, got {long}"
+        );
         assert!(short >= 100, "expected many short documents, got {short}");
         assert!(corpus.longer_than(700).iter().all(|d| d.len() > 700));
     }

@@ -280,9 +280,7 @@ mod tests {
             "related documents should be more similar: {cat_dog} vs {cat_stock}"
         );
         // With normalization, inner product equals cosine similarity.
-        assert!(
-            (inner_product(&vectors[0], &vectors[1]) - cat_dog).abs() < 1e-12
-        );
+        assert!((inner_product(&vectors[0], &vectors[1]) - cat_dog).abs() < 1e-12);
     }
 
     #[test]

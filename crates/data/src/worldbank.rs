@@ -407,7 +407,10 @@ mod tests {
         }
         .generate(9)
         .unwrap();
-        let v = lake.column_vector(ColumnRef { table: 0, column: 0 });
+        let v = lake.column_vector(ColumnRef {
+            table: 0,
+            column: 0,
+        });
         let table = &lake.tables()[0];
         // Every key with a non-zero value appears in the vector with that value.
         for (k, val) in table.keys().iter().zip(&table.columns()[0].values) {

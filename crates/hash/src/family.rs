@@ -143,8 +143,12 @@ impl HashFamily for UnitHashFamily {
         );
         let seed = self.member_seed(index);
         match self.kind {
-            HashFamilyKind::Wegman31 => DynUnitHasher::Wegman31(Wegman31UnitHasher::from_seed(seed)),
-            HashFamilyKind::Wegman61 => DynUnitHasher::Wegman61(Wegman61UnitHasher::from_seed(seed)),
+            HashFamilyKind::Wegman31 => {
+                DynUnitHasher::Wegman31(Wegman31UnitHasher::from_seed(seed))
+            }
+            HashFamilyKind::Wegman61 => {
+                DynUnitHasher::Wegman61(Wegman61UnitHasher::from_seed(seed))
+            }
             HashFamilyKind::Mix => DynUnitHasher::Mix(MixUnitHasher::from_seed(seed)),
             HashFamilyKind::Tabulation => {
                 DynUnitHasher::Tabulation(TabulationUnitHasher::from_seed(seed))

@@ -220,7 +220,10 @@ mod tests {
             }
         }
         // The minimum of 80 uniforms falls in the first 50 positions with prob. 5/8.
-        assert!(shared > 80, "only {shared} of 200 blocks shared the minimum");
+        assert!(
+            shared > 80,
+            "only {shared} of 200 blocks shared the minimum"
+        );
     }
 
     #[test]

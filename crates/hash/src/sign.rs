@@ -140,7 +140,9 @@ mod tests {
     fn sign_seeds_differ() {
         let a = SignHasher::from_seed(4);
         let b = SignHasher::from_seed(5);
-        let agreements = (0..1000u64).filter(|&k| a.sign(0, k) == b.sign(0, k)).count();
+        let agreements = (0..1000u64)
+            .filter(|&k| a.sign(0, k) == b.sign(0, k))
+            .count();
         // Should be close to 500, certainly not 0 or 1000.
         assert!((300..700).contains(&agreements), "{agreements}");
     }

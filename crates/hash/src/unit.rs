@@ -228,7 +228,11 @@ mod tests {
         for key in [0u64, 1, 42, u64::MAX, 1 << 33] {
             let v = h.hash_unit(key);
             assert!((0.0..1.0).contains(&v), "out of range: {v}");
-            assert_eq!(v.to_bits(), h_same.hash_unit(key).to_bits(), "not deterministic");
+            assert_eq!(
+                v.to_bits(),
+                h_same.hash_unit(key).to_bits(),
+                "not deterministic"
+            );
             assert_eq!(h.hash_u64(key), h_same.hash_u64(key));
         }
     }
@@ -279,7 +283,10 @@ mod tests {
         let inner = Wegman31UnitHasher::from_seed(6);
         let dynamic = DynUnitHasher::Wegman31(inner);
         for key in [0u64, 9, 1000] {
-            assert_eq!(dynamic.hash_unit(key).to_bits(), inner.hash_unit(key).to_bits());
+            assert_eq!(
+                dynamic.hash_unit(key).to_bits(),
+                inner.hash_unit(key).to_bits()
+            );
             assert_eq!(dynamic.hash_u64(key), inner.hash_u64(key));
         }
     }

@@ -257,7 +257,11 @@ mod tests {
         let mut values: Vec<u32> = (0..2000u64).map(|k| h.hash(k * 7 + 1)).collect();
         values.sort_unstable();
         values.dedup();
-        assert!(values.len() >= 1998, "too many collisions: {}", values.len());
+        assert!(
+            values.len() >= 1998,
+            "too many collisions: {}",
+            values.len()
+        );
     }
 
     #[test]

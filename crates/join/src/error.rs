@@ -106,7 +106,9 @@ mod tests {
     #[test]
     fn sources_are_exposed() {
         use std::error::Error;
-        assert!(JoinError::Sketch(SketchError::EmptySketch).source().is_some());
+        assert!(JoinError::Sketch(SketchError::EmptySketch)
+            .source()
+            .is_some());
         assert!(JoinError::NotIndexed {
             table: "t".into(),
             column: "c".into()

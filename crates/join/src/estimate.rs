@@ -273,13 +273,19 @@ mod tests {
         let a = Table::new(
             "a",
             (0..100).collect(),
-            vec![Column::new("v", (0..100).map(f64::from).map(|x| x + 1.0).collect())],
+            vec![Column::new(
+                "v",
+                (0..100).map(f64::from).map(|x| x + 1.0).collect(),
+            )],
         )
         .unwrap();
         let b = Table::new(
             "b",
             (1_000..1_100).collect(),
-            vec![Column::new("v", (0..100).map(f64::from).map(|x| x + 1.0).collect())],
+            vec![Column::new(
+                "v",
+                (0..100).map(f64::from).map(|x| x + 1.0).collect(),
+            )],
         )
         .unwrap();
         let est = JoinEstimator::weighted_minhash(300.0, 5).unwrap();
@@ -319,16 +325,14 @@ mod tests {
         let col_b = tb.columns()[0].name.clone();
         let exact = exact_join_statistics(ta, &col_a, tb, &col_b).unwrap();
         for method in SketchMethod::paper_baselines() {
-            let est =
-                JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 11).unwrap());
+            let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 11).unwrap());
             let sa = est.sketch_column(ta, &col_a).unwrap();
             let sb = est.sketch_column(tb, &col_b).unwrap();
             let approx = est.estimate(&sa, &sb).unwrap();
             // Join size is bounded by the smaller table and should be in the right
             // ballpark for every method at this budget.
             assert!(
-                (approx.join_size - exact.join_size).abs()
-                    <= 0.5 * exact.join_size.max(50.0),
+                (approx.join_size - exact.join_size).abs() <= 0.5 * exact.join_size.max(50.0),
                 "{method:?}: join size {} vs exact {}",
                 approx.join_size,
                 exact.join_size

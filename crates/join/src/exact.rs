@@ -164,12 +164,7 @@ mod tests {
     #[test]
     fn constant_column_has_zero_correlation() {
         let keys: Vec<u64> = (0..10).collect();
-        let a = Table::new(
-            "a",
-            keys.clone(),
-            vec![Column::new("v", vec![5.0; 10])],
-        )
-        .unwrap();
+        let a = Table::new("a", keys.clone(), vec![Column::new("v", vec![5.0; 10])]).unwrap();
         let b = Table::new(
             "b",
             keys,

@@ -198,7 +198,10 @@ mod tests {
         let query = Table::new(
             "query",
             keys.clone(),
-            vec![Column::new("rides", (0..500).map(|i| f64::from(i) + 1.0).collect())],
+            vec![Column::new(
+                "rides",
+                (0..500).map(|i| f64::from(i) + 1.0).collect(),
+            )],
         )
         .unwrap();
         let good = Table::new(
@@ -209,14 +212,20 @@ mod tests {
                     "precip",
                     (100..600).map(|i| 2.0 * f64::from(i) + 3.0).collect(),
                 ),
-                Column::new("noise", (0..500).map(|i| f64::from((i * 37) % 11) - 5.0).collect()),
+                Column::new(
+                    "noise",
+                    (0..500).map(|i| f64::from((i * 37) % 11) - 5.0).collect(),
+                ),
             ],
         )
         .unwrap();
         let bad = Table::new(
             "bad",
             (10_000..10_500).collect(),
-            vec![Column::new("other", (0..500).map(|i| f64::from(i % 7) + 1.0).collect())],
+            vec![Column::new(
+                "other",
+                (0..500).map(|i| f64::from(i % 7) + 1.0).collect(),
+            )],
         )
         .unwrap();
         (query, good, bad)

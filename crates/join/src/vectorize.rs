@@ -50,9 +50,8 @@ impl ColumnVectors {
         }
         let key_indicator = SparseVector::indicator(pairs.iter().map(|&(k, _)| k));
         let values = SparseVector::from_pairs(pairs.iter().copied()).map_err(JoinError::Vector)?;
-        let squared_values =
-            SparseVector::from_pairs(pairs.iter().map(|&(k, v)| (k, v * v)))
-                .map_err(JoinError::Vector)?;
+        let squared_values = SparseVector::from_pairs(pairs.iter().map(|&(k, v)| (k, v * v)))
+            .map_err(JoinError::Vector)?;
         Ok(Self {
             table: table.name().to_string(),
             column: column.to_string(),
@@ -110,8 +109,12 @@ mod tests {
             ColumnVectors::from_table(&ta, "nope"),
             Err(JoinError::Data(_))
         ));
-        let empty = Table::new("empty", vec![], vec![ipsketch_data::Column::new("v", vec![])])
-            .unwrap();
+        let empty = Table::new(
+            "empty",
+            vec![],
+            vec![ipsketch_data::Column::new("v", vec![])],
+        )
+        .unwrap();
         assert!(matches!(
             ColumnVectors::from_table(&empty, "v"),
             Err(JoinError::EmptyColumn { .. })

@@ -94,7 +94,9 @@ impl From<SparseVector> for DenseVector {
     fn from(sparse: SparseVector) -> Self {
         let dim = usize::try_from(sparse.max_dimension()).expect("dimension fits in usize");
         Self {
-            values: sparse.to_dense(dim).expect("dimension derived from the vector"),
+            values: sparse
+                .to_dense(dim)
+                .expect("dimension derived from the vector"),
         }
     }
 }

@@ -35,5 +35,5 @@ pub use ops::{
     cosine_similarity, inner_product, intersection_norms, jaccard_similarity, overlap_stats,
     weighted_jaccard, weighted_union_size, OverlapStats,
 };
-pub use rounding::{is_grid_aligned, round_unit_vector, normalize_and_round};
+pub use rounding::{is_grid_aligned, normalize_and_round, round_unit_vector};
 pub use sparse::SparseVector;

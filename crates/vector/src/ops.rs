@@ -302,7 +302,10 @@ mod tests {
         let b = SparseVector::from_pairs([(5, 1.0)]).unwrap();
         assert_eq!(inner_product(&a, &b), 0.0);
         assert_eq!(inner_product(&a, &SparseVector::new()), 0.0);
-        assert_eq!(inner_product(&SparseVector::new(), &SparseVector::new()), 0.0);
+        assert_eq!(
+            inner_product(&SparseVector::new(), &SparseVector::new()),
+            0.0
+        );
     }
 
     #[test]
@@ -346,7 +349,10 @@ mod tests {
         let a = SparseVector::from_pairs([(0, 2.0)]).unwrap();
         let b = SparseVector::from_pairs([(1, 3.0)]).unwrap();
         assert_eq!(weighted_jaccard(&a, &b), 0.0);
-        assert_eq!(weighted_jaccard(&SparseVector::new(), &SparseVector::new()), 0.0);
+        assert_eq!(
+            weighted_jaccard(&SparseVector::new(), &SparseVector::new()),
+            0.0
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn round_unit_vector(z: &SparseVector, l: u64) -> Result<SparseVector, Vecto
     let delta = 1.0 - rounded_squared_sum;
     let mut out: Vec<(u64, f64)> = Vec::with_capacity(entries.len());
     for (i, sign, squared) in entries {
-        let final_squared = if i == max_index { squared + delta } else { squared };
+        let final_squared = if i == max_index {
+            squared + delta
+        } else {
+            squared
+        };
         if final_squared > 0.0 {
             out.push((i, sign * final_squared.sqrt()));
         }
@@ -164,11 +168,7 @@ mod tests {
         let v = unit(&[(0, 0.3), (1, -2.0), (2, 0.07), (3, 5.5), (9, 1.0)]);
         for l in [8u64, 64, 1024, 1 << 20] {
             let r = round_unit_vector(&v, l).unwrap();
-            assert!(
-                (r.norm() - 1.0).abs() < 1e-9,
-                "L={l}: norm {}",
-                r.norm()
-            );
+            assert!((r.norm() - 1.0).abs() < 1e-9, "L={l}: norm {}", r.norm());
         }
     }
 
@@ -196,9 +196,15 @@ mod tests {
         let r = round_unit_vector(&v, 64).unwrap();
         for (i, value) in r.iter() {
             if i == 2 {
-                assert!(value.abs() >= v.get(2).abs() - 1e-12, "max entry must not shrink");
+                assert!(
+                    value.abs() >= v.get(2).abs() - 1e-12,
+                    "max entry must not shrink"
+                );
             } else {
-                assert!(value.abs() <= v.get(i).abs() + 1e-12, "entry {i} must not grow");
+                assert!(
+                    value.abs() <= v.get(i).abs() + 1e-12,
+                    "entry {i} must not grow"
+                );
             }
         }
     }
@@ -256,7 +262,8 @@ mod tests {
 
     #[test]
     fn is_grid_aligned_detects_misalignment() {
-        let aligned = SparseVector::from_pairs([(0, (0.25f64).sqrt()), (1, (0.75f64).sqrt())]).unwrap();
+        let aligned =
+            SparseVector::from_pairs([(0, (0.25f64).sqrt()), (1, (0.75f64).sqrt())]).unwrap();
         assert!(is_grid_aligned(&aligned, 4));
         let misaligned = unit(&[(0, 1.0), (1, 1.7)]);
         assert!(!is_grid_aligned(&misaligned, 4));

@@ -150,7 +150,10 @@ impl SparseVector {
 
     /// Iterates over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The Euclidean (`ℓ2`) norm.
@@ -238,7 +241,10 @@ impl SparseVector {
     /// index is in `support`).
     #[must_use]
     pub fn restricted_to(&self, support: &[u64]) -> Self {
-        debug_assert!(support.windows(2).all(|w| w[0] < w[1]), "support must be sorted");
+        debug_assert!(
+            support.windows(2).all(|w| w[0] < w[1]),
+            "support must be sorted"
+        );
         let mut indices = Vec::new();
         let mut values = Vec::new();
         for (i, v) in self.iter() {
@@ -403,7 +409,10 @@ mod tests {
         // Scaling by zero collapses to the empty vector.
         assert!(v.scaled(0.0).is_empty());
         // Normalizing the zero vector fails.
-        assert_eq!(SparseVector::new().normalized(), Err(VectorError::ZeroVector));
+        assert_eq!(
+            SparseVector::new().normalized(),
+            Err(VectorError::ZeroVector)
+        );
     }
 
     #[test]

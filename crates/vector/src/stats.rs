@@ -47,7 +47,9 @@ impl Moments {
 /// [`VectorError::NonFiniteValue`] if any value is NaN or infinite.
 pub fn moments(values: &[f64]) -> Result<Moments, VectorError> {
     if values.is_empty() {
-        return Err(VectorError::EmptyVector { operation: "moments" });
+        return Err(VectorError::EmptyVector {
+            operation: "moments",
+        });
     }
     for (i, &v) in values.iter().enumerate() {
         if !v.is_finite() {
@@ -170,7 +172,9 @@ pub fn sparse_value_moments(vector: &SparseVector) -> Result<Moments, VectorErro
 /// Returns [`VectorError::EmptyVector`] if the slice is empty.
 pub fn median(values: &[f64]) -> Result<f64, VectorError> {
     if values.is_empty() {
-        return Err(VectorError::EmptyVector { operation: "median" });
+        return Err(VectorError::EmptyVector {
+            operation: "median",
+        });
     }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
@@ -212,10 +216,7 @@ mod tests {
 
     #[test]
     fn moments_reject_bad_input() {
-        assert!(matches!(
-            moments(&[]),
-            Err(VectorError::EmptyVector { .. })
-        ));
+        assert!(matches!(moments(&[]), Err(VectorError::EmptyVector { .. })));
         assert!(matches!(
             moments(&[1.0, f64::NAN]),
             Err(VectorError::NonFiniteValue { index: 1, .. })
@@ -230,7 +231,9 @@ mod tests {
         let mut values = Vec::new();
         let mut state = 1u64;
         let next = |s: &mut u64| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((*s >> 11) as f64) / (1u64 << 53) as f64
         };
         for _ in 0..50_000 {

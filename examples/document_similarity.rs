@@ -39,17 +39,26 @@ fn main() {
     // interesting pairs.
     let budget = 200.0;
     let pairs = [(0usize, 1usize), (0, 50), (10, 11), (20, 120), (3, 150)];
-    println!("\n{:<12} {:>10} {:>10} {:>10} {:>10}", "pair", "exact", "WMH", "MH", "JL");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "pair", "exact", "WMH", "MH", "JL"
+    );
     for &(i, j) in &pairs {
         let exact = cosine_similarity(&vectors[i], &vectors[j]);
         let mut row = format!("({i:>3},{j:>3})   {exact:>10.4}");
-        for method in [SketchMethod::WeightedMinHash, SketchMethod::MinHash, SketchMethod::Jl] {
+        for method in [
+            SketchMethod::WeightedMinHash,
+            SketchMethod::MinHash,
+            SketchMethod::Jl,
+        ] {
             let sketcher = AnySketcher::for_budget(method, budget, 7).expect("budget fits");
             let sa = sketcher.sketch(&vectors[i]).expect("sketchable");
             let sb = sketcher.sketch(&vectors[j]).expect("sketchable");
             // The TF-IDF vectors are unit-normalized, so the inner product *is* the
             // cosine similarity.
-            let est = sketcher.estimate_inner_product(&sa, &sb).expect("compatible");
+            let est = sketcher
+                .estimate_inner_product(&sa, &sb)
+                .expect("compatible");
             row.push_str(&format!(" {est:>10.4}"));
         }
         println!("{row}");
@@ -59,7 +68,9 @@ fn main() {
     println!("\naverage |error| over 2000 random pairs at storage {budget}:");
     let mut rng_state = 0x5EEDu64;
     let mut next = move || {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng_state >> 33) as usize
     };
     let sample_pairs: Vec<(usize, usize)> = (0..2_000)
@@ -79,6 +90,10 @@ fn main() {
                 .expect("compatible");
             total += (est - cosine_similarity(&vectors[i], &vectors[j])).abs();
         }
-        println!("  {:>4}: {:.4}", method.label(), total / sample_pairs.len() as f64);
+        println!(
+            "  {:>4}: {:.4}",
+            method.label(),
+            total / sample_pairs.len() as f64
+        );
     }
 }

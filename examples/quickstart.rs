@@ -40,7 +40,9 @@ fn main() {
         let sketcher = AnySketcher::for_budget(method, 400.0, 42).expect("budget fits");
         let sa = sketcher.sketch(&a).expect("sketchable");
         let sb = sketcher.sketch(&b).expect("sketchable");
-        let est = sketcher.estimate_inner_product(&sa, &sb).expect("compatible");
+        let est = sketcher
+            .estimate_inner_product(&sa, &sb)
+            .expect("compatible");
         println!(
             "  {:>4}: estimate {est:>10.2}   |error|/(|a||b|) = {:.4}",
             method.label(),

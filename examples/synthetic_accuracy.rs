@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example synthetic_accuracy`
 
-use ipsketch::bench::experiments::fig4::{Fig4Config, run, format};
+use ipsketch::bench::experiments::fig4::{format, run, Fig4Config};
 use ipsketch::bench::experiments::Scale;
 use ipsketch::data::SyntheticPairConfig;
 

@@ -1,0 +1,216 @@
+//! Minimal offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! Implements exactly the subset used by `ipsketch-core`'s binary sketch
+//! serialization: an owned immutable buffer ([`Bytes`]), a growable write
+//! buffer ([`BytesMut`]), little-endian cursor reads on `&[u8]` ([`Buf`]) and
+//! little-endian appends ([`BufMut`]). See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable, contiguous byte buffer (backed by a plain `Vec<u8>` here).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// A growable byte buffer for building a [`Bytes`] value.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+/// Write access to a byte buffer, little-endian only (the subset used here).
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `i64` in little-endian order.
+    fn put_i64_le(&mut self, value: i64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` in little-endian order.
+    fn put_f64_le(&mut self, value: f64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read access to a byte cursor, little-endian only (the subset used here).
+///
+/// Every `get_*` method panics if fewer than the required number of bytes
+/// remain, matching the real crate; callers check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// Reads `N` bytes and advances the cursor.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returns exactly N bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 7);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(1.5);
+        let bytes = buf.freeze();
+        let mut cursor: &[u8] = &bytes;
+        assert_eq!(cursor.remaining(), 1 + 4 + 8 + 8 + 8);
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 7);
+        assert_eq!(cursor.get_i64_le(), -42);
+        assert_eq!(cursor.get_f64_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_derefs_to_slice() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_slice(b"abcd");
+        let bytes = buf.freeze();
+        assert_eq!(&bytes[1..3], b"bc");
+        assert_eq!(bytes.to_vec(), b"abcd".to_vec());
+    }
+}

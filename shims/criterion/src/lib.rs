@@ -1,0 +1,226 @@
+//! Minimal offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset the workspace's benches use: benchmark groups with
+//! `sample_size` / `measurement_time`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a straightforward wall-clock mean
+//! over `sample_size` timed batches — no outlier analysis, no HTML reports —
+//! printed one line per benchmark. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus an optional
+/// parameter rendering (`name/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call warms caches and amortizes lazy setup.
+        std_black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches to run per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget a single benchmark should aim for.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) {
+        self.run(id.into(), &mut |bencher| routine(bencher));
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through by reference.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) {
+        self.run(id.into(), &mut |bencher| routine(bencher, input));
+    }
+
+    /// Finishes the group. (No summary state to flush in this shim.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, routine: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: time a single iteration, then size batches so the whole
+        // benchmark stays within the group's measurement budget.
+        let mut calibration = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut calibration);
+        let per_iteration = calibration.elapsed.max(Duration::from_nanos(1));
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iterations =
+            (budget_per_sample.as_nanos() / per_iteration.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iterations,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            let per_iter = bencher.elapsed / iterations as u32;
+            total += per_iter;
+            best = best.min(per_iter);
+        }
+        let mean = total / self.sample_size as u32;
+        println!(
+            "{}/{}  time: [mean {:?}  best {:?}]  ({} samples x {} iters)",
+            self.name, id.id, mean, best, self.sample_size, iterations
+        );
+    }
+}
+
+/// Declares a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target compiled with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo forwards harness flags (e.g. `--bench`); nothing to parse
+            // in this shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x + 1));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut criterion = Criterion::default();
+        trivial_bench(&mut criterion);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("method", 400).id, "method/400");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal offline stand-in for the [`parking_lot`](https://docs.rs/parking_lot)
+//! crate: a [`Mutex`] whose `lock()` returns the guard directly (no poisoning),
+//! backed by `std::sync::Mutex`. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::PoisonError;
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with `parking_lot`'s non-poisoning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Unlike `std`, a panic in another thread while holding the lock does not
+    /// poison it — the guard is returned regardless.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn lock_survives_a_poisoning_panic() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for vec strategy");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

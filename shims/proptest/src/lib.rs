@@ -1,0 +1,246 @@
+//! Minimal offline stand-in for the [`proptest`](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! Implements the subset the workspace's property tests use: the `proptest!`
+//! macro, `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `collection::vec`, `prop_map`, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, by design (see `shims/README.md`):
+//!
+//! - **Deterministic**: the RNG is seeded from the test function's name, so a
+//!   failure reproduces on every run without a persisted regression file.
+//! - **No shrinking**: a failing case reports its assertion message only.
+//! - **Fixed case count**: [`ProptestConfig::default`] runs 64 cases per test
+//!   (the `PROPTEST_CASES` environment variable overrides it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+
+/// Per-test configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped without counting.
+    Reject,
+    /// A `prop_assert*!` failed; the whole test fails with this message.
+    Fail(String),
+}
+
+/// Everything a property-test file conventionally glob-imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+/// Fails the current case (with an optional formatted message) unless the
+/// condition holds. Only usable inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal. Only
+/// usable inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    left == right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    left == right,
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case (without counting it) unless the condition holds.
+/// Only usable inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)` body
+/// runs against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::rng::TestRng::for_test(stringify!($name));
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(16);
+            while executed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: too many rejected cases in {} ({} attempts for {} cases)",
+                    stringify!($name),
+                    attempts,
+                    config.cases
+                );
+                let ($($pat,)+) = {
+                    #[allow(unused_imports)]
+                    use $crate::strategy::Strategy as _;
+                    ( $( ($strategy).generate(&mut rng), )+ )
+                };
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => executed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest case failed in {} (case {} of {}):\n{}",
+                            stringify!($name),
+                            executed + 1,
+                            config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn squares_are_nonnegative(x in any::<i64>()) {
+            let x = x >> 1; // avoid overflow on the extremes
+            prop_assert!(x.saturating_mul(x) >= 0);
+        }
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in 5u32..=9, f in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((-2.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u64..100, 0.0f64..1.0).prop_map(|(i, v)| (i * 2, v)) ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!(pair.0 < 200);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "only even cases survive the assumption");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn explicit_config_is_accepted(x in any::<u64>()) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runner_instances() {
+        let mut a = crate::rng::TestRng::for_test("seed");
+        let mut b = crate::rng::TestRng::for_test("seed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = crate::rng::TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

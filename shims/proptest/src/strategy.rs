@@ -1,0 +1,196 @@
+//! The [`Strategy`] trait and the built-in strategy implementations.
+
+use crate::rng::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking: `generate`
+/// produces a finished value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! unsigned_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u128::from(self.end) - u128::from(self.start);
+                self.start + ((rng.next_u128() % span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = u128::from(end) - u128::from(start) + 1;
+                start + ((rng.next_u128() % span) as $t)
+            }
+        }
+    )+};
+}
+
+unsigned_range_strategies!(u8, u16, u32, u64);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (i128::from(self.end) - i128::from(self.start)) as u128;
+                (i128::from(self.start) + (rng.next_u128() % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (i128::from(end) - i128::from(start)) as u128 + 1;
+                (i128::from(start) + (rng.next_u128() % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+signed_range_strategies!(i8, i16, i32, i64);
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u128;
+        self.start + (rng.next_u128() % span) as usize
+    }
+}
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        let span = (end - start) as u128 + 1;
+        start + (rng.next_u128() % span) as usize
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let value = self.start + rng.next_unit_f64() * (self.end - self.start);
+        // Rounding can land exactly on the excluded endpoint; fall back to the
+        // (always included) start in that rare case.
+        if value < self.end {
+            value
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        (start + rng.next_unit_f64_inclusive() * (end - start)).clamp(start, end)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $index:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_range_never_reaches_excluded_end() {
+        let mut rng = TestRng::for_test("float_range");
+        let strategy = 0.0f64..1e-300;
+        for _ in 0..1000 {
+            let v = strategy.generate(&mut rng);
+            assert!((0.0..1e-300).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = TestRng::for_test("signed");
+        let strategy = -5i64..5;
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+}

@@ -93,8 +93,9 @@ fn theorem_2_bound_holds_empirically() {
 #[test]
 fn serialized_sketches_round_trip_and_estimate() {
     let a = SparseVector::from_pairs((0..500u64).map(|i| (i * 3, 1.0 + (i % 7) as f64))).unwrap();
-    let b = SparseVector::from_pairs((600..1_100u64).map(|i| (i * 3 % 2_000, 0.5 + (i % 5) as f64)))
-        .unwrap();
+    let b =
+        SparseVector::from_pairs((600..1_100u64).map(|i| (i * 3 % 2_000, 0.5 + (i % 5) as f64)))
+            .unwrap();
     let sketcher = WeightedMinHasher::new(256, 9, 1 << 22).unwrap();
     let sa = sketcher.sketch(&a).unwrap();
     let sb = sketcher.sketch(&b).unwrap();
@@ -102,7 +103,9 @@ fn serialized_sketches_round_trip_and_estimate() {
 
     let decoded_a = WeightedMinHashSketch::from_bytes(&sa.to_bytes()).unwrap();
     let decoded_b = WeightedMinHashSketch::from_bytes(&sb.to_bytes()).unwrap();
-    let from_disk = sketcher.estimate_inner_product(&decoded_a, &decoded_b).unwrap();
+    let from_disk = sketcher
+        .estimate_inner_product(&decoded_a, &decoded_b)
+        .unwrap();
     assert_eq!(direct.to_bits(), from_disk.to_bits());
     // Encoded size is proportional to the sample count (sanity check on the format).
     assert!(sa.to_bytes().len() < 300 * 24);
@@ -145,7 +148,10 @@ fn join_statistics_estimation_tracks_ground_truth_across_a_lake() {
             checked += 1;
         }
     }
-    assert!(checked >= 3, "expected several overlapping table pairs, got {checked}");
+    assert!(
+        checked >= 3,
+        "expected several overlapping table pairs, got {checked}"
+    );
 }
 
 /// The sketch index finds a planted joinable-and-correlated table in a lake of
@@ -153,7 +159,10 @@ fn join_statistics_estimation_tracks_ground_truth_across_a_lake() {
 #[test]
 fn sketch_index_finds_planted_related_table() {
     let days: Vec<u64> = (0..400).collect();
-    let signal: Vec<f64> = days.iter().map(|&d| ((d * 13 % 101) as f64) - 50.0).collect();
+    let signal: Vec<f64> = days
+        .iter()
+        .map(|&d| ((d * 13 % 101) as f64) - 50.0)
+        .collect();
     let query_values: Vec<f64> = signal.iter().map(|s| 3.0 * s + 10.0).collect();
     let query_table = Table::new(
         "query",
@@ -212,8 +221,14 @@ fn every_method_handles_every_workload_within_budget() {
     }
     .generate(4)
     .unwrap();
-    let lake_a = lake.column_vector(ipsketch::data::worldbank::ColumnRef { table: 0, column: 0 });
-    let lake_b = lake.column_vector(ipsketch::data::worldbank::ColumnRef { table: 1, column: 0 });
+    let lake_a = lake.column_vector(ipsketch::data::worldbank::ColumnRef {
+        table: 0,
+        column: 0,
+    });
+    let lake_b = lake.column_vector(ipsketch::data::worldbank::ColumnRef {
+        table: 1,
+        column: 0,
+    });
     // Text.
     let corpus = ipsketch::data::text::CorpusConfig {
         documents: 30,
@@ -247,7 +262,10 @@ fn every_method_handles_every_workload_within_budget() {
                 "{name}/{method:?} exceeded budget"
             );
             let est = sketcher.estimate_inner_product(&sa, &sb).unwrap();
-            assert!(est.is_finite(), "{name}/{method:?} produced a non-finite estimate");
+            assert!(
+                est.is_finite(),
+                "{name}/{method:?} produced a non-finite estimate"
+            );
             assert!(
                 (est - inner_product(a, b)).abs() <= 1.5 * scale.max(1.0),
                 "{name}/{method:?} estimate {est} is wildly off"

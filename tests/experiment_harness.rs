@@ -1,7 +1,9 @@
 //! Integration tests for the experiment harness: every figure/table driver runs end to
 //! end at quick scale and reproduces the paper's qualitative findings.
 
-use ipsketch::bench::experiments::{extensions, fig4, fig5, fig6, hash_sweep, l_sweep, storage, table1, Scale};
+use ipsketch::bench::experiments::{
+    extensions, fig4, fig5, fig6, hash_sweep, l_sweep, storage, table1, Scale,
+};
 use ipsketch::core::method::SketchMethod;
 use ipsketch::data::SyntheticPairConfig;
 
@@ -48,7 +50,11 @@ fn figure_5_quick_run_produces_populated_winning_tables() {
     for cell in &result.cells {
         total += cell.wmh_minus_jl * cell.pairs as f64;
     }
-    assert!(total / 150.0 < 0.01, "overall WMH-JL difference {}", total / 150.0);
+    assert!(
+        total / 150.0 < 0.01,
+        "overall WMH-JL difference {}",
+        total / 150.0
+    );
 }
 
 #[test]
@@ -119,9 +125,15 @@ fn ablations_run_at_quick_scale() {
         ..hash_sweep::HashSweepConfig::for_scale(Scale::Quick)
     };
     let rows = hash_sweep::run(&h_config);
-    let min = rows.iter().map(|r| r.mean_error).fold(f64::INFINITY, f64::min);
+    let min = rows
+        .iter()
+        .map(|r| r.mean_error)
+        .fold(f64::INFINITY, f64::min);
     let max = rows.iter().map(|r| r.mean_error).fold(0.0, f64::max);
-    assert!(max < 5.0 * min, "hash families disagree too much: {min} vs {max}");
+    assert!(
+        max < 5.0 * min,
+        "hash families disagree too much: {min} vs {max}"
+    );
 
     // Extensions: SimHash and ICWS produce finite errors alongside the baselines.
     let mut e_config = extensions::config_for_scale(Scale::Quick);

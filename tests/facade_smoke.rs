@@ -1,0 +1,61 @@
+//! Workspace-level smoke test: every crate re-exported by the `ipsketch`
+//! facade is constructible and usable through the root crate alone, and the
+//! re-exports agree with the underlying crates' types.
+
+use ipsketch::bench::runner::parallel_map;
+use ipsketch::core::method::{AnySketcher, SketchMethod};
+use ipsketch::core::traits::Sketcher;
+use ipsketch::data::synthetic::SyntheticPairConfig;
+use ipsketch::data::tables::Table;
+use ipsketch::hash::mix::splitmix64;
+use ipsketch::join::exact::exact_join_statistics;
+use ipsketch::vector::SparseVector;
+
+#[test]
+fn hash_reexport_is_usable() {
+    assert_eq!(splitmix64(42), ipsketch_hash::mix::splitmix64(42));
+}
+
+#[test]
+fn vector_reexport_is_usable() {
+    let v = SparseVector::from_pairs([(1u64, 2.0), (5, -3.0)]).unwrap();
+    assert_eq!(v.nnz(), 2);
+    // The facade path and the direct crate path name the same type.
+    let direct: ipsketch_vector::SparseVector = v;
+    assert_eq!(direct.nnz(), 2);
+}
+
+#[test]
+fn core_reexport_sketches_through_the_facade() {
+    let a = SparseVector::from_pairs((0..32u64).map(|i| (i, 1.0 + i as f64))).unwrap();
+    for method in SketchMethod::all() {
+        let sketcher = AnySketcher::for_budget(method, 64.0, 7).unwrap();
+        let sketch = sketcher.sketch(&a).unwrap();
+        let estimate = sketcher.estimate_inner_product(&sketch, &sketch).unwrap();
+        assert!(
+            estimate.is_finite(),
+            "{method:?} produced a non-finite self estimate"
+        );
+    }
+}
+
+#[test]
+fn data_reexport_generates_vectors() {
+    let pair = SyntheticPairConfig::with_overlap(0.5).generate(3).unwrap();
+    assert!(pair.a.nnz() > 0 && pair.b.nnz() > 0);
+}
+
+#[test]
+fn join_reexport_computes_statistics() {
+    let (table_a, table_b) = Table::figure_2_tables();
+    let column_a = table_a.columns()[0].name.clone();
+    let column_b = table_b.columns()[0].name.clone();
+    let stats = exact_join_statistics(&table_a, &column_a, &table_b, &column_b).unwrap();
+    assert!(stats.join_size > 0.0);
+}
+
+#[test]
+fn bench_reexport_runs_the_parallel_runner() {
+    let squares = parallel_map(&[1u64, 2, 3, 4], 2, |x| x * x);
+    assert_eq!(squares, vec![1, 4, 9, 16]);
+}
