@@ -1,0 +1,13 @@
+//! Measures the cost of distributed (chunk-and-merge) sketching against one-shot
+//! sketching for every mergeable method, plus the estimate drift between the two paths.
+//!
+//! Usage: `cargo run -p ipsketch-bench --release --bin merge_throughput [--full]`
+
+use ipsketch_bench::experiments::{merge, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let config = merge::MergeConfig::for_scale(scale);
+    let rows = merge::run(&config);
+    print!("{}", merge::format(&config, &rows));
+}

@@ -1,0 +1,234 @@
+//! Merge-throughput experiment — the cost of distributed (chunk-and-merge) sketching
+//! relative to one-shot sketching, per method.
+//!
+//! The mergeable-sketch layer (PR 2) lets a column be sketched as `k` independently
+//! built row-chunks folded with `merge`; a sharded deployment pays exactly this path.
+//! This experiment measures, for every mergeable method, the wall-clock cost of
+//! (a) one-shot sketching and (b) chunked sketching including all merges, together with
+//! the estimate drift between the two paths — verifying that distribution costs little
+//! and changes estimates not at all (sampling methods) or only within grid-rounding
+//! tolerance (WMH).
+
+use super::Scale;
+use crate::report::{fmt_f64, TextTable};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_core::traits::Sketcher;
+use ipsketch_data::SyntheticPairConfig;
+use ipsketch_hash::mix::mix2;
+use ipsketch_vector::scaled_absolute_error;
+use std::time::Instant;
+
+/// Configuration of the merge-throughput experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeConfig {
+    /// Partition counts to measure.
+    pub partitions: Vec<usize>,
+    /// Storage budget per sketch (doubles).
+    pub storage: usize,
+    /// Number of vector pairs per (method, partitions) cell.
+    pub trials: usize,
+    /// Synthetic data parameters.
+    pub data: SyntheticPairConfig,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl MergeConfig {
+    /// The configuration for a given scale.
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Self {
+                partitions: vec![2, 4, 8, 16],
+                storage: 400,
+                trials: 10,
+                data: SyntheticPairConfig::default(),
+                seed: 0x4D_52_47,
+            },
+            Scale::Quick => Self {
+                partitions: vec![2, 4, 8],
+                storage: 300,
+                trials: 3,
+                data: SyntheticPairConfig {
+                    dimension: 2_000,
+                    nonzeros: 400,
+                    ..SyntheticPairConfig::default()
+                },
+                seed: 0x4D_52_47,
+            },
+        }
+    }
+}
+
+/// One measured cell of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeRow {
+    /// The sketching method.
+    pub method: SketchMethod,
+    /// Number of row-chunks the vector was split into.
+    pub partitions: usize,
+    /// Mean one-shot sketching time per vector, in microseconds.
+    pub one_shot_micros: f64,
+    /// Mean chunk-and-merge sketching time per vector (all chunk sketches plus all
+    /// merges), in microseconds.
+    pub partitioned_micros: f64,
+    /// `partitioned_micros / one_shot_micros` — the price of distribution.
+    pub overhead: f64,
+    /// Mean scaled difference `|est_partitioned − est_one_shot| / (‖a‖‖b‖)` between the
+    /// two paths (zero for the sampling methods, grid-rounding noise for WMH).
+    pub estimate_drift: f64,
+}
+
+/// The methods measured: every mergeable method (SimHash cannot merge).
+#[must_use]
+pub fn mergeable_methods() -> [SketchMethod; 6] {
+    [
+        SketchMethod::Jl,
+        SketchMethod::CountSketch,
+        SketchMethod::MinHash,
+        SketchMethod::Kmv,
+        SketchMethod::WeightedMinHash,
+        SketchMethod::Icws,
+    ]
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(config: &MergeConfig) -> Vec<MergeRow> {
+    let mut rows = Vec::new();
+    for method in mergeable_methods() {
+        let Ok(sketcher) = AnySketcher::for_budget(method, config.storage as f64, config.seed)
+        else {
+            continue;
+        };
+        for &partitions in &config.partitions {
+            let mut one_shot_total = 0.0;
+            let mut partitioned_total = 0.0;
+            let mut drift_total = 0.0;
+            let mut sketched_vectors = 0u32;
+            for trial in 0..config.trials {
+                let pair = config
+                    .data
+                    .generate(mix2(config.seed, trial as u64))
+                    .expect("valid configuration");
+                let (a, b) = (&pair.a, &pair.b);
+                let start = Instant::now();
+                let one_a = sketcher.sketch(a).expect("sketchable");
+                let one_b = sketcher.sketch(b).expect("sketchable");
+                one_shot_total += start.elapsed().as_secs_f64() * 1e6;
+                let start = Instant::now();
+                let part_a = sketcher.sketch_chunked(a, partitions).expect("mergeable");
+                let part_b = sketcher.sketch_chunked(b, partitions).expect("mergeable");
+                partitioned_total += start.elapsed().as_secs_f64() * 1e6;
+                sketched_vectors += 2;
+                let est_one = sketcher
+                    .estimate_inner_product(&one_a, &one_b)
+                    .expect("compatible");
+                let est_part = sketcher
+                    .estimate_inner_product(&part_a, &part_b)
+                    .expect("compatible");
+                drift_total += scaled_absolute_error(est_part, est_one, a.norm(), b.norm());
+            }
+            let per_vector = f64::from(sketched_vectors);
+            rows.push(MergeRow {
+                method,
+                partitions,
+                one_shot_micros: one_shot_total / per_vector,
+                partitioned_micros: partitioned_total / per_vector,
+                overhead: partitioned_total / one_shot_total,
+                estimate_drift: drift_total / f64::from(config.trials as u32),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the report.
+#[must_use]
+pub fn format(config: &MergeConfig, rows: &[MergeRow]) -> String {
+    let mut out = format!(
+        "Merge throughput — chunk-and-merge vs one-shot sketching \
+         (n = {}, nnz = {}, budget = {} doubles, {} trials)\n",
+        config.data.dimension, config.data.nonzeros, config.storage, config.trials
+    );
+    let mut table = TextTable::new([
+        "method",
+        "partitions",
+        "one-shot (µs)",
+        "partitioned (µs)",
+        "overhead",
+        "estimate drift",
+    ]);
+    for row in rows {
+        table.push_row([
+            row.method.label().to_string(),
+            row.partitions.to_string(),
+            fmt_f64(row.one_shot_micros),
+            fmt_f64(row.partitioned_micros),
+            fmt_f64(row.overhead),
+            fmt_f64(row.estimate_drift),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> MergeConfig {
+        MergeConfig {
+            partitions: vec![2, 4],
+            storage: 100,
+            trials: 1,
+            data: SyntheticPairConfig {
+                dimension: 500,
+                nonzeros: 100,
+                ..SyntheticPairConfig::default()
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn covers_every_mergeable_method_and_partition_count() {
+        let config = tiny_config();
+        let rows = run(&config);
+        assert_eq!(
+            rows.len(),
+            mergeable_methods().len() * config.partitions.len()
+        );
+        for row in &rows {
+            assert!(row.one_shot_micros > 0.0);
+            assert!(row.partitioned_micros > 0.0);
+            assert!(row.overhead.is_finite() && row.overhead > 0.0);
+            assert!(row.estimate_drift.is_finite());
+        }
+    }
+
+    #[test]
+    fn sampling_methods_drift_nothing_and_wmh_little() {
+        let rows = run(&tiny_config());
+        for row in &rows {
+            match row.method {
+                SketchMethod::MinHash | SketchMethod::Kmv | SketchMethod::Icws => {
+                    assert_eq!(row.estimate_drift, 0.0, "{:?}", row.method);
+                }
+                SketchMethod::WeightedMinHash => {
+                    assert!(row.estimate_drift < 0.5, "{:?}", row.method);
+                }
+                _ => assert!(row.estimate_drift < 1e-6, "{:?}", row.method),
+            }
+        }
+    }
+
+    #[test]
+    fn formatting_contains_all_methods() {
+        let config = tiny_config();
+        let text = format(&config, &run(&config));
+        for method in mergeable_methods() {
+            assert!(text.contains(method.label()), "missing {method:?}");
+        }
+    }
+}

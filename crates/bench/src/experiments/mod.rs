@@ -10,6 +10,7 @@
 //! | [`l_sweep`] | Ablation A2 — WMH accuracy vs. discretization parameter `L` |
 //! | [`hash_sweep`] | Ablation A3 — accuracy vs. hash family |
 //! | [`extensions`] | Extension A4 — SimHash and ICWS added to the Figure-4 sweep |
+//! | [`merge`] | Mergeable sketches — chunk-and-merge cost vs. one-shot sketching |
 
 pub mod extensions;
 pub mod fig4;
@@ -17,6 +18,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod hash_sweep;
 pub mod l_sweep;
+pub mod merge;
 pub mod storage;
 pub mod table1;
 

@@ -9,7 +9,7 @@
 
 use crate::error::{incompatible, SketchError};
 use crate::storage::{linear_sketch_doubles, COUNTSKETCH_REPETITIONS};
-use crate::traits::{Sketch, Sketcher};
+use crate::traits::{MergeableSketcher, Sketch, Sketcher};
 use ipsketch_hash::sign::{BucketHasher, SignHasher};
 use ipsketch_vector::SparseVector;
 
@@ -142,18 +142,8 @@ impl Sketcher for CountSketcher {
     }
 
     fn estimate_inner_product(&self, a: &CountSketch, b: &CountSketch) -> Result<f64, SketchError> {
-        for (label, sketch) in [("first", a), ("second", b)] {
-            if sketch.seed != self.seed
-                || sketch.buckets != self.buckets
-                || sketch.table.len() != self.buckets * self.repetitions
-            {
-                return Err(incompatible(format!(
-                    "{label} CountSketch does not match this sketcher (buckets {}, len {})",
-                    sketch.buckets,
-                    sketch.table.len()
-                )));
-            }
-        }
+        self.check_own("first", a)?;
+        self.check_own("second", b)?;
         // Per-repetition estimates, combined by the median.
         let mut estimates: Vec<f64> = (0..self.repetitions)
             .map(|rep| {
@@ -175,6 +165,58 @@ impl Sketcher for CountSketcher {
 
     fn name(&self) -> &'static str {
         "CS"
+    }
+}
+
+impl CountSketcher {
+    /// Validates that a sketch was produced by this sketcher's configuration.
+    fn check_own(&self, label: &str, sketch: &CountSketch) -> Result<(), SketchError> {
+        if sketch.seed != self.seed
+            || sketch.buckets != self.buckets
+            || sketch.table.len() != self.buckets * self.repetitions
+        {
+            return Err(incompatible(format!(
+                "{label} CountSketch does not match this sketcher (buckets {}, len {})",
+                sketch.buckets,
+                sketch.table.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl MergeableSketcher for CountSketcher {
+    fn empty_sketch(&self) -> CountSketch {
+        CountSketch {
+            seed: self.seed,
+            buckets: self.buckets,
+            table: vec![0.0; self.buckets * self.repetitions],
+        }
+    }
+
+    /// Turnstile update: the coordinate's bucket in every repetition gains
+    /// `sign(rep, index) · δ`.
+    fn update(&self, sketch: &mut CountSketch, index: u64, delta: f64) -> Result<(), SketchError> {
+        self.check_own("updated", sketch)?;
+        let bucket_hash = BucketHasher::new(self.seed, self.buckets)?;
+        let sign_hash = SignHasher::from_seed(self.seed ^ 0xC0_57_51_6E);
+        for rep in 0..self.repetitions {
+            let bucket = bucket_hash.bucket(rep as u64, index);
+            let sign = sign_hash.sign(rep as u64, index);
+            sketch.table[rep * self.buckets + bucket] += sign * delta;
+        }
+        Ok(())
+    }
+
+    /// Addition-merge: CountSketch is a (sparse) linear map.
+    fn merge(&self, a: &CountSketch, b: &CountSketch) -> Result<CountSketch, SketchError> {
+        self.check_own("first", a)?;
+        self.check_own("second", b)?;
+        Ok(CountSketch {
+            seed: self.seed,
+            buckets: self.buckets,
+            table: a.table.iter().zip(&b.table).map(|(x, y)| x + y).collect(),
+        })
     }
 }
 
@@ -290,6 +332,53 @@ mod tests {
             .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
             .is_err());
         assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_is_the_merge_identity() {
+        let s = CountSketcher::new(16, 3).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (9, -2.5)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        assert_eq!(s.merge(&s.empty_sketch(), &sk).unwrap(), sk);
+    }
+
+    #[test]
+    fn update_stream_matches_one_shot_sketch() {
+        let s = CountSketcher::new(24, 5).unwrap();
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i * 3, (i as f64) - 17.5))).unwrap();
+        let mut streamed = s.empty_sketch();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        let one_shot = s.sketch(&v).unwrap();
+        for (x, y) in streamed.table.iter().zip(&one_shot.table) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_chunks_matches_one_shot() {
+        let s = CountSketcher::new(32, 11).unwrap();
+        let a = SparseVector::from_pairs((0..30u64).map(|i| (i, 1.0 + (i % 3) as f64))).unwrap();
+        let b = SparseVector::from_pairs((30..60u64).map(|i| (i, 2.0 - (i % 2) as f64))).unwrap();
+        let whole = SparseVector::from_pairs(a.iter().chain(b.iter())).unwrap();
+        let merged = s
+            .merge(&s.sketch(&a).unwrap(), &s.sketch(&b).unwrap())
+            .unwrap();
+        let one_shot = s.sketch(&whole).unwrap();
+        for (x, y) in merged.table.iter().zip(&one_shot.table) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn merge_and_update_reject_mismatched_sketches() {
+        let s1 = CountSketcher::new(16, 1).unwrap();
+        let s2 = CountSketcher::new(16, 2).unwrap();
+        let s3 = CountSketcher::new(8, 1).unwrap();
+        let mut wrong_seed = s2.empty_sketch();
+        assert!(s1.update(&mut wrong_seed, 0, 1.0).is_err());
+        assert!(s1.merge(&s1.empty_sketch(), &s3.empty_sketch()).is_err());
     }
 
     #[test]

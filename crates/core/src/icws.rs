@@ -16,7 +16,7 @@
 //! discretization parameter is needed: ICWS handles real-valued weights exactly.
 
 use crate::error::{incompatible, SketchError};
-use crate::traits::{Sketch, Sketcher};
+use crate::traits::{MergeableSketcher, Sketch, Sketcher};
 use ipsketch_hash::mix::mix3;
 use ipsketch_hash::rng::Xoshiro256PlusPlus;
 use ipsketch_vector::SparseVector;
@@ -112,6 +112,97 @@ impl IcwsSketcher {
         let beta = rng.next_unit_f64();
         (r, c, beta)
     }
+
+    /// Ioffe's sample score for a normalized entry `(index, value)` of sample `sample`;
+    /// the sketch keeps the argmin.  Returns the score together with the quantized
+    /// token `t`.
+    fn score_of(&self, sample: u64, index: u64, value: f64) -> (f64, i64) {
+        let weight = value * value;
+        let (r, c, beta) = self.variates(sample, index);
+        // Ioffe's ICWS: t = floor(ln S / r + β), y = exp(r (t − β)), score = c / (y e^r).
+        let t = (weight.ln() / r + beta).floor();
+        let y = (r * (t - beta)).exp();
+        (c / (y * r.exp()), t as i64)
+    }
+
+    /// The score a stored sample minimized.  Scores are deterministic in `(seed,
+    /// sample, index, value)`, so they need not be persisted: merging recomputes them
+    /// on demand, keeping the wire format unchanged.  The all-zero sentinel sample of a
+    /// never-updated slot scores `+∞` (it loses every comparison).
+    fn stored_score(&self, sample: u64, s: &IcwsSample) -> f64 {
+        if s.value == 0.0 {
+            return f64::INFINITY;
+        }
+        self.score_of(sample, s.index, s.value).0
+    }
+
+    /// The empty partial sketch of a vector whose Euclidean norm is announced to be
+    /// `reference_norm` — the starting point for streaming updates under the two-pass
+    /// (announced-norm) protocol, exactly as for Weighted MinHash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `reference_norm` is not positive
+    /// and finite.
+    pub fn empty_sketch_with_norm(&self, reference_norm: f64) -> Result<IcwsSketch, SketchError> {
+        if !(reference_norm > 0.0 && reference_norm.is_finite()) {
+            return Err(SketchError::InvalidParameter {
+                name: "reference_norm",
+                allowed: "positive and finite",
+            });
+        }
+        Ok(IcwsSketch {
+            seed: self.seed,
+            samples: vec![
+                IcwsSample {
+                    index: 0,
+                    token: 0,
+                    value: 0.0,
+                };
+                self.samples
+            ],
+            norm: reference_norm,
+        })
+    }
+
+    /// Sketches one partition of a vector under the announced-norm protocol
+    /// (`reference_norm` is the Euclidean norm of the *full* vector).  Unlike WMH no
+    /// discretization is involved, so merging partition sketches reproduces the
+    /// one-shot sketch bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `reference_norm` is not positive
+    /// and finite or is smaller than the partition's own norm.
+    pub fn sketch_partition(
+        &self,
+        vector: &SparseVector,
+        reference_norm: f64,
+    ) -> Result<IcwsSketch, SketchError> {
+        let mut partial = self.empty_sketch_with_norm(reference_norm)?;
+        if vector.norm() > reference_norm * (1.0 + 1e-9) {
+            return Err(SketchError::InvalidParameter {
+                name: "reference_norm",
+                allowed: "at least the partition's own Euclidean norm",
+            });
+        }
+        let normalized = vector.scaled(1.0 / reference_norm);
+        let mut best_scores = vec![f64::INFINITY; self.samples];
+        for (index, value) in normalized.iter() {
+            for (i, slot) in partial.samples.iter_mut().enumerate() {
+                let (score, token) = self.score_of(i as u64, index, value);
+                if score < best_scores[i] {
+                    best_scores[i] = score;
+                    *slot = IcwsSample {
+                        index,
+                        token,
+                        value,
+                    };
+                }
+            }
+        }
+        Ok(partial)
+    }
 }
 
 impl Sketcher for IcwsSketcher {
@@ -134,17 +225,12 @@ impl Sketcher for IcwsSketcher {
                 value: 0.0,
             };
             for (index, value) in normalized.iter() {
-                let weight = value * value;
-                let (r, c, beta) = self.variates(i as u64, index);
-                // Ioffe's ICWS: t = floor(ln S / r + β), y = exp(r (t − β)), score = c / (y e^r).
-                let t = (weight.ln() / r + beta).floor();
-                let y = (r * (t - beta)).exp();
-                let score = c / (y * r.exp());
+                let (score, token) = self.score_of(i as u64, index, value);
                 if score < best_score {
                     best_score = score;
                     best = IcwsSample {
                         index,
-                        token: t as i64,
+                        token,
                         value,
                     };
                 }
@@ -177,7 +263,10 @@ impl Sketcher for IcwsSketcher {
         let mut collisions = 0usize;
         let mut collision_sum = 0.0;
         for (sa, sb) in a.samples.iter().zip(&b.samples) {
-            if sa.index == sb.index && sa.token == sb.token {
+            // Real samples always carry a non-zero normalized value; a zero value is
+            // the sentinel of a never-updated slot in a streaming sketch and must not
+            // be counted as a collision.
+            if sa.index == sb.index && sa.token == sb.token && sa.value != 0.0 && sb.value != 0.0 {
                 collisions += 1;
                 let q = (sa.value * sa.value).min(sb.value * sb.value);
                 collision_sum += sa.value * sb.value / q;
@@ -190,6 +279,94 @@ impl Sketcher for IcwsSketcher {
 
     fn name(&self) -> &'static str {
         "ICWS"
+    }
+}
+
+impl MergeableSketcher for IcwsSketcher {
+    /// The trait-level empty sketch carries no announced norm (`norm == 0`); it is the
+    /// merge identity, but `update` rejects it — start ICWS streaming from
+    /// [`IcwsSketcher::empty_sketch_with_norm`].
+    fn empty_sketch(&self) -> IcwsSketch {
+        IcwsSketch {
+            seed: self.seed,
+            samples: vec![
+                IcwsSample {
+                    index: 0,
+                    token: 0,
+                    value: 0.0,
+                };
+                self.samples
+            ],
+            norm: 0.0,
+        }
+    }
+
+    /// Insertion update under the announced-norm protocol.  Each index must be
+    /// presented at most once (the score is derived from the full value at the index).
+    fn update(&self, sketch: &mut IcwsSketch, index: u64, delta: f64) -> Result<(), SketchError> {
+        if sketch.seed != self.seed || sketch.samples.len() != self.samples {
+            return Err(incompatible(
+                "ICWS sketch does not match this sketcher's seed/sample count",
+            ));
+        }
+        if !(sketch.norm > 0.0 && sketch.norm.is_finite()) {
+            return Err(SketchError::InvalidParameter {
+                name: "norm",
+                allowed: "> 0 — start ICWS streaming from `empty_sketch_with_norm` (announced-norm protocol)",
+            });
+        }
+        // Multiply by the reciprocal exactly as `SparseVector::scaled` does, so
+        // streamed values are bit-identical to one-shot normalization.
+        let value = delta * (1.0 / sketch.norm);
+        if value == 0.0 {
+            return Ok(());
+        }
+        for (i, slot) in sketch.samples.iter_mut().enumerate() {
+            let (score, token) = self.score_of(i as u64, index, value);
+            if score < self.stored_score(i as u64, slot) {
+                *slot = IcwsSample {
+                    index,
+                    token,
+                    value,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Min-merge over the ICWS samples: per slot, keep the sample with the smaller
+    /// score.  Scores are recomputed deterministically from the stored `(index,
+    /// value)`, so no extra state travels with the sketch and the serialized format is
+    /// unchanged.  Both sketches must share the announced norm; the no-norm empty
+    /// sketch is the identity.
+    fn merge(&self, a: &IcwsSketch, b: &IcwsSketch) -> Result<IcwsSketch, SketchError> {
+        for (label, sketch) in [("first", a), ("second", b)] {
+            if sketch.seed != self.seed || sketch.samples.len() != self.samples {
+                return Err(incompatible(format!(
+                    "{label} ICWS sketch does not match this sketcher's seed/sample count"
+                )));
+            }
+        }
+        if a.norm == 0.0 {
+            return Ok(b.clone());
+        }
+        if b.norm == 0.0 {
+            return Ok(a.clone());
+        }
+        if a.norm != b.norm {
+            return Err(incompatible(format!(
+                "ICWS partials were normalized by different announced norms ({} vs {}); \
+                 all partitions must share the full vector's norm",
+                a.norm, b.norm
+            )));
+        }
+        let mut merged = a.clone();
+        for (i, (slot, other)) in merged.samples.iter_mut().zip(&b.samples).enumerate() {
+            if self.stored_score(i as u64, other) < self.stored_score(i as u64, slot) {
+                *slot = *other;
+            }
+        }
+        Ok(merged)
     }
 }
 
@@ -340,5 +517,67 @@ mod tests {
             .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
             .is_err());
         assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn merged_partitions_are_bit_identical_to_one_shot() {
+        // No discretization is involved, so the announced-norm partition path must
+        // reproduce the one-shot sketch exactly.
+        let v =
+            SparseVector::from_pairs((0..90u64).map(|i| (i * 2, 1.0 + (i % 7) as f64))).unwrap();
+        let s = IcwsSketcher::new(64, 11).unwrap();
+        let norm = v.norm();
+        let pairs: Vec<(u64, f64)> = v.iter().collect();
+        let mut merged = s.empty_sketch();
+        for chunk in pairs.chunks(25) {
+            let part = SparseVector::from_pairs(chunk.iter().copied()).unwrap();
+            let partial = s.sketch_partition(&part, norm).unwrap();
+            merged = s.merge(&merged, &partial).unwrap();
+        }
+        assert_eq!(merged, s.sketch(&v).unwrap());
+    }
+
+    #[test]
+    fn update_stream_is_bit_identical_to_one_shot() {
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i * 5, (i as f64) - 17.0))).unwrap();
+        let s = IcwsSketcher::new(32, 7).unwrap();
+        let mut streamed = s.empty_sketch_with_norm(v.norm()).unwrap();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        assert_eq!(streamed, s.sketch(&v).unwrap());
+    }
+
+    #[test]
+    fn empty_sketches_estimate_zero_against_real_sketches() {
+        // Sentinel slots must not register as collisions.
+        let s = IcwsSketcher::new(16, 3).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        let empty = s.empty_sketch();
+        let est = s.estimate_inner_product(&empty, &sk).unwrap();
+        assert_eq!(est, 0.0);
+        assert_eq!(s.estimate_inner_product(&empty, &empty).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_update_reject_mismatches() {
+        let s = IcwsSketcher::new(8, 1).unwrap();
+        let v = SparseVector::from_pairs([(0, 3.0), (1, 4.0)]).unwrap(); // norm 5
+        let a = s.sketch_partition(&v, 10.0).unwrap();
+        let b = s.sketch_partition(&v, 20.0).unwrap();
+        assert!(s.merge(&a, &b).is_err());
+        assert_eq!(s.merge(&s.empty_sketch(), &a).unwrap(), a);
+        let mut no_norm = s.empty_sketch();
+        assert!(matches!(
+            s.update(&mut no_norm, 0, 1.0),
+            Err(SketchError::InvalidParameter { name: "norm", .. })
+        ));
+        assert!(s.sketch_partition(&v, 1.0).is_err());
+        assert!(s.empty_sketch_with_norm(-1.0).is_err());
+        let other = IcwsSketcher::new(8, 2).unwrap();
+        assert!(other.merge(&a, &a).is_err());
+        let mut foreign = other.empty_sketch();
+        assert!(s.update(&mut foreign, 0, 1.0).is_err());
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::error::{incompatible, SketchError};
 use crate::storage::linear_sketch_doubles;
-use crate::traits::{Sketch, Sketcher};
+use crate::traits::{MergeableSketcher, Sketch, Sketcher};
 use ipsketch_hash::sign::SignHasher;
 use ipsketch_vector::SparseVector;
 
@@ -117,6 +117,46 @@ impl Sketcher for JlSketcher {
 
     fn name(&self) -> &'static str {
         "JL"
+    }
+}
+
+impl MergeableSketcher for JlSketcher {
+    fn empty_sketch(&self) -> JlSketch {
+        JlSketch {
+            seed: self.seed,
+            rows: vec![0.0; self.rows],
+        }
+    }
+
+    /// Turnstile update: `Π(a + δ·e_index) = Πa + δ·Π e_index`, so each row gains
+    /// `sign(r, index) · δ / √m`.
+    fn update(&self, sketch: &mut JlSketch, index: u64, delta: f64) -> Result<(), SketchError> {
+        if sketch.seed != self.seed || sketch.rows.len() != self.rows {
+            return Err(incompatible(
+                "JL sketch does not match this sketcher's seed/row count",
+            ));
+        }
+        let signs = SignHasher::from_seed(self.seed);
+        let scale = 1.0 / (self.rows as f64).sqrt();
+        for (r, row) in sketch.rows.iter_mut().enumerate() {
+            *row += signs.sign(r as u64, index) * delta * scale;
+        }
+        Ok(())
+    }
+
+    /// Addition-merge: the sketch is linear, so `Π(a + b) = Πa + Πb`.
+    fn merge(&self, a: &JlSketch, b: &JlSketch) -> Result<JlSketch, SketchError> {
+        for (label, sketch) in [("first", a), ("second", b)] {
+            if sketch.seed != self.seed || sketch.rows.len() != self.rows {
+                return Err(incompatible(format!(
+                    "{label} JL sketch does not match this sketcher's seed/row count"
+                )));
+            }
+        }
+        Ok(JlSketch {
+            seed: self.seed,
+            rows: a.rows.iter().zip(&b.rows).map(|(x, y)| x + y).collect(),
+        })
     }
 }
 
@@ -244,5 +284,67 @@ mod tests {
         assert!(s1.estimate_inner_product(&a, &b).is_err());
         assert!(s1.estimate_inner_product(&a, &c).is_err());
         assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_is_the_merge_identity() {
+        let s = JlSketcher::new(16, 3).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (9, -2.5)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        let merged = s.merge(&sk, &s.empty_sketch()).unwrap();
+        assert_eq!(merged, sk);
+        assert!(s.empty_sketch().rows().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn update_stream_matches_one_shot_sketch() {
+        let s = JlSketcher::new(32, 5).unwrap();
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i * 2, (i as f64) - 17.5))).unwrap();
+        let mut streamed = s.empty_sketch();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        let one_shot = s.sketch(&v).unwrap();
+        for (x, y) in streamed.rows().iter().zip(one_shot.rows()) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn turnstile_updates_cancel() {
+        // Insert then delete the same coordinate: the sketch returns to zero.
+        let s = JlSketcher::new(16, 7).unwrap();
+        let mut sk = s.empty_sketch();
+        s.update(&mut sk, 42, 3.0).unwrap();
+        s.update(&mut sk, 42, -3.0).unwrap();
+        assert!(sk.rows().iter().all(|&r| r.abs() < 1e-12));
+    }
+
+    #[test]
+    fn merge_of_disjoint_chunks_matches_one_shot() {
+        let s = JlSketcher::new(32, 11).unwrap();
+        let a = SparseVector::from_pairs((0..30u64).map(|i| (i, 1.0 + (i % 3) as f64))).unwrap();
+        let b = SparseVector::from_pairs((30..60u64).map(|i| (i, 2.0 - (i % 2) as f64))).unwrap();
+        let whole = SparseVector::from_pairs(a.iter().chain(b.iter())).unwrap();
+        let merged = s
+            .merge(&s.sketch(&a).unwrap(), &s.sketch(&b).unwrap())
+            .unwrap();
+        let one_shot = s.sketch(&whole).unwrap();
+        for (x, y) in merged.rows().iter().zip(one_shot.rows()) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn merge_and_update_reject_mismatched_sketches() {
+        let s1 = JlSketcher::new(16, 1).unwrap();
+        let s2 = JlSketcher::new(16, 2).unwrap();
+        let s3 = JlSketcher::new(8, 1).unwrap();
+        let mut wrong_seed = s2.empty_sketch();
+        let mut wrong_rows = s3.empty_sketch();
+        assert!(s1.update(&mut wrong_seed, 0, 1.0).is_err());
+        assert!(s1.update(&mut wrong_rows, 0, 1.0).is_err());
+        assert!(s1.merge(&s1.empty_sketch(), &s2.empty_sketch()).is_err());
+        assert!(s1.merge(&s3.empty_sketch(), &s1.empty_sketch()).is_err());
     }
 }

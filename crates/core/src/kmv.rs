@@ -10,10 +10,13 @@
 
 use crate::error::{incompatible, SketchError};
 use crate::storage::sampling_sketch_doubles;
-use crate::traits::{Sketch, Sketcher};
+use crate::traits::{MergeableSketcher, Sketch, Sketcher};
 use crate::union::union_size_from_kth_minimum;
 use ipsketch_hash::unit::{UnitHasher, Wegman61UnitHasher};
 use ipsketch_vector::{SparseVector, VectorError};
+
+/// Seed-mixing constant separating the KMV hash stream from other users of the seed.
+const KMV_SEED_SALT: u64 = 0x6B_6D76;
 
 /// One retained sample of a KMV sketch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +104,7 @@ impl Sketcher for KmvSketcher {
         if vector.is_empty() {
             return Err(SketchError::Vector(VectorError::ZeroVector));
         }
-        let hasher = Wegman61UnitHasher::from_seed(self.seed ^ 0x6B_6D76);
+        let hasher = Wegman61UnitHasher::from_seed(self.seed ^ KMV_SEED_SALT);
         let mut entries: Vec<KmvEntry> = vector
             .iter()
             .map(|(index, value)| KmvEntry {
@@ -182,9 +185,17 @@ impl Sketcher for KmvSketcher {
         if distinct == 0 {
             return Err(SketchError::EmptySketch);
         }
-        if distinct == 1 {
-            // A single retained hash cannot support the (K−1)/τ estimator; treat the
-            // union as a single element.
+        if distinct < k {
+            // Under-filled sketches: fewer than `k` distinct hashes exist in the union,
+            // which can only happen when *both* sketches retained their entire support
+            // (a sketch at capacity alone contributes `k` hashes).  The sketches are
+            // then exhaustive samples — every support element and every intersection
+            // match has been enumerated — so `match_sum` IS the inner product over the
+            // hashed supports, exactly.  The (K−1)/τ order-statistic estimator does not
+            // apply here (τ is the maximum of a complete sample, not a k-th order
+            // statistic of a larger population) and feeding it small unions produces
+            // wildly biased estimates; returning the exact sum is both well defined and
+            // strictly better.
             return Ok(match_sum);
         }
         let union_estimate = union_size_from_kth_minimum(distinct, tau)?;
@@ -193,6 +204,94 @@ impl Sketcher for KmvSketcher {
 
     fn name(&self) -> &'static str {
         "KMV"
+    }
+}
+
+impl KmvSketcher {
+    /// Validates that a sketch was produced by this sketcher's configuration.
+    fn check_own(&self, label: &str, sketch: &KmvSketch) -> Result<(), SketchError> {
+        if sketch.seed != self.seed || sketch.capacity != self.capacity {
+            return Err(incompatible(format!(
+                "{label} KMV sketch does not match this sketcher's seed/capacity"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl MergeableSketcher for KmvSketcher {
+    fn empty_sketch(&self) -> KmvSketch {
+        KmvSketch {
+            seed: self.seed,
+            capacity: self.capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insertion update: hash the index and insert it among the `k` smallest, keeping
+    /// the entry list sorted.  Re-inserting an index accumulates its delta (the hash is
+    /// already present), matching one-shot sketching of the summed vector.  Deletions
+    /// are not supported — evicted entries cannot be recovered.
+    fn update(&self, sketch: &mut KmvSketch, index: u64, delta: f64) -> Result<(), SketchError> {
+        self.check_own("updated", sketch)?;
+        let hash = Wegman61UnitHasher::from_seed(self.seed ^ KMV_SEED_SALT).hash_unit(index);
+        match sketch
+            .entries
+            .binary_search_by(|e| e.hash.partial_cmp(&hash).expect("hashes are finite"))
+        {
+            Ok(pos) => sketch.entries[pos].value += delta,
+            Err(pos) => {
+                if pos < self.capacity {
+                    sketch.entries.insert(pos, KmvEntry { hash, value: delta });
+                    sketch.entries.truncate(self.capacity);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Min-merge: keep the `k` smallest hashes of the union of the two entry lists,
+    /// summing values where the same hash (same index) appears on both sides.
+    fn merge(&self, a: &KmvSketch, b: &KmvSketch) -> Result<KmvSketch, SketchError> {
+        self.check_own("first", a)?;
+        self.check_own("second", b)?;
+        let mut entries =
+            Vec::with_capacity((a.entries.len() + b.entries.len()).min(self.capacity));
+        let (mut ia, mut ib) = (0, 0);
+        while entries.len() < self.capacity && (ia < a.entries.len() || ib < b.entries.len()) {
+            match (a.entries.get(ia), b.entries.get(ib)) {
+                (Some(&x), Some(&y)) if x.hash == y.hash => {
+                    entries.push(KmvEntry {
+                        hash: x.hash,
+                        value: x.value + y.value,
+                    });
+                    ia += 1;
+                    ib += 1;
+                }
+                (Some(&x), Some(&y)) if x.hash < y.hash => {
+                    entries.push(x);
+                    ia += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    entries.push(y);
+                    ib += 1;
+                }
+                (Some(&x), None) => {
+                    entries.push(x);
+                    ia += 1;
+                }
+                (None, Some(&y)) => {
+                    entries.push(y);
+                    ib += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        Ok(KmvSketch {
+            seed: self.seed,
+            capacity: self.capacity,
+            entries,
+        })
     }
 }
 
@@ -309,6 +408,89 @@ mod tests {
             .estimate_inner_product(&a, &s3.sketch(&v).unwrap())
             .is_err());
         assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn under_filled_sketches_estimate_exactly() {
+        // Both sketches retain their whole (tiny) supports, so the estimator has
+        // enumerated the union exhaustively and must return the exact inner product —
+        // not a noisy (K−1)/τ extrapolation from a handful of order statistics.
+        let s = KmvSketcher::new(64, 9).unwrap();
+        let a_vec = SparseVector::from_pairs([(1, 2.0), (5, 3.0), (9, -1.0)]).unwrap();
+        let b_vec = SparseVector::from_pairs([(5, 4.0), (9, 2.0), (20, 7.0)]).unwrap();
+        let a = s.sketch(&a_vec).unwrap();
+        let b = s.sketch(&b_vec).unwrap();
+        let exact = inner_product(&a_vec, &b_vec); // 3·4 + (−1)·2 = 10
+        assert_eq!(s.estimate_inner_product(&a, &b).unwrap(), exact);
+    }
+
+    #[test]
+    fn disjoint_under_filled_sketches_estimate_zero_not_error() {
+        // The degenerate case from the issue: tiny disjoint supports used to reach the
+        // order-statistic estimator and could surface opaque parameter errors; they now
+        // take the exhaustive path and report an exact empty intersection.
+        let s = KmvSketcher::new(64, 3).unwrap();
+        let a = s.sketch(&SparseVector::indicator(0..5u64)).unwrap();
+        let b = s.sketch(&SparseVector::indicator(100..103u64)).unwrap();
+        assert_eq!(s.estimate_inner_product(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn update_stream_is_bit_identical_to_one_shot() {
+        let s = KmvSketcher::new(16, 9).unwrap();
+        let v = SparseVector::from_pairs((0..60u64).map(|i| (i * 3, (i as f64) - 25.0))).unwrap();
+        let mut streamed = s.empty_sketch();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        assert_eq!(streamed, s.sketch(&v).unwrap());
+        // Re-inserting an index accumulates its value.
+        let mut twice = s.empty_sketch();
+        s.update(&mut twice, 3, 1.0).unwrap();
+        s.update(&mut twice, 3, 2.0).unwrap();
+        assert_eq!(
+            twice,
+            s.sketch(&SparseVector::from_pairs([(3, 3.0)]).unwrap())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_of_disjoint_chunks_is_bit_identical_to_one_shot() {
+        let s = KmvSketcher::new(24, 13).unwrap();
+        let a = SparseVector::from_pairs((0..50u64).map(|i| (i, 1.0 + (i % 4) as f64))).unwrap();
+        let b = SparseVector::from_pairs((50..100u64).map(|i| (i, 2.0 - (i % 3) as f64))).unwrap();
+        let whole = SparseVector::from_pairs(a.iter().chain(b.iter())).unwrap();
+        let merged = s
+            .merge(&s.sketch(&a).unwrap(), &s.sketch(&b).unwrap())
+            .unwrap();
+        assert_eq!(merged, s.sketch(&whole).unwrap());
+        // The empty sketch is the merge identity.
+        let one_shot = s.sketch(&whole).unwrap();
+        assert_eq!(s.merge(&s.empty_sketch(), &one_shot).unwrap(), one_shot);
+    }
+
+    #[test]
+    fn merge_sums_values_for_shared_indices() {
+        let s = KmvSketcher::new(16, 7).unwrap();
+        let a = SparseVector::from_pairs([(1, 2.0), (2, 1.0)]).unwrap();
+        let b = SparseVector::from_pairs([(2, 3.0), (3, 4.0)]).unwrap();
+        let sum = SparseVector::from_pairs([(1, 2.0), (2, 4.0), (3, 4.0)]).unwrap();
+        let merged = s
+            .merge(&s.sketch(&a).unwrap(), &s.sketch(&b).unwrap())
+            .unwrap();
+        assert_eq!(merged, s.sketch(&sum).unwrap());
+    }
+
+    #[test]
+    fn merge_and_update_reject_mismatched_sketches() {
+        let s1 = KmvSketcher::new(16, 1).unwrap();
+        let s2 = KmvSketcher::new(16, 2).unwrap();
+        let s3 = KmvSketcher::new(8, 1).unwrap();
+        let mut foreign = s2.empty_sketch();
+        assert!(s1.update(&mut foreign, 0, 1.0).is_err());
+        assert!(s1.merge(&s1.empty_sketch(), &s2.empty_sketch()).is_err());
+        assert!(s1.merge(&s3.empty_sketch(), &s1.empty_sketch()).is_err());
     }
 
     #[test]

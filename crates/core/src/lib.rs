@@ -61,4 +61,4 @@ pub mod wmh;
 
 pub use error::SketchError;
 pub use method::{AnySketch, AnySketcher, SketchMethod};
-pub use traits::{Sketch, Sketcher};
+pub use traits::{MergeableSketcher, Sketch, Sketcher};

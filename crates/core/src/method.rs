@@ -14,7 +14,7 @@ use crate::kmv::{KmvSketch, KmvSketcher};
 use crate::minhash::{MinHashSketch, MinHasher};
 use crate::simhash::{SimHashSketch, SimHashSketcher};
 use crate::storage;
-use crate::traits::{Sketch, Sketcher};
+use crate::traits::{MergeableSketcher, Sketch, Sketcher};
 use crate::wmh::{WeightedMinHashSketch, WeightedMinHasher};
 use ipsketch_vector::SparseVector;
 
@@ -226,6 +226,108 @@ impl AnySketcher {
         })
     }
 
+    /// Combines two sketches of this sketcher's method into the sketch of the sum of
+    /// their vectors (see [`MergeableSketcher`] for the per-family semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] when the sketch types do not match
+    /// the method or were built with a different configuration, and for SimHash, which
+    /// quantizes to single bits and cannot be merged.
+    pub fn merge_sketches(&self, a: &AnySketch, b: &AnySketch) -> Result<AnySketch, SketchError> {
+        match (self, a, b) {
+            (AnySketcher::Jl(s), AnySketch::Jl(x), AnySketch::Jl(y)) => {
+                Ok(AnySketch::Jl(s.merge(x, y)?))
+            }
+            (AnySketcher::CountSketch(s), AnySketch::CountSketch(x), AnySketch::CountSketch(y)) => {
+                Ok(AnySketch::CountSketch(s.merge(x, y)?))
+            }
+            (AnySketcher::MinHash(s), AnySketch::MinHash(x), AnySketch::MinHash(y)) => {
+                Ok(AnySketch::MinHash(s.merge(x, y)?))
+            }
+            (AnySketcher::Kmv(s), AnySketch::Kmv(x), AnySketch::Kmv(y)) => {
+                Ok(AnySketch::Kmv(s.merge(x, y)?))
+            }
+            (
+                AnySketcher::WeightedMinHash(s),
+                AnySketch::WeightedMinHash(x),
+                AnySketch::WeightedMinHash(y),
+            ) => Ok(AnySketch::WeightedMinHash(s.merge(x, y)?)),
+            (AnySketcher::Icws(s), AnySketch::Icws(x), AnySketch::Icws(y)) => {
+                Ok(AnySketch::Icws(s.merge(x, y)?))
+            }
+            (AnySketcher::SimHash(_), _, _) => Err(incompatible(
+                "SimHash sketches quantize to single bits and cannot be merged",
+            )),
+            _ => Err(incompatible(
+                "sketch types do not match this sketcher's method",
+            )),
+        }
+    }
+
+    /// Sketches `vector` by splitting its support into `partitions` contiguous chunks,
+    /// sketching each chunk independently, and merging — the distributed-sketching path
+    /// exercised end to end by `ipsketch-join`.
+    ///
+    /// For the normalized samplers (WMH, ICWS) the full vector's norm is computed first
+    /// and announced to every chunk (the two-pass protocol); in a genuinely distributed
+    /// setting that first pass is a cheap shard-local `Σv²` reduction.  The result is
+    /// bit-identical to one-shot sketching for MinHash, KMV and ICWS, identical up to
+    /// floating-point addition order for JL and CountSketch, and estimate-equivalent
+    /// (identical up to the Algorithm-4 mass absorption) for WMH.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `partitions == 0`, the sketching
+    /// errors of [`Sketcher::sketch`], and [`SketchError::IncompatibleSketches`] for
+    /// SimHash (not mergeable).
+    pub fn sketch_chunked(
+        &self,
+        vector: &SparseVector,
+        partitions: usize,
+    ) -> Result<AnySketch, SketchError> {
+        if partitions == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "partitions",
+                allowed: ">= 1",
+            });
+        }
+        if matches!(self, AnySketcher::SimHash(_)) {
+            return Err(incompatible(
+                "SimHash sketches quantize to single bits and cannot be merged",
+            ));
+        }
+        // Degenerate inputs take the one-shot path: either nothing to split, or the
+        // method's own empty-vector handling should apply unchanged.
+        if partitions == 1 || vector.nnz() <= 1 {
+            return self.sketch(vector);
+        }
+        let pairs: Vec<(u64, f64)> = vector.iter().collect();
+        let chunk_len = pairs.len().div_ceil(partitions);
+        // Only the normalized samplers need the announced norm; skip the extra pass
+        // over the vector for everyone else.
+        let norm = match self {
+            AnySketcher::WeightedMinHash(_) | AnySketcher::Icws(_) => vector.norm(),
+            _ => 0.0,
+        };
+        let mut merged: Option<AnySketch> = None;
+        for chunk in pairs.chunks(chunk_len) {
+            let part = SparseVector::from_pairs(chunk.iter().copied())?;
+            let sketch = match self {
+                AnySketcher::WeightedMinHash(s) => {
+                    AnySketch::WeightedMinHash(s.sketch_partition(&part, norm)?)
+                }
+                AnySketcher::Icws(s) => AnySketch::Icws(s.sketch_partition(&part, norm)?),
+                other => other.sketch(&part)?,
+            };
+            merged = Some(match merged {
+                None => sketch,
+                Some(acc) => self.merge_sketches(&acc, &sketch)?,
+            });
+        }
+        merged.map_or_else(|| self.sketch(vector), Ok)
+    }
+
     /// The method of this sketcher.
     #[must_use]
     pub fn method(&self) -> SketchMethod {
@@ -379,6 +481,60 @@ mod tests {
             jl.estimate_inner_product(&sa, &sb),
             Err(SketchError::IncompatibleSketches { .. })
         ));
+    }
+
+    #[test]
+    fn chunked_sketching_matches_one_shot_for_every_mergeable_method() {
+        let (a, b) = vectors();
+        let exact_scale = a.norm() * b.norm();
+        for method in [
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+            SketchMethod::MinHash,
+            SketchMethod::Kmv,
+            SketchMethod::WeightedMinHash,
+            SketchMethod::Icws,
+        ] {
+            let sketcher = AnySketcher::for_budget(method, 300.0, 7).unwrap();
+            for partitions in [1, 3, 8] {
+                let ca = sketcher.sketch_chunked(&a, partitions).unwrap();
+                let cb = sketcher.sketch_chunked(&b, partitions).unwrap();
+                let one_a = sketcher.sketch(&a).unwrap();
+                let one_b = sketcher.sketch(&b).unwrap();
+                if matches!(
+                    method,
+                    SketchMethod::MinHash | SketchMethod::Kmv | SketchMethod::Icws
+                ) {
+                    assert_eq!(ca, one_a, "{method:?}/{partitions}");
+                }
+                let est_chunked = sketcher.estimate_inner_product(&ca, &cb).unwrap();
+                let est_one = sketcher.estimate_inner_product(&one_a, &one_b).unwrap();
+                let tolerance = match method {
+                    // WMH partials floor every grid count; one-shot absorbs lost mass
+                    // at the max entry, so estimates agree only up to that rounding.
+                    SketchMethod::WeightedMinHash => 0.05 * exact_scale,
+                    _ => 1e-6 * (1.0 + est_one.abs()),
+                };
+                assert!(
+                    (est_chunked - est_one).abs() <= tolerance,
+                    "{method:?}/{partitions}: chunked {est_chunked} vs one-shot {est_one}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sketches_rejects_simhash_and_mixed_types() {
+        let (a, b) = vectors();
+        let simhash = AnySketcher::for_budget(SketchMethod::SimHash, 100.0, 1).unwrap();
+        let sa = simhash.sketch(&a).unwrap();
+        let sb = simhash.sketch(&b).unwrap();
+        assert!(simhash.merge_sketches(&sa, &sb).is_err());
+        assert!(simhash.sketch_chunked(&a, 4).is_err());
+        let jl = AnySketcher::for_budget(SketchMethod::Jl, 100.0, 1).unwrap();
+        let ja = jl.sketch(&a).unwrap();
+        assert!(jl.merge_sketches(&ja, &sa).is_err());
+        assert!(jl.sketch_chunked(&a, 0).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::error::{incompatible, SketchError};
 use crate::storage::sampling_sketch_doubles;
-use crate::traits::{Sketch, Sketcher};
+use crate::traits::{MergeableSketcher, Sketch, Sketcher};
 use crate::union::union_size_from_minima;
 use ipsketch_hash::family::{HashFamily, HashFamilyKind, UnitHashFamily};
 use ipsketch_hash::unit::UnitHasher;
@@ -168,6 +168,12 @@ impl Sketcher for MinHasher {
         b: &MinHashSketch,
     ) -> Result<f64, SketchError> {
         check_compatible(&self.params, a, b)?;
+        // A sketch with an infinite minimum is a streaming sketch that never saw an
+        // index — not the sketch of any vector (one-shot sketching rejects the empty
+        // vector) — so refuse loudly rather than estimating from it.
+        if a.hashes.iter().chain(&b.hashes).any(|h| !h.is_finite()) {
+            return Err(SketchError::EmptySketch);
+        }
         let m = a.hashes.len();
         let minima: Vec<f64> = a
             .hashes
@@ -187,6 +193,74 @@ impl Sketcher for MinHasher {
 
     fn name(&self) -> &'static str {
         "MH"
+    }
+}
+
+impl MergeableSketcher for MinHasher {
+    /// The empty sketch: no index has been seen, so every per-sample minimum is `+∞`.
+    /// Estimating from a still-empty sketch fails (the minima are outside `[0, 1]`),
+    /// which is the correct behavior for a sketch of nothing.
+    fn empty_sketch(&self) -> MinHashSketch {
+        MinHashSketch {
+            params: self.params,
+            hashes: vec![f64::INFINITY; self.params.samples],
+            values: vec![0.0; self.params.samples],
+        }
+    }
+
+    /// Insertion update: for each hash function, keep the minimum of the current record
+    /// and `h_i(index)`.  When `index` is already the minimizer (`h_i(index)` equals
+    /// the stored minimum), the delta accumulates, so repeated insertions of the same
+    /// index sum to the vector's final value exactly as in one-shot sketching.
+    /// Deletions are not supported — a minimum cannot be untaken.
+    fn update(
+        &self,
+        sketch: &mut MinHashSketch,
+        index: u64,
+        delta: f64,
+    ) -> Result<(), SketchError> {
+        if sketch.params != self.params {
+            return Err(incompatible(
+                "MinHash sketch was built with different parameters",
+            ));
+        }
+        for i in 0..self.params.samples {
+            let h = self.family.member(i).hash_unit(index);
+            if h < sketch.hashes[i] {
+                sketch.hashes[i] = h;
+                sketch.values[i] = delta;
+            } else if h == sketch.hashes[i] {
+                sketch.values[i] += delta;
+            }
+        }
+        Ok(())
+    }
+
+    /// Min-merge: per sample, keep the smaller minimum.  Equal minima mean both sides
+    /// saw the same index (up to hash collisions), so the values are summed — the value
+    /// of the merged vector at that index.
+    fn merge(&self, a: &MinHashSketch, b: &MinHashSketch) -> Result<MinHashSketch, SketchError> {
+        check_compatible(&self.params, a, b)?;
+        let m = self.params.samples;
+        let mut hashes = Vec::with_capacity(m);
+        let mut values = Vec::with_capacity(m);
+        for i in 0..m {
+            if a.hashes[i] < b.hashes[i] {
+                hashes.push(a.hashes[i]);
+                values.push(a.values[i]);
+            } else if b.hashes[i] < a.hashes[i] {
+                hashes.push(b.hashes[i]);
+                values.push(b.values[i]);
+            } else {
+                hashes.push(a.hashes[i]);
+                values.push(a.values[i] + b.values[i]);
+            }
+        }
+        Ok(MinHashSketch {
+            params: self.params,
+            hashes,
+            values,
+        })
     }
 }
 
@@ -379,6 +453,82 @@ mod tests {
         ));
         // Compatible sketches are accepted.
         assert!(s1.estimate_inner_product(&a, &a).is_ok());
+    }
+
+    #[test]
+    fn update_stream_is_bit_identical_to_one_shot() {
+        let s = MinHasher::new(64, 9).unwrap();
+        let v =
+            SparseVector::from_pairs((0..50u64).map(|i| (i * 7, (i % 5) as f64 + 0.5))).unwrap();
+        let mut streamed = s.empty_sketch();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        assert_eq!(streamed, s.sketch(&v).unwrap());
+    }
+
+    #[test]
+    fn repeated_insertions_of_one_index_accumulate() {
+        let s = MinHasher::new(32, 3).unwrap();
+        let mut streamed = s.empty_sketch();
+        s.update(&mut streamed, 5, 1.0).unwrap();
+        s.update(&mut streamed, 9, 2.0).unwrap();
+        s.update(&mut streamed, 5, 0.5).unwrap();
+        let v = SparseVector::from_pairs([(5, 1.5), (9, 2.0)]).unwrap();
+        assert_eq!(streamed, s.sketch(&v).unwrap());
+    }
+
+    #[test]
+    fn merge_of_disjoint_chunks_is_bit_identical_to_one_shot() {
+        let s = MinHasher::new(64, 17).unwrap();
+        let a = binary_vector(0..40);
+        let b = SparseVector::from_pairs((40..80u64).map(|i| (i, (i % 3) as f64 + 1.0))).unwrap();
+        let whole = SparseVector::from_pairs(a.iter().chain(b.iter())).unwrap();
+        let merged = s
+            .merge(&s.sketch(&a).unwrap(), &s.sketch(&b).unwrap())
+            .unwrap();
+        assert_eq!(merged, s.sketch(&whole).unwrap());
+    }
+
+    #[test]
+    fn merge_of_overlapping_supports_sums_shared_values() {
+        // The same key on both shards: the merged sketch is the sketch of the summed
+        // vector (the row-partitioned-table model).
+        let s = MinHasher::new(128, 23).unwrap();
+        let a = SparseVector::from_pairs([(1, 2.0), (2, 1.0)]).unwrap();
+        let b = SparseVector::from_pairs([(2, 3.0), (3, 4.0)]).unwrap();
+        let sum = SparseVector::from_pairs([(1, 2.0), (2, 4.0), (3, 4.0)]).unwrap();
+        let merged = s
+            .merge(&s.sketch(&a).unwrap(), &s.sketch(&b).unwrap())
+            .unwrap();
+        assert_eq!(merged, s.sketch(&sum).unwrap());
+    }
+
+    #[test]
+    fn empty_sketch_is_the_merge_identity_and_refuses_to_estimate() {
+        let s = MinHasher::new(16, 5).unwrap();
+        let sk = s.sketch(&binary_vector(0..10)).unwrap();
+        assert_eq!(s.merge(&s.empty_sketch(), &sk).unwrap(), sk);
+        // A never-updated streaming sketch is not the sketch of any vector (one-shot
+        // sketching rejects the empty vector), so estimating from it errors clearly —
+        // matching KMV's EmptySketch behavior — from either side.
+        assert!(matches!(
+            s.estimate_inner_product(&s.empty_sketch(), &sk),
+            Err(SketchError::EmptySketch)
+        ));
+        assert!(matches!(
+            s.estimate_inner_product(&sk, &s.empty_sketch()),
+            Err(SketchError::EmptySketch)
+        ));
+    }
+
+    #[test]
+    fn merge_and_update_reject_mismatched_sketches() {
+        let s1 = MinHasher::new(16, 1).unwrap();
+        let s2 = MinHasher::new(16, 2).unwrap();
+        let mut foreign = s2.empty_sketch();
+        assert!(s1.update(&mut foreign, 0, 1.0).is_err());
+        assert!(s1.merge(&s1.empty_sketch(), &s2.empty_sketch()).is_err());
     }
 
     #[test]

@@ -21,6 +21,13 @@ use ipsketch_hash::family::HashFamilyKind;
 /// Magic number identifying an `ipsketch` binary sketch.
 const MAGIC: u32 = 0x4950_534B; // "IPSK"
 /// Current format version.
+///
+/// Version 1 already round-trips every piece of merge state the mergeable sketchers
+/// need: the announced norm of WMH/ICWS partials travels in the existing `norm` field,
+/// streaming MinHash/WMH partials encode their unset slots as IEEE `+∞` hashes (which
+/// `f64` serialization preserves exactly), ICWS merge scores are recomputed from the
+/// stored samples, and KMV/JL/CountSketch carry no extra state at all — so introducing
+/// merge support required no wire-format change and no version bump.
 const VERSION: u8 = 1;
 
 /// Type tags.
@@ -459,6 +466,69 @@ mod tests {
         let sk = s.sketch(&sample_vector()).unwrap();
         let decoded = IcwsSketch::from_bytes(&sk.to_bytes()).unwrap();
         assert_eq!(sk, decoded);
+    }
+
+    #[test]
+    fn merged_and_partial_sketches_round_trip() {
+        use crate::traits::MergeableSketcher;
+        let v = sample_vector();
+        let pairs: Vec<(u64, f64)> = v.iter().collect();
+        let (left, right) = pairs.split_at(pairs.len() / 2);
+        let chunk_a = SparseVector::from_pairs(left.iter().copied()).unwrap();
+        let chunk_b = SparseVector::from_pairs(right.iter().copied()).unwrap();
+
+        // A streaming MinHash partial mid-build: unset slots are +∞ hashes, which the
+        // fixed-width f64 encoding preserves bit-exactly.
+        let mh = MinHasher::new(16, 7).unwrap();
+        let mut partial = mh.empty_sketch();
+        mh.update(&mut partial, 3, 2.0).unwrap();
+        assert_eq!(
+            MinHashSketch::from_bytes(&partial.to_bytes()).unwrap(),
+            partial
+        );
+        let never_updated = mh.empty_sketch();
+        assert_eq!(
+            MinHashSketch::from_bytes(&never_updated.to_bytes()).unwrap(),
+            never_updated
+        );
+
+        // Merged sketches of every mergeable method survive a round trip and remain
+        // usable (and, for the sampling methods, equal to their merge inputs rebuilt).
+        let kmv = KmvSketcher::new(20, 9).unwrap();
+        let merged_kmv = kmv
+            .merge(
+                &kmv.sketch(&chunk_a).unwrap(),
+                &kmv.sketch(&chunk_b).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(
+            KmvSketch::from_bytes(&merged_kmv.to_bytes()).unwrap(),
+            merged_kmv
+        );
+
+        // WMH/ICWS partials carry their announced norm in the existing norm field.
+        let wmh = WeightedMinHasher::new(16, 7, 1 << 12).unwrap();
+        let norm = v.norm();
+        let wmh_partial = wmh.sketch_partition(&chunk_a, norm).unwrap();
+        let decoded = WeightedMinHashSketch::from_bytes(&wmh_partial.to_bytes()).unwrap();
+        assert_eq!(decoded, wmh_partial);
+        assert_eq!(decoded.norm(), norm);
+        // The decoded partial still merges with a live partial.
+        let merged = wmh
+            .merge(&decoded, &wmh.sketch_partition(&chunk_b, norm).unwrap())
+            .unwrap();
+        assert_eq!(merged.norm(), norm);
+
+        let icws = IcwsSketcher::new(12, 5).unwrap();
+        let icws_merged = icws
+            .merge(
+                &icws.sketch_partition(&chunk_a, norm).unwrap(),
+                &icws.sketch_partition(&chunk_b, norm).unwrap(),
+            )
+            .unwrap();
+        let icws_decoded = IcwsSketch::from_bytes(&icws_merged.to_bytes()).unwrap();
+        assert_eq!(icws_decoded, icws_merged);
+        assert_eq!(icws_decoded, icws.sketch(&v).unwrap());
     }
 
     #[test]

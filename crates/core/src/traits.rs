@@ -57,6 +57,71 @@ pub trait Sketcher {
     fn name(&self) -> &'static str;
 }
 
+/// A sketching method whose sketches can be built incrementally and combined.
+///
+/// This is the distributed-sketching extension: instead of consuming a complete
+/// [`SparseVector`] in one shot, a mergeable sketcher can start from the sketch of the
+/// all-zero vector ([`empty_sketch`](Self::empty_sketch)), fold in one coordinate at a
+/// time ([`update`](Self::update)), and combine sketches built independently — for
+/// example on different shards of a row-partitioned table — into the sketch of the
+/// whole vector ([`merge`](Self::merge)).
+///
+/// # Semantics per method family
+///
+/// * **Linear sketches (JL, CountSketch).** The sketch is a linear map, so `update` is
+///   a full turnstile update (`a[index] += delta`, any sign, any number of times) and
+///   `merge` is coordinate-wise addition.  `merge(sketch(a), sketch(b)) == sketch(a+b)`
+///   up to floating-point associativity.
+/// * **Min-sketches (MinHash, KMV).** `update` supports *insertion streams*: the
+///   sketched vector's value at `index` is the sum of all deltas passed for it, and
+///   deletions (updates that drive a previously-inserted value back to zero) are not
+///   representable — a minimum, once taken, cannot be untaken.  `merge` takes
+///   per-sample minima (per-entry k-smallest for KMV); when the same index appears on
+///   both sides its hash collides and the values are summed, so merging sketches of
+///   vectors with overlapping supports estimates the sketch of the *sum*, exactly as
+///   row-partitioned tables require.
+/// * **Normalized samplers (WMH, ICWS).** Algorithm 3 normalizes by the Euclidean norm
+///   of the *whole* vector before sampling, so partitions must agree on that norm up
+///   front (a cheap first pass over the data — the "announced norm" two-pass protocol).
+///   Build partials with the method's `sketch_partition` / `empty_sketch_with_norm`
+///   constructors; `merge` refuses sketches normalized differently, and the trait-level
+///   [`empty_sketch`](Self::empty_sketch) (which cannot know the norm) produces a
+///   sketch that `update` rejects with a pointer to the norm-aware entry point.
+///   Two restrictions that generic `MergeableSketcher` code must respect — neither is
+///   detectable from the sketches, so violations silently bias estimates rather than
+///   erroring: each index may be presented to `update` **at most once** (the sample is
+///   derived from the full value at the index, so deltas do not accumulate as they do
+///   for the other families), and merged partitions must have **disjoint supports**
+///   (an index on both sides competes as two independent entries instead of summing).
+///   A row-partitioned table with unique keys satisfies both naturally.
+///
+/// Every implementation guarantees that `merge` is commutative and associative with
+/// `empty_sketch()` as the identity (exactly for the min-sketches, up to floating-point
+/// associativity for the linear ones), which is what lets a coordinator fold shard
+/// sketches in arrival order.
+pub trait MergeableSketcher: Sketcher {
+    /// The sketch of the all-zero vector: the identity element of [`merge`](Self::merge).
+    fn empty_sketch(&self) -> Self::Output;
+
+    /// Applies the single-coordinate update `a[index] += delta` to `sketch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError`] when the sketch is not updatable (for example a
+    /// normalized sampler's sketch with no announced norm) or was produced by a
+    /// different configuration.
+    fn update(&self, sketch: &mut Self::Output, index: u64, delta: f64) -> Result<(), SketchError>;
+
+    /// Combines two sketches into the sketch of the sum of their vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] when the sketches were not
+    /// produced with identical configuration (or, for normalized samplers, with the
+    /// same announced norm).
+    fn merge(&self, a: &Self::Output, b: &Self::Output) -> Result<Self::Output, SketchError>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,9 @@ pub fn union_size_from_minima(minima: &[f64]) -> Result<f64, SketchError> {
     }
     let mut sum = 0.0;
     for &v in minima {
-        if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+        // `contains` is false for NaN (both comparisons fail) and for ±∞ (outside the
+        // bounds), so no separate finiteness check is needed.
+        if !(0.0..=1.0).contains(&v) {
             return Err(SketchError::InvalidParameter {
                 name: "minima",
                 allowed: "values in [0, 1]",
@@ -77,6 +79,23 @@ mod tests {
         assert!(union_size_from_minima(&[0.5, 1.5]).is_err());
         assert!(union_size_from_minima(&[-0.1]).is_err());
         assert!(union_size_from_minima(&[f64::NAN]).is_err());
+        assert!(union_size_from_minima(&[f64::INFINITY]).is_err());
+        assert!(union_size_from_minima(&[f64::NEG_INFINITY]).is_err());
+    }
+
+    #[test]
+    fn estimate_is_never_negative() {
+        // Every minimum is at most 1, so the sum is at most m and `m / sum − 1 >= 0`:
+        // even the extreme all-ones input (a sum of minima "exceeding" m is impossible)
+        // pins the estimate at exactly zero rather than driving it negative.
+        assert_eq!(union_size_from_minima(&[1.0, 1.0, 1.0]).unwrap(), 0.0);
+        for m in [1usize, 7, 64] {
+            let minima = vec![1.0; m];
+            assert!(union_size_from_minima(&minima).unwrap() >= 0.0);
+        }
+        // Mixed boundary values also stay non-negative.
+        let est = union_size_from_minima(&[1.0, 0.5, 1.0, 0.25]).unwrap();
+        assert!(est >= 0.0, "estimate {est}");
     }
 
     #[test]

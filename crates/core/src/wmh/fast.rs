@@ -16,8 +16,8 @@
 //! requires.
 
 use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhVariant};
-use crate::error::SketchError;
-use crate::traits::Sketcher;
+use crate::error::{incompatible, SketchError};
+use crate::traits::{MergeableSketcher, Sketcher};
 use ipsketch_hash::mix::mix2;
 use ipsketch_hash::record::RecordStream;
 use ipsketch_vector::rounding::{normalize_and_round, repetition_counts};
@@ -80,6 +80,107 @@ impl WeightedMinHasher {
     pub fn params(&self) -> WmhParams {
         self.params
     }
+
+    /// The seed namespace shared by every record stream of this configuration.
+    fn stream_seed(&self) -> u64 {
+        mix2(self.params.seed, 0x57_4D48)
+    }
+
+    /// Runs the active-index sampling loop over `(block, count, value)` triples: for
+    /// each of the `m` samples, the minimum record over every block's `count`-position
+    /// prefix, together with the rounded entry value at the minimizing block.
+    fn sample_minima(&self, blocks: &[(u64, u64, f64)]) -> (Vec<f64>, Vec<f64>) {
+        let stream_seed = self.stream_seed();
+        let m = self.params.samples;
+        let mut hashes = Vec::with_capacity(m);
+        let mut values = Vec::with_capacity(m);
+        for sample in 0..m {
+            let mut best_hash = f64::INFINITY;
+            let mut best_value = 0.0;
+            for &(block, count, value) in blocks {
+                let record = RecordStream::new(stream_seed, sample as u64, block)
+                    .prefix_min(count)
+                    .expect("count >= 1 by construction");
+                if record.value < best_hash {
+                    best_hash = record.value;
+                    best_value = value;
+                }
+            }
+            hashes.push(best_hash);
+            values.push(best_value);
+        }
+        (hashes, values)
+    }
+
+    /// The empty partial sketch of a vector whose Euclidean norm is announced to be
+    /// `reference_norm`: the starting point for [`MergeableSketcher::update`] streaming
+    /// under the two-pass (announced-norm) protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `reference_norm` is not a positive
+    /// finite number.
+    pub fn empty_sketch_with_norm(
+        &self,
+        reference_norm: f64,
+    ) -> Result<WeightedMinHashSketch, SketchError> {
+        if !(reference_norm > 0.0 && reference_norm.is_finite()) {
+            return Err(SketchError::InvalidParameter {
+                name: "reference_norm",
+                allowed: "positive and finite",
+            });
+        }
+        Ok(WeightedMinHashSketch {
+            params: self.params,
+            hashes: vec![f64::INFINITY; self.params.samples],
+            values: vec![0.0; self.params.samples],
+            norm: reference_norm,
+        })
+    }
+
+    /// Sketches one partition of a vector under the announced-norm protocol: `vector`
+    /// holds a subset of the full vector's support, and `reference_norm` is the
+    /// Euclidean norm of the *full* vector (computed in a cheap first pass and shared
+    /// by all partitions).  Partials built this way merge into the sketch of the whole
+    /// vector; the result agrees with one-shot [`Sketcher::sketch`] up to the Algorithm
+    /// 4 mass-absorption at the largest entry (all other grid counts are identical), so
+    /// merged and one-shot sketches are estimate-equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `reference_norm` is not positive
+    /// and finite or is smaller than the partition's own norm.
+    pub fn sketch_partition(
+        &self,
+        vector: &SparseVector,
+        reference_norm: f64,
+    ) -> Result<WeightedMinHashSketch, SketchError> {
+        let mut partial = self.empty_sketch_with_norm(reference_norm)?;
+        if vector.norm() > reference_norm * (1.0 + 1e-9) {
+            return Err(SketchError::InvalidParameter {
+                name: "reference_norm",
+                allowed: "at least the partition's own Euclidean norm",
+            });
+        }
+        let l_f = self.params.discretization as f64;
+        let scaled = vector.scaled(1.0 / reference_norm);
+        let blocks: Vec<(u64, u64, f64)> = scaled
+            .iter()
+            .filter_map(|(i, v)| {
+                // Round down onto the 1/L grid exactly as Algorithm 4 does for every
+                // non-maximal entry; entries below the grid contribute no expanded
+                // positions.
+                let units = (v * v * l_f).floor();
+                (units > 0.0).then(|| (i, units as u64, v.signum() * (units / l_f).sqrt()))
+            })
+            .collect();
+        if !blocks.is_empty() {
+            let (hashes, values) = self.sample_minima(&blocks);
+            partial.hashes = hashes;
+            partial.values = values;
+        }
+        Ok(partial)
+    }
 }
 
 impl Sketcher for WeightedMinHasher {
@@ -89,34 +190,18 @@ impl Sketcher for WeightedMinHasher {
         // Line 2 of Algorithm 3: normalize and round onto the 1/L grid.
         let (rounded, norm) = normalize_and_round(vector, self.params.discretization)?;
         // Lines 3–4 are implicit: we never materialize the expanded vector, only the
-        // per-block repetition counts ã[j]²·L.
-        let blocks = repetition_counts(&rounded, self.params.discretization);
+        // per-block repetition counts ã[j]²·L.  The record-stream seed namespace is
+        // derived from the master seed only, so all vectors sketched with the same
+        // configuration share it.
+        let blocks: Vec<(u64, u64, f64)> = repetition_counts(&rounded, self.params.discretization)
+            .into_iter()
+            .map(|(block, count)| (block, count, rounded.get(block)))
+            .collect();
         debug_assert!(
             !blocks.is_empty(),
             "a rounded unit vector always has at least one non-empty block"
         );
-
-        let m = self.params.samples;
-        // The record-stream seed namespace is derived from the master seed only, so all
-        // vectors sketched with the same configuration share it.
-        let stream_seed = mix2(self.params.seed, 0x57_4D48);
-        let mut hashes = Vec::with_capacity(m);
-        let mut values = Vec::with_capacity(m);
-        for sample in 0..m {
-            let mut best_hash = f64::INFINITY;
-            let mut best_value = 0.0;
-            for &(block, count) in &blocks {
-                let record = RecordStream::new(stream_seed, sample as u64, block)
-                    .prefix_min(count)
-                    .expect("count >= 1 by construction of repetition_counts");
-                if record.value < best_hash {
-                    best_hash = record.value;
-                    best_value = rounded.get(block);
-                }
-            }
-            hashes.push(best_hash);
-            values.push(best_value);
-        }
+        let (hashes, values) = self.sample_minima(&blocks);
         Ok(WeightedMinHashSketch {
             params: self.params,
             hashes,
@@ -140,6 +225,105 @@ impl Sketcher for WeightedMinHasher {
 
     fn name(&self) -> &'static str {
         "WMH"
+    }
+}
+
+impl MergeableSketcher for WeightedMinHasher {
+    /// The trait-level empty sketch carries no announced norm (`norm == 0`); it is the
+    /// merge identity, but [`update`](MergeableSketcher::update) rejects it — Algorithm
+    /// 3 normalizes by the full vector's norm, so WMH streaming must start from
+    /// [`WeightedMinHasher::empty_sketch_with_norm`].
+    fn empty_sketch(&self) -> WeightedMinHashSketch {
+        WeightedMinHashSketch {
+            params: self.params,
+            hashes: vec![f64::INFINITY; self.params.samples],
+            values: vec![0.0; self.params.samples],
+            norm: 0.0,
+        }
+    }
+
+    /// Insertion update under the announced-norm protocol: normalizes `delta` by the
+    /// sketch's stored reference norm, rounds it onto the grid, and folds the entry's
+    /// block into every sample's minimum.  Each index must be presented at most once
+    /// (the block's repetition count is derived from the full value, and a minimum
+    /// cannot be recomputed for a grown block), which a row-partitioned table satisfies
+    /// naturally.
+    fn update(
+        &self,
+        sketch: &mut WeightedMinHashSketch,
+        index: u64,
+        delta: f64,
+    ) -> Result<(), SketchError> {
+        if sketch.params != self.params {
+            return Err(incompatible(
+                "WMH sketch was built with a different configuration",
+            ));
+        }
+        if !(sketch.norm > 0.0 && sketch.norm.is_finite()) {
+            return Err(SketchError::InvalidParameter {
+                name: "norm",
+                allowed: "> 0 — start WMH streaming from `empty_sketch_with_norm` (announced-norm protocol)",
+            });
+        }
+        let l_f = self.params.discretization as f64;
+        // Multiply by the reciprocal exactly as `SparseVector::scaled` does, so
+        // streamed updates land on the same grid counts as `sketch_partition`.
+        let normalized = delta * (1.0 / sketch.norm);
+        let units = (normalized * normalized * l_f).floor();
+        if units <= 0.0 {
+            // Below the 1/L grid: the entry contributes no expanded positions, exactly
+            // as Algorithm 4 drops it.
+            return Ok(());
+        }
+        let count = units as u64;
+        let value = normalized.signum() * (units / l_f).sqrt();
+        let stream_seed = self.stream_seed();
+        for sample in 0..self.params.samples {
+            let record = RecordStream::new(stream_seed, sample as u64, index)
+                .prefix_min(count)
+                .expect("count >= 1 checked above");
+            if record.value < sketch.hashes[sample] {
+                sketch.hashes[sample] = record.value;
+                sketch.values[sample] = value;
+            }
+        }
+        Ok(())
+    }
+
+    /// Min-merge: per sample, keep the smaller minimum hash (and its value).  Both
+    /// sketches must have been normalized by the same announced norm; the trait-level
+    /// empty sketch (norm 0) acts as the identity.
+    fn merge(
+        &self,
+        a: &WeightedMinHashSketch,
+        b: &WeightedMinHashSketch,
+    ) -> Result<WeightedMinHashSketch, SketchError> {
+        if a.params != self.params || b.params != self.params {
+            return Err(incompatible(
+                "WMH sketches were not produced by this sketcher's configuration",
+            ));
+        }
+        if a.norm == 0.0 {
+            return Ok(b.clone());
+        }
+        if b.norm == 0.0 {
+            return Ok(a.clone());
+        }
+        if a.norm != b.norm {
+            return Err(incompatible(format!(
+                "WMH partials were normalized by different announced norms ({} vs {}); \
+                 all partitions must share the full vector's norm",
+                a.norm, b.norm
+            )));
+        }
+        let mut merged = a.clone();
+        for i in 0..self.params.samples {
+            if b.hashes[i] < merged.hashes[i] {
+                merged.hashes[i] = b.hashes[i];
+                merged.values[i] = b.values[i];
+            }
+        }
+        Ok(merged)
     }
 }
 
@@ -341,6 +525,135 @@ mod tests {
         assert!(s1.estimate_inner_product(&sk1, &sk2).is_err());
         assert!(s2.estimate_inner_product(&sk1, &sk1).is_err());
         assert!(s1.estimate_inner_product(&sk1, &sk1).is_ok());
+    }
+
+    #[test]
+    fn partitioned_sketching_matches_one_shot_estimates() {
+        // Two-pass protocol: announce the full norm, sketch disjoint chunks
+        // independently, min-merge.  The merged sketch agrees with one-shot sketching
+        // up to the Algorithm-4 mass absorption at the global max entry, so estimates
+        // agree tightly.
+        let a = SparseVector::from_pairs((0..300u64).map(|i| (i, 1.0 + (i % 7) as f64))).unwrap();
+        let b = SparseVector::from_pairs((150..450u64).map(|i| (i, 0.5 + (i % 5) as f64))).unwrap();
+        let s = WeightedMinHasher::new(256, 21, 1 << 22).unwrap();
+        let merge_of_chunks = |v: &SparseVector| {
+            let norm = v.norm();
+            let pairs: Vec<(u64, f64)> = v.iter().collect();
+            let mut merged = s.empty_sketch();
+            for chunk in pairs.chunks(100) {
+                let part = SparseVector::from_pairs(chunk.iter().copied()).unwrap();
+                let partial = s.sketch_partition(&part, norm).unwrap();
+                merged = s.merge(&merged, &partial).unwrap();
+            }
+            merged
+        };
+        let ma = merge_of_chunks(&a);
+        let mb = merge_of_chunks(&b);
+        let one_a = s.sketch(&a).unwrap();
+        let one_b = s.sketch(&b).unwrap();
+        assert_eq!(ma.norm(), one_a.norm());
+        let est_merged = s.estimate_inner_product(&ma, &mb).unwrap();
+        let est_one = s.estimate_inner_product(&one_a, &one_b).unwrap();
+        let scale = a.norm() * b.norm();
+        assert!(
+            (est_merged - est_one).abs() < 0.05 * scale,
+            "merged {est_merged} vs one-shot {est_one} (scale {scale})"
+        );
+        // Estimating a merged sketch against a one-shot sketch also works: both carry
+        // the same configuration and norm.
+        assert!(s.estimate_inner_product(&ma, &one_b).is_ok());
+    }
+
+    #[test]
+    fn update_stream_equals_partition_sketching() {
+        let v = SparseVector::from_pairs((0..60u64).map(|i| (i * 3, (i as f64) - 25.0))).unwrap();
+        let s = WeightedMinHasher::new(64, 5, 1 << 20).unwrap();
+        let norm = v.norm();
+        let mut streamed = s.empty_sketch_with_norm(norm).unwrap();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        let partitioned = s.sketch_partition(&v, norm).unwrap();
+        assert_eq!(streamed, partitioned);
+    }
+
+    #[test]
+    fn partition_with_own_norm_tracks_one_shot_sketch() {
+        // With the vector's own norm announced, the partition path differs from
+        // one-shot sketching only at the max-magnitude entry (mass absorption).
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i, 1.0 + (i % 6) as f64))).unwrap();
+        let s = WeightedMinHasher::new(128, 9, 1 << 22).unwrap();
+        let partial = s.sketch_partition(&v, v.norm()).unwrap();
+        let one_shot = s.sketch(&v).unwrap();
+        let differing = partial
+            .hashes()
+            .iter()
+            .zip(one_shot.hashes())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(
+            differing <= 12,
+            "{differing}/128 samples differ — far more than mass absorption explains"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_norms_and_configurations() {
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let s = WeightedMinHasher::new(16, 1, 1 << 12).unwrap();
+        let a = s.sketch_partition(&v, 10.0).unwrap();
+        let b = s.sketch_partition(&v, 20.0).unwrap();
+        assert!(matches!(
+            s.merge(&a, &b),
+            Err(SketchError::IncompatibleSketches { .. })
+        ));
+        let other = WeightedMinHasher::new(16, 2, 1 << 12).unwrap();
+        assert!(other.merge(&a, &a).is_err());
+        // The no-norm empty sketch is the merge identity from either side.
+        assert_eq!(s.merge(&s.empty_sketch(), &a).unwrap(), a);
+        assert_eq!(s.merge(&a, &s.empty_sketch()).unwrap(), a);
+    }
+
+    #[test]
+    fn never_updated_partials_refuse_to_estimate() {
+        // An all-infinity partial (never updated, or every entry rounded below a far
+        // too small 1/L grid) is not the sketch of any vector: estimating from it must
+        // error clearly rather than silently return 0.
+        let s = WeightedMinHasher::new(8, 1, 1 << 12).unwrap();
+        let v = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]).unwrap();
+        let sk = s.sketch(&v).unwrap();
+        let empty = s.empty_sketch_with_norm(5.0).unwrap();
+        assert!(matches!(
+            s.estimate_inner_product(&empty, &sk),
+            Err(SketchError::EmptySketch)
+        ));
+        assert!(matches!(
+            s.estimate_inner_product(&sk, &empty),
+            Err(SketchError::EmptySketch)
+        ));
+    }
+
+    #[test]
+    fn update_requires_an_announced_norm() {
+        let s = WeightedMinHasher::new(8, 1, 1 << 12).unwrap();
+        let mut no_norm = s.empty_sketch();
+        assert!(matches!(
+            s.update(&mut no_norm, 0, 1.0),
+            Err(SketchError::InvalidParameter { name: "norm", .. })
+        ));
+        assert!(s.empty_sketch_with_norm(0.0).is_err());
+        assert!(s.empty_sketch_with_norm(f64::NAN).is_err());
+        let mut ok = s.empty_sketch_with_norm(5.0).unwrap();
+        assert!(s.update(&mut ok, 3, 4.0).is_ok());
+    }
+
+    #[test]
+    fn sketch_partition_validates_reference_norm() {
+        let v = SparseVector::from_pairs([(0, 3.0), (1, 4.0)]).unwrap(); // norm 5
+        let s = WeightedMinHasher::new(8, 1, 1 << 12).unwrap();
+        assert!(s.sketch_partition(&v, 1.0).is_err()); // smaller than the chunk norm
+        assert!(s.sketch_partition(&v, 5.0).is_ok());
+        assert!(s.sketch_partition(&v, 50.0).is_ok()); // part of a much larger vector
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //!   cross-check the fast implementation and to ablate the sketching cost.
 //! * [`estimate`](fn@estimate) implements Algorithm 5, the estimator whose guarantee is
 //!   Theorem 2: error at most `ε · max(‖a_I‖‖b‖, ‖a‖‖b_I‖)` with `m = O(1/ε²)` samples.
+//!
+//! [`WeightedMinHasher`] is also a
+//! [`MergeableSketcher`](crate::traits::MergeableSketcher): since the record stream of
+//! each `(sample, block)` pair depends only on the shared configuration, per-sample
+//! minima taken over disjoint partitions of a vector's support min-merge into the
+//! minima over the whole support.  Algorithm 3 normalizes by the full vector's norm
+//! before rounding, so partitions agree on that norm up front (the announced-norm
+//! two-pass protocol — see [`WeightedMinHasher::sketch_partition`]); merged sketches
+//! agree with one-shot sketches up to the Algorithm-4 mass absorption at the largest
+//! entry.
 
 mod fast;
 mod naive;
@@ -127,6 +137,14 @@ pub fn estimate(a: &WeightedMinHashSketch, b: &WeightedMinHashSketch) -> Result<
     }
     let m = a.hashes.len();
     if m == 0 {
+        return Err(SketchError::EmptySketch);
+    }
+    // A sketch with infinite minima never saw an expanded position: either a streaming
+    // partial that was never updated, or a partition whose entries all rounded below
+    // the 1/L grid (`L` far too small — the paper requires `L ≫ nnz`).  Either way it
+    // is not the sketch of any vector, so refuse loudly instead of estimating 0 or
+    // surfacing an opaque parameter error from the union estimator.
+    if a.hashes.iter().chain(&b.hashes).any(|h| !h.is_finite()) {
         return Err(SketchError::EmptySketch);
     }
 

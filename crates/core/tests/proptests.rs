@@ -1,14 +1,33 @@
 //! Property-based tests for the sketching crate.
 
+use ipsketch_core::icws::IcwsSketcher;
 use ipsketch_core::method::{AnySketcher, SketchMethod};
 use ipsketch_core::serialize::BinarySketch;
-use ipsketch_core::traits::{Sketch, Sketcher};
+use ipsketch_core::traits::{MergeableSketcher, Sketch, Sketcher};
 use ipsketch_core::wmh::WeightedMinHasher;
 use ipsketch_core::{
     countsketch::CountSketcher, jl::JlSketcher, kmv::KmvSketcher, minhash::MinHasher,
 };
 use ipsketch_vector::SparseVector;
 use proptest::prelude::*;
+
+/// Splits a vector's support into up to `parts` contiguous non-empty chunks.
+fn chunks_of(v: &SparseVector, parts: usize) -> Vec<SparseVector> {
+    let pairs: Vec<(u64, f64)> = v.iter().collect();
+    let len = pairs.len().div_ceil(parts.max(1)).max(1);
+    pairs
+        .chunks(len)
+        .map(|c| SparseVector::from_pairs(c.iter().copied()).expect("chunk is well formed"))
+        .collect()
+}
+
+/// Element-wise closeness up to floating-point addition order.
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + y.abs()))
+}
 
 /// A non-empty sparse vector with positive-magnitude entries.
 fn nonzero_vector() -> impl Strategy<Value = SparseVector> {
@@ -125,6 +144,157 @@ proptest! {
         for (x, y) in sa.rows().iter().zip(scaled.rows()) {
             prop_assert!((x * factor - y).abs() < 1e-6 * (1.0 + y.abs()));
         }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(a in nonzero_vector(), seed in any::<u64>()) {
+        let chunks = chunks_of(&a, 3);
+        prop_assume!(!chunks.is_empty());
+        let norm = a.norm();
+
+        // Min-merge methods: exactly commutative and associative.
+        macro_rules! check_min_family {
+            ($sketcher:expr, $partial:expr) => {{
+                let s = $sketcher;
+                let partials: Vec<_> = chunks.iter().map($partial).collect();
+                let mut left = s.empty_sketch();
+                for p in &partials {
+                    left = s.merge(&left, p).unwrap();
+                }
+                let mut right = s.empty_sketch();
+                for p in partials.iter().rev() {
+                    right = s.merge(p, &right).unwrap();
+                }
+                prop_assert_eq!(&left, &right);
+                if partials.len() == 3 {
+                    let ab_c = s
+                        .merge(&s.merge(&partials[0], &partials[1]).unwrap(), &partials[2])
+                        .unwrap();
+                    let a_bc = s
+                        .merge(&partials[0], &s.merge(&partials[1], &partials[2]).unwrap())
+                        .unwrap();
+                    prop_assert_eq!(ab_c, a_bc);
+                }
+            }};
+        }
+        let mh = MinHasher::new(24, seed).unwrap();
+        check_min_family!(&mh, |c: &SparseVector| mh.sketch(c).unwrap());
+        let kmv = KmvSketcher::new(16, seed).unwrap();
+        check_min_family!(&kmv, |c: &SparseVector| kmv.sketch(c).unwrap());
+        let wmh = WeightedMinHasher::new(24, seed, 1 << 20).unwrap();
+        check_min_family!(&wmh, |c: &SparseVector| wmh
+            .sketch_partition(c, norm)
+            .unwrap());
+        let icws = IcwsSketcher::new(16, seed).unwrap();
+        check_min_family!(&icws, |c: &SparseVector| icws
+            .sketch_partition(c, norm)
+            .unwrap());
+
+        // Linear methods: commutative and associative up to floating-point addition
+        // order.
+        let jl = JlSketcher::new(16, seed).unwrap();
+        let jl_parts: Vec<_> = chunks.iter().map(|c| jl.sketch(c).unwrap()).collect();
+        if jl_parts.len() == 3 {
+            let ab = jl.merge(&jl_parts[0], &jl_parts[1]).unwrap();
+            let ba = jl.merge(&jl_parts[1], &jl_parts[0]).unwrap();
+            prop_assert_eq!(&ab, &ba);
+            let ab_c = jl.merge(&ab, &jl_parts[2]).unwrap();
+            let a_bc = jl
+                .merge(&jl_parts[0], &jl.merge(&jl_parts[1], &jl_parts[2]).unwrap())
+                .unwrap();
+            prop_assert!(close(ab_c.rows(), a_bc.rows()));
+        }
+        let cs = CountSketcher::new(16, seed).unwrap();
+        let cs_parts: Vec<_> = chunks.iter().map(|c| cs.sketch(c).unwrap()).collect();
+        if cs_parts.len() == 3 {
+            let ab = cs.merge(&cs_parts[0], &cs_parts[1]).unwrap();
+            prop_assert_eq!(&ab, &cs.merge(&cs_parts[1], &cs_parts[0]).unwrap());
+            let ab_c = cs.merge(&ab, &cs_parts[2]).unwrap();
+            let a_bc = cs
+                .merge(&cs_parts[0], &cs.merge(&cs_parts[1], &cs_parts[2]).unwrap())
+                .unwrap();
+            prop_assert!(close(ab_c.repetition(0), a_bc.repetition(0)));
+        }
+    }
+
+    #[test]
+    fn chunked_sketching_matches_one_shot((a, b) in vector_pair(), seed in any::<u64>(), parts in 2usize..6) {
+        let scale = a.norm() * b.norm();
+        for method in [
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+            SketchMethod::MinHash,
+            SketchMethod::Kmv,
+            SketchMethod::WeightedMinHash,
+            SketchMethod::Icws,
+        ] {
+            let sketcher = AnySketcher::for_budget(method, 64.0, seed).unwrap();
+            let ca = sketcher.sketch_chunked(&a, parts).unwrap();
+            let cb = sketcher.sketch_chunked(&b, parts).unwrap();
+            let one_a = sketcher.sketch(&a).unwrap();
+            let one_b = sketcher.sketch(&b).unwrap();
+            if matches!(method, SketchMethod::MinHash | SketchMethod::Kmv | SketchMethod::Icws) {
+                // Pure min-selection with no arithmetic: bit-identical.
+                prop_assert_eq!(&ca, &one_a, "{:?}", method);
+                prop_assert_eq!(&cb, &one_b, "{:?}", method);
+            }
+            let est_chunked = sketcher.estimate_inner_product(&ca, &cb).unwrap();
+            let est_one = sketcher.estimate_inner_product(&one_a, &one_b).unwrap();
+            let tolerance = match method {
+                // Shared record streams: the only difference is the Algorithm-4 mass
+                // absorption at each vector's max entry.
+                SketchMethod::WeightedMinHash => 0.35 * scale + 1e-9,
+                _ => 1e-6 * (1.0 + est_one.abs()),
+            };
+            prop_assert!(
+                (est_chunked - est_one).abs() <= tolerance,
+                "{:?}: chunked {} vs one-shot {}",
+                method,
+                est_chunked,
+                est_one
+            );
+        }
+    }
+
+    #[test]
+    fn update_stream_matches_one_shot(a in nonzero_vector(), seed in any::<u64>()) {
+        // Min-family sampling sketches: streamed updates are bit-identical to one-shot
+        // (for the normalized samplers, under the announced-norm protocol).
+        let mh = MinHasher::new(16, seed).unwrap();
+        let mut mh_stream = mh.empty_sketch();
+        for (i, v) in a.iter() {
+            mh.update(&mut mh_stream, i, v).unwrap();
+        }
+        prop_assert_eq!(mh_stream, mh.sketch(&a).unwrap());
+
+        let kmv = KmvSketcher::new(12, seed).unwrap();
+        let mut kmv_stream = kmv.empty_sketch();
+        for (i, v) in a.iter() {
+            kmv.update(&mut kmv_stream, i, v).unwrap();
+        }
+        prop_assert_eq!(kmv_stream, kmv.sketch(&a).unwrap());
+
+        let icws = IcwsSketcher::new(12, seed).unwrap();
+        let mut icws_stream = icws.empty_sketch_with_norm(a.norm()).unwrap();
+        for (i, v) in a.iter() {
+            icws.update(&mut icws_stream, i, v).unwrap();
+        }
+        prop_assert_eq!(icws_stream, icws.sketch(&a).unwrap());
+
+        let wmh = WeightedMinHasher::new(16, seed, 1 << 20).unwrap();
+        let mut wmh_stream = wmh.empty_sketch_with_norm(a.norm()).unwrap();
+        for (i, v) in a.iter() {
+            wmh.update(&mut wmh_stream, i, v).unwrap();
+        }
+        prop_assert_eq!(wmh_stream, wmh.sketch_partition(&a, a.norm()).unwrap());
+
+        // Linear sketches: equal up to floating-point addition order.
+        let jl = JlSketcher::new(16, seed).unwrap();
+        let mut jl_stream = jl.empty_sketch();
+        for (i, v) in a.iter() {
+            jl.update(&mut jl_stream, i, v).unwrap();
+        }
+        prop_assert!(close(jl_stream.rows(), jl.sketch(&a).unwrap().rows()));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::exact::JoinStatistics;
 use crate::vectorize::ColumnVectors;
 use ipsketch_core::method::{AnySketch, AnySketcher, SketchMethod};
 use ipsketch_core::traits::{Sketch, Sketcher};
+use ipsketch_core::SketchError;
 use ipsketch_data::Table;
+use ipsketch_vector::SparseVector;
 
 /// The sketched representation of one table column: sketches of the key-indicator,
 /// value and squared-value vectors.
@@ -77,6 +79,17 @@ impl JoinEstimator {
     ///
     /// Returns [`JoinError`] if the column is missing, empty, or cannot be sketched.
     pub fn sketch_column(&self, table: &Table, column: &str) -> Result<SketchedColumn, JoinError> {
+        self.sketch_column_with(table, column, |v| self.sketcher.sketch(v))
+    }
+
+    /// Shared body of the one-shot and partitioned column-sketching paths: builds the
+    /// Figure-3 vectors, validates them, and sketches all three with `sketch`.
+    fn sketch_column_with(
+        &self,
+        table: &Table,
+        column: &str,
+        sketch: impl Fn(&SparseVector) -> Result<AnySketch, SketchError>,
+    ) -> Result<SketchedColumn, JoinError> {
         let vectors = ColumnVectors::from_table(table, column)?;
         // A column whose values are all zero still has a valid key-indicator sketch but
         // no value mass; MinHash-family sketchers reject empty vectors, so guard early
@@ -91,9 +104,35 @@ impl JoinEstimator {
             table: vectors.table,
             column: vectors.column,
             rows: vectors.rows,
-            key_indicator: self.sketcher.sketch(&vectors.key_indicator)?,
-            values: self.sketcher.sketch(&vectors.values)?,
-            squared_values: self.sketcher.sketch(&vectors.squared_values)?,
+            key_indicator: sketch(&vectors.key_indicator)?,
+            values: sketch(&vectors.values)?,
+            squared_values: sketch(&vectors.squared_values)?,
+        })
+    }
+
+    /// Sketches one table column as `partitions` independent row-chunks merged into one
+    /// sketch per Figure-3 vector — the distributed-sketching path.
+    ///
+    /// Each chunk is sketched on its own (as a shard holding a row range would) and the
+    /// partials are folded with [`MergeableSketcher`](ipsketch_core::MergeableSketcher)
+    /// semantics; for the normalized samplers (WMH, ICWS) the full column norm is
+    /// computed first and announced to every chunk.  The result is interchangeable with
+    /// [`sketch_column`](Self::sketch_column): bit-identical for MinHash/KMV/ICWS,
+    /// identical up to floating-point addition order for JL/CountSketch, and
+    /// estimate-equivalent for WMH.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing, empty, or cannot be sketched,
+    /// and for SimHash sketchers (SimHash sketches are not mergeable).
+    pub fn sketch_column_partitioned(
+        &self,
+        table: &Table,
+        column: &str,
+        partitions: usize,
+    ) -> Result<SketchedColumn, JoinError> {
+        self.sketch_column_with(table, column, |v| {
+            self.sketcher.sketch_chunked(v, partitions)
         })
     }
 
@@ -306,6 +345,53 @@ mod tests {
         let sa = est1.sketch_column(&ta, "V_A").unwrap();
         let sb = est2.sketch_column(&tb, "V_B").unwrap();
         assert!(est1.estimate(&sa, &sb).is_err());
+    }
+
+    #[test]
+    fn partitioned_sketching_matches_one_shot_estimates() {
+        let (ta, tb) = correlated_tables(1_500, 800, 1.0);
+        for method in [
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+            SketchMethod::MinHash,
+            SketchMethod::Kmv,
+            SketchMethod::WeightedMinHash,
+            SketchMethod::Icws,
+        ] {
+            let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 17).unwrap());
+            let one_a = est.sketch_column(&ta, "v").unwrap();
+            let one_b = est.sketch_column(&tb, "v").unwrap();
+            let part_a = est.sketch_column_partitioned(&ta, "v", 4).unwrap();
+            let part_b = est.sketch_column_partitioned(&tb, "v", 4).unwrap();
+            // The sampling methods produce bit-identical sketches through either path.
+            if matches!(
+                method,
+                SketchMethod::MinHash | SketchMethod::Kmv | SketchMethod::Icws
+            ) {
+                assert_eq!(part_a, one_a, "{method:?}");
+                assert_eq!(part_b, one_b, "{method:?}");
+            }
+            let from_one = est.estimate(&one_a, &one_b).unwrap();
+            let from_parts = est.estimate(&part_a, &part_b).unwrap();
+            let tolerance = match method {
+                SketchMethod::WeightedMinHash => 0.10 * from_one.join_size.max(100.0),
+                _ => 1e-6 * (1.0 + from_one.join_size.abs()),
+            };
+            assert!(
+                (from_parts.join_size - from_one.join_size).abs() <= tolerance,
+                "{method:?}: partitioned join size {} vs one-shot {}",
+                from_parts.join_size,
+                from_one.join_size
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_sketching_rejects_simhash() {
+        let (ta, _) = Table::figure_2_tables();
+        let est =
+            JoinEstimator::new(AnySketcher::for_budget(SketchMethod::SimHash, 100.0, 1).unwrap());
+        assert!(est.sketch_column_partitioned(&ta, "V_A", 2).is_err());
     }
 
     #[test]

@@ -95,6 +95,43 @@ impl SketchIndex {
         Ok(skipped)
     }
 
+    /// Indexes every numeric column of a table by sketching `partitions` row-chunks
+    /// independently and merging — the distributed path a sharded deployment takes,
+    /// exposed here so single-process users exercise identical code.  Produces entries
+    /// interchangeable with [`insert_table`](Self::insert_table) (see
+    /// [`JoinEstimator::sketch_column_partitioned`]).
+    ///
+    /// Returns the names of the skipped (unsketchable) columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] for structural problems, including non-mergeable sketch
+    /// methods (SimHash).
+    pub fn insert_table_partitioned(
+        &mut self,
+        table: &Table,
+        partitions: usize,
+    ) -> Result<Vec<String>, JoinError> {
+        let mut skipped = Vec::new();
+        for column in table.columns() {
+            match self
+                .estimator
+                .sketch_column_partitioned(table, &column.name, partitions)
+            {
+                Ok(sketched) => self.entries.push((
+                    ColumnId {
+                        table: table.name().to_string(),
+                        column: column.name.clone(),
+                    },
+                    sketched,
+                )),
+                Err(JoinError::EmptyColumn { .. }) => skipped.push(column.name.clone()),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(skipped)
+    }
+
     /// Sketches a query column with the same configuration as the index.
     ///
     /// # Errors
@@ -102,6 +139,22 @@ impl SketchIndex {
     /// Returns [`JoinError`] if the column is missing or cannot be sketched.
     pub fn sketch_query(&self, table: &Table, column: &str) -> Result<SketchedColumn, JoinError> {
         self.estimator.sketch_column(table, column)
+    }
+
+    /// Sketches a query column through the partitioned (chunk-and-merge) path, with the
+    /// same configuration as the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing or cannot be sketched.
+    pub fn sketch_query_partitioned(
+        &self,
+        table: &Table,
+        column: &str,
+        partitions: usize,
+    ) -> Result<SketchedColumn, JoinError> {
+        self.estimator
+            .sketch_column_partitioned(table, column, partitions)
     }
 
     /// Looks up the stored sketch of an indexed column.
@@ -308,6 +361,50 @@ mod tests {
         );
         // The disjoint table is filtered out by the minimum-join-size threshold.
         assert!(ranked.iter().all(|r| r.id.table != "bad"));
+    }
+
+    #[test]
+    fn partitioned_indexing_matches_one_shot_ranking() {
+        let (query, good, bad) = scenario();
+        let mut one_shot = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7).unwrap());
+        one_shot.insert_table(&good).unwrap();
+        one_shot.insert_table(&bad).unwrap();
+        let mut partitioned = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7).unwrap());
+        assert!(partitioned
+            .insert_table_partitioned(&good, 4)
+            .unwrap()
+            .is_empty());
+        assert!(partitioned
+            .insert_table_partitioned(&bad, 4)
+            .unwrap()
+            .is_empty());
+        assert_eq!(partitioned.len(), one_shot.len());
+
+        let q_one = one_shot.sketch_query(&query, "rides").unwrap();
+        let q_part = partitioned
+            .sketch_query_partitioned(&query, "rides", 4)
+            .unwrap();
+        let ranked_one = one_shot.top_k_joinable(&q_one, 3).unwrap();
+        let ranked_part = partitioned.top_k_joinable(&q_part, 3).unwrap();
+        // Same ordering, and join-size estimates agree within WMH's grid-rounding
+        // tolerance (the only difference between the two sketching paths).
+        assert_eq!(
+            ranked_one.iter().map(|r| r.id.clone()).collect::<Vec<_>>(),
+            ranked_part.iter().map(|r| r.id.clone()).collect::<Vec<_>>()
+        );
+        for (a, b) in ranked_one.iter().zip(&ranked_part) {
+            assert!(
+                (a.estimated_join_size - b.estimated_join_size).abs()
+                    <= 0.1 * a.estimated_join_size.max(50.0),
+                "{} vs {}",
+                a.estimated_join_size,
+                b.estimated_join_size
+            );
+        }
+        // Partitioned and one-shot sketches interoperate: a one-shot query against the
+        // partition-built index estimates the same joins.
+        let mixed = partitioned.top_k_joinable(&q_one, 3).unwrap();
+        assert_eq!(mixed[0].id.table, "good");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use ipsketch::core::method::{AnySketcher, SketchMethod};
 use ipsketch::core::serialize::BinarySketch;
-use ipsketch::core::traits::{Sketch, Sketcher};
+use ipsketch::core::traits::{MergeableSketcher, Sketch, Sketcher};
 use ipsketch::core::wmh::{WeightedMinHashSketch, WeightedMinHasher};
 use ipsketch::data::{DataLakeConfig, SyntheticPairConfig, Table};
 use ipsketch::join::{exact_join_statistics, JoinEstimator, SketchIndex};
@@ -196,6 +196,88 @@ fn sketch_index_finds_planted_related_table() {
     assert!(!top.is_empty());
     assert_eq!(top[0].id.table, "planted");
     assert!(top[0].estimated_correlation.abs() > 0.6);
+}
+
+/// The distributed-sketching story end to end: columns sketched as independently-built,
+/// merged row-chunks produce the same join-statistic estimates as one-shot sketching —
+/// bit-exact sketches for the pure sampling methods, identical up to floating-point
+/// addition order for the linear sketches, and within grid-rounding tolerance for WMH.
+#[test]
+fn partitioned_sketching_matches_one_shot_across_methods() {
+    let lake = DataLakeConfig {
+        tables: 4,
+        columns_per_table: 2,
+        min_rows: 400,
+        max_rows: 800,
+        key_universe: 1_500,
+    }
+    .generate(55)
+    .unwrap();
+    let ta = &lake.tables()[0];
+    let tb = &lake.tables()[1];
+    let col_a = ta.columns()[0].name.clone();
+    let col_b = tb.columns()[0].name.clone();
+    for method in [
+        SketchMethod::Jl,
+        SketchMethod::CountSketch,
+        SketchMethod::MinHash,
+        SketchMethod::Kmv,
+        SketchMethod::WeightedMinHash,
+        SketchMethod::Icws,
+    ] {
+        let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 23).unwrap());
+        let one_a = est.sketch_column(ta, &col_a).unwrap();
+        let one_b = est.sketch_column(tb, &col_b).unwrap();
+        for partitions in [2, 7] {
+            let part_a = est
+                .sketch_column_partitioned(ta, &col_a, partitions)
+                .unwrap();
+            let part_b = est
+                .sketch_column_partitioned(tb, &col_b, partitions)
+                .unwrap();
+            if matches!(
+                method,
+                SketchMethod::MinHash | SketchMethod::Kmv | SketchMethod::Icws
+            ) {
+                assert_eq!(part_a, one_a, "{method:?}/{partitions}");
+            }
+            let from_one = est.estimate(&one_a, &one_b).unwrap();
+            let from_parts = est.estimate(&part_a, &part_b).unwrap();
+            let tolerance = match method {
+                SketchMethod::WeightedMinHash => 0.15 * from_one.join_size.max(100.0),
+                _ => 1e-6 * (1.0 + from_one.join_size.abs()),
+            };
+            assert!(
+                (from_parts.join_size - from_one.join_size).abs() <= tolerance,
+                "{method:?}/{partitions}: partitioned join size {} vs one-shot {}",
+                from_parts.join_size,
+                from_one.join_size
+            );
+        }
+    }
+}
+
+/// Streaming construction through the public facade: a WMH sketch built one coordinate
+/// at a time under the announced-norm protocol estimates like its one-shot twin.
+#[test]
+fn streaming_wmh_updates_estimate_like_one_shot() {
+    let a = SparseVector::from_pairs((0..400u64).map(|i| (i, 1.0 + (i % 9) as f64))).unwrap();
+    let b = SparseVector::from_pairs((200..600u64).map(|i| (i, 0.5 + (i % 6) as f64))).unwrap();
+    let sketcher = WeightedMinHasher::new(256, 41, 1 << 22).unwrap();
+    let mut streamed_a = sketcher.empty_sketch_with_norm(a.norm()).unwrap();
+    for (index, value) in a.iter() {
+        sketcher.update(&mut streamed_a, index, value).unwrap();
+    }
+    let one_b = sketcher.sketch(&b).unwrap();
+    let est_streamed = sketcher
+        .estimate_inner_product(&streamed_a, &one_b)
+        .unwrap();
+    let exact = inner_product(&a, &b);
+    let scale = a.norm() * b.norm();
+    assert!(
+        (est_streamed - exact).abs() < 0.2 * scale,
+        "streamed estimate {est_streamed} vs exact {exact} (scale {scale})"
+    );
 }
 
 /// All methods respect a shared storage budget and produce finite estimates across the
