@@ -23,6 +23,12 @@ pub struct CountSketch {
 }
 
 impl CountSketch {
+    /// The seed the sketch was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The number of repetitions.
     #[must_use]
     pub fn repetitions(&self) -> usize {

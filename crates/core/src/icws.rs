@@ -43,6 +43,12 @@ pub struct IcwsSketch {
 }
 
 impl IcwsSketch {
+    /// The seed the sketch was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The retained samples.
     #[must_use]
     pub fn samples(&self) -> &[IcwsSample] {

@@ -48,6 +48,12 @@ impl KmvSketch {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The seed the sketch was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 impl Sketch for KmvSketch {

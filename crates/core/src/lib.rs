@@ -19,8 +19,9 @@
 //! sampling sketches), [`median`] (the median-trick combiner used to boost the success
 //! probability from 2/3 to `1 − δ`), [`storage`] (the paper's "64-bit double
 //! equivalents" storage accounting used to compare methods at equal budgets),
-//! [`serialize`] (compact binary encoding of every sketch), and [`method`] (a dynamic,
-//! budget-driven front end used by the experiment harness and examples).
+//! [`serialize`] (compact binary encoding of every sketch), [`method`] (a dynamic,
+//! budget-driven front end used by the experiment harness and examples), and [`spec`]
+//! (catalog-stable sketcher-configuration descriptors for persistent sketch stores).
 //!
 //! # Quick example
 //!
@@ -54,6 +55,7 @@ pub mod method;
 pub mod minhash;
 pub mod serialize;
 pub mod simhash;
+pub mod spec;
 pub mod storage;
 pub mod traits;
 pub mod union;
@@ -61,4 +63,5 @@ pub mod wmh;
 
 pub use error::SketchError;
 pub use method::{AnySketch, AnySketcher, SketchMethod};
+pub use spec::SketcherSpec;
 pub use traits::{MergeableSketcher, Sketch, Sketcher};

@@ -328,6 +328,74 @@ impl AnySketcher {
         merged.map_or_else(|| self.sketch(vector), Ok)
     }
 
+    /// Sketches one partition of a larger vector under the announced-norm protocol:
+    /// the single-shard building block of distributed ingest.  `vector` holds the
+    /// shard's subset of the full vector's support and `announced_norm` is the
+    /// Euclidean norm of the *full* vector (obtained by exchanging shard-local `Σv²`
+    /// partial sums first).  The normalized samplers (WMH, ICWS) sketch against the
+    /// announced norm via their `sketch_partition` entry points; the other mergeable
+    /// methods ignore the norm and sketch the shard directly.  Partials built this way
+    /// fold with [`merge_sketches`](Self::merge_sketches) into the sketch of the whole
+    /// vector.
+    ///
+    /// An empty shard (a row range whose values are all zero) yields the method's
+    /// empty sketch — the merge identity — rather than an error, so coordinators can
+    /// fold shard results without special-casing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] for SimHash (not mergeable),
+    /// [`SketchError::InvalidParameter`] if a normalized sampler's `announced_norm` is
+    /// not positive and finite or is smaller than the shard's own norm, and the
+    /// sketching errors of [`Sketcher::sketch`].
+    pub fn sketch_partial(
+        &self,
+        vector: &SparseVector,
+        announced_norm: f64,
+    ) -> Result<AnySketch, SketchError> {
+        match self {
+            AnySketcher::SimHash(_) => Err(incompatible(
+                "SimHash sketches quantize to single bits and cannot be merged",
+            )),
+            AnySketcher::WeightedMinHash(s) => {
+                if vector.is_empty() {
+                    return Ok(AnySketch::WeightedMinHash(
+                        s.empty_sketch_with_norm(announced_norm)?,
+                    ));
+                }
+                Ok(AnySketch::WeightedMinHash(
+                    s.sketch_partition(vector, announced_norm)?,
+                ))
+            }
+            AnySketcher::Icws(s) => {
+                if vector.is_empty() {
+                    return Ok(AnySketch::Icws(s.empty_sketch_with_norm(announced_norm)?));
+                }
+                Ok(AnySketch::Icws(s.sketch_partition(vector, announced_norm)?))
+            }
+            AnySketcher::Jl(s) => Ok(AnySketch::Jl(if vector.is_empty() {
+                s.empty_sketch()
+            } else {
+                s.sketch(vector)?
+            })),
+            AnySketcher::CountSketch(s) => Ok(AnySketch::CountSketch(if vector.is_empty() {
+                s.empty_sketch()
+            } else {
+                s.sketch(vector)?
+            })),
+            AnySketcher::MinHash(s) => Ok(AnySketch::MinHash(if vector.is_empty() {
+                s.empty_sketch()
+            } else {
+                s.sketch(vector)?
+            })),
+            AnySketcher::Kmv(s) => Ok(AnySketch::Kmv(if vector.is_empty() {
+                s.empty_sketch()
+            } else {
+                s.sketch(vector)?
+            })),
+        }
+    }
+
     /// The method of this sketcher.
     #[must_use]
     pub fn method(&self) -> SketchMethod {

@@ -55,6 +55,12 @@ impl MinHashSketch {
     pub fn seed(&self) -> u64 {
         self.params.seed
     }
+
+    /// The hash family the sketch's sampler draws from.
+    #[must_use]
+    pub fn hash_kind(&self) -> HashFamilyKind {
+        self.params.hash_kind
+    }
 }
 
 impl Sketch for MinHashSketch {
@@ -124,6 +130,12 @@ impl MinHasher {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.params.seed
+    }
+
+    /// The hash family the sampler draws from.
+    #[must_use]
+    pub fn hash_kind(&self) -> HashFamilyKind {
+        self.params.hash_kind
     }
 }
 

@@ -12,6 +12,7 @@ use crate::error::{corrupt, SketchError};
 use crate::icws::{IcwsSample, IcwsSketch};
 use crate::jl::JlSketch;
 use crate::kmv::{KmvEntry, KmvSketch};
+use crate::method::AnySketch;
 use crate::minhash::{MinHashParams, MinHashSketch};
 use crate::simhash::SimHashSketch;
 use crate::wmh::{WeightedMinHashSketch, WmhParams, WmhVariant};
@@ -31,13 +32,112 @@ const MAGIC: u32 = 0x4950_534B; // "IPSK"
 const VERSION: u8 = 1;
 
 /// Type tags.
-const TAG_MINHASH: u8 = 1;
-const TAG_WMH: u8 = 2;
-const TAG_JL: u8 = 3;
-const TAG_COUNTSKETCH: u8 = 4;
-const TAG_KMV: u8 = 5;
-const TAG_SIMHASH: u8 = 6;
-const TAG_ICWS: u8 = 7;
+pub(crate) const TAG_MINHASH: u8 = 1;
+pub(crate) const TAG_WMH: u8 = 2;
+pub(crate) const TAG_JL: u8 = 3;
+pub(crate) const TAG_COUNTSKETCH: u8 = 4;
+pub(crate) const TAG_KMV: u8 = 5;
+pub(crate) const TAG_SIMHASH: u8 = 6;
+pub(crate) const TAG_ICWS: u8 = 7;
+
+/// FNV-1a 64-bit hash over a byte slice — the workspace's shared cheap checksum and
+/// fingerprint fold.  Not cryptographic: it guards against truncation and bit rot,
+/// not an adversary.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes.iter().fold(FNV_OFFSET, |acc, &byte| {
+        (acc ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// A bounds-checked little-endian reader over a byte slice — the one cursor shared by
+/// every fixed-width decoder in the workspace (sketcher specs, column blobs, catalog
+/// manifests).  Each read fails with [`SketchError::Corrupt`] on truncation instead of
+/// panicking.
+#[derive(Debug)]
+pub struct SliceReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SketchError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| corrupt("truncated encoding"))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, SketchError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, SketchError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, SketchError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads a `u32` length prefix followed by that many UTF-8 bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, SketchError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| corrupt("string field holds invalid UTF-8"))
+    }
+
+    /// Asserts that every byte has been consumed — trailing bytes in an exactly-sized
+    /// field indicate corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] if bytes remain.
+    pub fn finished(&self) -> Result<(), SketchError> {
+        if self.pos != self.bytes.len() {
+            return Err(corrupt("trailing bytes after encoding"));
+        }
+        Ok(())
+    }
+}
 
 /// A sketch that can be encoded to and decoded from a compact binary representation.
 pub trait BinarySketch: Sized {
@@ -112,7 +212,7 @@ fn get_f64(buf: &mut &[u8]) -> Result<f64, SketchError> {
     Ok(buf.get_f64_le())
 }
 
-fn hash_kind_to_u8(kind: HashFamilyKind) -> u8 {
+pub(crate) fn hash_kind_to_u8(kind: HashFamilyKind) -> u8 {
     match kind {
         HashFamilyKind::Wegman31 => 0,
         HashFamilyKind::Wegman61 => 1,
@@ -122,7 +222,7 @@ fn hash_kind_to_u8(kind: HashFamilyKind) -> u8 {
     }
 }
 
-fn hash_kind_from_u8(value: u8) -> Result<HashFamilyKind, SketchError> {
+pub(crate) fn hash_kind_from_u8(value: u8) -> Result<HashFamilyKind, SketchError> {
     Ok(match value {
         0 => HashFamilyKind::Wegman31,
         1 => HashFamilyKind::Wegman61,
@@ -343,6 +443,49 @@ impl BinarySketch for SimHashSketch {
             words,
             norm,
         })
+    }
+}
+
+impl BinarySketch for AnySketch {
+    /// Delegates to the wrapped sketch's encoding; the header's type tag already makes
+    /// every encoding self-describing, so no extra framing is needed.
+    fn to_bytes(&self) -> Bytes {
+        match self {
+            AnySketch::Jl(s) => s.to_bytes(),
+            AnySketch::CountSketch(s) => s.to_bytes(),
+            AnySketch::MinHash(s) => s.to_bytes(),
+            AnySketch::Kmv(s) => s.to_bytes(),
+            AnySketch::WeightedMinHash(s) => s.to_bytes(),
+            AnySketch::SimHash(s) => s.to_bytes(),
+            AnySketch::Icws(s) => s.to_bytes(),
+        }
+    }
+
+    /// Reads the header's type tag and dispatches to the matching sketch decoder, so a
+    /// persisted blob of any method round-trips through one entry point.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SketchError> {
+        // Validate the shared header once (magic + version), then peek the tag.
+        if bytes.len() < 6 {
+            return Err(corrupt("buffer too short for header"));
+        }
+        let magic = u32::from_le_bytes(bytes[..4].try_into().expect("length checked"));
+        if magic != MAGIC {
+            return Err(corrupt(format!("bad magic number {magic:#x}")));
+        }
+        let version = bytes[4];
+        if version != VERSION {
+            return Err(corrupt(format!("unsupported format version {version}")));
+        }
+        match bytes[5] {
+            TAG_MINHASH => MinHashSketch::from_bytes(bytes).map(AnySketch::MinHash),
+            TAG_WMH => WeightedMinHashSketch::from_bytes(bytes).map(AnySketch::WeightedMinHash),
+            TAG_JL => JlSketch::from_bytes(bytes).map(AnySketch::Jl),
+            TAG_COUNTSKETCH => CountSketch::from_bytes(bytes).map(AnySketch::CountSketch),
+            TAG_KMV => KmvSketch::from_bytes(bytes).map(AnySketch::Kmv),
+            TAG_SIMHASH => SimHashSketch::from_bytes(bytes).map(AnySketch::SimHash),
+            TAG_ICWS => IcwsSketch::from_bytes(bytes).map(AnySketch::Icws),
+            other => Err(corrupt(format!("unknown sketch type tag {other}"))),
+        }
     }
 }
 

@@ -24,6 +24,12 @@ pub struct SimHashSketch {
 }
 
 impl SimHashSketch {
+    /// The seed the sketch was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The number of projection bits.
     #[must_use]
     pub fn bits(&self) -> usize {

@@ -1,0 +1,659 @@
+//! Catalog-stable sketcher configuration descriptors.
+//!
+//! A persisted sketch is only usable by the exact sketcher configuration that produced
+//! it — same method, same parameters, same seed (the paper's shared-random-seed
+//! assumption).  [`SketcherSpec`] captures that configuration as plain data with a
+//! stable binary encoding, so an on-disk catalog can record *how* its sketches were
+//! built, rebuild the sketcher when it is reopened, and reject foreign sketches at
+//! load time instead of at estimate time.
+
+use crate::countsketch::CountSketcher;
+use crate::error::{incompatible, SketchError};
+use crate::icws::IcwsSketcher;
+use crate::jl::JlSketcher;
+use crate::kmv::KmvSketcher;
+use crate::method::{AnySketch, AnySketcher, SketchMethod};
+use crate::minhash::MinHasher;
+use crate::serialize::{
+    fnv64, hash_kind_from_u8, hash_kind_to_u8, SliceReader, TAG_COUNTSKETCH, TAG_ICWS, TAG_JL,
+    TAG_KMV, TAG_MINHASH, TAG_SIMHASH, TAG_WMH,
+};
+use crate::simhash::SimHashSketcher;
+use crate::traits::Sketch;
+use crate::wmh::{WeightedMinHasher, WmhVariant};
+use ipsketch_hash::family::HashFamilyKind;
+use std::fmt;
+
+/// Spec encoding version.  Bump on any change to the field layout below.
+const SPEC_VERSION: u8 = 1;
+
+/// The complete configuration of an [`AnySketcher`]: method, sizing parameters and
+/// seed.  Two sketchers with equal specs produce interchangeable sketches; two
+/// sketchers with different specs never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketcherSpec {
+    /// Johnson–Lindenstrauss projection with `rows` rows.
+    Jl {
+        /// Number of projection rows.
+        rows: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// CountSketch with `buckets` buckets per repetition.
+    CountSketch {
+        /// Buckets per repetition.
+        buckets: usize,
+        /// Number of repetitions combined by the median.
+        repetitions: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Unweighted MinHash with `samples` samples.
+    MinHash {
+        /// Number of samples.
+        samples: usize,
+        /// Master seed.
+        seed: u64,
+        /// The hash family the sampler draws from.
+        hash_kind: HashFamilyKind,
+    },
+    /// k-minimum-values sampling with capacity `capacity`.
+    Kmv {
+        /// Sketch capacity `k`.
+        capacity: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Weighted MinHash (Algorithm 3) with `samples` samples on a `1/discretization`
+    /// grid.
+    WeightedMinHash {
+        /// Number of samples.
+        samples: usize,
+        /// Master seed.
+        seed: u64,
+        /// Discretization parameter `L`.
+        discretization: u64,
+        /// Which WMH implementation produced the sketches.
+        variant: WmhVariant,
+    },
+    /// SimHash with `bits` one-bit projections.
+    SimHash {
+        /// Number of projection bits.
+        bits: usize,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Ioffe's consistent weighted sampling with `samples` samples.
+    Icws {
+        /// Number of samples.
+        samples: usize,
+        /// Master seed.
+        seed: u64,
+    },
+}
+
+impl SketcherSpec {
+    /// The sketching method this spec configures.
+    #[must_use]
+    pub fn method(&self) -> SketchMethod {
+        match self {
+            SketcherSpec::Jl { .. } => SketchMethod::Jl,
+            SketcherSpec::CountSketch { .. } => SketchMethod::CountSketch,
+            SketcherSpec::MinHash { .. } => SketchMethod::MinHash,
+            SketcherSpec::Kmv { .. } => SketchMethod::Kmv,
+            SketcherSpec::WeightedMinHash { .. } => SketchMethod::WeightedMinHash,
+            SketcherSpec::SimHash { .. } => SketchMethod::SimHash,
+            SketcherSpec::Icws { .. } => SketchMethod::Icws,
+        }
+    }
+
+    /// The master seed of the configuration.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        match *self {
+            SketcherSpec::Jl { seed, .. }
+            | SketcherSpec::CountSketch { seed, .. }
+            | SketcherSpec::MinHash { seed, .. }
+            | SketcherSpec::Kmv { seed, .. }
+            | SketcherSpec::WeightedMinHash { seed, .. }
+            | SketcherSpec::SimHash { seed, .. }
+            | SketcherSpec::Icws { seed, .. } => seed,
+        }
+    }
+
+    /// Encodes the spec into its stable binary form (version byte, method tag, seed,
+    /// then the method's parameters, all little-endian fixed width).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(SPEC_VERSION);
+        match *self {
+            SketcherSpec::Jl { rows, seed } => {
+                out.push(TAG_JL);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(rows as u64).to_le_bytes());
+            }
+            SketcherSpec::CountSketch {
+                buckets,
+                repetitions,
+                seed,
+            } => {
+                out.push(TAG_COUNTSKETCH);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(buckets as u64).to_le_bytes());
+                out.extend_from_slice(&(repetitions as u64).to_le_bytes());
+            }
+            SketcherSpec::MinHash {
+                samples,
+                seed,
+                hash_kind,
+            } => {
+                out.push(TAG_MINHASH);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(samples as u64).to_le_bytes());
+                out.push(hash_kind_to_u8(hash_kind));
+            }
+            SketcherSpec::Kmv { capacity, seed } => {
+                out.push(TAG_KMV);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(capacity as u64).to_le_bytes());
+            }
+            SketcherSpec::WeightedMinHash {
+                samples,
+                seed,
+                discretization,
+                variant,
+            } => {
+                out.push(TAG_WMH);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(samples as u64).to_le_bytes());
+                out.extend_from_slice(&discretization.to_le_bytes());
+                out.push(match variant {
+                    WmhVariant::Fast => 0,
+                    WmhVariant::Naive => 1,
+                });
+            }
+            SketcherSpec::SimHash { bits, seed } => {
+                out.push(TAG_SIMHASH);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(bits as u64).to_le_bytes());
+            }
+            SketcherSpec::Icws { samples, seed } => {
+                out.push(TAG_ICWS);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(samples as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a spec previously produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] on truncation, an unknown version, or an
+    /// unknown method/variant tag, and rejects trailing bytes (a spec is stored as an
+    /// exactly-sized field, so extra bytes indicate corruption).
+    pub fn decode(bytes: &[u8]) -> Result<Self, SketchError> {
+        let mut cursor = SliceReader::new(bytes);
+        let version = cursor.u8()?;
+        if version != SPEC_VERSION {
+            return Err(SketchError::Corrupt {
+                detail: format!("unsupported sketcher-spec version {version}"),
+            });
+        }
+        let tag = cursor.u8()?;
+        let seed = cursor.u64()?;
+        let spec = match tag {
+            TAG_JL => SketcherSpec::Jl {
+                rows: cursor.u64()? as usize,
+                seed,
+            },
+            TAG_COUNTSKETCH => SketcherSpec::CountSketch {
+                buckets: cursor.u64()? as usize,
+                repetitions: cursor.u64()? as usize,
+                seed,
+            },
+            TAG_MINHASH => SketcherSpec::MinHash {
+                samples: cursor.u64()? as usize,
+                seed,
+                hash_kind: hash_kind_from_u8(cursor.u8()?)?,
+            },
+            TAG_KMV => SketcherSpec::Kmv {
+                capacity: cursor.u64()? as usize,
+                seed,
+            },
+            TAG_WMH => {
+                let samples = cursor.u64()? as usize;
+                let discretization = cursor.u64()?;
+                let variant = match cursor.u8()? {
+                    0 => WmhVariant::Fast,
+                    1 => WmhVariant::Naive,
+                    other => {
+                        return Err(SketchError::Corrupt {
+                            detail: format!("unknown WMH variant tag {other}"),
+                        })
+                    }
+                };
+                SketcherSpec::WeightedMinHash {
+                    samples,
+                    seed,
+                    discretization,
+                    variant,
+                }
+            }
+            TAG_SIMHASH => SketcherSpec::SimHash {
+                bits: cursor.u64()? as usize,
+                seed,
+            },
+            TAG_ICWS => SketcherSpec::Icws {
+                samples: cursor.u64()? as usize,
+                seed,
+            },
+            other => {
+                return Err(SketchError::Corrupt {
+                    detail: format!("unknown sketcher-spec method tag {other}"),
+                })
+            }
+        };
+        cursor.finished()?;
+        Ok(spec)
+    }
+
+    /// A 64-bit fingerprint of the configuration (FNV-1a over the stable encoding).
+    /// Cheap to compare and store; equal specs always have equal fingerprints.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fnv64(&self.encode())
+    }
+
+    /// Builds the sketcher this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if the recorded parameters are out of
+    /// range (e.g. zero samples) or describe a sketcher the dynamic front end cannot
+    /// host (the naive WMH variant, which exists for ablation only).
+    pub fn build(&self) -> Result<AnySketcher, SketchError> {
+        Ok(match *self {
+            SketcherSpec::Jl { rows, seed } => AnySketcher::Jl(JlSketcher::new(rows, seed)?),
+            SketcherSpec::CountSketch {
+                buckets,
+                repetitions,
+                seed,
+            } => AnySketcher::CountSketch(CountSketcher::with_repetitions(
+                buckets,
+                repetitions,
+                seed,
+            )?),
+            SketcherSpec::MinHash {
+                samples,
+                seed,
+                hash_kind,
+            } => AnySketcher::MinHash(MinHasher::with_hash_kind(samples, seed, hash_kind)?),
+            SketcherSpec::Kmv { capacity, seed } => {
+                AnySketcher::Kmv(KmvSketcher::new(capacity, seed)?)
+            }
+            SketcherSpec::WeightedMinHash {
+                samples,
+                seed,
+                discretization,
+                variant,
+            } => {
+                if variant != WmhVariant::Fast {
+                    return Err(SketchError::InvalidParameter {
+                        name: "variant",
+                        allowed: "the fast WMH variant (naive is ablation-only)",
+                    });
+                }
+                AnySketcher::WeightedMinHash(WeightedMinHasher::new(samples, seed, discretization)?)
+            }
+            SketcherSpec::SimHash { bits, seed } => {
+                AnySketcher::SimHash(SimHashSketcher::new(bits, seed)?)
+            }
+            SketcherSpec::Icws { samples, seed } => {
+                AnySketcher::Icws(IcwsSketcher::new(samples, seed)?)
+            }
+        })
+    }
+
+    /// Checks that `sketch` could have been produced by this configuration — same
+    /// method, same seed, same sizing parameters.  This is the load-time gate a
+    /// persistent catalog applies so that incompatible sketches are rejected when they
+    /// are read, not when they are first compared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] describing the first mismatch.
+    pub fn validate_sketch(&self, sketch: &AnySketch) -> Result<(), SketchError> {
+        let mismatch = |what: &str| {
+            Err(incompatible(format!(
+                "stored sketch does not match the catalog sketcher: {what}"
+            )))
+        };
+        match (*self, sketch) {
+            (SketcherSpec::Jl { rows, seed }, AnySketch::Jl(s)) => {
+                if s.seed() != seed {
+                    return mismatch("JL seed differs");
+                }
+                if s.len() != rows {
+                    return mismatch("JL row count differs");
+                }
+            }
+            (
+                SketcherSpec::CountSketch {
+                    buckets,
+                    repetitions,
+                    seed,
+                },
+                AnySketch::CountSketch(s),
+            ) => {
+                if s.seed() != seed {
+                    return mismatch("CountSketch seed differs");
+                }
+                if s.buckets() != buckets || s.repetitions() != repetitions {
+                    return mismatch("CountSketch shape differs");
+                }
+            }
+            (
+                SketcherSpec::MinHash {
+                    samples,
+                    seed,
+                    hash_kind,
+                },
+                AnySketch::MinHash(s),
+            ) => {
+                if s.seed() != seed || s.len() != samples || s.hash_kind() != hash_kind {
+                    return mismatch("MinHash configuration differs");
+                }
+            }
+            (SketcherSpec::Kmv { capacity, seed }, AnySketch::Kmv(s)) => {
+                if s.seed() != seed || s.capacity() != capacity {
+                    return mismatch("KMV configuration differs");
+                }
+            }
+            (
+                SketcherSpec::WeightedMinHash {
+                    samples,
+                    seed,
+                    discretization,
+                    variant,
+                },
+                AnySketch::WeightedMinHash(s),
+            ) => {
+                let params = s.params();
+                if params.seed != seed
+                    || params.samples != samples
+                    || params.discretization != discretization
+                    || params.variant != variant
+                {
+                    return mismatch("WMH configuration differs");
+                }
+            }
+            (SketcherSpec::SimHash { bits, seed }, AnySketch::SimHash(s)) => {
+                if s.seed() != seed || s.bits() != bits {
+                    return mismatch("SimHash configuration differs");
+                }
+            }
+            (SketcherSpec::Icws { samples, seed }, AnySketch::Icws(s)) => {
+                if s.seed() != seed || s.len() != samples {
+                    return mismatch("ICWS configuration differs");
+                }
+            }
+            (_, other_sketch) => {
+                return Err(incompatible(format!(
+                    "stored sketch method does not match the catalog sketcher \
+                     (expected {:?}, found a {} sketch)",
+                    self.method(),
+                    sketch_kind(other_sketch),
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Short human-readable kind label of a sketch, for error messages.
+fn sketch_kind(sketch: &AnySketch) -> &'static str {
+    match sketch {
+        AnySketch::Jl(_) => "JL",
+        AnySketch::CountSketch(_) => "CountSketch",
+        AnySketch::MinHash(_) => "MinHash",
+        AnySketch::Kmv(_) => "KMV",
+        AnySketch::WeightedMinHash(_) => "WMH",
+        AnySketch::SimHash(_) => "SimHash",
+        AnySketch::Icws(_) => "ICWS",
+    }
+}
+
+impl fmt::Display for SketcherSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SketcherSpec::Jl { rows, seed } => write!(f, "JL(rows={rows}, seed={seed})"),
+            SketcherSpec::CountSketch {
+                buckets,
+                repetitions,
+                seed,
+            } => write!(
+                f,
+                "CS(buckets={buckets}, repetitions={repetitions}, seed={seed})"
+            ),
+            SketcherSpec::MinHash {
+                samples,
+                seed,
+                hash_kind,
+            } => write!(f, "MH(samples={samples}, seed={seed}, hash={hash_kind:?})"),
+            SketcherSpec::Kmv { capacity, seed } => write!(f, "KMV(k={capacity}, seed={seed})"),
+            SketcherSpec::WeightedMinHash {
+                samples,
+                seed,
+                discretization,
+                variant,
+            } => write!(
+                f,
+                "WMH(samples={samples}, seed={seed}, L={discretization}, variant={variant:?})"
+            ),
+            SketcherSpec::SimHash { bits, seed } => write!(f, "SimHash(bits={bits}, seed={seed})"),
+            SketcherSpec::Icws { samples, seed } => {
+                write!(f, "ICWS(samples={samples}, seed={seed})")
+            }
+        }
+    }
+}
+
+impl AnySketcher {
+    /// The full configuration of this sketcher as plain, persistable data.
+    /// `AnySketcher::spec().build()` reconstructs an identical sketcher.
+    #[must_use]
+    pub fn spec(&self) -> SketcherSpec {
+        match self {
+            AnySketcher::Jl(s) => SketcherSpec::Jl {
+                rows: s.rows(),
+                seed: s.seed(),
+            },
+            AnySketcher::CountSketch(s) => SketcherSpec::CountSketch {
+                buckets: s.buckets(),
+                repetitions: s.repetitions(),
+                seed: s.seed(),
+            },
+            AnySketcher::MinHash(s) => SketcherSpec::MinHash {
+                samples: s.samples(),
+                seed: s.seed(),
+                hash_kind: s.hash_kind(),
+            },
+            AnySketcher::Kmv(s) => SketcherSpec::Kmv {
+                capacity: s.capacity(),
+                seed: s.seed(),
+            },
+            AnySketcher::WeightedMinHash(s) => {
+                let params = s.params();
+                SketcherSpec::WeightedMinHash {
+                    samples: params.samples,
+                    seed: params.seed,
+                    discretization: params.discretization,
+                    variant: params.variant,
+                }
+            }
+            AnySketcher::SimHash(s) => SketcherSpec::SimHash {
+                bits: s.bits(),
+                seed: s.seed(),
+            },
+            AnySketcher::Icws(s) => SketcherSpec::Icws {
+                samples: s.samples(),
+                seed: s.seed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Sketcher;
+    use ipsketch_vector::SparseVector;
+
+    fn all_specs() -> Vec<SketcherSpec> {
+        SketchMethod::all()
+            .into_iter()
+            .map(|method| {
+                AnySketcher::for_budget(method, 96.0, 42)
+                    .expect("budget fits every method")
+                    .spec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_method() {
+        for spec in all_specs() {
+            let encoded = spec.encode();
+            let decoded = SketcherSpec::decode(&encoded).expect("fresh encoding decodes");
+            assert_eq!(decoded, spec);
+        }
+    }
+
+    #[test]
+    fn build_reconstructs_an_equivalent_sketcher() {
+        let v = SparseVector::from_pairs((0..40u64).map(|i| (i * 5, (i as f64) - 11.0)))
+            .expect("finite values");
+        for spec in all_specs() {
+            let rebuilt = spec.build().expect("spec built from a live sketcher");
+            assert_eq!(rebuilt.spec(), spec);
+            assert_eq!(rebuilt.method(), spec.method());
+            // The rebuilt sketcher produces bit-identical sketches.
+            let original = spec.build().expect("second build");
+            assert_eq!(
+                rebuilt.sketch(&v).expect("sketch"),
+                original.sketch(&v).expect("sketch")
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        let base = SketcherSpec::Kmv {
+            capacity: 32,
+            seed: 7,
+        };
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        let other_seed = SketcherSpec::Kmv {
+            capacity: 32,
+            seed: 8,
+        };
+        let other_size = SketcherSpec::Kmv {
+            capacity: 33,
+            seed: 7,
+        };
+        let other_method = SketcherSpec::Icws {
+            samples: 32,
+            seed: 7,
+        };
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        assert_ne!(base.fingerprint(), other_size.fingerprint());
+        assert_ne!(base.fingerprint(), other_method.fingerprint());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let spec = SketcherSpec::WeightedMinHash {
+            samples: 16,
+            seed: 9,
+            discretization: 1 << 20,
+            variant: WmhVariant::Fast,
+        };
+        let encoded = spec.encode();
+        // Truncations at every prefix length fail loudly.
+        for cut in 0..encoded.len() {
+            assert!(
+                matches!(
+                    SketcherSpec::decode(&encoded[..cut]),
+                    Err(SketchError::Corrupt { .. })
+                ),
+                "cut at {cut} should be corrupt"
+            );
+        }
+        // Trailing bytes are rejected.
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(SketcherSpec::decode(&padded).is_err());
+        // Unknown version and method tags are rejected.
+        let mut bad_version = encoded.clone();
+        bad_version[0] = 99;
+        assert!(SketcherSpec::decode(&bad_version).is_err());
+        let mut bad_tag = encoded;
+        bad_tag[1] = 200;
+        assert!(SketcherSpec::decode(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn naive_wmh_variant_cannot_build() {
+        let spec = SketcherSpec::WeightedMinHash {
+            samples: 8,
+            seed: 1,
+            discretization: 256,
+            variant: WmhVariant::Naive,
+        };
+        // Round-trips as data but refuses to build a dynamic sketcher.
+        assert_eq!(SketcherSpec::decode(&spec.encode()).expect("decodes"), spec);
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn validate_sketch_accepts_own_and_rejects_foreign() {
+        let v = SparseVector::from_pairs((0..30u64).map(|i| (i * 2, 1.0 + i as f64)))
+            .expect("finite values");
+        let sketchers: Vec<AnySketcher> = SketchMethod::all()
+            .into_iter()
+            .map(|m| AnySketcher::for_budget(m, 96.0, 3).expect("budget fits"))
+            .collect();
+        for sketcher in &sketchers {
+            let spec = sketcher.spec();
+            let sketch = sketcher.sketch(&v).expect("sketch");
+            assert!(spec.validate_sketch(&sketch).is_ok());
+            // A different seed of the same method is rejected.
+            let reseeded = AnySketcher::for_budget(sketcher.method(), 96.0, 4)
+                .expect("budget fits")
+                .sketch(&v)
+                .expect("sketch");
+            assert!(matches!(
+                spec.validate_sketch(&reseeded),
+                Err(SketchError::IncompatibleSketches { .. })
+            ));
+            // Every other method's sketch is rejected.
+            for other in &sketchers {
+                if other.method() != sketcher.method() {
+                    let foreign = other.sketch(&v).expect("sketch");
+                    assert!(spec.validate_sketch(&foreign).is_err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        for spec in all_specs() {
+            let text = spec.to_string();
+            assert!(text.contains("seed="), "{text}");
+        }
+    }
+}

@@ -28,6 +28,15 @@ pub enum JoinError {
         /// The column name.
         column: String,
     },
+    /// An indexed column produced a non-finite (NaN or infinite) ranking score, which
+    /// cannot be ordered against other candidates.  This indicates a corrupt or
+    /// hand-constructed sketch; well-formed sketches always estimate finite values.
+    NonFiniteScore {
+        /// The table of the offending candidate column.
+        table: String,
+        /// The name of the offending candidate column.
+        column: String,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -41,6 +50,12 @@ impl fmt::Display for JoinError {
             }
             JoinError::EmptyColumn { table, column } => {
                 write!(f, "column `{table}.{column}` has no rows")
+            }
+            JoinError::NonFiniteScore { table, column } => {
+                write!(
+                    f,
+                    "column `{table}.{column}` produced a non-finite ranking score"
+                )
             }
         }
     }
@@ -101,6 +116,11 @@ mod tests {
             column: "c".into(),
         };
         assert!(e.to_string().contains("no rows"));
+        let e = JoinError::NonFiniteScore {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("non-finite"));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::error::JoinError;
 use crate::exact::JoinStatistics;
 use crate::vectorize::ColumnVectors;
 use ipsketch_core::method::{AnySketch, AnySketcher, SketchMethod};
+use ipsketch_core::serialize::{BinarySketch, SliceReader};
 use ipsketch_core::traits::{Sketch, Sketcher};
 use ipsketch_core::SketchError;
 use ipsketch_data::Table;
@@ -30,13 +31,154 @@ pub struct SketchedColumn {
     squared_values: AnySketch,
 }
 
+/// Magic number identifying a serialized [`SketchedColumn`] blob ("IPCL").
+const COLUMN_BLOB_MAGIC: u32 = 0x4950_434C;
+/// Current column-blob format version.
+const COLUMN_BLOB_VERSION: u8 = 1;
+
 impl SketchedColumn {
+    /// Assembles a sketched column from its parts — the hydration path a persistent
+    /// catalog takes when loading stored sketches back into an index.  The three
+    /// sketches must have been produced by the same sketcher configuration; this is
+    /// not checkable here (sketches do not know which Figure-3 vector they summarize),
+    /// so catalogs validate each sketch against their recorded
+    /// [`SketcherSpec`](ipsketch_core::SketcherSpec) before calling this.
+    #[must_use]
+    pub fn from_parts(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        rows: usize,
+        key_indicator: AnySketch,
+        values: AnySketch,
+        squared_values: AnySketch,
+    ) -> Self {
+        Self {
+            table: table.into(),
+            column: column.into(),
+            rows,
+            key_indicator,
+            values,
+            squared_values,
+        }
+    }
+
+    /// The sketch of the key-indicator vector `x_1[K]`.
+    #[must_use]
+    pub fn key_indicator(&self) -> &AnySketch {
+        &self.key_indicator
+    }
+
+    /// The sketch of the value vector `x_V`.
+    #[must_use]
+    pub fn values(&self) -> &AnySketch {
+        &self.values
+    }
+
+    /// The sketch of the squared-value vector `x_{V²}`.
+    #[must_use]
+    pub fn squared_values(&self) -> &AnySketch {
+        &self.squared_values
+    }
+
     /// Total storage of the three sketches, in 64-bit-double equivalents.
     #[must_use]
     pub fn storage_doubles(&self) -> f64 {
         self.key_indicator.storage_doubles()
             + self.values.storage_doubles()
             + self.squared_values.storage_doubles()
+    }
+
+    /// Encodes the column into a self-describing binary blob (magic, version, names,
+    /// row count, then the three sketches length-prefixed) — the unit of storage of the
+    /// on-disk sketch catalog.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_sketch(out: &mut Vec<u8>, sketch: &AnySketch) {
+            let bytes = BinarySketch::to_bytes(sketch);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&COLUMN_BLOB_MAGIC.to_le_bytes());
+        out.push(COLUMN_BLOB_VERSION);
+        put_str(&mut out, &self.table);
+        put_str(&mut out, &self.column);
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        put_sketch(&mut out, &self.key_indicator);
+        put_sketch(&mut out, &self.values);
+        put_sketch(&mut out, &self.squared_values);
+        out
+    }
+
+    /// Decodes a blob previously produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] wrapping [`SketchError::Corrupt`] on truncation,
+    /// bad magic/version, malformed strings, or undecodable sketches.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, JoinError> {
+        let corrupt = |detail: &str| {
+            JoinError::Sketch(SketchError::Corrupt {
+                detail: detail.to_string(),
+            })
+        };
+        let mut reader = SliceReader::new(bytes);
+        if reader.u32()? != COLUMN_BLOB_MAGIC {
+            return Err(corrupt("bad column-blob magic number"));
+        }
+        if reader.u8()? != COLUMN_BLOB_VERSION {
+            return Err(corrupt("unsupported column-blob version"));
+        }
+        let table = reader.string()?;
+        let column = reader.string()?;
+        let rows = reader.u64()? as usize;
+        let mut get_sketch = || -> Result<AnySketch, JoinError> {
+            let len = reader.u32()? as usize;
+            Ok(AnySketch::from_bytes(reader.take(len)?)?)
+        };
+        let key_indicator = get_sketch()?;
+        let values = get_sketch()?;
+        let squared_values = get_sketch()?;
+        reader.finished()?;
+        Ok(Self {
+            table,
+            column,
+            rows,
+            key_indicator,
+            values,
+            squared_values,
+        })
+    }
+}
+
+/// One shard's contribution to the squared norms of a column's three Figure-3 vectors
+/// — the payload of the announced-norm (`Σv²`) exchange that precedes distributed
+/// sketching for the normalized samplers (WMH, ICWS).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ColumnNormPartials {
+    /// Rows in the shard.
+    pub rows: usize,
+    /// `Σ 1²` over the shard's keys (= the shard's row count, kept separate so the
+    /// exchange is uniform across the three vectors).
+    pub key_indicator_sq: f64,
+    /// `Σ v²` over the shard's values.
+    pub values_sq: f64,
+    /// `Σ v⁴` over the shard's values (the squared-value vector's squared norm).
+    pub squared_values_sq: f64,
+}
+
+impl ColumnNormPartials {
+    /// Accumulates another shard's partials (the coordinator-side fold of the
+    /// first-pass exchange).
+    pub fn add(&mut self, other: &ColumnNormPartials) {
+        self.rows += other.rows;
+        self.key_indicator_sq += other.key_indicator_sq;
+        self.values_sq += other.values_sq;
+        self.squared_values_sq += other.squared_values_sq;
     }
 }
 
@@ -136,6 +278,113 @@ impl JoinEstimator {
         })
     }
 
+    /// Computes a shard's contribution to the squared Euclidean norms of the three
+    /// Figure-3 vectors of `table.column` — the first pass of the announced-norm
+    /// protocol.  Shards evaluate this locally on their row range; a coordinator sums
+    /// the partials with [`ColumnNormPartials::add`] to obtain the full column's norms,
+    /// which every shard then uses in [`sketch_column_shard`](Self::sketch_column_shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing or the shard has no rows.
+    pub fn column_norm_partials(
+        table: &Table,
+        column: &str,
+    ) -> Result<ColumnNormPartials, JoinError> {
+        let vectors = ColumnVectors::from_table(table, column)?;
+        Ok(ColumnNormPartials {
+            rows: vectors.rows,
+            key_indicator_sq: vectors.key_indicator.norm_squared(),
+            values_sq: vectors.values.norm_squared(),
+            squared_values_sq: vectors.squared_values.norm_squared(),
+        })
+    }
+
+    /// Sketches a shard's row range of `table.column` against announced full-column
+    /// norms — the second pass of the announced-norm protocol.  `announced` must be the
+    /// sum of every shard's [`column_norm_partials`](Self::column_norm_partials);
+    /// partial columns built this way fold with
+    /// [`merge_sketched_columns`](Self::merge_sketched_columns) into a column
+    /// interchangeable with [`sketch_column`](Self::sketch_column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::EmptyColumn`] when the announced value mass is zero (the
+    /// full column is all zeros — unsketchable through any path), and sketching errors
+    /// otherwise.
+    pub fn sketch_column_shard(
+        &self,
+        table: &Table,
+        column: &str,
+        announced: &ColumnNormPartials,
+    ) -> Result<SketchedColumn, JoinError> {
+        let vectors = ColumnVectors::from_table(table, column)?;
+        if announced.values_sq <= 0.0 {
+            return Err(JoinError::EmptyColumn {
+                table: vectors.table,
+                column: vectors.column,
+            });
+        }
+        Ok(SketchedColumn {
+            table: vectors.table,
+            column: vectors.column,
+            rows: vectors.rows,
+            key_indicator: self
+                .sketcher
+                .sketch_partial(&vectors.key_indicator, announced.key_indicator_sq.sqrt())?,
+            values: self
+                .sketcher
+                .sketch_partial(&vectors.values, announced.values_sq.sqrt())?,
+            squared_values: self
+                .sketcher
+                .sketch_partial(&vectors.squared_values, announced.squared_values_sq.sqrt())?,
+        })
+    }
+
+    /// Folds two shard-partial sketched columns of the same `table.column` into one —
+    /// the coordinator side of distributed registration.  Row counts add; the three
+    /// sketches merge with [`MergeableSketcher`](ipsketch_core::MergeableSketcher)
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] for non-mergeable methods or mismatched sketch
+    /// configurations, and [`JoinError::NotIndexed`]-style mismatches are reported as
+    /// [`JoinError::Sketch`] incompatibilities when the partials name different
+    /// columns.
+    pub fn merge_sketched_columns(
+        &self,
+        a: &SketchedColumn,
+        b: &SketchedColumn,
+    ) -> Result<SketchedColumn, JoinError> {
+        if a.table != b.table || a.column != b.column {
+            return Err(JoinError::Sketch(SketchError::IncompatibleSketches {
+                detail: format!(
+                    "cannot merge partials of different columns: `{}.{}` vs `{}.{}`",
+                    a.table, a.column, b.table, b.column
+                ),
+            }));
+        }
+        Ok(SketchedColumn {
+            table: a.table.clone(),
+            column: a.column.clone(),
+            rows: a.rows + b.rows,
+            key_indicator: self
+                .sketcher
+                .merge_sketches(&a.key_indicator, &b.key_indicator)?,
+            values: self.sketcher.merge_sketches(&a.values, &b.values)?,
+            squared_values: self
+                .sketcher
+                .merge_sketches(&a.squared_values, &b.squared_values)?,
+        })
+    }
+
+    /// The underlying dynamic sketcher.
+    #[must_use]
+    pub fn sketcher(&self) -> &AnySketcher {
+        &self.sketcher
+    }
+
     /// Estimates the full set of post-join statistics for a pair of sketched columns.
     ///
     /// # Errors
@@ -209,53 +458,229 @@ mod tests {
             .map(|&k| correlation_sign * ((k % 17) as f64 + 1.0) + 0.5)
             .collect();
         (
-            Table::new("A", keys_a, vec![Column::new("v", values_a)]).unwrap(),
-            Table::new("B", keys_b, vec![Column::new("v", values_b)]).unwrap(),
+            Table::new("A", keys_a, vec![Column::new("v", values_a)]).expect("unique keys"),
+            Table::new("B", keys_b, vec![Column::new("v", values_b)]).expect("unique keys"),
         )
     }
 
     #[test]
-    fn constructors_and_accessors() {
-        let est = JoinEstimator::weighted_minhash(200.0, 1).unwrap();
+    fn constructors_and_accessors() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(200.0, 1)?;
         assert_eq!(est.method(), SketchMethod::WeightedMinHash);
+        assert_eq!(est.sketcher().method(), SketchMethod::WeightedMinHash);
         assert!(JoinEstimator::weighted_minhash(0.5, 1).is_err());
-        let jl = JoinEstimator::new(AnySketcher::for_budget(SketchMethod::Jl, 100.0, 1).unwrap());
+        let jl = JoinEstimator::new(AnySketcher::for_budget(SketchMethod::Jl, 100.0, 1)?);
         assert_eq!(jl.method(), SketchMethod::Jl);
+        Ok(())
     }
 
     #[test]
-    fn sketch_column_validates_input() {
-        let est = JoinEstimator::weighted_minhash(100.0, 1).unwrap();
+    fn sketch_column_validates_input() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(100.0, 1)?;
         let (ta, _) = Table::figure_2_tables();
         assert!(est.sketch_column(&ta, "V_A").is_ok());
         assert!(est.sketch_column(&ta, "missing").is_err());
-        let zero = Table::new("z", vec![1, 2], vec![Column::new("v", vec![0.0, 0.0])]).unwrap();
+        let zero = Table::new("z", vec![1, 2], vec![Column::new("v", vec![0.0, 0.0])])?;
         assert!(matches!(
             est.sketch_column(&zero, "v"),
             Err(JoinError::EmptyColumn { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn sketched_column_metadata_and_storage() {
-        let est = JoinEstimator::weighted_minhash(100.0, 1).unwrap();
+    fn sketched_column_metadata_and_storage() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(100.0, 1)?;
         let (ta, _) = Table::figure_2_tables();
-        let sc = est.sketch_column(&ta, "V_A").unwrap();
+        let sc = est.sketch_column(&ta, "V_A")?;
         assert_eq!(sc.table, "T_A");
         assert_eq!(sc.column, "V_A");
         assert_eq!(sc.rows, 9);
         assert!(sc.storage_doubles() <= 300.0 + 1e-9);
         assert!(sc.storage_doubles() > 0.0);
+        Ok(())
     }
 
     #[test]
-    fn estimates_track_exact_statistics_on_large_tables() {
+    fn from_parts_and_accessors_round_trip() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(100.0, 1)?;
+        let (ta, _) = Table::figure_2_tables();
+        let sc = est.sketch_column(&ta, "V_A")?;
+        let rebuilt = SketchedColumn::from_parts(
+            sc.table.clone(),
+            sc.column.clone(),
+            sc.rows,
+            sc.key_indicator().clone(),
+            sc.values().clone(),
+            sc.squared_values().clone(),
+        );
+        assert_eq!(rebuilt, sc);
+        Ok(())
+    }
+
+    #[test]
+    fn column_blobs_round_trip_and_reject_corruption() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(120.0, 3)?;
+        let (ta, tb) = Table::figure_2_tables();
+        let sa = est.sketch_column(&ta, "V_A")?;
+        let sb = est.sketch_column(&tb, "V_B")?;
+        let bytes = sa.to_bytes();
+        let decoded = SketchedColumn::from_bytes(&bytes)?;
+        assert_eq!(decoded, sa);
+        // A decoded column estimates identically against a live one.
+        let live = est.estimate(&sa, &sb)?;
+        let hydrated = est.estimate(&decoded, &sb)?;
+        assert_eq!(live.join_size.to_bits(), hydrated.join_size.to_bits());
+
+        // Truncations and header damage are typed corruption errors.
+        for cut in [0, 3, 5, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    SketchedColumn::from_bytes(&bytes[..cut]),
+                    Err(JoinError::Sketch(SketchError::Corrupt { .. }))
+                ),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(SketchedColumn::from_bytes(&bad_magic).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(SketchedColumn::from_bytes(&bad_version).is_err());
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(SketchedColumn::from_bytes(&padded).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn shard_norm_partials_sum_to_the_full_column_norms() -> Result<(), JoinError> {
+        let (ta, _) = correlated_tables(600, 300, 1.0);
+        let full = JoinEstimator::column_norm_partials(&ta, "v")?;
+        // Split the rows in three and sum the shard partials.
+        let keys = ta.keys();
+        let values = &ta.columns()[0].values;
+        let mut summed = ColumnNormPartials::default();
+        for range in [0..200, 200..400, 400..600] {
+            let shard = Table::new(
+                "A",
+                keys[range.clone()].to_vec(),
+                vec![Column::new("v", values[range].to_vec())],
+            )?;
+            summed.add(&JoinEstimator::column_norm_partials(&shard, "v")?);
+        }
+        assert_eq!(summed.rows, full.rows);
+        assert_eq!(summed.key_indicator_sq, full.key_indicator_sq);
+        assert!((summed.values_sq - full.values_sq).abs() <= 1e-9 * full.values_sq);
+        assert!(
+            (summed.squared_values_sq - full.squared_values_sq).abs()
+                <= 1e-9 * full.squared_values_sq
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn shard_sketching_folds_into_estimates_matching_one_shot() -> Result<(), JoinError> {
+        let (ta, tb) = correlated_tables(900, 500, 1.0);
+        for method in [
+            SketchMethod::Jl,
+            SketchMethod::CountSketch,
+            SketchMethod::MinHash,
+            SketchMethod::Kmv,
+            SketchMethod::WeightedMinHash,
+            SketchMethod::Icws,
+        ] {
+            let est = JoinEstimator::new(AnySketcher::for_budget(method, 300.0, 23)?);
+            // First pass: shard-local Σv² partials, folded into the announced norms.
+            let keys = ta.keys();
+            let values = &ta.columns()[0].values;
+            let shards: Vec<Table> = [0..300, 300..600, 600..900]
+                .into_iter()
+                .map(|range| {
+                    Table::new(
+                        "A",
+                        keys[range.clone()].to_vec(),
+                        vec![Column::new("v", values[range].to_vec())],
+                    )
+                    .expect("contiguous row range of a valid table")
+                })
+                .collect();
+            let mut announced = ColumnNormPartials::default();
+            for shard in &shards {
+                announced.add(&JoinEstimator::column_norm_partials(shard, "v")?);
+            }
+            // Second pass: shard sketches folded left to right.
+            let mut folded: Option<SketchedColumn> = None;
+            for shard in &shards {
+                let partial = est.sketch_column_shard(shard, "v", &announced)?;
+                folded = Some(match folded {
+                    None => partial,
+                    Some(acc) => est.merge_sketched_columns(&acc, &partial)?,
+                });
+            }
+            let folded = folded.expect("three shards were folded");
+            assert_eq!(folded.rows, 900);
+
+            let one_shot = est.sketch_column(&ta, "v")?;
+            let sb = est.sketch_column(&tb, "v")?;
+            let from_folded = est.estimate(&folded, &sb)?;
+            let from_one_shot = est.estimate(&one_shot, &sb)?;
+            let tolerance = match method {
+                SketchMethod::WeightedMinHash => 0.10 * from_one_shot.join_size.max(100.0),
+                _ => 1e-6 * (1.0 + from_one_shot.join_size.abs()),
+            };
+            assert!(
+                (from_folded.join_size - from_one_shot.join_size).abs() <= tolerance,
+                "{method:?}: folded {} vs one-shot {}",
+                from_folded.join_size,
+                from_one_shot.join_size
+            );
+            // The sampling methods fold bit-identically.
+            if matches!(
+                method,
+                SketchMethod::MinHash | SketchMethod::Kmv | SketchMethod::Icws
+            ) {
+                assert_eq!(folded, one_shot, "{method:?}");
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn merge_sketched_columns_rejects_different_columns() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(150.0, 5)?;
+        let (ta, tb) = Table::figure_2_tables();
+        let sa = est.sketch_column(&ta, "V_A")?;
+        let sb = est.sketch_column(&tb, "V_B")?;
+        assert!(matches!(
+            est.merge_sketched_columns(&sa, &sb),
+            Err(JoinError::Sketch(SketchError::IncompatibleSketches { .. }))
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn sketch_column_shard_rejects_zero_value_mass() -> Result<(), JoinError> {
+        let est = JoinEstimator::weighted_minhash(100.0, 5)?;
+        let zero = Table::new("z", vec![1, 2], vec![Column::new("v", vec![0.0, 0.0])])?;
+        let announced = JoinEstimator::column_norm_partials(&zero, "v")?;
+        assert_eq!(announced.values_sq, 0.0);
+        assert!(matches!(
+            est.sketch_column_shard(&zero, "v", &announced),
+            Err(JoinError::EmptyColumn { .. })
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn estimates_track_exact_statistics_on_large_tables() -> Result<(), JoinError> {
         let (ta, tb) = correlated_tables(2_000, 1_000, 1.0);
-        let exact = exact_join_statistics(&ta, "v", &tb, "v").unwrap();
-        let est = JoinEstimator::weighted_minhash(600.0, 7).unwrap();
-        let sa = est.sketch_column(&ta, "v").unwrap();
-        let sb = est.sketch_column(&tb, "v").unwrap();
-        let approx = est.estimate(&sa, &sb).unwrap();
+        let exact = exact_join_statistics(&ta, "v", &tb, "v")?;
+        let est = JoinEstimator::weighted_minhash(600.0, 7)?;
+        let sa = est.sketch_column(&ta, "v")?;
+        let sb = est.sketch_column(&tb, "v")?;
+        let approx = est.estimate(&sa, &sb)?;
 
         assert!(
             (approx.join_size - exact.join_size).abs() / exact.join_size < 0.25,
@@ -289,26 +714,28 @@ mod tests {
             "estimated correlation {} too far from 1",
             approx.correlation
         );
+        Ok(())
     }
 
     #[test]
-    fn negative_correlation_is_detected() {
+    fn negative_correlation_is_detected() -> Result<(), JoinError> {
         let (ta, tb) = correlated_tables(2_000, 1_200, -1.0);
-        let exact = exact_join_statistics(&ta, "v", &tb, "v").unwrap();
+        let exact = exact_join_statistics(&ta, "v", &tb, "v")?;
         assert!(exact.correlation < -0.99);
-        let est = JoinEstimator::weighted_minhash(600.0, 3).unwrap();
-        let sa = est.sketch_column(&ta, "v").unwrap();
-        let sb = est.sketch_column(&tb, "v").unwrap();
-        let approx = est.estimate(&sa, &sb).unwrap();
+        let est = JoinEstimator::weighted_minhash(600.0, 3)?;
+        let sa = est.sketch_column(&ta, "v")?;
+        let sb = est.sketch_column(&tb, "v")?;
+        let approx = est.estimate(&sa, &sb)?;
         assert!(
             approx.correlation < -0.4,
             "estimated correlation {} should be strongly negative",
             approx.correlation
         );
+        Ok(())
     }
 
     #[test]
-    fn disjoint_tables_estimate_empty_join() {
+    fn disjoint_tables_estimate_empty_join() -> Result<(), JoinError> {
         let a = Table::new(
             "a",
             (0..100).collect(),
@@ -316,8 +743,7 @@ mod tests {
                 "v",
                 (0..100).map(f64::from).map(|x| x + 1.0).collect(),
             )],
-        )
-        .unwrap();
+        )?;
         let b = Table::new(
             "b",
             (1_000..1_100).collect(),
@@ -325,30 +751,31 @@ mod tests {
                 "v",
                 (0..100).map(f64::from).map(|x| x + 1.0).collect(),
             )],
-        )
-        .unwrap();
-        let est = JoinEstimator::weighted_minhash(300.0, 5).unwrap();
-        let sa = est.sketch_column(&a, "v").unwrap();
-        let sb = est.sketch_column(&b, "v").unwrap();
-        let approx = est.estimate(&sa, &sb).unwrap();
+        )?;
+        let est = JoinEstimator::weighted_minhash(300.0, 5)?;
+        let sa = est.sketch_column(&a, "v")?;
+        let sb = est.sketch_column(&b, "v")?;
+        let approx = est.estimate(&sa, &sb)?;
         assert_eq!(approx.join_size, 0.0);
         assert_eq!(approx.inner_product, 0.0);
         assert_eq!(approx.correlation, 0.0);
-        assert_eq!(est.estimate_join_size(&sa, &sb).unwrap(), 0.0);
+        assert_eq!(est.estimate_join_size(&sa, &sb)?, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn incompatible_estimators_are_rejected() {
+    fn incompatible_estimators_are_rejected() -> Result<(), JoinError> {
         let (ta, tb) = Table::figure_2_tables();
-        let est1 = JoinEstimator::weighted_minhash(100.0, 1).unwrap();
-        let est2 = JoinEstimator::weighted_minhash(100.0, 2).unwrap();
-        let sa = est1.sketch_column(&ta, "V_A").unwrap();
-        let sb = est2.sketch_column(&tb, "V_B").unwrap();
+        let est1 = JoinEstimator::weighted_minhash(100.0, 1)?;
+        let est2 = JoinEstimator::weighted_minhash(100.0, 2)?;
+        let sa = est1.sketch_column(&ta, "V_A")?;
+        let sb = est2.sketch_column(&tb, "V_B")?;
         assert!(est1.estimate(&sa, &sb).is_err());
+        Ok(())
     }
 
     #[test]
-    fn partitioned_sketching_matches_one_shot_estimates() {
+    fn partitioned_sketching_matches_one_shot_estimates() -> Result<(), JoinError> {
         let (ta, tb) = correlated_tables(1_500, 800, 1.0);
         for method in [
             SketchMethod::Jl,
@@ -358,11 +785,11 @@ mod tests {
             SketchMethod::WeightedMinHash,
             SketchMethod::Icws,
         ] {
-            let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 17).unwrap());
-            let one_a = est.sketch_column(&ta, "v").unwrap();
-            let one_b = est.sketch_column(&tb, "v").unwrap();
-            let part_a = est.sketch_column_partitioned(&ta, "v", 4).unwrap();
-            let part_b = est.sketch_column_partitioned(&tb, "v", 4).unwrap();
+            let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 17)?);
+            let one_a = est.sketch_column(&ta, "v")?;
+            let one_b = est.sketch_column(&tb, "v")?;
+            let part_a = est.sketch_column_partitioned(&ta, "v", 4)?;
+            let part_b = est.sketch_column_partitioned(&tb, "v", 4)?;
             // The sampling methods produce bit-identical sketches through either path.
             if matches!(
                 method,
@@ -371,8 +798,8 @@ mod tests {
                 assert_eq!(part_a, one_a, "{method:?}");
                 assert_eq!(part_b, one_b, "{method:?}");
             }
-            let from_one = est.estimate(&one_a, &one_b).unwrap();
-            let from_parts = est.estimate(&part_a, &part_b).unwrap();
+            let from_one = est.estimate(&one_a, &one_b)?;
+            let from_parts = est.estimate(&part_a, &part_b)?;
             let tolerance = match method {
                 SketchMethod::WeightedMinHash => 0.10 * from_one.join_size.max(100.0),
                 _ => 1e-6 * (1.0 + from_one.join_size.abs()),
@@ -384,18 +811,19 @@ mod tests {
                 from_one.join_size
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn partitioned_sketching_rejects_simhash() {
+    fn partitioned_sketching_rejects_simhash() -> Result<(), JoinError> {
         let (ta, _) = Table::figure_2_tables();
-        let est =
-            JoinEstimator::new(AnySketcher::for_budget(SketchMethod::SimHash, 100.0, 1).unwrap());
+        let est = JoinEstimator::new(AnySketcher::for_budget(SketchMethod::SimHash, 100.0, 1)?);
         assert!(est.sketch_column_partitioned(&ta, "V_A", 2).is_err());
+        Ok(())
     }
 
     #[test]
-    fn works_for_every_sketch_method_on_lake_columns() {
+    fn works_for_every_sketch_method_on_lake_columns() -> Result<(), JoinError> {
         let lake = DataLakeConfig {
             tables: 4,
             columns_per_table: 1,
@@ -403,18 +831,17 @@ mod tests {
             max_rows: 600,
             key_universe: 1_500,
         }
-        .generate(21)
-        .unwrap();
+        .generate(21)?;
         let ta = &lake.tables()[0];
         let tb = &lake.tables()[1];
         let col_a = ta.columns()[0].name.clone();
         let col_b = tb.columns()[0].name.clone();
-        let exact = exact_join_statistics(ta, &col_a, tb, &col_b).unwrap();
+        let exact = exact_join_statistics(ta, &col_a, tb, &col_b)?;
         for method in SketchMethod::paper_baselines() {
-            let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 11).unwrap());
-            let sa = est.sketch_column(ta, &col_a).unwrap();
-            let sb = est.sketch_column(tb, &col_b).unwrap();
-            let approx = est.estimate(&sa, &sb).unwrap();
+            let est = JoinEstimator::new(AnySketcher::for_budget(method, 400.0, 11)?);
+            let sa = est.sketch_column(ta, &col_a)?;
+            let sb = est.sketch_column(tb, &col_b)?;
+            let approx = est.estimate(&sa, &sb)?;
             // Join size is bounded by the smaller table and should be in the right
             // ballpark for every method at this budget.
             assert!(
@@ -424,5 +851,6 @@ mod tests {
                 exact.join_size
             );
         }
+        Ok(())
     }
 }

@@ -114,9 +114,9 @@ mod tests {
     use ipsketch_data::Column;
 
     #[test]
-    fn figure_2_statistics() {
+    fn figure_2_statistics() -> Result<(), JoinError> {
         let (ta, tb) = Table::figure_2_tables();
-        let stats = exact_join_statistics(&ta, "V_A", &tb, "V_B").unwrap();
+        let stats = exact_join_statistics(&ta, "V_A", &tb, "V_B")?;
         assert_eq!(stats.join_size, 4.0);
         assert!((stats.sum_a - 12.0).abs() < 1e-12);
         assert!((stats.sum_b - 10.5).abs() < 1e-12);
@@ -125,55 +125,59 @@ mod tests {
         // 6·5 + 1·1 + 2·2 + 3·2.5 = 42.5.
         assert!((stats.inner_product - 42.5).abs() < 1e-12);
         assert!(stats.correlation.abs() <= 1.0);
+        Ok(())
     }
 
     #[test]
-    fn disjoint_tables_have_empty_join() {
-        let a = Table::new("a", vec![1, 2], vec![Column::new("v", vec![1.0, 2.0])]).unwrap();
-        let b = Table::new("b", vec![3, 4], vec![Column::new("v", vec![3.0, 4.0])]).unwrap();
-        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+    fn disjoint_tables_have_empty_join() -> Result<(), JoinError> {
+        let a = Table::new("a", vec![1, 2], vec![Column::new("v", vec![1.0, 2.0])])?;
+        let b = Table::new("b", vec![3, 4], vec![Column::new("v", vec![3.0, 4.0])])?;
+        let stats = exact_join_statistics(&a, "v", &b, "v")?;
         assert_eq!(stats.join_size, 0.0);
         assert_eq!(stats.sum_a, 0.0);
         assert_eq!(stats.mean_a, 0.0);
         assert_eq!(stats.correlation, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn perfectly_correlated_columns() {
+    fn perfectly_correlated_columns() -> Result<(), JoinError> {
         let keys: Vec<u64> = (0..50).collect();
         let values_a: Vec<f64> = (0..50).map(f64::from).collect();
         let values_b: Vec<f64> = (0..50).map(|i| 3.0 * f64::from(i) + 1.0).collect();
-        let a = Table::new("a", keys.clone(), vec![Column::new("v", values_a)]).unwrap();
-        let b = Table::new("b", keys, vec![Column::new("v", values_b)]).unwrap();
-        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        let a = Table::new("a", keys.clone(), vec![Column::new("v", values_a)])?;
+        let b = Table::new("b", keys, vec![Column::new("v", values_b)])?;
+        let stats = exact_join_statistics(&a, "v", &b, "v")?;
         assert_eq!(stats.join_size, 50.0);
         assert!((stats.correlation - 1.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn anti_correlated_columns() {
+    fn anti_correlated_columns() -> Result<(), JoinError> {
         let keys: Vec<u64> = (0..30).collect();
         let values_a: Vec<f64> = (0..30).map(f64::from).collect();
         let values_b: Vec<f64> = (0..30).map(|i| -2.0 * f64::from(i)).collect();
-        let a = Table::new("a", keys.clone(), vec![Column::new("v", values_a)]).unwrap();
-        let b = Table::new("b", keys, vec![Column::new("v", values_b)]).unwrap();
-        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        let a = Table::new("a", keys.clone(), vec![Column::new("v", values_a)])?;
+        let b = Table::new("b", keys, vec![Column::new("v", values_b)])?;
+        let stats = exact_join_statistics(&a, "v", &b, "v")?;
         assert!((stats.correlation + 1.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn constant_column_has_zero_correlation() {
+    fn constant_column_has_zero_correlation() -> Result<(), JoinError> {
         let keys: Vec<u64> = (0..10).collect();
-        let a = Table::new("a", keys.clone(), vec![Column::new("v", vec![5.0; 10])]).unwrap();
+        let a = Table::new("a", keys.clone(), vec![Column::new("v", vec![5.0; 10])])?;
         let b = Table::new(
             "b",
             keys,
             vec![Column::new("v", (0..10).map(f64::from).collect())],
-        )
-        .unwrap();
-        let stats = exact_join_statistics(&a, "v", &b, "v").unwrap();
+        )?;
+        let stats = exact_join_statistics(&a, "v", &b, "v")?;
         assert_eq!(stats.correlation, 0.0);
         assert_eq!(stats.mean_a, 5.0);
+        Ok(())
     }
 
     #[test]

@@ -68,6 +68,52 @@ impl SketchIndex {
         self.entries.iter().map(|(id, _)| id)
     }
 
+    /// The estimator this index sketches and ranks with.
+    #[must_use]
+    pub fn estimator(&self) -> &JoinEstimator {
+        &self.estimator
+    }
+
+    /// Whether `table.column` is already indexed.
+    #[must_use]
+    pub fn contains(&self, table: &str, column: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(id, _)| id.table == table && id.column == column)
+    }
+
+    /// Inserts an already-sketched column — the hydration path a persistent catalog
+    /// takes when loading stored sketches, which skips re-sketching entirely.  The
+    /// caller is responsible for having validated that the sketches match this index's
+    /// estimator configuration (catalogs do this against their recorded
+    /// [`SketcherSpec`](ipsketch_core::SketcherSpec) at load time); a mismatched column
+    /// surfaces as [`JoinError::Sketch`] on the first query that touches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the column is already present, so hydration
+    /// never silently double-counts a candidate.
+    pub fn insert_sketched(&mut self, sketched: SketchedColumn) -> Result<(), JoinError> {
+        if self.contains(&sketched.table, &sketched.column) {
+            return Err(JoinError::Sketch(
+                ipsketch_core::SketchError::IncompatibleSketches {
+                    detail: format!(
+                        "column `{}.{}` is already indexed",
+                        sketched.table, sketched.column
+                    ),
+                },
+            ));
+        }
+        self.entries.push((
+            ColumnId {
+                table: sketched.table.clone(),
+                column: sketched.column.clone(),
+            },
+            sketched,
+        ));
+        Ok(())
+    }
+
     /// Indexes every numeric column of a table.  Columns that cannot be sketched (e.g.
     /// all-zero columns) are skipped and reported back by name.
     ///
@@ -208,6 +254,41 @@ impl SketchIndex {
         Ok(results)
     }
 
+    /// Answers a batch of joinability queries in one call — the shape a query service
+    /// receives over the wire.  Result `i` is the ranking for query `i`, exactly as if
+    /// [`top_k_joinable`](Self::top_k_joinable) had been called per query.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-query error; a batch is all-or-nothing so callers never
+    /// have to pair partial results back up with their queries.
+    pub fn top_k_joinable_batch(
+        &self,
+        queries: &[SketchedColumn],
+        k: usize,
+    ) -> Result<Vec<Vec<RankedColumn>>, JoinError> {
+        queries.iter().map(|q| self.top_k_joinable(q, k)).collect()
+    }
+
+    /// Answers a batch of relatedness (correlation) queries in one call; result `i` is
+    /// the ranking for query `i`, as from
+    /// [`top_k_correlated`](Self::top_k_correlated).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-query error (batches are all-or-nothing).
+    pub fn top_k_correlated_batch(
+        &self,
+        queries: &[SketchedColumn],
+        k: usize,
+        min_join_size: f64,
+    ) -> Result<Vec<Vec<RankedColumn>>, JoinError> {
+        queries
+            .iter()
+            .map(|q| self.top_k_correlated(q, k, min_join_size))
+            .collect()
+    }
+
     /// Shared ranking implementation.
     fn rank<F>(
         &self,
@@ -231,9 +312,18 @@ impl SketchIndex {
                 estimated_correlation: stats.correlation,
             };
             ranked.score = score(&ranked);
+            // Well-formed sketches always estimate finite statistics; a NaN or infinite
+            // score means a corrupt/hand-built sketch and has no defensible rank, so
+            // fail with a typed error naming the culprit instead of panicking mid-sort.
+            if !ranked.score.is_finite() {
+                return Err(JoinError::NonFiniteScore {
+                    table: id.table.clone(),
+                    column: id.column.clone(),
+                });
+            }
             results.push(ranked);
         }
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        results.sort_by(|a, b| b.score.total_cmp(&a.score));
         results.truncate(k);
         Ok(results)
     }
@@ -242,6 +332,8 @@ impl SketchIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ipsketch_core::method::{AnySketch, AnySketcher, SketchMethod};
+    use ipsketch_core::serialize::BinarySketch;
     use ipsketch_data::{Column, DataLakeConfig, Table};
 
     /// A small lake where table "query" joins heavily with "good" and not at all with
@@ -256,7 +348,7 @@ mod tests {
                 (0..500).map(|i| f64::from(i) + 1.0).collect(),
             )],
         )
-        .unwrap();
+        .expect("unique keys");
         let good = Table::new(
             "good",
             (100..600).collect(),
@@ -271,7 +363,7 @@ mod tests {
                 ),
             ],
         )
-        .unwrap();
+        .expect("unique keys");
         let bad = Table::new(
             "bad",
             (10_000..10_500).collect(),
@@ -280,38 +372,61 @@ mod tests {
                 (0..500).map(|i| f64::from(i % 7) + 1.0).collect(),
             )],
         )
-        .unwrap();
+        .expect("unique keys");
         (query, good, bad)
     }
 
     #[test]
-    fn empty_index_basics() {
-        let index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 1).unwrap());
+    fn empty_index_basics() -> Result<(), JoinError> {
+        let index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 1)?);
         assert_eq!(index.len(), 0);
         assert!(index.is_empty());
         assert_eq!(index.columns().count(), 0);
+        assert!(!index.contains("t", "c"));
         assert!(matches!(
             index.get("t", "c"),
             Err(JoinError::NotIndexed { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn insert_and_lookup() {
+    fn insert_and_lookup() -> Result<(), JoinError> {
         let (query, good, bad) = scenario();
-        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 1).unwrap());
-        assert!(index.insert_table(&good).unwrap().is_empty());
-        assert!(index.insert_table(&bad).unwrap().is_empty());
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 1)?);
+        assert!(index.insert_table(&good)?.is_empty());
+        assert!(index.insert_table(&bad)?.is_empty());
         assert_eq!(index.len(), 3);
         assert!(index.get("good", "precip").is_ok());
+        assert!(index.contains("good", "precip"));
         assert!(index.get("good", "missing").is_err());
         // Query sketches are built with the same configuration.
-        let q = index.sketch_query(&query, "rides").unwrap();
+        let q = index.sketch_query(&query, "rides")?;
         assert_eq!(q.table, "query");
+        Ok(())
     }
 
     #[test]
-    fn all_zero_columns_are_skipped_not_fatal() {
+    fn insert_sketched_hydrates_and_rejects_duplicates() -> Result<(), JoinError> {
+        let (query, good, _) = scenario();
+        let est = JoinEstimator::weighted_minhash(300.0, 1)?;
+        let sketched = est.sketch_column(&good, "precip")?;
+        let mut index = SketchIndex::new(est);
+        index.insert_sketched(sketched.clone())?;
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.get("good", "precip")?, &sketched);
+        // A second insert of the same (table, column) is a typed error.
+        assert!(index.insert_sketched(sketched.clone()).is_err());
+        assert_eq!(index.len(), 1);
+        // Hydrated entries answer queries like freshly sketched ones.
+        let q = index.sketch_query(&query, "rides")?;
+        let ranked = index.top_k_joinable(&q, 1)?;
+        assert_eq!(ranked[0].id.table, "good");
+        Ok(())
+    }
+
+    #[test]
+    fn all_zero_columns_are_skipped_not_fatal() -> Result<(), JoinError> {
         let zero = Table::new(
             "zeros",
             vec![1, 2, 3],
@@ -319,38 +434,40 @@ mod tests {
                 Column::new("z", vec![0.0, 0.0, 0.0]),
                 Column::new("ok", vec![1.0, 2.0, 3.0]),
             ],
-        )
-        .unwrap();
-        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(100.0, 1).unwrap());
-        let skipped = index.insert_table(&zero).unwrap();
+        )?;
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(100.0, 1)?);
+        let skipped = index.insert_table(&zero)?;
         assert_eq!(skipped, vec!["z".to_string()]);
         assert_eq!(index.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn joinable_ranking_prefers_overlapping_tables() {
+    fn joinable_ranking_prefers_overlapping_tables() -> Result<(), JoinError> {
         let (query, good, bad) = scenario();
-        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7).unwrap());
-        index.insert_table(&good).unwrap();
-        index.insert_table(&bad).unwrap();
-        let q = index.sketch_query(&query, "rides").unwrap();
-        let ranked = index.top_k_joinable(&q, 3).unwrap();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7)?);
+        index.insert_table(&good)?;
+        index.insert_table(&bad)?;
+        let q = index.sketch_query(&query, "rides")?;
+        let ranked = index.top_k_joinable(&q, 3)?;
         assert_eq!(ranked.len(), 3);
         assert_eq!(ranked[0].id.table, "good");
         assert!(ranked[0].estimated_join_size > 200.0);
         // The disjoint table lands at the bottom with (near-)zero join size.
-        assert_eq!(ranked.last().unwrap().id.table, "bad");
-        assert!(ranked.last().unwrap().estimated_join_size < 50.0);
+        let last = ranked.last().expect("three results");
+        assert_eq!(last.id.table, "bad");
+        assert!(last.estimated_join_size < 50.0);
+        Ok(())
     }
 
     #[test]
-    fn correlation_ranking_finds_the_related_column() {
+    fn correlation_ranking_finds_the_related_column() -> Result<(), JoinError> {
         let (query, good, bad) = scenario();
-        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(500.0, 11).unwrap());
-        index.insert_table(&good).unwrap();
-        index.insert_table(&bad).unwrap();
-        let q = index.sketch_query(&query, "rides").unwrap();
-        let ranked = index.top_k_correlated(&q, 2, 50.0).unwrap();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(500.0, 11)?);
+        index.insert_table(&good)?;
+        index.insert_table(&bad)?;
+        let q = index.sketch_query(&query, "rides")?;
+        let ranked = index.top_k_correlated(&q, 2, 50.0)?;
         assert!(!ranked.is_empty());
         assert_eq!(ranked[0].id.table, "good");
         assert_eq!(ranked[0].id.column, "precip");
@@ -361,31 +478,94 @@ mod tests {
         );
         // The disjoint table is filtered out by the minimum-join-size threshold.
         assert!(ranked.iter().all(|r| r.id.table != "bad"));
+        Ok(())
     }
 
     #[test]
-    fn partitioned_indexing_matches_one_shot_ranking() {
+    fn batched_queries_match_single_queries() -> Result<(), JoinError> {
         let (query, good, bad) = scenario();
-        let mut one_shot = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7).unwrap());
-        one_shot.insert_table(&good).unwrap();
-        one_shot.insert_table(&bad).unwrap();
-        let mut partitioned = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7).unwrap());
-        assert!(partitioned
-            .insert_table_partitioned(&good, 4)
-            .unwrap()
-            .is_empty());
-        assert!(partitioned
-            .insert_table_partitioned(&bad, 4)
-            .unwrap()
-            .is_empty());
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 7)?);
+        index.insert_table(&good)?;
+        index.insert_table(&bad)?;
+        let q1 = index.sketch_query(&query, "rides")?;
+        let q2 = index.sketch_query(&bad, "other")?;
+        let batch = index.top_k_joinable_batch(&[q1.clone(), q2.clone()], 3)?;
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], index.top_k_joinable(&q1, 3)?);
+        assert_eq!(batch[1], index.top_k_joinable(&q2, 3)?);
+        let related = index.top_k_correlated_batch(std::slice::from_ref(&q1), 2, 25.0)?;
+        assert_eq!(related[0], index.top_k_correlated(&q1, 2, 25.0)?);
+        assert!(index.top_k_joinable_batch(&[], 3)?.is_empty());
+        // A batch containing one incompatible query fails as a whole.
+        let foreign = JoinEstimator::weighted_minhash(300.0, 8)?;
+        let bad_query = foreign.sketch_column(&query, "rides")?;
+        assert!(index.top_k_joinable_batch(&[q1, bad_query], 3).is_err());
+        Ok(())
+    }
+
+    /// Rewrites a JL sketch so every row is scaled by 1e308 — the kind of damage a
+    /// corrupted blob could carry.  The inner product of the result with the original
+    /// sketch overflows to +∞.
+    fn inflate_jl(sketch: &AnySketch) -> AnySketch {
+        let rows = match sketch {
+            AnySketch::Jl(s) => s.rows().to_vec(),
+            other => panic!("expected a JL sketch, got {other:?}"),
+        };
+        let bytes = BinarySketch::to_bytes(sketch);
+        // Layout: header (6) + seed (8) + row-count prefix (8), then the row f64s.
+        let mut out = bytes[..22].to_vec();
+        for row in rows {
+            out.extend_from_slice(&(row * 1e308).to_le_bytes());
+        }
+        AnySketch::from_bytes(&out).expect("layout is preserved")
+    }
+
+    #[test]
+    fn non_finite_scores_are_typed_errors_not_panics() -> Result<(), JoinError> {
+        // Previously the ranking sort carried an `expect("scores are finite")`: a
+        // corrupt sketch whose estimate overflowed ranked as garbage, and a NaN score
+        // panicked mid-sort.  Both now surface as a typed error naming the culprit.
+        let (query, good, _) = scenario();
+        let est = JoinEstimator::new(AnySketcher::for_budget(SketchMethod::Jl, 200.0, 3)?);
+        let mut index = SketchIndex::new(est);
+        index.insert_table(&good)?;
+        let q = index.sketch_query(&query, "rides")?;
+        assert!(index.top_k_joinable(&q, 5).is_ok(), "sane index ranks fine");
+
+        let evil = SketchedColumn::from_parts(
+            "evil",
+            "col",
+            500,
+            inflate_jl(q.key_indicator()),
+            q.values().clone(),
+            q.squared_values().clone(),
+        );
+        index.insert_sketched(evil)?;
+        let err = index
+            .top_k_joinable(&q, 5)
+            .expect_err("overflowing estimate must not rank");
+        assert!(
+            matches!(err, JoinError::NonFiniteScore { ref table, .. } if table == "evil"),
+            "unexpected error: {err:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn partitioned_indexing_matches_one_shot_ranking() -> Result<(), JoinError> {
+        let (query, good, bad) = scenario();
+        let mut one_shot = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7)?);
+        one_shot.insert_table(&good)?;
+        one_shot.insert_table(&bad)?;
+        let mut partitioned = SketchIndex::new(JoinEstimator::weighted_minhash(400.0, 7)?);
+        assert!(partitioned.insert_table_partitioned(&good, 4)?.is_empty());
+        assert!(partitioned.insert_table_partitioned(&bad, 4)?.is_empty());
         assert_eq!(partitioned.len(), one_shot.len());
 
-        let q_one = one_shot.sketch_query(&query, "rides").unwrap();
-        let q_part = partitioned
-            .sketch_query_partitioned(&query, "rides", 4)
-            .unwrap();
-        let ranked_one = one_shot.top_k_joinable(&q_one, 3).unwrap();
-        let ranked_part = partitioned.top_k_joinable(&q_part, 3).unwrap();
+        let q_one = one_shot.sketch_query(&query, "rides")?;
+        let q_part = partitioned.sketch_query_partitioned(&query, "rides", 4)?;
+        let ranked_one = one_shot.top_k_joinable(&q_one, 3)?;
+        let ranked_part = partitioned.top_k_joinable(&q_part, 3)?;
         // Same ordering, and join-size estimates agree within WMH's grid-rounding
         // tolerance (the only difference between the two sketching paths).
         assert_eq!(
@@ -403,23 +583,25 @@ mod tests {
         }
         // Partitioned and one-shot sketches interoperate: a one-shot query against the
         // partition-built index estimates the same joins.
-        let mixed = partitioned.top_k_joinable(&q_one, 3).unwrap();
+        let mixed = partitioned.top_k_joinable(&q_one, 3)?;
         assert_eq!(mixed[0].id.table, "good");
+        Ok(())
     }
 
     #[test]
-    fn query_table_itself_is_excluded() {
+    fn query_table_itself_is_excluded() -> Result<(), JoinError> {
         let (query, good, _) = scenario();
-        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 3).unwrap());
-        index.insert_table(&query).unwrap();
-        index.insert_table(&good).unwrap();
-        let q = index.sketch_query(&query, "rides").unwrap();
-        let ranked = index.top_k_joinable(&q, 10).unwrap();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 3)?);
+        index.insert_table(&query)?;
+        index.insert_table(&good)?;
+        let q = index.sketch_query(&query, "rides")?;
+        let ranked = index.top_k_joinable(&q, 10)?;
         assert!(ranked.iter().all(|r| r.id.table != "query"));
+        Ok(())
     }
 
     #[test]
-    fn top_k_truncates() {
+    fn top_k_truncates() -> Result<(), JoinError> {
         let lake = DataLakeConfig {
             tables: 6,
             columns_per_table: 2,
@@ -427,19 +609,17 @@ mod tests {
             max_rows: 300,
             key_universe: 1_000,
         }
-        .generate(5)
-        .unwrap();
-        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 9).unwrap());
+        .generate(5)?;
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 9)?);
         for table in lake.tables() {
-            index.insert_table(table).unwrap();
+            index.insert_table(table)?;
         }
         let query_table = &lake.tables()[0];
-        let q = index
-            .sketch_query(query_table, &query_table.columns()[0].name)
-            .unwrap();
-        let ranked = index.top_k_joinable(&q, 3).unwrap();
+        let q = index.sketch_query(query_table, &query_table.columns()[0].name)?;
+        let ranked = index.top_k_joinable(&q, 3)?;
         assert_eq!(ranked.len(), 3);
         // Scores are sorted descending.
         assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        Ok(())
     }
 }

@@ -24,7 +24,7 @@ pub mod index;
 pub mod vectorize;
 
 pub use error::JoinError;
-pub use estimate::{JoinEstimator, SketchedColumn};
+pub use estimate::{ColumnNormPartials, JoinEstimator, SketchedColumn};
 pub use exact::{exact_join_statistics, JoinStatistics};
 pub use index::{ColumnId, RankedColumn, SketchIndex};
 pub use vectorize::ColumnVectors;

@@ -69,10 +69,10 @@ mod tests {
     use ipsketch_vector::inner_product;
 
     #[test]
-    fn figure_3_vectors_reproduce_figure_2_statistics() {
+    fn figure_3_vectors_reproduce_figure_2_statistics() -> Result<(), JoinError> {
         let (ta, tb) = Table::figure_2_tables();
-        let a = ColumnVectors::from_table(&ta, "V_A").unwrap();
-        let b = ColumnVectors::from_table(&tb, "V_B").unwrap();
+        let a = ColumnVectors::from_table(&ta, "V_A")?;
+        let b = ColumnVectors::from_table(&tb, "V_B")?;
 
         // SIZE(V_A⋈) = <x_1[K_A], x_1[K_B]> = 4.
         assert!((inner_product(&a.key_indicator, &b.key_indicator) - 4.0).abs() < 1e-12);
@@ -84,12 +84,13 @@ mod tests {
         let mean = inner_product(&a.values, &b.key_indicator)
             / inner_product(&a.key_indicator, &b.key_indicator);
         assert!((mean - 3.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn metadata_and_shapes() {
+    fn metadata_and_shapes() -> Result<(), JoinError> {
         let (ta, _) = Table::figure_2_tables();
-        let a = ColumnVectors::from_table(&ta, "V_A").unwrap();
+        let a = ColumnVectors::from_table(&ta, "V_A")?;
         assert_eq!(a.table, "T_A");
         assert_eq!(a.column, "V_A");
         assert_eq!(a.rows, 9);
@@ -100,10 +101,11 @@ mod tests {
         for (k, v) in a.values.iter() {
             assert!((a.squared_values.get(k) - v * v).abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]
-    fn unknown_column_and_empty_table_rejected() {
+    fn unknown_column_and_empty_table_rejected() -> Result<(), JoinError> {
         let (ta, _) = Table::figure_2_tables();
         assert!(matches!(
             ColumnVectors::from_table(&ta, "nope"),
@@ -113,26 +115,26 @@ mod tests {
             "empty",
             vec![],
             vec![ipsketch_data::Column::new("v", vec![])],
-        )
-        .unwrap();
+        )?;
         assert!(matches!(
             ColumnVectors::from_table(&empty, "v"),
             Err(JoinError::EmptyColumn { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn zero_values_drop_from_value_vector_but_not_indicator() {
+    fn zero_values_drop_from_value_vector_but_not_indicator() -> Result<(), JoinError> {
         let table = Table::new(
             "t",
             vec![1, 2, 3],
             vec![ipsketch_data::Column::new("v", vec![0.0, 5.0, -1.0])],
-        )
-        .unwrap();
-        let cv = ColumnVectors::from_table(&table, "v").unwrap();
+        )?;
+        let cv = ColumnVectors::from_table(&table, "v")?;
         assert_eq!(cv.key_indicator.nnz(), 3);
         assert_eq!(cv.values.nnz(), 2);
         assert_eq!(cv.values.get(2), 5.0);
         assert_eq!(cv.squared_values.get(3), 1.0);
+        Ok(())
     }
 }

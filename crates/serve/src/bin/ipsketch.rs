@@ -1,0 +1,21 @@
+//! The `ipsketch` binary: see [`ipsketch_serve::cli`] for the command surface.
+
+use ipsketch_serve::cli::{run, usage, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match run(&args, &mut stdout) {
+        Ok(()) => {}
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("{e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

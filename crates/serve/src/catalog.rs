@@ -1,0 +1,455 @@
+//! The on-disk sketch catalog.
+//!
+//! A catalog is a directory:
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST.ipsk      — versioned manifest: sketcher spec + column entries
+//!   sketches/
+//!     000000.col       — one SketchedColumn blob per registered column
+//!     000001.col
+//! ```
+//!
+//! Sketches are computed once and outlive the process that built them — the paper's
+//! data-lake workflow.  The manifest records the full sketcher configuration
+//! ([`SketcherSpec`]), so a reopened catalog rebuilds the exact sketcher, and every
+//! blob is validated against that spec *at load time*: an incompatible or corrupt
+//! sketch is a typed [`CatalogError`] when it is read, never a wrong estimate later.
+//! All writes go through a temp-file-then-rename so a crash mid-write cannot corrupt
+//! a previously valid catalog.
+
+use crate::error::{corrupt, io_error, CatalogError};
+use crate::manifest::{fnv64, Manifest, ManifestEntry};
+use ipsketch_core::SketcherSpec;
+use ipsketch_join::SketchedColumn;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside the catalog root.
+pub const MANIFEST_FILE: &str = "MANIFEST.ipsk";
+/// Subdirectory holding the column blobs.
+pub const SKETCH_DIR: &str = "sketches";
+
+/// A persistent store of sketched columns, keyed by `(table, column)`.
+#[derive(Debug)]
+pub struct Catalog {
+    root: PathBuf,
+    manifest: Manifest,
+}
+
+impl Catalog {
+    /// Initializes a fresh catalog at `root` (creating the directory if needed) that
+    /// will store sketches built by the `spec` configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::NotACatalog`] if `root` already holds a manifest, and
+    /// [`CatalogError::Io`] for filesystem failures.
+    pub fn init(root: impl Into<PathBuf>, spec: SketcherSpec) -> Result<Self, CatalogError> {
+        let root = root.into();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(CatalogError::NotACatalog {
+                path: root.display().to_string(),
+                detail: "directory already holds a catalog manifest".to_string(),
+            });
+        }
+        fs::create_dir_all(root.join(SKETCH_DIR)).map_err(|e| io_error(&root, &e))?;
+        let catalog = Self {
+            root,
+            manifest: Manifest::new(spec),
+        };
+        catalog.write_manifest()?;
+        Ok(catalog)
+    }
+
+    /// Opens an existing catalog, decoding and validating its manifest.  Blobs are not
+    /// read here — they are validated individually on [`load`](Self::load), so opening
+    /// a large catalog is cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::NotACatalog`] if no manifest exists at `root`,
+    /// [`CatalogError::Corrupt`] if the manifest does not decode, and
+    /// [`CatalogError::Io`] for filesystem failures.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, CatalogError> {
+        let root = root.into();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if !manifest_path.exists() {
+            return Err(CatalogError::NotACatalog {
+                path: root.display().to_string(),
+                detail: format!("no `{MANIFEST_FILE}` found (run `catalog init` first)"),
+            });
+        }
+        let bytes = fs::read(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
+        let manifest = Manifest::decode(&bytes)?;
+        Ok(Self { root, manifest })
+    }
+
+    /// The catalog's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The sketcher configuration every stored sketch was built with.
+    #[must_use]
+    pub fn spec(&self) -> SketcherSpec {
+        self.manifest.spec
+    }
+
+    /// The registered columns, in registration order.
+    #[must_use]
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.manifest.entries
+    }
+
+    /// Number of registered columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.manifest.entries.len()
+    }
+
+    /// Whether the catalog holds no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.manifest.entries.is_empty()
+    }
+
+    /// Registers a sketched column: validates its three sketches against the catalog
+    /// spec, writes the blob, and commits the updated manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::DuplicateColumn`] if the `(table, column)` key is
+    /// taken, [`CatalogError::Incompatible`] if the sketches were not built by the
+    /// catalog's sketcher configuration, and [`CatalogError::Io`] for filesystem
+    /// failures.
+    pub fn register(&mut self, column: &SketchedColumn) -> Result<(), CatalogError> {
+        self.register_all(std::slice::from_ref(column))
+    }
+
+    /// Registers a batch of sketched columns with **one** manifest commit at the end —
+    /// the path table-level ingest takes, so registering an n-column table rewrites
+    /// the manifest once instead of n times.  All columns are validated (spec match,
+    /// no duplicates against the catalog or within the batch) before any bytes are
+    /// written, so a failed batch changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`register`](Self::register); on error no entry from the batch is
+    /// committed (blob files already written by the failing batch are orphaned until
+    /// the same slots are reused, but are never referenced by the manifest).
+    pub fn register_all(&mut self, columns: &[SketchedColumn]) -> Result<(), CatalogError> {
+        for (i, column) in columns.iter().enumerate() {
+            let in_batch_dup = columns[..i]
+                .iter()
+                .any(|c| c.table == column.table && c.column == column.column);
+            if in_batch_dup || self.manifest.find(&column.table, &column.column).is_some() {
+                return Err(CatalogError::DuplicateColumn {
+                    table: column.table.clone(),
+                    column: column.column.clone(),
+                });
+            }
+            self.validate_column(column)?;
+        }
+        if columns.is_empty() {
+            return Ok(());
+        }
+        let base = self.manifest.entries.len();
+        let mut new_entries = Vec::with_capacity(columns.len());
+        for (offset, column) in columns.iter().enumerate() {
+            let file = format!("{:06}.col", base + offset);
+            let blob = column.to_bytes();
+            let blob_path = self.root.join(SKETCH_DIR).join(&file);
+            write_atomic(&blob_path, &blob)?;
+            new_entries.push(ManifestEntry {
+                table: column.table.clone(),
+                column: column.column.clone(),
+                rows: column.rows as u64,
+                file,
+                blob_len: blob.len() as u64,
+                checksum: fnv64(&blob),
+            });
+        }
+        self.manifest.entries.extend(new_entries);
+        if let Err(e) = self.write_manifest() {
+            // Keep the in-memory view consistent with the (unchanged) on-disk
+            // manifest if the commit itself failed.
+            self.manifest.entries.truncate(base);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Loads a registered column, verifying the blob's length and checksum before
+    /// decoding and the decoded sketches against the catalog spec after — so a foreign
+    /// or corrupt sketch is rejected here, not at estimate time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::NotFound`] for unknown keys, [`CatalogError::Corrupt`]
+    /// for damaged blobs, [`CatalogError::Incompatible`] for spec mismatches, and
+    /// [`CatalogError::Io`] for filesystem failures.
+    pub fn load(&self, table: &str, column: &str) -> Result<SketchedColumn, CatalogError> {
+        let entry = self
+            .manifest
+            .find(table, column)
+            .ok_or_else(|| CatalogError::NotFound {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        self.load_entry(entry)
+    }
+
+    /// Loads the column described by a manifest entry (see [`load`](Self::load)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`load`](Self::load), minus the key lookup.
+    pub fn load_entry(&self, entry: &ManifestEntry) -> Result<SketchedColumn, CatalogError> {
+        let path = self.root.join(SKETCH_DIR).join(&entry.file);
+        let blob = fs::read(&path).map_err(|e| io_error(&path, &e))?;
+        if blob.len() as u64 != entry.blob_len {
+            return Err(corrupt(format!(
+                "blob `{}` is {} bytes, manifest records {}",
+                entry.file,
+                blob.len(),
+                entry.blob_len
+            )));
+        }
+        if fnv64(&blob) != entry.checksum {
+            return Err(corrupt(format!(
+                "blob `{}` fails its checksum (truncated or bit-rotted)",
+                entry.file
+            )));
+        }
+        let column = SketchedColumn::from_bytes(&blob).map_err(|e| match e {
+            ipsketch_join::JoinError::Sketch(s) => corrupt(format!("blob `{}`: {s}", entry.file)),
+            other => CatalogError::Join(other),
+        })?;
+        if column.table != entry.table || column.column != entry.column {
+            return Err(corrupt(format!(
+                "blob `{}` names column `{}.{}`, manifest records `{}.{}`",
+                entry.file, column.table, column.column, entry.table, entry.column
+            )));
+        }
+        self.validate_column(&column)?;
+        Ok(column)
+    }
+
+    /// Validates all three sketches of a column against the catalog spec.
+    fn validate_column(&self, column: &SketchedColumn) -> Result<(), CatalogError> {
+        for sketch in [
+            column.key_indicator(),
+            column.values(),
+            column.squared_values(),
+        ] {
+            self.manifest
+                .spec
+                .validate_sketch(sketch)
+                .map_err(|e| CatalogError::Incompatible {
+                    detail: format!("column `{}.{}`: {e}", column.table, column.column),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the manifest atomically.
+    fn write_manifest(&self) -> Result<(), CatalogError> {
+        write_atomic(&self.root.join(MANIFEST_FILE), &self.manifest.encode())
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling temp file, fsync, and rename, so readers
+/// only ever observe either the old or the new complete contents — including across a
+/// crash.  Without the `sync_all` before the rename, journaling filesystems may
+/// persist the rename before the data blocks, resurrecting a zero-length file after
+/// power loss.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CatalogError> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    let mut file = fs::File::create(&tmp).map_err(|e| io_error(&tmp, &e))?;
+    file.write_all(bytes).map_err(|e| io_error(&tmp, &e))?;
+    file.sync_all().map_err(|e| io_error(&tmp, &e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_error(path, &e))?;
+    // Make the rename itself durable by flushing the parent directory entry.  Best
+    // effort: not every platform supports opening a directory for sync.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_core::method::{AnySketcher, SketchMethod};
+    use ipsketch_data::{Column, Table};
+    use ipsketch_join::JoinEstimator;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ipsketch-catalog-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_table() -> Table {
+        Table::new(
+            "taxi",
+            (0..200).collect(),
+            vec![
+                Column::new("rides", (0..200).map(|i| f64::from(i) + 1.0).collect()),
+                Column::new("tips", (0..200).map(|i| f64::from(i % 13) - 4.0).collect()),
+            ],
+        )
+        .expect("well-formed table")
+    }
+
+    fn estimator(seed: u64) -> JoinEstimator {
+        JoinEstimator::new(
+            AnySketcher::for_budget(SketchMethod::Kmv, 128.0, seed).expect("budget fits"),
+        )
+    }
+
+    #[test]
+    fn init_register_reopen_load_round_trip() {
+        let root = temp_root("roundtrip");
+        let est = estimator(7);
+        let mut catalog = Catalog::init(&root, est.sketcher().spec()).expect("init");
+        assert!(catalog.is_empty());
+        let table = sample_table();
+        let rides = est.sketch_column(&table, "rides").expect("sketch");
+        let tips = est.sketch_column(&table, "tips").expect("sketch");
+        catalog.register(&rides).expect("register rides");
+        catalog.register(&tips).expect("register tips");
+        assert_eq!(catalog.len(), 2);
+
+        // Reopen from disk: identical spec, identical sketches bit-for-bit.
+        let reopened = Catalog::open(&root).expect("open");
+        assert_eq!(reopened.spec(), est.sketcher().spec());
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.load("taxi", "rides").expect("load"), rides);
+        assert_eq!(reopened.load("taxi", "tips").expect("load"), tips);
+        assert!(matches!(
+            reopened.load("taxi", "missing"),
+            Err(CatalogError::NotFound { .. })
+        ));
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn init_refuses_existing_catalog_and_open_refuses_plain_dirs() {
+        let root = temp_root("guards");
+        let spec = estimator(1).sketcher().spec();
+        Catalog::init(&root, spec).expect("first init");
+        assert!(matches!(
+            Catalog::init(&root, spec),
+            Err(CatalogError::NotACatalog { .. })
+        ));
+        let plain = temp_root("plain");
+        fs::create_dir_all(&plain).expect("mkdir");
+        assert!(matches!(
+            Catalog::open(&plain),
+            Err(CatalogError::NotACatalog { .. })
+        ));
+        fs::remove_dir_all(&root).expect("cleanup");
+        fs::remove_dir_all(&plain).expect("cleanup");
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let root = temp_root("dup");
+        let est = estimator(3);
+        let mut catalog = Catalog::init(&root, est.sketcher().spec()).expect("init");
+        let sketched = est.sketch_column(&sample_table(), "rides").expect("sketch");
+        catalog.register(&sketched).expect("first");
+        assert!(matches!(
+            catalog.register(&sketched),
+            Err(CatalogError::DuplicateColumn { .. })
+        ));
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn foreign_sketches_are_rejected_at_registration() {
+        let root = temp_root("foreign");
+        let mut catalog = Catalog::init(&root, estimator(3).sketcher().spec()).expect("init");
+        // Same method, different seed.
+        let reseeded = estimator(4)
+            .sketch_column(&sample_table(), "rides")
+            .expect("sketch");
+        assert!(matches!(
+            catalog.register(&reseeded),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        // Different method entirely.
+        let other = JoinEstimator::new(
+            AnySketcher::for_budget(SketchMethod::Jl, 128.0, 3).expect("budget fits"),
+        )
+        .sketch_column(&sample_table(), "rides")
+        .expect("sketch");
+        assert!(matches!(
+            catalog.register(&other),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        assert!(catalog.is_empty());
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn damaged_blobs_surface_typed_corruption_at_load() {
+        let root = temp_root("damage");
+        let est = estimator(9);
+        let mut catalog = Catalog::init(&root, est.sketcher().spec()).expect("init");
+        let sketched = est.sketch_column(&sample_table(), "rides").expect("sketch");
+        catalog.register(&sketched).expect("register");
+        let blob_path = root.join(SKETCH_DIR).join(&catalog.entries()[0].file);
+        let original = fs::read(&blob_path).expect("read blob");
+
+        // Truncation: length check fires.
+        fs::write(&blob_path, &original[..original.len() - 3]).expect("truncate");
+        assert!(matches!(
+            catalog.load("taxi", "rides"),
+            Err(CatalogError::Corrupt { .. })
+        ));
+        // Same length, flipped byte: checksum fires.
+        let mut flipped = original.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        fs::write(&blob_path, &flipped).expect("flip");
+        assert!(matches!(
+            catalog.load("taxi", "rides"),
+            Err(CatalogError::Corrupt { .. })
+        ));
+        // Deleted blob: typed I/O error.
+        fs::remove_file(&blob_path).expect("delete");
+        assert!(matches!(
+            catalog.load("taxi", "rides"),
+            Err(CatalogError::Io { .. })
+        ));
+        // Restored blob loads again.
+        fs::write(&blob_path, &original).expect("restore");
+        assert_eq!(catalog.load("taxi", "rides").expect("load"), sketched);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected_on_open() {
+        let root = temp_root("manifest");
+        Catalog::init(&root, estimator(1).sketcher().spec()).expect("init");
+        let manifest_path = root.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&manifest_path).expect("read");
+        bytes[0] ^= 0xFF;
+        fs::write(&manifest_path, &bytes).expect("corrupt");
+        assert!(matches!(
+            Catalog::open(&root),
+            Err(CatalogError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+}

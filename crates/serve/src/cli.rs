@@ -1,0 +1,620 @@
+//! The `ipsketch` command-line interface.
+//!
+//! Drives the whole serving workflow without writing code:
+//!
+//! ```text
+//! ipsketch catalog init <dir> --method wmh --budget 400 [--seed 7] [--wmh-l 16777216]
+//! ipsketch ingest <dir> <csv> [--table <name>] [--partitions <n>]
+//! ipsketch ingest-partial <dir> <csv> --shards <n> [--table <name>]
+//! ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
+//!                            [--relatedness] [--min-join-size <x>]
+//! ipsketch info <dir>
+//! ```
+//!
+//! CSV files are `key,<col>,…` with a u64 join key (see [`crate::csv`]).  Argument
+//! parsing is hand-rolled: the build environment is offline, and the surface is small
+//! enough that a dependency would cost more than it saves.
+
+use crate::catalog::Catalog;
+use crate::csv::{load_table, CsvError};
+use crate::error::CatalogError;
+use crate::service::{shard_rows, IngestReport, QueryService};
+use ipsketch_core::method::{AnySketcher, SketchMethod};
+use ipsketch_join::JoinError;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Errors surfaced by the CLI, each mapping to a distinct failure the user can act on.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(String),
+    /// A catalog/service operation failed.
+    Catalog(CatalogError),
+    /// A join-layer operation failed (e.g. the query column is missing).
+    Join(JoinError),
+    /// A CSV file did not parse.
+    Csv(CsvError),
+    /// Writing output failed.
+    Io(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(detail) => write!(f, "usage error: {detail}"),
+            CliError::Catalog(e) => write!(f, "{e}"),
+            CliError::Join(e) => write!(f, "{e}"),
+            CliError::Csv(e) => write!(f, "{e}"),
+            CliError::Io(detail) => write!(f, "output error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<CatalogError> for CliError {
+    fn from(e: CatalogError) -> Self {
+        CliError::Catalog(e)
+    }
+}
+
+impl From<JoinError> for CliError {
+    fn from(e: JoinError) -> Self {
+        CliError::Join(e)
+    }
+}
+
+impl From<CsvError> for CliError {
+    fn from(e: CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e.to_string())
+    }
+}
+
+/// The usage text printed for `help` and usage errors.
+#[must_use]
+pub fn usage() -> String {
+    "ipsketch — persistent sketch catalogs and joinability/relatedness queries
+
+USAGE:
+  ipsketch catalog init <dir> --method <jl|cs|mh|kmv|wmh|simhash|icws> --budget <doubles>
+                       [--seed <n>] [--wmh-l <L>]
+  ipsketch ingest <dir> <csv> [--table <name>] [--partitions <n>]
+  ipsketch ingest-partial <dir> <csv> --shards <n> [--table <name>]
+  ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
+                       [--relatedness] [--min-join-size <x>]
+  ipsketch info <dir>
+  ipsketch help
+
+CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns.
+`ingest` sketches each column once (optionally via the chunk-and-merge path);
+`ingest-partial` splits the rows into shards and runs the two-pass announced-norm
+protocol, folding per-shard partial sketches exactly as a distributed deployment
+would.  `query` ranks every cataloged column against the query column by estimated
+join size (default) or |post-join correlation| (--relatedness)."
+        .to_string()
+}
+
+/// Minimal parsed command line: positional arguments, `--flag value` pairs, and
+/// boolean `--switch`es.
+struct ParsedArgs {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Splits `args` into positionals, value flags and switches.  `flag_names` lists
+    /// the flags that take a value and `switch_names` those that do not; anything
+    /// else starting with `--` is a usage error, so a misspelled option can never be
+    /// silently ignored and run the command with defaults.
+    fn parse(
+        args: &[String],
+        flag_names: &[&str],
+        switch_names: &[&str],
+    ) -> Result<Self, CliError> {
+        let mut parsed = ParsedArgs {
+            positional: Vec::new(),
+            flags: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if switch_names.contains(&name) {
+                    parsed.switches.push(name.to_string());
+                } else if flag_names.contains(&name) {
+                    let value = args.get(i + 1).ok_or_else(|| {
+                        CliError::Usage(format!("flag `--{name}` expects a value"))
+                    })?;
+                    parsed.flags.push((name.to_string(), value.clone()));
+                    i += 1;
+                } else {
+                    let mut known: Vec<String> = flag_names
+                        .iter()
+                        .chain(switch_names)
+                        .map(|n| format!("--{n}"))
+                        .collect();
+                    known.sort();
+                    return Err(CliError::Usage(format!(
+                        "unknown flag `--{name}` (this command accepts: {})",
+                        if known.is_empty() {
+                            "no flags".to_string()
+                        } else {
+                            known.join(", ")
+                        }
+                    )));
+                }
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+            i += 1;
+        }
+        Ok(parsed)
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn positional(&self, index: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))
+    }
+
+    fn parsed_flag<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("flag `--{name}` has invalid value `{raw}`"))),
+        }
+    }
+}
+
+/// Runs one CLI invocation, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`]; the binary maps [`CliError::Usage`] to exit code 2 and
+/// everything else to exit code 1.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let command = args
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage("no command given".to_string()))?;
+    match command {
+        "catalog" => {
+            let sub = args
+                .get(1)
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage("`catalog` expects `init`".to_string()))?;
+            if sub != "init" {
+                return Err(CliError::Usage(format!(
+                    "unknown catalog subcommand `{sub}` (expected `init`)"
+                )));
+            }
+            catalog_init(&args[2..], out)
+        }
+        "ingest" => ingest(&args[1..], out),
+        "ingest-partial" => ingest_partial(&args[1..], out),
+        "query" => query(&args[1..], out),
+        "info" => info(&args[1..], out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", usage())?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn catalog_init(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &["method", "budget", "seed", "wmh-l"], &[])?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let method_name = parsed
+        .flag("method")
+        .ok_or_else(|| CliError::Usage("`catalog init` requires --method".to_string()))?;
+    let method = SketchMethod::parse(method_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown method `{method_name}` (expected jl, cs, mh, kmv, wmh, simhash or icws)"
+        ))
+    })?;
+    let budget: f64 = parsed
+        .parsed_flag("budget")?
+        .ok_or_else(|| CliError::Usage("`catalog init` requires --budget".to_string()))?;
+    let seed: u64 = parsed.parsed_flag("seed")?.unwrap_or(1);
+    let spec = match parsed.parsed_flag::<u64>("wmh-l")? {
+        Some(l) => AnySketcher::for_budget_with_discretization(method, budget, seed, l)
+            .map_err(CatalogError::Sketch)?
+            .spec(),
+        None => AnySketcher::for_budget(method, budget, seed)
+            .map_err(CatalogError::Sketch)?
+            .spec(),
+    };
+    let catalog = Catalog::init(dir, spec)?;
+    writeln!(
+        out,
+        "initialized catalog at {} with sketcher {} (fingerprint {:016x})",
+        catalog.root().display(),
+        spec,
+        spec.fingerprint()
+    )?;
+    Ok(())
+}
+
+fn write_report(out: &mut dyn Write, report: &IngestReport, how: &str) -> Result<(), CliError> {
+    for (table, column) in &report.registered {
+        writeln!(out, "registered {table}.{column} ({how})")?;
+    }
+    for column in &report.skipped {
+        writeln!(out, "skipped {column}: no value mass (all zeros)")?;
+    }
+    Ok(())
+}
+
+fn ingest(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &["table", "partitions"], &[])?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let csv = parsed.positional(1, "CSV file")?;
+    let table = load_table(Path::new(csv), parsed.flag("table"))?;
+    let mut service = QueryService::open(dir)?;
+    let report = match parsed.parsed_flag::<usize>("partitions")? {
+        Some(partitions) => {
+            let report = service.ingest_table_partitioned(&table, partitions)?;
+            write_report(out, &report, &format!("{partitions} merged partitions"))?;
+            report
+        }
+        None => {
+            let report = service.ingest_table(&table)?;
+            write_report(out, &report, "one-shot")?;
+            report
+        }
+    };
+    writeln!(
+        out,
+        "catalog now holds {} columns ({} new)",
+        service.catalog().len(),
+        report.registered.len()
+    )?;
+    Ok(())
+}
+
+fn ingest_partial(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &["shards", "table"], &[])?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let csv = parsed.positional(1, "CSV file")?;
+    let shards: usize = parsed
+        .parsed_flag("shards")?
+        .ok_or_else(|| CliError::Usage("`ingest-partial` requires --shards".to_string()))?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".to_string()));
+    }
+    let table = load_table(Path::new(csv), parsed.flag("table"))?;
+    let mut service = QueryService::open(dir)?;
+    let shard_tables = shard_rows(&table, shards);
+    let mut session = service.begin_sharded_ingest(table.name());
+    // First pass: every shard announces its Σv² partial sums.
+    for shard in &shard_tables {
+        session.announce(shard)?;
+    }
+    // Second pass: every shard sketches against the agreed norms; partials fold.
+    for shard in &shard_tables {
+        session.submit(shard)?;
+    }
+    let report = session.finish()?;
+    write_report(
+        out,
+        &report,
+        &format!("{} shard partials folded", shard_tables.len()),
+    )?;
+    writeln!(
+        out,
+        "catalog now holds {} columns ({} new)",
+        service.catalog().len(),
+        report.registered.len()
+    )?;
+    Ok(())
+}
+
+fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(
+        args,
+        &["column", "table", "top", "min-join-size"],
+        &["relatedness"],
+    )?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let csv = parsed.positional(1, "query CSV file")?;
+    let column = parsed
+        .flag("column")
+        .ok_or_else(|| CliError::Usage("`query` requires --column".to_string()))?;
+    let top: usize = parsed.parsed_flag("top")?.unwrap_or(10);
+    let min_join_size: f64 = parsed.parsed_flag("min-join-size")?.unwrap_or(0.0);
+    let table = load_table(Path::new(csv), parsed.flag("table"))?;
+    let mut service = QueryService::open(dir)?;
+    let query_sketch = service.sketch_query(&table, column)?;
+    let ranked = if parsed.switch("relatedness") {
+        service.query_related(&query_sketch, top, min_join_size)?
+    } else {
+        service.query_joinable(&query_sketch, top)?
+    };
+    let metric = if parsed.switch("relatedness") {
+        "|corr|"
+    } else {
+        "join"
+    };
+    writeln!(
+        out,
+        "top {} columns by estimated {metric} for {}.{column} over {} cataloged columns:",
+        ranked.len(),
+        table.name(),
+        service.catalog().len()
+    )?;
+    writeln!(
+        out,
+        "{:<4} {:<28} {:>12} {:>10}",
+        "rank", "column", "join_size", "corr"
+    )?;
+    for (rank, result) in ranked.iter().enumerate() {
+        writeln!(
+            out,
+            "{:<4} {:<28} {:>12.2} {:>10.4}",
+            rank + 1,
+            format!("{}.{}", result.id.table, result.id.column),
+            result.estimated_join_size,
+            result.estimated_correlation,
+        )?;
+    }
+    Ok(())
+}
+
+fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &[], &[])?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let catalog = Catalog::open(dir)?;
+    let spec = catalog.spec();
+    writeln!(out, "catalog: {}", catalog.root().display())?;
+    writeln!(out, "sketcher: {spec}")?;
+    writeln!(out, "fingerprint: {:016x}", spec.fingerprint())?;
+    writeln!(out, "columns: {}", catalog.len())?;
+    for entry in catalog.entries() {
+        writeln!(
+            out,
+            "  {}.{} — {} rows, {} bytes ({})",
+            entry.table, entry.column, entry.rows, entry.blob_len, entry.file
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipsketch-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect_err("command fails")
+    }
+
+    /// Two joinable tables as CSV files: keys 0..200 and 100..300.
+    fn write_lake(dir: &Path) -> (PathBuf, PathBuf) {
+        let mut left = String::from("key,rides\n");
+        for i in 0..200 {
+            left.push_str(&format!("{i},{}\n", f64::from(i) + 1.0));
+        }
+        let mut right = String::from("key,precip,noise\n");
+        for i in 100..300 {
+            right.push_str(&format!("{i},{},{}\n", 2 * i + 3, (i * 37) % 11));
+        }
+        let left_path = dir.join("taxi.csv");
+        let right_path = dir.join("weather.csv");
+        fs::write(&left_path, left).expect("write left");
+        fs::write(&right_path, right).expect("write right");
+        (left_path, right_path)
+    }
+
+    #[test]
+    fn full_cli_round_trip_matches_between_ingest_paths() {
+        let dir = temp_dir("roundtrip");
+        let (taxi, weather) = write_lake(&dir);
+        let catalog_one = dir.join("catalog-one");
+        let catalog_shard = dir.join("catalog-shard");
+        for catalog in [&catalog_one, &catalog_shard] {
+            let text = run_ok(&[
+                "catalog",
+                "init",
+                catalog.to_str().expect("utf8"),
+                "--method",
+                "wmh",
+                "--budget",
+                "300",
+                "--seed",
+                "9",
+            ]);
+            assert!(text.contains("initialized catalog"), "{text}");
+        }
+        // One catalog ingests one-shot, the other shard-partial; queries must agree
+        // (WMH shard partials are estimate-equivalent, and the ranking identical).
+        run_ok(&[
+            "ingest",
+            catalog_one.to_str().expect("utf8"),
+            weather.to_str().expect("utf8"),
+        ]);
+        let sharded = run_ok(&[
+            "ingest-partial",
+            catalog_shard.to_str().expect("utf8"),
+            weather.to_str().expect("utf8"),
+            "--shards",
+            "4",
+        ]);
+        assert!(sharded.contains("4 shard partials folded"), "{sharded}");
+
+        let query_one = run_ok(&[
+            "query",
+            catalog_one.to_str().expect("utf8"),
+            taxi.to_str().expect("utf8"),
+            "--column",
+            "rides",
+            "--top",
+            "2",
+        ]);
+        let query_shard = run_ok(&[
+            "query",
+            catalog_shard.to_str().expect("utf8"),
+            taxi.to_str().expect("utf8"),
+            "--column",
+            "rides",
+            "--top",
+            "2",
+        ]);
+        assert!(query_one.contains("weather.precip"), "{query_one}");
+        // Both paths rank precip first (the noise column has near-random overlap).
+        let first_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("1 "))
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
+        assert!(first_line(&query_one).contains("weather."), "{query_one}");
+        assert!(
+            first_line(&query_shard).contains("weather."),
+            "{query_shard}"
+        );
+
+        let info_text = run_ok(&["info", catalog_one.to_str().expect("utf8")]);
+        assert!(info_text.contains("columns: 2"), "{info_text}");
+        assert!(info_text.contains("WMH"), "{info_text}");
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn usage_errors_are_typed_and_informative() {
+        assert!(matches!(run_err(&[]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["frobnicate"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["catalog"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["catalog", "drop"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["catalog", "init", "/tmp/x", "--budget", "100"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["catalog", "init", "/tmp/x", "--method", "nope", "--budget", "100"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["catalog", "init", "/tmp/x", "--method", "wmh", "--budget", "lots"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(run_err(&["ingest", "/tmp/x"]), CliError::Usage(_)));
+        // Misspelled flags are rejected, never silently ignored: `--partition`
+        // (instead of --partitions) must not quietly fall back to one-shot ingest.
+        let err = run_err(&["ingest", "/tmp/x", "/tmp/y.csv", "--partition", "4"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("--partitions")),
+            "unknown flags must name the accepted set: {err}"
+        );
+        assert!(matches!(
+            run_err(&[
+                "query",
+                "/tmp/x",
+                "/tmp/y.csv",
+                "--column",
+                "v",
+                "--tpo",
+                "5"
+            ]),
+            CliError::Usage(_)
+        ));
+        let help = run_ok(&["help"]);
+        assert!(help.contains("USAGE"), "{help}");
+    }
+
+    #[test]
+    fn runtime_errors_are_typed() {
+        let dir = temp_dir("errors");
+        let missing_catalog = dir.join("nope");
+        let (taxi, _) = write_lake(&dir);
+        // Querying a directory that is not a catalog.
+        assert!(matches!(
+            run_err(&[
+                "query",
+                missing_catalog.to_str().expect("utf8"),
+                taxi.to_str().expect("utf8"),
+                "--column",
+                "rides"
+            ]),
+            CliError::Catalog(CatalogError::NotACatalog { .. })
+        ));
+        // Ingesting a CSV that does not exist.
+        let catalog = dir.join("catalog");
+        run_ok(&[
+            "catalog",
+            "init",
+            catalog.to_str().expect("utf8"),
+            "--method",
+            "kmv",
+            "--budget",
+            "100",
+        ]);
+        assert!(matches!(
+            run_err(&[
+                "ingest",
+                catalog.to_str().expect("utf8"),
+                dir.join("ghost.csv").to_str().expect("utf8")
+            ]),
+            CliError::Csv(_)
+        ));
+        // Querying a column the CSV does not have.
+        run_ok(&[
+            "ingest",
+            catalog.to_str().expect("utf8"),
+            taxi.to_str().expect("utf8"),
+        ]);
+        assert!(matches!(
+            run_err(&[
+                "query",
+                catalog.to_str().expect("utf8"),
+                taxi.to_str().expect("utf8"),
+                "--column",
+                "ghost"
+            ]),
+            CliError::Join(_)
+        ));
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

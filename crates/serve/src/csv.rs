@@ -1,0 +1,161 @@
+//! A minimal CSV reader for the CLI: `key,<col>,<col>,…` with one u64 join key and
+//! f64 value columns.
+//!
+//! This is deliberately tiny — it exists so the `ipsketch` binary can drive the
+//! catalog end to end without any external dependency, not to be a general CSV
+//! implementation.  No quoting, no escaping; fields are comma-separated and trimmed.
+
+use ipsketch_data::{Column, Table};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A CSV parse failure, with enough location to fix the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// The file being parsed.
+    pub path: String,
+    /// 1-based line number of the problem (0 for file-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.path, self.detail)
+        } else {
+            write!(f, "{}:{}: {}", self.path, self.line, self.detail)
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(path: &Path, line: usize, detail: impl Into<String>) -> CsvError {
+    CsvError {
+        path: path.display().to_string(),
+        line,
+        detail: detail.into(),
+    }
+}
+
+/// Loads a table from a CSV file.  The first header field names the key column
+/// (ignored beyond requiring it to exist); the rest name value columns.  The table is
+/// named `name`, or the file stem when `None`.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] for unreadable files, missing headers, ragged rows,
+/// unparseable numbers, or table-level problems (duplicate keys).
+pub fn load_table(path: &Path, name: Option<&str>) -> Result<Table, CsvError> {
+    let text = fs::read_to_string(path).map_err(|e| err(path, 0, e.to_string()))?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(path, 0, "empty file: expected a `key,<col>,…` header"))?;
+    let fields: Vec<&str> = header.split(',').map(str::trim).collect();
+    if fields.len() < 2 {
+        return Err(err(
+            path,
+            1,
+            "header must name a key column and at least one value column",
+        ));
+    }
+    let column_names: Vec<String> = fields[1..].iter().map(|s| (*s).to_string()).collect();
+
+    let mut keys = Vec::new();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); column_names.len()];
+    for (line_index, line) in lines {
+        let line_no = line_index + 1;
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != fields.len() {
+            return Err(err(
+                path,
+                line_no,
+                format!("expected {} fields, found {}", fields.len(), cells.len()),
+            ));
+        }
+        let key: u64 = cells[0]
+            .parse()
+            .map_err(|_| err(path, line_no, format!("invalid join key `{}`", cells[0])))?;
+        keys.push(key);
+        for (column, cell) in columns.iter_mut().zip(&cells[1..]) {
+            let value: f64 = cell
+                .parse()
+                .map_err(|_| err(path, line_no, format!("invalid number `{cell}`")))?;
+            column.push(value);
+        }
+    }
+
+    let table_name = match name {
+        Some(n) => n.to_string(),
+        None => path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "table".to_string()),
+    };
+    Table::new(
+        table_name,
+        keys,
+        column_names
+            .into_iter()
+            .zip(columns)
+            .map(|(name, values)| Column::new(name, values))
+            .collect(),
+    )
+    .map_err(|e| err(path, 0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write_temp(tag: &str, contents: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("ipsketch-csv-{tag}-{}.csv", std::process::id()));
+        fs::write(&path, contents).expect("write temp CSV");
+        path
+    }
+
+    #[test]
+    fn parses_a_well_formed_file() {
+        let path = write_temp("ok", "key,a,b\n1,2.5,3\n2,-1,0.25\n\n3,0,7\n");
+        let table = load_table(&path, None).expect("parses");
+        assert!(table.name().starts_with("ipsketch-csv-ok"));
+        assert_eq!(table.rows(), 3);
+        assert_eq!(table.keys(), &[1, 2, 3]);
+        assert_eq!(table.columns()[0].name, "a");
+        assert_eq!(table.columns()[1].values, vec![3.0, 0.25, 7.0]);
+        let named = load_table(&path, Some("taxi")).expect("parses");
+        assert_eq!(named.name(), "taxi");
+        fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_malformed_files_with_line_numbers() {
+        let ragged = write_temp("ragged", "key,a\n1,2\n3\n");
+        let e = load_table(&ragged, None).expect_err("ragged row");
+        assert_eq!(e.line, 3);
+        let bad_key = write_temp("badkey", "key,a\nx,2\n");
+        let e = load_table(&bad_key, None).expect_err("bad key");
+        assert!(e.detail.contains("join key"), "{e}");
+        let bad_value = write_temp("badval", "key,a\n1,nope\n");
+        assert!(load_table(&bad_value, None).is_err());
+        let no_columns = write_temp("nocol", "key\n1\n");
+        assert!(load_table(&no_columns, None).is_err());
+        let empty = write_temp("empty", "");
+        assert!(load_table(&empty, None).is_err());
+        let duplicate = write_temp("dupkey", "key,a\n1,2\n1,3\n");
+        let e = load_table(&duplicate, None).expect_err("duplicate keys");
+        assert!(e.detail.contains("unique"), "{e}");
+        for p in [ragged, bad_key, bad_value, no_columns, empty, duplicate] {
+            fs::remove_file(p).expect("cleanup");
+        }
+    }
+}

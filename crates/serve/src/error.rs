@@ -1,0 +1,168 @@
+//! Error types for the catalog and serving layer.
+
+use ipsketch_core::SketchError;
+use ipsketch_join::JoinError;
+use std::fmt;
+
+/// Errors produced by the persistent sketch catalog and the query service on top of
+/// it.  Every failure mode is typed: callers (and the CLI) can distinguish a corrupt
+/// file from an incompatible sketcher from a plain missing column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error, rendered.
+        detail: String,
+    },
+    /// A stored file (manifest or sketch blob) could not be decoded.
+    Corrupt {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// The directory already holds a catalog (on `init`) or does not hold one (on
+    /// `open`).
+    NotACatalog {
+        /// The offending directory.
+        path: String,
+        /// What was expected there.
+        detail: String,
+    },
+    /// A sketch or configuration does not match the catalog's recorded sketcher spec.
+    Incompatible {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A column is already registered under this `(table, column)` key.
+    DuplicateColumn {
+        /// The table name.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// No column is registered under this `(table, column)` key.
+    NotFound {
+        /// The table name.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// An error bubbled up from the sketching layer.
+    Sketch(SketchError),
+    /// An error bubbled up from the dataset-search layer.
+    Join(JoinError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Io { path, detail } => write!(f, "I/O error on `{path}`: {detail}"),
+            CatalogError::Corrupt { detail } => write!(f, "corrupt catalog data: {detail}"),
+            CatalogError::NotACatalog { path, detail } => {
+                write!(f, "`{path}` is not a usable catalog: {detail}")
+            }
+            CatalogError::Incompatible { detail } => {
+                write!(f, "incompatible with the catalog sketcher: {detail}")
+            }
+            CatalogError::DuplicateColumn { table, column } => {
+                write!(f, "column `{table}.{column}` is already in the catalog")
+            }
+            CatalogError::NotFound { table, column } => {
+                write!(f, "column `{table}.{column}` is not in the catalog")
+            }
+            CatalogError::Sketch(e) => write!(f, "sketch error: {e}"),
+            CatalogError::Join(e) => write!(f, "join error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Sketch(e) => Some(e),
+            CatalogError::Join(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for CatalogError {
+    fn from(e: SketchError) -> Self {
+        CatalogError::Sketch(e)
+    }
+}
+
+impl From<JoinError> for CatalogError {
+    fn from(e: JoinError) -> Self {
+        CatalogError::Join(e)
+    }
+}
+
+/// Maps an [`std::io::Error`] at `path` into a typed [`CatalogError::Io`].
+pub(crate) fn io_error(path: &std::path::Path, e: &std::io::Error) -> CatalogError {
+    CatalogError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Convenience constructor for [`CatalogError::Corrupt`].
+pub(crate) fn corrupt(detail: impl Into<String>) -> CatalogError {
+    CatalogError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases = vec![
+            CatalogError::Io {
+                path: "/tmp/x".into(),
+                detail: "denied".into(),
+            },
+            corrupt("short read"),
+            CatalogError::NotACatalog {
+                path: "/tmp/x".into(),
+                detail: "missing manifest".into(),
+            },
+            CatalogError::Incompatible {
+                detail: "seed".into(),
+            },
+            CatalogError::DuplicateColumn {
+                table: "t".into(),
+                column: "c".into(),
+            },
+            CatalogError::NotFound {
+                table: "t".into(),
+                column: "c".into(),
+            },
+            CatalogError::Sketch(SketchError::EmptySketch),
+            CatalogError::Join(JoinError::NotIndexed {
+                table: "t".into(),
+                column: "c".into(),
+            }),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_and_conversions() {
+        use std::error::Error;
+        let e: CatalogError = SketchError::EmptySketch.into();
+        assert!(e.source().is_some());
+        let e: CatalogError = JoinError::EmptyColumn {
+            table: "t".into(),
+            column: "c".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(corrupt("x").source().is_none());
+    }
+}

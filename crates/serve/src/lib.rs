@@ -1,0 +1,34 @@
+//! The serving layer: persistent sketch catalogs and a query service over them.
+//!
+//! The paper's headline workflow — sketch every column of a data lake *once*, then
+//! answer joinability/relatedness queries "using a fraction of the computational
+//! resources" of materialized joins — only pays off if sketches outlive the process
+//! that built them.  This crate makes them durable and servable:
+//!
+//! * [`catalog`] — an on-disk store of [`SketchedColumn`](ipsketch_join::SketchedColumn)
+//!   blobs under a versioned manifest ([`manifest`]) that records the full sketcher
+//!   configuration, so incompatible sketches are rejected at load time.
+//! * [`service`] — a [`QueryService`](service::QueryService) that lazily hydrates
+//!   catalog sketches into an in-memory
+//!   [`SketchIndex`](ipsketch_join::SketchIndex), ingests new tables (one-shot,
+//!   chunk-partitioned, or shard-partial via the two-pass announced-norm protocol),
+//!   and answers single and batched queries.
+//! * [`cli`] + the `ipsketch` binary — `catalog init` / `ingest` / `ingest-partial` /
+//!   `query` / `info`, driving the whole flow from CSV files with no code.
+//! * [`csv`] — the tiny dependency-free CSV-to-[`Table`](ipsketch_data::Table) reader
+//!   the CLI uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cli;
+pub mod csv;
+pub mod error;
+pub mod manifest;
+pub mod service;
+
+pub use catalog::Catalog;
+pub use error::CatalogError;
+pub use manifest::{Manifest, ManifestEntry};
+pub use service::{shard_rows, IngestReport, QueryService, ShardedIngest};

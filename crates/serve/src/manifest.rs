@@ -1,0 +1,224 @@
+//! The catalog manifest: which columns are stored, where, and under what sketcher.
+//!
+//! The manifest is one small, versioned binary file at the catalog root.  It records
+//! the full [`SketcherSpec`] (so reopening the catalog rebuilds the exact sketcher and
+//! can reject foreign sketches at load time) and one entry per registered column with
+//! the blob's file name, length and checksum (so corruption is caught before a blob is
+//! ever decoded).
+
+use crate::error::{corrupt, CatalogError};
+use ipsketch_core::serialize::SliceReader;
+use ipsketch_core::SketcherSpec;
+
+/// The workspace-shared FNV-1a 64-bit hash, used as the blob checksum (re-exported so
+/// catalog consumers need not depend on `ipsketch-core` directly).
+pub use ipsketch_core::serialize::fnv64;
+
+/// Magic number identifying a catalog manifest ("IPCT").
+const MANIFEST_MAGIC: u32 = 0x4950_4354;
+/// Current manifest format version.
+const MANIFEST_VERSION: u8 = 1;
+
+/// One registered column in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The table name.
+    pub table: String,
+    /// The column name.
+    pub column: String,
+    /// Number of rows in the source table.
+    pub rows: u64,
+    /// Blob file name, relative to the catalog's `sketches/` directory.
+    pub file: String,
+    /// Expected blob length in bytes.
+    pub blob_len: u64,
+    /// Expected FNV-1a checksum of the blob.
+    pub checksum: u64,
+}
+
+/// The decoded manifest: the catalog's sketcher configuration plus its column entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The sketcher configuration every stored sketch was built with.
+    pub spec: SketcherSpec,
+    /// The registered columns, in registration order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for a catalog sketching with `spec`.
+    #[must_use]
+    pub fn new(spec: SketcherSpec) -> Self {
+        Self {
+            spec,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up an entry by `(table, column)`.
+    #[must_use]
+    pub fn find(&self, table: &str, column: &str) -> Option<&ManifestEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.table == table && e.column == column)
+    }
+
+    /// Encodes the manifest into its stable binary form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.push(MANIFEST_VERSION);
+        let spec = self.spec.encode();
+        out.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        out.extend_from_slice(&spec);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for entry in &self.entries {
+            put_str(&mut out, &entry.table);
+            put_str(&mut out, &entry.column);
+            out.extend_from_slice(&entry.rows.to_le_bytes());
+            put_str(&mut out, &entry.file);
+            out.extend_from_slice(&entry.blob_len.to_le_bytes());
+            out.extend_from_slice(&entry.checksum.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a manifest previously produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Corrupt`] on truncation, bad magic, an unsupported
+    /// version, malformed strings, an undecodable sketcher spec, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CatalogError> {
+        // Reader failures (truncation, bad UTF-8) are catalog corruption.
+        let sk = |e: ipsketch_core::SketchError| CatalogError::Corrupt {
+            detail: format!("manifest: {e}"),
+        };
+        let mut reader = SliceReader::new(bytes);
+        let magic = reader.u32().map_err(sk)?;
+        if magic != MANIFEST_MAGIC {
+            return Err(corrupt(format!("bad manifest magic number {magic:#x}")));
+        }
+        let version = reader.u8().map_err(sk)?;
+        if version != MANIFEST_VERSION {
+            return Err(corrupt(format!(
+                "unsupported manifest version {version} (this build reads version {MANIFEST_VERSION})"
+            )));
+        }
+        let spec_len = reader.u32().map_err(sk)? as usize;
+        let spec = SketcherSpec::decode(reader.take(spec_len).map_err(sk)?)
+            .map_err(|e| corrupt(format!("manifest sketcher spec: {e}")))?;
+        let entry_count = reader.u64().map_err(sk)?;
+        // An entry takes at least 36 bytes; bound the pre-allocation by what the
+        // buffer could possibly hold so a corrupt count cannot trigger a huge alloc.
+        let mut entries = Vec::with_capacity((entry_count as usize).min(bytes.len() / 36 + 1));
+        for _ in 0..entry_count {
+            let mut entry = || -> Result<ManifestEntry, ipsketch_core::SketchError> {
+                Ok(ManifestEntry {
+                    table: reader.string()?,
+                    column: reader.string()?,
+                    rows: reader.u64()?,
+                    file: reader.string()?,
+                    blob_len: reader.u64()?,
+                    checksum: reader.u64()?,
+                })
+            };
+            entries.push(entry().map_err(sk)?);
+        }
+        reader.finished().map_err(sk)?;
+        Ok(Self { spec, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(SketcherSpec::Kmv {
+            capacity: 32,
+            seed: 7,
+        });
+        m.entries.push(ManifestEntry {
+            table: "taxi".into(),
+            column: "rides".into(),
+            rows: 500,
+            file: "000000.col".into(),
+            blob_len: 1234,
+            checksum: 0xDEAD_BEEF,
+        });
+        m.entries.push(ManifestEntry {
+            table: "weather".into(),
+            column: "precip".into(),
+            rows: 730,
+            file: "000001.col".into(),
+            blob_len: 99,
+            checksum: 42,
+        });
+        m
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).expect("fresh encoding"), m);
+        let empty = Manifest::new(SketcherSpec::Jl { rows: 8, seed: 1 });
+        assert_eq!(
+            Manifest::decode(&empty.encode()).expect("fresh encoding"),
+            empty
+        );
+    }
+
+    #[test]
+    fn find_locates_entries() {
+        let m = sample();
+        assert_eq!(m.find("taxi", "rides").map(|e| e.rows), Some(500));
+        assert!(m.find("taxi", "missing").is_none());
+        assert!(m.find("missing", "rides").is_none());
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    Manifest::decode(&bytes[..cut]),
+                    Err(CatalogError::Corrupt { .. })
+                ),
+                "cut at {cut} of {} should be corrupt",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_version_and_trailing_bytes() {
+        let m = sample();
+        let mut bad_magic = m.encode();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            Manifest::decode(&bad_magic),
+            Err(CatalogError::Corrupt { .. })
+        ));
+        let mut stale_version = m.encode();
+        stale_version[4] = 99;
+        let err = Manifest::decode(&stale_version).expect_err("stale version");
+        assert!(err.to_string().contains("version 99"), "{err}");
+        let mut padded = m.encode();
+        padded.push(0);
+        assert!(Manifest::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_input_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"catalog"), fnv64(b"catalog"));
+        assert_ne!(fnv64(b"catalog"), fnv64(b"catalpg"));
+    }
+}

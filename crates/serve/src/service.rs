@@ -1,0 +1,761 @@
+//! The query service: a [`Catalog`] fronted by an in-memory [`SketchIndex`].
+//!
+//! The service owns the whole serving workflow the ROADMAP describes: open a catalog,
+//! lazily hydrate its stored sketches into the index, ingest new tables (one-shot,
+//! chunk-partitioned, or shard-partial with the announced-norm exchange), and answer
+//! single or batched joinability/relatedness queries.  Hydration is incremental — a
+//! column is decoded from disk at most once per service, on the first query after it
+//! becomes visible — so opening a service over a large catalog costs only the manifest
+//! read.
+
+use crate::catalog::Catalog;
+use crate::error::CatalogError;
+use ipsketch_core::SketcherSpec;
+use ipsketch_data::{Column, Table};
+use ipsketch_join::{
+    ColumnNormPartials, JoinError, JoinEstimator, RankedColumn, SketchIndex, SketchedColumn,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// Splits a table into (up to) `shards` contiguous row-range shards, each carrying the
+/// same table name and column layout — the shape [`ShardedIngest`] expects.  In a real
+/// deployment shards exist because the data arrives partitioned; this helper lets
+/// single-process callers (tests, the CLI) rehearse the identical protocol.
+#[must_use]
+pub fn shard_rows(table: &Table, shards: usize) -> Vec<Table> {
+    let rows = table.rows();
+    if rows == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let chunk = rows.div_ceil(shards);
+    (0..rows)
+        .step_by(chunk)
+        .map(|start| {
+            let end = (start + chunk).min(rows);
+            Table::new(
+                table.name(),
+                table.keys()[start..end].to_vec(),
+                table
+                    .columns()
+                    .iter()
+                    .map(|c| Column::new(c.name.clone(), c.values[start..end].to_vec()))
+                    .collect(),
+            )
+            .expect("a contiguous row range of a valid table is a valid table")
+        })
+        .collect()
+}
+
+/// What an ingest call did: which columns were registered and which were skipped as
+/// unsketchable (all-zero value mass).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// `(table, column)` keys registered into the catalog.
+    pub registered: Vec<(String, String)>,
+    /// Columns skipped because they carry no value mass.
+    pub skipped: Vec<String>,
+}
+
+/// A persistent sketch catalog served through an in-memory index.  The estimator
+/// lives inside the index (single source of truth); [`estimator`](Self::estimator)
+/// borrows it from there, so queries are always sketched under exactly the
+/// configuration the index ranks with.
+#[derive(Debug)]
+pub struct QueryService {
+    catalog: Catalog,
+    index: SketchIndex,
+    hydrated: HashSet<(String, String)>,
+}
+
+impl QueryService {
+    /// Initializes a fresh catalog at `root` and serves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for filesystem failures, an already-initialized
+    /// directory, or a spec that cannot build a sketcher.
+    pub fn create(root: impl Into<PathBuf>, spec: SketcherSpec) -> Result<Self, CatalogError> {
+        Self::from_catalog(Catalog::init(root, spec)?)
+    }
+
+    /// Opens an existing catalog at `root` and serves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] if the directory is not a catalog, its manifest is
+    /// corrupt, or its recorded spec cannot build a sketcher.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, CatalogError> {
+        Self::from_catalog(Catalog::open(root)?)
+    }
+
+    fn from_catalog(catalog: Catalog) -> Result<Self, CatalogError> {
+        let index = SketchIndex::new(JoinEstimator::new(catalog.spec().build()?));
+        Ok(Self {
+            catalog,
+            index,
+            hydrated: HashSet::new(),
+        })
+    }
+
+    /// The underlying catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The estimator rebuilt from the catalog's recorded spec (borrowed from the
+    /// index, which owns the single copy).
+    #[must_use]
+    pub fn estimator(&self) -> &JoinEstimator {
+        self.index.estimator()
+    }
+
+    /// Number of columns already hydrated into the in-memory index.
+    #[must_use]
+    pub fn hydrated_len(&self) -> usize {
+        self.hydrated.len()
+    }
+
+    /// Loads every catalog column not yet in the in-memory index.  Called implicitly
+    /// by the query methods; exposed for warm-up.  Returns the number of columns
+    /// hydrated by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] if a stored blob is corrupt or incompatible — the
+    /// load-time gate that keeps bad sketches out of estimates.
+    pub fn ensure_hydrated(&mut self) -> Result<usize, CatalogError> {
+        // Hot path: everything registered is already in the index; queries pay
+        // nothing beyond this length comparison (keys are inserted in lock-step with
+        // catalog registration, so the counts only diverge when columns were added
+        // behind our back — i.e. loaded from disk on open).
+        if self.hydrated.len() == self.catalog.len() {
+            return Ok(0);
+        }
+        let missing: Vec<_> = self
+            .catalog
+            .entries()
+            .iter()
+            .filter(|e| !self.hydrated.contains(&(e.table.clone(), e.column.clone())))
+            .cloned()
+            .collect();
+        for entry in &missing {
+            let column = self.catalog.load_entry(entry)?;
+            self.index.insert_sketched(column)?;
+            self.hydrated
+                .insert((entry.table.clone(), entry.column.clone()));
+        }
+        Ok(missing.len())
+    }
+
+    /// Sketches, registers and hydrates every column of `table` in one shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for sketching failures, duplicate columns, or
+    /// filesystem failures.
+    pub fn ingest_table(&mut self, table: &Table) -> Result<IngestReport, CatalogError> {
+        self.ingest_with(table, |est, table, column| est.sketch_column(table, column))
+    }
+
+    /// Like [`ingest_table`](Self::ingest_table) but sketches each column as
+    /// `partitions` row-chunks merged through the mergeable-sketcher path — the
+    /// single-process rehearsal of distributed ingest.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ingest_table`](Self::ingest_table), plus non-mergeable methods
+    /// (SimHash).
+    pub fn ingest_table_partitioned(
+        &mut self,
+        table: &Table,
+        partitions: usize,
+    ) -> Result<IngestReport, CatalogError> {
+        self.ingest_with(table, |est, table, column| {
+            est.sketch_column_partitioned(table, column, partitions)
+        })
+    }
+
+    fn ingest_with(
+        &mut self,
+        table: &Table,
+        sketch: impl Fn(&JoinEstimator, &Table, &str) -> Result<SketchedColumn, JoinError>,
+    ) -> Result<IngestReport, CatalogError> {
+        let mut report = IngestReport::default();
+        let mut sketched_columns = Vec::new();
+        for column in table.columns() {
+            match sketch(self.index.estimator(), table, &column.name) {
+                Ok(sketched) => {
+                    report
+                        .registered
+                        .push((table.name().to_string(), column.name.clone()));
+                    sketched_columns.push(sketched);
+                }
+                Err(JoinError::EmptyColumn { .. }) => report.skipped.push(column.name.clone()),
+                Err(other) => return Err(other.into()),
+            }
+        }
+        self.register_all_hydrated(sketched_columns)?;
+        Ok(report)
+    }
+
+    /// Registers a batch of finished columns into the catalog (one manifest commit)
+    /// and the in-memory index.
+    fn register_all_hydrated(&mut self, sketched: Vec<SketchedColumn>) -> Result<(), CatalogError> {
+        self.catalog.register_all(&sketched)?;
+        for column in sketched {
+            let key = (column.table.clone(), column.column.clone());
+            self.index.insert_sketched(column)?;
+            self.hydrated.insert(key);
+        }
+        Ok(())
+    }
+
+    /// Starts a shard-partial ingest of a table named `table_name` — the genuinely
+    /// distributed registration path.  See [`ShardedIngest`] for the two-pass
+    /// protocol.
+    #[must_use]
+    pub fn begin_sharded_ingest(&mut self, table_name: impl Into<String>) -> ShardedIngest<'_> {
+        ShardedIngest {
+            service: self,
+            table_name: table_name.into(),
+            columns: Vec::new(),
+            norms: Vec::new(),
+            partials: Vec::new(),
+            sealed: false,
+            submitted: false,
+        }
+    }
+
+    /// Sketches a query column with the catalog's configuration (queries are sketched
+    /// fresh, not registered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing or unsketchable.
+    pub fn sketch_query(&self, table: &Table, column: &str) -> Result<SketchedColumn, JoinError> {
+        self.index.estimator().sketch_column(table, column)
+    }
+
+    /// Ranks all served columns by estimated join size with the query and returns the
+    /// top `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for hydration failures or incompatible query sketches.
+    pub fn query_joinable(
+        &mut self,
+        query: &SketchedColumn,
+        k: usize,
+    ) -> Result<Vec<RankedColumn>, CatalogError> {
+        self.ensure_hydrated()?;
+        Ok(self.index.top_k_joinable(query, k)?)
+    }
+
+    /// Ranks all served columns by |estimated post-join correlation| and returns the
+    /// top `k`, excluding candidates whose estimated join size is below
+    /// `min_join_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for hydration failures or incompatible query sketches.
+    pub fn query_related(
+        &mut self,
+        query: &SketchedColumn,
+        k: usize,
+        min_join_size: f64,
+    ) -> Result<Vec<RankedColumn>, CatalogError> {
+        self.ensure_hydrated()?;
+        Ok(self.index.top_k_correlated(query, k, min_join_size)?)
+    }
+
+    /// Answers a batch of joinability queries; result `i` ranks query `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure — batches are all-or-nothing.
+    pub fn query_joinable_batch(
+        &mut self,
+        queries: &[SketchedColumn],
+        k: usize,
+    ) -> Result<Vec<Vec<RankedColumn>>, CatalogError> {
+        self.ensure_hydrated()?;
+        Ok(self.index.top_k_joinable_batch(queries, k)?)
+    }
+
+    /// Answers a batch of relatedness queries; result `i` ranks query `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure — batches are all-or-nothing.
+    pub fn query_related_batch(
+        &mut self,
+        queries: &[SketchedColumn],
+        k: usize,
+        min_join_size: f64,
+    ) -> Result<Vec<Vec<RankedColumn>>, CatalogError> {
+        self.ensure_hydrated()?;
+        Ok(self
+            .index
+            .top_k_correlated_batch(queries, k, min_join_size)?)
+    }
+}
+
+/// A two-pass shard-partial ingest session.
+///
+/// Shards hold disjoint row ranges of one logical table.  The protocol mirrors what a
+/// distributed deployment does:
+///
+/// 1. **Announce (first pass).**  Every shard reports its `Σv²` partial sums per
+///    column via [`announce`](Self::announce) — a cheap local reduction.  The
+///    coordinator folds them so all shards agree on each column's full-vector norm,
+///    which the normalized samplers (WMH, ICWS) must know *before* sketching
+///    (Algorithm 3 normalizes by the whole vector's norm).
+/// 2. **Submit (second pass).**  Every shard sketches its rows against the announced
+///    norms via [`submit`](Self::submit); the coordinator folds the partial sketches
+///    with `MergeableSketcher::merge` semantics as they arrive.
+/// 3. **[`finish`](Self::finish)** registers the folded columns into the catalog and
+///    index and reports what was registered or skipped.
+///
+/// The first `submit` seals the announcement; announcing afterwards is an error, as it
+/// would change norms that sketches were already built against.
+#[derive(Debug)]
+pub struct ShardedIngest<'a> {
+    service: &'a mut QueryService,
+    table_name: String,
+    columns: Vec<String>,
+    norms: Vec<ColumnNormPartials>,
+    partials: Vec<Option<SketchedColumn>>,
+    /// Set on the first `submit` *attempt* (even a failed one): norms may already
+    /// have been used to sketch, so further announcements are refused.
+    sealed: bool,
+    /// Set only by a fully successful `submit`: the gate `finish` requires.
+    submitted: bool,
+}
+
+impl ShardedIngest<'_> {
+    /// First pass: folds `shard`'s per-column `Σv²` partial sums into the announced
+    /// norms.  All shards must present the same column set, in the same order, under
+    /// the session's table name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Incompatible`] for a shard of a different table or
+    /// column layout, or if called after the first [`submit`](Self::submit).
+    pub fn announce(&mut self, shard: &Table) -> Result<(), CatalogError> {
+        if self.sealed {
+            return Err(CatalogError::Incompatible {
+                detail: "norms are sealed once the first shard sketch is submitted".to_string(),
+            });
+        }
+        self.check_shape(shard)?;
+        if self.columns.is_empty() {
+            self.columns = shard.columns().iter().map(|c| c.name.clone()).collect();
+            self.norms = vec![ColumnNormPartials::default(); self.columns.len()];
+            self.partials = vec![None; self.columns.len()];
+        }
+        for (i, column) in self.columns.iter().enumerate() {
+            let partial = JoinEstimator::column_norm_partials(shard, column)?;
+            self.norms[i].add(&partial);
+        }
+        Ok(())
+    }
+
+    /// Second pass: sketches `shard` against the announced norms and folds the partial
+    /// sketches into the session state.  Columns whose announced value mass is zero
+    /// are skipped here and reported by [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Incompatible`] for a shard of a different table or
+    /// column layout or a session with no announcements, and sketching errors
+    /// (including non-mergeable methods).
+    pub fn submit(&mut self, shard: &Table) -> Result<(), CatalogError> {
+        if self.columns.is_empty() {
+            return Err(CatalogError::Incompatible {
+                detail: "no norms announced: every shard must announce before any submits"
+                    .to_string(),
+            });
+        }
+        self.check_shape(shard)?;
+        // Any submit attempt — even one that fails below — seals the norms: sketches
+        // may already have been built against them on other shards.
+        self.sealed = true;
+        for (i, column) in self.columns.iter().enumerate() {
+            if self.norms[i].values_sq <= 0.0 {
+                continue; // Skipped column; reported at finish.
+            }
+            let estimator = self.service.index.estimator();
+            let sketched = estimator.sketch_column_shard(shard, column, &self.norms[i])?;
+            self.partials[i] = Some(match self.partials[i].take() {
+                None => sketched,
+                Some(acc) => estimator.merge_sketched_columns(&acc, &sketched)?,
+            });
+        }
+        // Only a fully successful submit counts toward finish()'s "at least one
+        // shard was submitted" requirement.
+        self.submitted = true;
+        Ok(())
+    }
+
+    /// Registers the folded columns into the catalog and index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for duplicate columns or filesystem failures, and
+    /// [`CatalogError::Incompatible`] if no shard was ever submitted.
+    pub fn finish(self) -> Result<IngestReport, CatalogError> {
+        if !self.submitted {
+            return Err(CatalogError::Incompatible {
+                detail: "sharded ingest finished before any shard was successfully submitted"
+                    .to_string(),
+            });
+        }
+        let ShardedIngest {
+            service,
+            table_name,
+            columns,
+            partials,
+            ..
+        } = self;
+        let mut report = IngestReport::default();
+        let mut folded_columns = Vec::new();
+        for (column, partial) in columns.into_iter().zip(partials) {
+            match partial {
+                Some(folded) => {
+                    report.registered.push((table_name.clone(), column));
+                    folded_columns.push(folded);
+                }
+                None => report.skipped.push(column),
+            }
+        }
+        // One catalog commit for the whole table, moving (not cloning) the folds.
+        service.register_all_hydrated(folded_columns)?;
+        Ok(report)
+    }
+
+    /// Validates that a shard belongs to this session: same table name and, once the
+    /// column layout is fixed, the same columns in the same order.
+    fn check_shape(&self, shard: &Table) -> Result<(), CatalogError> {
+        if shard.name() != self.table_name {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "shard names table `{}`, session ingests `{}`",
+                    shard.name(),
+                    self.table_name
+                ),
+            });
+        }
+        if !self.columns.is_empty() {
+            let names: Vec<&str> = shard.columns().iter().map(|c| c.name.as_str()).collect();
+            if names != self.columns.iter().map(String::as_str).collect::<Vec<_>>() {
+                return Err(CatalogError::Incompatible {
+                    detail: format!(
+                        "shard columns {names:?} do not match the session's {:?}",
+                        self.columns
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipsketch_core::method::{AnySketcher, SketchMethod};
+    use ipsketch_data::Column;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ipsketch-service-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec_for(method: SketchMethod, seed: u64) -> SketcherSpec {
+        AnySketcher::for_budget(method, 256.0, seed)
+            .expect("budget fits")
+            .spec()
+    }
+
+    /// A lake where "query.rides" joins heavily with "good.precip" and not with "bad".
+    fn lake() -> (Table, Table, Table) {
+        let query = Table::new(
+            "query",
+            (0..400).collect(),
+            vec![Column::new(
+                "rides",
+                (0..400).map(|i| f64::from(i) + 1.0).collect(),
+            )],
+        )
+        .expect("table");
+        let good = Table::new(
+            "good",
+            (100..500).collect(),
+            vec![
+                Column::new(
+                    "precip",
+                    (100..500).map(|i| 2.0 * f64::from(i) + 3.0).collect(),
+                ),
+                Column::new(
+                    "noise",
+                    (0..400).map(|i| f64::from((i * 37) % 11) - 5.0).collect(),
+                ),
+            ],
+        )
+        .expect("table");
+        let bad = Table::new(
+            "bad",
+            (10_000..10_400).collect(),
+            vec![Column::new(
+                "other",
+                (0..400).map(|i| f64::from(i % 7) + 1.0).collect(),
+            )],
+        )
+        .expect("table");
+        (query, good, bad)
+    }
+
+    /// Splits a table into `n` contiguous row-range shards carrying the same name and
+    /// column layout.
+    fn shards_of(table: &Table, n: usize) -> Vec<Table> {
+        shard_rows(table, n)
+    }
+
+    #[test]
+    fn ingest_query_reopen_matches_in_memory_index() {
+        let root = temp_root("e2e");
+        let (query, good, bad) = lake();
+        let spec = spec_for(SketchMethod::WeightedMinHash, 11);
+        let mut service = QueryService::create(&root, spec).expect("create");
+        service.ingest_table(&good).expect("ingest good");
+        service.ingest_table(&bad).expect("ingest bad");
+
+        let q = service.sketch_query(&query, "rides").expect("query sketch");
+        let ranked = service.query_joinable(&q, 3).expect("query");
+        assert_eq!(ranked[0].id.table, "good");
+
+        // An in-memory index built with the same spec ranks identically, with
+        // identical estimates — the acceptance criterion for the serving layer.
+        let est = JoinEstimator::new(spec.build().expect("build"));
+        let mut mem = SketchIndex::new(est.clone());
+        mem.insert_table(&good).expect("mem good");
+        mem.insert_table(&bad).expect("mem bad");
+        let mem_ranked = mem
+            .top_k_joinable(&mem.sketch_query(&query, "rides").expect("mem query"), 3)
+            .expect("mem rank");
+        assert_eq!(ranked.len(), mem_ranked.len());
+        for (served, in_mem) in ranked.iter().zip(&mem_ranked) {
+            assert_eq!(served.id, in_mem.id);
+            assert_eq!(served.estimated_join_size, in_mem.estimated_join_size);
+            assert_eq!(served.estimated_correlation, in_mem.estimated_correlation);
+        }
+
+        // Reopening the catalog cold reproduces the same answers (lazy hydration).
+        let mut reopened = QueryService::open(&root).expect("open");
+        assert_eq!(reopened.hydrated_len(), 0);
+        let q2 = reopened.sketch_query(&query, "rides").expect("sketch");
+        let ranked2 = reopened.query_joinable(&q2, 3).expect("query");
+        assert_eq!(reopened.hydrated_len(), 3);
+        assert_eq!(ranked, ranked2);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn batched_queries_match_single_queries() {
+        let root = temp_root("batch");
+        let (query, good, bad) = lake();
+        let mut service =
+            QueryService::create(&root, spec_for(SketchMethod::Kmv, 5)).expect("create");
+        service.ingest_table(&good).expect("good");
+        service.ingest_table(&bad).expect("bad");
+        let q1 = service.sketch_query(&query, "rides").expect("q1");
+        let q2 = service.sketch_query(&good, "precip").expect("q2");
+        let batch = service
+            .query_joinable_batch(&[q1.clone(), q2.clone()], 5)
+            .expect("batch");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], service.query_joinable(&q1, 5).expect("single 1"));
+        assert_eq!(batch[1], service.query_joinable(&q2, 5).expect("single 2"));
+        let related = service
+            .query_related_batch(std::slice::from_ref(&q1), 2, 10.0)
+            .expect("related batch");
+        assert_eq!(
+            related[0],
+            service.query_related(&q1, 2, 10.0).expect("related single")
+        );
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn sharded_ingest_matches_one_shot_for_every_mergeable_method() {
+        for (tag, method) in [
+            ("jl", SketchMethod::Jl),
+            ("cs", SketchMethod::CountSketch),
+            ("mh", SketchMethod::MinHash),
+            ("kmv", SketchMethod::Kmv),
+            ("wmh", SketchMethod::WeightedMinHash),
+            ("icws", SketchMethod::Icws),
+        ] {
+            let root = temp_root(&format!("shard-{tag}"));
+            let (query, good, bad) = lake();
+            let spec = spec_for(method, 17);
+            let mut service = QueryService::create(&root, spec).expect("create");
+            for table in [&good, &bad] {
+                let mut ingest = service.begin_sharded_ingest(table.name());
+                let shards = shards_of(table, 3);
+                for shard in &shards {
+                    ingest.announce(shard).expect("announce");
+                }
+                for shard in &shards {
+                    ingest.submit(shard).expect("submit");
+                }
+                let report = ingest.finish().expect("finish");
+                assert_eq!(report.registered.len(), table.columns().len(), "{method:?}");
+            }
+            let q = service.sketch_query(&query, "rides").expect("sketch");
+            let ranked = service.query_joinable(&q, 3).expect("query");
+
+            // One-shot in-memory baseline with identical configuration.
+            let est = JoinEstimator::new(spec.build().expect("build"));
+            let mut mem = SketchIndex::new(est.clone());
+            mem.insert_table(&good).expect("good");
+            mem.insert_table(&bad).expect("bad");
+            let mem_ranked = mem
+                .top_k_joinable(&mem.sketch_query(&query, "rides").expect("q"), 3)
+                .expect("rank");
+            assert_eq!(
+                ranked.iter().map(|r| r.id.clone()).collect::<Vec<_>>(),
+                mem_ranked.iter().map(|r| r.id.clone()).collect::<Vec<_>>(),
+                "{method:?}: shard-partial ranking must match one-shot"
+            );
+            for (a, b) in ranked.iter().zip(&mem_ranked) {
+                // Sampling methods merge bit-exactly; the linear maps agree up to
+                // float addition order; WMH up to its grid rounding.
+                let tolerance = match method {
+                    SketchMethod::WeightedMinHash => {
+                        0.1 * a.estimated_join_size.max(b.estimated_join_size).max(50.0)
+                    }
+                    _ => 1e-6 * (1.0 + b.estimated_join_size.abs()),
+                };
+                assert!(
+                    (a.estimated_join_size - b.estimated_join_size).abs() <= tolerance,
+                    "{method:?}: {} vs {}",
+                    a.estimated_join_size,
+                    b.estimated_join_size
+                );
+            }
+            fs::remove_dir_all(&root).expect("cleanup");
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_protocol_violations_are_typed_errors() {
+        let root = temp_root("protocol");
+        let (_, good, _) = lake();
+        let mut service = QueryService::create(&root, spec_for(SketchMethod::WeightedMinHash, 3))
+            .expect("create");
+        let shards = shards_of(&good, 2);
+
+        // Submitting before announcing fails.
+        let mut ingest = service.begin_sharded_ingest("good");
+        assert!(matches!(
+            ingest.submit(&shards[0]),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        // A shard of a different table fails.
+        assert!(matches!(
+            ingest.announce(&lake().2),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        ingest.announce(&shards[0]).expect("announce 0");
+        ingest.announce(&shards[1]).expect("announce 1");
+        ingest.submit(&shards[0]).expect("submit 0");
+        // Announcing after the first submit fails (norms are sealed).
+        assert!(matches!(
+            ingest.announce(&shards[1]),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        ingest.submit(&shards[1]).expect("submit 1");
+        ingest.finish().expect("finish");
+
+        // Finishing a session that never submitted fails.
+        let ingest = service.begin_sharded_ingest("empty");
+        assert!(matches!(
+            ingest.finish(),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn all_zero_columns_are_skipped_in_both_ingest_paths() {
+        let root = temp_root("zeros");
+        let zero = Table::new(
+            "zeros",
+            (0..50).collect(),
+            vec![
+                Column::new("z", vec![0.0; 50]),
+                Column::new("ok", (0..50).map(|i| f64::from(i) + 1.0).collect()),
+            ],
+        )
+        .expect("table");
+        let mut service = QueryService::create(&root, spec_for(SketchMethod::WeightedMinHash, 7))
+            .expect("create");
+        let report = service.ingest_table(&zero).expect("one-shot ingest");
+        assert_eq!(report.skipped, vec!["z".to_string()]);
+        assert_eq!(report.registered.len(), 1);
+
+        // The same column through the sharded path is also skipped, after the norm
+        // exchange reveals zero value mass.
+        let root2 = temp_root("zeros2");
+        let mut service2 = QueryService::create(&root2, spec_for(SketchMethod::WeightedMinHash, 7))
+            .expect("create");
+        let mut ingest = service2.begin_sharded_ingest("zeros");
+        let shards = shards_of(&zero, 2);
+        for shard in &shards {
+            ingest.announce(shard).expect("announce");
+        }
+        for shard in &shards {
+            ingest.submit(shard).expect("submit");
+        }
+        let report = ingest.finish().expect("finish");
+        assert_eq!(report.skipped, vec!["z".to_string()]);
+        assert_eq!(report.registered.len(), 1);
+        fs::remove_dir_all(&root).expect("cleanup");
+        fs::remove_dir_all(&root2).expect("cleanup");
+    }
+
+    #[test]
+    fn simhash_catalogs_serve_queries_but_reject_sharded_ingest() {
+        let root = temp_root("simhash");
+        let (query, good, _) = lake();
+        let mut service =
+            QueryService::create(&root, spec_for(SketchMethod::SimHash, 3)).expect("create");
+        service.ingest_table(&good).expect("one-shot works");
+        let q = service.sketch_query(&query, "rides").expect("sketch");
+        assert!(!service.query_joinable(&q, 2).expect("query").is_empty());
+
+        let mut ingest = service.begin_sharded_ingest("bad");
+        let shards = shards_of(&lake().2, 2);
+        ingest
+            .announce(&shards[0])
+            .expect("announce is method-agnostic");
+        assert!(
+            ingest.submit(&shards[0]).is_err(),
+            "SimHash partials cannot merge"
+        );
+        // A session whose only submit failed must not finish as if the table were
+        // all-zero "skipped" columns — finishing is a typed error.
+        assert!(matches!(
+            ingest.finish(),
+            Err(CatalogError::Incompatible { .. })
+        ));
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the catalog manifest: encode/decode round-trips over
+//! arbitrary entry sets, and corruption (truncation, bit flips, garbage) must always
+//! surface typed [`CatalogError`]s — never a panic, never a silently-wrong manifest.
+
+use ipsketch_core::wmh::WmhVariant;
+use ipsketch_core::SketcherSpec;
+use ipsketch_serve::error::CatalogError;
+use ipsketch_serve::manifest::{fnv64, Manifest, ManifestEntry};
+use proptest::prelude::*;
+
+/// Characters used in generated names: ASCII plus multi-byte UTF-8, so string
+/// length-prefixes (bytes) and character counts disagree.
+const NAME_CHARS: [char; 40] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '_', '-', '.', ' ', 'é', 'ß', '中',
+    '文', '→', 'λ',
+];
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u64..NAME_CHARS.len() as u64, 0..12).prop_map(|indices| {
+        indices
+            .into_iter()
+            .map(|i| NAME_CHARS[i as usize])
+            .collect()
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = SketcherSpec> {
+    (0u64..7, 1u64..500, any::<u64>()).prop_map(|(kind, size, seed)| {
+        let size_usize = size as usize;
+        match kind {
+            0 => SketcherSpec::Jl {
+                rows: size_usize,
+                seed,
+            },
+            1 => SketcherSpec::CountSketch {
+                buckets: size_usize,
+                repetitions: 1 + size_usize % 9,
+                seed,
+            },
+            2 => SketcherSpec::MinHash {
+                samples: size_usize,
+                seed,
+                hash_kind: Default::default(),
+            },
+            3 => SketcherSpec::Kmv {
+                capacity: 2 + size_usize,
+                seed,
+            },
+            4 => SketcherSpec::WeightedMinHash {
+                samples: size_usize,
+                seed,
+                discretization: 1 + size,
+                variant: if size % 2 == 0 {
+                    WmhVariant::Fast
+                } else {
+                    WmhVariant::Naive
+                },
+            },
+            5 => SketcherSpec::SimHash {
+                bits: size_usize,
+                seed,
+            },
+            _ => SketcherSpec::Icws {
+                samples: size_usize,
+                seed,
+            },
+        }
+    })
+}
+
+fn entry_strategy() -> impl Strategy<Value = ManifestEntry> {
+    (
+        name_strategy(),
+        name_strategy(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(table, column, rows, blob_len, checksum)| ManifestEntry {
+            file: format!("{:06}.col", rows % 1_000_000),
+            table,
+            column,
+            rows,
+            blob_len,
+            checksum,
+        })
+}
+
+fn manifest_strategy() -> impl Strategy<Value = Manifest> {
+    (
+        spec_strategy(),
+        proptest::collection::vec(entry_strategy(), 0..10),
+    )
+        .prop_map(|(spec, entries)| {
+            let mut manifest = Manifest::new(spec);
+            manifest.entries = entries;
+            manifest
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_round_trips(manifest in manifest_strategy()) {
+        let encoded = manifest.encode();
+        let decoded = Manifest::decode(&encoded);
+        prop_assert_eq!(decoded.expect("fresh encoding decodes"), manifest);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(manifest in manifest_strategy(), cut in any::<u64>()) {
+        let encoded = manifest.encode();
+        // Any strict prefix must fail with Corrupt — never panic, never decode.
+        let cut = (cut as usize) % encoded.len().max(1);
+        let is_corrupt = matches!(
+            Manifest::decode(&encoded[..cut]),
+            Err(CatalogError::Corrupt { .. })
+        );
+        prop_assert!(is_corrupt);
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_header_flips_always_fail(
+        manifest in manifest_strategy(),
+        position in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut encoded = manifest.encode();
+        let position = (position as usize) % encoded.len();
+        encoded[position] ^= flip;
+        // Decoding corrupted bytes must be total: either a typed error or a decoded
+        // manifest (a flip inside a name's bytes can be another valid name) — the
+        // property is that it never panics and never returns Ok with the header
+        // damaged.
+        let result = Manifest::decode(&encoded);
+        if position < 5 {
+            let is_corrupt = matches!(result, Err(CatalogError::Corrupt { .. }));
+            prop_assert!(is_corrupt);
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Manifest::decode(&bytes);
+    }
+
+    #[test]
+    fn checksum_detects_any_blob_flip(
+        blob in proptest::collection::vec(any::<u8>(), 1..300),
+        position in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let checksum = fnv64(&blob);
+        let mut damaged = blob.clone();
+        let position = (position as usize) % damaged.len();
+        damaged[position] ^= flip;
+        prop_assert!(fnv64(&damaged) != checksum);
+    }
+}

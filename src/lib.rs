@@ -6,6 +6,7 @@
 //! - [`core`]: the sketching algorithms and estimators
 //! - [`data`]: synthetic workload generators
 //! - [`join`]: the dataset-search application
+//! - [`serve`]: persistent sketch catalogs and the query service
 //! - [`bench`]: the experiment harness
 
 #![forbid(unsafe_code)]
@@ -15,4 +16,5 @@ pub use ipsketch_core as core;
 pub use ipsketch_data as data;
 pub use ipsketch_hash as hash;
 pub use ipsketch_join as join;
+pub use ipsketch_serve as serve;
 pub use ipsketch_vector as vector;

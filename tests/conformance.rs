@@ -1,0 +1,312 @@
+//! Cross-method conformance suite.
+//!
+//! One parameterized battery per guarantee, asserted for **every** method behind
+//! [`AnySketcher`] — so a new method (or a refactor of an old one) cannot ship without
+//! these holding:
+//!
+//! 1. serialize → deserialize → estimate is **bit-for-bit** identical to the in-memory
+//!    estimate, at both the sketch level (`AnySketch` blobs) and the column level
+//!    (`SketchedColumn` blobs, the catalog's unit of storage);
+//! 2. merging or estimating across mismatched configurations (seed, budget, method)
+//!    is a typed error — never a silently wrong estimate;
+//! 3. empty and degenerate columns fail with typed errors at every layer.
+
+use ipsketch::core::method::{AnySketch, AnySketcher, SketchMethod};
+use ipsketch::core::serialize::BinarySketch;
+use ipsketch::core::traits::Sketcher;
+use ipsketch::core::SketchError;
+use ipsketch::data::{Column, Table};
+use ipsketch::join::{JoinError, JoinEstimator, SketchedColumn};
+use ipsketch::vector::SparseVector;
+
+const BUDGET: f64 = 160.0;
+const SEED: u64 = 29;
+
+fn vectors() -> (SparseVector, SparseVector) {
+    let a = SparseVector::from_pairs((0..300u64).map(|i| (i, 1.0 + (i % 5) as f64)))
+        .expect("finite values");
+    let b = SparseVector::from_pairs((150..450u64).map(|i| (i, 2.0 - (i % 3) as f64)))
+        .expect("finite values");
+    (a, b)
+}
+
+fn tables() -> (Table, Table) {
+    let ta = Table::new(
+        "ta",
+        (0..250).collect(),
+        vec![Column::new(
+            "v",
+            (0..250).map(|i| f64::from(i % 17) + 1.0).collect(),
+        )],
+    )
+    .expect("well-formed table");
+    let tb = Table::new(
+        "tb",
+        (100..350).collect(),
+        vec![Column::new(
+            "w",
+            (100..350).map(|i| f64::from(i % 13) - 4.0).collect(),
+        )],
+    )
+    .expect("well-formed table");
+    (ta, tb)
+}
+
+/// Battery 1a: sketch → `AnySketch` blob → decode → estimate equals the in-memory
+/// estimate bit-for-bit, for every method.
+#[test]
+fn serialized_sketches_estimate_bit_for_bit() {
+    let (a, b) = vectors();
+    for method in SketchMethod::all() {
+        let sketcher = AnySketcher::for_budget(method, BUDGET, SEED).expect("budget fits");
+        let sa = sketcher.sketch(&a).expect("sketches");
+        let sb = sketcher.sketch(&b).expect("sketches");
+        let in_memory = sketcher
+            .estimate_inner_product(&sa, &sb)
+            .expect("estimates");
+
+        let decoded_a = AnySketch::from_bytes(&sa.to_bytes()).expect("decodes");
+        let decoded_b = AnySketch::from_bytes(&sb.to_bytes()).expect("decodes");
+        assert_eq!(
+            decoded_a, sa,
+            "{method:?}: decoded sketch must be identical"
+        );
+        assert_eq!(decoded_b, sb, "{method:?}");
+        let from_disk = sketcher
+            .estimate_inner_product(&decoded_a, &decoded_b)
+            .expect("decoded sketches estimate");
+        assert_eq!(
+            from_disk.to_bits(),
+            in_memory.to_bits(),
+            "{method:?}: estimate from serialized sketches must be bit-for-bit equal \
+             ({from_disk} vs {in_memory})"
+        );
+    }
+}
+
+/// Battery 1b: the same guarantee through the catalog's unit of storage — the full
+/// `SketchedColumn` blob with its three Figure-3 sketches.
+#[test]
+fn serialized_columns_estimate_bit_for_bit() {
+    let (ta, tb) = tables();
+    for method in SketchMethod::all() {
+        let est =
+            JoinEstimator::new(AnySketcher::for_budget(method, BUDGET, SEED).expect("budget fits"));
+        let ca = est.sketch_column(&ta, "v").expect("sketches");
+        let cb = est.sketch_column(&tb, "w").expect("sketches");
+        let in_memory = est.estimate(&ca, &cb).expect("estimates");
+
+        let decoded_a = SketchedColumn::from_bytes(&ca.to_bytes()).expect("decodes");
+        let decoded_b = SketchedColumn::from_bytes(&cb.to_bytes()).expect("decodes");
+        assert_eq!(decoded_a, ca, "{method:?}");
+        assert_eq!(decoded_b, cb, "{method:?}");
+        let from_disk = est.estimate(&decoded_a, &decoded_b).expect("estimates");
+        assert_eq!(
+            from_disk.join_size.to_bits(),
+            in_memory.join_size.to_bits(),
+            "{method:?}: join size must round-trip bit-for-bit"
+        );
+        assert_eq!(
+            from_disk.correlation.to_bits(),
+            in_memory.correlation.to_bits(),
+            "{method:?}: correlation must round-trip bit-for-bit"
+        );
+    }
+}
+
+/// Battery 2: mismatched configurations error loudly.  Merging — and estimating —
+/// across different seeds, budgets, or methods must be a typed
+/// [`SketchError::IncompatibleSketches`], never a silent estimate.
+#[test]
+fn mismatched_configurations_never_silently_estimate() {
+    let (a, b) = vectors();
+    let all: Vec<AnySketcher> = SketchMethod::all()
+        .into_iter()
+        .map(|m| AnySketcher::for_budget(m, BUDGET, SEED).expect("budget fits"))
+        .collect();
+    for sketcher in &all {
+        let method = sketcher.method();
+        let sa = sketcher.sketch(&a).expect("sketches");
+
+        // Different seed, same method and budget.
+        let reseeded = AnySketcher::for_budget(method, BUDGET, SEED + 1).expect("budget fits");
+        let sb_reseeded = reseeded.sketch(&b).expect("sketches");
+        assert!(
+            matches!(
+                sketcher.estimate_inner_product(&sa, &sb_reseeded),
+                Err(SketchError::IncompatibleSketches { .. })
+            ),
+            "{method:?}: cross-seed estimate must error"
+        );
+        assert!(
+            matches!(
+                sketcher.merge_sketches(&sa, &sb_reseeded),
+                Err(SketchError::IncompatibleSketches { .. })
+            ),
+            "{method:?}: cross-seed merge must error"
+        );
+
+        // Different budget (different sketch size), same seed.
+        let resized = AnySketcher::for_budget(method, BUDGET * 2.0, SEED).expect("budget fits");
+        let sb_resized = resized.sketch(&b).expect("sketches");
+        assert!(
+            sketcher.estimate_inner_product(&sa, &sb_resized).is_err(),
+            "{method:?}: cross-budget estimate must error"
+        );
+        assert!(
+            sketcher.merge_sketches(&sa, &sb_resized).is_err(),
+            "{method:?}: cross-budget merge must error"
+        );
+
+        // Every other method's sketch.
+        for other in &all {
+            if other.method() == method {
+                continue;
+            }
+            let foreign = other.sketch(&b).expect("sketches");
+            assert!(
+                matches!(
+                    sketcher.estimate_inner_product(&sa, &foreign),
+                    Err(SketchError::IncompatibleSketches { .. })
+                ),
+                "{method:?} vs {:?}: cross-method estimate must error",
+                other.method()
+            );
+            assert!(
+                sketcher.merge_sketches(&sa, &foreign).is_err(),
+                "{method:?} vs {:?}: cross-method merge must error",
+                other.method()
+            );
+        }
+    }
+}
+
+/// Battery 2b: the same guarantee one layer up — estimators over mismatched seeds
+/// reject each other's sketched columns.
+#[test]
+fn mismatched_estimators_reject_each_others_columns() {
+    let (ta, tb) = tables();
+    for method in SketchMethod::all() {
+        let est1 =
+            JoinEstimator::new(AnySketcher::for_budget(method, BUDGET, SEED).expect("budget fits"));
+        let est2 = JoinEstimator::new(
+            AnySketcher::for_budget(method, BUDGET, SEED + 1).expect("budget fits"),
+        );
+        let ca = est1.sketch_column(&ta, "v").expect("sketches");
+        let cb = est2.sketch_column(&tb, "w").expect("sketches");
+        assert!(
+            matches!(est1.estimate(&ca, &cb), Err(JoinError::Sketch(_))),
+            "{method:?}: cross-seed column estimate must error"
+        );
+        assert!(
+            est1.merge_sketched_columns(&ca, &cb).is_err(),
+            "{method:?}: partials of different columns/configs must not merge"
+        );
+    }
+}
+
+/// Battery 3: empty and degenerate inputs fail with typed errors at every layer —
+/// the empty vector at the sketcher layer (for the norm-dependent samplers), and the
+/// all-zero / zero-row column at the estimator layer for every method.
+#[test]
+fn degenerate_inputs_fail_with_typed_errors() {
+    // Sampling methods reject the empty (all-zero) vector outright; the linear maps
+    // accept it (the zero vector has a perfectly good linear image).
+    for method in SketchMethod::all() {
+        let sketcher = AnySketcher::for_budget(method, BUDGET, SEED).expect("budget fits");
+        let empty = sketcher.sketch(&SparseVector::new());
+        match method {
+            SketchMethod::Jl | SketchMethod::CountSketch => {
+                assert!(empty.is_ok(), "{method:?}: linear sketch of 0 is defined");
+            }
+            _ => assert!(
+                matches!(
+                    empty,
+                    Err(SketchError::Vector(_) | SketchError::EmptySketch)
+                ),
+                "{method:?}: sampling methods must reject the empty vector"
+            ),
+        }
+    }
+
+    // At the column layer the guarantee is uniform: all-zero and zero-row columns are
+    // typed `EmptyColumn` errors for every method, and unknown columns are data
+    // errors.
+    let zero_column = Table::new(
+        "z",
+        vec![1, 2, 3],
+        vec![Column::new("v", vec![0.0, 0.0, 0.0])],
+    )
+    .expect("well-formed table");
+    let no_rows =
+        Table::new("e", vec![], vec![Column::new("v", vec![])]).expect("well-formed table");
+    for method in SketchMethod::all() {
+        let est =
+            JoinEstimator::new(AnySketcher::for_budget(method, BUDGET, SEED).expect("budget fits"));
+        assert!(
+            matches!(
+                est.sketch_column(&zero_column, "v"),
+                Err(JoinError::EmptyColumn { .. })
+            ),
+            "{method:?}: all-zero column must be a typed EmptyColumn error"
+        );
+        assert!(
+            matches!(
+                est.sketch_column(&no_rows, "v"),
+                Err(JoinError::EmptyColumn { .. })
+            ),
+            "{method:?}: zero-row column must be a typed EmptyColumn error"
+        );
+        assert!(
+            matches!(
+                est.sketch_column(&zero_column, "missing"),
+                Err(JoinError::Data(_))
+            ),
+            "{method:?}: unknown column must be a typed data error"
+        );
+        // The partitioned path gives the same typed errors.
+        assert!(
+            matches!(
+                est.sketch_column_partitioned(&zero_column, "v", 2),
+                Err(JoinError::EmptyColumn { .. })
+            ),
+            "{method:?}: partitioned path must agree on EmptyColumn"
+        );
+    }
+}
+
+/// Decoding rejects blobs of the wrong sketch type with a typed error, for every
+/// ordered pair of methods.
+#[test]
+fn any_sketch_decode_is_self_describing_and_validated() {
+    let (a, _) = vectors();
+    let sketches: Vec<(SketchMethod, AnySketch)> = SketchMethod::all()
+        .into_iter()
+        .map(|m| {
+            let s = AnySketcher::for_budget(m, BUDGET, SEED).expect("budget fits");
+            (m, s.sketch(&a).expect("sketches"))
+        })
+        .collect();
+    for (method, sketch) in &sketches {
+        let bytes = sketch.to_bytes();
+        // Self-describing: decoding lands on the same variant.
+        let decoded = AnySketch::from_bytes(&bytes).expect("decodes");
+        assert_eq!(&decoded, sketch, "{method:?}");
+        // Corruption is typed at every truncation point.
+        for cut in [0, 3, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    AnySketch::from_bytes(&bytes[..cut]),
+                    Err(SketchError::Corrupt { .. })
+                ),
+                "{method:?}: truncation at {cut} must be typed corruption"
+            );
+        }
+        let mut bad_tag = bytes.to_vec();
+        bad_tag[5] = 99;
+        assert!(
+            AnySketch::from_bytes(&bad_tag).is_err(),
+            "{method:?}: unknown tag must fail"
+        );
+    }
+}

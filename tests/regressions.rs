@@ -1,0 +1,147 @@
+//! Regression locks for behavior fixed in PR 2, so later refactors cannot quietly
+//! reintroduce the bugs:
+//!
+//! * **KMV under-filled sketches estimate exactly.**  When both sketches retain their
+//!   whole supports (fewer than `k` distinct hashes in the union), the estimator has
+//!   enumerated every element — it must return the exact inner product, not the biased
+//!   `(K−1)/τ` order-statistic extrapolation.
+//! * **All-infinity MinHash/WMH partials are rejected.**  A streaming partial that was
+//!   never updated has `+∞` in every hash slot; estimating with it must be a typed
+//!   [`SketchError::EmptySketch`], never a silent `0.0` (which would rank real columns
+//!   below garbage) or an opaque parameter error from the union estimator.
+
+use ipsketch::core::kmv::KmvSketcher;
+use ipsketch::core::method::{AnySketch, AnySketcher, SketchMethod};
+use ipsketch::core::minhash::MinHasher;
+use ipsketch::core::serialize::BinarySketch;
+use ipsketch::core::traits::{MergeableSketcher, Sketcher};
+use ipsketch::core::wmh::WeightedMinHasher;
+use ipsketch::core::SketchError;
+use ipsketch::vector::{inner_product, SparseVector};
+
+#[test]
+fn kmv_under_filled_sketches_return_the_exact_inner_product() {
+    // Supports of 3 against capacity 64: both sketches are exhaustive samples.
+    let a_vec = SparseVector::from_pairs([(1, 2.0), (5, 3.0), (9, -1.0)]).expect("finite");
+    let b_vec = SparseVector::from_pairs([(5, 4.0), (9, 2.0), (20, 7.0)]).expect("finite");
+    let exact = inner_product(&a_vec, &b_vec); // 3·4 + (−1)·2 = 10
+
+    let sketcher = KmvSketcher::new(64, 9).expect("valid parameters");
+    let sa = sketcher.sketch(&a_vec).expect("sketches");
+    let sb = sketcher.sketch(&b_vec).expect("sketches");
+    let estimate = sketcher
+        .estimate_inner_product(&sa, &sb)
+        .expect("estimates");
+    assert_eq!(
+        estimate, exact,
+        "under-filled KMV must enumerate exactly, not extrapolate"
+    );
+
+    // The same lock holds through the dynamic front end and across every seed (the
+    // old (K−1)/τ path was seed-dependent noise; exactness is not).
+    for seed in 0..20 {
+        let any = AnySketcher::for_budget(SketchMethod::Kmv, 400.0, seed).expect("budget fits");
+        let sa = any.sketch(&a_vec).expect("sketches");
+        let sb = any.sketch(&b_vec).expect("sketches");
+        assert_eq!(
+            any.estimate_inner_product(&sa, &sb).expect("estimates"),
+            exact,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn kmv_disjoint_under_filled_sketches_estimate_zero_not_error() {
+    let sketcher = KmvSketcher::new(64, 3).expect("valid parameters");
+    let sa = sketcher
+        .sketch(&SparseVector::indicator(0..5u64))
+        .expect("sketches");
+    let sb = sketcher
+        .sketch(&SparseVector::indicator(100..103u64))
+        .expect("sketches");
+    assert_eq!(
+        sketcher
+            .estimate_inner_product(&sa, &sb)
+            .expect("estimates"),
+        0.0,
+        "tiny disjoint supports are an exact empty intersection"
+    );
+}
+
+#[test]
+fn minhash_all_infinity_partials_are_rejected_not_estimated() {
+    let sketcher = MinHasher::new(16, 7).expect("valid parameters");
+    let real = sketcher
+        .sketch(&SparseVector::from_pairs((0..40u64).map(|i| (i, 1.0 + i as f64))).expect("finite"))
+        .expect("sketches");
+    let never_updated = sketcher.empty_sketch();
+
+    // From either side, and against itself.
+    assert_eq!(
+        sketcher.estimate_inner_product(&never_updated, &real),
+        Err(SketchError::EmptySketch)
+    );
+    assert_eq!(
+        sketcher.estimate_inner_product(&real, &never_updated),
+        Err(SketchError::EmptySketch)
+    );
+    assert_eq!(
+        sketcher.estimate_inner_product(&never_updated, &never_updated),
+        Err(SketchError::EmptySketch)
+    );
+
+    // The rejection survives a serialization round trip: +∞ hash slots are encoded
+    // exactly, so a persisted never-updated partial is still rejected after reload.
+    let reloaded = match AnySketch::from_bytes(&AnySketch::MinHash(never_updated).to_bytes()) {
+        Ok(AnySketch::MinHash(s)) => s,
+        other => panic!("expected a MinHash sketch back, got {other:?}"),
+    };
+    assert_eq!(
+        sketcher.estimate_inner_product(&reloaded, &real),
+        Err(SketchError::EmptySketch)
+    );
+}
+
+#[test]
+fn wmh_all_infinity_partials_are_rejected_not_estimated() {
+    let sketcher = WeightedMinHasher::new(16, 7, 1 << 12).expect("valid parameters");
+    let vector = SparseVector::from_pairs((0..40u64).map(|i| (i, 1.0 + i as f64))).expect("finite");
+    let real = sketcher.sketch(&vector).expect("sketches");
+
+    // A trait-level empty sketch (no announced norm, all-∞ hashes).
+    let never_updated = sketcher.empty_sketch();
+    assert_eq!(
+        sketcher.estimate_inner_product(&never_updated, &real),
+        Err(SketchError::EmptySketch)
+    );
+    assert_eq!(
+        sketcher.estimate_inner_product(&real, &never_updated),
+        Err(SketchError::EmptySketch)
+    );
+
+    // An announced-norm partial that was never updated is equally rejected.
+    let empty_partial = sketcher
+        .empty_sketch_with_norm(vector.norm())
+        .expect("positive norm");
+    assert_eq!(
+        sketcher.estimate_inner_product(&empty_partial, &real),
+        Err(SketchError::EmptySketch)
+    );
+
+    // And a partition whose entries all round below the 1/L grid (L far too small for
+    // the spread of values) is rejected rather than estimated as zero.
+    let tiny_l = WeightedMinHasher::new(8, 7, 2).expect("valid parameters");
+    let spread = SparseVector::from_pairs((0..64u64).map(|i| (i, 1.0))).expect("finite");
+    let below_grid = tiny_l
+        .sketch_partition(
+            &SparseVector::from_pairs([(0, 1.0)]).expect("finite"),
+            spread.norm(),
+        )
+        .expect("partition sketches");
+    let real_tiny = tiny_l.sketch(&spread).expect("sketches");
+    assert_eq!(
+        tiny_l.estimate_inner_product(&below_grid, &real_tiny),
+        Err(SketchError::EmptySketch)
+    );
+}
