@@ -1,0 +1,406 @@
+//! The kernel baseline suite: scalar-reference vs. vectorized throughput for the
+//! sketching hot loops, plus dispatched per-method baselines for sketch-build, merge,
+//! estimate, and batch-query — the trajectory future PRs regress against.
+//!
+//! Beyond the criterion console lines, the suite exports every measurement to
+//! `BENCH_kernels.json` at the repository root (override the path with
+//! `IPSKETCH_BENCH_OUT`):
+//!
+//! * `results` — one `{group, method, variant, ns_per_iter}` row per benchmark;
+//! * `kernel_speedups` — scalar-twin time over vectorized-twin time per kernel
+//!   (bit-for-bit identical implementations, so this isolates the restructuring win);
+//! * `end_to_end_speedups` — table-scale sketch-build, sequential scalar kernels
+//!   (the PR-3 shape) vs. the work-claiming runner driving vectorized kernels, and
+//!   sequential vs. parallel batch query — the speedups a user of the build/serve
+//!   paths actually observes.
+//!
+//! Environment knobs:
+//!
+//! * `IPSKETCH_BENCH_QUICK=1` — CI-sized inputs and short measurement windows;
+//! * `IPSKETCH_BENCH_ENFORCE=1` — exit non-zero if any vectorized kernel is more than
+//!   10% slower than its scalar reference (the CI `bench-baseline` gate).
+
+use criterion::Criterion;
+use ipsketch_core::countsketch::CountSketcher;
+use ipsketch_core::icws::IcwsSketcher;
+use ipsketch_core::jl::JlSketcher;
+use ipsketch_core::kernel::{dot_scalar, dot_unrolled};
+use ipsketch_core::method::{AnySketcher, SketchMethod, DEFAULT_WMH_DISCRETIZATION};
+use ipsketch_core::runner::parallel_map;
+use ipsketch_core::storage::{
+    countsketch_buckets_for_budget, icws_samples_for_budget, jl_rows_for_budget,
+    wmh_samples_for_budget,
+};
+use ipsketch_core::traits::Sketcher;
+use ipsketch_core::wmh::WeightedMinHasher;
+use ipsketch_data::{DataLakeConfig, SyntheticPairConfig};
+use ipsketch_join::{JoinEstimator, SketchIndex, SketchedColumn};
+use ipsketch_vector::SparseVector;
+use std::time::Duration;
+
+const SEED: u64 = 7;
+
+struct Config {
+    quick: bool,
+    dimension: u64,
+    nonzeros: usize,
+    budget_doubles: f64,
+    table_vectors: usize,
+    batch_queries: usize,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let quick = std::env::var("IPSKETCH_BENCH_QUICK").is_ok_and(|v| v.trim() == "1");
+        if quick {
+            Self {
+                quick,
+                dimension: 2_000,
+                nonzeros: 200,
+                budget_doubles: 200.0,
+                table_vectors: 4,
+                batch_queries: 64,
+                sample_size: 3,
+                measurement: Duration::from_millis(250),
+            }
+        } else {
+            // Paper-scale: the Figure 4–6 regime (nnz 2000 vectors, budget 400
+            // double-equivalents per sketch).
+            Self {
+                quick,
+                dimension: 10_000,
+                nonzeros: 2_000,
+                budget_doubles: 400.0,
+                table_vectors: 8,
+                batch_queries: 64,
+                sample_size: 5,
+                measurement: Duration::from_secs(1),
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Measurement {
+    group: &'static str,
+    method: String,
+    variant: &'static str,
+    ns_per_iter: f64,
+}
+
+struct Suite {
+    criterion: Criterion,
+    sample_size: usize,
+    measurement: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    fn bench<F: FnMut()>(
+        &mut self,
+        group: &'static str,
+        method: &str,
+        variant: &'static str,
+        mut routine: F,
+    ) -> f64 {
+        let mut g = self.criterion.benchmark_group(group);
+        g.sample_size(self.sample_size)
+            .measurement_time(self.measurement);
+        g.bench_function(format!("{method}/{variant}"), |b| b.iter(&mut routine));
+        let ns = g.last_mean_ns().expect("benchmark ran").max(1.0);
+        g.finish();
+        self.results.push(Measurement {
+            group,
+            method: method.to_string(),
+            variant,
+            ns_per_iter: ns,
+        });
+        ns
+    }
+}
+
+/// The paper methods the dispatched baselines cover (SimHash is excluded from the
+/// merge/batch groups: it is not mergeable and not a paper baseline).
+fn methods() -> [SketchMethod; 5] {
+    SketchMethod::paper_baselines()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    cfg: &Config,
+    threads: usize,
+    results: &[Measurement],
+    kernel_speedups: &[(String, f64)],
+    end_to_end: &[(String, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::env::var("IPSKETCH_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_kernels.json")
+        },
+        std::path::PathBuf::from,
+    );
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p ipsketch-bench --bench kernels\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"parameters\": {{\"dimension\": {}, \"nonzeros\": {}, \"budget_doubles\": {}, \"seed\": {}, \"table_vectors\": {}, \"batch_queries\": {}}},\n",
+        cfg.dimension, cfg.nonzeros, cfg.budget_doubles, SEED, cfg.table_vectors, cfg.batch_queries
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"method\": \"{}\", \"variant\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}\n",
+            json_escape(m.group),
+            json_escape(&m.method),
+            json_escape(m.variant),
+            m.ns_per_iter
+        ));
+    }
+    out.push_str("  ],\n");
+    for (label, entries, trailing) in [
+        ("kernel_speedups", kernel_speedups, ","),
+        ("end_to_end_speedups", end_to_end, ""),
+    ] {
+        out.push_str(&format!("  \"{label}\": {{\n"));
+        for (i, (key, speedup)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{}\": {:.2}{comma}\n",
+                json_escape(key),
+                speedup
+            ));
+        }
+        out.push_str(&format!("  }}{trailing}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let cfg = Config::from_env();
+    let threads = ipsketch_core::runner::default_threads();
+    let mut suite = Suite {
+        criterion: Criterion::default(),
+        sample_size: cfg.sample_size,
+        measurement: cfg.measurement,
+        results: Vec::new(),
+    };
+
+    let pair = SyntheticPairConfig {
+        dimension: cfg.dimension,
+        nonzeros: cfg.nonzeros,
+        overlap: 0.1,
+        ..SyntheticPairConfig::default()
+    }
+    .generate(SEED)
+    .expect("valid configuration");
+    let (va, vb) = (pair.a, pair.b);
+
+    // ---- Scalar-twin vs vectorized-twin kernel pairs (bit-for-bit identical). ----
+    let mut kernel_speedups: Vec<(String, f64)> = Vec::new();
+
+    let jl = JlSketcher::new(jl_rows_for_budget(cfg.budget_doubles), SEED).expect("rows >= 1");
+    let s = suite.bench("sketch_build", "JL", "scalar", || {
+        std::hint::black_box(jl.sketch_scalar(&va).expect("sketchable"));
+    });
+    let v = suite.bench("sketch_build", "JL", "vectorized", || {
+        std::hint::black_box(jl.sketch_vectorized(&va).expect("sketchable"));
+    });
+    kernel_speedups.push(("sketch_build/JL".to_string(), s / v));
+
+    let cs = CountSketcher::new(countsketch_buckets_for_budget(cfg.budget_doubles), SEED)
+        .expect("buckets >= 1");
+    let s = suite.bench("sketch_build", "CS", "scalar", || {
+        std::hint::black_box(cs.sketch_scalar(&va).expect("sketchable"));
+    });
+    let v = suite.bench("sketch_build", "CS", "vectorized", || {
+        std::hint::black_box(cs.sketch_vectorized(&va).expect("sketchable"));
+    });
+    kernel_speedups.push(("sketch_build/CS".to_string(), s / v));
+
+    let wmh = WeightedMinHasher::new(
+        wmh_samples_for_budget(cfg.budget_doubles),
+        SEED,
+        DEFAULT_WMH_DISCRETIZATION,
+    )
+    .expect("samples >= 1");
+    let s = suite.bench("sketch_build", "WMH", "scalar", || {
+        std::hint::black_box(wmh.sketch_scalar(&va).expect("sketchable"));
+    });
+    let v = suite.bench("sketch_build", "WMH", "vectorized", || {
+        std::hint::black_box(wmh.sketch_vectorized(&va).expect("sketchable"));
+    });
+    kernel_speedups.push(("sketch_build/WMH".to_string(), s / v));
+
+    let icws =
+        IcwsSketcher::new(icws_samples_for_budget(cfg.budget_doubles), SEED).expect("samples >= 1");
+    let s = suite.bench("sketch_build", "ICWS", "scalar", || {
+        std::hint::black_box(icws.sketch_scalar(&va).expect("sketchable"));
+    });
+    let v = suite.bench("sketch_build", "ICWS", "vectorized", || {
+        std::hint::black_box(icws.sketch_vectorized(&va).expect("sketchable"));
+    });
+    kernel_speedups.push(("sketch_build/ICWS".to_string(), s / v));
+
+    // Estimator dot product (the JL / CountSketch estimate kernel).
+    let ja = jl.sketch(&va).expect("sketchable");
+    let jb = jl.sketch(&vb).expect("sketchable");
+    let s = suite.bench("estimate_dot", "JL", "scalar", || {
+        std::hint::black_box(dot_scalar(ja.rows(), jb.rows()));
+    });
+    let v = suite.bench("estimate_dot", "JL", "vectorized", || {
+        std::hint::black_box(dot_unrolled(ja.rows(), jb.rows()));
+    });
+    kernel_speedups.push(("estimate_dot/JL".to_string(), s / v));
+
+    // ---- Dispatched per-method baselines: sketch-build, merge, estimate. ----
+    for method in methods() {
+        let sketcher =
+            AnySketcher::for_budget(method, cfg.budget_doubles, SEED).expect("budget fits");
+        let label = method.label();
+        suite.bench("sketch_build_dispatch", label, "default", || {
+            std::hint::black_box(sketcher.sketch(&va).expect("sketchable"));
+        });
+
+        // Merge two announced-norm partials of the same vector (the distributed fold).
+        let pairs: Vec<(u64, f64)> = va.iter().collect();
+        let half = pairs.len() / 2;
+        let left = SparseVector::from_pairs(pairs[..half].iter().copied()).expect("well formed");
+        let right = SparseVector::from_pairs(pairs[half..].iter().copied()).expect("well formed");
+        let norm = va.norm();
+        let pa = sketcher.sketch_partial(&left, norm).expect("partial");
+        let pb = sketcher.sketch_partial(&right, norm).expect("partial");
+        suite.bench("merge", label, "default", || {
+            std::hint::black_box(sketcher.merge_sketches(&pa, &pb).expect("mergeable"));
+        });
+
+        let sa = sketcher.sketch(&va).expect("sketchable");
+        let sb = sketcher.sketch(&vb).expect("sketchable");
+        suite.bench("estimate", label, "default", || {
+            std::hint::black_box(
+                sketcher
+                    .estimate_inner_product(&sa, &sb)
+                    .expect("compatible"),
+            );
+        });
+    }
+
+    // ---- End-to-end: table-scale sketch-build, PR-3 shape vs. this PR. ----
+    let table: Vec<SparseVector> = (0..cfg.table_vectors as u64)
+        .map(|i| {
+            SyntheticPairConfig {
+                dimension: cfg.dimension,
+                nonzeros: cfg.nonzeros,
+                overlap: 0.1,
+                ..SyntheticPairConfig::default()
+            }
+            .generate(SEED + i)
+            .expect("valid configuration")
+            .a
+        })
+        .collect();
+    let mut end_to_end: Vec<(String, f64)> = Vec::new();
+
+    let s = suite.bench("table_build", "JL", "seq_scalar", || {
+        for v in &table {
+            std::hint::black_box(jl.sketch_scalar(v).expect("sketchable"));
+        }
+    });
+    let v = suite.bench("table_build", "JL", "par_vectorized", || {
+        std::hint::black_box(parallel_map(&table, threads, |v| {
+            jl.sketch_vectorized(v).expect("sketchable")
+        }));
+    });
+    end_to_end.push(("table_build/JL".to_string(), s / v));
+
+    let s = suite.bench("table_build", "WMH", "seq_scalar", || {
+        for v in &table {
+            std::hint::black_box(wmh.sketch_scalar(v).expect("sketchable"));
+        }
+    });
+    let v = suite.bench("table_build", "WMH", "par_vectorized", || {
+        std::hint::black_box(parallel_map(&table, threads, |v| {
+            wmh.sketch_vectorized(v).expect("sketchable")
+        }));
+    });
+    end_to_end.push(("table_build/WMH".to_string(), s / v));
+
+    // ---- End-to-end: batched index queries, sequential vs. the parallel runner. ----
+    // Large enough that queries × candidates clears the index's sequential-fallback
+    // threshold, so the parallel arm actually schedules on the runner.
+    let lake = DataLakeConfig {
+        tables: 50,
+        columns_per_table: 2,
+        min_rows: 100,
+        max_rows: 300,
+        key_universe: 1_000,
+    }
+    .generate(SEED)
+    .expect("valid configuration");
+    for method in methods() {
+        let label = method.label();
+        let budget = if cfg.quick { 100.0 } else { 200.0 };
+        let estimator =
+            JoinEstimator::new(AnySketcher::for_budget(method, budget, SEED).expect("budget fits"));
+        let mut index = SketchIndex::new(estimator);
+        for table in lake.tables() {
+            index.insert_table(table).expect("indexable lake");
+        }
+        let queries: Vec<SketchedColumn> = lake.tables()[0]
+            .columns()
+            .iter()
+            .cycle()
+            .take(cfg.batch_queries)
+            .map(|c| {
+                index
+                    .sketch_query(&lake.tables()[0], &c.name)
+                    .expect("sketchable query")
+            })
+            .collect();
+        // SAFETY of the env round trip: the suite is single-threaded.
+        std::env::set_var("IPSKETCH_THREADS", "1");
+        let s = suite.bench("batch_query", label, "sequential", || {
+            std::hint::black_box(index.top_k_joinable_batch(&queries, 5).expect("ranks"));
+        });
+        std::env::set_var("IPSKETCH_THREADS", threads.to_string());
+        let v = suite.bench("batch_query", label, "parallel", || {
+            std::hint::black_box(index.top_k_joinable_batch(&queries, 5).expect("ranks"));
+        });
+        std::env::remove_var("IPSKETCH_THREADS");
+        end_to_end.push((format!("batch_query/{label}"), s / v));
+    }
+
+    // ---- Export + gate. ----
+    let path = write_json(&cfg, threads, &suite.results, &kernel_speedups, &end_to_end)
+        .expect("BENCH_kernels.json is writable");
+    println!("\nwrote {}", path.display());
+    for (kernel, speedup) in &kernel_speedups {
+        println!("kernel speedup {kernel}: {speedup:.2}x");
+    }
+    for (flow, speedup) in &end_to_end {
+        println!("end-to-end speedup {flow}: {speedup:.2}x");
+    }
+
+    if std::env::var("IPSKETCH_BENCH_ENFORCE").is_ok_and(|v| v.trim() == "1") {
+        // 10% tolerance: the gate catches real regressions, not scheduler noise.
+        let regressed: Vec<&(String, f64)> =
+            kernel_speedups.iter().filter(|(_, s)| *s < 0.90).collect();
+        if !regressed.is_empty() {
+            eprintln!("vectorized kernels slower than their scalar references: {regressed:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,98 +1,11 @@
-//! A small parallel trial runner.
+//! The parallel trial runner, re-exported from `ipsketch-core`.
 //!
-//! The experiments are embarrassingly parallel across trials / vector pairs, so the
-//! harness distributes work items over a fixed pool of scoped threads fed through a
-//! `crossbeam` channel and collects results (in input order) behind a `parking_lot`
-//! mutex.  No work item outlives the call — everything is done with scoped threads, so
-//! the closure may borrow from the caller.
+//! The runner used to live here as a channel-fed thread pool (a `crossbeam` unbounded
+//! channel feeding workers that collected results behind one `parking_lot` mutex).  It
+//! was replaced by the work-claiming scheduler in [`ipsketch_core::runner`] — an atomic
+//! chunk-claim over disjoint `OnceLock` output cells, no per-item lock or channel hop —
+//! and moved down the crate DAG so the batched query paths in `ipsketch-join` and
+//! `ipsketch-serve` can schedule on the same runner as the experiment harness.  This
+//! module re-exports it under the harness's historical path.
 
-use parking_lot::Mutex;
-
-/// Maps `f` over `items` in parallel, preserving the input order of the results.
-///
-/// `threads = 0` (or 1, or a single item) degrades gracefully to a sequential map.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, items.len());
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let (sender, receiver) = crossbeam::channel::unbounded::<usize>();
-    for index in 0..items.len() {
-        sender.send(index).expect("channel is open");
-    }
-    drop(sender);
-
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let receiver = receiver.clone();
-            let results = &results;
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok(index) = receiver.recv() {
-                    let value = f(&items[index]);
-                    results.lock()[index] = Some(value);
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
-}
-
-/// The number of worker threads to use by default: the available parallelism, capped at
-/// 8 so experiment runs stay polite on shared machines.
-#[must_use]
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |x| *x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn preserves_order_sequential_and_parallel() {
-        let items: Vec<u64> = (0..200).collect();
-        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
-        assert_eq!(parallel_map(&items, 1, |x| x * x), expected);
-        assert_eq!(parallel_map(&items, 4, |x| x * x), expected);
-        assert_eq!(parallel_map(&items, 0, |x| x * x), expected);
-        assert_eq!(parallel_map(&items, 1000, |x| x * x), expected);
-    }
-
-    #[test]
-    fn closure_may_borrow_from_caller() {
-        let offset = 10u64;
-        let items: Vec<u64> = (0..50).collect();
-        let out = parallel_map(&items, 4, |x| x + offset);
-        assert_eq!(out[49], 59);
-    }
-
-    #[test]
-    fn default_threads_is_positive_and_bounded() {
-        let t = default_threads();
-        assert!((1..=8).contains(&t));
-    }
-}
+pub use ipsketch_core::runner::{default_threads, parallel_map};

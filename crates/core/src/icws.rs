@@ -16,8 +16,9 @@
 //! discretization parameter is needed: ICWS handles real-valued weights exactly.
 
 use crate::error::{incompatible, SketchError};
+use crate::kernel::{self, KernelMode};
 use crate::traits::{MergeableSketcher, Sketch, Sketcher};
-use ipsketch_hash::mix::mix3;
+use ipsketch_hash::mix::{mix2, mix2_key, splitmix64};
 use ipsketch_hash::rng::Xoshiro256PlusPlus;
 use ipsketch_vector::SparseVector;
 
@@ -78,6 +79,9 @@ impl Sketch for IcwsSketch {
 pub struct IcwsSketcher {
     samples: usize,
     seed: u64,
+    /// The variate seed namespace, hoisted at construction so per-sample scoring does
+    /// not re-derive it.
+    variate_seed: u64,
 }
 
 impl IcwsSketcher {
@@ -93,7 +97,11 @@ impl IcwsSketcher {
                 allowed: ">= 1",
             });
         }
-        Ok(Self { samples, seed })
+        Ok(Self {
+            samples,
+            seed,
+            variate_seed: seed ^ 0x1C57_5EED,
+        })
     }
 
     /// The number of samples `m`.
@@ -108,10 +116,18 @@ impl IcwsSketcher {
         self.seed
     }
 
-    /// The per-(sample, index) random variates `(r, c, β)` of Ioffe's construction,
-    /// derived deterministically so that all vectors share them.
-    fn variates(&self, sample: u64, index: u64) -> (f64, f64, f64) {
-        let mut rng = Xoshiro256PlusPlus::new(mix3(self.seed ^ 0x1C57_5EED, sample, index));
+    /// The hoisted per-sample half of the variate seed mix.  The per-(sample, index)
+    /// variates of Ioffe's construction are drawn from
+    /// `splitmix64(sample_state(sample) ^ mix2_key(index))` — the exact decomposition
+    /// of the historical `mix3(variate_seed, sample, index)` seeding, so sketches are
+    /// unchanged bit-for-bit.
+    fn sample_state(&self, sample: u64) -> u64 {
+        mix2(self.variate_seed, sample)
+    }
+
+    /// Draws the variates from the fully mixed per-(sample, index) seed.
+    fn variates_from_state(state: u64) -> (f64, f64, f64) {
+        let mut rng = Xoshiro256PlusPlus::new(state);
         // Gamma(2, 1) variates as the sum of two unit exponentials.
         let r = -rng.next_open_unit_f64().ln() - rng.next_open_unit_f64().ln();
         let c = -rng.next_open_unit_f64().ln() - rng.next_open_unit_f64().ln();
@@ -124,9 +140,17 @@ impl IcwsSketcher {
     /// token `t`.
     fn score_of(&self, sample: u64, index: u64, value: f64) -> (f64, i64) {
         let weight = value * value;
-        let (r, c, beta) = self.variates(sample, index);
+        self.score_from_parts(self.sample_state(sample), mix2_key(index), weight.ln())
+    }
+
+    /// The score computation with every reusable piece hoisted: the per-sample seed
+    /// state, the per-entry key state, and the per-entry `ln(value²)` (the scalar
+    /// kernel recomputes that logarithm for every sample; the vectorized kernel pays it
+    /// once per entry).  Bit-identical to [`score_of`](Self::score_of).
+    fn score_from_parts(&self, sample_state: u64, key_state: u64, log_weight: f64) -> (f64, i64) {
+        let (r, c, beta) = Self::variates_from_state(splitmix64(sample_state ^ key_state));
         // Ioffe's ICWS: t = floor(ln S / r + β), y = exp(r (t − β)), score = c / (y e^r).
-        let t = (weight.ln() / r + beta).floor();
+        let t = (log_weight / r + beta).floor();
         let y = (r * (t - beta)).exp();
         (c / (y * r.exp()), t as i64)
     }
@@ -211,10 +235,36 @@ impl IcwsSketcher {
     }
 }
 
-impl Sketcher for IcwsSketcher {
-    type Output = IcwsSketch;
+impl IcwsSketcher {
+    /// Sketches with the scalar reference kernel: sample-outer, entry-inner, one full
+    /// score evaluation (including the entry's `ln(value²)`) per pair.  Prefer
+    /// [`Sketcher::sketch`], which dispatches.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sketcher::sketch`].
+    pub fn sketch_scalar(&self, vector: &SparseVector) -> Result<IcwsSketch, SketchError> {
+        self.sketch_kernel(vector, KernelMode::Scalar)
+    }
 
-    fn sketch(&self, vector: &SparseVector) -> Result<IcwsSketch, SketchError> {
+    /// Sketches with the vectorized kernel: entry-outer, samples swept in 4-wide
+    /// unrolled chunks with the per-sample seed states, the per-entry key state, and
+    /// the per-entry `ln(value²)` all hoisted.  For each sample the argmin comparisons
+    /// happen in the same entry order on strict `<`, so the result is bit-for-bit
+    /// identical to [`sketch_scalar`](Self::sketch_scalar).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sketcher::sketch`].
+    pub fn sketch_vectorized(&self, vector: &SparseVector) -> Result<IcwsSketch, SketchError> {
+        self.sketch_kernel(vector, KernelMode::Vectorized)
+    }
+
+    fn sketch_kernel(
+        &self,
+        vector: &SparseVector,
+        mode: KernelMode,
+    ) -> Result<IcwsSketch, SketchError> {
         let norm = vector.norm();
         if norm == 0.0 {
             return Err(SketchError::Vector(
@@ -222,6 +272,18 @@ impl Sketcher for IcwsSketcher {
             ));
         }
         let normalized = vector.scaled(1.0 / norm);
+        let samples = match mode {
+            KernelMode::Scalar => self.select_samples_scalar(&normalized),
+            KernelMode::Vectorized => self.select_samples_vectorized(&normalized),
+        };
+        Ok(IcwsSketch {
+            seed: self.seed,
+            samples,
+            norm,
+        })
+    }
+
+    fn select_samples_scalar(&self, normalized: &SparseVector) -> Vec<IcwsSample> {
         let mut samples = Vec::with_capacity(self.samples);
         for i in 0..self.samples {
             let mut best_score = f64::INFINITY;
@@ -243,11 +305,68 @@ impl Sketcher for IcwsSketcher {
             }
             samples.push(best);
         }
-        Ok(IcwsSketch {
-            seed: self.seed,
-            samples,
-            norm,
-        })
+        samples
+    }
+
+    fn select_samples_vectorized(&self, normalized: &SparseVector) -> Vec<IcwsSample> {
+        let m = self.samples;
+        let sample_states: Vec<u64> = (0..m as u64).map(|s| self.sample_state(s)).collect();
+        let mut best_scores = vec![f64::INFINITY; m];
+        let mut samples = vec![
+            IcwsSample {
+                index: 0,
+                token: 0,
+                value: 0.0,
+            };
+            m
+        ];
+        for (index, value) in normalized.iter() {
+            let key_state = mix2_key(index);
+            let log_weight = (value * value).ln();
+            let mut s = 0usize;
+            // Four independent score chains per step: each is a serial
+            // rng → ln → exp pipeline, so the lanes overlap in the out-of-order window.
+            while s + 4 <= m {
+                let scored = [
+                    self.score_from_parts(sample_states[s], key_state, log_weight),
+                    self.score_from_parts(sample_states[s + 1], key_state, log_weight),
+                    self.score_from_parts(sample_states[s + 2], key_state, log_weight),
+                    self.score_from_parts(sample_states[s + 3], key_state, log_weight),
+                ];
+                for (lane, &(score, token)) in scored.iter().enumerate() {
+                    if score < best_scores[s + lane] {
+                        best_scores[s + lane] = score;
+                        samples[s + lane] = IcwsSample {
+                            index,
+                            token,
+                            value,
+                        };
+                    }
+                }
+                s += 4;
+            }
+            while s < m {
+                let (score, token) = self.score_from_parts(sample_states[s], key_state, log_weight);
+                if score < best_scores[s] {
+                    best_scores[s] = score;
+                    samples[s] = IcwsSample {
+                        index,
+                        token,
+                        value,
+                    };
+                }
+                s += 1;
+            }
+        }
+        samples
+    }
+}
+
+impl Sketcher for IcwsSketcher {
+    type Output = IcwsSketch;
+
+    fn sketch(&self, vector: &SparseVector) -> Result<IcwsSketch, SketchError> {
+        self.sketch_kernel(vector, kernel::mode())
     }
 
     /// Estimates `⟨a, b⟩` using the Algorithm-5 estimator structure on top of ICWS
@@ -401,6 +520,25 @@ mod tests {
         assert!((sk.storage_doubles() - 97.0).abs() < 1e-12);
         // Every sampled index must belong to the support.
         assert!(sk.samples().iter().all(|s| v.contains(s.index)));
+    }
+
+    #[test]
+    fn scalar_and_vectorized_kernels_are_bit_identical() {
+        // Sample counts straddling the 4-wide chunk boundary; degenerate vectors too.
+        let vectors = [
+            SparseVector::from_pairs([(3, -1.5)]).unwrap(),
+            SparseVector::from_pairs([(0, 1.0), (9, 2.0), (20, -0.25)]).unwrap(),
+            SparseVector::from_pairs((0..45u64).map(|i| (i * 4, 0.5 + (i % 5) as f64))).unwrap(),
+        ];
+        for m in [1usize, 2, 4, 5, 7, 8, 33] {
+            let s = IcwsSketcher::new(m, 0xD1CE).unwrap();
+            for v in &vectors {
+                let scalar = s.sketch_scalar(v).unwrap();
+                let vectorized = s.sketch_vectorized(v).unwrap();
+                assert_eq!(scalar.samples(), vectorized.samples(), "m = {m}");
+                assert_eq!(scalar.norm().to_bits(), vectorized.norm().to_bits());
+            }
+        }
     }
 
     #[test]

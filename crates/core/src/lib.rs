@@ -20,8 +20,10 @@
 //! probability from 2/3 to `1 − δ`), [`storage`] (the paper's "64-bit double
 //! equivalents" storage accounting used to compare methods at equal budgets),
 //! [`serialize`] (compact binary encoding of every sketch), [`method`] (a dynamic,
-//! budget-driven front end used by the experiment harness and examples), and [`spec`]
-//! (catalog-stable sketcher-configuration descriptors for persistent sketch stores).
+//! budget-driven front end used by the experiment harness and examples), [`spec`]
+//! (catalog-stable sketcher-configuration descriptors for persistent sketch stores),
+//! [`kernel`] (the scalar-reference vs. vectorized hot-loop dispatch), and [`runner`]
+//! (the work-claiming parallel map the batched query and experiment paths schedule on).
 //!
 //! # Quick example
 //!
@@ -49,10 +51,12 @@ pub mod countsketch;
 pub mod error;
 pub mod icws;
 pub mod jl;
+pub mod kernel;
 pub mod kmv;
 pub mod median;
 pub mod method;
 pub mod minhash;
+pub mod runner;
 pub mod serialize;
 pub mod simhash;
 pub mod spec;

@@ -17,9 +17,10 @@
 
 use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhVariant};
 use crate::error::{incompatible, SketchError};
+use crate::kernel::{self, KernelMode};
 use crate::traits::{MergeableSketcher, Sketcher};
 use ipsketch_hash::mix::mix2;
-use ipsketch_hash::record::RecordStream;
+use ipsketch_hash::record::{prefix_min_replay, RecordStream};
 use ipsketch_vector::rounding::{normalize_and_round, repetition_counts};
 use ipsketch_vector::SparseVector;
 
@@ -28,6 +29,9 @@ use ipsketch_vector::SparseVector;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WeightedMinHasher {
     params: WmhParams,
+    /// The record-stream seed namespace, hoisted at construction so streaming updates
+    /// and repeated sketch calls don't re-derive it.
+    stream_seed: u64,
 }
 
 impl WeightedMinHasher {
@@ -54,6 +58,7 @@ impl WeightedMinHasher {
                 discretization,
                 variant: WmhVariant::Fast,
             },
+            stream_seed: mix2(seed, 0x57_4D48),
         })
     }
 
@@ -81,16 +86,28 @@ impl WeightedMinHasher {
         self.params
     }
 
-    /// The seed namespace shared by every record stream of this configuration.
-    fn stream_seed(&self) -> u64 {
-        mix2(self.params.seed, 0x57_4D48)
-    }
-
     /// Runs the active-index sampling loop over `(block, count, value)` triples: for
     /// each of the `m` samples, the minimum record over every block's `count`-position
     /// prefix, together with the rounded entry value at the minimizing block.
+    /// Dispatches between the scalar reference and the vectorized kernel.
     fn sample_minima(&self, blocks: &[(u64, u64, f64)]) -> (Vec<f64>, Vec<f64>) {
-        let stream_seed = self.stream_seed();
+        self.sample_minima_with(blocks, kernel::mode())
+    }
+
+    fn sample_minima_with(
+        &self,
+        blocks: &[(u64, u64, f64)],
+        mode: KernelMode,
+    ) -> (Vec<f64>, Vec<f64>) {
+        match mode {
+            KernelMode::Scalar => self.sample_minima_scalar(blocks),
+            KernelMode::Vectorized => self.sample_minima_vectorized(blocks),
+        }
+    }
+
+    /// The scalar reference: sample-outer, block-inner, one record stream at a time.
+    fn sample_minima_scalar(&self, blocks: &[(u64, u64, f64)]) -> (Vec<f64>, Vec<f64>) {
+        let stream_seed = self.stream_seed;
         let m = self.params.samples;
         let mut hashes = Vec::with_capacity(m);
         let mut values = Vec::with_capacity(m);
@@ -110,6 +127,102 @@ impl WeightedMinHasher {
             values.push(best_value);
         }
         (hashes, values)
+    }
+
+    /// The vectorized kernel: block-outer, sample-inner.
+    ///
+    /// Each block's seed-mix half and prefix length are built once and swept across all
+    /// `m` samples with a min-reduction into the `hashes`/`values` arrays, and every
+    /// stream is replayed with the tight [`prefix_min_replay`] kernel (register-resident
+    /// state, logarithm-free resolution of the most probable skip).  The per-sample seed
+    /// states are hoisted once per sketch instead of once per `(sample, block)` pair.
+    /// For every sample, blocks are visited in input order and minima kept on strict
+    /// `<`, so the result is bit-for-bit identical to
+    /// [`sample_minima_scalar`](Self::sample_minima_scalar).
+    ///
+    /// The restructuring is deliberately modest: record replay is a stream of dependent
+    /// `ln`/divide chains that branch speculation already overlaps in the scalar loop,
+    /// so (measured, see the README performance notes) the wins here come from the
+    /// hoisted states and the cheap-skip shortcut, not from manual lane interleaving —
+    /// a 4-wide lockstep variant benchmarked at parity and was dropped.
+    fn sample_minima_vectorized(&self, blocks: &[(u64, u64, f64)]) -> (Vec<f64>, Vec<f64>) {
+        let m = self.params.samples;
+        let sample_states: Vec<u64> = (0..m as u64)
+            .map(|s| RecordStream::sample_state(self.stream_seed, s))
+            .collect();
+        let mut hashes = vec![f64::INFINITY; m];
+        let mut values = vec![0.0; m];
+        for &(block, count, value) in blocks {
+            let block_state = RecordStream::block_state(block);
+            for (sample_state, (hash, value_slot)) in sample_states
+                .iter()
+                .zip(hashes.iter_mut().zip(values.iter_mut()))
+            {
+                let record = prefix_min_replay(*sample_state, block_state, count)
+                    .expect("count >= 1 by construction");
+                if record.value < *hash {
+                    *hash = record.value;
+                    *value_slot = value;
+                }
+            }
+        }
+        (hashes, values)
+    }
+
+    /// Sketches with the scalar reference kernel (see
+    /// [`sample_minima_scalar`](Self::sample_minima_scalar)); prefer
+    /// [`Sketcher::sketch`], which dispatches.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sketcher::sketch`].
+    pub fn sketch_scalar(
+        &self,
+        vector: &SparseVector,
+    ) -> Result<WeightedMinHashSketch, SketchError> {
+        self.sketch_with(vector, KernelMode::Scalar)
+    }
+
+    /// Sketches with the vectorized kernel (see
+    /// [`sample_minima_vectorized`](Self::sample_minima_vectorized)); bit-for-bit
+    /// identical to [`sketch_scalar`](Self::sketch_scalar).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sketcher::sketch`].
+    pub fn sketch_vectorized(
+        &self,
+        vector: &SparseVector,
+    ) -> Result<WeightedMinHashSketch, SketchError> {
+        self.sketch_with(vector, KernelMode::Vectorized)
+    }
+
+    fn sketch_with(
+        &self,
+        vector: &SparseVector,
+        mode: KernelMode,
+    ) -> Result<WeightedMinHashSketch, SketchError> {
+        // Line 2 of Algorithm 3: normalize and round onto the 1/L grid.
+        let (rounded, norm) = normalize_and_round(vector, self.params.discretization)?;
+        // Lines 3–4 are implicit: we never materialize the expanded vector, only the
+        // per-block repetition counts ã[j]²·L.  The record-stream seed namespace is
+        // derived from the master seed only, so all vectors sketched with the same
+        // configuration share it.
+        let blocks: Vec<(u64, u64, f64)> = repetition_counts(&rounded, self.params.discretization)
+            .into_iter()
+            .map(|(block, count)| (block, count, rounded.get(block)))
+            .collect();
+        debug_assert!(
+            !blocks.is_empty(),
+            "a rounded unit vector always has at least one non-empty block"
+        );
+        let (hashes, values) = self.sample_minima_with(&blocks, mode);
+        Ok(WeightedMinHashSketch {
+            params: self.params,
+            hashes,
+            values,
+            norm,
+        })
     }
 
     /// The empty partial sketch of a vector whose Euclidean norm is announced to be
@@ -187,27 +300,7 @@ impl Sketcher for WeightedMinHasher {
     type Output = WeightedMinHashSketch;
 
     fn sketch(&self, vector: &SparseVector) -> Result<WeightedMinHashSketch, SketchError> {
-        // Line 2 of Algorithm 3: normalize and round onto the 1/L grid.
-        let (rounded, norm) = normalize_and_round(vector, self.params.discretization)?;
-        // Lines 3–4 are implicit: we never materialize the expanded vector, only the
-        // per-block repetition counts ã[j]²·L.  The record-stream seed namespace is
-        // derived from the master seed only, so all vectors sketched with the same
-        // configuration share it.
-        let blocks: Vec<(u64, u64, f64)> = repetition_counts(&rounded, self.params.discretization)
-            .into_iter()
-            .map(|(block, count)| (block, count, rounded.get(block)))
-            .collect();
-        debug_assert!(
-            !blocks.is_empty(),
-            "a rounded unit vector always has at least one non-empty block"
-        );
-        let (hashes, values) = self.sample_minima(&blocks);
-        Ok(WeightedMinHashSketch {
-            params: self.params,
-            hashes,
-            values,
-            norm,
-        })
+        self.sketch_with(vector, kernel::mode())
     }
 
     fn estimate_inner_product(
@@ -277,7 +370,7 @@ impl MergeableSketcher for WeightedMinHasher {
         }
         let count = units as u64;
         let value = normalized.signum() * (units / l_f).sqrt();
-        let stream_seed = self.stream_seed();
+        let stream_seed = self.stream_seed;
         for sample in 0..self.params.samples {
             let record = RecordStream::new(stream_seed, sample as u64, index)
                 .prefix_min(count)
@@ -351,6 +444,31 @@ mod tests {
             s.sketch(&SparseVector::new()),
             Err(SketchError::Vector(VectorError::ZeroVector))
         ));
+    }
+
+    #[test]
+    fn scalar_and_vectorized_kernels_are_bit_identical() {
+        // Sample counts straddling the 4-wide chunk boundary and vectors from
+        // single-entry up; the randomized sweep is in tests/proptests.rs.
+        let vectors = [
+            SparseVector::from_pairs([(9, 4.0)]).unwrap(),
+            SparseVector::from_pairs([(0, 1.0), (3, -2.0), (11, 0.5)]).unwrap(),
+            SparseVector::from_pairs((0..50u64).map(|i| (i * 2, 1.0 + (i % 7) as f64))).unwrap(),
+        ];
+        for m in [1usize, 2, 4, 5, 7, 8, 33] {
+            let s = WeightedMinHasher::new(m, 0xC0FFEE, 1 << 18).unwrap();
+            for v in &vectors {
+                let scalar = s.sketch_scalar(v).unwrap();
+                let vectorized = s.sketch_vectorized(v).unwrap();
+                for (x, y) in scalar.hashes().iter().zip(vectorized.hashes()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "m = {m}");
+                }
+                for (x, y) in scalar.values().iter().zip(vectorized.values()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "m = {m}");
+                }
+                assert_eq!(scalar.norm(), vectorized.norm());
+            }
+        }
     }
 
     #[test]

@@ -311,3 +311,112 @@ proptest! {
         }
     }
 }
+
+/// A sparse vector that may be empty (for the kernels that accept empty input).
+fn maybe_empty_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u64..10_000, 0.05f64..50.0), 0..60).prop_map(|mut pairs| {
+        pairs.dedup_by_key(|p| p.0);
+        SparseVector::from_pairs(pairs).expect("finite values")
+    })
+}
+
+/// Bit-level equality of two f64 slices — the contract between a scalar reference
+/// kernel and its vectorized twin.
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The tentpole guarantee of the vectorized kernels: selecting a kernel is purely a
+    // performance decision.  Sizes are drawn across the 4-wide unroll boundaries
+    // (1, multiples of 4, non-multiples), and the JL/CountSketch cases include empty
+    // and single-entry vectors.
+
+    #[test]
+    fn jl_vectorized_kernel_is_bit_identical(
+        a in maybe_empty_vector(),
+        seed in any::<u64>(),
+        rows in 1usize..40,
+    ) {
+        let s = JlSketcher::new(rows, seed).unwrap();
+        let scalar = s.sketch_scalar(&a).unwrap();
+        let vectorized = s.sketch_vectorized(&a).unwrap();
+        prop_assert!(bits_equal(scalar.rows(), vectorized.rows()));
+
+        let other = s.sketch_scalar(&a.scaled(-1.5)).unwrap();
+        prop_assert_eq!(
+            ipsketch_core::kernel::dot_scalar(scalar.rows(), other.rows()).to_bits(),
+            ipsketch_core::kernel::dot_unrolled(vectorized.rows(), other.rows()).to_bits()
+        );
+    }
+
+    #[test]
+    fn countsketch_vectorized_kernel_is_bit_identical(
+        a in maybe_empty_vector(),
+        seed in any::<u64>(),
+        buckets in 1usize..30,
+        reps in 1usize..9,
+    ) {
+        let s = CountSketcher::with_repetitions(buckets, reps, seed).unwrap();
+        let scalar = s.sketch_scalar(&a).unwrap();
+        let vectorized = s.sketch_vectorized(&a).unwrap();
+        prop_assert_eq!(scalar.buckets(), vectorized.buckets());
+        for rep in 0..reps {
+            prop_assert!(bits_equal(scalar.repetition(rep), vectorized.repetition(rep)));
+        }
+    }
+
+    #[test]
+    fn wmh_vectorized_kernel_is_bit_identical(
+        a in nonzero_vector(),
+        seed in any::<u64>(),
+        samples in 1usize..40,
+    ) {
+        let s = WeightedMinHasher::new(samples, seed, 1 << 20).unwrap();
+        let scalar = s.sketch_scalar(&a).unwrap();
+        let vectorized = s.sketch_vectorized(&a).unwrap();
+        prop_assert!(bits_equal(scalar.hashes(), vectorized.hashes()));
+        prop_assert!(bits_equal(scalar.values(), vectorized.values()));
+        prop_assert_eq!(scalar.norm().to_bits(), vectorized.norm().to_bits());
+    }
+
+    #[test]
+    fn icws_vectorized_kernel_is_bit_identical(
+        a in nonzero_vector(),
+        seed in any::<u64>(),
+        samples in 1usize..40,
+    ) {
+        let s = IcwsSketcher::new(samples, seed).unwrap();
+        let scalar = s.sketch_scalar(&a).unwrap();
+        let vectorized = s.sketch_vectorized(&a).unwrap();
+        prop_assert_eq!(scalar.norm().to_bits(), vectorized.norm().to_bits());
+        for (x, y) in scalar.samples().iter().zip(vectorized.samples()) {
+            prop_assert_eq!(x.index, y.index);
+            prop_assert_eq!(x.token, y.token);
+            prop_assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn runner_preserves_input_order_under_stress(
+        items in proptest::collection::vec(any::<u64>(), 0..300),
+        threads in 0usize..16,
+    ) {
+        // Skewed per-item work (spin proportional to the value's low bits) so chunks
+        // complete far out of claim order; the output must still be in input order.
+        let out = ipsketch_core::runner::parallel_map(&items, threads, |&x| {
+            let spin = (x % 7) * 50;
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        prop_assert_eq!(out.len(), items.len());
+        for (i, (original, _)) in out.iter().enumerate() {
+            prop_assert_eq!(*original, items[i]);
+        }
+    }
+}

@@ -72,6 +72,35 @@ mod tests {
     }
 
     #[test]
+    fn u_at_least_one_minus_p_implies_skip_one() {
+        // The implication `u >= 1 - p  ⟹  geometric_skip(p, u) == 1` that
+        // `record::prefix_min_replay` uses to resolve the most probable skip without
+        // logarithms: the comparison sees the same rounded `1 - p` the logarithm
+        // would, and a computed quotient that is mathematically <= 1 can never round
+        // above 1, so `ceil` agrees.  (The converse may fail by an ulp of log
+        // rounding, which the replay never relies on.)  Checked on random pairs plus
+        // ulp-adjacent adversarial pairs straddling the boundary.
+        let mut rng = Xoshiro256PlusPlus::new(0x5C1);
+        for _ in 0..200_000 {
+            let p = rng.next_open_unit_f64();
+            let u = rng.next_open_unit_f64();
+            if u >= 1.0 - p {
+                assert_eq!(geometric_skip(p, u), 1, "p={p}, u={u}");
+            }
+        }
+        for i in 1..20_000u64 {
+            let p = i as f64 / 20_001.0;
+            let boundary = 1.0 - p;
+            for delta in 0i64..=2 {
+                let u = f64::from_bits((boundary.to_bits() as i64 + delta) as u64);
+                if u > 0.0 && u <= 1.0 && u >= boundary {
+                    assert_eq!(geometric_skip(p, u), 1, "p={p}, u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tiny_p_saturates_instead_of_overflowing() {
         let skip = geometric_skip(1e-300, 0.999_999);
         assert!(skip > 1);

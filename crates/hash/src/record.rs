@@ -31,7 +31,7 @@
 //! joint distribution across nested prefixes matches the idealized model as well.
 
 use crate::geometric::geometric_skip;
-use crate::mix::mix3;
+use crate::mix::{mix2, mix2_key, mix3, splitmix64};
 use crate::rng::Xoshiro256PlusPlus;
 
 /// A single record (running minimum) of the implicit hash stream.
@@ -62,6 +62,39 @@ impl RecordStream {
         let stream_seed = mix3(seed ^ 0x5EC0_4D57_4EA3, sample, block);
         Self {
             rng: Xoshiro256PlusPlus::new(stream_seed),
+            current: None,
+            next_position: Some(0),
+        }
+    }
+
+    /// The precomputed `(seed, sample)` half of the stream seed mix; see
+    /// [`from_states`](Self::from_states).
+    #[inline]
+    #[must_use]
+    pub fn sample_state(seed: u64, sample: u64) -> u64 {
+        mix2(seed ^ 0x5EC0_4D57_4EA3, sample)
+    }
+
+    /// The precomputed per-block half of the stream seed mix; see
+    /// [`from_states`](Self::from_states).
+    #[inline]
+    #[must_use]
+    pub fn block_state(block: u64) -> u64 {
+        mix2_key(block)
+    }
+
+    /// Builds the stream from hoisted mix halves: bit-identical to
+    /// [`new`](Self::new)`(seed, sample, block)` when `sample_state ==
+    /// sample_state(seed, sample)` and `block_state == block_state(block)`.
+    ///
+    /// The Weighted MinHash kernel sweeps one block across many samples (and many
+    /// blocks across one sketch), so both halves of the seed mix are reused heavily;
+    /// this constructor leaves only one `splitmix64` on the per-stream path.
+    #[inline]
+    #[must_use]
+    pub fn from_states(sample_state: u64, block_state: u64) -> Self {
+        Self {
+            rng: Xoshiro256PlusPlus::new(splitmix64(sample_state ^ block_state)),
             current: None,
             next_position: Some(0),
         }
@@ -127,6 +160,63 @@ pub fn prefix_min(seed: u64, sample: u64, block: u64, len: u64) -> Option<Record
     RecordStream::new(seed, sample, block).prefix_min(len)
 }
 
+/// The prefix minimum via a tight, fully inlined replay of the record stream:
+/// bit-identical to `RecordStream::from_states(sample_state, block_state)
+/// .prefix_min(len)`, cheaper per record.
+///
+/// This is the inner kernel of the vectorized Weighted MinHash sketcher.  Two things
+/// make it faster than the general-purpose [`RecordStream`] iterator, neither of which
+/// changes a single output bit:
+///
+/// * **No per-record bookkeeping.**  The replay keeps the raw `(position, value)` pair
+///   in registers instead of threading `Option<Record>` state through method calls.
+/// * **The most probable skip is resolved without logarithms.**  The geometric skip is
+///   `ceil(ln u / ln(1−p))`, which equals 1 *exactly* when `u ≥ 1 − p` (dividing the
+///   log inequality by the negative `ln(1−p)` flips it; the comparison is against the
+///   same rounded `1 − p` the logarithm would see, and a computed quotient ≤ 1 can
+///   never round above 1, so `ceil` yields 1 on both paths — `geometric.rs` locks this
+///   boundary with an ulp-adjacent test).  That branch fires with probability equal to
+///   the current minimum, which is exactly the hot early-record regime, and saves both
+///   `ln` calls and the divide.
+///
+/// Everything else — the deterministic draw order, underflow handling, and position
+/// saturation — replicates [`RecordStream::next_record`] step for step.
+#[must_use]
+pub fn prefix_min_replay(sample_state: u64, block_state: u64, len: u64) -> Option<Record> {
+    if len == 0 {
+        return None;
+    }
+    let mut rng = Xoshiro256PlusPlus::new(splitmix64(sample_state ^ block_state));
+    // First record: a fresh Uniform[0,1) value at position 0 (zero draws underflow
+    // immediately, exactly as `next_record` reports no record).
+    let mut value = rng.next_unit_f64();
+    if value <= 0.0 {
+        return None;
+    }
+    let mut position = 0u64;
+    loop {
+        let u = rng.next_open_unit_f64();
+        let skip = if u >= 1.0 - value {
+            1
+        } else {
+            geometric_skip(value, u)
+        };
+        let Some(next) = position.checked_add(skip) else {
+            break;
+        };
+        if next >= len {
+            break;
+        }
+        let next_value = value * rng.next_unit_f64();
+        if next_value <= 0.0 {
+            break;
+        }
+        position = next;
+        value = next_value;
+    }
+    Some(Record { position, value })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +271,55 @@ mod tests {
     #[test]
     fn prefix_min_zero_len_is_none() {
         assert!(prefix_min(1, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn from_states_matches_new_bit_for_bit() {
+        for seed in [0u64, 9, 0xABCD] {
+            for sample in [0u64, 3, 71] {
+                let state = RecordStream::sample_state(seed, sample);
+                for block in [0u64, 1, 999_999] {
+                    let mut direct = RecordStream::new(seed, sample, block);
+                    let mut hoisted =
+                        RecordStream::from_states(state, RecordStream::block_state(block));
+                    for _ in 0..10 {
+                        match (direct.next_record(), hoisted.next_record()) {
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.position, b.position);
+                                assert_eq!(a.value.to_bits(), b.value.to_bits());
+                            }
+                            (None, None) => break,
+                            other => panic!("streams diverged: {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_min_replay_matches_record_stream_bit_for_bit() {
+        for seed in [0u64, 11, 0xFEED_F00D] {
+            for sample in 0..40u64 {
+                let sample_state = RecordStream::sample_state(seed, sample);
+                for block in [0u64, 5, 9_999] {
+                    let block_state = RecordStream::block_state(block);
+                    for len in [1u64, 2, 7, 100, 100_000, 1 << 40] {
+                        let fast = prefix_min_replay(sample_state, block_state, len);
+                        let slow = prefix_min(seed, sample, block, len);
+                        match (fast, slow) {
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.position, b.position, "s{sample} b{block} l{len}");
+                                assert_eq!(a.value.to_bits(), b.value.to_bits());
+                            }
+                            (None, None) => {}
+                            other => panic!("diverged at s{sample} b{block} l{len}: {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(prefix_min_replay(1, 2, 0).is_none());
     }
 
     #[test]

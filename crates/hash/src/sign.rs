@@ -11,7 +11,10 @@
 //! independent functions without materializing any random matrix.
 
 use crate::error::HashError;
-use crate::mix::{mix3, u64_to_unit_f64};
+use crate::mix::{mix2, mix2_key, mix3, splitmix64, u64_to_unit_f64};
+
+/// Branchless ±1 lookup by the low bit of a mixed hash value.
+const SIGN_OF_BIT: [f64; 2] = [-1.0, 1.0];
 
 /// A family of ±1 sign hashes indexed by a row identifier.
 ///
@@ -58,6 +61,50 @@ impl SignHasher {
     pub fn unit(&self, row: u64, key: u64) -> f64 {
         u64_to_unit_f64(self.raw(row, key))
     }
+
+    /// The precomputed per-row half of the mix: `sign(row, key)` equals
+    /// [`sign_from_states`](Self::sign_from_states)`(row_state(row), key_state(key))`
+    /// bit-for-bit.
+    ///
+    /// Hot loops that evaluate many `(row, key)` pairs hoist the row states (one per
+    /// output row, computed once per sketch) and the key state (one per non-zero entry)
+    /// so the inner loop pays a single `splitmix64` per sign instead of a full three-way
+    /// mix.
+    #[inline]
+    #[must_use]
+    pub fn row_state(&self, row: u64) -> u64 {
+        mix2(self.seed, row)
+    }
+
+    /// The precomputed per-key half of the mix; see [`row_state`](Self::row_state).
+    #[inline]
+    #[must_use]
+    pub fn key_state(key: u64) -> u64 {
+        mix2_key(key)
+    }
+
+    /// Completes the hoisted mix: identical to [`sign`](Self::sign) of the originating
+    /// `(row, key)` pair, branch-free.
+    #[inline]
+    #[must_use]
+    pub fn sign_from_states(row_state: u64, key_state: u64) -> f64 {
+        SIGN_OF_BIT[(splitmix64(row_state ^ key_state) & 1) as usize]
+    }
+
+    /// Four signs at once from four hoisted row states and one key state.
+    ///
+    /// The four mixes are independent straight-line chains, so the CPU pipelines them;
+    /// each lane is bit-identical to the corresponding [`sign`](Self::sign) call.
+    #[inline]
+    #[must_use]
+    pub fn signs_x4(row_states: &[u64], key_state: u64) -> [f64; 4] {
+        [
+            Self::sign_from_states(row_states[0], key_state),
+            Self::sign_from_states(row_states[1], key_state),
+            Self::sign_from_states(row_states[2], key_state),
+            Self::sign_from_states(row_states[3], key_state),
+        ]
+    }
 }
 
 /// A family of bucket hashes `g_r : keys → {0, …, buckets−1}` indexed by a repetition
@@ -98,6 +145,26 @@ impl BucketHasher {
     #[must_use]
     pub fn bucket(&self, repetition: u64, key: u64) -> usize {
         let h = mix3(self.seed ^ 0xB0C4_E7AA, repetition, key);
+        ((u128::from(h) * u128::from(self.buckets)) >> 64) as usize
+    }
+
+    /// The precomputed per-repetition half of the mix: `bucket(rep, key)` equals
+    /// [`bucket_from_states`](Self::bucket_from_states)`(rep_state(rep),
+    /// SignHasher::key_state(key))` bit-for-bit.  The key state is *shared* with
+    /// [`SignHasher`]: both families mix the key the same way, so CountSketch pays one
+    /// key mix per entry for both its bucket and its sign.
+    #[inline]
+    #[must_use]
+    pub fn rep_state(&self, repetition: u64) -> u64 {
+        mix2(self.seed ^ 0xB0C4_E7AA, repetition)
+    }
+
+    /// Completes the hoisted mix; identical to [`bucket`](Self::bucket) of the
+    /// originating `(repetition, key)` pair.
+    #[inline]
+    #[must_use]
+    pub fn bucket_from_states(&self, rep_state: u64, key_state: u64) -> usize {
+        let h = splitmix64(rep_state ^ key_state);
         ((u128::from(h) * u128::from(self.buckets)) >> 64) as usize
     }
 }
@@ -145,6 +212,43 @@ mod tests {
             .count();
         // Should be close to 500, certainly not 0 or 1000.
         assert!((300..700).contains(&agreements), "{agreements}");
+    }
+
+    #[test]
+    fn hoisted_sign_states_match_direct_evaluation() {
+        let s = SignHasher::from_seed(0xFEED);
+        let row_states: Vec<u64> = (0..32u64).map(|r| s.row_state(r)).collect();
+        for key in [0u64, 1, 17, 1_000_003, u64::MAX] {
+            let key_state = SignHasher::key_state(key);
+            for row in 0..32u64 {
+                assert_eq!(
+                    s.sign(row, key),
+                    SignHasher::sign_from_states(row_states[row as usize], key_state),
+                    "row {row}, key {key}"
+                );
+            }
+            for chunk_start in (0..32).step_by(4) {
+                let batch =
+                    SignHasher::signs_x4(&row_states[chunk_start..chunk_start + 4], key_state);
+                for (lane, &sign) in batch.iter().enumerate() {
+                    assert_eq!(sign, s.sign((chunk_start + lane) as u64, key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_bucket_states_match_direct_evaluation() {
+        let b = BucketHasher::new(99, 37).unwrap();
+        for rep in 0..6u64 {
+            let rep_state = b.rep_state(rep);
+            for key in [0u64, 5, 12_345, u64::MAX] {
+                assert_eq!(
+                    b.bucket(rep, key),
+                    b.bucket_from_states(rep_state, SignHasher::key_state(key))
+                );
+            }
+        }
     }
 
     #[test]

@@ -270,7 +270,10 @@ impl QueryService {
         Ok(self.index.top_k_correlated(query, k, min_join_size)?)
     }
 
-    /// Answers a batch of joinability queries; result `i` ranks query `i`.
+    /// Answers a batch of joinability queries; result `i` ranks query `i`.  The batch
+    /// is ranked in parallel on the work-claiming runner (see
+    /// [`SketchIndex::top_k_joinable_batch`]), so batched serving scales across cores
+    /// while results stay in input order.
     ///
     /// # Errors
     ///
@@ -284,7 +287,8 @@ impl QueryService {
         Ok(self.index.top_k_joinable_batch(queries, k)?)
     }
 
-    /// Answers a batch of relatedness queries; result `i` ranks query `i`.
+    /// Answers a batch of relatedness queries; result `i` ranks query `i`, ranked in
+    /// parallel like [`query_joinable_batch`](Self::query_joinable_batch).
     ///
     /// # Errors
     ///

@@ -91,6 +91,7 @@ impl Criterion {
             name: group_name.into(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            last_mean_ns: None,
             _criterion: self,
         }
     }
@@ -102,6 +103,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    last_mean_ns: Option<f64>,
     _criterion: &'a mut Criterion,
 }
 
@@ -140,6 +142,18 @@ impl BenchmarkGroup<'_> {
     /// Finishes the group. (No summary state to flush in this shim.)
     pub fn finish(self) {}
 
+    /// The mean nanoseconds per iteration of the most recent benchmark in this group.
+    ///
+    /// **Shim-only extension** (upstream criterion exposes results through its
+    /// `target/criterion` report files instead): the `kernels` baseline suite uses
+    /// this to export machine-readable throughput numbers to `BENCH_kernels.json`.
+    /// Swapping this shim for the real crate means replacing call sites with a parse
+    /// of criterion's own JSON output.
+    #[must_use]
+    pub fn last_mean_ns(&self) -> Option<f64> {
+        self.last_mean_ns
+    }
+
     fn run(&mut self, id: BenchmarkId, routine: &mut dyn FnMut(&mut Bencher)) {
         // Calibrate: time a single iteration, then size batches so the whole
         // benchmark stays within the group's measurement budget.
@@ -166,6 +180,7 @@ impl BenchmarkGroup<'_> {
             best = best.min(per_iter);
         }
         let mean = total / self.sample_size as u32;
+        self.last_mean_ns = Some(mean.as_nanos() as f64);
         println!(
             "{}/{}  time: [mean {:?}  best {:?}]  ({} samples x {} iters)",
             self.name, id.id, mean, best, self.sample_size, iterations
@@ -216,6 +231,28 @@ mod tests {
     fn group_runs_to_completion() {
         let mut criterion = Criterion::default();
         trivial_bench(&mut criterion);
+    }
+
+    #[test]
+    fn last_mean_ns_reports_the_most_recent_benchmark() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("accessor");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        assert!(group.last_mean_ns().is_none());
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..1000 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            });
+        });
+        let measured = group.last_mean_ns().expect("a benchmark ran");
+        assert!(measured > 0.0);
+        group.finish();
     }
 
     #[test]
