@@ -30,6 +30,29 @@ const SPEC_VERSION: u8 = 1;
 /// The complete configuration of an [`AnySketcher`]: method, sizing parameters and
 /// seed.  Two sketchers with equal specs produce interchangeable sketches; two
 /// sketchers with different specs never do.
+///
+/// # Example
+///
+/// A spec round-trips through its stable binary encoding, carries a stable
+/// fingerprint, and rebuilds the exact sketcher — which is how a persistent catalog
+/// records *how* its sketches were built and rejects foreign ones at load time:
+///
+/// ```
+/// use ipsketch_core::method::{AnySketcher, SketchMethod};
+/// use ipsketch_core::SketcherSpec;
+///
+/// let sketcher = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 7).unwrap();
+/// let spec = sketcher.spec();
+///
+/// let decoded = SketcherSpec::decode(&spec.encode()).unwrap();
+/// assert_eq!(decoded, spec);
+/// assert_eq!(decoded.fingerprint(), spec.fingerprint());
+/// assert_eq!(decoded.build().unwrap().spec(), spec);
+///
+/// // A different seed is a different spec — and a different fingerprint.
+/// let reseeded = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 8).unwrap().spec();
+/// assert_ne!(reseeded.fingerprint(), spec.fingerprint());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SketcherSpec {
     /// Johnson–Lindenstrauss projection with `rows` rows.

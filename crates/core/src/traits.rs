@@ -99,6 +99,43 @@ pub trait Sketcher {
 /// `empty_sketch()` as the identity (exactly for the min-sketches, up to floating-point
 /// associativity for the linear ones), which is what lets a coordinator fold shard
 /// sketches in arrival order.
+///
+/// # Example
+///
+/// Two shards sketch disjoint halves of a vector independently; merging their
+/// sketches estimates like sketching the whole vector in one shot:
+///
+/// ```
+/// use ipsketch_core::kmv::KmvSketcher;
+/// use ipsketch_core::traits::{MergeableSketcher, Sketcher};
+/// use ipsketch_vector::SparseVector;
+///
+/// let sketcher = KmvSketcher::new(16, 7).unwrap();
+/// let left = SparseVector::from_pairs([(1, 2.0), (5, 1.0)]).unwrap();
+/// let right = SparseVector::from_pairs([(9, 4.0), (12, 0.5)]).unwrap();
+/// let whole = SparseVector::from_pairs([(1, 2.0), (5, 1.0), (9, 4.0), (12, 0.5)]).unwrap();
+///
+/// let merged = sketcher
+///     .merge(&sketcher.sketch(&left).unwrap(), &sketcher.sketch(&right).unwrap())
+///     .unwrap();
+/// let one_shot = sketcher.sketch(&whole).unwrap();
+/// let probe = sketcher.sketch(&whole).unwrap();
+/// // KMV merges are bit-exact, so the estimates agree exactly.
+/// assert_eq!(
+///     sketcher.estimate_inner_product(&merged, &probe).unwrap(),
+///     sketcher.estimate_inner_product(&one_shot, &probe).unwrap(),
+/// );
+///
+/// // The same sketch can also be grown one coordinate at a time from the identity.
+/// let mut streamed = sketcher.empty_sketch();
+/// for (index, value) in [(1, 2.0), (5, 1.0), (9, 4.0), (12, 0.5)] {
+///     sketcher.update(&mut streamed, index, value).unwrap();
+/// }
+/// assert_eq!(
+///     sketcher.estimate_inner_product(&streamed, &probe).unwrap(),
+///     sketcher.estimate_inner_product(&one_shot, &probe).unwrap(),
+/// );
+/// ```
 pub trait MergeableSketcher: Sketcher {
     /// The sketch of the all-zero vector: the identity element of [`merge`](Self::merge).
     fn empty_sketch(&self) -> Self::Output;

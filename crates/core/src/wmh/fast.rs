@@ -169,9 +169,8 @@ impl WeightedMinHasher {
         (hashes, values)
     }
 
-    /// Sketches with the scalar reference kernel (see
-    /// [`sample_minima_scalar`](Self::sample_minima_scalar)); prefer
-    /// [`Sketcher::sketch`], which dispatches.
+    /// Sketches with the scalar reference kernel (the internal
+    /// `sample_minima_scalar` loop); prefer [`Sketcher::sketch`], which dispatches.
     ///
     /// # Errors
     ///
@@ -183,9 +182,9 @@ impl WeightedMinHasher {
         self.sketch_with(vector, KernelMode::Scalar)
     }
 
-    /// Sketches with the vectorized kernel (see
-    /// [`sample_minima_vectorized`](Self::sample_minima_vectorized)); bit-for-bit
-    /// identical to [`sketch_scalar`](Self::sketch_scalar).
+    /// Sketches with the vectorized kernel (the internal `sample_minima_vectorized`
+    /// block-outer replay); bit-for-bit identical to
+    /// [`sketch_scalar`](Self::sketch_scalar).
     ///
     /// # Errors
     ///

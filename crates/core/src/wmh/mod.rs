@@ -3,9 +3,9 @@
 //! * [`WeightedMinHashSketch`] is the sketch of Algorithm 3: per-sample minimum hash
 //!   values over an implicit *expanded* vector, the (normalized, rounded) entry values
 //!   at the minimizing positions, and the Euclidean norm of the original vector.
-//! * [`WeightedMinHasher`] (module [`fast`]) builds the sketch with the "active index"
+//! * [`WeightedMinHasher`] (module `fast`) builds the sketch with the "active index"
 //!   technique in `O(nnz · m · log L)` time.
-//! * [`NaiveWeightedMinHasher`] (module [`naive`]) builds it by literally materializing
+//! * [`NaiveWeightedMinHasher`] (module `naive`) builds it by literally materializing
 //!   and hashing every expanded position in `O(nnz · m · L)` time; it exists to
 //!   cross-check the fast implementation and to ablate the sketching cost.
 //! * [`estimate`](fn@estimate) implements Algorithm 5, the estimator whose guarantee is

@@ -259,6 +259,55 @@ impl Catalog {
     fn write_manifest(&self) -> Result<(), CatalogError> {
         write_atomic(&self.root.join(MANIFEST_FILE), &self.manifest.encode())
     }
+
+    /// Compacts the catalog: deletes files in `sketches/` that no manifest entry
+    /// references (blobs orphaned by failed batch registrations, stray temp files
+    /// from interrupted atomic writes) and rewrites the manifest from the current
+    /// in-memory state.  Registration keeps the catalog *correct* without this —
+    /// orphans are never referenced — but a long-running service accumulates them,
+    /// so its maintenance thread calls this periodically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Io`] for filesystem failures; on error the manifest
+    /// on disk is unchanged (some orphans may already be gone, which is harmless).
+    pub fn compact(&mut self) -> Result<CompactionReport, CatalogError> {
+        let dir = self.root.join(SKETCH_DIR);
+        let referenced: std::collections::HashSet<&str> = self
+            .manifest
+            .entries
+            .iter()
+            .map(|e| e.file.as_str())
+            .collect();
+        let mut removed = Vec::new();
+        for entry in fs::read_dir(&dir).map_err(|e| io_error(&dir, &e))? {
+            let entry = entry.map_err(|e| io_error(&dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                continue; // Never ours: all catalog file names are ASCII.
+            };
+            if referenced.contains(name) {
+                continue;
+            }
+            fs::remove_file(entry.path()).map_err(|e| io_error(&entry.path(), &e))?;
+            removed.push(name.to_string());
+        }
+        removed.sort_unstable();
+        self.write_manifest()?;
+        Ok(CompactionReport {
+            removed_files: removed,
+            live_columns: self.manifest.entries.len(),
+        })
+    }
+}
+
+/// What a [`Catalog::compact`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Names of unreferenced files removed from `sketches/`, sorted.
+    pub removed_files: Vec<String>,
+    /// Number of columns the rewritten manifest holds.
+    pub live_columns: usize,
 }
 
 /// Writes `bytes` to `path` via a sibling temp file, fsync, and rename, so readers
@@ -435,6 +484,37 @@ mod tests {
         // Restored blob loads again.
         fs::write(&blob_path, &original).expect("restore");
         assert_eq!(catalog.load("taxi", "rides").expect("load"), sketched);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn compaction_removes_orphans_and_keeps_live_blobs() {
+        let root = temp_root("compact");
+        let est = estimator(5);
+        let mut catalog = Catalog::init(&root, est.sketcher().spec()).expect("init");
+        let table = sample_table();
+        let rides = est.sketch_column(&table, "rides").expect("sketch");
+        catalog.register(&rides).expect("register");
+
+        // Plant the two kinds of garbage compaction exists for: an orphaned blob
+        // slot (as left by a failed batch) and a stray temp file from an
+        // interrupted atomic write.
+        let sketch_dir = root.join(SKETCH_DIR);
+        fs::write(sketch_dir.join("000007.col"), b"orphan").expect("orphan");
+        fs::write(sketch_dir.join("000001.tmp"), b"stray").expect("stray");
+
+        let report = catalog.compact().expect("compact");
+        assert_eq!(
+            report.removed_files,
+            vec!["000001.tmp".to_string(), "000007.col".to_string()]
+        );
+        assert_eq!(report.live_columns, 1);
+        // The live blob is untouched and still loads bit-for-bit.
+        assert_eq!(catalog.load("taxi", "rides").expect("load"), rides);
+        // A second pass is a no-op.
+        assert_eq!(catalog.compact().expect("compact").removed_files.len(), 0);
+        // The rewritten manifest still opens.
+        assert_eq!(Catalog::open(&root).expect("open").len(), 1);
         fs::remove_dir_all(&root).expect("cleanup");
     }
 

@@ -91,6 +91,8 @@ USAGE:
   ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
                        [--relatedness] [--min-join-size <x>]
   ipsketch info <dir>
+  ipsketch serve <dir> --addr <host:port> [--workers <n>]
+                       [--maintenance-secs <s>]   (requires the `server` feature)
   ipsketch help
 
 CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns.
@@ -98,7 +100,9 @@ CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns
 `ingest-partial` splits the rows into shards and runs the two-pass announced-norm
 protocol, folding per-shard partial sketches exactly as a distributed deployment
 would.  `query` ranks every cataloged column against the query column by estimated
-join size (default) or |post-join correlation| (--relatedness)."
+join size (default) or |post-join correlation| (--relatedness).  `serve` puts the
+catalog behind the concurrent line-delimited-JSON TCP front end (protocol spec in
+docs/PROTOCOL.md) and runs until killed."
         .to_string()
 }
 
@@ -219,6 +223,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "ingest-partial" => ingest_partial(&args[1..], out),
         "query" => query(&args[1..], out),
         "info" => info(&args[1..], out),
+        "serve" => serve(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -384,6 +389,82 @@ fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )?;
     }
     Ok(())
+}
+
+/// `serve <dir> --addr host:port [--workers n] [--maintenance-secs s]`: run the
+/// network front end over a catalog until the process is killed.  Parsing lives
+/// outside the feature gate so a build without the `server` feature still reports a
+/// helpful error instead of "unknown command".
+fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &["addr", "workers", "maintenance-secs"], &[])?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let addr = parsed
+        .flag("addr")
+        .ok_or_else(|| {
+            CliError::Usage("`serve` requires --addr (e.g. 127.0.0.1:7878)".to_string())
+        })?
+        .to_string();
+    let workers: Option<usize> = parsed.parsed_flag("workers")?;
+    let maintenance_secs: Option<u64> = parsed.parsed_flag("maintenance-secs")?;
+    serve_impl(dir, &addr, workers, maintenance_secs, out)
+}
+
+#[cfg(feature = "server")]
+fn serve_impl(
+    dir: &str,
+    addr: &str,
+    workers: Option<usize>,
+    maintenance_secs: Option<u64>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut config = crate::server::ServerConfig::default();
+    if let Some(workers) = workers {
+        if workers == 0 {
+            return Err(CliError::Usage("--workers must be at least 1".to_string()));
+        }
+        config.workers = workers;
+    }
+    if let Some(secs) = maintenance_secs {
+        config.maintenance_interval = if secs == 0 {
+            None
+        } else {
+            Some(std::time::Duration::from_secs(secs))
+        };
+    }
+    let service = QueryService::open(dir)?;
+    let columns = service.catalog().len();
+    let handle = crate::server::serve(service, addr, config)
+        .map_err(|e| CliError::Io(format!("cannot serve on `{addr}`: {e}")))?;
+    writeln!(
+        out,
+        "serving catalog {dir} ({columns} columns) on {} — protocol v{}, one JSON request per line (docs/PROTOCOL.md)",
+        handle.local_addr(),
+        crate::protocol::PROTOCOL_VERSION
+    )?;
+    out.flush()?;
+    // Serve until killed.  `wait` only returns if the server dies on its own (a
+    // fatal reactor error dropped the listener); exiting with an error then is
+    // strictly better than lingering as a live-looking process nothing can reach.
+    handle.wait();
+    Err(CliError::Io(
+        "server terminated unexpectedly (fatal reactor I/O error); the listener is closed"
+            .to_string(),
+    ))
+}
+
+#[cfg(not(feature = "server"))]
+fn serve_impl(
+    _dir: &str,
+    _addr: &str,
+    _workers: Option<usize>,
+    _maintenance_secs: Option<u64>,
+    _out: &mut dyn Write,
+) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "this build has no network front end; rebuild with `--features server` \
+         (cargo build --release -p ipsketch-serve --features server --bin ipsketch)"
+            .to_string(),
+    ))
 }
 
 fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -562,6 +643,39 @@ mod tests {
         ));
         let help = run_ok(&["help"]);
         assert!(help.contains("USAGE"), "{help}");
+    }
+
+    #[test]
+    fn serve_subcommand_parses_and_gates_on_the_feature() {
+        // Missing --addr is a usage error with or without the feature.
+        assert!(matches!(run_err(&["serve", "/tmp/x"]), CliError::Usage(_)));
+        #[cfg(not(feature = "server"))]
+        {
+            let err = run_err(&["serve", "/tmp/x", "--addr", "127.0.0.1:0"]);
+            assert!(
+                matches!(&err, CliError::Usage(detail) if detail.contains("--features server")),
+                "featureless builds must point at the server feature: {err}"
+            );
+        }
+        #[cfg(feature = "server")]
+        {
+            // Config validation and catalog opening run before any socket binds.
+            let err = run_err(&["serve", "/tmp/x", "--addr", "127.0.0.1:0", "--workers", "0"]);
+            assert!(matches!(err, CliError::Usage(_)), "zero workers: {err}");
+            let dir = temp_dir("serve-nocat");
+            let missing = dir.join("nope");
+            let err = run_err(&[
+                "serve",
+                missing.to_str().expect("utf8"),
+                "--addr",
+                "127.0.0.1:0",
+            ]);
+            assert!(
+                matches!(err, CliError::Catalog(CatalogError::NotACatalog { .. })),
+                "{err}"
+            );
+            fs::remove_dir_all(&dir).expect("cleanup");
+        }
     }
 
     #[test]

@@ -8,15 +8,21 @@
 //! * [`catalog`] — an on-disk store of [`SketchedColumn`](ipsketch_join::SketchedColumn)
 //!   blobs under a versioned manifest ([`manifest`]) that records the full sketcher
 //!   configuration, so incompatible sketches are rejected at load time.
-//! * [`service`] — a [`QueryService`](service::QueryService) that lazily hydrates
+//! * [`service`] — a [`QueryService`] that lazily hydrates
 //!   catalog sketches into an in-memory
 //!   [`SketchIndex`](ipsketch_join::SketchIndex), ingests new tables (one-shot,
 //!   chunk-partitioned, or shard-partial via the two-pass announced-norm protocol),
 //!   and answers single and batched queries.
 //! * [`cli`] + the `ipsketch` binary — `catalog init` / `ingest` / `ingest-partial` /
-//!   `query` / `info`, driving the whole flow from CSV files with no code.
+//!   `query` / `info` / `serve`, driving the whole flow from CSV files with no code.
 //! * [`csv`] — the tiny dependency-free CSV-to-[`Table`](ipsketch_data::Table) reader
 //!   the CLI uses.
+//! * [`wire`] + [`protocol`] — the line-delimited JSON wire format (normative spec in
+//!   `docs/PROTOCOL.md`) and its typed request/response model, compiled and tested
+//!   with or without the server itself.
+//! * [`server`] (feature `server`) — the concurrent TCP front end: a `poll(2)`
+//!   reactor, a worker pool over a read-write-locked [`QueryService`], concurrent
+//!   shard-partial ingest sessions, and background catalog compaction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +32,13 @@ pub mod cli;
 pub mod csv;
 pub mod error;
 pub mod manifest;
+pub mod protocol;
+#[cfg(feature = "server")]
+pub mod server;
 pub mod service;
+pub mod wire;
 
 pub use catalog::Catalog;
 pub use error::CatalogError;
 pub use manifest::{Manifest, ManifestEntry};
-pub use service::{shard_rows, IngestReport, QueryService, ShardedIngest};
+pub use service::{shard_rows, IngestReport, QueryService, ShardedIngest, ShardedIngestState};

@@ -1,0 +1,1312 @@
+//! Typed request/response model of the network protocol.
+//!
+//! The wire format itself — line-delimited JSON over TCP, one request or response
+//! per `\n`-terminated line — is specified normatively in `docs/PROTOCOL.md`; this
+//! module is its executable counterpart: typed [`Request`] / [`Response`] values
+//! with `encode`/`decode` that both the server and clients (the example client, the
+//! loopback tests, and the doc-driven conformance test that parses the spec's
+//! embedded examples) share.  Everything here is pure data: it compiles and runs
+//! without the `server` feature, so protocol conformance is locked by the tier-1
+//! test suite even on builds that never open a socket.
+//!
+//! Versioning (normative rules in `docs/PROTOCOL.md` § Versioning): every request
+//! carries `"v": 1` ([`PROTOCOL_VERSION`]); servers answer requests of exactly that
+//! major version and reject others with [`ErrorCode::UnsupportedVersion`].  Unknown
+//! *fields* are ignored (forward-compatible additions); unknown *ops* are
+//! [`ErrorCode::UnknownOp`].
+
+use crate::error::CatalogError;
+use crate::wire::Json;
+use ipsketch_data::{Column, Table};
+use ipsketch_join::{JoinError, RankedColumn};
+use std::fmt;
+
+/// The protocol major version this build speaks, sent and required as `"v"`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default ranking depth when a query omits `"k"`.
+pub const DEFAULT_TOP_K: u64 = 10;
+
+/// Machine-readable error classes carried in `error.code` of failure responses.
+///
+/// The catalog-layer codes mirror [`CatalogError`] variant for variant, so a wire
+/// client can distinguish exactly what a library caller could; the protocol-layer
+/// codes cover failures that only exist on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON, or a field was missing or mistyped.
+    BadRequest,
+    /// The request's `"v"` is not a version this server speaks.
+    UnsupportedVersion,
+    /// The request's `"op"` names no known operation.
+    UnknownOp,
+    /// The request line exceeded the server's size bound.
+    TooLarge,
+    /// An `ingest-*` op referenced a session id that does not exist (or was
+    /// already finished).
+    UnknownSession,
+    /// A filesystem operation failed ([`CatalogError::Io`]).
+    Io,
+    /// Stored catalog data did not decode ([`CatalogError::Corrupt`]).
+    Corrupt,
+    /// The served directory is not a catalog ([`CatalogError::NotACatalog`]).
+    NotACatalog,
+    /// Sketch/spec mismatch or protocol-state violation
+    /// ([`CatalogError::Incompatible`]).
+    Incompatible,
+    /// The `(table, column)` key is already registered
+    /// ([`CatalogError::DuplicateColumn`]).
+    DuplicateColumn,
+    /// No such `(table, column)` key ([`CatalogError::NotFound`]).
+    NotFound,
+    /// A sketching-layer failure ([`CatalogError::Sketch`]).
+    Sketch,
+    /// A join/estimation-layer failure ([`CatalogError::Join`]).
+    Join,
+    /// The server hit an unexpected internal state.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in the order documented in `docs/PROTOCOL.md`'s error table
+    /// (the doc conformance test asserts the two lists match).
+    pub const ALL: [ErrorCode; 14] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::UnknownOp,
+        ErrorCode::TooLarge,
+        ErrorCode::UnknownSession,
+        ErrorCode::Io,
+        ErrorCode::Corrupt,
+        ErrorCode::NotACatalog,
+        ErrorCode::Incompatible,
+        ErrorCode::DuplicateColumn,
+        ErrorCode::NotFound,
+        ErrorCode::Sketch,
+        ErrorCode::Join,
+        ErrorCode::Internal,
+    ];
+
+    /// The stable wire token for this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::Io => "io",
+            ErrorCode::Corrupt => "corrupt",
+            ErrorCode::NotACatalog => "not_a_catalog",
+            ErrorCode::Incompatible => "incompatible",
+            ErrorCode::DuplicateColumn => "duplicate_column",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Sketch => "sketch",
+            ErrorCode::Join => "join",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token produced by [`as_str`](Self::as_str).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == token)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A protocol-level failure: a machine-readable code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The error class.
+    pub code: ErrorCode,
+    /// Human-readable detail (never required for dispatch).
+    pub message: String,
+}
+
+impl WireError {
+    /// Constructs a [`ErrorCode::BadRequest`] error.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        WireError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CatalogError> for WireError {
+    fn from(e: CatalogError) -> Self {
+        let code = match &e {
+            CatalogError::Io { .. } => ErrorCode::Io,
+            CatalogError::Corrupt { .. } => ErrorCode::Corrupt,
+            CatalogError::NotACatalog { .. } => ErrorCode::NotACatalog,
+            CatalogError::Incompatible { .. } => ErrorCode::Incompatible,
+            CatalogError::DuplicateColumn { .. } => ErrorCode::DuplicateColumn,
+            CatalogError::NotFound { .. } => ErrorCode::NotFound,
+            CatalogError::Sketch(_) => ErrorCode::Sketch,
+            CatalogError::Join(_) => ErrorCode::Join,
+        };
+        WireError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<JoinError> for WireError {
+    fn from(e: JoinError) -> Self {
+        WireError {
+            code: ErrorCode::Join,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// One value column of a wire table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireColumn {
+    /// Column name.
+    pub name: String,
+    /// One `f64` value per key, in key order.
+    pub values: Vec<f64>,
+}
+
+/// A table shipped over the wire: named columns over shared `u64` join keys —
+/// exactly the in-memory [`Table`] shape, in JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTable {
+    /// Table name.
+    pub name: String,
+    /// The join keys (JSON integers — `u64` precision is preserved end to end).
+    pub keys: Vec<u64>,
+    /// The value columns, each aligned with `keys`.
+    pub columns: Vec<WireColumn>,
+}
+
+impl WireTable {
+    /// Converts into the in-memory [`Table`], enforcing its invariants (aligned
+    /// columns, unique keys).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::BadRequest`] describing the violated invariant.
+    pub fn to_table(&self) -> Result<Table, WireError> {
+        Table::new(
+            self.name.clone(),
+            self.keys.clone(),
+            self.columns
+                .iter()
+                .map(|c| Column::new(c.name.clone(), c.values.clone()))
+                .collect(),
+        )
+        .map_err(|e| WireError::bad_request(format!("invalid table: {e}")))
+    }
+
+    /// Builds the wire form of an in-memory table.
+    #[must_use]
+    pub fn from_table(table: &Table) -> Self {
+        WireTable {
+            name: table.name().to_string(),
+            keys: table.keys().to_vec(),
+            columns: table
+                .columns()
+                .iter()
+                .map(|c| WireColumn {
+                    name: c.name.clone(),
+                    values: c.values.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::str(&self.name)),
+            (
+                "keys".to_string(),
+                Json::Arr(self.keys.iter().map(|&k| Json::u64(k)).collect()),
+            ),
+            (
+                "columns".to_string(),
+                Json::Arr(
+                    self.columns
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::str(&c.name)),
+                                (
+                                    "values".to_string(),
+                                    Json::Arr(c.values.iter().map(|&v| Json::f64(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        let name = require_str(value, "name")?;
+        let keys = require_u64_array(value, "keys")?;
+        let columns_json = value
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::bad_request("table needs a `columns` array"))?;
+        let mut columns = Vec::with_capacity(columns_json.len());
+        for column in columns_json {
+            columns.push(WireColumn {
+                name: require_str(column, "name")?,
+                values: require_f64_array(column, "values")?,
+            });
+        }
+        Ok(WireTable {
+            name,
+            keys,
+            columns,
+        })
+    }
+}
+
+/// A query column shipped over the wire: one named column of keyed values.  The
+/// server sketches it with the catalog's configuration (queries are sketched fresh,
+/// never registered), exactly as `QueryService::sketch_query` does in-process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireQuery {
+    /// Name of the (virtual) table the query column belongs to.  Candidates from a
+    /// cataloged table of the same name are excluded from its ranking, mirroring the
+    /// in-process behavior.
+    pub table: String,
+    /// The query column's name.
+    pub column: String,
+    /// The join keys.
+    pub keys: Vec<u64>,
+    /// One value per key.
+    pub values: Vec<f64>,
+}
+
+impl WireQuery {
+    /// Converts into a single-column [`Table`] ready for `sketch_query`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::BadRequest`] when keys and values misalign or repeat.
+    pub fn to_table(&self) -> Result<Table, WireError> {
+        Table::new(
+            self.table.clone(),
+            self.keys.clone(),
+            vec![Column::new(self.column.clone(), self.values.clone())],
+        )
+        .map_err(|e| WireError::bad_request(format!("invalid query column: {e}")))
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("table".to_string(), Json::str(&self.table)),
+            ("column".to_string(), Json::str(&self.column)),
+            (
+                "keys".to_string(),
+                Json::Arr(self.keys.iter().map(|&k| Json::u64(k)).collect()),
+            ),
+            (
+                "values".to_string(),
+                Json::Arr(self.values.iter().map(|&v| Json::f64(v)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        Ok(WireQuery {
+            table: require_str(value, "table")?,
+            column: require_str(value, "column")?,
+            keys: require_u64_array(value, "keys")?,
+            values: require_f64_array(value, "values")?,
+        })
+    }
+}
+
+/// Which statistic a query ranks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Rank by estimated join size (the default).
+    #[default]
+    Joinable,
+    /// Rank by |estimated post-join correlation|, excluding candidates whose
+    /// estimated join size falls below the request's `min_join_size`.
+    Related,
+}
+
+impl Mode {
+    /// The wire token.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Joinable => "joinable",
+            Mode::Related => "related",
+        }
+    }
+
+    /// Parses a wire token.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Mode> {
+        match token {
+            "joinable" => Some(Mode::Joinable),
+            "related" => Some(Mode::Related),
+            _ => None,
+        }
+    }
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Catalog metadata: sketcher, fingerprint, registered columns.
+    Info,
+    /// Rank one query column against the catalog.
+    Query {
+        /// Ranking statistic.
+        mode: Mode,
+        /// How many results to return.
+        k: u64,
+        /// Minimum estimated join size (`related` mode only).
+        min_join_size: f64,
+        /// The query column.
+        query: WireQuery,
+    },
+    /// Rank many query columns in one round trip (the preferred shape: the server
+    /// fans a batch out on the runner, so one wire request saturates cores).
+    BatchQuery {
+        /// Ranking statistic.
+        mode: Mode,
+        /// How many results to return per query.
+        k: u64,
+        /// Minimum estimated join size (`related` mode only).
+        min_join_size: f64,
+        /// The query columns; response ranking `i` answers query `i`.
+        queries: Vec<WireQuery>,
+    },
+    /// Sketch and register a complete table (optionally via the chunk-and-merge
+    /// partitioned path).
+    Ingest {
+        /// The table to register.
+        table: WireTable,
+        /// If set, sketch as this many row-chunks merged through the
+        /// mergeable-sketcher path.
+        partitions: Option<u64>,
+    },
+    /// Open a shard-partial ingest session for a table (two-pass announced-norm
+    /// protocol; see `ShardedIngest`).
+    IngestBegin {
+        /// The logical table name every shard of this session must carry.
+        table: String,
+    },
+    /// First pass: fold a shard's `Σv²` partial sums into the session's norms.
+    IngestAnnounce {
+        /// Session id from `ingest-begin`.
+        session: u64,
+        /// The shard (a row range of the logical table).
+        shard: WireTable,
+    },
+    /// Second pass: sketch a shard against the announced norms and fold it in.
+    IngestSubmit {
+        /// Session id from `ingest-begin`.
+        session: u64,
+        /// The shard (a row range of the logical table).
+        shard: WireTable,
+    },
+    /// Register the session's folded columns into the catalog.
+    IngestFinish {
+        /// Session id from `ingest-begin`.
+        session: u64,
+    },
+}
+
+impl RequestBody {
+    /// The `"op"` token for this body.
+    #[must_use]
+    pub fn op(&self) -> &'static str {
+        match self {
+            RequestBody::Info => "info",
+            RequestBody::Query { .. } => "query",
+            RequestBody::BatchQuery { .. } => "batch-query",
+            RequestBody::Ingest { .. } => "ingest",
+            RequestBody::IngestBegin { .. } => "ingest-begin",
+            RequestBody::IngestAnnounce { .. } => "ingest-announce",
+            RequestBody::IngestSubmit { .. } => "ingest-submit",
+            RequestBody::IngestFinish { .. } => "ingest-finish",
+        }
+    }
+}
+
+/// One request line: a client-chosen `id` (echoed verbatim in the response, any
+/// JSON value) plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id; `Json::Null` when omitted.
+    pub id: Json,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// A decode failure carrying whatever `id` could be recovered, so the server can
+/// still correlate its error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestDecodeError {
+    /// The request's `id` if the line parsed far enough to find one, else null.
+    pub id: Json,
+    /// The failure.
+    pub error: WireError,
+}
+
+impl Request {
+    /// Encodes the request as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut members = vec![("v".to_string(), Json::u64(PROTOCOL_VERSION))];
+        if !self.id.is_null() {
+            members.push(("id".to_string(), self.id.clone()));
+        }
+        members.push(("op".to_string(), Json::str(self.body.op())));
+        match &self.body {
+            RequestBody::Info => {}
+            RequestBody::Query {
+                mode,
+                k,
+                min_join_size,
+                query,
+            } => {
+                members.push(("mode".to_string(), Json::str(mode.as_str())));
+                members.push(("k".to_string(), Json::u64(*k)));
+                if *mode == Mode::Related {
+                    members.push(("min_join_size".to_string(), Json::f64(*min_join_size)));
+                }
+                members.push(("query".to_string(), query.to_json()));
+            }
+            RequestBody::BatchQuery {
+                mode,
+                k,
+                min_join_size,
+                queries,
+            } => {
+                members.push(("mode".to_string(), Json::str(mode.as_str())));
+                members.push(("k".to_string(), Json::u64(*k)));
+                if *mode == Mode::Related {
+                    members.push(("min_join_size".to_string(), Json::f64(*min_join_size)));
+                }
+                members.push((
+                    "queries".to_string(),
+                    Json::Arr(queries.iter().map(WireQuery::to_json).collect()),
+                ));
+            }
+            RequestBody::Ingest { table, partitions } => {
+                members.push(("table".to_string(), table.to_json()));
+                if let Some(partitions) = partitions {
+                    members.push(("partitions".to_string(), Json::u64(*partitions)));
+                }
+            }
+            RequestBody::IngestBegin { table } => {
+                members.push(("table".to_string(), Json::str(table)));
+            }
+            RequestBody::IngestAnnounce { session, shard }
+            | RequestBody::IngestSubmit { session, shard } => {
+                members.push(("session".to_string(), Json::u64(*session)));
+                members.push(("shard".to_string(), shard.to_json()));
+            }
+            RequestBody::IngestFinish { session } => {
+                members.push(("session".to_string(), Json::u64(*session)));
+            }
+        }
+        Json::Obj(members).to_string()
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RequestDecodeError`] with the best-effort recovered `id` and a
+    /// [`WireError`] whose code is `bad_request`, `unsupported_version`, or
+    /// `unknown_op`.
+    pub fn decode(line: &str) -> Result<Request, RequestDecodeError> {
+        let doc = Json::parse(line).map_err(|e| RequestDecodeError {
+            id: Json::Null,
+            error: WireError::bad_request(e.to_string()),
+        })?;
+        let id = doc.get("id").cloned().unwrap_or(Json::Null);
+        let fail = |error: WireError| RequestDecodeError {
+            id: id.clone(),
+            error,
+        };
+        let version = doc
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail(WireError::bad_request("missing protocol version field `v`")))?;
+        if version != PROTOCOL_VERSION {
+            return Err(fail(WireError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!(
+                    "protocol version {version} is not supported (this server speaks {PROTOCOL_VERSION})"
+                ),
+            }));
+        }
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail(WireError::bad_request("missing operation field `op`")))?;
+        let body = match op {
+            "info" => RequestBody::Info,
+            "query" => RequestBody::Query {
+                mode: decode_mode(&doc).map_err(&fail)?,
+                k: doc.get("k").map_or(Ok(DEFAULT_TOP_K), |k| {
+                    k.as_u64()
+                        .ok_or_else(|| fail(WireError::bad_request("`k` must be an integer")))
+                })?,
+                min_join_size: decode_min_join_size(&doc).map_err(&fail)?,
+                query: WireQuery::from_json(
+                    doc.get("query")
+                        .ok_or_else(|| fail(WireError::bad_request("missing `query` object")))?,
+                )
+                .map_err(&fail)?,
+            },
+            "batch-query" => {
+                let queries_json = doc
+                    .get("queries")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail(WireError::bad_request("missing `queries` array")))?;
+                let mut queries = Vec::with_capacity(queries_json.len());
+                for q in queries_json {
+                    queries.push(WireQuery::from_json(q).map_err(&fail)?);
+                }
+                RequestBody::BatchQuery {
+                    mode: decode_mode(&doc).map_err(&fail)?,
+                    k: doc.get("k").map_or(Ok(DEFAULT_TOP_K), |k| {
+                        k.as_u64()
+                            .ok_or_else(|| fail(WireError::bad_request("`k` must be an integer")))
+                    })?,
+                    min_join_size: decode_min_join_size(&doc).map_err(&fail)?,
+                    queries,
+                }
+            }
+            "ingest" => RequestBody::Ingest {
+                table: WireTable::from_json(
+                    doc.get("table")
+                        .ok_or_else(|| fail(WireError::bad_request("missing `table` object")))?,
+                )
+                .map_err(&fail)?,
+                partitions: match doc.get("partitions") {
+                    None => None,
+                    Some(p) => Some(p.as_u64().ok_or_else(|| {
+                        fail(WireError::bad_request("`partitions` must be an integer"))
+                    })?),
+                },
+            },
+            "ingest-begin" => RequestBody::IngestBegin {
+                table: require_str(&doc, "table").map_err(&fail)?,
+            },
+            "ingest-announce" | "ingest-submit" => {
+                let session = doc
+                    .get("session")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail(WireError::bad_request("missing integer `session`")))?;
+                let shard = WireTable::from_json(
+                    doc.get("shard")
+                        .ok_or_else(|| fail(WireError::bad_request("missing `shard` object")))?,
+                )
+                .map_err(&fail)?;
+                if op == "ingest-announce" {
+                    RequestBody::IngestAnnounce { session, shard }
+                } else {
+                    RequestBody::IngestSubmit { session, shard }
+                }
+            }
+            "ingest-finish" => RequestBody::IngestFinish {
+                session: doc
+                    .get("session")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail(WireError::bad_request("missing integer `session`")))?,
+            },
+            other => {
+                return Err(fail(WireError {
+                    code: ErrorCode::UnknownOp,
+                    message: format!("unknown op `{other}`"),
+                }))
+            }
+        };
+        Ok(Request { id, body })
+    }
+}
+
+fn decode_mode(doc: &Json) -> Result<Mode, WireError> {
+    match doc.get("mode") {
+        None => Ok(Mode::default()),
+        Some(m) => m
+            .as_str()
+            .and_then(Mode::parse)
+            .ok_or_else(|| WireError::bad_request("`mode` must be \"joinable\" or \"related\"")),
+    }
+}
+
+fn decode_min_join_size(doc: &Json) -> Result<f64, WireError> {
+    match doc.get("min_join_size") {
+        None => Ok(0.0),
+        Some(m) => m
+            .as_f64()
+            .ok_or_else(|| WireError::bad_request("`min_join_size` must be a number")),
+    }
+}
+
+/// One ranked result of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRanked {
+    /// The candidate's table name.
+    pub table: String,
+    /// The candidate's column name.
+    pub column: String,
+    /// The ranking score (join size or |correlation| depending on the mode).
+    pub score: f64,
+    /// Estimated join size with the query column.
+    pub join_size: f64,
+    /// Estimated post-join correlation with the query column.
+    pub correlation: f64,
+}
+
+impl From<&RankedColumn> for WireRanked {
+    fn from(r: &RankedColumn) -> Self {
+        WireRanked {
+            table: r.id.table.clone(),
+            column: r.id.column.clone(),
+            score: r.score,
+            join_size: r.estimated_join_size,
+            correlation: r.estimated_correlation,
+        }
+    }
+}
+
+impl WireRanked {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("table".to_string(), Json::str(&self.table)),
+            ("column".to_string(), Json::str(&self.column)),
+            ("score".to_string(), Json::f64(self.score)),
+            ("join_size".to_string(), Json::f64(self.join_size)),
+            ("correlation".to_string(), Json::f64(self.correlation)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        Ok(WireRanked {
+            table: require_str(value, "table")?,
+            column: require_str(value, "column")?,
+            score: require_f64(value, "score")?,
+            join_size: require_f64(value, "join_size")?,
+            correlation: require_f64(value, "correlation")?,
+        })
+    }
+}
+
+/// One registered column entry in an [`ResponseBody::Info`] response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfoColumn {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Row count of the source column.
+    pub rows: u64,
+}
+
+/// Payload of a successful response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to `info`.
+    Info {
+        /// Human-readable sketcher configuration (the `SketcherSpec` display form).
+        sketcher: String,
+        /// The spec fingerprint, 16 lowercase hex digits.
+        fingerprint: String,
+        /// The sketch method label (`SketchMethod::label`).
+        method: String,
+        /// Every registered column.
+        columns: Vec<InfoColumn>,
+    },
+    /// Answer to `query`: the ranking for the one query column.
+    Ranking(Vec<WireRanked>),
+    /// Answer to `batch-query`: ranking `i` answers query `i`.
+    Rankings(Vec<Vec<WireRanked>>),
+    /// Answer to `ingest` and `ingest-finish`: what was registered/skipped.
+    Report {
+        /// `(table, column)` keys registered by this operation.
+        registered: Vec<(String, String)>,
+        /// Columns skipped for carrying no value mass.
+        skipped: Vec<String>,
+    },
+    /// Answer to `ingest-begin` / `ingest-announce` / `ingest-submit`: the session
+    /// the operation touched.
+    Session(u64),
+}
+
+/// One response line: the request's echoed `id` plus either a result or an error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's `id`, echoed verbatim.
+    pub id: Json,
+    /// The outcome.
+    pub result: Result<ResponseBody, WireError>,
+}
+
+impl Response {
+    /// Encodes the response as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut members = vec![
+            ("v".to_string(), Json::u64(PROTOCOL_VERSION)),
+            ("id".to_string(), self.id.clone()),
+        ];
+        match &self.result {
+            Ok(body) => {
+                members.push(("ok".to_string(), Json::Bool(true)));
+                members.push(("result".to_string(), body.to_json()));
+            }
+            Err(error) => {
+                members.push(("ok".to_string(), Json::Bool(false)));
+                members.push((
+                    "error".to_string(),
+                    Json::Obj(vec![
+                        ("code".to_string(), Json::str(error.code.as_str())),
+                        ("message".to_string(), Json::str(&error.message)),
+                    ]),
+                ));
+            }
+        }
+        Json::Obj(members).to_string()
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad_request` [`WireError`] when the line is not a well-formed
+    /// response of this protocol version.
+    pub fn decode(line: &str) -> Result<Response, WireError> {
+        let doc = Json::parse(line).map_err(|e| WireError::bad_request(e.to_string()))?;
+        let version = doc
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WireError::bad_request("missing protocol version field `v`"))?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!("response carries protocol version {version}"),
+            });
+        }
+        let id = doc.get("id").cloned().unwrap_or(Json::Null);
+        let ok = doc
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::bad_request("missing boolean `ok`"))?;
+        if !ok {
+            let error = doc
+                .get("error")
+                .ok_or_else(|| WireError::bad_request("failure response missing `error`"))?;
+            let code = require_str(error, "code")?;
+            let code = ErrorCode::parse(&code)
+                .ok_or_else(|| WireError::bad_request(format!("unknown error code `{code}`")))?;
+            return Ok(Response {
+                id,
+                result: Err(WireError {
+                    code,
+                    message: require_str(error, "message")?,
+                }),
+            });
+        }
+        let result = doc
+            .get("result")
+            .ok_or_else(|| WireError::bad_request("success response missing `result`"))?;
+        Ok(Response {
+            id,
+            result: Ok(ResponseBody::from_json(result)?),
+        })
+    }
+}
+
+impl ResponseBody {
+    fn to_json(&self) -> Json {
+        match self {
+            ResponseBody::Info {
+                sketcher,
+                fingerprint,
+                method,
+                columns,
+            } => Json::Obj(vec![(
+                "info".to_string(),
+                Json::Obj(vec![
+                    ("sketcher".to_string(), Json::str(sketcher)),
+                    ("fingerprint".to_string(), Json::str(fingerprint)),
+                    ("method".to_string(), Json::str(method)),
+                    (
+                        "columns".to_string(),
+                        Json::Arr(
+                            columns
+                                .iter()
+                                .map(|c| {
+                                    Json::Obj(vec![
+                                        ("table".to_string(), Json::str(&c.table)),
+                                        ("column".to_string(), Json::str(&c.column)),
+                                        ("rows".to_string(), Json::u64(c.rows)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            )]),
+            ResponseBody::Ranking(ranking) => Json::Obj(vec![(
+                "ranking".to_string(),
+                Json::Arr(ranking.iter().map(WireRanked::to_json).collect()),
+            )]),
+            ResponseBody::Rankings(rankings) => Json::Obj(vec![(
+                "rankings".to_string(),
+                Json::Arr(
+                    rankings
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(WireRanked::to_json).collect()))
+                        .collect(),
+                ),
+            )]),
+            ResponseBody::Report {
+                registered,
+                skipped,
+            } => Json::Obj(vec![
+                (
+                    "registered".to_string(),
+                    Json::Arr(
+                        registered
+                            .iter()
+                            .map(|(t, c)| {
+                                Json::Obj(vec![
+                                    ("table".to_string(), Json::str(t)),
+                                    ("column".to_string(), Json::str(c)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "skipped".to_string(),
+                    Json::Arr(skipped.iter().map(Json::str).collect()),
+                ),
+            ]),
+            ResponseBody::Session(session) => {
+                Json::Obj(vec![("session".to_string(), Json::u64(*session))])
+            }
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        if let Some(info) = value.get("info") {
+            let columns_json = info
+                .get("columns")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError::bad_request("info needs a `columns` array"))?;
+            let mut columns = Vec::with_capacity(columns_json.len());
+            for c in columns_json {
+                columns.push(InfoColumn {
+                    table: require_str(c, "table")?,
+                    column: require_str(c, "column")?,
+                    rows: c
+                        .get("rows")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| WireError::bad_request("info column needs `rows`"))?,
+                });
+            }
+            return Ok(ResponseBody::Info {
+                sketcher: require_str(info, "sketcher")?,
+                fingerprint: require_str(info, "fingerprint")?,
+                method: require_str(info, "method")?,
+                columns,
+            });
+        }
+        if let Some(ranking) = value.get("ranking").and_then(Json::as_arr) {
+            return Ok(ResponseBody::Ranking(decode_ranking(ranking)?));
+        }
+        if let Some(rankings) = value.get("rankings").and_then(Json::as_arr) {
+            let mut out = Vec::with_capacity(rankings.len());
+            for ranking in rankings {
+                let items = ranking
+                    .as_arr()
+                    .ok_or_else(|| WireError::bad_request("`rankings` must hold arrays"))?;
+                out.push(decode_ranking(items)?);
+            }
+            return Ok(ResponseBody::Rankings(out));
+        }
+        if let Some(registered) = value.get("registered").and_then(Json::as_arr) {
+            let mut pairs = Vec::with_capacity(registered.len());
+            for entry in registered {
+                pairs.push((require_str(entry, "table")?, require_str(entry, "column")?));
+            }
+            let skipped_json = value
+                .get("skipped")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError::bad_request("report needs a `skipped` array"))?;
+            let mut skipped = Vec::with_capacity(skipped_json.len());
+            for s in skipped_json {
+                skipped.push(
+                    s.as_str()
+                        .ok_or_else(|| WireError::bad_request("`skipped` must hold strings"))?
+                        .to_string(),
+                );
+            }
+            return Ok(ResponseBody::Report {
+                registered: pairs,
+                skipped,
+            });
+        }
+        if let Some(session) = value.get("session").and_then(Json::as_u64) {
+            return Ok(ResponseBody::Session(session));
+        }
+        Err(WireError::bad_request(
+            "unrecognized result payload (expected info/ranking/rankings/registered/session)",
+        ))
+    }
+}
+
+fn decode_ranking(items: &[Json]) -> Result<Vec<WireRanked>, WireError> {
+    items.iter().map(WireRanked::from_json).collect()
+}
+
+fn require_str(value: &Json, key: &str) -> Result<String, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| WireError::bad_request(format!("missing string field `{key}`")))
+}
+
+fn require_f64(value: &Json, key: &str) -> Result<f64, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| WireError::bad_request(format!("missing number field `{key}`")))
+}
+
+fn require_u64_array(value: &Json, key: &str) -> Result<Vec<u64>, WireError> {
+    let items = value
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::bad_request(format!("missing array field `{key}`")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_u64().ok_or_else(|| {
+                WireError::bad_request(format!(
+                    "`{key}` must hold non-negative JSON integers (64-bit join keys)"
+                ))
+            })
+        })
+        .collect()
+}
+
+fn require_f64_array(value: &Json, key: &str) -> Result<Vec<f64>, WireError> {
+    let items = value
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::bad_request(format!("missing array field `{key}`")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| WireError::bad_request(format!("`{key}` must hold numbers")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> WireQuery {
+        WireQuery {
+            table: "taxi".to_string(),
+            column: "rides".to_string(),
+            keys: vec![1, 2, u64::MAX],
+            values: vec![0.5, -1.25, 3.0],
+        }
+    }
+
+    fn sample_table() -> WireTable {
+        WireTable {
+            name: "weather".to_string(),
+            keys: vec![10, 11],
+            columns: vec![
+                WireColumn {
+                    name: "precip".to_string(),
+                    values: vec![1.0, 2.5],
+                },
+                WireColumn {
+                    name: "wind".to_string(),
+                    values: vec![0.0, -3.5],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let bodies = vec![
+            RequestBody::Info,
+            RequestBody::Query {
+                mode: Mode::Related,
+                k: 5,
+                min_join_size: 42.5,
+                query: sample_query(),
+            },
+            RequestBody::BatchQuery {
+                mode: Mode::Joinable,
+                k: 3,
+                min_join_size: 0.0,
+                queries: vec![sample_query(), sample_query()],
+            },
+            RequestBody::Ingest {
+                table: sample_table(),
+                partitions: Some(4),
+            },
+            RequestBody::Ingest {
+                table: sample_table(),
+                partitions: None,
+            },
+            RequestBody::IngestBegin {
+                table: "weather".to_string(),
+            },
+            RequestBody::IngestAnnounce {
+                session: 9,
+                shard: sample_table(),
+            },
+            RequestBody::IngestSubmit {
+                session: 9,
+                shard: sample_table(),
+            },
+            RequestBody::IngestFinish { session: 9 },
+        ];
+        for body in bodies {
+            let request = Request {
+                id: Json::u64(77),
+                body,
+            };
+            let line = request.encode();
+            let decoded = Request::decode(&line).unwrap_or_else(|e| {
+                panic!("round trip of `{line}` failed: {}", e.error);
+            });
+            assert_eq!(decoded, request, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let ranked = WireRanked {
+            table: "weather".to_string(),
+            column: "precip".to_string(),
+            score: 123.456,
+            join_size: 123.456,
+            correlation: -0.75,
+        };
+        let bodies = vec![
+            ResponseBody::Info {
+                sketcher: "WMH(m=64, L=16777216, seed=7)".to_string(),
+                fingerprint: "00ff00ff00ff00ff".to_string(),
+                method: "WMH".to_string(),
+                columns: vec![InfoColumn {
+                    table: "weather".to_string(),
+                    column: "precip".to_string(),
+                    rows: 730,
+                }],
+            },
+            ResponseBody::Ranking(vec![ranked.clone()]),
+            ResponseBody::Rankings(vec![vec![ranked.clone()], vec![]]),
+            ResponseBody::Report {
+                registered: vec![("weather".to_string(), "precip".to_string())],
+                skipped: vec!["zeros".to_string()],
+            },
+            ResponseBody::Session(3),
+        ];
+        for body in bodies {
+            let response = Response {
+                id: Json::str("abc"),
+                result: Ok(body),
+            };
+            let line = response.encode();
+            assert_eq!(
+                Response::decode(&line).expect("round trips"),
+                response,
+                "{line}"
+            );
+        }
+        let failure = Response {
+            id: Json::Null,
+            result: Err(WireError {
+                code: ErrorCode::DuplicateColumn,
+                message: "column `weather.precip` is already in the catalog".to_string(),
+            }),
+        };
+        assert_eq!(
+            Response::decode(&failure.encode()).expect("round trips"),
+            failure
+        );
+    }
+
+    #[test]
+    fn version_and_op_rules_are_enforced() {
+        // Missing version.
+        let err = Request::decode(r#"{"op":"info"}"#).expect_err("no v");
+        assert_eq!(err.error.code, ErrorCode::BadRequest);
+        // Wrong version, id still recovered for correlation.
+        let err = Request::decode(r#"{"v":2,"id":8,"op":"info"}"#).expect_err("v2");
+        assert_eq!(err.error.code, ErrorCode::UnsupportedVersion);
+        assert_eq!(err.id.as_u64(), Some(8));
+        // Unknown op.
+        let err = Request::decode(r#"{"v":1,"op":"frobnicate"}"#).expect_err("op");
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+        // Not JSON at all.
+        let err = Request::decode("hello").expect_err("not json");
+        assert_eq!(err.error.code, ErrorCode::BadRequest);
+        assert!(err.id.is_null());
+        // Unknown fields are ignored (forward compatibility).
+        let ok = Request::decode(r#"{"v":1,"op":"info","future_field":[1,2,3]}"#).expect("ok");
+        assert_eq!(ok.body, RequestBody::Info);
+    }
+
+    #[test]
+    fn defaults_apply_when_fields_are_omitted() {
+        let line =
+            r#"{"v":1,"op":"query","query":{"table":"t","column":"c","keys":[1],"values":[2.0]}}"#;
+        match Request::decode(line).expect("decodes").body {
+            RequestBody::Query {
+                mode,
+                k,
+                min_join_size,
+                ..
+            } => {
+                assert_eq!(mode, Mode::Joinable);
+                assert_eq!(k, DEFAULT_TOP_K);
+                assert_eq!(min_join_size, 0.0);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tables_enforce_invariants_on_conversion() {
+        let ragged = WireTable {
+            name: "t".to_string(),
+            keys: vec![1, 2],
+            columns: vec![WireColumn {
+                name: "c".to_string(),
+                values: vec![1.0],
+            }],
+        };
+        assert_eq!(
+            ragged.to_table().expect_err("ragged").code,
+            ErrorCode::BadRequest
+        );
+        let duplicate_keys = WireQuery {
+            table: "t".to_string(),
+            column: "c".to_string(),
+            keys: vec![1, 1],
+            values: vec![1.0, 2.0],
+        };
+        assert_eq!(
+            duplicate_keys.to_table().expect_err("dup keys").code,
+            ErrorCode::BadRequest
+        );
+        // A valid round trip Table → WireTable → Table preserves everything.
+        let table = sample_table().to_table().expect("valid");
+        assert_eq!(WireTable::from_table(&table), sample_table());
+    }
+
+    #[test]
+    fn error_codes_have_stable_distinct_tokens() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        let mut tokens: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), ErrorCode::ALL.len());
+        assert_eq!(ErrorCode::parse("made_up"), None);
+    }
+
+    #[test]
+    fn catalog_errors_map_onto_distinct_codes() {
+        let cases: Vec<(CatalogError, ErrorCode)> = vec![
+            (
+                CatalogError::Io {
+                    path: "/x".into(),
+                    detail: "denied".into(),
+                },
+                ErrorCode::Io,
+            ),
+            (
+                CatalogError::Corrupt {
+                    detail: "short".into(),
+                },
+                ErrorCode::Corrupt,
+            ),
+            (
+                CatalogError::NotACatalog {
+                    path: "/x".into(),
+                    detail: "no manifest".into(),
+                },
+                ErrorCode::NotACatalog,
+            ),
+            (
+                CatalogError::Incompatible {
+                    detail: "seed".into(),
+                },
+                ErrorCode::Incompatible,
+            ),
+            (
+                CatalogError::DuplicateColumn {
+                    table: "t".into(),
+                    column: "c".into(),
+                },
+                ErrorCode::DuplicateColumn,
+            ),
+            (
+                CatalogError::NotFound {
+                    table: "t".into(),
+                    column: "c".into(),
+                },
+                ErrorCode::NotFound,
+            ),
+            (
+                CatalogError::Sketch(ipsketch_core::SketchError::EmptySketch),
+                ErrorCode::Sketch,
+            ),
+            (
+                CatalogError::Join(JoinError::NotIndexed {
+                    table: "t".into(),
+                    column: "c".into(),
+                }),
+                ErrorCode::Join,
+            ),
+        ];
+        for (error, code) in cases {
+            let wire: WireError = error.into();
+            assert_eq!(wire.code, code);
+            assert!(!wire.message.is_empty());
+        }
+    }
+}

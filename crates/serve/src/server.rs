@@ -1,0 +1,955 @@
+//! The concurrent TCP front end over a [`QueryService`].
+//!
+//! One request or response per `\n`-terminated line of JSON (normative spec:
+//! `docs/PROTOCOL.md`; typed model: [`crate::protocol`]).  The design splits work
+//! across three kinds of threads, sized so the sketch runner keeps headroom:
+//!
+//! * **Reactor (1 thread).**  A `poll(2)` readiness loop (the vendored [`polling`]
+//!   shim — the offline image has no tokio) owns the listener and every connection:
+//!   it accepts, reads, frames lines, and writes responses.  It never parses JSON or
+//!   touches the service, so a slow query cannot stall accepts or other
+//!   connections' I/O.
+//! * **Workers (`ServerConfig::workers` threads).**  Pull framed request lines from
+//!   a queue, execute them against the shared state, and hand encoded response
+//!   lines back to the reactor.  Requests from *one* connection run strictly in
+//!   order (responses come back in request order — no client-side correlation
+//!   needed); requests from different connections run in parallel.
+//! * **Maintenance (1 thread).**  Runs catalog compaction/re-manifest on an
+//!   interval and after ingests, behind the same exclusive lock as registrations.
+//!
+//! The service sits behind a read-write lock: queries take shared read access and
+//! fan each batch out on the work-claiming runner (`top_k_*_batch`), so a single
+//! wire batch saturates cores; ingests and compaction take the write lock.  The
+//! server holds a [`runner`] thread reservation for its own threads, so those
+//! runner fan-outs automatically leave headroom for the accept loop instead of
+//! oversubscribing the machine.
+//!
+//! Shard-partial ingest sessions ([`ShardedIngestState`]) live *outside* the service
+//! lock in a session map: `announce`/`submit` sketch with a clone of the catalog's
+//! estimator and take no service lock at all, so any number of registration sessions
+//! make progress while queries are served; only `ingest-finish` (the catalog commit)
+//! briefly takes the write lock.
+
+use crate::protocol::{
+    ErrorCode, InfoColumn, Mode, Request, RequestBody, Response, ResponseBody, WireError,
+    WireQuery, WireRanked,
+};
+use crate::service::{QueryService, ShardedIngestState};
+use crate::wire::Json;
+use ipsketch_core::runner::{self, ThreadReservation};
+use ipsketch_join::{JoinEstimator, SketchedColumn};
+use parking_lot::{Mutex, RwLock};
+use polling::{Event, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poller key of the listening socket; connections get keys starting above it.
+const LISTENER_KEY: usize = 0;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request-executing worker threads.  Two by default: enough that a slow ingest
+    /// does not block queries, while leaving the runner (which parallelizes each
+    /// batch internally) most of the machine.
+    pub workers: usize,
+    /// Hard bound on one request line; longer lines earn a `too_large` error and
+    /// close the connection (the framing cannot resynchronize).
+    pub max_line_bytes: usize,
+    /// How often the maintenance thread compacts the catalog when idle.  Ingests
+    /// also trigger a pass.  `None` disables periodic passes (ingest-triggered ones
+    /// still run).
+    pub maintenance_interval: Option<Duration>,
+    /// How long an ingest session may sit untouched before a maintenance pass
+    /// expires it.  Sessions hold folded partial sketches, so abandoned ones
+    /// (client crashed before `ingest-finish`) would otherwise leak for the
+    /// server's lifetime.  Operations on an expired id get `unknown_session`.
+    pub session_ttl: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            max_line_bytes: 64 << 20,
+            maintenance_interval: Some(Duration::from_secs(30)),
+            session_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
+/// Running totals of the maintenance thread, exposed for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Completed compaction passes.
+    pub passes: u64,
+    /// Total unreferenced files removed across all passes.
+    pub files_removed: u64,
+    /// Passes that failed (I/O errors); the service keeps running.
+    pub failures: u64,
+    /// Ingest sessions expired for sitting idle past the configured TTL.
+    pub sessions_expired: u64,
+}
+
+/// Handle to a running server: address introspection and shutdown.
+///
+/// Dropping the handle shuts the server down and joins its threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    /// Keeps runner headroom for the reactor + workers while the server lives.
+    _reservation: ThreadReservation,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Maintenance totals so far.
+    #[must_use]
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        *self.shared.maintenance_stats.lock()
+    }
+
+    /// Asks the maintenance thread for an immediate compaction pass.
+    pub fn request_maintenance(&self) {
+        self.shared.signal_maintenance();
+    }
+
+    /// Stops accepting, drains nothing further, and joins every thread.  In-flight
+    /// requests finish; queued-but-unstarted requests on other connections are
+    /// dropped along with their connections.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Blocks until the server stops on its own — which only happens on a fatal
+    /// reactor error (e.g. `poll(2)` failing) — and joins every thread.  This is
+    /// what a serve-until-killed front end (the CLI) parks on: if it returns, the
+    /// listener is gone and the process should exit with an error instead of
+    /// lingering as a live-looking corpse.
+    pub fn wait(mut self) {
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        self.shared.maint_cv.notify_all();
+        let _ = self.shared.poller.notify();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Starts a server over `service` on `addr` and returns immediately with its handle.
+///
+/// `addr` may carry port 0 to bind an ephemeral port; read it back with
+/// [`ServerHandle::local_addr`].
+///
+/// # Errors
+///
+/// Returns the OS error if the listener cannot bind or the reactor cannot be set up.
+pub fn serve(
+    service: QueryService,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    // Normalize once so the spawn count, the runner reservation, and the stored
+    // config can never disagree (a `workers: 0` caller still gets one worker).
+    let config = ServerConfig {
+        workers: config.workers.max(1),
+        ..config
+    };
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let poller = Poller::new()?;
+    poller.add(&listener, Event::readable(LISTENER_KEY))?;
+
+    // The service's estimator is cloned once for the session map: sharded-ingest
+    // sketching must not need any service lock.  The configuration is immutable for
+    // the catalog's lifetime, so the clone can never go stale.
+    let estimator = service.estimator().clone();
+    let shared = Arc::new(Shared {
+        service: RwLock::new(service),
+        estimator,
+        sessions: Mutex::new(SessionMap {
+            next_id: 1,
+            slots: HashMap::new(),
+        }),
+        queue: StdMutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        maint: StdMutex::new(false),
+        maint_cv: Condvar::new(),
+        maintenance_stats: Mutex::new(MaintenanceStats::default()),
+        outbox: Mutex::new(Vec::new()),
+        poller,
+        shutdown: AtomicBool::new(false),
+        config: config.clone(),
+    });
+
+    // Reactor + workers occupy cores for as long as the server runs; reserving them
+    // makes every runner-backed batch fan-out leave that headroom automatically.
+    let reservation = runner::reserve_threads(1 + config.workers);
+
+    let mut threads = Vec::with_capacity(config.workers + 2);
+    let reactor_shared = Arc::clone(&shared);
+    threads.push(
+        std::thread::Builder::new()
+            .name("ipsketch-reactor".to_string())
+            .spawn(move || reactor_loop(&reactor_shared, &listener))?,
+    );
+    for worker in 0..config.workers {
+        let worker_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ipsketch-worker-{worker}"))
+                .spawn(move || worker_loop(&worker_shared))?,
+        );
+    }
+    let maint_shared = Arc::clone(&shared);
+    threads.push(
+        std::thread::Builder::new()
+            .name("ipsketch-maintenance".to_string())
+            .spawn(move || maintenance_loop(&maint_shared))?,
+    );
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        threads,
+        _reservation: reservation,
+    })
+}
+
+/// A framed request line waiting for a worker.
+struct Job {
+    conn: usize,
+    line: Vec<u8>,
+}
+
+/// An encoded response line (newline included) waiting for the reactor.
+struct Outgoing {
+    conn: usize,
+    bytes: Vec<u8>,
+}
+
+/// One live shard-partial ingest session.  The state slot holds `None` while
+/// `ingest-finish` consumes it, so a racing operation on the same session gets a
+/// clean `unknown_session` instead of blocking or corrupting it.
+struct SessionSlot {
+    state: Arc<Mutex<Option<ShardedIngestState>>>,
+    /// When the session was last looked up; maintenance expires sessions whose
+    /// idle time exceeds [`ServerConfig::session_ttl`].
+    touched: std::time::Instant,
+}
+
+struct SessionMap {
+    next_id: u64,
+    slots: HashMap<u64, SessionSlot>,
+}
+
+impl SessionMap {
+    /// Looks up a session's state, refreshing its idle clock.
+    fn touch(&mut self, session: u64) -> Option<Arc<Mutex<Option<ShardedIngestState>>>> {
+        self.slots.get_mut(&session).map(|slot| {
+            slot.touched = std::time::Instant::now();
+            Arc::clone(&slot.state)
+        })
+    }
+}
+
+/// State shared by the reactor, workers, and maintenance threads.
+struct Shared {
+    service: RwLock<QueryService>,
+    estimator: JoinEstimator,
+    sessions: Mutex<SessionMap>,
+    queue: StdMutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// "A maintenance pass is requested" flag under its condvar's mutex.
+    maint: StdMutex<bool>,
+    maint_cv: Condvar,
+    maintenance_stats: Mutex<MaintenanceStats>,
+    outbox: Mutex<Vec<Outgoing>>,
+    poller: Poller,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn signal_maintenance(&self) {
+        *self
+            .maint
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.maint_cv.notify_all();
+    }
+}
+
+/// Splits complete `\n`-terminated lines off the front of `buf`, tolerating `\r\n`
+/// and skipping empty lines.  Leaves the trailing partial line in place.
+fn drain_lines(buf: &mut Vec<u8>) -> Vec<Vec<u8>> {
+    let mut lines = Vec::new();
+    let mut start = 0;
+    while let Some(nl) = buf[start..].iter().position(|&b| b == b'\n') {
+        let mut end = start + nl;
+        if end > start && buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        if end > start {
+            lines.push(buf[start..end].to_vec());
+        }
+        start += nl + 1;
+    }
+    buf.drain(..start);
+    lines
+}
+
+/// Per-connection reactor state.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Lines framed but not yet dispatched (per-connection requests run in order).
+    pending: VecDeque<Vec<u8>>,
+    /// Whether a request from this connection is currently queued or executing.
+    in_flight: bool,
+    /// Peer sent FIN: serve what is in flight, flush, then drop.
+    peer_closed: bool,
+    /// Fatal framing state (oversized line): stop reading, answer everything framed
+    /// before the break, then emit the error and drop.
+    poisoned: bool,
+    /// The encoded `too_large` response, emitted only after every request framed
+    /// before the poisoning line has been answered — preserving the documented
+    /// per-connection response order.
+    poison_response: Option<Vec<u8>>,
+}
+
+impl Conn {
+    fn wants_close(&self) -> bool {
+        (self.peer_closed || self.poisoned)
+            && self.write_buf.is_empty()
+            && !self.in_flight
+            && self.pending.is_empty()
+            && self.poison_response.is_none()
+    }
+}
+
+/// The reactor: owns the listener and all connection I/O.
+fn reactor_loop(shared: &Shared, listener: &TcpListener) {
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = LISTENER_KEY + 1;
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        events.clear();
+        // A modest timeout backstops lost wakeups; all real work is notify-driven.
+        if shared
+            .poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .is_err()
+        {
+            // A failing poll(2) is unrecoverable for the reactor; shut down rather
+            // than spin.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            shared.maint_cv.notify_all();
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            for conn in conns.values() {
+                let _ = shared.poller.delete(&conn.stream);
+            }
+            return;
+        }
+
+        for event in &events {
+            if event.key == LISTENER_KEY {
+                accept_ready(shared, listener, &mut conns, &mut next_key);
+            } else if let Some(conn) = conns.get_mut(&event.key) {
+                if event.readable {
+                    read_ready(shared, event.key, conn);
+                }
+                if event.writable {
+                    flush(conn);
+                }
+            }
+        }
+
+        // Move completed responses from the workers into connection write buffers;
+        // each response retires its connection's in-flight request.
+        let outgoing = std::mem::take(&mut *shared.outbox.lock());
+        for out in outgoing {
+            if let Some(conn) = conns.get_mut(&out.conn) {
+                conn.write_buf.extend_from_slice(&out.bytes);
+                conn.in_flight = false;
+                dispatch_next(shared, out.conn, conn);
+                flush(conn);
+            }
+        }
+
+        // Re-arm interests and reap finished connections.  Poisoned connections
+        // drop read interest entirely: whatever the client keeps sending is
+        // undecodable past a broken frame, so it is left in the kernel buffer and
+        // the connection closes as soon as the error response flushes.
+        conns.retain(|&key, conn| {
+            if conn.wants_close() {
+                let _ = shared.poller.delete(&conn.stream);
+                return false;
+            }
+            let interest = if conn.poisoned {
+                Event::writable(key)
+            } else if conn.write_buf.is_empty() {
+                Event::readable(key)
+            } else {
+                Event::all(key)
+            };
+            let _ = shared.poller.modify(&conn.stream, interest);
+            true
+        });
+    }
+}
+
+/// Accepts every pending connection.
+fn accept_ready(
+    shared: &Shared,
+    listener: &TcpListener,
+    conns: &mut HashMap<usize, Conn>,
+    next_key: &mut usize,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let key = *next_key;
+                *next_key += 1;
+                if shared.poller.add(&stream, Event::readable(key)).is_ok() {
+                    conns.insert(
+                        key,
+                        Conn {
+                            stream,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            pending: VecDeque::new(),
+                            in_flight: false,
+                            peer_closed: false,
+                            poisoned: false,
+                            poison_response: None,
+                        },
+                    );
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Per-connection failures (ECONNABORTED & co) and resource exhaustion
+            // (EMFILE/ENFILE).  The latter leaves the backlogged connection pending,
+            // so the level-triggered poller would re-report the listener instantly;
+            // a brief backoff keeps the reactor from spinning at 100% while the
+            // kernel backlog drains or descriptors free up.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                return;
+            }
+        }
+    }
+}
+
+/// How many socket reads one readable event may perform before yielding back to
+/// the reactor loop: bounds one fast sender's monopoly on the reactor thread
+/// (level-triggered polling re-reports whatever is left).
+const READS_PER_EVENT: usize = 64;
+
+/// Reads what is available (bounded per event), frames lines eagerly so the size
+/// bound applies *per line* — a pipelined burst of individually legal requests is
+/// never rejected on its aggregate size — and dispatches if idle.
+fn read_ready(shared: &Shared, key: usize, conn: &mut Conn) {
+    if conn.poisoned {
+        // Nothing past a broken frame is decodable; stop consuming input so the
+        // connection reaches its flush-then-close state instead of buffering an
+        // unbounded stream.
+        return;
+    }
+    let mut chunk = [0u8; 16 * 1024];
+    for _ in 0..READS_PER_EVENT {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&chunk[..n]);
+                for line in drain_lines(&mut conn.read_buf) {
+                    if line.len() > shared.config.max_line_bytes {
+                        poison_too_large(shared, conn);
+                        break;
+                    }
+                    conn.pending.push_back(line);
+                }
+                // Only the *unframed tail* is held to the bound: a single line
+                // still growing past it can never complete legally.
+                if conn.read_buf.len() > shared.config.max_line_bytes {
+                    poison_too_large(shared, conn);
+                }
+                if conn.poisoned {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.peer_closed = true;
+                break;
+            }
+        }
+    }
+    dispatch_next(shared, key, conn);
+}
+
+/// Poisons the connection on an oversized line (framing cannot resync): reading
+/// stops, requests framed *before* the break still get answered in order, and the
+/// `too_large` error goes out last (see [`dispatch_next`]) before the close.
+/// Idempotent: a line crossing the bound more than once still earns one response.
+fn poison_too_large(shared: &Shared, conn: &mut Conn) {
+    if conn.poisoned {
+        return;
+    }
+    let response = Response {
+        id: Json::Null,
+        result: Err(WireError {
+            code: ErrorCode::TooLarge,
+            message: format!(
+                "request line exceeds the {}-byte bound",
+                shared.config.max_line_bytes
+            ),
+        }),
+    };
+    let mut bytes = response.encode().into_bytes();
+    bytes.push(b'\n');
+    conn.poison_response = Some(bytes);
+    conn.read_buf.clear();
+    conn.poisoned = true;
+}
+
+/// Hands the next pending line of `conn` to the workers, if it is idle.  On a
+/// poisoned connection, the stored `too_large` error is emitted only once every
+/// earlier request has been answered, preserving response order.
+fn dispatch_next(shared: &Shared, key: usize, conn: &mut Conn) {
+    if conn.in_flight {
+        return;
+    }
+    if let Some(line) = conn.pending.pop_front() {
+        conn.in_flight = true;
+        shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(Job { conn: key, line });
+        shared.queue_cv.notify_one();
+        return;
+    }
+    if let Some(bytes) = conn.poison_response.take() {
+        conn.write_buf.extend_from_slice(&bytes);
+    }
+}
+
+/// Writes as much buffered output as the socket accepts.
+fn flush(conn: &mut Conn) {
+    while !conn.write_buf.is_empty() {
+        match conn.stream.write(&conn.write_buf) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return;
+            }
+            Ok(n) => {
+                conn.write_buf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.peer_closed = true;
+                conn.write_buf.clear();
+                return;
+            }
+        }
+    }
+}
+
+/// A worker: executes framed requests against the shared state.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let response = handle_line(shared, &job.line);
+        let mut bytes = response.encode().into_bytes();
+        bytes.push(b'\n');
+        shared.outbox.lock().push(Outgoing {
+            conn: job.conn,
+            bytes,
+        });
+        let _ = shared.poller.notify();
+    }
+}
+
+/// Parses and executes one request line.
+fn handle_line(shared: &Shared, line: &[u8]) -> Response {
+    let text = match std::str::from_utf8(line) {
+        Ok(text) => text,
+        Err(_) => {
+            return Response {
+                id: Json::Null,
+                result: Err(WireError::bad_request("request line is not valid UTF-8")),
+            }
+        }
+    };
+    let request = match Request::decode(text) {
+        Ok(request) => request,
+        Err(failure) => {
+            return Response {
+                id: failure.id,
+                result: Err(failure.error),
+            }
+        }
+    };
+    Response {
+        result: execute(shared, &request.body),
+        id: request.id,
+    }
+}
+
+/// Executes a decoded request body against the shared state.
+fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireError> {
+    match body {
+        RequestBody::Info => {
+            let service = shared.service.read();
+            let catalog = service.catalog();
+            let spec = catalog.spec();
+            Ok(ResponseBody::Info {
+                sketcher: spec.to_string(),
+                fingerprint: format!("{:016x}", spec.fingerprint()),
+                method: spec.method().label().to_string(),
+                columns: catalog
+                    .entries()
+                    .iter()
+                    .map(|e| InfoColumn {
+                        table: e.table.clone(),
+                        column: e.column.clone(),
+                        rows: e.rows,
+                    })
+                    .collect(),
+            })
+        }
+        RequestBody::Query {
+            mode,
+            k,
+            min_join_size,
+            query,
+        } => {
+            let rankings = run_batch(
+                shared,
+                std::slice::from_ref(query),
+                *mode,
+                *k,
+                *min_join_size,
+            )?;
+            let [ranking] =
+                <[Vec<WireRanked>; 1]>::try_from(rankings).expect("one query yields one ranking");
+            Ok(ResponseBody::Ranking(ranking))
+        }
+        RequestBody::BatchQuery {
+            mode,
+            k,
+            min_join_size,
+            queries,
+        } => Ok(ResponseBody::Rankings(run_batch(
+            shared,
+            queries,
+            *mode,
+            *k,
+            *min_join_size,
+        )?)),
+        RequestBody::Ingest { table, partitions } => {
+            let table = table.to_table()?;
+            // Sketch every column *outside* the service lock (the expensive part —
+            // seconds for a large table), so queries keep flowing; only the final
+            // registration commit below needs exclusive access.
+            let mut sketched = Vec::new();
+            let mut skipped = Vec::new();
+            for column in table.columns() {
+                let result = match partitions {
+                    Some(partitions) => shared.estimator.sketch_column_partitioned(
+                        &table,
+                        &column.name,
+                        usize::try_from(*partitions).unwrap_or(usize::MAX),
+                    ),
+                    None => shared.estimator.sketch_column(&table, &column.name),
+                };
+                match result {
+                    Ok(column) => sketched.push(column),
+                    Err(ipsketch_join::JoinError::EmptyColumn { .. }) => {
+                        skipped.push(column.name.clone());
+                    }
+                    Err(other) => return Err(other.into()),
+                }
+            }
+            let report = shared
+                .service
+                .write()
+                .register_sketched(sketched)
+                .map_err(WireError::from)?;
+            shared.signal_maintenance();
+            Ok(ResponseBody::Report {
+                registered: report.registered,
+                skipped,
+            })
+        }
+        RequestBody::IngestBegin { table } => {
+            let mut sessions = shared.sessions.lock();
+            let id = sessions.next_id;
+            sessions.next_id += 1;
+            sessions.slots.insert(
+                id,
+                SessionSlot {
+                    state: Arc::new(Mutex::new(Some(ShardedIngestState::new(table.clone())))),
+                    touched: std::time::Instant::now(),
+                },
+            );
+            Ok(ResponseBody::Session(id))
+        }
+        RequestBody::IngestAnnounce { session, shard } => {
+            with_session(shared, *session, |state| {
+                state.announce(&shard.to_table()?).map_err(WireError::from)
+            })?;
+            Ok(ResponseBody::Session(*session))
+        }
+        RequestBody::IngestSubmit { session, shard } => {
+            with_session(shared, *session, |state| {
+                state
+                    .submit(&shared.estimator, &shard.to_table()?)
+                    .map_err(WireError::from)
+            })?;
+            Ok(ResponseBody::Session(*session))
+        }
+        RequestBody::IngestFinish { session } => {
+            let slot = shared
+                .sessions
+                .lock()
+                .touch(*session)
+                .ok_or_else(|| unknown_session(*session))?;
+            // Take the state out of its slot first, so a racing second finish (or
+            // announce/submit) observes an empty slot — not a deadlock on the
+            // service write lock below.
+            let state = slot
+                .lock()
+                .take()
+                .ok_or_else(|| unknown_session(*session))?;
+            // The session is consumed whether the commit succeeds or fails (its
+            // partial sketches are moved into the registration); drop the map entry.
+            shared.sessions.lock().slots.remove(session);
+            let result = shared.service.write().finish_sharded_ingest(state);
+            let report = result.map_err(WireError::from)?;
+            shared.signal_maintenance();
+            Ok(ResponseBody::Report {
+                registered: report.registered,
+                skipped: report.skipped,
+            })
+        }
+    }
+}
+
+fn unknown_session(session: u64) -> WireError {
+    WireError {
+        code: ErrorCode::UnknownSession,
+        message: format!("no live ingest session {session} (finished, failed, or never begun)"),
+    }
+}
+
+/// Runs `f` on the live state of `session`, refreshing its idle clock.
+fn with_session<T>(
+    shared: &Shared,
+    session: u64,
+    f: impl FnOnce(&mut ShardedIngestState) -> Result<T, WireError>,
+) -> Result<T, WireError> {
+    let slot = shared
+        .sessions
+        .lock()
+        .touch(session)
+        .ok_or_else(|| unknown_session(session))?;
+    let mut guard = slot.lock();
+    let state = guard.as_mut().ok_or_else(|| unknown_session(session))?;
+    f(state)
+}
+
+/// Sketches the query columns and ranks them as one runner-backed batch, under a
+/// shared read lock — the same code path as `QueryService::query_*_batch`, so wire
+/// answers are bit-identical to in-process answers.
+fn run_batch(
+    shared: &Shared,
+    queries: &[WireQuery],
+    mode: Mode,
+    k: u64,
+    min_join_size: f64,
+) -> Result<Vec<Vec<WireRanked>>, WireError> {
+    let k = usize::try_from(k).unwrap_or(usize::MAX);
+    // Sketch the query columns *outside* any lock, with the immutable estimator
+    // clone (identical configuration → bit-identical sketches): the CPU-heavy
+    // phase of a large batch must never hold the read lock, or it would stall
+    // ingest commits and compaction behind it (and, on writer-preferring lock
+    // implementations, every later query behind those).
+    let mut sketched: Vec<SketchedColumn> = Vec::with_capacity(queries.len());
+    for query in queries {
+        let table = query.to_table()?;
+        sketched.push(
+            shared
+                .estimator
+                .sketch_column(&table, &query.column)
+                .map_err(WireError::from)?,
+        );
+    }
+    loop {
+        {
+            let service = shared.service.read();
+            if service.is_fully_hydrated() {
+                let rankings = match mode {
+                    Mode::Joinable => service.index().top_k_joinable_batch(&sketched, k),
+                    Mode::Related => {
+                        service
+                            .index()
+                            .top_k_correlated_batch(&sketched, k, min_join_size)
+                    }
+                }
+                .map_err(WireError::from)?;
+                return Ok(rankings
+                    .iter()
+                    .map(|ranking| ranking.iter().map(WireRanked::from).collect())
+                    .collect());
+            }
+        }
+        // Columns exist that are not in the index yet (catalog opened cold):
+        // hydrate under the write lock, then retry the read-locked fast path.
+        shared
+            .service
+            .write()
+            .ensure_hydrated()
+            .map_err(WireError::from)?;
+    }
+}
+
+/// The maintenance thread: compacts the catalog periodically and on demand.
+fn maintenance_loop(shared: &Shared) {
+    loop {
+        {
+            let mut pending = shared
+                .maint
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while !*pending && !shared.shutdown.load(Ordering::SeqCst) {
+                match shared.config.maintenance_interval {
+                    Some(interval) => {
+                        let (guard, timeout) = shared
+                            .maint_cv
+                            .wait_timeout(pending, interval)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        pending = guard;
+                        if timeout.timed_out() {
+                            break; // Periodic pass.
+                        }
+                    }
+                    None => {
+                        pending = shared
+                            .maint_cv
+                            .wait(pending)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            *pending = false;
+        }
+        // Expire ingest sessions idle past the TTL before compacting: their folded
+        // partial sketches are the only server-side state a vanished client leaks.
+        let expired = {
+            let mut sessions = shared.sessions.lock();
+            let before = sessions.slots.len();
+            sessions
+                .slots
+                .retain(|_, slot| slot.touched.elapsed() <= shared.config.session_ttl);
+            (before - sessions.slots.len()) as u64
+        };
+        let result = shared.service.write().compact();
+        let mut stats = shared.maintenance_stats.lock();
+        stats.sessions_expired += expired;
+        match result {
+            Ok(report) => {
+                stats.passes += 1;
+                stats.files_removed += report.removed_files.len() as u64;
+            }
+            Err(_) => stats.failures += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_lines_frames_and_keeps_partials() {
+        let mut buf = b"one\r\ntwo\n\n\r\npartial".to_vec();
+        let lines = drain_lines(&mut buf);
+        assert_eq!(lines, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(buf, b"partial");
+        let lines = drain_lines(&mut buf);
+        assert!(lines.is_empty());
+        buf.extend_from_slice(b" more\n");
+        assert_eq!(drain_lines(&mut buf), vec![b"partial more".to_vec()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn config_defaults_keep_worker_headroom_small() {
+        let config = ServerConfig::default();
+        assert_eq!(config.workers, 2);
+        assert!(config.max_line_bytes >= 1 << 20);
+        assert!(config.maintenance_interval.is_some());
+    }
+}

@@ -8,7 +8,7 @@
 //! becomes visible — so opening a service over a large catalog costs only the manifest
 //! read.
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, CompactionReport};
 use crate::error::CatalogError;
 use ipsketch_core::SketcherSpec;
 use ipsketch_data::{Column, Table};
@@ -61,6 +61,44 @@ pub struct IngestReport {
 /// lives inside the index (single source of truth); [`estimator`](Self::estimator)
 /// borrows it from there, so queries are always sketched under exactly the
 /// configuration the index ranks with.
+///
+/// # Example
+///
+/// Create a catalog, ingest a table, and rank a fresh query column against it —
+/// then reopen the same directory cold and get identical answers from the lazily
+/// hydrated sketches:
+///
+/// ```
+/// use ipsketch_core::method::{AnySketcher, SketchMethod};
+/// use ipsketch_data::{Column, Table};
+/// use ipsketch_serve::QueryService;
+///
+/// let root = std::env::temp_dir().join(format!("ipsketch-doc-qs-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&root);
+/// let spec = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 7).unwrap().spec();
+/// let mut service = QueryService::create(&root, spec).unwrap();
+///
+/// let weather = Table::new(
+///     "weather",
+///     (100..300).collect(),
+///     vec![Column::new("precip", (100..300).map(f64::from).collect())],
+/// ).unwrap();
+/// service.ingest_table(&weather).unwrap();
+///
+/// let taxi = Table::new(
+///     "taxi",
+///     (0..250).collect(),
+///     vec![Column::new("rides", (0..250).map(|i| f64::from(i) + 1.0).collect())],
+/// ).unwrap();
+/// let query = service.sketch_query(&taxi, "rides").unwrap();
+/// let ranked = service.query_joinable(&query, 5).unwrap();
+/// assert_eq!(ranked[0].id.table, "weather");
+///
+/// let mut reopened = QueryService::open(&root).unwrap();
+/// let query = reopened.sketch_query(&taxi, "rides").unwrap();
+/// assert_eq!(reopened.query_joinable(&query, 5).unwrap(), ranked);
+/// # std::fs::remove_dir_all(&root).unwrap();
+/// ```
 #[derive(Debug)]
 pub struct QueryService {
     catalog: Catalog,
@@ -102,6 +140,37 @@ impl QueryService {
     #[must_use]
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The in-memory index the service ranks with.  Combined with
+    /// [`is_fully_hydrated`](Self::is_fully_hydrated), this is the shared-read path a
+    /// concurrent front end takes: hydrate once under an exclusive lock, then answer
+    /// any number of queries through `&self` under a shared lock (the batch methods
+    /// of [`SketchIndex`] are exactly the ones the `query_*` methods here call).
+    #[must_use]
+    pub fn index(&self) -> &SketchIndex {
+        &self.index
+    }
+
+    /// Whether every cataloged column is already hydrated into the index — i.e.
+    /// whether queries can run without the exclusive access
+    /// [`ensure_hydrated`](Self::ensure_hydrated) needs.
+    #[must_use]
+    pub fn is_fully_hydrated(&self) -> bool {
+        self.hydrated.len() == self.catalog.len()
+    }
+
+    /// Compacts the underlying catalog (see [`Catalog::compact`]): removes
+    /// unreferenced blob and temp files and rewrites the manifest.  Takes `&mut self`
+    /// so a front end schedules it on its maintenance thread behind the same
+    /// exclusive lock as ingests — never concurrent with a registration writing new
+    /// blobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Io`] for filesystem failures.
+    pub fn compact(&mut self) -> Result<CompactionReport, CatalogError> {
+        self.catalog.compact()
     }
 
     /// The estimator rebuilt from the catalog's recorded spec (borrowed from the
@@ -200,6 +269,33 @@ impl QueryService {
         Ok(report)
     }
 
+    /// Registers already-sketched columns into the catalog (one manifest commit) and
+    /// the in-memory index, returning what was registered.  This is the
+    /// write-lock-minimizing path a concurrent front end takes: the expensive
+    /// sketching runs outside any service lock (with a clone of
+    /// [`estimator`](Self::estimator) — the configuration is immutable for the
+    /// catalog's lifetime), and only this commit needs exclusive access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Incompatible`] for sketches not built under this
+    /// catalog's configuration, plus duplicate-column and filesystem failures; on
+    /// error nothing from the batch is committed.
+    pub fn register_sketched(
+        &mut self,
+        sketched: Vec<SketchedColumn>,
+    ) -> Result<IngestReport, CatalogError> {
+        let report = IngestReport {
+            registered: sketched
+                .iter()
+                .map(|c| (c.table.clone(), c.column.clone()))
+                .collect(),
+            skipped: Vec::new(),
+        };
+        self.register_all_hydrated(sketched)?;
+        Ok(report)
+    }
+
     /// Registers a batch of finished columns into the catalog (one manifest commit)
     /// and the in-memory index.
     fn register_all_hydrated(&mut self, sketched: Vec<SketchedColumn>) -> Result<(), CatalogError> {
@@ -215,17 +311,47 @@ impl QueryService {
     /// Starts a shard-partial ingest of a table named `table_name` — the genuinely
     /// distributed registration path.  See [`ShardedIngest`] for the two-pass
     /// protocol.
+    ///
+    /// This borrows the service for the session's lifetime, which is the right shape
+    /// for sequential callers (the CLI, tests).  A concurrent front end running many
+    /// sessions at once uses the owned [`ShardedIngestState`] directly and registers
+    /// the outcome with [`finish_sharded_ingest`](Self::finish_sharded_ingest).
     #[must_use]
     pub fn begin_sharded_ingest(&mut self, table_name: impl Into<String>) -> ShardedIngest<'_> {
         ShardedIngest {
+            state: ShardedIngestState::new(table_name),
             service: self,
-            table_name: table_name.into(),
-            columns: Vec::new(),
-            norms: Vec::new(),
-            partials: Vec::new(),
-            sealed: false,
-            submitted: false,
         }
+    }
+
+    /// Registers the folded columns of a completed [`ShardedIngestState`] into the
+    /// catalog and index — the terminal step of a concurrent shard-partial session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for duplicate columns or filesystem failures, and
+    /// [`CatalogError::Incompatible`] if no shard was ever successfully submitted or
+    /// the session's partials were sketched under a different configuration than
+    /// this service's.
+    pub fn finish_sharded_ingest(
+        &mut self,
+        state: ShardedIngestState,
+    ) -> Result<IngestReport, CatalogError> {
+        let (table_name, columns, partials) = state.into_folded()?;
+        let mut report = IngestReport::default();
+        let mut folded_columns = Vec::new();
+        for (column, partial) in columns.into_iter().zip(partials) {
+            match partial {
+                Some(folded) => {
+                    report.registered.push((table_name.clone(), column));
+                    folded_columns.push(folded);
+                }
+                None => report.skipped.push(column),
+            }
+        }
+        // One catalog commit for the whole table, moving (not cloning) the folds.
+        self.register_all_hydrated(folded_columns)?;
+        Ok(report)
     }
 
     /// Sketches a query column with the catalog's configuration (queries are sketched
@@ -306,7 +432,10 @@ impl QueryService {
     }
 }
 
-/// A two-pass shard-partial ingest session.
+/// The coordinator state of one two-pass shard-partial ingest session, owned and
+/// self-contained: it borrows nothing, so a concurrent front end can run one state
+/// per table in flight (the session map), feeding each from whichever connection the
+/// shard arrives on, while queries keep reading the service.
 ///
 /// Shards hold disjoint row ranges of one logical table.  The protocol mirrors what a
 /// distributed deployment does:
@@ -319,14 +448,13 @@ impl QueryService {
 /// 2. **Submit (second pass).**  Every shard sketches its rows against the announced
 ///    norms via [`submit`](Self::submit); the coordinator folds the partial sketches
 ///    with `MergeableSketcher::merge` semantics as they arrive.
-/// 3. **[`finish`](Self::finish)** registers the folded columns into the catalog and
-///    index and reports what was registered or skipped.
+/// 3. **[`QueryService::finish_sharded_ingest`]** registers the folded columns into
+///    the catalog and index and reports what was registered or skipped.
 ///
 /// The first `submit` seals the announcement; announcing afterwards is an error, as it
 /// would change norms that sketches were already built against.
 #[derive(Debug)]
-pub struct ShardedIngest<'a> {
-    service: &'a mut QueryService,
+pub struct ShardedIngestState {
     table_name: String,
     columns: Vec<String>,
     norms: Vec<ColumnNormPartials>,
@@ -338,7 +466,26 @@ pub struct ShardedIngest<'a> {
     submitted: bool,
 }
 
-impl ShardedIngest<'_> {
+impl ShardedIngestState {
+    /// Opens a session for the logical table `table_name`.
+    #[must_use]
+    pub fn new(table_name: impl Into<String>) -> Self {
+        ShardedIngestState {
+            table_name: table_name.into(),
+            columns: Vec::new(),
+            norms: Vec::new(),
+            partials: Vec::new(),
+            sealed: false,
+            submitted: false,
+        }
+    }
+
+    /// The logical table this session ingests.
+    #[must_use]
+    pub fn table_name(&self) -> &str {
+        &self.table_name
+    }
+
     /// First pass: folds `shard`'s per-column `Σv²` partial sums into the announced
     /// norms.  All shards must present the same column set, in the same order, under
     /// the session's table name.
@@ -366,16 +513,20 @@ impl ShardedIngest<'_> {
         Ok(())
     }
 
-    /// Second pass: sketches `shard` against the announced norms and folds the partial
-    /// sketches into the session state.  Columns whose announced value mass is zero
-    /// are skipped here and reported by [`finish`](Self::finish).
+    /// Second pass: sketches `shard` with `estimator` against the announced norms and
+    /// folds the partial sketches into the session state.  Columns whose announced
+    /// value mass is zero are skipped here and reported at finish.
+    ///
+    /// Every call must pass the estimator of the service the session will finish
+    /// into (the front end clones it once at startup — the configuration is fixed
+    /// for the catalog's lifetime).
     ///
     /// # Errors
     ///
     /// Returns [`CatalogError::Incompatible`] for a shard of a different table or
     /// column layout or a session with no announcements, and sketching errors
     /// (including non-mergeable methods).
-    pub fn submit(&mut self, shard: &Table) -> Result<(), CatalogError> {
+    pub fn submit(&mut self, estimator: &JoinEstimator, shard: &Table) -> Result<(), CatalogError> {
         if self.columns.is_empty() {
             return Err(CatalogError::Incompatible {
                 detail: "no norms announced: every shard must announce before any submits"
@@ -390,53 +541,28 @@ impl ShardedIngest<'_> {
             if self.norms[i].values_sq <= 0.0 {
                 continue; // Skipped column; reported at finish.
             }
-            let estimator = self.service.index.estimator();
             let sketched = estimator.sketch_column_shard(shard, column, &self.norms[i])?;
             self.partials[i] = Some(match self.partials[i].take() {
                 None => sketched,
                 Some(acc) => estimator.merge_sketched_columns(&acc, &sketched)?,
             });
         }
-        // Only a fully successful submit counts toward finish()'s "at least one
-        // shard was submitted" requirement.
+        // Only a fully successful submit counts toward finish's "at least one shard
+        // was submitted" requirement.
         self.submitted = true;
         Ok(())
     }
 
-    /// Registers the folded columns into the catalog and index.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CatalogError`] for duplicate columns or filesystem failures, and
-    /// [`CatalogError::Incompatible`] if no shard was ever submitted.
-    pub fn finish(self) -> Result<IngestReport, CatalogError> {
+    /// Consumes the session, yielding the table name, column names, and folded
+    /// partials (`None` for all-zero skipped columns).
+    fn into_folded(self) -> Result<FoldedIngest, CatalogError> {
         if !self.submitted {
             return Err(CatalogError::Incompatible {
                 detail: "sharded ingest finished before any shard was successfully submitted"
                     .to_string(),
             });
         }
-        let ShardedIngest {
-            service,
-            table_name,
-            columns,
-            partials,
-            ..
-        } = self;
-        let mut report = IngestReport::default();
-        let mut folded_columns = Vec::new();
-        for (column, partial) in columns.into_iter().zip(partials) {
-            match partial {
-                Some(folded) => {
-                    report.registered.push((table_name.clone(), column));
-                    folded_columns.push(folded);
-                }
-                None => report.skipped.push(column),
-            }
-        }
-        // One catalog commit for the whole table, moving (not cloning) the folds.
-        service.register_all_hydrated(folded_columns)?;
-        Ok(report)
+        Ok((self.table_name, self.columns, self.partials))
     }
 
     /// Validates that a shard belongs to this session: same table name and, once the
@@ -463,6 +589,48 @@ impl ShardedIngest<'_> {
             }
         }
         Ok(())
+    }
+}
+
+/// What a completed session hands to registration: the table name, its column
+/// names, and one folded partial per column (`None` for skipped all-zero columns).
+type FoldedIngest = (String, Vec<String>, Vec<Option<SketchedColumn>>);
+
+/// A [`ShardedIngestState`] bound to its service — the ergonomic wrapper for
+/// sequential callers, created by [`QueryService::begin_sharded_ingest`].
+#[derive(Debug)]
+pub struct ShardedIngest<'a> {
+    service: &'a mut QueryService,
+    state: ShardedIngestState,
+}
+
+impl ShardedIngest<'_> {
+    /// First pass: see [`ShardedIngestState::announce`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedIngestState::announce`].
+    pub fn announce(&mut self, shard: &Table) -> Result<(), CatalogError> {
+        self.state.announce(shard)
+    }
+
+    /// Second pass: see [`ShardedIngestState::submit`], with the service's own
+    /// estimator.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedIngestState::submit`].
+    pub fn submit(&mut self, shard: &Table) -> Result<(), CatalogError> {
+        self.state.submit(self.service.index.estimator(), shard)
+    }
+
+    /// Registers the folded columns into the catalog and index.
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueryService::finish_sharded_ingest`].
+    pub fn finish(self) -> Result<IngestReport, CatalogError> {
+        self.service.finish_sharded_ingest(self.state)
     }
 }
 
@@ -656,6 +824,66 @@ mod tests {
             }
             fs::remove_dir_all(&root).expect("cleanup");
         }
+    }
+
+    #[test]
+    fn owned_session_states_interleave_across_tables() {
+        // The front-end shape: two sessions live at once, fed in interleaved order,
+        // sketching with a *clone* of the service estimator and finished
+        // independently — answers match the borrowing wrapper exactly.
+        let root = temp_root("interleaved");
+        let (query, good, bad) = lake();
+        let spec = spec_for(SketchMethod::WeightedMinHash, 17);
+        let mut service = QueryService::create(&root, spec).expect("create");
+        let estimator = service.estimator().clone();
+
+        let mut good_session = ShardedIngestState::new(good.name());
+        let mut bad_session = ShardedIngestState::new(bad.name());
+        let good_shards = shards_of(&good, 2);
+        let bad_shards = shards_of(&bad, 3);
+        for shard in &good_shards {
+            good_session.announce(shard).expect("announce good");
+        }
+        for shard in &bad_shards {
+            bad_session.announce(shard).expect("announce bad");
+        }
+        // Interleave the submit passes across the two sessions.
+        good_session
+            .submit(&estimator, &good_shards[0])
+            .expect("good 0");
+        for shard in &bad_shards {
+            bad_session.submit(&estimator, shard).expect("bad shard");
+        }
+        good_session
+            .submit(&estimator, &good_shards[1])
+            .expect("good 1");
+        let bad_report = service.finish_sharded_ingest(bad_session).expect("finish");
+        let good_report = service.finish_sharded_ingest(good_session).expect("finish");
+        assert_eq!(bad_report.registered.len(), 1);
+        assert_eq!(good_report.registered.len(), 2);
+
+        // Identical outcome to the sequential borrowing wrapper over a twin catalog.
+        let root2 = temp_root("interleaved-seq");
+        let mut sequential = QueryService::create(&root2, spec).expect("create");
+        for table in [&good, &bad] {
+            let mut ingest = sequential.begin_sharded_ingest(table.name());
+            for shard in &shards_of(table, if table.name() == "good" { 2 } else { 3 }) {
+                ingest.announce(shard).expect("announce");
+            }
+            for shard in &shards_of(table, if table.name() == "good" { 2 } else { 3 }) {
+                ingest.submit(shard).expect("submit");
+            }
+            ingest.finish().expect("finish");
+        }
+        let q = service.sketch_query(&query, "rides").expect("sketch");
+        let q2 = sequential.sketch_query(&query, "rides").expect("sketch");
+        assert_eq!(
+            service.query_joinable(&q, 3).expect("query"),
+            sequential.query_joinable(&q2, 3).expect("query"),
+            "interleaved owned sessions must be indistinguishable from sequential"
+        );
+        fs::remove_dir_all(&root).expect("cleanup");
+        fs::remove_dir_all(&root2).expect("cleanup");
     }
 
     #[test]

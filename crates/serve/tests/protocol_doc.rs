@@ -1,0 +1,172 @@
+//! Doc-driven protocol conformance: `docs/PROTOCOL.md` is the normative spec, and
+//! this test parses its annotated examples against the implementation, so the spec
+//! and the code cannot silently drift apart.
+//!
+//! The doc marks each fenced ```json example with an HTML comment on the preceding
+//! line:
+//!
+//! * `<!-- conformance: request -->` — must decode as a [`Request`], and survive a
+//!   decode → encode → decode round trip unchanged.
+//! * `<!-- conformance: response -->` — must decode as a [`Response`], and survive
+//!   the same round trip.
+//! * `<!-- conformance: request-error <code> -->` — must be *rejected* by
+//!   [`Request::decode`] with exactly that error code.
+//!
+//! The error-code table is also harvested: its backticked first-column tokens must
+//! match [`ErrorCode::ALL`] exactly, in order.
+//!
+//! This runs in the tier-1 suite (no `server` feature): the protocol model is pure
+//! data.
+
+use ipsketch_serve::protocol::{ErrorCode, Request, Response};
+
+const PROTOCOL_DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// An annotated example harvested from the doc.
+#[derive(Debug)]
+struct DocExample {
+    /// The annotation payload, e.g. `request` or `request-error bad_request`.
+    kind: String,
+    /// The JSON text, with the doc's line breaks joined (examples are wrapped for
+    /// readability; the wire form is one line, and JSON ignores the whitespace).
+    json: String,
+    /// 1-based line of the annotation, for failure messages.
+    line: usize,
+}
+
+/// Harvests every `<!-- conformance: … -->` + fenced-json pair.
+fn harvest() -> Vec<DocExample> {
+    let lines: Vec<&str> = PROTOCOL_DOC.lines().collect();
+    let mut examples = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i].trim();
+        if let Some(rest) = line.strip_prefix("<!-- conformance:") {
+            let kind = rest
+                .strip_suffix("-->")
+                .expect("unterminated conformance annotation")
+                .trim()
+                .to_string();
+            // The fence must open on the next line.
+            assert!(
+                lines
+                    .get(i + 1)
+                    .is_some_and(|l| l.trim().starts_with("```json")),
+                "line {}: conformance annotation `{kind}` not followed by a ```json fence",
+                i + 1,
+            );
+            let mut body = String::new();
+            let mut j = i + 2;
+            while j < lines.len() && lines[j].trim() != "```" {
+                body.push_str(lines[j]);
+                body.push('\n');
+                j += 1;
+            }
+            assert!(j < lines.len(), "line {}: unterminated fence", i + 2);
+            examples.push(DocExample {
+                kind,
+                json: body,
+                line: i + 1,
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    examples
+}
+
+#[test]
+fn every_annotated_example_conforms_to_the_implementation() {
+    let examples = harvest();
+    let mut requests = 0;
+    let mut responses = 0;
+    let mut request_errors = 0;
+    for example in &examples {
+        let at = format!("docs/PROTOCOL.md line {} ({})", example.line, example.kind);
+        match example
+            .kind
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .as_slice()
+        {
+            ["request"] => {
+                requests += 1;
+                let decoded = Request::decode(&example.json)
+                    .unwrap_or_else(|e| panic!("{at}: does not decode: {}", e.error));
+                let reencoded = Request::decode(&decoded.encode())
+                    .unwrap_or_else(|e| panic!("{at}: re-encoding broke: {}", e.error));
+                assert_eq!(reencoded, decoded, "{at}: decode→encode→decode drifted");
+            }
+            ["response"] => {
+                responses += 1;
+                let decoded = Response::decode(&example.json)
+                    .unwrap_or_else(|e| panic!("{at}: does not decode: {e}"));
+                let reencoded = Response::decode(&decoded.encode())
+                    .unwrap_or_else(|e| panic!("{at}: re-encoding broke: {e}"));
+                assert_eq!(reencoded, decoded, "{at}: decode→encode→decode drifted");
+            }
+            ["request-error", code] => {
+                request_errors += 1;
+                let expected = ErrorCode::parse(code)
+                    .unwrap_or_else(|| panic!("{at}: `{code}` is not a documented error code"));
+                let failure = Request::decode(&example.json)
+                    .expect_err(&format!("{at}: decoded but the doc promises rejection"));
+                assert_eq!(
+                    failure.error.code, expected,
+                    "{at}: rejected with `{}`, doc promises `{}` ({})",
+                    failure.error.code, expected, failure.error.message
+                );
+            }
+            other => panic!("{at}: unknown conformance kind {other:?}"),
+        }
+    }
+    // The harvest itself is load-bearing: if the doc is restructured and the
+    // annotations stop matching, this catches the silent loss of coverage.
+    assert!(
+        requests >= 8 && responses >= 7 && request_errors >= 3,
+        "suspiciously few examples harvested: {requests} requests, {responses} responses, \
+         {request_errors} request-errors"
+    );
+}
+
+#[test]
+fn the_error_code_table_matches_the_implementation_exactly() {
+    // Harvest backticked tokens from the first column of the table under
+    // "## Error codes".
+    let section = PROTOCOL_DOC
+        .split("## Error codes")
+        .nth(1)
+        .expect("doc has an `## Error codes` section");
+    let mut documented = Vec::new();
+    for line in section.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let code = rest.split('`').next().expect("closing backtick");
+        documented.push(code.to_string());
+    }
+    let implemented: Vec<String> = ErrorCode::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(
+        documented, implemented,
+        "docs/PROTOCOL.md error table and ErrorCode::ALL must list the same codes in the same order"
+    );
+}
+
+#[test]
+fn the_documented_version_matches_the_implementation() {
+    assert!(
+        PROTOCOL_DOC
+            .lines()
+            .next()
+            .is_some_and(|title| title.contains(&format!(
+                "(v{})",
+                ipsketch_serve::protocol::PROTOCOL_VERSION
+            ))),
+        "the doc title must name the implemented protocol version"
+    );
+}

@@ -1,0 +1,85 @@
+//! A standalone client for a running `ipsketch serve` instance:
+//!
+//! ```sh
+//! # terminal 1 (needs a catalog and the server feature):
+//! cargo run --release --features server -p ipsketch-serve --bin ipsketch -- \
+//!     serve ./lake --addr 127.0.0.1:7878
+//! # terminal 2:
+//! cargo run --release --example network_client -- \
+//!     127.0.0.1:7878 taxi.csv rides [top_k]
+//! ```
+//!
+//! Reads the query column from a CSV file (`key,<col>,…`, as the CLI ingests),
+//! sends one `query` request over the line-delimited JSON protocol
+//! (`docs/PROTOCOL.md`), and prints the ranking.  This example needs no server
+//! feature — the protocol module is plain data; any language that can write a line
+//! of JSON to a TCP socket can do what this file does.
+
+use ipsketch::serve::csv::load_table;
+use ipsketch::serve::protocol::{Mode, Request, RequestBody, Response, ResponseBody, WireQuery};
+use ipsketch::serve::wire::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [addr, csv, column, rest @ ..] = args.as_slice() else {
+        eprintln!("usage: network_client <host:port> <query.csv> <column> [top_k]");
+        std::process::exit(2);
+    };
+    let k: u64 = match rest {
+        [] => 10,
+        [k, ..] => k.parse()?,
+    };
+
+    let table = load_table(Path::new(csv), None)?;
+    let values = table.column(column)?.values.clone();
+    let request = Request {
+        id: Json::u64(1),
+        body: RequestBody::Query {
+            mode: Mode::Joinable,
+            k,
+            min_join_size: 0.0,
+            query: WireQuery {
+                table: table.name().to_string(),
+                column: column.clone(),
+                keys: table.keys().to_vec(),
+                values,
+            },
+        },
+    };
+
+    let stream = TcpStream::connect(addr)?;
+    let mut line = request.encode();
+    line.push('\n');
+    (&stream).write_all(line.as_bytes())?;
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply)?;
+    let response = Response::decode(reply.trim_end())?;
+    match response.result {
+        Ok(ResponseBody::Ranking(ranking)) => {
+            println!(
+                "top {} joinable columns for {}.{column}:",
+                ranking.len(),
+                table.name()
+            );
+            println!(
+                "{:<4} {:<28} {:>12} {:>10}",
+                "rank", "column", "join_size", "corr"
+            );
+            for (rank, result) in ranking.iter().enumerate() {
+                println!(
+                    "{:<4} {:<28} {:>12.2} {:>10.4}",
+                    rank + 1,
+                    format!("{}.{}", result.table, result.column),
+                    result.join_size,
+                    result.correlation,
+                );
+            }
+            Ok(())
+        }
+        Ok(other) => Err(format!("unexpected response payload: {other:?}").into()),
+        Err(e) => Err(format!("server error: {e}").into()),
+    }
+}

@@ -1,6 +1,7 @@
 //! Minimal offline stand-in for the [`parking_lot`](https://docs.rs/parking_lot)
-//! crate: a [`Mutex`] whose `lock()` returns the guard directly (no poisoning),
-//! backed by `std::sync::Mutex`. See `shims/README.md`.
+//! crate: a [`Mutex`] and an [`RwLock`] whose lock methods return the guard
+//! directly (no poisoning), backed by their `std::sync` counterparts. See
+//! `shims/README.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +43,51 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// RAII guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// RAII guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A reader-writer lock with `parking_lot`'s non-poisoning API: any number of
+/// concurrent readers, or one writer.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until no writer holds the lock.
+    ///
+    /// Unlike `std`, a panic in a thread holding the lock does not poison it.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until the lock is free.
+    ///
+    /// Unlike `std`, a panic in a thread holding the lock does not poison it.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +109,32 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let lock = RwLock::new(10);
+        {
+            let r1 = lock.read();
+            let r2 = lock.read();
+            assert_eq!(*r1 + *r2, 20);
+        }
+        *lock.write() += 5;
+        assert_eq!(*lock.read(), 15);
+        assert_eq!(lock.into_inner(), 15);
+    }
+
+    #[test]
+    fn rwlock_survives_a_poisoning_panic() {
+        let lock = std::sync::Arc::new(RwLock::new(1));
+        let held = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = held.write();
+            panic!("poison the std rwlock underneath");
+        })
+        .join();
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
     }
 }

@@ -1,0 +1,496 @@
+//! Minimal offline stand-in for the [`polling`](https://docs.rs/polling) crate: a
+//! level-triggered readiness reactor over `poll(2)`, with a self-pipe waker.  See
+//! `shims/README.md` for the shim design rules.
+//!
+//! The subset mirrors `polling` 2.x: register file descriptors with a `key` and an
+//! interest [`Event`], block in [`Poller::wait`] until any registered descriptor is
+//! ready (or a timeout elapses, or another thread calls [`Poller::notify`]), and
+//! adjust interests with [`Poller::modify`] / [`Poller::delete`].  Like the real
+//! crate, readiness is **level-triggered**: a descriptor that stays ready keeps
+//! reporting until the condition is consumed, so callers must read/write until
+//! `WouldBlock` or drop the interest.
+//!
+//! The implementation is deliberately tiny: a registration table snapshotted into a
+//! `pollfd` array per wait.  That is O(n) per call where epoll would be O(ready), but
+//! the serving layer built on top multiplexes tens of connections, not tens of
+//! thousands, and `poll(2)` is portable POSIX with no registration syscalls to keep
+//! in sync.  The only unsafe code is the single foreign call to `poll` itself
+//! (`std` offers no readiness API), kept behind a safe wrapper.
+//!
+//! Callers are responsible for putting registered descriptors into non-blocking mode
+//! (`set_nonblocking(true)`); the poller only reports readiness, it never performs
+//! I/O on registered descriptors.
+
+#![warn(missing_docs)]
+// The one permitted unsafe item: the foreign `poll(2)` declaration and its call.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Interest in, or readiness of, a registered descriptor.
+///
+/// As an *interest* (passed to [`Poller::add`] / [`Poller::modify`]) the flags select
+/// which conditions to wait for; as a *readiness report* (returned from
+/// [`Poller::wait`]) they describe what happened.  Error and hang-up conditions are
+/// folded into both flags, matching the real crate: a closed peer wakes readers and
+/// writers, whose next I/O call observes the actual error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back in readiness reports.
+    pub key: usize,
+    /// Interest in / readiness for reading.
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    #[must_use]
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    #[must_use]
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both readability and writability.
+    #[must_use]
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest: the descriptor stays registered but reports nothing.
+    #[must_use]
+    pub fn none(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+const POLL_IN: i16 = 0x001;
+const POLL_OUT: i16 = 0x004;
+const POLL_ERR: i16 = 0x008;
+const POLL_HUP: i16 = 0x010;
+const POLL_NVAL: i16 = 0x020;
+
+// `std` links libc on every supported Unix, so the symbol is always present; this
+// declaration is the entire FFI surface of the shim.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Calls `poll(2)` on the given descriptor set, retrying on `EINTR`.
+fn sys_poll(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of `#[repr(C)]`
+        // pollfd records for the duration of the call, and `nfds` is its length.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// One registered descriptor.
+#[derive(Debug, Clone, Copy)]
+struct Registration {
+    fd: RawFd,
+    interest: Event,
+}
+
+/// A `poll(2)`-backed readiness reactor.
+///
+/// All methods take `&self`: registration lives behind an internal mutex so I/O
+/// threads can [`notify`](Self::notify) or re-arm interests while another thread
+/// blocks in [`wait`](Self::wait).  Registration changes take effect at the next
+/// `wait` call (use `notify` to cut a blocked one short).
+#[derive(Debug)]
+pub struct Poller {
+    registrations: Mutex<Vec<Registration>>,
+    /// Read side of the self-pipe; registered implicitly in every `wait`.
+    notify_recv: UnixStream,
+    /// Write side of the self-pipe; `notify` sends one byte here.
+    notify_send: UnixStream,
+}
+
+impl Poller {
+    /// Creates a reactor with an armed waker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the internal waker socket pair cannot be created.
+    pub fn new() -> io::Result<Self> {
+        let (notify_send, notify_recv) = UnixStream::pair()?;
+        notify_send.set_nonblocking(true)?;
+        notify_recv.set_nonblocking(true)?;
+        Ok(Poller {
+            registrations: Mutex::new(Vec::new()),
+            notify_recv,
+            notify_send,
+        })
+    }
+
+    /// Registers `source` under `interest.key`.  The caller must keep `source` open
+    /// for as long as it is registered and should put it into non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::AlreadyExists`] if the key or the descriptor is
+    /// already registered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = lock(&self.registrations);
+        if regs
+            .iter()
+            .any(|r| r.fd == fd || r.interest.key == interest.key)
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "descriptor or key already registered",
+            ));
+        }
+        regs.push(Registration { fd, interest });
+        Ok(())
+    }
+
+    /// Replaces the interest of the registration for `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::NotFound`] if the descriptor is not registered.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = lock(&self.registrations);
+        match regs.iter_mut().find(|r| r.fd == fd) {
+            Some(reg) => {
+                reg.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "descriptor not registered",
+            )),
+        }
+    }
+
+    /// Removes the registration for `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::NotFound`] if the descriptor is not registered.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut regs = lock(&self.registrations);
+        match regs.iter().position(|r| r.fd == fd) {
+            Some(at) => {
+                regs.remove(at);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "descriptor not registered",
+            )),
+        }
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the timeout elapses
+    /// (`None` blocks indefinitely), or [`notify`](Self::notify) is called.  Ready
+    /// events are appended to `events` (which is *not* cleared first, matching the
+    /// real crate); the return value is the number appended.  A wake via `notify`
+    /// returns `Ok(0)` with no events.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error from `poll(2)` (after transparent `EINTR` retries).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            // Snapshot the table: slot 0 is always the waker's read side.
+            let snapshot: Vec<Registration> = lock(&self.registrations).clone();
+            let mut fds = Vec::with_capacity(snapshot.len() + 1);
+            fds.push(PollFd {
+                fd: self.notify_recv.as_raw_fd(),
+                events: POLL_IN,
+                revents: 0,
+            });
+            for reg in &snapshot {
+                let mut mask = 0;
+                if reg.interest.readable {
+                    mask |= POLL_IN;
+                }
+                if reg.interest.writable {
+                    mask |= POLL_OUT;
+                }
+                fds.push(PollFd {
+                    fd: reg.fd,
+                    events: mask,
+                    revents: 0,
+                });
+            }
+            let timeout_ms = match deadline {
+                None => -1,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    // Round up so a positive remaining time never busy-spins as 0ms.
+                    c_int::try_from(
+                        left.as_millis() + u128::from(left.subsec_nanos() % 1_000_000 != 0),
+                    )
+                    .unwrap_or(c_int::MAX)
+                }
+            };
+            let ready = sys_poll(&mut fds, timeout_ms)?;
+            if ready == 0 {
+                // Timed out (poll never returns 0 in infinite-timeout mode).
+                return Ok(0);
+            }
+            let mut woken = false;
+            if fds[0].revents != 0 {
+                self.drain_notifications();
+                woken = true;
+            }
+            let mut appended = 0;
+            for (fd, reg) in fds[1..].iter().zip(&snapshot) {
+                if fd.revents == 0 {
+                    continue;
+                }
+                let error = fd.revents & (POLL_ERR | POLL_HUP | POLL_NVAL) != 0;
+                events.push(Event {
+                    key: reg.interest.key,
+                    readable: fd.revents & POLL_IN != 0 || error,
+                    writable: fd.revents & POLL_OUT != 0 || error,
+                });
+                appended += 1;
+            }
+            if appended > 0 || woken {
+                return Ok(appended);
+            }
+            // Spurious wakeup (e.g. a descriptor re-armed between snapshot and
+            // poll): go around, honoring the original deadline.
+        }
+    }
+
+    /// Wakes the thread blocked in [`wait`](Self::wait), making it return `Ok(0)`.
+    /// Notifications coalesce: many `notify` calls before a `wait` produce one wake.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the waker byte cannot be written (never merely
+    /// because a notification is already pending).
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.notify_send).write(&[1]) {
+            Ok(_) => Ok(()),
+            // The pipe is full of unconsumed wakes: the waiter is already pending.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes every pending waker byte.
+    fn drain_notifications(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.notify_recv).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Locks a mutex, ignoring poisoning (the table is plain data, valid at every step).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    #[test]
+    fn timeout_returns_zero_events() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Vec::new();
+        let started = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(started.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().expect("poller"));
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            waker.notify().expect("notify");
+        });
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert_eq!(n, 0, "a notify wake carries no descriptor events");
+        handle.join().expect("join");
+        // Notifications coalesce and drain: the next wait times out quietly.
+        poller.notify().expect("notify");
+        poller.notify().expect("notify");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn listener_reports_readable_on_incoming_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let addr = listener.local_addr().expect("addr");
+        let poller = Poller::new().expect("poller");
+        poller.add(&listener, Event::readable(7)).expect("add");
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert_eq!(n, 0, "no connection yet");
+
+        let _client = TcpStream::connect(addr).expect("connect");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn stream_readiness_follows_interest_and_peer_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (mut served, _) = listener.accept().expect("accept");
+
+        let poller = Poller::new().expect("poller");
+        // A fresh stream is writable but not readable.
+        poller.add(&client, Event::all(1)).expect("add");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.key == 1 && e.writable));
+        assert!(!events.iter().any(|e| e.readable));
+
+        // With write interest dropped and bytes arriving, it reports readable.
+        poller.modify(&client, Event::readable(1)).expect("modify");
+        served.write_all(b"hello\n").expect("peer write");
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+
+        // Deleted registrations stop reporting even though data is still pending.
+        poller.delete(&client).expect("delete");
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn peer_close_reports_readiness_for_readers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (served, _) = listener.accept().expect("accept");
+        let poller = Poller::new().expect("poller");
+        poller.add(&client, Event::readable(3)).expect("add");
+        drop(served);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert!(
+            events.iter().any(|e| e.key == 3 && e.readable),
+            "a hang-up must wake readers so they observe EOF: {events:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_missing_registrations_are_typed_errors() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let other = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let poller = Poller::new().expect("poller");
+        poller.add(&listener, Event::readable(1)).expect("add");
+        assert_eq!(
+            poller
+                .add(&listener, Event::readable(2))
+                .expect_err("same fd")
+                .kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        assert_eq!(
+            poller
+                .add(&other, Event::readable(1))
+                .expect_err("same key")
+                .kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        assert_eq!(
+            poller
+                .modify(&other, Event::none(9))
+                .expect_err("missing")
+                .kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(
+            poller.delete(&other).expect_err("missing").kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+}
