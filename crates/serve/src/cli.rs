@@ -91,8 +91,10 @@ USAGE:
   ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
                        [--relatedness] [--min-join-size <x>]
   ipsketch info <dir>
-  ipsketch serve <dir> --addr <host:port> [--workers <n>]
-                       [--maintenance-secs <s>]   (requires the `server` feature)
+  ipsketch serve <dir> [--addr <host:port>] [--http <host:port>] [--workers <n>]
+                       [--max-connections <n>] [--queue-depth <n>]
+                       [--session-ttl-secs <s>] [--maintenance-secs <s>]
+                       (requires the `server` feature; at least one bind address)
   ipsketch help
 
 CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns.
@@ -101,8 +103,9 @@ CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns
 protocol, folding per-shard partial sketches exactly as a distributed deployment
 would.  `query` ranks every cataloged column against the query column by estimated
 join size (default) or |post-join correlation| (--relatedness).  `serve` puts the
-catalog behind the concurrent line-delimited-JSON TCP front end (protocol spec in
-docs/PROTOCOL.md) and runs until killed."
+catalog behind the concurrent network front end — line-delimited JSON over TCP
+(--addr) and/or the HTTP/1.1 binding (--http, curl-able) — and runs until killed;
+protocol spec in docs/PROTOCOL.md."
         .to_string()
 }
 
@@ -323,9 +326,9 @@ fn ingest_partial(args: &[String], out: &mut dyn Write) -> Result<(), CliError> 
     }
     // Second pass: every shard sketches against the agreed norms; partials fold.
     for shard in &shard_tables {
-        session.submit(shard)?;
+        session.submit(service.estimator(), shard)?;
     }
-    let report = session.finish()?;
+    let report = service.finish_sharded_ingest(session)?;
     write_report(
         out,
         &report,
@@ -391,75 +394,121 @@ fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `serve <dir> --addr host:port [--workers n] [--maintenance-secs s]`: run the
-/// network front end over a catalog until the process is killed.  Parsing lives
-/// outside the feature gate so a build without the `server` feature still reports a
-/// helpful error instead of "unknown command".
+/// Everything the `serve` subcommand parses, resolved outside the feature gate so a
+/// build without the `server` feature still validates flags and reports a helpful
+/// error instead of "unknown command".
+#[cfg_attr(not(feature = "server"), allow(dead_code))]
+struct ServeOptions {
+    tcp: Option<String>,
+    http: Option<String>,
+    workers: Option<usize>,
+    max_connections: Option<usize>,
+    queue_depth: Option<usize>,
+    session_ttl_secs: Option<u64>,
+    maintenance_secs: Option<u64>,
+}
+
+/// `serve <dir> [--addr host:port] [--http host:port] [--workers n] …`: run the
+/// network front end over a catalog until the process is killed.  At least one of
+/// `--addr` (line-delimited TCP) and `--http` (HTTP/1.1 binding) is required.
 fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let parsed = ParsedArgs::parse(args, &["addr", "workers", "maintenance-secs"], &[])?;
+    let parsed = ParsedArgs::parse(
+        args,
+        &[
+            "addr",
+            "http",
+            "workers",
+            "max-connections",
+            "queue-depth",
+            "session-ttl-secs",
+            "maintenance-secs",
+        ],
+        &[],
+    )?;
     let dir = parsed.positional(0, "catalog directory")?;
-    let addr = parsed
-        .flag("addr")
-        .ok_or_else(|| {
-            CliError::Usage("`serve` requires --addr (e.g. 127.0.0.1:7878)".to_string())
-        })?
-        .to_string();
-    let workers: Option<usize> = parsed.parsed_flag("workers")?;
-    let maintenance_secs: Option<u64> = parsed.parsed_flag("maintenance-secs")?;
-    serve_impl(dir, &addr, workers, maintenance_secs, out)
+    let options = ServeOptions {
+        tcp: parsed.flag("addr").map(str::to_string),
+        http: parsed.flag("http").map(str::to_string),
+        workers: parsed.parsed_flag("workers")?,
+        max_connections: parsed.parsed_flag("max-connections")?,
+        queue_depth: parsed.parsed_flag("queue-depth")?,
+        session_ttl_secs: parsed.parsed_flag("session-ttl-secs")?,
+        maintenance_secs: parsed.parsed_flag("maintenance-secs")?,
+    };
+    if options.tcp.is_none() && options.http.is_none() {
+        return Err(CliError::Usage(
+            "`serve` requires at least one bind address: --addr host:port (TCP) \
+             and/or --http host:port (HTTP/1.1)"
+                .to_string(),
+        ));
+    }
+    serve_impl(dir, &options, out)
 }
 
 #[cfg(feature = "server")]
-fn serve_impl(
-    dir: &str,
-    addr: &str,
-    workers: Option<usize>,
-    maintenance_secs: Option<u64>,
-    out: &mut dyn Write,
-) -> Result<(), CliError> {
-    let mut config = crate::server::ServerConfig::default();
-    if let Some(workers) = workers {
-        if workers == 0 {
-            return Err(CliError::Usage("--workers must be at least 1".to_string()));
-        }
-        config.workers = workers;
+fn serve_impl(dir: &str, options: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
+    use std::time::Duration;
+    let mut builder = crate::server::ServerConfig::builder();
+    if let Some(addr) = &options.tcp {
+        builder = builder.tcp(addr);
     }
-    if let Some(secs) = maintenance_secs {
-        config.maintenance_interval = if secs == 0 {
+    if let Some(addr) = &options.http {
+        builder = builder.http(addr);
+    }
+    if let Some(workers) = options.workers {
+        builder = builder.workers(workers);
+    }
+    if let Some(cap) = options.max_connections {
+        builder = builder.max_connections(cap);
+    }
+    if let Some(depth) = options.queue_depth {
+        builder = builder.max_queue_depth(depth);
+    }
+    if let Some(secs) = options.session_ttl_secs {
+        builder = builder.session_ttl(Duration::from_secs(secs));
+    }
+    if let Some(secs) = options.maintenance_secs {
+        builder = builder.maintenance_interval(if secs == 0 {
             None
         } else {
-            Some(std::time::Duration::from_secs(secs))
-        };
+            Some(Duration::from_secs(secs))
+        });
     }
+    // Config validation first, then the catalog, then sockets: a bad flag should
+    // never leave a half-bound server behind.
+    let config = builder
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     let service = QueryService::open(dir)?;
     let columns = service.catalog().len();
-    let handle = crate::server::serve(service, addr, config)
-        .map_err(|e| CliError::Io(format!("cannot serve on `{addr}`: {e}")))?;
-    writeln!(
-        out,
-        "serving catalog {dir} ({columns} columns) on {} — protocol v{}, one JSON request per line (docs/PROTOCOL.md)",
-        handle.local_addr(),
-        crate::protocol::PROTOCOL_VERSION
-    )?;
+    let handle = crate::server::serve(service, config)
+        .map_err(|e| CliError::Io(format!("cannot serve catalog `{dir}`: {e}")))?;
+    if let Some(addr) = handle.tcp_addr() {
+        writeln!(
+            out,
+            "serving catalog {dir} ({columns} columns) on tcp {addr} — protocol v{}, one JSON request per line (docs/PROTOCOL.md)",
+            crate::protocol::PROTOCOL_VERSION
+        )?;
+    }
+    if let Some(addr) = handle.http_addr() {
+        writeln!(
+            out,
+            "serving catalog {dir} ({columns} columns) on http {addr} — POST /v1/<op>, GET /v1/info (docs/PROTOCOL.md, HTTP/1.1 binding)",
+        )?;
+    }
     out.flush()?;
     // Serve until killed.  `wait` only returns if the server dies on its own (a
-    // fatal reactor error dropped the listener); exiting with an error then is
+    // fatal reactor error dropped the listeners); exiting with an error then is
     // strictly better than lingering as a live-looking process nothing can reach.
     handle.wait();
     Err(CliError::Io(
-        "server terminated unexpectedly (fatal reactor I/O error); the listener is closed"
+        "server terminated unexpectedly (fatal reactor I/O error); the listeners are closed"
             .to_string(),
     ))
 }
 
 #[cfg(not(feature = "server"))]
-fn serve_impl(
-    _dir: &str,
-    _addr: &str,
-    _workers: Option<usize>,
-    _maintenance_secs: Option<u64>,
-    _out: &mut dyn Write,
-) -> Result<(), CliError> {
+fn serve_impl(_dir: &str, _options: &ServeOptions, _out: &mut dyn Write) -> Result<(), CliError> {
     Err(CliError::Usage(
         "this build has no network front end; rebuild with `--features server` \
          (cargo build --release -p ipsketch-serve --features server --bin ipsketch)"
@@ -470,13 +519,26 @@ fn serve_impl(
 fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let parsed = ParsedArgs::parse(args, &[], &[])?;
     let dir = parsed.positional(0, "catalog directory")?;
-    let catalog = Catalog::open(dir)?;
-    let spec = catalog.spec();
-    writeln!(out, "catalog: {}", catalog.root().display())?;
-    writeln!(out, "sketcher: {spec}")?;
-    writeln!(out, "fingerprint: {:016x}", spec.fingerprint())?;
-    writeln!(out, "columns: {}", catalog.len())?;
-    for entry in catalog.entries() {
+    let service = QueryService::open(dir)?;
+    let stats = service.stats();
+    writeln!(out, "catalog: {}", service.catalog().root().display())?;
+    writeln!(out, "sketcher: {}", stats.sketcher)?;
+    writeln!(out, "fingerprint: {}", stats.fingerprint)?;
+    writeln!(out, "method: {}", stats.method)?;
+    writeln!(
+        out,
+        "columns: {} ({} hydrated, {} sketch bytes on disk)",
+        stats.columns, stats.hydrated, stats.bytes_on_disk
+    )?;
+    if let Some(compaction) = &stats.last_compaction {
+        writeln!(
+            out,
+            "last compaction: removed {} files, {} live columns",
+            compaction.removed_files.len(),
+            compaction.live_columns
+        )?;
+    }
+    for entry in service.catalog().entries() {
         writeln!(
             out,
             "  {}.{} — {} rows, {} bytes ({})",
@@ -647,8 +709,12 @@ mod tests {
 
     #[test]
     fn serve_subcommand_parses_and_gates_on_the_feature() {
-        // Missing --addr is a usage error with or without the feature.
-        assert!(matches!(run_err(&["serve", "/tmp/x"]), CliError::Usage(_)));
+        // Missing both bind addresses is a usage error with or without the feature.
+        let err = run_err(&["serve", "/tmp/x"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("--addr") && detail.contains("--http")),
+            "no bind address must name both flags: {err}"
+        );
         #[cfg(not(feature = "server"))]
         {
             let err = run_err(&["serve", "/tmp/x", "--addr", "127.0.0.1:0"]);
@@ -656,12 +722,24 @@ mod tests {
                 matches!(&err, CliError::Usage(detail) if detail.contains("--features server")),
                 "featureless builds must point at the server feature: {err}"
             );
+            // An HTTP-only bind parses and hits the same feature gate.
+            let err = run_err(&["serve", "/tmp/x", "--http", "127.0.0.1:0"]);
+            assert!(matches!(err, CliError::Usage(_)), "{err}");
         }
         #[cfg(feature = "server")]
         {
             // Config validation and catalog opening run before any socket binds.
             let err = run_err(&["serve", "/tmp/x", "--addr", "127.0.0.1:0", "--workers", "0"]);
             assert!(matches!(err, CliError::Usage(_)), "zero workers: {err}");
+            let err = run_err(&[
+                "serve",
+                "/tmp/x",
+                "--http",
+                "127.0.0.1:0",
+                "--max-connections",
+                "0",
+            ]);
+            assert!(matches!(err, CliError::Usage(_)), "zero connections: {err}");
             let dir = temp_dir("serve-nocat");
             let missing = dir.join("nope");
             let err = run_err(&[

@@ -20,9 +20,16 @@
 //! * [`wire`] + [`protocol`] — the line-delimited JSON wire format (normative spec in
 //!   `docs/PROTOCOL.md`) and its typed request/response model, compiled and tested
 //!   with or without the server itself.
-//! * [`server`] (feature `server`) — the concurrent TCP front end: a `poll(2)`
-//!   reactor, a worker pool over a read-write-locked [`QueryService`], concurrent
-//!   shard-partial ingest sessions, and background catalog compaction.
+//! * [`http`] — the HTTP/1.1 binding of the same protocol (routes, framing, status
+//!   mapping), pure data like [`protocol`]: the server wires it to sockets, but the
+//!   parser and encoder are tier-1 tested featureless.
+//! * [`metrics`] — lock-free server observability: per-op log-bucketed latency
+//!   histograms, request/error counters, connection/queue gauges, snapshotted into
+//!   the `info` op's optional `server` member.
+//! * [`server`] (feature `server`) — the concurrent network front end: a `poll(2)`
+//!   reactor driving both framers (line-delimited TCP and HTTP/1.1), a worker pool
+//!   over a read-write-locked [`QueryService`], concurrent shard-partial ingest
+//!   sessions, configured overload shedding, and background catalog compaction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +38,9 @@ pub mod catalog;
 pub mod cli;
 pub mod csv;
 pub mod error;
+pub mod http;
 pub mod manifest;
+pub mod metrics;
 pub mod protocol;
 #[cfg(feature = "server")]
 pub mod server;
@@ -41,4 +50,4 @@ pub mod wire;
 pub use catalog::Catalog;
 pub use error::CatalogError;
 pub use manifest::{Manifest, ManifestEntry};
-pub use service::{shard_rows, IngestReport, QueryService, ShardedIngest, ShardedIngestState};
+pub use service::{shard_rows, IngestReport, QueryService, ServiceStats, ShardedIngestState};

@@ -45,6 +45,9 @@ pub enum ErrorCode {
     /// An `ingest-*` op referenced a session id that does not exist (or was
     /// already finished).
     UnknownSession,
+    /// The server is at a configured capacity limit (connection cap or request
+    /// queue depth); retry after a backoff.
+    Overloaded,
     /// A filesystem operation failed ([`CatalogError::Io`]).
     Io,
     /// Stored catalog data did not decode ([`CatalogError::Corrupt`]).
@@ -70,12 +73,13 @@ pub enum ErrorCode {
 impl ErrorCode {
     /// Every code, in the order documented in `docs/PROTOCOL.md`'s error table
     /// (the doc conformance test asserts the two lists match).
-    pub const ALL: [ErrorCode; 14] = [
+    pub const ALL: [ErrorCode; 15] = [
         ErrorCode::BadRequest,
         ErrorCode::UnsupportedVersion,
         ErrorCode::UnknownOp,
         ErrorCode::TooLarge,
         ErrorCode::UnknownSession,
+        ErrorCode::Overloaded,
         ErrorCode::Io,
         ErrorCode::Corrupt,
         ErrorCode::NotACatalog,
@@ -96,6 +100,7 @@ impl ErrorCode {
             ErrorCode::UnknownOp => "unknown_op",
             ErrorCode::TooLarge => "too_large",
             ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Io => "io",
             ErrorCode::Corrupt => "corrupt",
             ErrorCode::NotACatalog => "not_a_catalog",
@@ -112,6 +117,26 @@ impl ErrorCode {
     #[must_use]
     pub fn parse(token: &str) -> Option<ErrorCode> {
         ErrorCode::ALL.into_iter().find(|c| c.as_str() == token)
+    }
+
+    /// The HTTP status the HTTP/1.1 binding answers this code with (the table in
+    /// `docs/PROTOCOL.md` § HTTP/1.1 binding; the doc conformance test asserts the
+    /// two stay in lockstep).  Client-state failures map into 4xx, server-side
+    /// failures into 5xx, so HTTP-generic middleware (retries, alerting) classifies
+    /// them correctly without reading the JSON body.
+    #[must_use]
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest | ErrorCode::UnsupportedVersion => 400,
+            ErrorCode::UnknownOp | ErrorCode::UnknownSession | ErrorCode::NotFound => 404,
+            ErrorCode::TooLarge => 413,
+            ErrorCode::Overloaded => 503,
+            ErrorCode::Incompatible | ErrorCode::DuplicateColumn => 409,
+            ErrorCode::Sketch | ErrorCode::Join => 422,
+            ErrorCode::Io | ErrorCode::Corrupt | ErrorCode::NotACatalog | ErrorCode::Internal => {
+                500
+            }
+        }
     }
 }
 
@@ -375,8 +400,14 @@ impl Mode {
 /// The operation a request asks for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
-    /// Catalog metadata: sketcher, fingerprint, registered columns.
-    Info,
+    /// Catalog metadata: sketcher, fingerprint, registered columns, service stats.
+    Info {
+        /// When `true`, the response additionally carries live server observability
+        /// (`server`: per-op latency quantiles, counters, gauges).  Off by default
+        /// because those numbers are nondeterministic — replayed transcripts stay
+        /// byte-identical unless a client opts in.
+        server: bool,
+    },
     /// Rank one query column against the catalog.
     Query {
         /// Ranking statistic.
@@ -441,7 +472,7 @@ impl RequestBody {
     #[must_use]
     pub fn op(&self) -> &'static str {
         match self {
-            RequestBody::Info => "info",
+            RequestBody::Info { .. } => "info",
             RequestBody::Query { .. } => "query",
             RequestBody::BatchQuery { .. } => "batch-query",
             RequestBody::Ingest { .. } => "ingest",
@@ -483,7 +514,11 @@ impl Request {
         }
         members.push(("op".to_string(), Json::str(self.body.op())));
         match &self.body {
-            RequestBody::Info => {}
+            RequestBody::Info { server } => {
+                if *server {
+                    members.push(("server".to_string(), Json::Bool(true)));
+                }
+            }
             RequestBody::Query {
                 mode,
                 k,
@@ -546,6 +581,17 @@ impl Request {
             id: Json::Null,
             error: WireError::bad_request(e.to_string()),
         })?;
+        Request::from_json(&doc)
+    }
+
+    /// Decodes a request from an already-parsed JSON document — the shared tail of
+    /// [`decode`](Self::decode) and the HTTP binding (which parses the body itself
+    /// so it can inject the route's `op`; see `http::decode_request`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`decode`](Self::decode).
+    pub fn from_json(doc: &Json) -> Result<Request, RequestDecodeError> {
         let id = doc.get("id").cloned().unwrap_or(Json::Null);
         let fail = |error: WireError| RequestDecodeError {
             id: id.clone(),
@@ -568,14 +614,16 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or_else(|| fail(WireError::bad_request("missing operation field `op`")))?;
         let body = match op {
-            "info" => RequestBody::Info,
+            "info" => RequestBody::Info {
+                server: doc.get("server").and_then(Json::as_bool).unwrap_or(false),
+            },
             "query" => RequestBody::Query {
-                mode: decode_mode(&doc).map_err(&fail)?,
+                mode: decode_mode(doc).map_err(&fail)?,
                 k: doc.get("k").map_or(Ok(DEFAULT_TOP_K), |k| {
                     k.as_u64()
                         .ok_or_else(|| fail(WireError::bad_request("`k` must be an integer")))
                 })?,
-                min_join_size: decode_min_join_size(&doc).map_err(&fail)?,
+                min_join_size: decode_min_join_size(doc).map_err(&fail)?,
                 query: WireQuery::from_json(
                     doc.get("query")
                         .ok_or_else(|| fail(WireError::bad_request("missing `query` object")))?,
@@ -592,12 +640,12 @@ impl Request {
                     queries.push(WireQuery::from_json(q).map_err(&fail)?);
                 }
                 RequestBody::BatchQuery {
-                    mode: decode_mode(&doc).map_err(&fail)?,
+                    mode: decode_mode(doc).map_err(&fail)?,
                     k: doc.get("k").map_or(Ok(DEFAULT_TOP_K), |k| {
                         k.as_u64()
                             .ok_or_else(|| fail(WireError::bad_request("`k` must be an integer")))
                     })?,
-                    min_join_size: decode_min_join_size(&doc).map_err(&fail)?,
+                    min_join_size: decode_min_join_size(doc).map_err(&fail)?,
                     queries,
                 }
             }
@@ -615,7 +663,7 @@ impl Request {
                 },
             },
             "ingest-begin" => RequestBody::IngestBegin {
-                table: require_str(&doc, "table").map_err(&fail)?,
+                table: require_str(doc, "table").map_err(&fail)?,
             },
             "ingest-announce" | "ingest-submit" => {
                 let session = doc
@@ -729,6 +777,167 @@ pub struct InfoColumn {
     pub rows: u64,
 }
 
+/// Deterministic service statistics in an `info` response — `QueryService::stats()`
+/// on the wire.  Every field is a pure function of the catalog's ingest/compaction
+/// history, so twin servers that processed the same request sequence answer with
+/// byte-identical `stats` (the HTTP conformance suite relies on this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireServiceStats {
+    /// Registered column count.
+    pub columns: u64,
+    /// How many registered sketches are resident in memory.
+    pub hydrated: u64,
+    /// Total bytes of sketch blobs on disk (manifest blob lengths).
+    pub bytes_on_disk: u64,
+    /// The most recent compaction's report, if one ran in this process.
+    pub last_compaction: Option<WireCompaction>,
+}
+
+/// The outcome of the service's most recent compaction pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCompaction {
+    /// How many orphaned blob files the pass removed.
+    pub removed_files: u64,
+    /// How many live columns the rewritten manifest holds.
+    pub live_columns: u64,
+}
+
+/// Live server observability in an `info` response (requires `"server": true` in
+/// the request).  Latency quantiles come from the server's lock-free log-bucketed
+/// histograms, so they are upper bounds of power-of-two nanosecond buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireServerStats {
+    /// Currently open client connections.
+    pub connections_open: u64,
+    /// Connections refused because the configured connection cap was reached.
+    pub connections_rejected: u64,
+    /// Requests currently queued for a worker.
+    pub queue_depth: u64,
+    /// Requests answered `overloaded` because the queue depth cap was reached.
+    pub queue_rejected: u64,
+    /// Per-op counters and latency quantiles, in the server's stable op order;
+    /// ops that have never been called are omitted.
+    pub ops: Vec<WireOpStats>,
+}
+
+/// One op's counters in [`WireServerStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOpStats {
+    /// The op label (an `"op"` token, or `"invalid"` for undecodable requests).
+    pub op: String,
+    /// Requests handled.
+    pub count: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Median handling latency, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile handling latency, microseconds (bucket upper bound).
+    pub p99_us: u64,
+}
+
+impl WireServiceStats {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("columns".to_string(), Json::u64(self.columns)),
+            ("hydrated".to_string(), Json::u64(self.hydrated)),
+            ("bytes_on_disk".to_string(), Json::u64(self.bytes_on_disk)),
+        ];
+        if let Some(c) = &self.last_compaction {
+            members.push((
+                "last_compaction".to_string(),
+                Json::Obj(vec![
+                    ("removed_files".to_string(), Json::u64(c.removed_files)),
+                    ("live_columns".to_string(), Json::u64(c.live_columns)),
+                ]),
+            ));
+        }
+        Json::Obj(members)
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        Ok(WireServiceStats {
+            columns: require_u64(value, "columns")?,
+            hydrated: require_u64(value, "hydrated")?,
+            bytes_on_disk: require_u64(value, "bytes_on_disk")?,
+            last_compaction: match value.get("last_compaction") {
+                None => None,
+                Some(c) => Some(WireCompaction {
+                    removed_files: require_u64(c, "removed_files")?,
+                    live_columns: require_u64(c, "live_columns")?,
+                }),
+            },
+        })
+    }
+}
+
+impl WireServerStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "connections".to_string(),
+                Json::Obj(vec![
+                    ("open".to_string(), Json::u64(self.connections_open)),
+                    ("rejected".to_string(), Json::u64(self.connections_rejected)),
+                ]),
+            ),
+            (
+                "queue".to_string(),
+                Json::Obj(vec![
+                    ("depth".to_string(), Json::u64(self.queue_depth)),
+                    ("rejected".to_string(), Json::u64(self.queue_rejected)),
+                ]),
+            ),
+            (
+                "ops".to_string(),
+                Json::Arr(
+                    self.ops
+                        .iter()
+                        .map(|o| {
+                            Json::Obj(vec![
+                                ("op".to_string(), Json::str(&o.op)),
+                                ("count".to_string(), Json::u64(o.count)),
+                                ("errors".to_string(), Json::u64(o.errors)),
+                                ("p50_us".to_string(), Json::u64(o.p50_us)),
+                                ("p99_us".to_string(), Json::u64(o.p99_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        let connections = value
+            .get("connections")
+            .ok_or_else(|| WireError::bad_request("server stats need `connections`"))?;
+        let queue = value
+            .get("queue")
+            .ok_or_else(|| WireError::bad_request("server stats need `queue`"))?;
+        let ops_json = value
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::bad_request("server stats need an `ops` array"))?;
+        let mut ops = Vec::with_capacity(ops_json.len());
+        for o in ops_json {
+            ops.push(WireOpStats {
+                op: require_str(o, "op")?,
+                count: require_u64(o, "count")?,
+                errors: require_u64(o, "errors")?,
+                p50_us: require_u64(o, "p50_us")?,
+                p99_us: require_u64(o, "p99_us")?,
+            });
+        }
+        Ok(WireServerStats {
+            connections_open: require_u64(connections, "open")?,
+            connections_rejected: require_u64(connections, "rejected")?,
+            queue_depth: require_u64(queue, "depth")?,
+            queue_rejected: require_u64(queue, "rejected")?,
+            ops,
+        })
+    }
+}
+
 /// Payload of a successful response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResponseBody {
@@ -742,6 +951,12 @@ pub enum ResponseBody {
         method: String,
         /// Every registered column.
         columns: Vec<InfoColumn>,
+        /// Deterministic service statistics (always sent by this server; optional
+        /// on decode for compatibility with older transcripts).
+        stats: Option<WireServiceStats>,
+        /// Live server observability; present only when the request set
+        /// `"server": true`.
+        server: Option<WireServerStats>,
     },
     /// Answer to `query`: the ranking for the one query column.
     Ranking(Vec<WireRanked>),
@@ -851,9 +1066,10 @@ impl ResponseBody {
                 fingerprint,
                 method,
                 columns,
-            } => Json::Obj(vec![(
-                "info".to_string(),
-                Json::Obj(vec![
+                stats,
+                server,
+            } => {
+                let mut info = vec![
                     ("sketcher".to_string(), Json::str(sketcher)),
                     ("fingerprint".to_string(), Json::str(fingerprint)),
                     ("method".to_string(), Json::str(method)),
@@ -872,8 +1088,15 @@ impl ResponseBody {
                                 .collect(),
                         ),
                     ),
-                ]),
-            )]),
+                ];
+                if let Some(stats) = stats {
+                    info.push(("stats".to_string(), stats.to_json()));
+                }
+                if let Some(server) = server {
+                    info.push(("server".to_string(), server.to_json()));
+                }
+                Json::Obj(vec![("info".to_string(), Json::Obj(info))])
+            }
             ResponseBody::Ranking(ranking) => Json::Obj(vec![(
                 "ranking".to_string(),
                 Json::Arr(ranking.iter().map(WireRanked::to_json).collect()),
@@ -938,6 +1161,14 @@ impl ResponseBody {
                 fingerprint: require_str(info, "fingerprint")?,
                 method: require_str(info, "method")?,
                 columns,
+                stats: match info.get("stats") {
+                    None => None,
+                    Some(s) => Some(WireServiceStats::from_json(s)?),
+                },
+                server: match info.get("server") {
+                    None => None,
+                    Some(s) => Some(WireServerStats::from_json(s)?),
+                },
             });
         }
         if let Some(ranking) = value.get("ranking").and_then(Json::as_arr) {
@@ -994,6 +1225,13 @@ fn require_str(value: &Json, key: &str) -> Result<String, WireError> {
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| WireError::bad_request(format!("missing string field `{key}`")))
+}
+
+fn require_u64(value: &Json, key: &str) -> Result<u64, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError::bad_request(format!("missing integer field `{key}`")))
 }
 
 fn require_f64(value: &Json, key: &str) -> Result<f64, WireError> {
@@ -1067,7 +1305,8 @@ mod tests {
     #[test]
     fn every_request_round_trips() {
         let bodies = vec![
-            RequestBody::Info,
+            RequestBody::Info { server: false },
+            RequestBody::Info { server: true },
             RequestBody::Query {
                 mode: Mode::Related,
                 k: 5,
@@ -1133,6 +1372,36 @@ mod tests {
                     column: "precip".to_string(),
                     rows: 730,
                 }],
+                stats: None,
+                server: None,
+            },
+            ResponseBody::Info {
+                sketcher: "WMH(m=64, L=16777216, seed=7)".to_string(),
+                fingerprint: "00ff00ff00ff00ff".to_string(),
+                method: "WMH".to_string(),
+                columns: vec![],
+                stats: Some(WireServiceStats {
+                    columns: 3,
+                    hydrated: 2,
+                    bytes_on_disk: 4096,
+                    last_compaction: Some(WireCompaction {
+                        removed_files: 1,
+                        live_columns: 3,
+                    }),
+                }),
+                server: Some(WireServerStats {
+                    connections_open: 4,
+                    connections_rejected: 1,
+                    queue_depth: 0,
+                    queue_rejected: 7,
+                    ops: vec![WireOpStats {
+                        op: "query".to_string(),
+                        count: 100,
+                        errors: 2,
+                        p50_us: 512,
+                        p99_us: 4096,
+                    }],
+                }),
             },
             ResponseBody::Ranking(vec![ranked.clone()]),
             ResponseBody::Rankings(vec![vec![ranked.clone()], vec![]]),
@@ -1185,7 +1454,7 @@ mod tests {
         assert!(err.id.is_null());
         // Unknown fields are ignored (forward compatibility).
         let ok = Request::decode(r#"{"v":1,"op":"info","future_field":[1,2,3]}"#).expect("ok");
-        assert_eq!(ok.body, RequestBody::Info);
+        assert_eq!(ok.body, RequestBody::Info { server: false });
     }
 
     #[test]
@@ -1246,6 +1515,34 @@ mod tests {
         tokens.dedup();
         assert_eq!(tokens.len(), ErrorCode::ALL.len());
         assert_eq!(ErrorCode::parse("made_up"), None);
+    }
+
+    #[test]
+    fn http_statuses_are_sane_for_every_code() {
+        for code in ErrorCode::ALL {
+            let status = code.http_status();
+            assert!(
+                (400..=599).contains(&status),
+                "{code} maps to non-error status {status}"
+            );
+        }
+        assert_eq!(ErrorCode::Overloaded.http_status(), 503);
+        assert_eq!(ErrorCode::UnknownOp.http_status(), 404);
+        assert_eq!(ErrorCode::TooLarge.http_status(), 413);
+    }
+
+    #[test]
+    fn info_requests_without_server_flag_encode_without_the_member() {
+        let plain = Request {
+            id: Json::Null,
+            body: RequestBody::Info { server: false },
+        };
+        assert!(!plain.encode().contains("server"));
+        let observed = Request {
+            id: Json::Null,
+            body: RequestBody::Info { server: true },
+        };
+        assert!(observed.encode().contains(r#""server":true"#));
     }
 
     #[test]

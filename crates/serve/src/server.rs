@@ -1,19 +1,23 @@
-//! The concurrent TCP front end over a [`QueryService`].
+//! The concurrent network front end over a [`QueryService`]: both framers, one
+//! reactor.
 //!
-//! One request or response per `\n`-terminated line of JSON (normative spec:
-//! `docs/PROTOCOL.md`; typed model: [`crate::protocol`]).  The design splits work
+//! Two wire framings share every layer below the socket: the line-delimited JSON
+//! framing (one request or response per `\n`-terminated line; normative spec:
+//! `docs/PROTOCOL.md`) and the HTTP/1.1 binding of the same protocol
+//! ([`crate::http`]; `POST /v1/<op>`, `GET /v1/info`, curl-able).  A server binds
+//! either or both through [`ServerConfig::builder`].  The design splits work
 //! across three kinds of threads, sized so the sketch runner keeps headroom:
 //!
 //! * **Reactor (1 thread).**  A `poll(2)` readiness loop (the vendored [`polling`]
-//!   shim — the offline image has no tokio) owns the listener and every connection:
-//!   it accepts, reads, frames lines, and writes responses.  It never parses JSON or
-//!   touches the service, so a slow query cannot stall accepts or other
-//!   connections' I/O.
-//! * **Workers (`ServerConfig::workers` threads).**  Pull framed request lines from
-//!   a queue, execute them against the shared state, and hand encoded response
-//!   lines back to the reactor.  Requests from *one* connection run strictly in
-//!   order (responses come back in request order — no client-side correlation
-//!   needed); requests from different connections run in parallel.
+//!   shim — the offline image has no tokio) owns the listeners and every
+//!   connection: it accepts, reads, frames requests (lines or HTTP messages), and
+//!   writes responses.  It never parses JSON or touches the service, so a slow
+//!   query cannot stall accepts or other connections' I/O.
+//! * **Workers (`workers` threads).**  Pull framed requests from a queue, execute
+//!   them against the shared state, and hand encoded responses back to the
+//!   reactor.  Requests from *one* connection run strictly in order (responses
+//!   come back in request order — no client-side correlation needed); requests
+//!   from different connections run in parallel.
 //! * **Maintenance (1 thread).**  Runs catalog compaction/re-manifest on an
 //!   interval and after ingests, behind the same exclusive lock as registrations.
 //!
@@ -29,10 +33,18 @@
 //! estimator and take no service lock at all, so any number of registration sessions
 //! make progress while queries are served; only `ingest-finish` (the catalog commit)
 //! briefly takes the write lock.
+//!
+//! Overload is shed at two gates, both surfaced as the typed `overloaded` error
+//! (HTTP `503`) and counted in [`ServerMetrics`]: past the connection cap a new
+//! connection is answered and closed without ever reaching a worker; past the
+//! queue-depth cap a framed request is refused but its connection stays usable, so
+//! a client that backs off needs no reconnect.
 
+use crate::http::{self, HttpRequest};
+use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    ErrorCode, InfoColumn, Mode, Request, RequestBody, Response, ResponseBody, WireError,
-    WireQuery, WireRanked,
+    ErrorCode, InfoColumn, Mode, Request, RequestBody, Response, ResponseBody, WireCompaction,
+    WireError, WireQuery, WireRanked, WireServiceStats,
 };
 use crate::service::{QueryService, ShardedIngestState};
 use crate::wire::Json;
@@ -42,46 +54,269 @@ use parking_lot::{Mutex, RwLock};
 use polling::{Event, Poller};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Poller key of the listening socket; connections get keys starting above it.
-const LISTENER_KEY: usize = 0;
+/// Poller key of the line-delimited TCP listener.
+const TCP_LISTENER_KEY: usize = 0;
+/// Poller key of the HTTP/1.1 listener.
+const HTTP_LISTENER_KEY: usize = 1;
+/// First key handed to an accepted connection.
+const FIRST_CONN_KEY: usize = 2;
 
-/// Tuning knobs for [`serve`].
+/// Smallest accepted `max_line_bytes`: below this even an empty batch-query
+/// cannot be expressed, so the bound would only manufacture `too_large` errors.
+const MIN_LINE_BYTES: usize = 1024;
+
+/// Validated tuning knobs for [`serve`]; built through [`ServerConfig::builder`].
+///
+/// The fields are private on purpose: every constructed `ServerConfig` has passed
+/// [`ServerConfigBuilder::build`]'s validation, so the server never has to
+/// re-check or silently "fix" a nonsensical value at bind time.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Request-executing worker threads.  Two by default: enough that a slow ingest
-    /// does not block queries, while leaving the runner (which parallelizes each
-    /// batch internally) most of the machine.
-    pub workers: usize,
-    /// Hard bound on one request line; longer lines earn a `too_large` error and
-    /// close the connection (the framing cannot resynchronize).
-    pub max_line_bytes: usize,
-    /// How often the maintenance thread compacts the catalog when idle.  Ingests
-    /// also trigger a pass.  `None` disables periodic passes (ingest-triggered ones
-    /// still run).
-    pub maintenance_interval: Option<Duration>,
-    /// How long an ingest session may sit untouched before a maintenance pass
-    /// expires it.  Sessions hold folded partial sketches, so abandoned ones
-    /// (client crashed before `ingest-finish`) would otherwise leak for the
-    /// server's lifetime.  Operations on an expired id get `unknown_session`.
-    pub session_ttl: Duration,
+    tcp: Option<String>,
+    http: Option<String>,
+    workers: usize,
+    max_line_bytes: usize,
+    max_connections: usize,
+    max_queue_depth: usize,
+    maintenance_interval: Option<Duration>,
+    session_ttl: Duration,
 }
 
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
+impl ServerConfig {
+    /// Starts a builder with the defaults: 2 workers, 64 MiB request bound,
+    /// 1024-connection and 1024-request caps, 30 s maintenance interval, 15 min
+    /// session TTL — and *no* bind address, which [`ServerConfigBuilder::build`]
+    /// rejects until [`tcp`](ServerConfigBuilder::tcp) and/or
+    /// [`http`](ServerConfigBuilder::http) is set.
+    #[must_use]
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            tcp: None,
+            http: None,
             workers: 2,
             max_line_bytes: 64 << 20,
+            max_connections: 1024,
+            max_queue_depth: 1024,
             maintenance_interval: Some(Duration::from_secs(30)),
             session_ttl: Duration::from_secs(15 * 60),
         }
     }
+
+    /// The line-delimited TCP bind address, if one is configured.
+    #[must_use]
+    pub fn tcp(&self) -> Option<&str> {
+        self.tcp.as_deref()
+    }
+
+    /// The HTTP/1.1 bind address, if one is configured.
+    #[must_use]
+    pub fn http(&self) -> Option<&str> {
+        self.http.as_deref()
+    }
+
+    /// Request-executing worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Hard bound on one request (a line on the TCP framer, a body on the HTTP
+    /// framer).
+    #[must_use]
+    pub fn max_line_bytes(&self) -> usize {
+        self.max_line_bytes
+    }
+
+    /// Open-connection cap across both framers.
+    #[must_use]
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Cap on requests queued for workers before new ones are refused.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Idle interval between periodic maintenance passes (`None`: on demand only).
+    #[must_use]
+    pub fn maintenance_interval(&self) -> Option<Duration> {
+        self.maintenance_interval
+    }
+
+    /// How long an ingest session may sit untouched before it is expired.
+    #[must_use]
+    pub fn session_ttl(&self) -> Duration {
+        self.session_ttl
+    }
 }
+
+/// Builder for [`ServerConfig`]; see [`ServerConfig::builder`] for the defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    tcp: Option<String>,
+    http: Option<String>,
+    workers: usize,
+    max_line_bytes: usize,
+    max_connections: usize,
+    max_queue_depth: usize,
+    maintenance_interval: Option<Duration>,
+    session_ttl: Duration,
+}
+
+impl ServerConfigBuilder {
+    /// Binds the line-delimited TCP framer on `addr` (port 0 for ephemeral).
+    #[must_use]
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.tcp = Some(addr.into());
+        self
+    }
+
+    /// Binds the HTTP/1.1 framer on `addr` (port 0 for ephemeral).
+    #[must_use]
+    pub fn http(mut self, addr: impl Into<String>) -> Self {
+        self.http = Some(addr.into());
+        self
+    }
+
+    /// Sets the worker-thread count.  Two by default: enough that a slow ingest
+    /// does not block queries, while leaving the runner (which parallelizes each
+    /// batch internally) most of the machine.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-request size bound.  Oversized TCP lines earn `too_large` and
+    /// close the connection (line framing cannot resynchronize); oversized HTTP
+    /// bodies earn `413` before the body is read.
+    #[must_use]
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes;
+        self
+    }
+
+    /// Sets the open-connection cap.  Connections past it are answered with the
+    /// typed `overloaded` error and closed without reaching a worker.
+    #[must_use]
+    pub fn max_connections(mut self, connections: usize) -> Self {
+        self.max_connections = connections;
+        self
+    }
+
+    /// Sets the worker-queue depth cap.  Requests framed while the queue is full
+    /// are answered `overloaded`; their connection stays open and usable.
+    #[must_use]
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Sets how often the maintenance thread compacts the catalog when idle
+    /// (`None` disables periodic passes; ingest-triggered ones still run).
+    #[must_use]
+    pub fn maintenance_interval(mut self, interval: Option<Duration>) -> Self {
+        self.maintenance_interval = interval;
+        self
+    }
+
+    /// Sets how long an ingest session may sit untouched before a maintenance
+    /// pass expires it.  Sessions hold folded partial sketches, so abandoned ones
+    /// (client crashed before `ingest-finish`) would otherwise leak for the
+    /// server's lifetime.
+    #[must_use]
+    pub fn session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = ttl;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first violated rule: at least one
+    /// bind address, at least one worker, nonzero connection and queue caps, and
+    /// a request bound of at least 1 KiB.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        if self.tcp.is_none() && self.http.is_none() {
+            return Err(ConfigError::NoBindAddress);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.max_connections == 0 {
+            return Err(ConfigError::ZeroConnectionCap);
+        }
+        if self.max_queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.max_line_bytes < MIN_LINE_BYTES {
+            return Err(ConfigError::LineBoundTooSmall {
+                got: self.max_line_bytes,
+                min: MIN_LINE_BYTES,
+            });
+        }
+        Ok(ServerConfig {
+            tcp: self.tcp,
+            http: self.http,
+            workers: self.workers,
+            max_line_bytes: self.max_line_bytes,
+            max_connections: self.max_connections,
+            max_queue_depth: self.max_queue_depth,
+            maintenance_interval: self.maintenance_interval,
+            session_ttl: self.session_ttl,
+        })
+    }
+}
+
+/// A [`ServerConfigBuilder::build`] rejection: which rule the configuration broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Neither a TCP nor an HTTP bind address was set.
+    NoBindAddress,
+    /// `workers` was 0; the server needs at least one request executor.
+    ZeroWorkers,
+    /// `max_connections` was 0; the server could never accept anything.
+    ZeroConnectionCap,
+    /// `max_queue_depth` was 0; the server could never execute anything.
+    ZeroQueueDepth,
+    /// `max_line_bytes` was below the smallest useful request bound.
+    LineBoundTooSmall {
+        /// The configured bound.
+        got: usize,
+        /// The smallest accepted bound.
+        min: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoBindAddress => {
+                write!(f, "no bind address: set a TCP and/or an HTTP address")
+            }
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroConnectionCap => write!(f, "max connections must be at least 1"),
+            ConfigError::ZeroQueueDepth => write!(f, "max queue depth must be at least 1"),
+            ConfigError::LineBoundTooSmall { got, min } => {
+                write!(
+                    f,
+                    "request bound of {got} bytes is below the {min}-byte minimum"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Running totals of the maintenance thread, exposed for observability and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,22 +331,35 @@ pub struct MaintenanceStats {
     pub sessions_expired: u64,
 }
 
-/// Handle to a running server: address introspection and shutdown.
+/// Handle to a running server: address introspection, observability, shutdown.
 ///
 /// Dropping the handle shuts the server down and joins its threads.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    addr: SocketAddr,
+    tcp_addr: Option<SocketAddr>,
+    http_addr: Option<SocketAddr>,
     threads: Vec<JoinHandle<()>>,
     /// Keeps runner headroom for the reactor + workers while the server lives.
     _reservation: ThreadReservation,
 }
 
 impl ServerHandle {
-    /// The bound address (useful with port 0).
+    /// The bound line-delimited TCP address (useful with port 0), if configured.
     #[must_use]
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound HTTP/1.1 address (useful with port 0), if configured.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The live observability state: per-op latency histograms, counters, gauges.
+    #[must_use]
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
     }
 
     /// Maintenance totals so far.
@@ -135,7 +383,7 @@ impl ServerHandle {
     /// Blocks until the server stops on its own — which only happens on a fatal
     /// reactor error (e.g. `poll(2)` failing) — and joins every thread.  This is
     /// what a serve-until-killed front end (the CLI) parks on: if it returns, the
-    /// listener is gone and the process should exit with an error instead of
+    /// listeners are gone and the process should exit with an error instead of
     /// lingering as a live-looking corpse.
     pub fn wait(mut self) {
         for thread in self.threads.drain(..) {
@@ -162,30 +410,34 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts a server over `service` on `addr` and returns immediately with its handle.
-///
-/// `addr` may carry port 0 to bind an ephemeral port; read it back with
-/// [`ServerHandle::local_addr`].
+/// Starts a server over `service` with the validated `config` and returns
+/// immediately with its handle.  Bind addresses may carry port 0 for an ephemeral
+/// port; read them back with [`ServerHandle::tcp_addr`] / [`ServerHandle::http_addr`].
 ///
 /// # Errors
 ///
-/// Returns the OS error if the listener cannot bind or the reactor cannot be set up.
-pub fn serve(
-    service: QueryService,
-    addr: impl ToSocketAddrs,
-    config: ServerConfig,
-) -> io::Result<ServerHandle> {
-    // Normalize once so the spawn count, the runner reservation, and the stored
-    // config can never disagree (a `workers: 0` caller still gets one worker).
-    let config = ServerConfig {
-        workers: config.workers.max(1),
-        ..config
-    };
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
+/// Returns the OS error if a listener cannot bind or the reactor cannot be set up.
+pub fn serve(service: QueryService, config: ServerConfig) -> io::Result<ServerHandle> {
     let poller = Poller::new()?;
-    poller.add(&listener, Event::readable(LISTENER_KEY))?;
+    let bind = |addr: &str, key: usize| -> io::Result<(TcpListener, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        poller.add(&listener, Event::readable(key))?;
+        Ok((listener, addr))
+    };
+    let tcp = config
+        .tcp
+        .as_deref()
+        .map(|addr| bind(addr, TCP_LISTENER_KEY))
+        .transpose()?;
+    let http = config
+        .http
+        .as_deref()
+        .map(|addr| bind(addr, HTTP_LISTENER_KEY))
+        .transpose()?;
+    let (tcp_listener, tcp_addr) = tcp.map_or((None, None), |(l, a)| (Some(l), Some(a)));
+    let (http_listener, http_addr) = http.map_or((None, None), |(l, a)| (Some(l), Some(a)));
 
     // The service's estimator is cloned once for the session map: sharded-ingest
     // sketching must not need any service lock.  The configuration is immutable for
@@ -203,6 +455,7 @@ pub fn serve(
         maint: StdMutex::new(false),
         maint_cv: Condvar::new(),
         maintenance_stats: Mutex::new(MaintenanceStats::default()),
+        metrics: ServerMetrics::default(),
         outbox: Mutex::new(Vec::new()),
         poller,
         shutdown: AtomicBool::new(false),
@@ -218,7 +471,7 @@ pub fn serve(
     threads.push(
         std::thread::Builder::new()
             .name("ipsketch-reactor".to_string())
-            .spawn(move || reactor_loop(&reactor_shared, &listener))?,
+            .spawn(move || reactor_loop(&reactor_shared, tcp_listener, http_listener))?,
     );
     for worker in 0..config.workers {
         let worker_shared = Arc::clone(&shared);
@@ -237,22 +490,42 @@ pub fn serve(
 
     Ok(ServerHandle {
         shared,
-        addr,
+        tcp_addr,
+        http_addr,
         threads,
         _reservation: reservation,
     })
 }
 
-/// A framed request line waiting for a worker.
-struct Job {
-    conn: usize,
-    line: Vec<u8>,
+/// Which wire framing a connection speaks (fixed by the listener it arrived on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Framing {
+    /// One `\n`-terminated JSON line per request/response.
+    Line,
+    /// The HTTP/1.1 binding.
+    Http,
 }
 
-/// An encoded response line (newline included) waiting for the reactor.
+/// A framed request waiting for a worker, in its framer's shape.
+enum Payload {
+    /// A raw request line (newline stripped).
+    Line(Vec<u8>),
+    /// A parsed HTTP message.
+    Http(HttpRequest),
+}
+
+/// One framed request queued for the workers.
+struct Job {
+    conn: usize,
+    payload: Payload,
+}
+
+/// An encoded response (complete wire bytes) waiting for the reactor.
 struct Outgoing {
     conn: usize,
     bytes: Vec<u8>,
+    /// Close the connection once these bytes flush (HTTP `Connection: close`).
+    close_after: bool,
 }
 
 /// One live shard-partial ingest session.  The state slot holds `None` while
@@ -261,8 +534,8 @@ struct Outgoing {
 struct SessionSlot {
     state: Arc<Mutex<Option<ShardedIngestState>>>,
     /// When the session was last looked up; maintenance expires sessions whose
-    /// idle time exceeds [`ServerConfig::session_ttl`].
-    touched: std::time::Instant,
+    /// idle time exceeds the configured TTL.
+    touched: Instant,
 }
 
 struct SessionMap {
@@ -274,7 +547,7 @@ impl SessionMap {
     /// Looks up a session's state, refreshing its idle clock.
     fn touch(&mut self, session: u64) -> Option<Arc<Mutex<Option<ShardedIngestState>>>> {
         self.slots.get_mut(&session).map(|slot| {
-            slot.touched = std::time::Instant::now();
+            slot.touched = Instant::now();
             Arc::clone(&slot.state)
         })
     }
@@ -291,6 +564,7 @@ struct Shared {
     maint: StdMutex<bool>,
     maint_cv: Condvar,
     maintenance_stats: Mutex<MaintenanceStats>,
+    metrics: ServerMetrics,
     outbox: Mutex<Vec<Outgoing>>,
     poller: Poller,
     shutdown: AtomicBool,
@@ -329,24 +603,44 @@ fn drain_lines(buf: &mut Vec<u8>) -> Vec<Vec<u8>> {
 /// Per-connection reactor state.
 struct Conn {
     stream: TcpStream,
+    framing: Framing,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
-    /// Lines framed but not yet dispatched (per-connection requests run in order).
-    pending: VecDeque<Vec<u8>>,
+    /// Requests framed but not yet dispatched (per-connection requests run in order).
+    pending: VecDeque<Payload>,
     /// Whether a request from this connection is currently queued or executing.
     in_flight: bool,
-    /// Peer sent FIN: serve what is in flight, flush, then drop.
+    /// Peer sent FIN (or an HTTP exchange asked to close): serve what is in
+    /// flight, flush, then drop.
     peer_closed: bool,
-    /// Fatal framing state (oversized line): stop reading, answer everything framed
-    /// before the break, then emit the error and drop.
+    /// Fatal framing state (oversized line, malformed HTTP): stop reading, answer
+    /// everything framed before the break, then emit the error and drop.
     poisoned: bool,
-    /// The encoded `too_large` response, emitted only after every request framed
-    /// before the poisoning line has been answered — preserving the documented
+    /// The encoded framing-error response, emitted only after every request framed
+    /// before the poisoning bytes has been answered — preserving the documented
     /// per-connection response order.
     poison_response: Option<Vec<u8>>,
+    /// Whether an interim `100 Continue` has been sent for the HTTP request
+    /// currently being framed.
+    sent_continue: bool,
 }
 
 impl Conn {
+    fn new(stream: TcpStream, framing: Framing) -> Self {
+        Conn {
+            stream,
+            framing,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            pending: VecDeque::new(),
+            in_flight: false,
+            peer_closed: false,
+            poisoned: false,
+            poison_response: None,
+            sent_continue: false,
+        }
+    }
+
     fn wants_close(&self) -> bool {
         (self.peer_closed || self.poisoned)
             && self.write_buf.is_empty()
@@ -356,10 +650,10 @@ impl Conn {
     }
 }
 
-/// The reactor: owns the listener and all connection I/O.
-fn reactor_loop(shared: &Shared, listener: &TcpListener) {
+/// The reactor: owns the listeners and all connection I/O.
+fn reactor_loop(shared: &Shared, tcp: Option<TcpListener>, http: Option<TcpListener>) {
     let mut conns: HashMap<usize, Conn> = HashMap::new();
-    let mut next_key = LISTENER_KEY + 1;
+    let mut next_key = FIRST_CONN_KEY;
     let mut events: Vec<Event> = Vec::new();
     loop {
         events.clear();
@@ -384,14 +678,26 @@ fn reactor_loop(shared: &Shared, listener: &TcpListener) {
         }
 
         for event in &events {
-            if event.key == LISTENER_KEY {
-                accept_ready(shared, listener, &mut conns, &mut next_key);
-            } else if let Some(conn) = conns.get_mut(&event.key) {
-                if event.readable {
-                    read_ready(shared, event.key, conn);
+            match event.key {
+                TCP_LISTENER_KEY => {
+                    if let Some(listener) = &tcp {
+                        accept_ready(shared, listener, Framing::Line, &mut conns, &mut next_key);
+                    }
                 }
-                if event.writable {
-                    flush(conn);
+                HTTP_LISTENER_KEY => {
+                    if let Some(listener) = &http {
+                        accept_ready(shared, listener, Framing::Http, &mut conns, &mut next_key);
+                    }
+                }
+                key => {
+                    if let Some(conn) = conns.get_mut(&key) {
+                        if event.readable {
+                            read_ready(shared, key, conn);
+                        }
+                        if event.writable {
+                            flush(conn);
+                        }
+                    }
                 }
             }
         }
@@ -403,6 +709,9 @@ fn reactor_loop(shared: &Shared, listener: &TcpListener) {
             if let Some(conn) = conns.get_mut(&out.conn) {
                 conn.write_buf.extend_from_slice(&out.bytes);
                 conn.in_flight = false;
+                if out.close_after {
+                    conn.peer_closed = true;
+                }
                 dispatch_next(shared, out.conn, conn);
                 flush(conn);
             }
@@ -427,13 +736,20 @@ fn reactor_loop(shared: &Shared, listener: &TcpListener) {
             let _ = shared.poller.modify(&conn.stream, interest);
             true
         });
+        shared
+            .metrics
+            .connections_open
+            .store(conns.len() as u64, Ordering::Relaxed);
     }
 }
 
-/// Accepts every pending connection.
+/// Accepts every pending connection on one listener; past the connection cap each
+/// is answered `overloaded` in its framer's encoding and closed without ever
+/// reaching a worker.
 fn accept_ready(
     shared: &Shared,
     listener: &TcpListener,
+    framing: Framing,
     conns: &mut HashMap<usize, Conn>,
     next_key: &mut usize,
 ) {
@@ -445,20 +761,23 @@ fn accept_ready(
                 }
                 let key = *next_key;
                 *next_key += 1;
-                if shared.poller.add(&stream, Event::readable(key)).is_ok() {
-                    conns.insert(
-                        key,
-                        Conn {
-                            stream,
-                            read_buf: Vec::new(),
-                            write_buf: Vec::new(),
-                            pending: VecDeque::new(),
-                            in_flight: false,
-                            peer_closed: false,
-                            poisoned: false,
-                            poison_response: None,
-                        },
-                    );
+                let mut conn = Conn::new(stream, framing);
+                if conns.len() >= shared.config.max_connections {
+                    // Reject: pre-fill the response, poison so reads never arm and
+                    // the connection drops as soon as the bytes flush.
+                    shared
+                        .metrics
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    let response = http::overloaded_response(&format!(
+                        "connection cap of {} reached; retry after backoff",
+                        shared.config.max_connections
+                    ));
+                    conn.write_buf = encode_for(framing, &response, false);
+                    conn.poisoned = true;
+                }
+                if shared.poller.add(&conn.stream, Event::all(key)).is_ok() {
+                    conns.insert(key, conn);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -476,14 +795,26 @@ fn accept_ready(
     }
 }
 
+/// Encodes one protocol [`Response`] in a framing's wire shape.
+fn encode_for(framing: Framing, response: &Response, keep_alive: bool) -> Vec<u8> {
+    match framing {
+        Framing::Line => {
+            let mut bytes = response.encode().into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        Framing::Http => http::encode_protocol_response(response, keep_alive),
+    }
+}
+
 /// How many socket reads one readable event may perform before yielding back to
 /// the reactor loop: bounds one fast sender's monopoly on the reactor thread
 /// (level-triggered polling re-reports whatever is left).
 const READS_PER_EVENT: usize = 64;
 
-/// Reads what is available (bounded per event), frames lines eagerly so the size
-/// bound applies *per line* — a pipelined burst of individually legal requests is
-/// never rejected on its aggregate size — and dispatches if idle.
+/// Reads what is available (bounded per event), frames requests eagerly so the
+/// size bound applies *per request* — a pipelined burst of individually legal
+/// requests is never rejected on its aggregate size — and dispatches if idle.
 fn read_ready(shared: &Shared, key: usize, conn: &mut Conn) {
     if conn.poisoned {
         // Nothing past a broken frame is decodable; stop consuming input so the
@@ -500,17 +831,9 @@ fn read_ready(shared: &Shared, key: usize, conn: &mut Conn) {
             }
             Ok(n) => {
                 conn.read_buf.extend_from_slice(&chunk[..n]);
-                for line in drain_lines(&mut conn.read_buf) {
-                    if line.len() > shared.config.max_line_bytes {
-                        poison_too_large(shared, conn);
-                        break;
-                    }
-                    conn.pending.push_back(line);
-                }
-                // Only the *unframed tail* is held to the bound: a single line
-                // still growing past it can never complete legally.
-                if conn.read_buf.len() > shared.config.max_line_bytes {
-                    poison_too_large(shared, conn);
+                match conn.framing {
+                    Framing::Line => frame_lines(shared, conn),
+                    Framing::Http => frame_http(shared, conn),
                 }
                 if conn.poisoned {
                     break;
@@ -527,14 +850,60 @@ fn read_ready(shared: &Shared, key: usize, conn: &mut Conn) {
     dispatch_next(shared, key, conn);
 }
 
-/// Poisons the connection on an oversized line (framing cannot resync): reading
-/// stops, requests framed *before* the break still get answered in order, and the
-/// `too_large` error goes out last (see [`dispatch_next`]) before the close.
-/// Idempotent: a line crossing the bound more than once still earns one response.
+/// Frames complete lines off a line-framed connection's read buffer.
+fn frame_lines(shared: &Shared, conn: &mut Conn) {
+    for line in drain_lines(&mut conn.read_buf) {
+        if line.len() > shared.config.max_line_bytes {
+            poison_too_large(shared, conn);
+            return;
+        }
+        conn.pending.push_back(Payload::Line(line));
+    }
+    // Only the *unframed tail* is held to the bound: a single line still growing
+    // past it can never complete legally.
+    if conn.read_buf.len() > shared.config.max_line_bytes {
+        poison_too_large(shared, conn);
+    }
+}
+
+/// Frames complete HTTP requests off an HTTP connection's read buffer.  A framing
+/// violation poisons the connection with the typed closing response; `Expect:
+/// 100-continue` earns one interim response per request.
+fn frame_http(shared: &Shared, conn: &mut Conn) {
+    loop {
+        match http::try_frame(&mut conn.read_buf, shared.config.max_line_bytes) {
+            Ok(http::FrameStep::Request(request)) => {
+                conn.sent_continue = false;
+                conn.pending.push_back(Payload::Http(request));
+            }
+            Ok(http::FrameStep::Incomplete { needs_continue }) => {
+                if needs_continue && !conn.sent_continue {
+                    conn.sent_continue = true;
+                    conn.write_buf.extend_from_slice(http::CONTINUE_RESPONSE);
+                }
+                return;
+            }
+            Err(e) => {
+                shared.metrics.record("invalid", Duration::ZERO, true);
+                conn.poison_response = Some(http::encode_framing_error(&e));
+                conn.read_buf.clear();
+                conn.poisoned = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Poisons a line-framed connection on an oversized line (framing cannot resync):
+/// reading stops, requests framed *before* the break still get answered in order,
+/// and the `too_large` error goes out last (see [`dispatch_next`]) before the
+/// close.  Idempotent: a line crossing the bound more than once still earns one
+/// response.
 fn poison_too_large(shared: &Shared, conn: &mut Conn) {
     if conn.poisoned {
         return;
     }
+    shared.metrics.record("invalid", Duration::ZERO, true);
     let response = Response {
         id: Json::Null,
         result: Err(WireError {
@@ -552,20 +921,48 @@ fn poison_too_large(shared: &Shared, conn: &mut Conn) {
     conn.poisoned = true;
 }
 
-/// Hands the next pending line of `conn` to the workers, if it is idle.  On a
-/// poisoned connection, the stored `too_large` error is emitted only once every
-/// earlier request has been answered, preserving response order.
+/// Hands the next pending request of `conn` to the workers, if it is idle.  Past
+/// the queue-depth cap the request is answered `overloaded` right here and the
+/// connection stays usable.  On a poisoned connection, the stored framing error is
+/// emitted only once every earlier request has been answered, preserving response
+/// order.
 fn dispatch_next(shared: &Shared, key: usize, conn: &mut Conn) {
     if conn.in_flight {
         return;
     }
-    if let Some(line) = conn.pending.pop_front() {
-        conn.in_flight = true;
-        shared
+    while let Some(payload) = conn.pending.pop_front() {
+        let mut queue = shared
             .queue
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push_back(Job { conn: key, line });
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if queue.len() >= shared.config.max_queue_depth {
+            drop(queue);
+            shared
+                .metrics
+                .queue_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let response = http::overloaded_response(&format!(
+                "request queue is full ({} queued); retry after backoff",
+                shared.config.max_queue_depth
+            ));
+            let keep_alive = match &payload {
+                Payload::Line(_) => true,
+                Payload::Http(request) => request.keep_alive,
+            };
+            conn.write_buf
+                .extend_from_slice(&encode_for(conn.framing, &response, keep_alive));
+            if !keep_alive {
+                conn.peer_closed = true;
+            }
+            continue;
+        }
+        queue.push_back(Job { conn: key, payload });
+        shared
+            .metrics
+            .queue_depth
+            .store(queue.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        conn.in_flight = true;
         shared.queue_cv.notify_one();
         return;
     }
@@ -596,7 +993,8 @@ fn flush(conn: &mut Conn) {
     }
 }
 
-/// A worker: executes framed requests against the shared state.
+/// A worker: executes framed requests against the shared state, timing each one
+/// into the metrics under its op label.
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -609,6 +1007,10 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 if let Some(job) = queue.pop_front() {
+                    shared
+                        .metrics
+                        .queue_depth
+                        .store(queue.len() as u64, Ordering::Relaxed);
                     break job;
                 }
                 queue = shared
@@ -617,55 +1019,143 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        let response = handle_line(shared, &job.line);
-        let mut bytes = response.encode().into_bytes();
-        bytes.push(b'\n');
+        let started = Instant::now();
+        let (bytes, op, is_error, close_after) = match &job.payload {
+            Payload::Line(line) => {
+                let (response, op) = handle_line(shared, line);
+                let mut bytes = response.encode().into_bytes();
+                bytes.push(b'\n');
+                (bytes, op, response.result.is_err(), false)
+            }
+            Payload::Http(request) => handle_http(shared, request),
+        };
+        shared.metrics.record(op, started.elapsed(), is_error);
         shared.outbox.lock().push(Outgoing {
             conn: job.conn,
             bytes,
+            close_after,
         });
         let _ = shared.poller.notify();
     }
 }
 
-/// Parses and executes one request line.
-fn handle_line(shared: &Shared, line: &[u8]) -> Response {
+/// Parses and executes one line-framed request; returns the response and the op
+/// label to account it under (`"invalid"` when no op could be decoded).
+fn handle_line(shared: &Shared, line: &[u8]) -> (Response, &'static str) {
     let text = match std::str::from_utf8(line) {
         Ok(text) => text,
         Err(_) => {
-            return Response {
-                id: Json::Null,
-                result: Err(WireError::bad_request("request line is not valid UTF-8")),
-            }
+            return (
+                Response {
+                    id: Json::Null,
+                    result: Err(WireError::bad_request("request line is not valid UTF-8")),
+                },
+                "invalid",
+            )
         }
     };
     let request = match Request::decode(text) {
         Ok(request) => request,
         Err(failure) => {
-            return Response {
-                id: failure.id,
-                result: Err(failure.error),
-            }
+            return (
+                Response {
+                    id: failure.id,
+                    result: Err(failure.error),
+                },
+                "invalid",
+            )
         }
     };
-    Response {
-        result: execute(shared, &request.body),
-        id: request.id,
+    let op = request.body.op();
+    (
+        Response {
+            result: execute(shared, &request.body),
+            id: request.id,
+        },
+        op,
+    )
+}
+
+/// Routes, decodes, and executes one HTTP request; returns the complete response
+/// bytes, the op label, whether the outcome was an error, and whether the
+/// connection must close after the response flushes.
+fn handle_http(shared: &Shared, request: &HttpRequest) -> (Vec<u8>, &'static str, bool, bool) {
+    let keep_alive = request.keep_alive;
+    let close_after = !keep_alive;
+    let (path, query_string) = http::split_target(&request.target);
+    let Some(op) = http::route_op(path) else {
+        let response = Response {
+            id: Json::Null,
+            result: Err(WireError {
+                code: ErrorCode::UnknownOp,
+                message: format!("no route `{path}` (see docs/PROTOCOL.md for the route table)"),
+            }),
+        };
+        return (
+            http::encode_protocol_response(&response, keep_alive),
+            "invalid",
+            true,
+            close_after,
+        );
+    };
+    let typed = match request.method.as_str() {
+        "POST" => http::decode_request(op, &request.body),
+        "GET" if op == "info" => Ok(http::info_request(query_string)),
+        method => {
+            let response = Response {
+                id: Json::Null,
+                result: Err(WireError::bad_request(format!(
+                    "method {method} not allowed on {path}; use POST (GET only on /v1/info)"
+                ))),
+            };
+            let mut line = response.encode();
+            line.push('\n');
+            return (
+                http::encode_response(405, line.as_bytes(), keep_alive),
+                "invalid",
+                true,
+                close_after,
+            );
+        }
+    };
+    match typed {
+        Ok(typed) => {
+            let response = Response {
+                result: execute(shared, &typed.body),
+                id: typed.id,
+            };
+            let is_error = response.result.is_err();
+            (
+                http::encode_protocol_response(&response, keep_alive),
+                op,
+                is_error,
+                close_after,
+            )
+        }
+        Err(failure) => {
+            let response = Response {
+                id: failure.id,
+                result: Err(failure.error),
+            };
+            (
+                http::encode_protocol_response(&response, keep_alive),
+                "invalid",
+                true,
+                close_after,
+            )
+        }
     }
 }
 
 /// Executes a decoded request body against the shared state.
 fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireError> {
     match body {
-        RequestBody::Info => {
+        RequestBody::Info { server } => {
             let service = shared.service.read();
-            let catalog = service.catalog();
-            let spec = catalog.spec();
+            let stats = service.stats();
             Ok(ResponseBody::Info {
-                sketcher: spec.to_string(),
-                fingerprint: format!("{:016x}", spec.fingerprint()),
-                method: spec.method().label().to_string(),
-                columns: catalog
+                columns: service
+                    .catalog()
                     .entries()
                     .iter()
                     .map(|e| InfoColumn {
@@ -674,6 +1164,19 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
                         rows: e.rows,
                     })
                     .collect(),
+                stats: Some(WireServiceStats {
+                    columns: stats.columns as u64,
+                    hydrated: stats.hydrated as u64,
+                    bytes_on_disk: stats.bytes_on_disk,
+                    last_compaction: stats.last_compaction.as_ref().map(|report| WireCompaction {
+                        removed_files: report.removed_files.len() as u64,
+                        live_columns: report.live_columns as u64,
+                    }),
+                }),
+                sketcher: stats.sketcher,
+                fingerprint: stats.fingerprint,
+                method: stats.method,
+                server: server.then(|| shared.metrics.snapshot()),
             })
         }
         RequestBody::Query {
@@ -748,7 +1251,7 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
                 id,
                 SessionSlot {
                     state: Arc::new(Mutex::new(Some(ShardedIngestState::new(table.clone())))),
-                    touched: std::time::Instant::now(),
+                    touched: Instant::now(),
                 },
             );
             Ok(ResponseBody::Session(id))
@@ -946,10 +1449,77 @@ mod tests {
     }
 
     #[test]
-    fn config_defaults_keep_worker_headroom_small() {
-        let config = ServerConfig::default();
-        assert_eq!(config.workers, 2);
-        assert!(config.max_line_bytes >= 1 << 20);
-        assert!(config.maintenance_interval.is_some());
+    fn builder_defaults_keep_worker_headroom_small() {
+        let config = ServerConfig::builder()
+            .tcp("127.0.0.1:0")
+            .build()
+            .expect("valid");
+        assert_eq!(config.workers(), 2);
+        assert!(config.max_line_bytes() >= 1 << 20);
+        assert!(config.maintenance_interval().is_some());
+        assert!(config.max_connections() >= 1);
+        assert!(config.max_queue_depth() >= 1);
+        assert_eq!(config.tcp(), Some("127.0.0.1:0"));
+        assert_eq!(config.http(), None);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_with_typed_errors() {
+        assert_eq!(
+            ServerConfig::builder().build().expect_err("no address"),
+            ConfigError::NoBindAddress
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .tcp("127.0.0.1:0")
+                .workers(0)
+                .build()
+                .expect_err("zero workers"),
+            ConfigError::ZeroWorkers
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .http("127.0.0.1:0")
+                .max_connections(0)
+                .build()
+                .expect_err("zero connections"),
+            ConfigError::ZeroConnectionCap
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .http("127.0.0.1:0")
+                .max_queue_depth(0)
+                .build()
+                .expect_err("zero queue"),
+            ConfigError::ZeroQueueDepth
+        );
+        assert!(matches!(
+            ServerConfig::builder()
+                .tcp("127.0.0.1:0")
+                .max_line_bytes(16)
+                .build()
+                .expect_err("tiny bound"),
+            ConfigError::LineBoundTooSmall { got: 16, .. }
+        ));
+        // Every error renders a human-readable sentence.
+        for err in [
+            ConfigError::NoBindAddress,
+            ConfigError::ZeroWorkers,
+            ConfigError::ZeroConnectionCap,
+            ConfigError::ZeroQueueDepth,
+            ConfigError::LineBoundTooSmall { got: 1, min: 2 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn dual_binds_accept_both_framers() {
+        let config = ServerConfig::builder()
+            .tcp("127.0.0.1:0")
+            .http("127.0.0.1:0")
+            .build()
+            .expect("valid");
+        assert!(config.tcp().is_some() && config.http().is_some());
     }
 }

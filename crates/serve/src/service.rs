@@ -19,7 +19,7 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 
 /// Splits a table into (up to) `shards` contiguous row-range shards, each carrying the
-/// same table name and column layout — the shape [`ShardedIngest`] expects.  In a real
+/// same table name and column layout — the shape [`ShardedIngestState`] expects.  In a real
 /// deployment shards exist because the data arrives partitioned; this helper lets
 /// single-process callers (tests, the CLI) rehearse the identical protocol.
 #[must_use]
@@ -55,6 +55,27 @@ pub struct IngestReport {
     pub registered: Vec<(String, String)>,
     /// Columns skipped because they carry no value mass.
     pub skipped: Vec<String>,
+}
+
+/// A typed snapshot of a service's state — the single source every surface
+/// (`ipsketch info`, the TCP `info` op, `GET /v1/info`) renders from.  All fields
+/// are deterministic functions of the catalog's ingest/compaction history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Human-readable sketcher configuration (the `SketcherSpec` display form).
+    pub sketcher: String,
+    /// The spec fingerprint, 16 lowercase hex digits.
+    pub fingerprint: String,
+    /// The sketch method label.
+    pub method: String,
+    /// Registered column count.
+    pub columns: usize,
+    /// How many registered columns are hydrated into the in-memory index.
+    pub hydrated: usize,
+    /// Total bytes of sketch blobs on disk (sum of manifest blob lengths).
+    pub bytes_on_disk: u64,
+    /// The most recent compaction's report, if one ran in this service's lifetime.
+    pub last_compaction: Option<CompactionReport>,
 }
 
 /// A persistent sketch catalog served through an in-memory index.  The estimator
@@ -104,6 +125,7 @@ pub struct QueryService {
     catalog: Catalog,
     index: SketchIndex,
     hydrated: HashSet<(String, String)>,
+    last_compaction: Option<CompactionReport>,
 }
 
 impl QueryService {
@@ -133,6 +155,7 @@ impl QueryService {
             catalog,
             index,
             hydrated: HashSet::new(),
+            last_compaction: None,
         })
     }
 
@@ -170,7 +193,26 @@ impl QueryService {
     ///
     /// Returns [`CatalogError::Io`] for filesystem failures.
     pub fn compact(&mut self) -> Result<CompactionReport, CatalogError> {
-        self.catalog.compact()
+        let report = self.catalog.compact()?;
+        self.last_compaction = Some(report.clone());
+        Ok(report)
+    }
+
+    /// A typed snapshot of the service: configuration, column/hydration counts,
+    /// on-disk footprint, and the last compaction's report.  Every info surface
+    /// (CLI, TCP `info`, `GET /v1/info`) renders from this one struct.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let spec = self.catalog.spec();
+        ServiceStats {
+            sketcher: spec.to_string(),
+            fingerprint: format!("{:016x}", spec.fingerprint()),
+            method: spec.method().label().to_string(),
+            columns: self.catalog.len(),
+            hydrated: self.hydrated.len(),
+            bytes_on_disk: self.catalog.entries().iter().map(|e| e.blob_len).sum(),
+            last_compaction: self.last_compaction.clone(),
+        }
     }
 
     /// The estimator rebuilt from the catalog's recorded spec (borrowed from the
@@ -309,19 +351,18 @@ impl QueryService {
     }
 
     /// Starts a shard-partial ingest of a table named `table_name` — the genuinely
-    /// distributed registration path.  See [`ShardedIngest`] for the two-pass
+    /// distributed registration path.  See [`ShardedIngestState`] for the two-pass
     /// protocol.
     ///
-    /// This borrows the service for the session's lifetime, which is the right shape
-    /// for sequential callers (the CLI, tests).  A concurrent front end running many
-    /// sessions at once uses the owned [`ShardedIngestState`] directly and registers
-    /// the outcome with [`finish_sharded_ingest`](Self::finish_sharded_ingest).
+    /// The returned state is owned and borrows nothing: sequential callers (the
+    /// CLI, tests) and a concurrent front end running many sessions at once drive
+    /// the *same* API shape — [`announce`](ShardedIngestState::announce) and
+    /// [`submit`](ShardedIngestState::submit) shards (passing
+    /// [`estimator`](Self::estimator) or a clone of it), then register the outcome
+    /// with [`finish_sharded_ingest`](Self::finish_sharded_ingest).
     #[must_use]
-    pub fn begin_sharded_ingest(&mut self, table_name: impl Into<String>) -> ShardedIngest<'_> {
-        ShardedIngest {
-            state: ShardedIngestState::new(table_name),
-            service: self,
-        }
+    pub fn begin_sharded_ingest(&self, table_name: impl Into<String>) -> ShardedIngestState {
+        ShardedIngestState::new(table_name)
     }
 
     /// Registers the folded columns of a completed [`ShardedIngestState`] into the
@@ -596,44 +637,6 @@ impl ShardedIngestState {
 /// names, and one folded partial per column (`None` for skipped all-zero columns).
 type FoldedIngest = (String, Vec<String>, Vec<Option<SketchedColumn>>);
 
-/// A [`ShardedIngestState`] bound to its service — the ergonomic wrapper for
-/// sequential callers, created by [`QueryService::begin_sharded_ingest`].
-#[derive(Debug)]
-pub struct ShardedIngest<'a> {
-    service: &'a mut QueryService,
-    state: ShardedIngestState,
-}
-
-impl ShardedIngest<'_> {
-    /// First pass: see [`ShardedIngestState::announce`].
-    ///
-    /// # Errors
-    ///
-    /// As for [`ShardedIngestState::announce`].
-    pub fn announce(&mut self, shard: &Table) -> Result<(), CatalogError> {
-        self.state.announce(shard)
-    }
-
-    /// Second pass: see [`ShardedIngestState::submit`], with the service's own
-    /// estimator.
-    ///
-    /// # Errors
-    ///
-    /// As for [`ShardedIngestState::submit`].
-    pub fn submit(&mut self, shard: &Table) -> Result<(), CatalogError> {
-        self.state.submit(self.service.index.estimator(), shard)
-    }
-
-    /// Registers the folded columns into the catalog and index.
-    ///
-    /// # Errors
-    ///
-    /// As for [`QueryService::finish_sharded_ingest`].
-    pub fn finish(self) -> Result<IngestReport, CatalogError> {
-        self.service.finish_sharded_ingest(self.state)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,9 +788,9 @@ mod tests {
                     ingest.announce(shard).expect("announce");
                 }
                 for shard in &shards {
-                    ingest.submit(shard).expect("submit");
+                    ingest.submit(service.estimator(), shard).expect("submit");
                 }
-                let report = ingest.finish().expect("finish");
+                let report = service.finish_sharded_ingest(ingest).expect("finish");
                 assert_eq!(report.registered.len(), table.columns().len(), "{method:?}");
             }
             let q = service.sketch_query(&query, "rides").expect("sketch");
@@ -830,7 +833,7 @@ mod tests {
     fn owned_session_states_interleave_across_tables() {
         // The front-end shape: two sessions live at once, fed in interleaved order,
         // sketching with a *clone* of the service estimator and finished
-        // independently — answers match the borrowing wrapper exactly.
+        // independently — answers match a sequential run exactly.
         let root = temp_root("interleaved");
         let (query, good, bad) = lake();
         let spec = spec_for(SketchMethod::WeightedMinHash, 17);
@@ -862,7 +865,8 @@ mod tests {
         assert_eq!(bad_report.registered.len(), 1);
         assert_eq!(good_report.registered.len(), 2);
 
-        // Identical outcome to the sequential borrowing wrapper over a twin catalog.
+        // Identical outcome to a sequential one-session-at-a-time run over a twin
+        // catalog, driven through the same owned-state API.
         let root2 = temp_root("interleaved-seq");
         let mut sequential = QueryService::create(&root2, spec).expect("create");
         for table in [&good, &bad] {
@@ -871,9 +875,11 @@ mod tests {
                 ingest.announce(shard).expect("announce");
             }
             for shard in &shards_of(table, if table.name() == "good" { 2 } else { 3 }) {
-                ingest.submit(shard).expect("submit");
+                ingest
+                    .submit(sequential.estimator(), shard)
+                    .expect("submit");
             }
-            ingest.finish().expect("finish");
+            sequential.finish_sharded_ingest(ingest).expect("finish");
         }
         let q = service.sketch_query(&query, "rides").expect("sketch");
         let q2 = sequential.sketch_query(&query, "rides").expect("sketch");
@@ -897,7 +903,7 @@ mod tests {
         // Submitting before announcing fails.
         let mut ingest = service.begin_sharded_ingest("good");
         assert!(matches!(
-            ingest.submit(&shards[0]),
+            ingest.submit(service.estimator(), &shards[0]),
             Err(CatalogError::Incompatible { .. })
         ));
         // A shard of a different table fails.
@@ -907,19 +913,23 @@ mod tests {
         ));
         ingest.announce(&shards[0]).expect("announce 0");
         ingest.announce(&shards[1]).expect("announce 1");
-        ingest.submit(&shards[0]).expect("submit 0");
+        ingest
+            .submit(service.estimator(), &shards[0])
+            .expect("submit 0");
         // Announcing after the first submit fails (norms are sealed).
         assert!(matches!(
             ingest.announce(&shards[1]),
             Err(CatalogError::Incompatible { .. })
         ));
-        ingest.submit(&shards[1]).expect("submit 1");
-        ingest.finish().expect("finish");
+        ingest
+            .submit(service.estimator(), &shards[1])
+            .expect("submit 1");
+        service.finish_sharded_ingest(ingest).expect("finish");
 
         // Finishing a session that never submitted fails.
         let ingest = service.begin_sharded_ingest("empty");
         assert!(matches!(
-            ingest.finish(),
+            service.finish_sharded_ingest(ingest),
             Err(CatalogError::Incompatible { .. })
         ));
         fs::remove_dir_all(&root).expect("cleanup");
@@ -954,13 +964,48 @@ mod tests {
             ingest.announce(shard).expect("announce");
         }
         for shard in &shards {
-            ingest.submit(shard).expect("submit");
+            ingest.submit(service2.estimator(), shard).expect("submit");
         }
-        let report = ingest.finish().expect("finish");
+        let report = service2.finish_sharded_ingest(ingest).expect("finish");
         assert_eq!(report.skipped, vec!["z".to_string()]);
         assert_eq!(report.registered.len(), 1);
         fs::remove_dir_all(&root).expect("cleanup");
         fs::remove_dir_all(&root2).expect("cleanup");
+    }
+
+    #[test]
+    fn stats_track_ingest_hydration_and_compaction() {
+        let root = temp_root("stats");
+        let (query, good, _) = lake();
+        let spec = spec_for(SketchMethod::WeightedMinHash, 11);
+        let mut service = QueryService::create(&root, spec).expect("create");
+        let empty = service.stats();
+        assert_eq!(
+            (empty.columns, empty.hydrated, empty.bytes_on_disk),
+            (0, 0, 0)
+        );
+        assert_eq!(empty.fingerprint.len(), 16);
+        assert_eq!(empty.sketcher, spec.to_string());
+        assert!(empty.last_compaction.is_none());
+
+        service.ingest_table(&good).expect("ingest");
+        let after_ingest = service.stats();
+        assert_eq!(after_ingest.columns, 2);
+        assert_eq!(after_ingest.hydrated, 2, "direct ingest hydrates");
+        assert!(after_ingest.bytes_on_disk > 0);
+
+        let report = service.compact().expect("compact");
+        assert_eq!(service.stats().last_compaction, Some(report));
+
+        // A cold reopen reports zero hydrated until the first query.
+        drop(service);
+        let mut reopened = QueryService::open(&root).expect("open");
+        assert_eq!(reopened.stats().hydrated, 0);
+        assert!(reopened.stats().last_compaction.is_none());
+        let q = reopened.sketch_query(&query, "rides").expect("sketch");
+        reopened.query_joinable(&q, 1).expect("query");
+        assert_eq!(reopened.stats().hydrated, 2);
+        fs::remove_dir_all(&root).expect("cleanup");
     }
 
     #[test]
@@ -979,13 +1024,13 @@ mod tests {
             .announce(&shards[0])
             .expect("announce is method-agnostic");
         assert!(
-            ingest.submit(&shards[0]).is_err(),
+            ingest.submit(service.estimator(), &shards[0]).is_err(),
             "SimHash partials cannot merge"
         );
         // A session whose only submit failed must not finish as if the table were
         // all-zero "skipped" columns — finishing is a typed error.
         assert!(matches!(
-            ingest.finish(),
+            service.finish_sharded_ingest(ingest),
             Err(CatalogError::Incompatible { .. })
         ));
         fs::remove_dir_all(&root).expect("cleanup");

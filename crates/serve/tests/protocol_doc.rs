@@ -18,6 +18,7 @@
 //! This runs in the tier-1 suite (no `server` feature): the protocol model is pure
 //! data.
 
+use ipsketch_serve::http;
 use ipsketch_serve::protocol::{ErrorCode, Request, Response};
 
 const PROTOCOL_DOC: &str = include_str!("../../../docs/PROTOCOL.md");
@@ -155,6 +156,91 @@ fn the_error_code_table_matches_the_implementation_exactly() {
         documented, implemented,
         "docs/PROTOCOL.md error table and ErrorCode::ALL must list the same codes in the same order"
     );
+}
+
+#[test]
+fn the_http_status_column_matches_the_implementation_exactly() {
+    // The second cell of each error-table row is the code's HTTP status in the
+    // HTTP/1.1 binding.
+    let section = PROTOCOL_DOC
+        .split("## Error codes")
+        .nth(1)
+        .expect("doc has an `## Error codes` section");
+    let mut documented = Vec::new();
+    for line in section.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let mut cells = rest.split('|');
+        let code = cells
+            .next()
+            .expect("code cell")
+            .trim()
+            .trim_matches('`')
+            .to_string();
+        let status: u16 = cells
+            .next()
+            .expect("status cell")
+            .trim()
+            .parse()
+            .expect("HTTP column holds a status number");
+        documented.push((code, status));
+    }
+    let implemented: Vec<(String, u16)> = ErrorCode::ALL
+        .iter()
+        .map(|c| (c.as_str().to_string(), c.http_status()))
+        .collect();
+    assert_eq!(
+        documented, implemented,
+        "docs/PROTOCOL.md HTTP column and ErrorCode::http_status must agree, in order"
+    );
+}
+
+#[test]
+fn the_route_table_matches_the_http_binding_exactly() {
+    // Harvest `| `/v1/…` | `op` |` rows between the HTTP binding heading and the
+    // error-code section.
+    let section = PROTOCOL_DOC
+        .split("## HTTP/1.1 binding")
+        .nth(1)
+        .expect("doc has an `## HTTP/1.1 binding` section")
+        .split("## Error codes")
+        .next()
+        .expect("error codes follow the binding");
+    let mut documented = Vec::new();
+    for line in section.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("| `/") else {
+            continue;
+        };
+        let mut cells = rest.split('|');
+        let path = format!(
+            "/{}",
+            cells.next().expect("path cell").trim().trim_matches('`')
+        );
+        let op = cells
+            .next()
+            .expect("op cell")
+            .trim()
+            .trim_matches('`')
+            .to_string();
+        documented.push((path, op));
+    }
+    let implemented: Vec<(String, String)> = http::ROUTES
+        .iter()
+        .map(|(path, op)| ((*path).to_string(), (*op).to_string()))
+        .collect();
+    assert_eq!(
+        documented, implemented,
+        "docs/PROTOCOL.md route table and http::ROUTES must list the same routes in the same order"
+    );
+    for (path, _) in http::ROUTES {
+        assert!(
+            section.contains(path),
+            "route `{path}` is implemented but undocumented"
+        );
+    }
 }
 
 #[test]

@@ -72,6 +72,14 @@ fn lake() -> (Table, Table, Table) {
     (query, good, bad)
 }
 
+/// The stock test config: TCP framer on an ephemeral port, everything else default.
+fn tcp_config() -> ServerConfig {
+    ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .build()
+        .expect("valid config")
+}
+
 /// A blocking line-protocol client.
 struct Client {
     writer: TcpStream,
@@ -80,7 +88,7 @@ struct Client {
 
 impl Client {
     fn connect(handle: &ServerHandle) -> Client {
-        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let stream = TcpStream::connect(handle.tcp_addr().expect("tcp bound")).expect("connect");
         stream
             .set_read_timeout(Some(Duration::from_secs(60)))
             .expect("timeout");
@@ -161,7 +169,7 @@ fn served_batch_queries_are_bit_identical_to_in_process_answers() {
         .expect("in-process batch");
     let expected_related = service.query_related(&q1, 3, 10.0).expect("related");
 
-    let handle = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let handle = serve(service, tcp_config()).expect("serve");
     let mut client = Client::connect(&handle);
 
     let response = client.call(&Request {
@@ -222,7 +230,7 @@ fn reopened_catalogs_hydrate_lazily_behind_the_read_write_lock() {
     // the write lock to hydrate, then answers under the read lock.
     let cold = QueryService::open(&root).expect("open cold");
     assert_eq!(cold.hydrated_len(), 0);
-    let handle = serve(cold, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let handle = serve(cold, tcp_config()).expect("serve");
     let mut client = Client::connect(&handle);
     let response = client.call(&Request {
         id: Json::Null,
@@ -272,9 +280,9 @@ fn parallel_clients_during_sharded_ingest_see_only_consistent_states() {
             session.announce(shard).expect("announce");
         }
         for shard in &shard_rows(&extra, shards) {
-            session.submit(shard).expect("submit");
+            session.submit(twin.estimator(), shard).expect("submit");
         }
-        session.finish().expect("finish");
+        twin.finish_sharded_ingest(session).expect("finish");
     }
     let after = twin.query_joinable(&q, 5).expect("after");
     assert_ne!(
@@ -285,7 +293,7 @@ fn parallel_clients_during_sharded_ingest_see_only_consistent_states() {
     let mut service = QueryService::create(&root, spec).expect("create");
     service.ingest_table(&good).expect("good");
     service.ingest_table(&bad).expect("bad");
-    let handle = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let handle = serve(service, tcp_config()).expect("serve");
 
     // Queriers hammer the server from their own connections while the main thread
     // drives the sharded ingest over the wire.
@@ -432,7 +440,7 @@ fn protocol_errors_leave_the_connection_usable() {
     let (_, good, _) = lake();
     let mut service = QueryService::create(&root, spec_for(SketchMethod::Kmv, 3)).expect("create");
     service.ingest_table(&good).expect("good");
-    let handle = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let handle = serve(service, tcp_config()).expect("serve");
     let mut client = Client::connect(&handle);
 
     // Malformed JSON.
@@ -483,7 +491,7 @@ fn protocol_errors_leave_the_connection_usable() {
     // The same connection still serves real requests.
     let response = client.call(&Request {
         id: Json::u64(7),
-        body: RequestBody::Info,
+        body: RequestBody::Info { server: false },
     });
     match response.result.expect("info succeeds") {
         ResponseBody::Info {
@@ -505,7 +513,7 @@ fn pipelined_requests_answer_in_order() {
     let (query, good, _) = lake();
     let mut service = QueryService::create(&root, spec_for(SketchMethod::Jl, 9)).expect("create");
     service.ingest_table(&good).expect("good");
-    let handle = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let handle = serve(service, tcp_config()).expect("serve");
     let mut client = Client::connect(&handle);
 
     // Three requests in one burst; responses must come back in request order.
@@ -514,7 +522,7 @@ fn pipelined_requests_answer_in_order() {
         let request = Request {
             id: Json::u64(id),
             body: if id == 1 {
-                RequestBody::Info
+                RequestBody::Info { server: false }
             } else {
                 RequestBody::Query {
                     mode: Mode::Joinable,
@@ -542,11 +550,12 @@ fn pipelined_requests_answer_in_order() {
 fn oversized_lines_fail_typed_and_close() {
     let root = temp_root("toolarge");
     let service = QueryService::create(&root, spec_for(SketchMethod::Kmv, 1)).expect("create");
-    let config = ServerConfig {
-        max_line_bytes: 1024,
-        ..ServerConfig::default()
-    };
-    let handle = serve(service, "127.0.0.1:0", config).expect("serve");
+    let config = ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .max_line_bytes(1024)
+        .build()
+        .expect("valid config");
+    let handle = serve(service, config).expect("serve");
     let mut client = Client::connect(&handle);
     // An oversized line followed by a perfectly valid request: the valid request
     // must never be answered (framing is broken past the bound), and exactly one
@@ -578,11 +587,12 @@ fn requests_framed_before_a_poisoning_line_are_answered_in_order() {
     let (_, good, _) = lake();
     let mut service = QueryService::create(&root, spec_for(SketchMethod::Kmv, 4)).expect("create");
     service.ingest_table(&good).expect("good");
-    let config = ServerConfig {
-        max_line_bytes: 1024,
-        ..ServerConfig::default()
-    };
-    let handle = serve(service, "127.0.0.1:0", config).expect("serve");
+    let config = ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .max_line_bytes(1024)
+        .build()
+        .expect("valid config");
+    let handle = serve(service, config).expect("serve");
     let mut client = Client::connect(&handle);
 
     // One burst: a valid info request, then an oversized line.  The protocol
@@ -617,12 +627,13 @@ fn requests_framed_before_a_poisoning_line_are_answered_in_order() {
 fn abandoned_ingest_sessions_expire_after_their_ttl() {
     let root = temp_root("sessionttl");
     let service = QueryService::create(&root, spec_for(SketchMethod::Kmv, 2)).expect("create");
-    let config = ServerConfig {
-        session_ttl: Duration::from_millis(50),
-        maintenance_interval: None,
-        ..ServerConfig::default()
-    };
-    let handle = serve(service, "127.0.0.1:0", config).expect("serve");
+    let config = ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .session_ttl(Duration::from_millis(50))
+        .maintenance_interval(None)
+        .build()
+        .expect("valid config");
+    let handle = serve(service, config).expect("serve");
     let mut client = Client::connect(&handle);
     let begin = |client: &mut Client, table: &str| -> u64 {
         match client
@@ -698,7 +709,7 @@ fn wire_ingest_registers_and_compaction_runs_on_demand() {
     let root = temp_root("wireingest");
     let (query, good, _) = lake();
     let service = QueryService::create(&root, spec_for(SketchMethod::Icws, 13)).expect("create");
-    let handle = serve(service, "127.0.0.1:0", ServerConfig::default()).expect("serve");
+    let handle = serve(service, tcp_config()).expect("serve");
     let mut client = Client::connect(&handle);
 
     // Partitioned wire ingest, including an all-zero column that must be skipped.
@@ -754,6 +765,177 @@ fn wire_ingest_registers_and_compaction_runs_on_demand() {
             assert_eq!(ranking[0].table, "good");
         }
         other => panic!("expected ranking, got {other:?}"),
+    }
+
+    handle.shutdown();
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// A table bulky enough that a one-worker server falls behind while decoding it.
+fn bulky(name: &str) -> WireTable {
+    let table = Table::new(
+        name,
+        (0..120_000).collect(),
+        vec![Column::new(
+            "v",
+            (0..120_000).map(|i| f64::from(i % 97) + 1.0).collect(),
+        )],
+    )
+    .expect("table");
+    WireTable::from_table(&table)
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_overloaded_then_recovers() {
+    let root = temp_root("conncap");
+    let service =
+        QueryService::create(&root, spec_for(SketchMethod::WeightedMinHash, 5)).expect("create");
+    let config = ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .max_connections(1)
+        .build()
+        .expect("valid config");
+    let handle = serve(service, config).expect("serve");
+
+    // The first client occupies the only slot; a round trip guarantees the
+    // reactor has registered it before anyone else knocks.
+    let mut first = Client::connect(&handle);
+    let response = first.call(&Request {
+        id: Json::Null,
+        body: RequestBody::Info { server: false },
+    });
+    assert!(response.result.is_ok());
+
+    // The second connection is turned away with a typed `overloaded` error…
+    let stream = TcpStream::connect(handle.tcp_addr().expect("tcp bound")).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("rejection line");
+    let rejection = Response::decode(line.trim_end()).expect("typed rejection");
+    let error = rejection
+        .result
+        .expect_err("rejected connections get an error");
+    assert_eq!(error.code, ErrorCode::Overloaded);
+    // …and then closed, so clients know to back off rather than retry in place.
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("clean close"),
+        0,
+        "server must close rejected connections"
+    );
+
+    // The established client is unaffected, and the rejection shows up in the
+    // server stats it can ask for.
+    let response = first.call(&Request {
+        id: Json::Null,
+        body: RequestBody::Info { server: true },
+    });
+    match response
+        .result
+        .expect("established connection still served")
+    {
+        ResponseBody::Info { server, .. } => {
+            let server = server.expect("server stats requested");
+            assert_eq!(server.connections_rejected, 1);
+            let info_op = server
+                .ops
+                .iter()
+                .find(|o| o.op == "info")
+                .expect("info op recorded");
+            assert!(info_op.count >= 1);
+            assert_eq!(info_op.errors, 0);
+        }
+        other => panic!("expected info, got {other:?}"),
+    }
+
+    // After the occupant departs the slot frees, and new clients are served.
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut retry = Client::connect(&handle);
+        let response = retry.call(&Request {
+            id: Json::Null,
+            body: RequestBody::Info { server: false },
+        });
+        match response.result {
+            Ok(_) => break,
+            Err(error) => {
+                assert_eq!(error.code, ErrorCode::Overloaded);
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "connection slot never freed after the occupant closed"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+
+    handle.shutdown();
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn queue_cap_sheds_load_but_keeps_connections_usable() {
+    let root = temp_root("queuecap");
+    let service =
+        QueryService::create(&root, spec_for(SketchMethod::WeightedMinHash, 6)).expect("create");
+    let config = ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .workers(1)
+        .max_queue_depth(1)
+        .build()
+        .expect("valid config");
+    let handle = serve(service, config).expect("serve");
+
+    // Six clients fire bulky ingests at a one-worker, one-deep server: at most
+    // two requests can be in flight, so the burst must be shed, not buffered.
+    let mut clients: Vec<Client> = (0..6).map(|_| Client::connect(&handle)).collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let request = Request {
+            id: Json::Null,
+            body: RequestBody::Ingest {
+                table: bulky(&format!("t{i}")),
+                partitions: None,
+            },
+        };
+        client.send_raw(&request.encode());
+    }
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for client in &mut clients {
+        let response = Response::decode(&client.recv_raw()).expect("well-formed response");
+        match response.result {
+            Ok(_) => served += 1,
+            Err(error) => {
+                assert_eq!(error.code, ErrorCode::Overloaded);
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(served + shed, 6);
+    assert!(served >= 1, "the worker must serve what it can");
+    assert!(
+        shed >= 1,
+        "a one-deep queue cannot absorb a six-request burst"
+    );
+
+    // Shedding is per-request, not per-connection: the same sockets answer
+    // follow-up requests once the queue drains.
+    for client in &mut clients {
+        let response = client.call(&Request {
+            id: Json::Null,
+            body: RequestBody::Info { server: true },
+        });
+        match response.result.expect("connection survives shedding") {
+            ResponseBody::Info { server, .. } => {
+                let server = server.expect("server stats requested");
+                assert_eq!(server.queue_rejected, shed);
+            }
+            other => panic!("expected info, got {other:?}"),
+        }
     }
 
     handle.shutdown();

@@ -91,9 +91,13 @@ fn main() {
             session.announce(shard).expect("norm exchange");
         }
         for shard in &shards {
-            session.submit(shard).expect("shard sketches");
+            session
+                .submit(service.estimator(), shard)
+                .expect("shard sketches");
         }
-        let report = session.finish().expect("registration");
+        let report = service
+            .finish_sharded_ingest(session)
+            .expect("registration");
         println!(
             "shard-partial ingest of `{}`: {} columns from {} shards",
             table.name(),

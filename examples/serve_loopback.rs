@@ -8,7 +8,9 @@
 //! connects a real TCP client, runs a batched joinability query plus the sharded
 //! two-pass ingest over the wire, and asserts the served answers are **bit-identical**
 //! to the in-process `QueryService` answers — the acceptance criterion of the
-//! serving layer.  Exits non-zero on any mismatch, so CI can run it as a smoke test.
+//! serving layer.  A final step repeats a query over the HTTP/1.1 framer and checks
+//! the response body is byte-identical to the TCP line.  Exits non-zero on any
+//! mismatch, so CI can run it as a smoke test.
 
 use ipsketch::core::method::{AnySketcher, SketchMethod};
 use ipsketch::data::{Column, Table};
@@ -18,7 +20,7 @@ use ipsketch::serve::protocol::{
 use ipsketch::serve::server::{serve, ServerConfig};
 use ipsketch::serve::wire::Json;
 use ipsketch::serve::{shard_rows, QueryService};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -65,9 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             session.announce(shard)?;
         }
         for shard in &shard_rows(&depth, 3) {
-            session.submit(shard)?;
+            session.submit(service.estimator(), shard)?;
         }
-        session.finish()?;
+        service.finish_sharded_ingest(session)?;
     }
     let expected_after = service.query_joinable(&q, 3)?;
 
@@ -77,10 +79,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut service = QueryService::create(&root, spec)?;
     service.ingest_table(&weather)?;
 
-    let handle = serve(service, "127.0.0.1:0", ServerConfig::default())?;
-    println!("serving on {}", handle.local_addr());
+    let config = ServerConfig::builder()
+        .tcp("127.0.0.1:0")
+        .http("127.0.0.1:0")
+        .build()?;
+    let handle = serve(service, config)?;
+    let tcp_addr = handle.tcp_addr().expect("tcp bound");
+    let http_addr = handle.http_addr().expect("http bound");
+    println!("serving tcp on {tcp_addr}, http on {http_addr}");
 
-    let stream = TcpStream::connect(handle.local_addr())?;
+    let stream = TcpStream::connect(tcp_addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut send = |request: &Request| -> Result<Response, Box<dyn std::error::Error>> {
         let mut line = request.encode();
@@ -184,7 +192,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode: Mode::Joinable,
             k: 3,
             min_join_size: 0.0,
-            query,
+            query: query.clone(),
         },
     })?;
     let ResponseBody::Ranking(ranking) = response.result.map_err(|e| e.to_string())? else {
@@ -203,6 +211,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "post-ingest query: top hit {}.{} — bit-identical to the in-process twin",
         ranking[0].table, ranking[0].column
     );
+
+    // 4. The same query over the HTTP/1.1 framer: the response body must be
+    // byte-identical to the line the TCP framer sends.
+    let raw_request = Request {
+        id: Json::u64(4),
+        body: RequestBody::Query {
+            mode: Mode::Joinable,
+            k: 3,
+            min_join_size: 0.0,
+            query,
+        },
+    }
+    .encode();
+    (&stream).write_all(raw_request.as_bytes())?;
+    (&stream).write_all(b"\n")?;
+    let mut tcp_line = String::new();
+    reader.read_line(&mut tcp_line)?;
+
+    let http_stream = TcpStream::connect(http_addr)?;
+    let mut http_reader = BufReader::new(http_stream.try_clone()?);
+    (&http_stream).write_all(
+        format!(
+            "POST /v1/query HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{raw_request}",
+            raw_request.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut status = String::new();
+    http_reader.read_line(&mut status)?;
+    if !status.starts_with("HTTP/1.1 200") {
+        return Err(format!("expected 200 over HTTP, got {}", status.trim_end()).into());
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        http_reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = value.trim().parse()?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    http_reader.read_exact(&mut body)?;
+    assert_eq!(
+        String::from_utf8(body)?,
+        tcp_line,
+        "HTTP response body must be byte-identical to the TCP line"
+    );
+    println!("http query on {http_addr}: 200, body byte-identical to the TCP framer");
 
     handle.shutdown();
     std::fs::remove_dir_all(&root)?;
