@@ -67,5 +67,5 @@ pub mod wmh;
 
 pub use error::SketchError;
 pub use method::{AnySketch, AnySketcher, SketchMethod};
-pub use spec::SketcherSpec;
+pub use spec::{FormatVersion, SketcherKind, SketcherSpec};
 pub use traits::{MergeableSketcher, Sketch, Sketcher};

@@ -15,7 +15,7 @@ use crate::minhash::{MinHashSketch, MinHasher};
 use crate::simhash::{SimHashSketch, SimHashSketcher};
 use crate::storage;
 use crate::traits::{MergeableSketcher, Sketch, Sketcher};
-use crate::wmh::{WeightedMinHashSketch, WeightedMinHasher};
+use crate::wmh::{WeightedMinHashSketch, WeightedMinHasher, WmhStream};
 use ipsketch_vector::SparseVector;
 
 /// The default discretization parameter `L` used when building WMH sketchers through
@@ -210,11 +210,17 @@ impl AnySketcher {
                 storage::sampling_samples_for_budget(budget_doubles),
                 seed,
             )?),
-            SketchMethod::WeightedMinHash => AnySketcher::WeightedMinHash(WeightedMinHasher::new(
-                storage::wmh_samples_for_budget(budget_doubles),
-                seed,
-                discretization,
-            )?),
+            // Freshly configured sketchers sample the v2 record stream: deterministic
+            // across platforms and faster to build.  Re-opening an existing catalog
+            // goes through `SketcherSpec::build`, which preserves the recorded stream.
+            SketchMethod::WeightedMinHash => {
+                AnySketcher::WeightedMinHash(WeightedMinHasher::with_stream(
+                    storage::wmh_samples_for_budget(budget_doubles),
+                    seed,
+                    discretization,
+                    WmhStream::V2,
+                )?)
+            }
             SketchMethod::SimHash => AnySketcher::SimHash(SimHashSketcher::new(
                 storage::simhash_bits_for_budget(budget_doubles),
                 seed,

@@ -15,7 +15,7 @@ use crate::kmv::{KmvEntry, KmvSketch};
 use crate::method::AnySketch;
 use crate::minhash::{MinHashParams, MinHashSketch};
 use crate::simhash::SimHashSketch;
-use crate::wmh::{WeightedMinHashSketch, WmhParams, WmhVariant};
+use crate::wmh::{WeightedMinHashSketch, WmhParams, WmhStream, WmhVariant};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ipsketch_hash::family::HashFamilyKind;
 
@@ -278,9 +278,13 @@ impl BinarySketch for WeightedMinHashSketch {
         buf.put_u64_le(self.params.samples as u64);
         buf.put_u64_le(self.params.seed);
         buf.put_u64_le(self.params.discretization);
-        buf.put_u8(match self.params.variant {
-            WmhVariant::Fast => 0,
-            WmhVariant::Naive => 1,
+        // One byte encodes the (variant, stream) pair so that v1-stream sketches keep
+        // their historical bytes: 0 = fast/v1-stream (the original meaning of "fast"),
+        // 1 = naive (always v1-stream — it never samples a stream), 2 = fast/v2-stream.
+        buf.put_u8(match (self.params.variant, self.params.stream) {
+            (WmhVariant::Fast, WmhStream::V1) => 0,
+            (WmhVariant::Naive, _) => 1,
+            (WmhVariant::Fast, WmhStream::V2) => 2,
         });
         buf.put_f64_le(self.norm);
         put_f64_slice(&mut buf, &self.hashes);
@@ -297,9 +301,10 @@ impl BinarySketch for WeightedMinHashSketch {
         if buf.remaining() < 1 {
             return Err(corrupt("missing WMH variant tag"));
         }
-        let variant = match buf.get_u8() {
-            0 => WmhVariant::Fast,
-            1 => WmhVariant::Naive,
+        let (variant, stream) = match buf.get_u8() {
+            0 => (WmhVariant::Fast, WmhStream::V1),
+            1 => (WmhVariant::Naive, WmhStream::V1),
+            2 => (WmhVariant::Fast, WmhStream::V2),
             other => return Err(corrupt(format!("unknown WMH variant tag {other}"))),
         };
         let norm = get_f64(buf)?;
@@ -314,6 +319,7 @@ impl BinarySketch for WeightedMinHashSketch {
                 seed,
                 discretization,
                 variant,
+                stream,
             },
             hashes,
             values,
@@ -569,6 +575,27 @@ mod tests {
         let sk2 = naive.sketch(&sample_vector()).unwrap();
         let decoded2 = WeightedMinHashSketch::from_bytes(&sk2.to_bytes()).unwrap();
         assert_eq!(sk2, decoded2);
+    }
+
+    #[test]
+    fn wmh_round_trip_preserves_the_stream() {
+        // The v2-stream sketch round-trips with its stream intact, and its combined
+        // variant byte (2) is distinct from the frozen v1 bytes (0/1).
+        let v2 = WeightedMinHasher::with_stream(16, 7, 1 << 12, WmhStream::V2).unwrap();
+        let sk = v2.sketch(&sample_vector()).unwrap();
+        let bytes = sk.to_bytes();
+        assert_eq!(bytes[6 + 24], 2, "combined variant/stream byte");
+        let decoded = WeightedMinHashSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(sk, decoded);
+        assert_eq!(decoded.params().stream, WmhStream::V2);
+        // A v1-stream sketch keeps the historical byte 0.
+        let v1 = WeightedMinHasher::new(16, 7, 1 << 12).unwrap();
+        let v1_bytes = v1.sketch(&sample_vector()).unwrap().to_bytes();
+        assert_eq!(v1_bytes[6 + 24], 0, "v1 sketches must keep their bytes");
+        // An unknown combined byte is rejected.
+        let mut bad = v1_bytes.to_vec();
+        bad[6 + 24] = 9;
+        assert!(WeightedMinHashSketch::from_bytes(&bad).is_err());
     }
 
     #[test]

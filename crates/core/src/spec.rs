@@ -1,4 +1,4 @@
-//! Catalog-stable sketcher configuration descriptors.
+//! Catalog-stable sketcher configuration descriptors and format versioning.
 //!
 //! A persisted sketch is only usable by the exact sketcher configuration that produced
 //! it — same method, same parameters, same seed (the paper's shared-random-seed
@@ -6,6 +6,21 @@
 //! stable binary encoding, so an on-disk catalog can record *how* its sketches were
 //! built, rebuild the sketcher when it is reopened, and reject foreign sketches at
 //! load time instead of at estimate time.
+//!
+//! # Format versions
+//!
+//! Every format-bearing container in the workspace — this spec encoding, the
+//! `SketchedColumn` blob, the catalog manifest — leads with a one-byte version that is
+//! a [`FormatVersion`].  A spec's `format` field is the single source of truth: the
+//! spec encodes itself under that version, and the catalog derives its manifest and
+//! blob versions from it, so one field decides the format of a whole catalog.
+//!
+//! * **v1** froze the layouts shipped by the first catalogs.  v1 encodings produced by
+//!   this build are byte-for-byte identical to what the pre-versioning code wrote.
+//! * **v2** adds manifest deletion tombstones and, for Weighted MinHash, the
+//!   deterministic-logarithm record stream ([`WmhStream::V2`](crate::wmh::WmhStream))
+//!   that frees the hot sketching loop from libm.  v1 catalogs load read-only and
+//!   estimate exactly as before.
 
 use crate::countsketch::CountSketcher;
 use crate::error::{incompatible, SketchError};
@@ -20,41 +35,73 @@ use crate::serialize::{
 };
 use crate::simhash::SimHashSketcher;
 use crate::traits::Sketch;
-use crate::wmh::{WeightedMinHasher, WmhVariant};
+use crate::wmh::{WeightedMinHasher, WmhStream, WmhVariant};
 use ipsketch_hash::family::HashFamilyKind;
 use std::fmt;
 
-/// Spec encoding version.  Bump on any change to the field layout below.
-const SPEC_VERSION: u8 = 1;
+/// The generation of every on-disk layout in the workspace: the sketcher-spec
+/// encoding, the column blob, and the catalog manifest all carry their
+/// `FormatVersion` as a leading byte, and a catalog uses one format end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FormatVersion {
+    /// The original frozen layouts.  Catalogs in this format are read-only.
+    V1,
+    /// Adds manifest tombstones (column deletion) and the v2 WMH record stream.
+    V2,
+}
 
-/// The complete configuration of an [`AnySketcher`]: method, sizing parameters and
-/// seed.  Two sketchers with equal specs produce interchangeable sketches; two
-/// sketchers with different specs never do.
-///
-/// # Example
-///
-/// A spec round-trips through its stable binary encoding, carries a stable
-/// fingerprint, and rebuilds the exact sketcher — which is how a persistent catalog
-/// records *how* its sketches were built and rejects foreign ones at load time:
-///
-/// ```
-/// use ipsketch_core::method::{AnySketcher, SketchMethod};
-/// use ipsketch_core::SketcherSpec;
-///
-/// let sketcher = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 7).unwrap();
-/// let spec = sketcher.spec();
-///
-/// let decoded = SketcherSpec::decode(&spec.encode()).unwrap();
-/// assert_eq!(decoded, spec);
-/// assert_eq!(decoded.fingerprint(), spec.fingerprint());
-/// assert_eq!(decoded.build().unwrap().spec(), spec);
-///
-/// // A different seed is a different spec — and a different fingerprint.
-/// let reseeded = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 8).unwrap().spec();
-/// assert_ne!(reseeded.fingerprint(), spec.fingerprint());
-/// ```
+impl FormatVersion {
+    /// The format new catalogs are created with.
+    pub const CURRENT: FormatVersion = FormatVersion::V2;
+
+    /// The version byte written at the head of every container in this format.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FormatVersion::V1 => 1,
+            FormatVersion::V2 => 2,
+        }
+    }
+
+    /// Parses a container's leading version byte.
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(FormatVersion::V1),
+            2 => Some(FormatVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// The short label used in CLI output and the `info` response (`"v1"` / `"v2"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FormatVersion::V1 => "v1",
+            FormatVersion::V2 => "v2",
+        }
+    }
+
+    /// The uniform decode-error text for a container whose version byte this build
+    /// does not read: names the container, the found version, and the supported
+    /// range.  Shared by the spec, manifest and column-blob decoders so every layer
+    /// reports version mismatches identically.
+    #[must_use]
+    pub fn unsupported(container: &str, found: u8) -> String {
+        format!("unsupported {container} version {found} (this build reads versions 1 through 2)")
+    }
+}
+
+impl fmt::Display for FormatVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The method and parameters of a sketcher configuration — everything a
+/// [`SketcherSpec`] records except the format generation it is persisted under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SketcherSpec {
+pub enum SketcherKind {
     /// Johnson–Lindenstrauss projection with `rows` rows.
     Jl {
         /// Number of projection rows.
@@ -98,6 +145,9 @@ pub enum SketcherSpec {
         discretization: u64,
         /// Which WMH implementation produced the sketches.
         variant: WmhVariant,
+        /// Which record-stream definition the sketches were sampled with.  The v2
+        /// stream requires format v2; v1 catalogs always carry [`WmhStream::V1`].
+        stream: WmhStream,
     },
     /// SimHash with `bits` one-bit projections.
     SimHash {
@@ -115,18 +165,18 @@ pub enum SketcherSpec {
     },
 }
 
-impl SketcherSpec {
-    /// The sketching method this spec configures.
+impl SketcherKind {
+    /// The sketching method this configuration belongs to.
     #[must_use]
     pub fn method(&self) -> SketchMethod {
         match self {
-            SketcherSpec::Jl { .. } => SketchMethod::Jl,
-            SketcherSpec::CountSketch { .. } => SketchMethod::CountSketch,
-            SketcherSpec::MinHash { .. } => SketchMethod::MinHash,
-            SketcherSpec::Kmv { .. } => SketchMethod::Kmv,
-            SketcherSpec::WeightedMinHash { .. } => SketchMethod::WeightedMinHash,
-            SketcherSpec::SimHash { .. } => SketchMethod::SimHash,
-            SketcherSpec::Icws { .. } => SketchMethod::Icws,
+            SketcherKind::Jl { .. } => SketchMethod::Jl,
+            SketcherKind::CountSketch { .. } => SketchMethod::CountSketch,
+            SketcherKind::MinHash { .. } => SketchMethod::MinHash,
+            SketcherKind::Kmv { .. } => SketchMethod::Kmv,
+            SketcherKind::WeightedMinHash { .. } => SketchMethod::WeightedMinHash,
+            SketcherKind::SimHash { .. } => SketchMethod::SimHash,
+            SketcherKind::Icws { .. } => SketchMethod::Icws,
         }
     }
 
@@ -134,29 +184,119 @@ impl SketcherSpec {
     #[must_use]
     pub fn seed(&self) -> u64 {
         match *self {
-            SketcherSpec::Jl { seed, .. }
-            | SketcherSpec::CountSketch { seed, .. }
-            | SketcherSpec::MinHash { seed, .. }
-            | SketcherSpec::Kmv { seed, .. }
-            | SketcherSpec::WeightedMinHash { seed, .. }
-            | SketcherSpec::SimHash { seed, .. }
-            | SketcherSpec::Icws { seed, .. } => seed,
+            SketcherKind::Jl { seed, .. }
+            | SketcherKind::CountSketch { seed, .. }
+            | SketcherKind::MinHash { seed, .. }
+            | SketcherKind::Kmv { seed, .. }
+            | SketcherKind::WeightedMinHash { seed, .. }
+            | SketcherKind::SimHash { seed, .. }
+            | SketcherKind::Icws { seed, .. } => seed,
         }
     }
+}
 
-    /// Encodes the spec into its stable binary form (version byte, method tag, seed,
-    /// then the method's parameters, all little-endian fixed width).
+/// The complete configuration of an [`AnySketcher`] — method, sizing parameters, seed
+/// — plus the [`FormatVersion`] it is persisted under.  Two sketchers with equal specs
+/// produce interchangeable sketches; two sketchers with different specs never do.
+///
+/// # Example
+///
+/// A spec round-trips through its stable binary encoding, carries a stable
+/// fingerprint, and rebuilds the exact sketcher — which is how a persistent catalog
+/// records *how* its sketches were built and rejects foreign ones at load time:
+///
+/// ```
+/// use ipsketch_core::method::{AnySketcher, SketchMethod};
+/// use ipsketch_core::{FormatVersion, SketcherSpec};
+///
+/// let sketcher = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 7).unwrap();
+/// let spec = sketcher.spec();
+/// assert_eq!(spec.format, FormatVersion::CURRENT);
+///
+/// let decoded = SketcherSpec::decode(&spec.encode()).unwrap();
+/// assert_eq!(decoded, spec);
+/// assert_eq!(decoded.fingerprint(), spec.fingerprint());
+/// assert_eq!(decoded.build().unwrap().spec(), spec);
+///
+/// // A different seed is a different spec — and a different fingerprint.  So is the
+/// // same configuration persisted under a different format.
+/// let reseeded = AnySketcher::for_budget(SketchMethod::Kmv, 128.0, 8).unwrap().spec();
+/// assert_ne!(reseeded.fingerprint(), spec.fingerprint());
+/// assert_ne!(
+///     spec.with_format(FormatVersion::V1).fingerprint(),
+///     spec.fingerprint()
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketcherSpec {
+    /// The on-disk format generation this configuration is persisted under.  The
+    /// spec's own encoding leads with this byte, and a catalog's manifest and blob
+    /// versions follow it.
+    pub format: FormatVersion,
+    /// The method and its parameters.
+    pub kind: SketcherKind,
+}
+
+impl SketcherSpec {
+    /// A spec persisted under `format`.
+    #[must_use]
+    pub fn new(format: FormatVersion, kind: SketcherKind) -> Self {
+        Self { format, kind }
+    }
+
+    /// A format-v1 spec (the frozen original layouts; read-only in catalogs).
+    #[must_use]
+    pub fn v1(kind: SketcherKind) -> Self {
+        Self::new(FormatVersion::V1, kind)
+    }
+
+    /// A format-v2 spec (the current writable format).
+    #[must_use]
+    pub fn v2(kind: SketcherKind) -> Self {
+        Self::new(FormatVersion::V2, kind)
+    }
+
+    /// The same configuration persisted under a different format.  This is the
+    /// transcoding step of catalog migration; note it changes the fingerprint.
+    #[must_use]
+    pub fn with_format(self, format: FormatVersion) -> Self {
+        Self { format, ..self }
+    }
+
+    /// The sketching method this spec configures.
+    #[must_use]
+    pub fn method(&self) -> SketchMethod {
+        self.kind.method()
+    }
+
+    /// The master seed of the configuration.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.kind.seed()
+    }
+
+    /// Encodes the spec into its stable binary form: the format's version byte, the
+    /// method tag, the seed, then the method's parameters, all little-endian fixed
+    /// width.  Format-v1 encodings are byte-for-byte what the pre-versioning build
+    /// wrote; under format v2 a Weighted MinHash spec additionally records its
+    /// record-stream byte.
+    ///
+    /// A v1-format WMH spec claiming the v2 stream is not encodable (the v1 layout
+    /// has no stream field); the combination is inert — [`build`](Self::build) and
+    /// [`validate_sketch`](Self::validate_sketch) reject it, and
+    /// [`decode`](Self::decode) can never produce it — so `encode` stays infallible
+    /// and emits the v1 layout.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32);
-        out.push(SPEC_VERSION);
-        match *self {
-            SketcherSpec::Jl { rows, seed } => {
+        out.push(self.format.as_u8());
+        match self.kind {
+            SketcherKind::Jl { rows, seed } => {
                 out.push(TAG_JL);
                 out.extend_from_slice(&seed.to_le_bytes());
                 out.extend_from_slice(&(rows as u64).to_le_bytes());
             }
-            SketcherSpec::CountSketch {
+            SketcherKind::CountSketch {
                 buckets,
                 repetitions,
                 seed,
@@ -166,7 +306,7 @@ impl SketcherSpec {
                 out.extend_from_slice(&(buckets as u64).to_le_bytes());
                 out.extend_from_slice(&(repetitions as u64).to_le_bytes());
             }
-            SketcherSpec::MinHash {
+            SketcherKind::MinHash {
                 samples,
                 seed,
                 hash_kind,
@@ -176,16 +316,17 @@ impl SketcherSpec {
                 out.extend_from_slice(&(samples as u64).to_le_bytes());
                 out.push(hash_kind_to_u8(hash_kind));
             }
-            SketcherSpec::Kmv { capacity, seed } => {
+            SketcherKind::Kmv { capacity, seed } => {
                 out.push(TAG_KMV);
                 out.extend_from_slice(&seed.to_le_bytes());
                 out.extend_from_slice(&(capacity as u64).to_le_bytes());
             }
-            SketcherSpec::WeightedMinHash {
+            SketcherKind::WeightedMinHash {
                 samples,
                 seed,
                 discretization,
                 variant,
+                stream,
             } => {
                 out.push(TAG_WMH);
                 out.extend_from_slice(&seed.to_le_bytes());
@@ -195,13 +336,16 @@ impl SketcherSpec {
                     WmhVariant::Fast => 0,
                     WmhVariant::Naive => 1,
                 });
+                if self.format >= FormatVersion::V2 {
+                    out.push(stream.as_u8());
+                }
             }
-            SketcherSpec::SimHash { bits, seed } => {
+            SketcherKind::SimHash { bits, seed } => {
                 out.push(TAG_SIMHASH);
                 out.extend_from_slice(&seed.to_le_bytes());
                 out.extend_from_slice(&(bits as u64).to_le_bytes());
             }
-            SketcherSpec::Icws { samples, seed } => {
+            SketcherKind::Icws { samples, seed } => {
                 out.push(TAG_ICWS);
                 out.extend_from_slice(&seed.to_le_bytes());
                 out.extend_from_slice(&(samples as u64).to_le_bytes());
@@ -210,39 +354,40 @@ impl SketcherSpec {
         out
     }
 
-    /// Decodes a spec previously produced by [`encode`](Self::encode).
+    /// Decodes a spec previously produced by [`encode`](Self::encode), of either
+    /// format version.
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::Corrupt`] on truncation, an unknown version, or an
-    /// unknown method/variant tag, and rejects trailing bytes (a spec is stored as an
-    /// exactly-sized field, so extra bytes indicate corruption).
+    /// Returns [`SketchError::Corrupt`] on truncation, an unsupported version, or an
+    /// unknown method/variant/stream tag, and rejects trailing bytes (a spec is
+    /// stored as an exactly-sized field, so extra bytes indicate corruption).
     pub fn decode(bytes: &[u8]) -> Result<Self, SketchError> {
         let mut cursor = SliceReader::new(bytes);
         let version = cursor.u8()?;
-        if version != SPEC_VERSION {
+        let Some(format) = FormatVersion::from_u8(version) else {
             return Err(SketchError::Corrupt {
-                detail: format!("unsupported sketcher-spec version {version}"),
+                detail: FormatVersion::unsupported("sketcher-spec", version),
             });
-        }
+        };
         let tag = cursor.u8()?;
         let seed = cursor.u64()?;
-        let spec = match tag {
-            TAG_JL => SketcherSpec::Jl {
+        let kind = match tag {
+            TAG_JL => SketcherKind::Jl {
                 rows: cursor.u64()? as usize,
                 seed,
             },
-            TAG_COUNTSKETCH => SketcherSpec::CountSketch {
+            TAG_COUNTSKETCH => SketcherKind::CountSketch {
                 buckets: cursor.u64()? as usize,
                 repetitions: cursor.u64()? as usize,
                 seed,
             },
-            TAG_MINHASH => SketcherSpec::MinHash {
+            TAG_MINHASH => SketcherKind::MinHash {
                 samples: cursor.u64()? as usize,
                 seed,
                 hash_kind: hash_kind_from_u8(cursor.u8()?)?,
             },
-            TAG_KMV => SketcherSpec::Kmv {
+            TAG_KMV => SketcherKind::Kmv {
                 capacity: cursor.u64()? as usize,
                 seed,
             },
@@ -258,18 +403,30 @@ impl SketcherSpec {
                         })
                     }
                 };
-                SketcherSpec::WeightedMinHash {
+                // The v1 layout predates the stream field: every v1 WMH sketch was
+                // sampled with the v1 stream.  v2 records the stream explicitly.
+                let stream = match format {
+                    FormatVersion::V1 => WmhStream::V1,
+                    FormatVersion::V2 => {
+                        let byte = cursor.u8()?;
+                        WmhStream::from_u8(byte).ok_or_else(|| SketchError::Corrupt {
+                            detail: format!("unknown WMH stream tag {byte}"),
+                        })?
+                    }
+                };
+                SketcherKind::WeightedMinHash {
                     samples,
                     seed,
                     discretization,
                     variant,
+                    stream,
                 }
             }
-            TAG_SIMHASH => SketcherSpec::SimHash {
+            TAG_SIMHASH => SketcherKind::SimHash {
                 bits: cursor.u64()? as usize,
                 seed,
             },
-            TAG_ICWS => SketcherSpec::Icws {
+            TAG_ICWS => SketcherKind::Icws {
                 samples: cursor.u64()? as usize,
                 seed,
             },
@@ -280,11 +437,13 @@ impl SketcherSpec {
             }
         };
         cursor.finished()?;
-        Ok(spec)
+        Ok(SketcherSpec { format, kind })
     }
 
     /// A 64-bit fingerprint of the configuration (FNV-1a over the stable encoding).
-    /// Cheap to compare and store; equal specs always have equal fingerprints.
+    /// Cheap to compare and store; equal specs always have equal fingerprints.  The
+    /// format participates: the same parameters persisted under v1 and v2 are
+    /// different specs with different fingerprints.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         fnv64(&self.encode())
@@ -295,12 +454,13 @@ impl SketcherSpec {
     /// # Errors
     ///
     /// Returns [`SketchError::InvalidParameter`] if the recorded parameters are out of
-    /// range (e.g. zero samples) or describe a sketcher the dynamic front end cannot
-    /// host (the naive WMH variant, which exists for ablation only).
+    /// range (e.g. zero samples), describe a sketcher the dynamic front end cannot
+    /// host (the naive WMH variant, which exists for ablation only), or pair the v2
+    /// WMH record stream with format v1 (the v1 layout cannot persist it).
     pub fn build(&self) -> Result<AnySketcher, SketchError> {
-        Ok(match *self {
-            SketcherSpec::Jl { rows, seed } => AnySketcher::Jl(JlSketcher::new(rows, seed)?),
-            SketcherSpec::CountSketch {
+        Ok(match self.kind {
+            SketcherKind::Jl { rows, seed } => AnySketcher::Jl(JlSketcher::new(rows, seed)?),
+            SketcherKind::CountSketch {
                 buckets,
                 repetitions,
                 seed,
@@ -309,19 +469,20 @@ impl SketcherSpec {
                 repetitions,
                 seed,
             )?),
-            SketcherSpec::MinHash {
+            SketcherKind::MinHash {
                 samples,
                 seed,
                 hash_kind,
             } => AnySketcher::MinHash(MinHasher::with_hash_kind(samples, seed, hash_kind)?),
-            SketcherSpec::Kmv { capacity, seed } => {
+            SketcherKind::Kmv { capacity, seed } => {
                 AnySketcher::Kmv(KmvSketcher::new(capacity, seed)?)
             }
-            SketcherSpec::WeightedMinHash {
+            SketcherKind::WeightedMinHash {
                 samples,
                 seed,
                 discretization,
                 variant,
+                stream,
             } => {
                 if variant != WmhVariant::Fast {
                     return Err(SketchError::InvalidParameter {
@@ -329,21 +490,33 @@ impl SketcherSpec {
                         allowed: "the fast WMH variant (naive is ablation-only)",
                     });
                 }
-                AnySketcher::WeightedMinHash(WeightedMinHasher::new(samples, seed, discretization)?)
+                if stream == WmhStream::V2 && self.format < FormatVersion::V2 {
+                    return Err(SketchError::InvalidParameter {
+                        name: "stream",
+                        allowed: "the v1 record stream under format v1 (the v2 stream requires format v2)",
+                    });
+                }
+                AnySketcher::WeightedMinHash(WeightedMinHasher::with_stream(
+                    samples,
+                    seed,
+                    discretization,
+                    stream,
+                )?)
             }
-            SketcherSpec::SimHash { bits, seed } => {
+            SketcherKind::SimHash { bits, seed } => {
                 AnySketcher::SimHash(SimHashSketcher::new(bits, seed)?)
             }
-            SketcherSpec::Icws { samples, seed } => {
+            SketcherKind::Icws { samples, seed } => {
                 AnySketcher::Icws(IcwsSketcher::new(samples, seed)?)
             }
         })
     }
 
     /// Checks that `sketch` could have been produced by this configuration — same
-    /// method, same seed, same sizing parameters.  This is the load-time gate a
-    /// persistent catalog applies so that incompatible sketches are rejected when they
-    /// are read, not when they are first compared.
+    /// method, same seed, same sizing parameters (and for WMH, the same record
+    /// stream).  This is the load-time gate a persistent catalog applies so that
+    /// incompatible sketches are rejected when they are read, not when they are first
+    /// compared.
     ///
     /// # Errors
     ///
@@ -354,8 +527,8 @@ impl SketcherSpec {
                 "stored sketch does not match the catalog sketcher: {what}"
             )))
         };
-        match (*self, sketch) {
-            (SketcherSpec::Jl { rows, seed }, AnySketch::Jl(s)) => {
+        match (self.kind, sketch) {
+            (SketcherKind::Jl { rows, seed }, AnySketch::Jl(s)) => {
                 if s.seed() != seed {
                     return mismatch("JL seed differs");
                 }
@@ -364,7 +537,7 @@ impl SketcherSpec {
                 }
             }
             (
-                SketcherSpec::CountSketch {
+                SketcherKind::CountSketch {
                     buckets,
                     repetitions,
                     seed,
@@ -379,7 +552,7 @@ impl SketcherSpec {
                 }
             }
             (
-                SketcherSpec::MinHash {
+                SketcherKind::MinHash {
                     samples,
                     seed,
                     hash_kind,
@@ -390,17 +563,18 @@ impl SketcherSpec {
                     return mismatch("MinHash configuration differs");
                 }
             }
-            (SketcherSpec::Kmv { capacity, seed }, AnySketch::Kmv(s)) => {
+            (SketcherKind::Kmv { capacity, seed }, AnySketch::Kmv(s)) => {
                 if s.seed() != seed || s.capacity() != capacity {
                     return mismatch("KMV configuration differs");
                 }
             }
             (
-                SketcherSpec::WeightedMinHash {
+                SketcherKind::WeightedMinHash {
                     samples,
                     seed,
                     discretization,
                     variant,
+                    stream,
                 },
                 AnySketch::WeightedMinHash(s),
             ) => {
@@ -409,16 +583,17 @@ impl SketcherSpec {
                     || params.samples != samples
                     || params.discretization != discretization
                     || params.variant != variant
+                    || params.stream != stream
                 {
                     return mismatch("WMH configuration differs");
                 }
             }
-            (SketcherSpec::SimHash { bits, seed }, AnySketch::SimHash(s)) => {
+            (SketcherKind::SimHash { bits, seed }, AnySketch::SimHash(s)) => {
                 if s.seed() != seed || s.bits() != bits {
                     return mismatch("SimHash configuration differs");
                 }
             }
-            (SketcherSpec::Icws { samples, seed }, AnySketch::Icws(s)) => {
+            (SketcherKind::Icws { samples, seed }, AnySketch::Icws(s)) => {
                 if s.seed() != seed || s.len() != samples {
                     return mismatch("ICWS configuration differs");
                 }
@@ -449,11 +624,11 @@ fn sketch_kind(sketch: &AnySketch) -> &'static str {
     }
 }
 
-impl fmt::Display for SketcherSpec {
+impl fmt::Display for SketcherKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            SketcherSpec::Jl { rows, seed } => write!(f, "JL(rows={rows}, seed={seed})"),
-            SketcherSpec::CountSketch {
+            SketcherKind::Jl { rows, seed } => write!(f, "JL(rows={rows}, seed={seed})"),
+            SketcherKind::CountSketch {
                 buckets,
                 repetitions,
                 seed,
@@ -461,71 +636,82 @@ impl fmt::Display for SketcherSpec {
                 f,
                 "CS(buckets={buckets}, repetitions={repetitions}, seed={seed})"
             ),
-            SketcherSpec::MinHash {
+            SketcherKind::MinHash {
                 samples,
                 seed,
                 hash_kind,
             } => write!(f, "MH(samples={samples}, seed={seed}, hash={hash_kind:?})"),
-            SketcherSpec::Kmv { capacity, seed } => write!(f, "KMV(k={capacity}, seed={seed})"),
-            SketcherSpec::WeightedMinHash {
+            SketcherKind::Kmv { capacity, seed } => write!(f, "KMV(k={capacity}, seed={seed})"),
+            SketcherKind::WeightedMinHash {
                 samples,
                 seed,
                 discretization,
                 variant,
+                stream,
             } => write!(
                 f,
-                "WMH(samples={samples}, seed={seed}, L={discretization}, variant={variant:?})"
+                "WMH(samples={samples}, seed={seed}, L={discretization}, variant={variant:?}, \
+                 stream={stream:?})"
             ),
-            SketcherSpec::SimHash { bits, seed } => write!(f, "SimHash(bits={bits}, seed={seed})"),
-            SketcherSpec::Icws { samples, seed } => {
+            SketcherKind::SimHash { bits, seed } => write!(f, "SimHash(bits={bits}, seed={seed})"),
+            SketcherKind::Icws { samples, seed } => {
                 write!(f, "ICWS(samples={samples}, seed={seed})")
             }
         }
     }
 }
 
+impl fmt::Display for SketcherSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [format {}]", self.kind, self.format)
+    }
+}
+
 impl AnySketcher {
-    /// The full configuration of this sketcher as plain, persistable data.
+    /// The full configuration of this sketcher as plain, persistable data, under the
+    /// current format ([`FormatVersion::CURRENT`]).
     /// `AnySketcher::spec().build()` reconstructs an identical sketcher.
     #[must_use]
     pub fn spec(&self) -> SketcherSpec {
-        match self {
-            AnySketcher::Jl(s) => SketcherSpec::Jl {
+        let kind = match self {
+            AnySketcher::Jl(s) => SketcherKind::Jl {
                 rows: s.rows(),
                 seed: s.seed(),
             },
-            AnySketcher::CountSketch(s) => SketcherSpec::CountSketch {
+            AnySketcher::CountSketch(s) => SketcherKind::CountSketch {
                 buckets: s.buckets(),
                 repetitions: s.repetitions(),
                 seed: s.seed(),
             },
-            AnySketcher::MinHash(s) => SketcherSpec::MinHash {
+            AnySketcher::MinHash(s) => SketcherKind::MinHash {
                 samples: s.samples(),
                 seed: s.seed(),
                 hash_kind: s.hash_kind(),
             },
-            AnySketcher::Kmv(s) => SketcherSpec::Kmv {
+            AnySketcher::Kmv(s) => SketcherKind::Kmv {
                 capacity: s.capacity(),
                 seed: s.seed(),
             },
             AnySketcher::WeightedMinHash(s) => {
                 let params = s.params();
-                SketcherSpec::WeightedMinHash {
+                SketcherKind::WeightedMinHash {
                     samples: params.samples,
                     seed: params.seed,
                     discretization: params.discretization,
                     variant: params.variant,
+                    stream: params.stream,
                 }
             }
-            AnySketcher::SimHash(s) => SketcherSpec::SimHash {
+            AnySketcher::SimHash(s) => SketcherKind::SimHash {
                 bits: s.bits(),
                 seed: s.seed(),
             },
-            AnySketcher::Icws(s) => SketcherSpec::Icws {
+            AnySketcher::Icws(s) => SketcherKind::Icws {
                 samples: s.samples(),
                 seed: s.seed(),
             },
-        }
+        };
+        SketcherSpec::new(FormatVersion::CURRENT, kind)
     }
 }
 
@@ -547,12 +733,53 @@ mod tests {
     }
 
     #[test]
-    fn encode_decode_round_trips_every_method() {
+    fn encode_decode_round_trips_every_method_in_both_formats() {
         for spec in all_specs() {
-            let encoded = spec.encode();
-            let decoded = SketcherSpec::decode(&encoded).expect("fresh encoding decodes");
-            assert_eq!(decoded, spec);
+            for format in [FormatVersion::V1, FormatVersion::V2] {
+                let mut spec = spec.with_format(format);
+                if let SketcherKind::WeightedMinHash { ref mut stream, .. } = spec.kind {
+                    if format == FormatVersion::V1 {
+                        // The v1 layout cannot persist a v2 stream (and no v1 catalog
+                        // ever carried one).
+                        *stream = WmhStream::V1;
+                    }
+                }
+                let encoded = spec.encode();
+                assert_eq!(encoded[0], format.as_u8());
+                let decoded = SketcherSpec::decode(&encoded).expect("fresh encoding decodes");
+                assert_eq!(decoded, spec);
+            }
         }
+    }
+
+    #[test]
+    fn v1_encoding_is_byte_identical_to_the_frozen_layout() {
+        // The pre-versioning layout: [version=1, tag, seed u64, params…].  This must
+        // never drift — v1 catalogs on disk depend on it.
+        let spec = SketcherSpec::v1(SketcherKind::Kmv {
+            capacity: 32,
+            seed: 0x0102_0304_0506_0708,
+        });
+        let mut expected = vec![1u8, TAG_KMV];
+        expected.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        expected.extend_from_slice(&32u64.to_le_bytes());
+        assert_eq!(spec.encode(), expected);
+
+        let wmh = SketcherSpec::v1(SketcherKind::WeightedMinHash {
+            samples: 16,
+            seed: 9,
+            discretization: 1 << 20,
+            variant: WmhVariant::Fast,
+            stream: WmhStream::V1,
+        });
+        let encoded = wmh.encode();
+        // version + tag + seed + samples + discretization + variant = 27 bytes; the v1
+        // layout has no stream byte.
+        assert_eq!(encoded.len(), 27);
+        // The v2 encoding of the same kind appends exactly the stream byte.
+        let v2 = wmh.with_format(FormatVersion::V2).encode();
+        assert_eq!(v2.len(), 28);
+        assert_eq!(&v2[1..27], &encoded[1..27]);
     }
 
     #[test]
@@ -573,37 +800,40 @@ mod tests {
     }
 
     #[test]
-    fn fingerprints_separate_configurations() {
-        let base = SketcherSpec::Kmv {
+    fn fingerprints_separate_configurations_and_formats() {
+        let base = SketcherSpec::v2(SketcherKind::Kmv {
             capacity: 32,
             seed: 7,
-        };
+        });
         assert_eq!(base.fingerprint(), base.fingerprint());
-        let other_seed = SketcherSpec::Kmv {
+        let other_seed = SketcherSpec::v2(SketcherKind::Kmv {
             capacity: 32,
             seed: 8,
-        };
-        let other_size = SketcherSpec::Kmv {
+        });
+        let other_size = SketcherSpec::v2(SketcherKind::Kmv {
             capacity: 33,
             seed: 7,
-        };
-        let other_method = SketcherSpec::Icws {
+        });
+        let other_method = SketcherSpec::v2(SketcherKind::Icws {
             samples: 32,
             seed: 7,
-        };
+        });
+        let other_format = base.with_format(FormatVersion::V1);
         assert_ne!(base.fingerprint(), other_seed.fingerprint());
         assert_ne!(base.fingerprint(), other_size.fingerprint());
         assert_ne!(base.fingerprint(), other_method.fingerprint());
+        assert_ne!(base.fingerprint(), other_format.fingerprint());
     }
 
     #[test]
     fn decode_rejects_corruption() {
-        let spec = SketcherSpec::WeightedMinHash {
+        let spec = SketcherSpec::v2(SketcherKind::WeightedMinHash {
             samples: 16,
             seed: 9,
             discretization: 1 << 20,
             variant: WmhVariant::Fast,
-        };
+            stream: WmhStream::V2,
+        });
         let encoded = spec.encode();
         // Truncations at every prefix length fail loudly.
         for cut in 0..encoded.len() {
@@ -619,26 +849,63 @@ mod tests {
         let mut padded = encoded.clone();
         padded.push(0);
         assert!(SketcherSpec::decode(&padded).is_err());
-        // Unknown version and method tags are rejected.
+        // Unknown version bytes are rejected with the uniform wording that names both
+        // the found and the supported versions.
         let mut bad_version = encoded.clone();
         bad_version[0] = 99;
-        assert!(SketcherSpec::decode(&bad_version).is_err());
-        let mut bad_tag = encoded;
+        let err = SketcherSpec::decode(&bad_version).expect_err("version 99 is unsupported");
+        let text = err.to_string();
+        assert!(text.contains("version 99"), "{text}");
+        assert!(text.contains("versions 1 through 2"), "{text}");
+        // Unknown method and stream tags are rejected.
+        let mut bad_tag = encoded.clone();
         bad_tag[1] = 200;
         assert!(SketcherSpec::decode(&bad_tag).is_err());
+        let mut bad_stream = encoded;
+        let last = bad_stream.len() - 1;
+        bad_stream[last] = 9;
+        assert!(SketcherSpec::decode(&bad_stream).is_err());
     }
 
     #[test]
     fn naive_wmh_variant_cannot_build() {
-        let spec = SketcherSpec::WeightedMinHash {
+        let spec = SketcherSpec::v1(SketcherKind::WeightedMinHash {
             samples: 8,
             seed: 1,
             discretization: 256,
             variant: WmhVariant::Naive,
-        };
+            stream: WmhStream::V1,
+        });
         // Round-trips as data but refuses to build a dynamic sketcher.
         assert_eq!(SketcherSpec::decode(&spec.encode()).expect("decodes"), spec);
         assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn v2_stream_requires_format_v2() {
+        let kind = SketcherKind::WeightedMinHash {
+            samples: 8,
+            seed: 1,
+            discretization: 256,
+            variant: WmhVariant::Fast,
+            stream: WmhStream::V2,
+        };
+        // The inert invalid combination: constructible as data, rejected by build.
+        assert!(SketcherSpec::v1(kind).build().is_err());
+        assert!(SketcherSpec::v2(kind).build().is_ok());
+        // The migration case — a v1-stream sketcher transcoded into a v2 container —
+        // is valid: the stream is a property of the sketches, the format of the files.
+        let migrated = SketcherSpec::v2(SketcherKind::WeightedMinHash {
+            samples: 8,
+            seed: 1,
+            discretization: 256,
+            variant: WmhVariant::Fast,
+            stream: WmhStream::V1,
+        });
+        let built = migrated
+            .build()
+            .expect("v1 stream is valid under format v2");
+        assert_eq!(built.spec().with_format(FormatVersion::V2), migrated);
     }
 
     #[test]
@@ -673,10 +940,30 @@ mod tests {
     }
 
     #[test]
+    fn validate_sketch_separates_wmh_streams() {
+        // A v2-stream spec must reject a sketch sampled with the v1 stream (and vice
+        // versa): same parameters, different implicit hash streams.
+        let v = SparseVector::from_pairs((0..30u64).map(|i| (i * 2, 1.0 + i as f64)))
+            .expect("finite values");
+        let v1_sketcher = WeightedMinHasher::new(16, 3, 1 << 16).expect("params");
+        let v2_sketcher =
+            WeightedMinHasher::with_stream(16, 3, 1 << 16, WmhStream::V2).expect("params");
+        let v1_sketch = AnySketch::WeightedMinHash(v1_sketcher.sketch(&v).expect("sketch"));
+        let v2_sketch = AnySketch::WeightedMinHash(v2_sketcher.sketch(&v).expect("sketch"));
+        let v2_spec = AnySketcher::WeightedMinHash(v2_sketcher).spec();
+        assert!(v2_spec.validate_sketch(&v2_sketch).is_ok());
+        assert!(v2_spec.validate_sketch(&v1_sketch).is_err());
+        let v1_spec = AnySketcher::WeightedMinHash(v1_sketcher).spec();
+        assert!(v1_spec.validate_sketch(&v1_sketch).is_ok());
+        assert!(v1_spec.validate_sketch(&v2_sketch).is_err());
+    }
+
+    #[test]
     fn display_is_informative() {
         for spec in all_specs() {
             let text = spec.to_string();
             assert!(text.contains("seed="), "{text}");
+            assert!(text.contains("format v2"), "{text}");
         }
     }
 }

@@ -15,12 +15,12 @@
 //! stored hash values are bit-identical, which is what the Algorithm 5 estimator
 //! requires.
 
-use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhVariant};
+use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhStream, WmhVariant};
 use crate::error::{incompatible, SketchError};
 use crate::kernel::{self, KernelMode};
 use crate::traits::{MergeableSketcher, Sketcher};
 use ipsketch_hash::mix::mix2;
-use ipsketch_hash::record::{prefix_min_replay, RecordStream};
+use ipsketch_hash::record::{prefix_min_replay, prefix_min_replay_v2_sweep, Record, RecordStream};
 use ipsketch_vector::rounding::{normalize_and_round, repetition_counts};
 use ipsketch_vector::SparseVector;
 
@@ -45,11 +45,35 @@ impl WeightedMinHasher {
     ///   size; it should be comfortably larger than the number of non-zero entries
     ///   (the paper recommends at least 100–1000×).
     ///
+    /// The sketcher samples the frozen [`WmhStream::V1`] record stream, matching every
+    /// sketch built before streams existed; use
+    /// [`with_stream`](Self::with_stream) to select the deterministic-logarithm v2
+    /// stream.
+    ///
     /// # Errors
     ///
     /// Returns [`SketchError::InvalidParameter`] if `samples == 0` or
     /// `discretization == 0`.
     pub fn new(samples: usize, seed: u64, discretization: u64) -> Result<Self, SketchError> {
+        Self::with_stream(samples, seed, discretization, WmhStream::V1)
+    }
+
+    /// Creates a Weighted MinHash sketcher sampling the given record stream.
+    ///
+    /// Sketches built with different streams are bit-incompatible (the stream is part
+    /// of [`WmhParams`]); pick [`WmhStream::V2`] for new catalogs — it is faster to
+    /// build and reproducible across platforms — and [`WmhStream::V1`] only to match
+    /// existing v1 sketches.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_stream(
+        samples: usize,
+        seed: u64,
+        discretization: u64,
+        stream: WmhStream,
+    ) -> Result<Self, SketchError> {
         validate_params(samples, discretization)?;
         Ok(Self {
             params: WmhParams {
@@ -57,6 +81,7 @@ impl WeightedMinHasher {
                 seed,
                 discretization,
                 variant: WmhVariant::Fast,
+                stream,
             },
             stream_seed: mix2(seed, 0x57_4D48),
         })
@@ -78,6 +103,25 @@ impl WeightedMinHasher {
     #[must_use]
     pub fn discretization(&self) -> u64 {
         self.params.discretization
+    }
+
+    /// The record-stream definition this sketcher samples.
+    #[must_use]
+    pub fn stream(&self) -> WmhStream {
+        self.params.stream
+    }
+
+    /// The per-`(sample, block)` prefix minimum under this sketcher's stream
+    /// definition — the scalar reference used by the sequential kernel and the
+    /// streaming update path.
+    #[inline]
+    fn stream_prefix_min(&self, sample: u64, block: u64, count: u64) -> Record {
+        let mut stream = RecordStream::new(self.stream_seed, sample, block);
+        match self.params.stream {
+            WmhStream::V1 => stream.prefix_min(count),
+            WmhStream::V2 => stream.prefix_min_v2(count),
+        }
+        .expect("count >= 1 by construction")
     }
 
     /// The configuration fingerprint.
@@ -107,7 +151,6 @@ impl WeightedMinHasher {
 
     /// The scalar reference: sample-outer, block-inner, one record stream at a time.
     fn sample_minima_scalar(&self, blocks: &[(u64, u64, f64)]) -> (Vec<f64>, Vec<f64>) {
-        let stream_seed = self.stream_seed;
         let m = self.params.samples;
         let mut hashes = Vec::with_capacity(m);
         let mut values = Vec::with_capacity(m);
@@ -115,9 +158,7 @@ impl WeightedMinHasher {
             let mut best_hash = f64::INFINITY;
             let mut best_value = 0.0;
             for &(block, count, value) in blocks {
-                let record = RecordStream::new(stream_seed, sample as u64, block)
-                    .prefix_min(count)
-                    .expect("count >= 1 by construction");
+                let record = self.stream_prefix_min(sample as u64, block, count);
                 if record.value < best_hash {
                     best_hash = record.value;
                     best_value = value;
@@ -133,18 +174,24 @@ impl WeightedMinHasher {
     ///
     /// Each block's seed-mix half and prefix length are built once and swept across all
     /// `m` samples with a min-reduction into the `hashes`/`values` arrays, and every
-    /// stream is replayed with the tight [`prefix_min_replay`] kernel (register-resident
-    /// state, logarithm-free resolution of the most probable skip).  The per-sample seed
-    /// states are hoisted once per sketch instead of once per `(sample, block)` pair.
-    /// For every sample, blocks are visited in input order and minima kept on strict
-    /// `<`, so the result is bit-for-bit identical to
+    /// stream is replayed with the tight register-resident replay kernels.  The
+    /// per-sample seed states are hoisted once per sketch instead of once per
+    /// `(sample, block)` pair.  For every sample, blocks are visited in input order and
+    /// minima kept on strict `<`, so the result is bit-for-bit identical to
     /// [`sample_minima_scalar`](Self::sample_minima_scalar).
     ///
-    /// The restructuring is deliberately modest: record replay is a stream of dependent
-    /// `ln`/divide chains that branch speculation already overlaps in the scalar loop,
-    /// so (measured, see the README performance notes) the wins here come from the
-    /// hoisted states and the cheap-skip shortcut, not from manual lane interleaving —
-    /// a 4-wide lockstep variant benchmarked at parity and was dropped.
+    /// The two streams vectorize differently.  The v1 stream is pinned to libm's `ln`
+    /// — an opaque scalar call that cannot be widened — so its restructuring is
+    /// deliberately modest: the wins come from the hoisted states and
+    /// [`prefix_min_replay`]'s logarithm-free resolution of the most probable skip,
+    /// and a 4-wide lockstep variant benchmarked at parity and was dropped.  The v2
+    /// stream's deterministic logarithm is a short chain of exactly-specified f64
+    /// operations that *does* pack, so its sample sweep runs through
+    /// [`prefix_min_replay_v2_sweep`]: three streams replayed in lockstep per block
+    /// (six logarithm pairs filling three packed evaluations on AVX2, three
+    /// interleaved generators hiding the state-update latency), with finished lanes
+    /// reloaded from the remaining samples so no lane idles while a slow stream
+    /// drains.  This is the v2 format's sketch-build speedup.
     fn sample_minima_vectorized(&self, blocks: &[(u64, u64, f64)]) -> (Vec<f64>, Vec<f64>) {
         let m = self.params.samples;
         let sample_states: Vec<u64> = (0..m as u64)
@@ -154,15 +201,29 @@ impl WeightedMinHasher {
         let mut values = vec![0.0; m];
         for &(block, count, value) in blocks {
             let block_state = RecordStream::block_state(block);
-            for (sample_state, (hash, value_slot)) in sample_states
-                .iter()
-                .zip(hashes.iter_mut().zip(values.iter_mut()))
-            {
-                let record = prefix_min_replay(*sample_state, block_state, count)
-                    .expect("count >= 1 by construction");
-                if record.value < *hash {
-                    *hash = record.value;
-                    *value_slot = value;
+            let mut commit = |sample: usize, record: Record| {
+                if record.value < hashes[sample] {
+                    hashes[sample] = record.value;
+                    values[sample] = value;
+                }
+            };
+            match self.params.stream {
+                WmhStream::V1 => {
+                    for (sample, sample_state) in sample_states.iter().enumerate() {
+                        let record = prefix_min_replay(*sample_state, block_state, count)
+                            .expect("count >= 1 by construction");
+                        commit(sample, record);
+                    }
+                }
+                WmhStream::V2 => {
+                    prefix_min_replay_v2_sweep(
+                        &sample_states,
+                        block_state,
+                        count,
+                        &mut |sample, record| {
+                            commit(sample, record.expect("count >= 1 by construction"));
+                        },
+                    );
                 }
             }
         }
@@ -369,11 +430,8 @@ impl MergeableSketcher for WeightedMinHasher {
         }
         let count = units as u64;
         let value = normalized.signum() * (units / l_f).sqrt();
-        let stream_seed = self.stream_seed;
         for sample in 0..self.params.samples {
-            let record = RecordStream::new(stream_seed, sample as u64, index)
-                .prefix_min(count)
-                .expect("count >= 1 checked above");
+            let record = self.stream_prefix_min(sample as u64, index, count);
             if record.value < sketch.hashes[sample] {
                 sketch.hashes[sample] = record.value;
                 sketch.values[sample] = value;
@@ -434,6 +492,11 @@ mod tests {
         assert_eq!(s.seed(), 3);
         assert_eq!(s.discretization(), 100);
         assert_eq!(s.name(), "WMH");
+        // `new` is frozen to the v1 stream; the v2 stream is opt-in.
+        assert_eq!(s.stream(), WmhStream::V1);
+        let v2 = WeightedMinHasher::with_stream(10, 3, 100, WmhStream::V2).unwrap();
+        assert_eq!(v2.stream(), WmhStream::V2);
+        assert!(WeightedMinHasher::with_stream(0, 1, 100, WmhStream::V2).is_err());
     }
 
     #[test]
@@ -468,6 +531,76 @@ mod tests {
                 assert_eq!(scalar.norm(), vectorized.norm());
             }
         }
+    }
+
+    #[test]
+    fn v2_stream_scalar_and_vectorized_kernels_are_bit_identical() {
+        // The vectorized twin of the v2 stream must replay the exact scalar reference,
+        // just like the v1 pair.
+        let vectors = [
+            SparseVector::from_pairs([(9, 4.0)]).unwrap(),
+            SparseVector::from_pairs([(0, 1.0), (3, -2.0), (11, 0.5)]).unwrap(),
+            SparseVector::from_pairs((0..50u64).map(|i| (i * 2, 1.0 + (i % 7) as f64))).unwrap(),
+        ];
+        for m in [1usize, 2, 5, 8, 33] {
+            let s = WeightedMinHasher::with_stream(m, 0xC0FFEE, 1 << 18, WmhStream::V2).unwrap();
+            for v in &vectors {
+                let scalar = s.sketch_scalar(v).unwrap();
+                let vectorized = s.sketch_vectorized(v).unwrap();
+                for (x, y) in scalar.hashes().iter().zip(vectorized.hashes()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "m = {m}");
+                }
+                for (x, y) in scalar.values().iter().zip(vectorized.values()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "m = {m}");
+                }
+                assert_eq!(scalar.norm(), vectorized.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_bit_incompatible_but_statistically_interchangeable() {
+        let a = SparseVector::from_pairs((0..300u64).map(|i| (i, 1.0 + (i % 7) as f64))).unwrap();
+        let b = SparseVector::from_pairs((150..450u64).map(|i| (i, 0.5 + (i % 5) as f64))).unwrap();
+        let exact = inner_product(&a, &b);
+        let scale = a.norm() * b.norm();
+        let trials = 20u64;
+        let mut v1_total = 0.0;
+        let mut v2_total = 0.0;
+        for seed in 0..trials {
+            let s1 = WeightedMinHasher::new(256, seed, 1 << 22).unwrap();
+            let s2 = WeightedMinHasher::with_stream(256, seed, 1 << 22, WmhStream::V2).unwrap();
+            let (sa1, sb1) = (s1.sketch(&a).unwrap(), s1.sketch(&b).unwrap());
+            let (sa2, sb2) = (s2.sketch(&a).unwrap(), s2.sketch(&b).unwrap());
+            // Different parameter sets: mixing streams is rejected up front.
+            assert!(s1.estimate_inner_product(&sa1, &sb2).is_err());
+            assert!(matches!(
+                super::super::estimate(&sa1, &sa2),
+                Err(SketchError::IncompatibleSketches { .. })
+            ));
+            v1_total += s1.estimate_inner_product(&sa1, &sb1).unwrap();
+            v2_total += s2.estimate_inner_product(&sa2, &sb2).unwrap();
+        }
+        let v1_mean = v1_total / trials as f64;
+        let v2_mean = v2_total / trials as f64;
+        // Both streams estimate the same inner product with the paper's guarantee.
+        assert!((v1_mean - exact).abs() < 0.03 * scale, "v1 mean {v1_mean}");
+        assert!((v2_mean - exact).abs() < 0.03 * scale, "v2 mean {v2_mean}");
+    }
+
+    #[test]
+    fn v2_update_stream_equals_partition_sketching() {
+        // The streaming-update path dispatches on the stream exactly like the batch
+        // kernels, so streamed v2 partials equal v2 partition sketches bit-for-bit.
+        let v = SparseVector::from_pairs((0..60u64).map(|i| (i * 3, (i as f64) - 25.0))).unwrap();
+        let s = WeightedMinHasher::with_stream(64, 5, 1 << 20, WmhStream::V2).unwrap();
+        let norm = v.norm();
+        let mut streamed = s.empty_sketch_with_norm(norm).unwrap();
+        for (index, value) in v.iter() {
+            s.update(&mut streamed, index, value).unwrap();
+        }
+        let partitioned = s.sketch_partition(&v, norm).unwrap();
+        assert_eq!(streamed, partitioned);
     }
 
     #[test]

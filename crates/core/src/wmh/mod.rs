@@ -45,6 +45,45 @@ pub enum WmhVariant {
     Naive,
 }
 
+/// Which record-stream definition a fast WMH sketch was sampled with.
+///
+/// Both streams walk the same implicit expanded vector with geometric skips; they
+/// differ only in the logarithm that turns a uniform variate into a skip.  The v1
+/// stream is bound to libm's `ln` (reproducible per-platform); the v2 stream uses the
+/// deterministic [`fast_log2`](ipsketch_hash::fast_log2), making sketch bytes
+/// identical on every platform — and, because the custom logarithm is much cheaper
+/// than libm's, substantially faster to build.  The two streams produce statistically
+/// interchangeable but bit-incompatible sketches, so the stream is part of the sketch
+/// parameters and the estimator refuses to mix them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WmhStream {
+    /// The original libm-`ln` stream (the only stream format-v1 catalogs can hold).
+    V1,
+    /// The deterministic-logarithm stream introduced with format v2.
+    V2,
+}
+
+impl WmhStream {
+    /// The stable encoding byte of this stream (`1` / `2`).
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            WmhStream::V1 => 1,
+            WmhStream::V2 => 2,
+        }
+    }
+
+    /// Parses a stream byte produced by [`as_u8`](Self::as_u8).
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(WmhStream::V1),
+            2 => Some(WmhStream::V2),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration fingerprint shared by a family of compatible WMH sketches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WmhParams {
@@ -56,6 +95,10 @@ pub struct WmhParams {
     pub discretization: u64,
     /// Which implementation produced the sketch.
     pub variant: WmhVariant,
+    /// Which record-stream definition the sketch was sampled with.  Always
+    /// [`WmhStream::V1`] for the naive variant, which hashes expanded positions
+    /// directly and never samples a stream.
+    pub stream: WmhStream,
 }
 
 /// The Weighted MinHash sketch of Algorithm 3:

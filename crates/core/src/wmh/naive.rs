@@ -9,7 +9,7 @@
 //!    produce statistically indistinguishable estimates), and
 //! 2. serve as the baseline in the sketching-cost ablation (`wmh_ablation` bench).
 
-use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhVariant};
+use super::{validate_params, WeightedMinHashSketch, WmhParams, WmhStream, WmhVariant};
 use crate::error::SketchError;
 use crate::traits::Sketcher;
 use ipsketch_hash::family::{HashFamily, UnitHashFamily};
@@ -41,6 +41,9 @@ impl NaiveWeightedMinHasher {
                 seed,
                 discretization,
                 variant: WmhVariant::Naive,
+                // The naive sketcher hashes expanded positions with a hash family; it
+                // never samples a record stream, so its stream field is fixed at v1.
+                stream: WmhStream::V1,
             },
             family,
         })

@@ -7,6 +7,14 @@
 //! distributed with success probability `z`.  Sampling that skip directly lets the
 //! sketcher jump over entire runs of irrelevant positions, reducing the per-block cost
 //! from `O(L)` to `O(log L)` in expectation.
+//!
+//! Two skip samplers live here.  [`geometric_skip`] is the frozen v1 definition, bound
+//! to libm's `ln` and therefore only reproducible per-platform; [`geometric_skip_v2`]
+//! is the v2 definition used by format-v2 sketches, built on the deterministic
+//! [`fast_log2`](crate::log2::fast_log2) so the sampled skips — and hence sketch bytes
+//! — are identical on every platform.  The two agree except when the log ratio lands
+//! within ~1e-9 of an integer (per-draw probability on the order of 1e-8), which is
+//! why v2 is a distinct stream definition rather than a drop-in replacement.
 
 /// Samples a geometric random variable with success probability `p` from a single
 /// uniform variate `u ∈ (0, 1]` by inversion.
@@ -34,6 +42,48 @@ pub fn geometric_skip(p: f64, u: f64) -> u64 {
         return if u >= 1.0 { 1 } else { u64::MAX };
     }
     let skip = (u.ln() / denom).ceil();
+    if !skip.is_finite() || skip >= u64::MAX as f64 {
+        u64::MAX
+    } else if skip < 1.0 {
+        1
+    } else {
+        skip as u64
+    }
+}
+
+/// The v2 geometric skip sampler: same inversion as [`geometric_skip`], defined in
+/// terms of the deterministic [`fast_log2`](crate::log2::fast_log2) instead of libm's
+/// `ln`, so format-v2 sketches are bit-reproducible across platforms.
+///
+/// `ceil(ln u / ln(1 − p))` equals `ceil(log₂ u / log₂(1 − p))` exactly, so swapping
+/// the base changes nothing; swapping the log *implementation* defines a (very
+/// slightly) different stream, frozen here as the v2 definition.  The most probable
+/// skip is resolved without logarithms: `u ≥ 1 − p` implies a skip of 1, and unlike v1
+/// — where that shortcut is an optimization proven consistent with the log path — here
+/// it is *part of the definition*, shared by every caller, scalar or vectorized.
+///
+/// Saturates at `u64::MAX` exactly like [`geometric_skip`].
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]` or `u` is not in `(0, 1]`.
+#[inline]
+#[must_use]
+pub fn geometric_skip_v2(p: f64, u: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "success probability {p} out of (0, 1]");
+    assert!(u > 0.0 && u <= 1.0, "uniform variate {u} out of (0, 1]");
+    // Definitional shortcut: success on the very first trial.  Also covers p == 1
+    // (then 1 − p == 0 < u always).
+    if u >= 1.0 - p {
+        return 1;
+    }
+    let denom = crate::log2::fast_log2(1.0 - p);
+    if denom == 0.0 {
+        // p is below the f64 resolution of (1 − p); u < 1 here (u ≥ 1 took the
+        // shortcut), so the skip is astronomically large: saturate.
+        return u64::MAX;
+    }
+    let skip = (crate::log2::fast_log2(u) / denom).ceil();
     if !skip.is_finite() || skip >= u64::MAX as f64 {
         u64::MAX
     } else if skip < 1.0 {
@@ -156,5 +206,99 @@ mod tests {
     #[should_panic(expected = "uniform variate")]
     fn zero_u_panics() {
         let _ = geometric_skip(0.5, 0.0);
+    }
+
+    #[test]
+    fn v2_p_one_always_returns_one() {
+        for u in [0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(geometric_skip_v2(1.0, u), 1);
+        }
+    }
+
+    #[test]
+    fn v2_shortcut_is_definitional() {
+        // u ≥ 1 − p gives 1 by definition, including exactly at the boundary.
+        let mut rng = Xoshiro256PlusPlus::new(0x5C2);
+        for _ in 0..100_000 {
+            let p = rng.next_open_unit_f64();
+            let u = rng.next_open_unit_f64();
+            if u >= 1.0 - p {
+                assert_eq!(geometric_skip_v2(p, u), 1, "p={p}, u={u}");
+            }
+        }
+        assert_eq!(geometric_skip_v2(0.25, 0.75), 1);
+    }
+
+    #[test]
+    fn v2_skip_is_at_least_one() {
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        for _ in 0..10_000 {
+            let p = rng.next_range_f64(1e-6, 1.0);
+            let u = rng.next_open_unit_f64();
+            assert!(geometric_skip_v2(p, u) >= 1);
+        }
+    }
+
+    #[test]
+    fn v2_tiny_p_saturates_instead_of_overflowing() {
+        let skip = geometric_skip_v2(1e-300, 0.999_999);
+        assert!(skip > 1);
+        let skip2 = geometric_skip_v2(f64::MIN_POSITIVE, 0.5);
+        assert!(skip2 > 1_000_000);
+        // Below the resolution of 1 − p the denominator collapses to 0 and the skip
+        // saturates.
+        assert_eq!(geometric_skip_v2(1e-17, 0.5), u64::MAX);
+    }
+
+    #[test]
+    fn v2_mean_matches_one_over_p() {
+        // The v2 stream is a different definition of the same distribution.
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        for &p in &[0.5, 0.2, 0.05] {
+            let n = 200_000;
+            let sum: f64 = (0..n)
+                .map(|_| geometric_skip_v2(p, rng.next_open_unit_f64()) as f64)
+                .sum();
+            let mean = sum / f64::from(n);
+            let expected = 1.0 / p;
+            assert!(
+                (mean - expected).abs() / expected < 0.03,
+                "p={p}: mean {mean}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_agrees_with_v1_except_at_log_rounding_boundaries() {
+        // The two definitions sample the same inverse CDF with different log
+        // implementations; on random draws they disagree only when the log ratio
+        // falls within ~1e-9 of an integer.  Deterministic seed, so this is a fixed
+        // (not flaky) measurement of how close the definitions are.
+        let mut rng = Xoshiro256PlusPlus::new(0xD15A);
+        let n = 100_000u32;
+        let mut disagreements = 0u32;
+        for _ in 0..n {
+            let p = rng.next_open_unit_f64();
+            let u = rng.next_open_unit_f64();
+            if geometric_skip(p, u) != geometric_skip_v2(p, u) {
+                disagreements += 1;
+            }
+        }
+        assert!(
+            disagreements <= 2,
+            "{disagreements} of {n} draws disagreed; the definitions have drifted"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "success probability")]
+    fn v2_zero_p_panics() {
+        let _ = geometric_skip_v2(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform variate")]
+    fn v2_zero_u_panics() {
+        let _ = geometric_skip_v2(0.5, 0.0);
     }
 }

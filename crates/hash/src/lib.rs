@@ -19,21 +19,29 @@
 //!   style sketches that need `m` independent hash functions.
 //! * [`sign`] — ±1 sign hashes and bucket hashes used by Johnson–Lindenstrauss,
 //!   CountSketch and SimHash.
-//! * [`geometric`] — inverse-CDF geometric sampling.
+//! * [`geometric`] — inverse-CDF geometric sampling, in two frozen definitions: the v1
+//!   sampler bound to libm's `ln` and the v2 sampler built on [`log2`].
+//! * [`log2`] — a deterministic, cross-platform `log₂` from exactly-specified f64
+//!   arithmetic, the foundation of the format-v2 record stream.
 //! * [`record`] — deterministic *record streams*: the sequence of successive minima of
 //!   an implicit stream of uniform hash values, used to implement the "active index"
 //!   technique that makes Weighted MinHash sketching run in `O(nnz · m · log L)` time
 //!   instead of `O(nnz · m · L)`.
 //!
-//! All functionality is deterministic given a seed and uses no global state, no
-//! interior mutability and no `unsafe`.
+//! All functionality is deterministic given a seed and uses no global state and no
+//! interior mutability.  `unsafe` is denied crate-wide with exactly one carve-out:
+//! the AVX2 twins of the deterministic logarithm and the v2 record replay
+//! ([`log2::fast_log2_x4`] and [`record::avx2`]), which consist solely of
+//! `core::arch` SIMD intrinsics behind runtime feature detection and are tested
+//! bit-for-bit against their safe scalar references.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod family;
 pub mod geometric;
+pub mod log2;
 pub mod mix;
 pub mod prime;
 pub mod record;
@@ -45,7 +53,8 @@ pub mod universal;
 
 pub use error::HashError;
 pub use family::{HashFamily, HashFamilyKind, UnitHashFamily};
-pub use geometric::geometric_skip;
+pub use geometric::{geometric_skip, geometric_skip_v2};
+pub use log2::fast_log2;
 pub use record::{Record, RecordStream};
 pub use rng::{SplitMix64, Xoshiro256PlusPlus};
 pub use sign::{BucketHasher, SignHasher};

@@ -30,7 +30,8 @@
 //! length `k` has exactly the distribution of `min` of `k` i.i.d. uniforms, and the
 //! joint distribution across nested prefixes matches the idealized model as well.
 
-use crate::geometric::geometric_skip;
+use crate::geometric::{geometric_skip, geometric_skip_v2};
+use crate::log2::fast_log2;
 use crate::mix::{mix2, mix2_key, mix3, splitmix64};
 use crate::rng::Xoshiro256PlusPlus;
 
@@ -125,6 +126,29 @@ impl RecordStream {
         Some(record)
     }
 
+    /// The v2 analogue of [`next_record`](Self::next_record): identical draw order and
+    /// underflow handling, but the geometric skip is sampled with
+    /// [`geometric_skip_v2`] (deterministic `fast_log2` instead of libm `ln`).
+    ///
+    /// A stream must be driven by one family only — mixing v1 and v2 calls on the same
+    /// stream samples neither definition.
+    pub fn next_record_v2(&mut self) -> Option<Record> {
+        let position = self.next_position?;
+        let value = match self.current {
+            None => self.rng.next_unit_f64(),
+            Some(prev) => prev.value * self.rng.next_unit_f64(),
+        };
+        if value <= 0.0 {
+            self.next_position = None;
+            return None;
+        }
+        let record = Record { position, value };
+        self.current = Some(record);
+        let skip = geometric_skip_v2(value, self.rng.next_open_unit_f64());
+        self.next_position = position.checked_add(skip);
+        Some(record)
+    }
+
     /// Returns the minimum hash value over the prefix of the first `len` positions,
     /// together with the position where it occurs.
     ///
@@ -141,6 +165,26 @@ impl RecordStream {
             match self.next_position {
                 Some(p) if p < len => {
                     if self.next_record().is_none() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.current.filter(|r| r.position < len)
+    }
+
+    /// The v2 analogue of [`prefix_min`](Self::prefix_min), driving the stream with
+    /// [`next_record_v2`](Self::next_record_v2).  This is the scalar *reference* for
+    /// the v2 stream; [`prefix_min_replay_v2`] is its bit-identical fast twin.
+    pub fn prefix_min_v2(&mut self, len: u64) -> Option<Record> {
+        if len == 0 {
+            return None;
+        }
+        loop {
+            match self.next_position {
+                Some(p) if p < len => {
+                    if self.next_record_v2().is_none() {
                         break;
                     }
                 }
@@ -215,6 +259,610 @@ pub fn prefix_min_replay(sample_state: u64, block_state: u64, len: u64) -> Optio
         value = next_value;
     }
     Some(Record { position, value })
+}
+
+/// Convenience wrapper: the v2-stream prefix minimum for `(seed, sample, block)`.
+///
+/// Returns `None` if `len == 0`.
+#[must_use]
+pub fn prefix_min_v2(seed: u64, sample: u64, block: u64, len: u64) -> Option<Record> {
+    RecordStream::new(seed, sample, block).prefix_min_v2(len)
+}
+
+/// The v2-stream prefix minimum via a tight inlined replay: bit-identical to
+/// `RecordStream::from_states(sample_state, block_state).prefix_min_v2(len)`.
+///
+/// On x86-64 CPUs with AVX2 this dispatches to a packed replay that evaluates both
+/// logarithms of two *speculated* records per [`fast_log2_x4`](crate::log2::fast_log2_x4)
+/// call (see the [`avx2`] module docs for why speculation preserves bit-parity);
+/// everywhere else it runs [`prefix_min_replay_v2_scalar`].  Both paths replay the
+/// identical stream definition, bit for bit.
+#[inline]
+#[allow(unsafe_code)]
+#[must_use]
+pub fn prefix_min_replay_v2(sample_state: u64, block_state: u64, len: u64) -> Option<Record> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just checked.
+        return unsafe { avx2::prefix_min_replay_v2(sample_state, block_state, len) };
+    }
+    prefix_min_replay_v2_scalar(sample_state, block_state, len)
+}
+
+/// The prefix minima of *two* v2 streams over the same block prefix: bit-identical to
+/// calling [`prefix_min_replay_v2`] once per stream, usually faster.
+///
+/// The Weighted MinHash kernel sweeps one block across all `m` samples, so streams
+/// sharing a block batch naturally; the pair handles a sweep remainder the triple
+/// ([`prefix_min_replay_v2_x3`]) cannot.  On AVX2 the pair is replayed in lockstep —
+/// four logarithms (two speculated records × two streams) per packed evaluation —
+/// which also interleaves the two generators' serial state-update chains, the latency
+/// floor a single stream cannot overlap.  Elsewhere the two streams run through the
+/// scalar replay back to back.
+#[allow(unsafe_code)]
+#[must_use]
+pub fn prefix_min_replay_v2_x2(
+    sample_state_a: u64,
+    sample_state_b: u64,
+    block_state: u64,
+    len: u64,
+) -> (Option<Record>, Option<Record>) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just checked.
+        return unsafe {
+            avx2::prefix_min_replay_v2_x2(sample_state_a, sample_state_b, block_state, len)
+        };
+    }
+    (
+        prefix_min_replay_v2_scalar(sample_state_a, block_state, len),
+        prefix_min_replay_v2_scalar(sample_state_b, block_state, len),
+    )
+}
+
+/// The prefix minima of *three* v2 streams over the same block prefix: bit-identical
+/// to calling [`prefix_min_replay_v2`] once per stream, usually faster still than
+/// [`prefix_min_replay_v2_x2`].
+///
+/// Three streams × two speculated iterations is six logarithm pairs — exactly three
+/// [`fast_log2_x4`](crate::log2::fast_log2_x4) evaluations with no lane left idle,
+/// and the widest shape whose working set (three generators plus the packed
+/// temporaries) still fits the register file; four-stream lockstep spills and
+/// measures slower.  The triple is the Weighted MinHash sweep's unit of work.
+#[allow(unsafe_code)]
+#[must_use]
+pub fn prefix_min_replay_v2_x3(
+    sample_state_a: u64,
+    sample_state_b: u64,
+    sample_state_c: u64,
+    block_state: u64,
+    len: u64,
+) -> (Option<Record>, Option<Record>, Option<Record>) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just checked.
+        return unsafe {
+            avx2::prefix_min_replay_v2_x3(
+                sample_state_a,
+                sample_state_b,
+                sample_state_c,
+                block_state,
+                len,
+            )
+        };
+    }
+    (
+        prefix_min_replay_v2_scalar(sample_state_a, block_state, len),
+        prefix_min_replay_v2_scalar(sample_state_b, block_state, len),
+        prefix_min_replay_v2_scalar(sample_state_c, block_state, len),
+    )
+}
+
+/// Replays the v2 prefix minimum of *every* stream in `sample_states` over one shared
+/// block prefix, calling `emit(sample_index, record)` exactly once per stream —
+/// bit-identical to calling [`prefix_min_replay_v2`] once per stream, in some order.
+///
+/// This is the Weighted MinHash sweep's kernel.  The fixed-width batches
+/// ([`prefix_min_replay_v2_x2`]/[`_x3`](prefix_min_replay_v2_x3)) pay a real tax:
+/// streams terminate after a geometrically-distributed number of records, so a batch
+/// runs until its *slowest* member finishes while the others burn slots drawing
+/// discarded values — around a fifth of all lane work at realistic prefix lengths.
+/// The sweep instead keeps three lanes saturated by reloading each finished lane
+/// with the next pending stream, so the only discarded work is the partial iteration
+/// around each reload and the tail once fewer than three streams remain.
+///
+/// Emission order follows lane completion, not sample order; callers reducing into
+/// per-sample slots (as the WMH min-reduction does) are order-insensitive.  Each
+/// record is the same `Option` the per-stream replay returns (`None` only for
+/// `len == 0` or a zero first draw).
+#[allow(unsafe_code)]
+pub fn prefix_min_replay_v2_sweep(
+    sample_states: &[u64],
+    block_state: u64,
+    len: u64,
+    emit: &mut dyn FnMut(usize, Option<Record>),
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just checked.
+        unsafe { avx2::prefix_min_replay_v2_sweep(sample_states, block_state, len, emit) };
+        return;
+    }
+    for (sample, state) in sample_states.iter().enumerate() {
+        emit(
+            sample,
+            prefix_min_replay_v2_scalar(*state, block_state, len),
+        );
+    }
+}
+
+/// The portable scalar v2 replay — the reference the packed paths are tested against.
+///
+/// Unlike the v1 pair — where [`prefix_min_replay`] adds a shortcut that a theorem
+/// (locked in by a `geometric.rs` test) proves consistent with the slow path — the v2
+/// replay samples the *same definition* as [`geometric_skip_v2`], shortcut included,
+/// so bit-parity is structural.  The skip arithmetic is spelled out in the loop rather
+/// than called: the replay's `value` is in `(0, 1)` and `u` in `(0, 1]` by
+/// construction, so the definition's domain asserts are vacuous here and eliding them
+/// (together with the call) keeps the per-draw path branch-free up to the two
+/// [`fast_log2`] evaluations that define the stream.  Every arithmetic step —
+/// `1 − p` rounding, the `log₂` quotient, `ceil`, and the saturation ladder — is the
+/// definition's, in the definition's order.  The remaining wins are the same as v1's:
+/// no per-record `Option` bookkeeping, state kept in registers.
+#[must_use]
+pub fn prefix_min_replay_v2_scalar(
+    sample_state: u64,
+    block_state: u64,
+    len: u64,
+) -> Option<Record> {
+    if len == 0 {
+        return None;
+    }
+    let mut rng = Xoshiro256PlusPlus::new(splitmix64(sample_state ^ block_state));
+    let mut value = rng.next_unit_f64();
+    if value <= 0.0 {
+        return None;
+    }
+    let mut position = 0u64;
+    loop {
+        let u = rng.next_open_unit_f64();
+        // geometric_skip_v2(value, u), domain asserts elided (vacuously true here).
+        let fail = 1.0 - value;
+        let skip = if u >= fail {
+            1
+        } else {
+            let denom = fast_log2(fail);
+            if denom == 0.0 {
+                u64::MAX
+            } else {
+                let quotient = (fast_log2(u) / denom).ceil();
+                if !quotient.is_finite() || quotient >= u64::MAX as f64 {
+                    u64::MAX
+                } else if quotient < 1.0 {
+                    1
+                } else {
+                    quotient as u64
+                }
+            }
+        };
+        let Some(next) = position.checked_add(skip) else {
+            break;
+        };
+        if next >= len {
+            break;
+        }
+        let next_value = value * rng.next_unit_f64();
+        if next_value <= 0.0 {
+            break;
+        }
+        position = next;
+        value = next_value;
+    }
+    Some(Record { position, value })
+}
+
+/// AVX2 replays of the v2 record stream, bit-identical to the scalar reference.
+///
+/// # Why speculation is sound
+///
+/// The replay's draw order is positionally fixed: iteration `k` always consumes one
+/// open-unit draw `u_k` (the skip) and then one unit draw `d_k` (the next value),
+/// regardless of what any skip computes to — the loop only decides *whether the
+/// results are used*, never *whether the draws happen* (a terminating iteration's
+/// value draw is made and discarded on every exit path of the scalar loop too, except
+/// the final break-on-skip, where the generator is simply never read again).  So a
+/// kernel may pull the next two iterations' draws `u₁ d₁ u₂ d₂` up front, compute
+/// both skips speculatively, and resolve the loop-exit conditions afterwards in
+/// order: discarded draws never influenced any output bit, and used draws are the
+/// same numbers the scalar loop would have drawn.
+///
+/// # Why the packed arithmetic is exact
+///
+/// Every step of the skip definition maps to an instruction IEEE 754 requires to
+/// round identically to its scalar form: the two `fast_log2` evaluations become
+/// lanes of [`fast_log2_x4`], the quotient a packed divide, and `f64::ceil` a
+/// `roundpd` toward +∞.  The saturation ladder collapses to a saturating
+/// float-to-int cast (Rust's `as` already clamps both ends) plus two selects:
+/// quotients below 1 clamp up to 1, and a *negative* quotient — which on a
+/// non-shortcut lane can only be the `−∞` of the definition's `denom == 0` escape
+/// hatch (`log u < 0` divided by a zero log) — saturates to `u64::MAX` exactly as
+/// the ladder's non-finite arm does.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub mod avx2 {
+    use super::Record;
+    use crate::log2::fast_log2_x4;
+    use crate::mix::splitmix64;
+    use crate::rng::Xoshiro256PlusPlus;
+    use core::arch::x86_64::*;
+
+    /// The geometric-skip saturation ladder for an already-`ceil`ed quotient, with the
+    /// `−∞ → u64::MAX` arm folded in (see the module docs).
+    #[inline(always)]
+    fn saturate(q: f64) -> u64 {
+        if q < 0.0 {
+            u64::MAX
+        } else {
+            (q as u64).max(1)
+        }
+    }
+
+    /// `ceil(a/b)` for both lane pairs of `[a₁, b₁, a₂, b₂]`, returned as
+    /// `[q₁, q₂]`: the two skip quotients of one speculated iteration pair.
+    #[inline(always)]
+    unsafe fn quotient_pair(logs: __m256d) -> (f64, f64) {
+        let lo = _mm256_castpd256_pd128(logs);
+        let hi = _mm256_extractf128_pd(logs, 1);
+        let num = _mm_unpacklo_pd(lo, hi);
+        let den = _mm_unpackhi_pd(lo, hi);
+        let q = _mm_round_pd(
+            _mm_div_pd(num, den),
+            _MM_FROUND_TO_POS_INF | _MM_FROUND_NO_EXC,
+        );
+        (_mm_cvtsd_f64(q), _mm_cvtsd_f64(_mm_unpackhi_pd(q, q)))
+    }
+
+    /// The packed twin of [`prefix_min_replay_v2_scalar`](super::prefix_min_replay_v2_scalar):
+    /// one stream, two speculated iterations per packed log.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    #[must_use]
+    pub unsafe fn prefix_min_replay_v2(
+        sample_state: u64,
+        block_state: u64,
+        len: u64,
+    ) -> Option<Record> {
+        if len == 0 {
+            return None;
+        }
+        let mut rng = Xoshiro256PlusPlus::new(splitmix64(sample_state ^ block_state));
+        let mut value = rng.next_unit_f64();
+        if value <= 0.0 {
+            return None;
+        }
+        let mut position = 0u64;
+        loop {
+            // Speculatively draw the next two iterations (see the module docs).
+            let u1 = rng.next_open_unit_f64();
+            let d1 = rng.next_unit_f64();
+            let u2 = rng.next_open_unit_f64();
+            let d2 = rng.next_unit_f64();
+            let value2 = value * d1;
+            let fail1 = 1.0 - value;
+            let fail2 = 1.0 - value2;
+            let logs = fast_log2_x4(_mm256_set_pd(fail2, u2, fail1, u1));
+            let (q1, q2) = quotient_pair(logs);
+            // Resolve iteration 1 with the scalar loop's exit conditions, in order.
+            let skip1 = if u1 >= fail1 { 1 } else { saturate(q1) };
+            let Some(next1) = position.checked_add(skip1) else {
+                break;
+            };
+            if next1 >= len {
+                break;
+            }
+            if value2 <= 0.0 {
+                break;
+            }
+            position = next1;
+            value = value2;
+            // Then iteration 2.
+            let skip2 = if u2 >= fail2 { 1 } else { saturate(q2) };
+            let Some(next2) = position.checked_add(skip2) else {
+                break;
+            };
+            if next2 >= len {
+                break;
+            }
+            let value3 = value * d2;
+            if value3 <= 0.0 {
+                break;
+            }
+            position = next2;
+            value = value3;
+        }
+        Some(Record { position, value })
+    }
+
+    /// One stream of the paired replay: generator, running record, and whether the
+    /// stream has terminated (its lanes then carry stale-but-in-domain values whose
+    /// results are never committed).
+    struct Lane {
+        rng: Xoshiro256PlusPlus,
+        value: f64,
+        position: u64,
+        done: bool,
+        empty: bool,
+    }
+
+    impl Lane {
+        #[inline(always)]
+        fn new(sample_state: u64, block_state: u64) -> Self {
+            let mut rng = Xoshiro256PlusPlus::new(splitmix64(sample_state ^ block_state));
+            let value = rng.next_unit_f64();
+            let empty = value <= 0.0;
+            Self {
+                rng,
+                value,
+                position: 0,
+                done: empty,
+                empty,
+            }
+        }
+
+        /// Applies one resolved iteration: the scalar loop's exit conditions, in order.
+        #[inline(always)]
+        fn commit(&mut self, shortcut: bool, quotient: f64, value_draw: f64, len: u64) {
+            if self.done {
+                return;
+            }
+            let skip = if shortcut { 1 } else { saturate(quotient) };
+            match self.position.checked_add(skip) {
+                Some(next) if next < len => {
+                    let next_value = self.value * value_draw;
+                    if next_value <= 0.0 {
+                        self.done = true;
+                    } else {
+                        self.position = next;
+                        self.value = next_value;
+                    }
+                }
+                _ => self.done = true,
+            }
+        }
+
+        #[inline(always)]
+        fn record(&self) -> Option<Record> {
+            (!self.empty).then_some(Record {
+                position: self.position,
+                value: self.value,
+            })
+        }
+    }
+
+    /// The packed twin of two [`prefix_min_replay_v2_scalar`](super::prefix_min_replay_v2_scalar)
+    /// calls sharing a block: two streams in lockstep, two speculated iterations each,
+    /// four logarithms per packed evaluation.  Interleaving the streams also overlaps
+    /// their generators' serial state-update chains — the latency a single replay
+    /// cannot hide.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    #[must_use]
+    pub unsafe fn prefix_min_replay_v2_x2(
+        sample_state_a: u64,
+        sample_state_b: u64,
+        block_state: u64,
+        len: u64,
+    ) -> (Option<Record>, Option<Record>) {
+        if len == 0 {
+            return (None, None);
+        }
+        let mut a = Lane::new(sample_state_a, block_state);
+        let mut b = Lane::new(sample_state_b, block_state);
+        while !(a.done && b.done) {
+            let ua1 = a.rng.next_open_unit_f64();
+            let da1 = a.rng.next_unit_f64();
+            let ub1 = b.rng.next_open_unit_f64();
+            let db1 = b.rng.next_unit_f64();
+            let ua2 = a.rng.next_open_unit_f64();
+            let da2 = a.rng.next_unit_f64();
+            let ub2 = b.rng.next_open_unit_f64();
+            let db2 = b.rng.next_unit_f64();
+            let va2 = a.value * da1;
+            let vb2 = b.value * db1;
+            let fa1 = 1.0 - a.value;
+            let fb1 = 1.0 - b.value;
+            let fa2 = 1.0 - va2;
+            let fb2 = 1.0 - vb2;
+            let (qa1, qb1) = quotient_pair(fast_log2_x4(_mm256_set_pd(fb1, ub1, fa1, ua1)));
+            let (qa2, qb2) = quotient_pair(fast_log2_x4(_mm256_set_pd(fb2, ub2, fa2, ua2)));
+            a.commit(ua1 >= fa1, qa1, da1, len);
+            a.commit(ua2 >= fa2, qa2, da2, len);
+            b.commit(ub1 >= fb1, qb1, db1, len);
+            b.commit(ub2 >= fb2, qb2, db2, len);
+        }
+        (a.record(), b.record())
+    }
+
+    /// The packed twin of three [`prefix_min_replay_v2_scalar`](super::prefix_min_replay_v2_scalar)
+    /// calls sharing a block: three streams in lockstep, two speculated iterations
+    /// each.  Six logarithm pairs fill three packed evaluations exactly, with no lane
+    /// idle, and three interleaved generators overlap their serial state-update
+    /// chains deeper than two can — the widest shape that still avoids spilling the
+    /// generators' state out of registers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    #[must_use]
+    pub unsafe fn prefix_min_replay_v2_x3(
+        sample_state_a: u64,
+        sample_state_b: u64,
+        sample_state_c: u64,
+        block_state: u64,
+        len: u64,
+    ) -> (Option<Record>, Option<Record>, Option<Record>) {
+        if len == 0 {
+            return (None, None, None);
+        }
+        let mut a = Lane::new(sample_state_a, block_state);
+        let mut b = Lane::new(sample_state_b, block_state);
+        let mut c = Lane::new(sample_state_c, block_state);
+        while !(a.done && b.done && c.done) {
+            let ua1 = a.rng.next_open_unit_f64();
+            let da1 = a.rng.next_unit_f64();
+            let ub1 = b.rng.next_open_unit_f64();
+            let db1 = b.rng.next_unit_f64();
+            let uc1 = c.rng.next_open_unit_f64();
+            let dc1 = c.rng.next_unit_f64();
+            let ua2 = a.rng.next_open_unit_f64();
+            let da2 = a.rng.next_unit_f64();
+            let ub2 = b.rng.next_open_unit_f64();
+            let db2 = b.rng.next_unit_f64();
+            let uc2 = c.rng.next_open_unit_f64();
+            let dc2 = c.rng.next_unit_f64();
+            let va2 = a.value * da1;
+            let vb2 = b.value * db1;
+            let vc2 = c.value * dc1;
+            let fa1 = 1.0 - a.value;
+            let fb1 = 1.0 - b.value;
+            let fc1 = 1.0 - c.value;
+            let fa2 = 1.0 - va2;
+            let fb2 = 1.0 - vb2;
+            let fc2 = 1.0 - vc2;
+            let (qa1, qb1) = quotient_pair(fast_log2_x4(_mm256_set_pd(fb1, ub1, fa1, ua1)));
+            let (qc1, qa2) = quotient_pair(fast_log2_x4(_mm256_set_pd(fa2, ua2, fc1, uc1)));
+            let (qb2, qc2) = quotient_pair(fast_log2_x4(_mm256_set_pd(fc2, uc2, fb2, ub2)));
+            a.commit(ua1 >= fa1, qa1, da1, len);
+            a.commit(ua2 >= fa2, qa2, da2, len);
+            b.commit(ub1 >= fb1, qb1, db1, len);
+            b.commit(ub2 >= fb2, qb2, db2, len);
+            c.commit(uc1 >= fc1, qc1, dc1, len);
+            c.commit(uc2 >= fc2, qc2, dc2, len);
+        }
+        (a.record(), b.record(), c.record())
+    }
+
+    /// One slot of the sweep replay: the running lane, which stream it is replaying,
+    /// and whether the slot has drained the queue (its lane then idles done).
+    struct Slot {
+        lane: Lane,
+        sample: usize,
+        exhausted: bool,
+    }
+
+    impl Slot {
+        /// Loads stream `next` into a fresh slot, or parks the slot if the queue is
+        /// drained (the parked lane is `done`, so its slots never commit).
+        #[inline(always)]
+        fn load(next: &mut usize, states: &[u64], block_state: u64) -> Self {
+            if *next < states.len() {
+                let sample = *next;
+                *next += 1;
+                Self {
+                    lane: Lane::new(states[sample], block_state),
+                    sample,
+                    exhausted: false,
+                }
+            } else {
+                let mut lane = Lane::new(0, block_state);
+                lane.done = true;
+                Self {
+                    lane,
+                    sample: 0,
+                    exhausted: true,
+                }
+            }
+        }
+
+        /// Emits every finished stream in this slot and reloads until the lane is
+        /// live again or the queue drains.  (A freshly loaded lane can itself be
+        /// finished — an empty stream — hence the loop.)
+        #[inline(always)]
+        fn turn_over(
+            &mut self,
+            next: &mut usize,
+            states: &[u64],
+            block_state: u64,
+            emit: &mut dyn FnMut(usize, Option<Record>),
+        ) {
+            while !self.exhausted && self.lane.done {
+                emit(self.sample, self.lane.record());
+                *self = Self::load(next, states, block_state);
+            }
+        }
+    }
+
+    /// The packed sweep replay: [`prefix_min_replay_v2_x3`]'s three-lane loop body,
+    /// with finished lanes reloaded from the pending-stream queue instead of idling
+    /// until the batch's slowest member terminates (see the safe dispatcher's docs
+    /// for why this is the shape worth keeping saturated).
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn prefix_min_replay_v2_sweep(
+        sample_states: &[u64],
+        block_state: u64,
+        len: u64,
+        emit: &mut dyn FnMut(usize, Option<Record>),
+    ) {
+        if len == 0 {
+            for sample in 0..sample_states.len() {
+                emit(sample, None);
+            }
+            return;
+        }
+        let mut next = 0usize;
+        let mut a = Slot::load(&mut next, sample_states, block_state);
+        let mut b = Slot::load(&mut next, sample_states, block_state);
+        let mut c = Slot::load(&mut next, sample_states, block_state);
+        loop {
+            a.turn_over(&mut next, sample_states, block_state, emit);
+            b.turn_over(&mut next, sample_states, block_state, emit);
+            c.turn_over(&mut next, sample_states, block_state, emit);
+            if a.exhausted && b.exhausted && c.exhausted {
+                return;
+            }
+            let ua1 = a.lane.rng.next_open_unit_f64();
+            let da1 = a.lane.rng.next_unit_f64();
+            let ub1 = b.lane.rng.next_open_unit_f64();
+            let db1 = b.lane.rng.next_unit_f64();
+            let uc1 = c.lane.rng.next_open_unit_f64();
+            let dc1 = c.lane.rng.next_unit_f64();
+            let ua2 = a.lane.rng.next_open_unit_f64();
+            let da2 = a.lane.rng.next_unit_f64();
+            let ub2 = b.lane.rng.next_open_unit_f64();
+            let db2 = b.lane.rng.next_unit_f64();
+            let uc2 = c.lane.rng.next_open_unit_f64();
+            let dc2 = c.lane.rng.next_unit_f64();
+            let va2 = a.lane.value * da1;
+            let vb2 = b.lane.value * db1;
+            let vc2 = c.lane.value * dc1;
+            let fa1 = 1.0 - a.lane.value;
+            let fb1 = 1.0 - b.lane.value;
+            let fc1 = 1.0 - c.lane.value;
+            let fa2 = 1.0 - va2;
+            let fb2 = 1.0 - vb2;
+            let fc2 = 1.0 - vc2;
+            let (qa1, qb1) = quotient_pair(fast_log2_x4(_mm256_set_pd(fb1, ub1, fa1, ua1)));
+            let (qc1, qa2) = quotient_pair(fast_log2_x4(_mm256_set_pd(fa2, ua2, fc1, uc1)));
+            let (qb2, qc2) = quotient_pair(fast_log2_x4(_mm256_set_pd(fc2, uc2, fb2, ub2)));
+            a.lane.commit(ua1 >= fa1, qa1, da1, len);
+            a.lane.commit(ua2 >= fa2, qa2, da2, len);
+            b.lane.commit(ub1 >= fb1, qb1, db1, len);
+            b.lane.commit(ub2 >= fb2, qb2, db2, len);
+            c.lane.commit(uc1 >= fc1, qc1, dc1, len);
+            c.lane.commit(uc2 >= fc2, qc2, dc2, len);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +968,199 @@ mod tests {
             }
         }
         assert!(prefix_min_replay(1, 2, 0).is_none());
+    }
+
+    #[test]
+    fn prefix_min_replay_v2_matches_record_stream_bit_for_bit() {
+        for seed in [0u64, 11, 0xFEED_F00D] {
+            for sample in 0..40u64 {
+                let sample_state = RecordStream::sample_state(seed, sample);
+                for block in [0u64, 5, 9_999] {
+                    let block_state = RecordStream::block_state(block);
+                    for len in [1u64, 2, 7, 100, 100_000, 1 << 40] {
+                        let fast = prefix_min_replay_v2(sample_state, block_state, len);
+                        let slow = prefix_min_v2(seed, sample, block, len);
+                        match (fast, slow) {
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.position, b.position, "s{sample} b{block} l{len}");
+                                assert_eq!(a.value.to_bits(), b.value.to_bits());
+                            }
+                            (None, None) => {}
+                            other => panic!("diverged at s{sample} b{block} l{len}: {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(prefix_min_replay_v2(1, 2, 0).is_none());
+    }
+
+    #[test]
+    fn packed_replays_match_the_scalar_replay_bit_for_bit() {
+        // `prefix_min_replay_v2` and the batched `prefix_min_replay_v2_x2`/`_x3`
+        // dispatch to the AVX2 kernels when the CPU has them; all must reproduce the
+        // portable scalar replay exactly.  The huge-`len` cases drive streams all the
+        // way to value underflow, which exercises the saturation ladder's non-finite
+        // arm (`denom == 0` → `u64::MAX`) that the packed path folds into a sign test.
+        let eq = |a: Option<Record>, b: Option<Record>, ctx: &str| {
+            assert_eq!(
+                a.map(|r| (r.position, r.value.to_bits())),
+                b.map(|r| (r.position, r.value.to_bits())),
+                "{ctx}"
+            );
+        };
+        for len in [1u64, 2, 3, 7, 100, 5_000, 1 << 40] {
+            for block in 0..12_000u64 {
+                let block_state = RecordStream::block_state(block);
+                let sa = RecordStream::sample_state(9, 0);
+                let sb = RecordStream::sample_state(9, 1);
+                let sc = RecordStream::sample_state(9, 2);
+                let scalar_a = prefix_min_replay_v2_scalar(sa, block_state, len);
+                let scalar_b = prefix_min_replay_v2_scalar(sb, block_state, len);
+                let scalar_c = prefix_min_replay_v2_scalar(sc, block_state, len);
+                eq(
+                    prefix_min_replay_v2(sa, block_state, len),
+                    scalar_a,
+                    &format!("single, len {len} block {block}"),
+                );
+                let (pa, pb) = prefix_min_replay_v2_x2(sa, sb, block_state, len);
+                eq(
+                    pa,
+                    scalar_a,
+                    &format!("pair lane a, len {len} block {block}"),
+                );
+                eq(
+                    pb,
+                    scalar_b,
+                    &format!("pair lane b, len {len} block {block}"),
+                );
+                let (ta, tb, tc) = prefix_min_replay_v2_x3(sa, sb, sc, block_state, len);
+                eq(
+                    ta,
+                    scalar_a,
+                    &format!("triple lane a, len {len} block {block}"),
+                );
+                eq(
+                    tb,
+                    scalar_b,
+                    &format!("triple lane b, len {len} block {block}"),
+                );
+                eq(
+                    tc,
+                    scalar_c,
+                    &format!("triple lane c, len {len} block {block}"),
+                );
+            }
+        }
+        assert_eq!(prefix_min_replay_v2_x2(1, 2, 3, 0), (None, None));
+        assert_eq!(prefix_min_replay_v2_x3(1, 2, 3, 4, 0), (None, None, None));
+    }
+
+    #[test]
+    fn sweep_replay_emits_every_stream_bit_for_bit() {
+        // The sweep reloads finished lanes with pending streams, so its emission order
+        // is completion order — but every stream must be emitted exactly once, with
+        // exactly the scalar replay's record.  Stream counts around the lane width
+        // (0..=8) exercise empty slots, partial first loads, and queue draining while
+        // other lanes are mid-stream; the lens span shortcut-dominated short prefixes
+        // through underflow-driven long ones.
+        for len in [1u64, 3, 100, 5_000, 1 << 40] {
+            for block in 0..600u64 {
+                let block_state = RecordStream::block_state(block);
+                for m in 0..=8usize {
+                    let states: Vec<u64> = (0..m as u64)
+                        .map(|s| RecordStream::sample_state(9, s))
+                        .collect();
+                    let mut got: Vec<Option<(u64, u64)>> = vec![None; m];
+                    let mut emitted = 0usize;
+                    prefix_min_replay_v2_sweep(&states, block_state, len, &mut |sample, rec| {
+                        let r = rec.expect("len >= 1");
+                        assert!(got[sample].is_none(), "sample {sample} emitted twice");
+                        got[sample] = Some((r.position, r.value.to_bits()));
+                        emitted += 1;
+                    });
+                    assert_eq!(emitted, m, "len {len} block {block}");
+                    for (sample, state) in states.iter().enumerate() {
+                        let r = prefix_min_replay_v2_scalar(*state, block_state, len)
+                            .expect("len >= 1");
+                        assert_eq!(
+                            got[sample],
+                            Some((r.position, r.value.to_bits())),
+                            "len {len} block {block} sample {sample}"
+                        );
+                    }
+                }
+            }
+        }
+        let mut calls = 0;
+        prefix_min_replay_v2_sweep(&[1, 2], 3, 0, &mut |_, rec| {
+            assert!(rec.is_none());
+            calls += 1;
+        });
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn v2_stream_shares_values_with_v1_but_may_reposition() {
+        // Both streams draw the same value sequence from the same generator; only the
+        // skips (and hence positions / which records survive a prefix) can differ, and
+        // then only at log-rounding boundaries.  In particular the first record is
+        // always bit-identical.
+        for block in 0..100u64 {
+            let v1 = RecordStream::new(3, 1, block).next_record().unwrap();
+            let v2 = RecordStream::new(3, 1, block).next_record_v2().unwrap();
+            assert_eq!(v1.position, 0);
+            assert_eq!(v2.position, 0);
+            assert_eq!(v1.value.to_bits(), v2.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_prefix_min_distribution_matches_min_of_uniforms() {
+        // The v2 stream must model the same idealized process: E[min of k uniforms]
+        // = 1/(k+1).
+        for &k in &[1u64, 4, 16, 64, 256] {
+            let n = 4000u64;
+            let mean: f64 = (0..n)
+                .map(|b| prefix_min_v2(0xABC, 0, b, k).unwrap().value)
+                .sum::<f64>()
+                / n as f64;
+            let expected = 1.0 / (k as f64 + 1.0);
+            let tol = 4.0 * expected / (n as f64).sqrt() + 1e-4;
+            assert!(
+                (mean - expected).abs() < 4.0 * tol,
+                "k={k}: mean {mean}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_nested_prefixes_share_records() {
+        // The consistency property the estimator relies on holds for the v2 stream
+        // definition as well.
+        let mut shared = 0;
+        for block in 0..200u64 {
+            let short = prefix_min_v2(3, 1, block, 50).unwrap();
+            let long = prefix_min_v2(3, 1, block, 80).unwrap();
+            if long.position < 50 {
+                assert_eq!(long.value.to_bits(), short.value.to_bits());
+                assert_eq!(long.position, short.position);
+                shared += 1;
+            } else {
+                assert!(long.value < short.value);
+            }
+        }
+        assert!(
+            shared > 80,
+            "only {shared} of 200 blocks shared the minimum"
+        );
+    }
+
+    #[test]
+    fn v2_large_prefix_len_terminates_quickly() {
+        let r = prefix_min_v2(4, 2, 9, 1u64 << 60).unwrap();
+        assert!(r.value > 0.0);
+        assert!(r.position < 1u64 << 60);
     }
 
     #[test]

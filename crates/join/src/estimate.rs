@@ -12,7 +12,7 @@ use crate::vectorize::ColumnVectors;
 use ipsketch_core::method::{AnySketch, AnySketcher, SketchMethod};
 use ipsketch_core::serialize::{BinarySketch, SliceReader};
 use ipsketch_core::traits::{Sketch, Sketcher};
-use ipsketch_core::SketchError;
+use ipsketch_core::{FormatVersion, SketchError};
 use ipsketch_data::Table;
 use ipsketch_vector::SparseVector;
 
@@ -33,8 +33,6 @@ pub struct SketchedColumn {
 
 /// Magic number identifying a serialized [`SketchedColumn`] blob ("IPCL").
 const COLUMN_BLOB_MAGIC: u32 = 0x4950_434C;
-/// Current column-blob format version.
-const COLUMN_BLOB_VERSION: u8 = 1;
 
 impl SketchedColumn {
     /// Assembles a sketched column from its parts — the hydration path a persistent
@@ -88,11 +86,14 @@ impl SketchedColumn {
             + self.squared_values.storage_doubles()
     }
 
-    /// Encodes the column into a self-describing binary blob (magic, version, names,
-    /// row count, then the three sketches length-prefixed) — the unit of storage of the
-    /// on-disk sketch catalog.
+    /// Encodes the column into a self-describing binary blob (magic, the `format`'s
+    /// version byte, names, row count, then the three sketches length-prefixed) — the
+    /// unit of storage of the on-disk sketch catalog, which derives the byte from its
+    /// manifest's [`SketcherSpec`](ipsketch_core::SketcherSpec) format.  The body
+    /// layout is identical across versions; the byte records which catalog generation
+    /// wrote the blob.
     #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
+    pub fn encode(&self, format: FormatVersion) -> Vec<u8> {
         fn put_str(out: &mut Vec<u8>, s: &str) {
             out.extend_from_slice(&(s.len() as u32).to_le_bytes());
             out.extend_from_slice(s.as_bytes());
@@ -104,7 +105,7 @@ impl SketchedColumn {
         }
         let mut out = Vec::new();
         out.extend_from_slice(&COLUMN_BLOB_MAGIC.to_le_bytes());
-        out.push(COLUMN_BLOB_VERSION);
+        out.push(format.as_u8());
         put_str(&mut out, &self.table);
         put_str(&mut out, &self.column);
         out.extend_from_slice(&(self.rows as u64).to_le_bytes());
@@ -114,25 +115,32 @@ impl SketchedColumn {
         out
     }
 
-    /// Decodes a blob previously produced by [`to_bytes`](Self::to_bytes).
+    /// Encodes the column as a format-v1 blob — byte-for-byte what the pre-versioning
+    /// build wrote.  Versioned catalogs call [`encode`](Self::encode) with their
+    /// manifest's format instead.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(FormatVersion::V1)
+    }
+
+    /// Decodes a blob previously produced by [`encode`](Self::encode) under either
+    /// format, returning the column and the [`FormatVersion`] the blob was written
+    /// under (catalogs check it against their manifest's format).
     ///
     /// # Errors
     ///
     /// Returns [`JoinError::Sketch`] wrapping [`SketchError::Corrupt`] on truncation,
     /// bad magic/version, malformed strings, or undecodable sketches.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, JoinError> {
-        let corrupt = |detail: &str| {
-            JoinError::Sketch(SketchError::Corrupt {
-                detail: detail.to_string(),
-            })
-        };
+    pub fn from_bytes_versioned(bytes: &[u8]) -> Result<(Self, FormatVersion), JoinError> {
+        let corrupt = |detail: String| JoinError::Sketch(SketchError::Corrupt { detail });
         let mut reader = SliceReader::new(bytes);
         if reader.u32()? != COLUMN_BLOB_MAGIC {
-            return Err(corrupt("bad column-blob magic number"));
+            return Err(corrupt("bad column-blob magic number".to_string()));
         }
-        if reader.u8()? != COLUMN_BLOB_VERSION {
-            return Err(corrupt("unsupported column-blob version"));
-        }
+        let version = reader.u8()?;
+        let Some(format) = FormatVersion::from_u8(version) else {
+            return Err(corrupt(FormatVersion::unsupported("column-blob", version)));
+        };
         let table = reader.string()?;
         let column = reader.string()?;
         let rows = reader.u64()? as usize;
@@ -144,14 +152,26 @@ impl SketchedColumn {
         let values = get_sketch()?;
         let squared_values = get_sketch()?;
         reader.finished()?;
-        Ok(Self {
-            table,
-            column,
-            rows,
-            key_indicator,
-            values,
-            squared_values,
-        })
+        Ok((
+            Self {
+                table,
+                column,
+                rows,
+                key_indicator,
+                values,
+                squared_values,
+            },
+            format,
+        ))
+    }
+
+    /// Decodes a blob of either format version, discarding the version.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_bytes_versioned`](Self::from_bytes_versioned).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, JoinError> {
+        Ok(Self::from_bytes_versioned(bytes)?.0)
     }
 }
 
@@ -527,6 +547,17 @@ mod tests {
         let bytes = sa.to_bytes();
         let decoded = SketchedColumn::from_bytes(&bytes)?;
         assert_eq!(decoded, sa);
+        // `to_bytes` is the frozen v1 encoding; the v2 encoding differs only in the
+        // version byte and both round-trip with their version reported.
+        assert_eq!(bytes, sa.encode(FormatVersion::V1));
+        let (v1_col, v1_fmt) = SketchedColumn::from_bytes_versioned(&bytes)?;
+        assert_eq!((v1_col, v1_fmt), (sa.clone(), FormatVersion::V1));
+        let v2_bytes = sa.encode(FormatVersion::V2);
+        assert_eq!(v2_bytes[4], 2);
+        assert_eq!(&v2_bytes[..4], &bytes[..4]);
+        assert_eq!(&v2_bytes[5..], &bytes[5..]);
+        let (v2_col, v2_fmt) = SketchedColumn::from_bytes_versioned(&v2_bytes)?;
+        assert_eq!((v2_col, v2_fmt), (sa.clone(), FormatVersion::V2));
         // A decoded column estimates identically against a live one.
         let live = est.estimate(&sa, &sb)?;
         let hydrated = est.estimate(&decoded, &sb)?;
@@ -547,7 +578,10 @@ mod tests {
         assert!(SketchedColumn::from_bytes(&bad_magic).is_err());
         let mut bad_version = bytes.clone();
         bad_version[4] = 99;
-        assert!(SketchedColumn::from_bytes(&bad_version).is_err());
+        let err = SketchedColumn::from_bytes(&bad_version).expect_err("version 99 unsupported");
+        let text = err.to_string();
+        assert!(text.contains("version 99"), "{text}");
+        assert!(text.contains("versions 1 through 2"), "{text}");
         let mut padded = bytes;
         padded.push(0);
         assert!(SketchedColumn::from_bytes(&padded).is_err());

@@ -212,6 +212,25 @@ impl SketchIndex {
             .sketch_column_partitioned(table, column, partitions)
     }
 
+    /// Removes an indexed column and returns its sketches — the in-memory half of
+    /// catalog column deletion (the catalog tombstones the manifest entry; a hydrated
+    /// index drops the candidate here so it stops ranking immediately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::NotIndexed`] if the column is not in the index.
+    pub fn remove(&mut self, table: &str, column: &str) -> Result<SketchedColumn, JoinError> {
+        let position = self
+            .entries
+            .iter()
+            .position(|(id, _)| id.table == table && id.column == column)
+            .ok_or_else(|| JoinError::NotIndexed {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        Ok(self.entries.remove(position).1)
+    }
+
     /// Looks up the stored sketch of an indexed column.
     ///
     /// # Errors
@@ -457,6 +476,37 @@ mod tests {
         let q = index.sketch_query(&query, "rides")?;
         let ranked = index.top_k_joinable(&q, 1)?;
         assert_eq!(ranked[0].id.table, "good");
+        Ok(())
+    }
+
+    #[test]
+    fn remove_drops_the_column_from_ranking() -> Result<(), JoinError> {
+        let (query, good, bad) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 7)?);
+        index.insert_table(&good)?;
+        index.insert_table(&bad)?;
+        assert_eq!(index.len(), 3);
+        let removed = index.remove("good", "precip")?;
+        assert_eq!(removed.table, "good");
+        assert_eq!(removed.column, "precip");
+        assert_eq!(index.len(), 2);
+        assert!(!index.contains("good", "precip"));
+        // Removing again (or a never-indexed column) is a typed error.
+        assert!(matches!(
+            index.remove("good", "precip"),
+            Err(JoinError::NotIndexed { .. })
+        ));
+        // The removed column no longer ranks; re-inserting restores it.
+        let q = index.sketch_query(&query, "rides")?;
+        assert!(index
+            .top_k_joinable(&q, 10)?
+            .iter()
+            .all(|r| r.id.column != "precip"));
+        index.insert_sketched(removed)?;
+        assert!(index
+            .top_k_joinable(&q, 10)?
+            .iter()
+            .any(|r| r.id.column == "precip"));
         Ok(())
     }
 

@@ -20,7 +20,7 @@
 
 use crate::error::{corrupt, io_error, CatalogError};
 use crate::manifest::{fnv64, Manifest, ManifestEntry};
-use ipsketch_core::SketcherSpec;
+use ipsketch_core::{FormatVersion, SketcherSpec};
 use ipsketch_join::SketchedColumn;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -43,9 +43,20 @@ impl Catalog {
     ///
     /// # Errors
     ///
-    /// Returns [`CatalogError::NotACatalog`] if `root` already holds a manifest, and
-    /// [`CatalogError::Io`] for filesystem failures.
+    /// Returns [`CatalogError::NotACatalog`] if `root` already holds a manifest,
+    /// [`CatalogError::Incompatible`] if `spec` carries the read-only v1 format
+    /// (new catalogs are always written in the current format — v1 exists only so
+    /// old catalogs keep loading), and [`CatalogError::Io`] for filesystem failures.
     pub fn init(root: impl Into<PathBuf>, spec: SketcherSpec) -> Result<Self, CatalogError> {
+        if spec.format < FormatVersion::CURRENT {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "cannot initialize a catalog in read-only format {}; new catalogs use format {}",
+                    spec.format.label(),
+                    FormatVersion::CURRENT.label()
+                ),
+            });
+        }
         let root = root.into();
         let manifest_path = root.join(MANIFEST_FILE);
         if manifest_path.exists() {
@@ -82,7 +93,14 @@ impl Catalog {
             });
         }
         let bytes = fs::read(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
-        let manifest = Manifest::decode(&bytes)?;
+        // Manifest decode failures gain the file path here, so "unsupported manifest
+        // version …" always says *which* manifest.
+        let manifest = Manifest::decode(&bytes).map_err(|e| match e {
+            CatalogError::Corrupt { detail } => CatalogError::Corrupt {
+                detail: format!("`{}`: {detail}", manifest_path.display()),
+            },
+            other => other,
+        })?;
         Ok(Self { root, manifest })
     }
 
@@ -98,22 +116,37 @@ impl Catalog {
         self.manifest.spec
     }
 
-    /// The registered columns, in registration order.
+    /// The catalog's on-disk format version.  [`FormatVersion::V1`] catalogs are
+    /// read-only (load/estimate work; register/drop refuse) until migrated with
+    /// `ipsketch catalog migrate`.
+    #[must_use]
+    pub fn format(&self) -> FormatVersion {
+        self.manifest.format()
+    }
+
+    /// All manifest entries in registration order, **including** tombstoned ones.
+    /// Most callers want [`live_entries`](Self::live_entries); the raw view exists
+    /// for migration and diagnostics.
     #[must_use]
     pub fn entries(&self) -> &[ManifestEntry] {
         &self.manifest.entries
     }
 
-    /// Number of registered columns.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.manifest.entries.len()
+    /// The live (non-dropped) columns, in registration order.
+    pub fn live_entries(&self) -> impl Iterator<Item = &ManifestEntry> {
+        self.manifest.live_entries()
     }
 
-    /// Whether the catalog holds no columns.
+    /// Number of live (non-dropped) columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.manifest.live_len()
+    }
+
+    /// Whether the catalog holds no live columns.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.manifest.entries.is_empty()
+        self.len() == 0
     }
 
     /// Registers a sketched column: validates its three sketches against the catalog
@@ -141,6 +174,7 @@ impl Catalog {
     /// committed (blob files already written by the failing batch are orphaned until
     /// the same slots are reused, but are never referenced by the manifest).
     pub fn register_all(&mut self, columns: &[SketchedColumn]) -> Result<(), CatalogError> {
+        self.check_writable()?;
         for (i, column) in columns.iter().enumerate() {
             let in_batch_dup = columns[..i]
                 .iter()
@@ -156,11 +190,13 @@ impl Catalog {
         if columns.is_empty() {
             return Ok(());
         }
+        // Blob slots are numbered by raw entry count (tombstones included), so a
+        // dropped column's file name is never reused before compaction reclaims it.
         let base = self.manifest.entries.len();
         let mut new_entries = Vec::with_capacity(columns.len());
         for (offset, column) in columns.iter().enumerate() {
             let file = format!("{:06}.col", base + offset);
-            let blob = column.to_bytes();
+            let blob = column.encode(self.manifest.format());
             let blob_path = self.root.join(SKETCH_DIR).join(&file);
             write_atomic(&blob_path, &blob)?;
             new_entries.push(ManifestEntry {
@@ -170,6 +206,7 @@ impl Catalog {
                 file,
                 blob_len: blob.len() as u64,
                 checksum: fnv64(&blob),
+                dropped: false,
             });
         }
         self.manifest.entries.extend(new_entries);
@@ -224,10 +261,21 @@ impl Catalog {
                 entry.file
             )));
         }
-        let column = SketchedColumn::from_bytes(&blob).map_err(|e| match e {
-            ipsketch_join::JoinError::Sketch(s) => corrupt(format!("blob `{}`: {s}", entry.file)),
-            other => CatalogError::Join(other),
-        })?;
+        let (column, blob_format) =
+            SketchedColumn::from_bytes_versioned(&blob).map_err(|e| match e {
+                ipsketch_join::JoinError::Sketch(s) => {
+                    corrupt(format!("blob `{}`: {s}", entry.file))
+                }
+                other => CatalogError::Join(other),
+            })?;
+        if blob_format != self.manifest.format() {
+            return Err(corrupt(format!(
+                "blob `{}` is format {}, catalog is format {}",
+                entry.file,
+                blob_format.label(),
+                self.manifest.format().label()
+            )));
+        }
         if column.table != entry.table || column.column != entry.column {
             return Err(corrupt(format!(
                 "blob `{}` names column `{}.{}`, manifest records `{}.{}`",
@@ -255,24 +303,94 @@ impl Catalog {
         Ok(())
     }
 
+    /// Rejects mutation of a read-only (format-v1) catalog.
+    fn check_writable(&self) -> Result<(), CatalogError> {
+        if self.manifest.format() < FormatVersion::CURRENT {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "catalog at `{}` is format {} and read-only; run `ipsketch catalog \
+                     migrate` to upgrade it to format {}",
+                    self.root.display(),
+                    self.manifest.format().label(),
+                    FormatVersion::CURRENT.label()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drops a column by writing a deletion tombstone into the manifest.  The blob
+    /// file stays on disk (the write is one atomic manifest rewrite, nothing else)
+    /// until [`compact`](Self::compact) reclaims it; the column stops resolving
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::NotFound`] for unknown (or already dropped) keys,
+    /// [`CatalogError::Incompatible`] for read-only v1 catalogs (the v1 manifest
+    /// layout cannot carry a tombstone), and [`CatalogError::Io`] for filesystem
+    /// failures — the in-memory view is rolled back if the commit fails.
+    pub fn drop_column(&mut self, table: &str, column: &str) -> Result<(), CatalogError> {
+        self.check_writable()?;
+        let entry =
+            self.manifest
+                .find_mut(table, column)
+                .ok_or_else(|| CatalogError::NotFound {
+                    table: table.to_string(),
+                    column: column.to_string(),
+                })?;
+        entry.dropped = true;
+        if let Err(e) = self.write_manifest() {
+            if let Some(entry) = self
+                .manifest
+                .entries
+                .iter_mut()
+                .find(|e| e.table == table && e.column == column)
+            {
+                entry.dropped = false;
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
     /// Rewrites the manifest atomically.
     fn write_manifest(&self) -> Result<(), CatalogError> {
         write_atomic(&self.root.join(MANIFEST_FILE), &self.manifest.encode())
     }
 
-    /// Compacts the catalog: deletes files in `sketches/` that no manifest entry
-    /// references (blobs orphaned by failed batch registrations, stray temp files
-    /// from interrupted atomic writes) and rewrites the manifest from the current
-    /// in-memory state.  Registration keeps the catalog *correct* without this —
-    /// orphans are never referenced — but a long-running service accumulates them,
-    /// so its maintenance thread calls this periodically.
+    /// Compacts the catalog: purges tombstoned entries from the manifest, then
+    /// deletes files in `sketches/` that no surviving entry references — reclaiming
+    /// dropped columns' blobs along with blobs orphaned by failed batch
+    /// registrations and stray temp files from interrupted atomic writes.  The
+    /// manifest rewrite happens **before** any file deletion, so a crash mid-compact
+    /// leaves at worst unreferenced files for the next pass, never a manifest entry
+    /// pointing at a deleted blob.  Registration and dropping keep the catalog
+    /// *correct* without this — tombstones and orphans are never served — but a
+    /// long-running service accumulates them, so its maintenance thread calls this
+    /// periodically.
     ///
     /// # Errors
     ///
     /// Returns [`CatalogError::Io`] for filesystem failures; on error the manifest
-    /// on disk is unchanged (some orphans may already be gone, which is harmless).
+    /// on disk is unchanged or already purged (both are valid states).
     pub fn compact(&mut self) -> Result<CompactionReport, CatalogError> {
         let dir = self.root.join(SKETCH_DIR);
+        let had_tombstones = self.manifest.live_len() != self.manifest.entries.len();
+        if had_tombstones {
+            let purged: Vec<ManifestEntry> = self
+                .manifest
+                .entries
+                .iter()
+                .filter(|e| !e.dropped)
+                .cloned()
+                .collect();
+            let saved = std::mem::replace(&mut self.manifest.entries, purged);
+            if let Err(e) = self.write_manifest() {
+                self.manifest.entries = saved;
+                return Err(e);
+            }
+        }
         let referenced: std::collections::HashSet<&str> = self
             .manifest
             .entries
@@ -315,7 +433,7 @@ pub struct CompactionReport {
 /// crash.  Without the `sync_all` before the rename, journaling filesystems may
 /// persist the rename before the data blocks, resurrecting a zero-length file after
 /// power loss.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CatalogError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CatalogError> {
     use std::io::Write;
     let tmp = path.with_extension("tmp");
     let mut file = fs::File::create(&tmp).map_err(|e| io_error(&tmp, &e))?;
@@ -516,6 +634,69 @@ mod tests {
         // The rewritten manifest still opens.
         assert_eq!(Catalog::open(&root).expect("open").len(), 1);
         fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn drop_column_tombstones_and_compact_reclaims_the_blob() {
+        let root = temp_root("drop");
+        let est = estimator(11);
+        let mut catalog = Catalog::init(&root, est.sketcher().spec()).expect("init");
+        let table = sample_table();
+        let rides = est.sketch_column(&table, "rides").expect("sketch");
+        let tips = est.sketch_column(&table, "tips").expect("sketch");
+        catalog
+            .register_all(&[rides.clone(), tips])
+            .expect("register");
+        let dropped_file = catalog.entries()[1].file.clone();
+
+        catalog.drop_column("taxi", "tips").expect("drop");
+        // The column stops resolving immediately; the blob file lingers.
+        assert!(matches!(
+            catalog.load("taxi", "tips"),
+            Err(CatalogError::NotFound { .. })
+        ));
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.entries().len(), 2);
+        assert!(root.join(SKETCH_DIR).join(&dropped_file).exists());
+        // Dropping twice (or an unknown column) is NotFound.
+        assert!(matches!(
+            catalog.drop_column("taxi", "tips"),
+            Err(CatalogError::NotFound { .. })
+        ));
+        // The tombstone survives reopen.
+        let mut reopened = Catalog::open(&root).expect("open");
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.entries()[1].dropped);
+        // A new registration must NOT reuse the tombstoned blob slot.
+        let more = Table::new(
+            "other",
+            (0..50).collect(),
+            vec![Column::new("x", (0..50).map(f64::from).collect())],
+        )
+        .expect("table");
+        let x = est.sketch_column(&more, "x").expect("sketch");
+        reopened.register(&x).expect("register post-drop");
+        assert_eq!(reopened.entries()[2].file, "000002.col");
+
+        // Compaction purges the tombstone and reclaims its blob.
+        let report = reopened.compact().expect("compact");
+        assert_eq!(report.removed_files, vec![dropped_file.clone()]);
+        assert_eq!(report.live_columns, 2);
+        assert!(!root.join(SKETCH_DIR).join(&dropped_file).exists());
+        assert_eq!(reopened.entries().len(), 2);
+        assert_eq!(reopened.load("taxi", "rides").expect("load"), rides);
+        assert_eq!(Catalog::open(&root).expect("reopen").entries().len(), 2);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn init_refuses_the_read_only_v1_format() {
+        let root = temp_root("init-v1");
+        let spec = estimator(2).sketcher().spec();
+        let err = Catalog::init(&root, spec.with_format(ipsketch_core::FormatVersion::V1))
+            .expect_err("v1 init");
+        assert!(matches!(err, CatalogError::Incompatible { .. }));
+        assert!(err.to_string().contains("read-only"), "{err}");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! ipsketch catalog init <dir> --method wmh --budget 400 [--seed 7] [--wmh-l 16777216]
+//! ipsketch catalog compact <dir>
+//! ipsketch catalog migrate <dir> <dest-dir>
 //! ipsketch ingest <dir> <csv> [--table <name>] [--partitions <n>]
 //! ipsketch ingest-partial <dir> <csv> --shards <n> [--table <name>]
 //! ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
@@ -86,6 +88,8 @@ pub fn usage() -> String {
 USAGE:
   ipsketch catalog init <dir> --method <jl|cs|mh|kmv|wmh|simhash|icws> --budget <doubles>
                        [--seed <n>] [--wmh-l <L>]
+  ipsketch catalog compact <dir>
+  ipsketch catalog migrate <dir> <dest-dir>
   ipsketch ingest <dir> <csv> [--table <name>] [--partitions <n>]
   ipsketch ingest-partial <dir> <csv> --shards <n> [--table <name>]
   ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
@@ -105,7 +109,10 @@ would.  `query` ranks every cataloged column against the query column by estimat
 join size (default) or |post-join correlation| (--relatedness).  `serve` puts the
 catalog behind the concurrent network front end — line-delimited JSON over TCP
 (--addr) and/or the HTTP/1.1 binding (--http, curl-able) — and runs until killed;
-protocol spec in docs/PROTOCOL.md."
+protocol spec in docs/PROTOCOL.md.  `catalog compact` reclaims tombstoned and
+orphaned sketch blobs; `catalog migrate` transcodes an old-format catalog into a
+fresh directory at the current format (the source is never modified, and an
+interrupted migration resumes where it stopped)."
         .to_string()
 }
 
@@ -211,16 +218,17 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("no command given".to_string()))?;
     match command {
         "catalog" => {
-            let sub = args
-                .get(1)
-                .map(String::as_str)
-                .ok_or_else(|| CliError::Usage("`catalog` expects `init`".to_string()))?;
-            if sub != "init" {
-                return Err(CliError::Usage(format!(
-                    "unknown catalog subcommand `{sub}` (expected `init`)"
-                )));
+            let sub = args.get(1).map(String::as_str).ok_or_else(|| {
+                CliError::Usage("`catalog` expects `init`, `compact` or `migrate`".to_string())
+            })?;
+            match sub {
+                "init" => catalog_init(&args[2..], out),
+                "compact" => catalog_compact(&args[2..], out),
+                "migrate" => catalog_migrate(&args[2..], out),
+                other => Err(CliError::Usage(format!(
+                    "unknown catalog subcommand `{other}` (expected `init`, `compact` or `migrate`)"
+                ))),
             }
-            catalog_init(&args[2..], out)
         }
         "ingest" => ingest(&args[1..], out),
         "ingest-partial" => ingest_partial(&args[1..], out),
@@ -265,6 +273,64 @@ fn catalog_init(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         catalog.root().display(),
         spec,
         spec.fingerprint()
+    )?;
+    Ok(())
+}
+
+/// `catalog compact <dir>`: drop unreferenced and tombstoned sketch blobs and
+/// print what was reclaimed.
+fn catalog_compact(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &[], &[])?;
+    let dir = parsed.positional(0, "catalog directory")?;
+    let mut catalog = Catalog::open(dir)?;
+    let report = catalog.compact()?;
+    for file in &report.removed_files {
+        writeln!(out, "removed {file}")?;
+    }
+    writeln!(
+        out,
+        "compacted catalog at {}: removed {} files, {} live columns",
+        catalog.root().display(),
+        report.removed_files.len(),
+        report.live_columns
+    )?;
+    Ok(())
+}
+
+/// `catalog migrate <dir> <dest-dir>`: transcode an old-format catalog into a fresh
+/// directory at the current format, printing per-column progress.  The source is
+/// never modified; rerunning after an interruption resumes where it stopped.
+fn catalog_migrate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &[], &[])?;
+    let src = parsed.positional(0, "source catalog directory")?;
+    let dest = parsed.positional(1, "destination directory")?;
+    let mut lines: Vec<String> = Vec::new();
+    let report = crate::migrate::migrate_catalog(src, dest, |p| {
+        lines.push(format!(
+            "[{}/{}] {}.{} {}",
+            p.done,
+            p.total,
+            p.table,
+            p.column,
+            if p.resumed {
+                "already migrated (resumed)"
+            } else {
+                "transcoded"
+            }
+        ));
+    })?;
+    for line in lines {
+        writeln!(out, "{line}")?;
+    }
+    writeln!(
+        out,
+        "migrated catalog {src} ({} -> {}) into {}: {} columns ({} transcoded, {} resumed)",
+        report.from.label(),
+        report.to.label(),
+        report.dest.display(),
+        report.columns,
+        report.transcoded,
+        report.resumed
     )?;
     Ok(())
 }
@@ -522,6 +588,7 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let service = QueryService::open(dir)?;
     let stats = service.stats();
     writeln!(out, "catalog: {}", service.catalog().root().display())?;
+    writeln!(out, "format: {}", stats.format)?;
     writeln!(out, "sketcher: {}", stats.sketcher)?;
     writeln!(out, "fingerprint: {}", stats.fingerprint)?;
     writeln!(out, "method: {}", stats.method)?;
@@ -538,7 +605,7 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             compaction.live_columns
         )?;
     }
-    for entry in service.catalog().entries() {
+    for entry in service.catalog().live_entries() {
         writeln!(
             out,
             "  {}.{} — {} rows, {} bytes ({})",
@@ -683,6 +750,14 @@ mod tests {
             run_err(&["catalog", "init", "/tmp/x", "--method", "wmh", "--budget", "lots"]),
             CliError::Usage(_)
         ));
+        assert!(matches!(
+            run_err(&["catalog", "compact"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["catalog", "migrate", "/tmp/x"]),
+            CliError::Usage(_)
+        ));
         assert!(matches!(run_err(&["ingest", "/tmp/x"]), CliError::Usage(_)));
         // Misspelled flags are rejected, never silently ignored: `--partition`
         // (instead of --partitions) must not quietly fall back to one-shot ingest.
@@ -754,6 +829,47 @@ mod tests {
             );
             fs::remove_dir_all(&dir).expect("cleanup");
         }
+    }
+
+    #[test]
+    fn compact_and_migrate_subcommands() {
+        let dir = temp_dir("compact-migrate");
+        let (taxi, _) = write_lake(&dir);
+        let catalog = dir.join("catalog");
+        run_ok(&[
+            "catalog",
+            "init",
+            catalog.to_str().expect("utf8"),
+            "--method",
+            "kmv",
+            "--budget",
+            "100",
+        ]);
+        run_ok(&[
+            "ingest",
+            catalog.to_str().expect("utf8"),
+            taxi.to_str().expect("utf8"),
+        ]);
+        // A fresh catalog has nothing to reclaim but the command still reports.
+        let text = run_ok(&["catalog", "compact", catalog.to_str().expect("utf8")]);
+        assert!(text.contains("removed 0 files, 1 live columns"), "{text}");
+        // Info surfaces the on-disk format.
+        let info_text = run_ok(&["info", catalog.to_str().expect("utf8")]);
+        assert!(info_text.contains("format: v2"), "{info_text}");
+        // Migrating a current-format catalog is refused, typed as a catalog error.
+        let dest = dir.join("migrated");
+        let err = run_err(&[
+            "catalog",
+            "migrate",
+            catalog.to_str().expect("utf8"),
+            dest.to_str().expect("utf8"),
+        ]);
+        assert!(
+            matches!(&err, CliError::Catalog(CatalogError::Incompatible { detail })
+                if detail.contains("already format v2")),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

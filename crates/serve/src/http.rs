@@ -28,7 +28,7 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
 /// Route table: URL path ↔ op token, one route per op.  `GET` is only valid on
 /// `/v1/info`; every route accepts `POST`.
-pub const ROUTES: [(&str, &str); 8] = [
+pub const ROUTES: [(&str, &str); 9] = [
     ("/v1/info", "info"),
     ("/v1/query", "query"),
     ("/v1/batch-query", "batch-query"),
@@ -37,6 +37,7 @@ pub const ROUTES: [(&str, &str); 8] = [
     ("/v1/ingest-announce", "ingest-announce"),
     ("/v1/ingest-submit", "ingest-submit"),
     ("/v1/ingest-finish", "ingest-finish"),
+    ("/v1/drop-column", "drop-column"),
 ];
 
 /// Looks up the op a URL path routes to (query strings already stripped).

@@ -23,6 +23,9 @@
 //! * [`http`] — the HTTP/1.1 binding of the same protocol (routes, framing, status
 //!   mapping), pure data like [`protocol`]: the server wires it to sockets, but the
 //!   parser and encoder are tier-1 tested featureless.
+//! * [`migrate`] — crash-safe, resumable transcoding of a read-only format-v1
+//!   catalog into the current format (`ipsketch catalog migrate`), with estimates
+//!   preserved bit-for-bit.
 //! * [`metrics`] — lock-free server observability: per-op log-bucketed latency
 //!   histograms, request/error counters, connection/queue gauges, snapshotted into
 //!   the `info` op's optional `server` member.
@@ -41,6 +44,7 @@ pub mod error;
 pub mod http;
 pub mod manifest;
 pub mod metrics;
+pub mod migrate;
 pub mod protocol;
 #[cfg(feature = "server")]
 pub mod server;
@@ -50,4 +54,5 @@ pub mod wire;
 pub use catalog::Catalog;
 pub use error::CatalogError;
 pub use manifest::{Manifest, ManifestEntry};
+pub use migrate::{migrate_catalog, MigrationReport};
 pub use service::{shard_rows, IngestReport, QueryService, ServiceStats, ShardedIngestState};

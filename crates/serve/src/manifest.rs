@@ -5,10 +5,18 @@
 //! can reject foreign sketches at load time) and one entry per registered column with
 //! the blob's file name, length and checksum (so corruption is caught before a blob is
 //! ever decoded).
+//!
+//! The manifest's version byte is not free-standing: it always equals the embedded
+//! spec's [`FormatVersion`] (one field decides the format of a whole catalog), and
+//! the decoder rejects a manifest whose two version markers disagree.  Format v1 is
+//! the frozen original layout; format v2 appends one flags byte per entry carrying
+//! the deletion tombstone ([`ManifestEntry::dropped`]), which is how
+//! [`Catalog::drop_column`](crate::Catalog::drop_column) marks a column dead without
+//! rewriting blobs — compaction reclaims the bytes later.
 
 use crate::error::{corrupt, CatalogError};
 use ipsketch_core::serialize::SliceReader;
-use ipsketch_core::SketcherSpec;
+use ipsketch_core::{FormatVersion, SketcherSpec};
 
 /// The workspace-shared FNV-1a 64-bit hash, used as the blob checksum (re-exported so
 /// catalog consumers need not depend on `ipsketch-core` directly).
@@ -16,8 +24,9 @@ pub use ipsketch_core::serialize::fnv64;
 
 /// Magic number identifying a catalog manifest ("IPCT").
 const MANIFEST_MAGIC: u32 = 0x4950_4354;
-/// Current manifest format version.
-const MANIFEST_VERSION: u8 = 1;
+
+/// The v2 per-entry flags bit marking a tombstoned (dropped) column.
+const FLAG_DROPPED: u8 = 1;
 
 /// One registered column in the manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,14 +43,20 @@ pub struct ManifestEntry {
     pub blob_len: u64,
     /// Expected FNV-1a checksum of the blob.
     pub checksum: u64,
+    /// Deletion tombstone: a dropped column no longer resolves or serves, but its
+    /// entry (and blob) linger until [`compact`](crate::Catalog::compact) reclaims
+    /// them.  Only persistable under format v2; every v1 entry decodes as live.
+    pub dropped: bool,
 }
 
 /// The decoded manifest: the catalog's sketcher configuration plus its column entries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
-    /// The sketcher configuration every stored sketch was built with.
+    /// The sketcher configuration every stored sketch was built with.  Its
+    /// [`FormatVersion`] is the manifest's version too.
     pub spec: SketcherSpec,
-    /// The registered columns, in registration order.
+    /// The registered columns, in registration order — including tombstoned ones
+    /// (blob slot numbering must never reuse a dropped entry's file).
     pub entries: Vec<ManifestEntry>,
 }
 
@@ -55,24 +70,54 @@ impl Manifest {
         }
     }
 
-    /// Looks up an entry by `(table, column)`.
+    /// The catalog format, derived from the embedded spec.
+    #[must_use]
+    pub fn format(&self) -> FormatVersion {
+        self.spec.format
+    }
+
+    /// Looks up a **live** entry by `(table, column)`; tombstoned entries do not
+    /// resolve (a dropped column behaves as absent everywhere except compaction).
     #[must_use]
     pub fn find(&self, table: &str, column: &str) -> Option<&ManifestEntry> {
         self.entries
             .iter()
-            .find(|e| e.table == table && e.column == column)
+            .find(|e| !e.dropped && e.table == table && e.column == column)
     }
 
-    /// Encodes the manifest into its stable binary form.
+    /// Mutable [`find`](Self::find), used to write a tombstone.
+    #[must_use]
+    pub fn find_mut(&mut self, table: &str, column: &str) -> Option<&mut ManifestEntry> {
+        self.entries
+            .iter_mut()
+            .find(|e| !e.dropped && e.table == table && e.column == column)
+    }
+
+    /// The live (non-tombstoned) entries, in registration order.
+    pub fn live_entries(&self) -> impl Iterator<Item = &ManifestEntry> {
+        self.entries.iter().filter(|e| !e.dropped)
+    }
+
+    /// Number of live (non-tombstoned) entries.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.live_entries().count()
+    }
+
+    /// Encodes the manifest into its stable binary form, under the embedded spec's
+    /// format.  The v1 layout is frozen (and has no per-entry flags byte, so a
+    /// tombstone cannot be persisted under it — the catalog refuses to drop from v1
+    /// catalogs in the first place); v2 appends one flags byte per entry.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         fn put_str(out: &mut Vec<u8>, s: &str) {
             out.extend_from_slice(&(s.len() as u32).to_le_bytes());
             out.extend_from_slice(s.as_bytes());
         }
+        let format = self.format();
         let mut out = Vec::new();
         out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
-        out.push(MANIFEST_VERSION);
+        out.push(format.as_u8());
         let spec = self.spec.encode();
         out.extend_from_slice(&(spec.len() as u32).to_le_bytes());
         out.extend_from_slice(&spec);
@@ -84,16 +129,21 @@ impl Manifest {
             put_str(&mut out, &entry.file);
             out.extend_from_slice(&entry.blob_len.to_le_bytes());
             out.extend_from_slice(&entry.checksum.to_le_bytes());
+            if format >= FormatVersion::V2 {
+                out.push(if entry.dropped { FLAG_DROPPED } else { 0 });
+            }
         }
         out
     }
 
-    /// Decodes a manifest previously produced by [`encode`](Self::encode).
+    /// Decodes a manifest previously produced by [`encode`](Self::encode), of either
+    /// format version.
     ///
     /// # Errors
     ///
     /// Returns [`CatalogError::Corrupt`] on truncation, bad magic, an unsupported
-    /// version, malformed strings, an undecodable sketcher spec, or trailing bytes.
+    /// version, a version byte disagreeing with the embedded spec's format, malformed
+    /// strings, an undecodable sketcher spec, unknown entry flags, or trailing bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self, CatalogError> {
         // Reader failures (truncation, bad UTF-8) are catalog corruption.
         let sk = |e: ipsketch_core::SketchError| CatalogError::Corrupt {
@@ -105,30 +155,54 @@ impl Manifest {
             return Err(corrupt(format!("bad manifest magic number {magic:#x}")));
         }
         let version = reader.u8().map_err(sk)?;
-        if version != MANIFEST_VERSION {
-            return Err(corrupt(format!(
-                "unsupported manifest version {version} (this build reads version {MANIFEST_VERSION})"
-            )));
-        }
+        let Some(format) = FormatVersion::from_u8(version) else {
+            return Err(corrupt(FormatVersion::unsupported("manifest", version)));
+        };
         let spec_len = reader.u32().map_err(sk)? as usize;
         let spec = SketcherSpec::decode(reader.take(spec_len).map_err(sk)?)
             .map_err(|e| corrupt(format!("manifest sketcher spec: {e}")))?;
+        if spec.format != format {
+            return Err(corrupt(format!(
+                "manifest version {} disagrees with its sketcher spec's format {}",
+                format.label(),
+                spec.format.label()
+            )));
+        }
         let entry_count = reader.u64().map_err(sk)?;
         // An entry takes at least 36 bytes; bound the pre-allocation by what the
         // buffer could possibly hold so a corrupt count cannot trigger a huge alloc.
         let mut entries = Vec::with_capacity((entry_count as usize).min(bytes.len() / 36 + 1));
         for _ in 0..entry_count {
-            let mut entry = || -> Result<ManifestEntry, ipsketch_core::SketchError> {
+            let mut entry = || -> Result<ManifestEntry, CatalogError> {
+                let table = reader.string().map_err(sk)?;
+                let column = reader.string().map_err(sk)?;
+                let rows = reader.u64().map_err(sk)?;
+                let file = reader.string().map_err(sk)?;
+                let blob_len = reader.u64().map_err(sk)?;
+                let checksum = reader.u64().map_err(sk)?;
+                // The v1 layout predates tombstones: every v1 entry is live.
+                let dropped = if format >= FormatVersion::V2 {
+                    let flags = reader.u8().map_err(sk)?;
+                    if flags & !FLAG_DROPPED != 0 {
+                        return Err(corrupt(format!(
+                            "unknown manifest entry flags {flags:#04x} on `{table}.{column}`"
+                        )));
+                    }
+                    flags & FLAG_DROPPED != 0
+                } else {
+                    false
+                };
                 Ok(ManifestEntry {
-                    table: reader.string()?,
-                    column: reader.string()?,
-                    rows: reader.u64()?,
-                    file: reader.string()?,
-                    blob_len: reader.u64()?,
-                    checksum: reader.u64()?,
+                    table,
+                    column,
+                    rows,
+                    file,
+                    blob_len,
+                    checksum,
+                    dropped,
                 })
             };
-            entries.push(entry().map_err(sk)?);
+            entries.push(entry()?);
         }
         reader.finished().map_err(sk)?;
         Ok(Self { spec, entries })
@@ -138,12 +212,28 @@ impl Manifest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ipsketch_core::SketcherKind;
 
-    fn sample() -> Manifest {
-        let mut m = Manifest::new(SketcherSpec::Kmv {
-            capacity: 32,
-            seed: 7,
-        });
+    fn entry(n: u64, dropped: bool) -> ManifestEntry {
+        ManifestEntry {
+            table: format!("table{n}"),
+            column: "col".into(),
+            rows: 100 + n,
+            file: format!("{n:06}.col"),
+            blob_len: 1000 + n,
+            checksum: 0xDEAD_BEEF ^ n,
+            dropped,
+        }
+    }
+
+    fn sample(format: FormatVersion) -> Manifest {
+        let mut m = Manifest::new(SketcherSpec::new(
+            format,
+            SketcherKind::Kmv {
+                capacity: 32,
+                seed: 7,
+            },
+        ));
         m.entries.push(ManifestEntry {
             table: "taxi".into(),
             column: "rides".into(),
@@ -151,6 +241,7 @@ mod tests {
             file: "000000.col".into(),
             blob_len: 1234,
             checksum: 0xDEAD_BEEF,
+            dropped: false,
         });
         m.entries.push(ManifestEntry {
             table: "weather".into(),
@@ -159,47 +250,107 @@ mod tests {
             file: "000001.col".into(),
             blob_len: 99,
             checksum: 42,
+            dropped: false,
         });
         m
     }
 
     #[test]
-    fn encode_decode_round_trips() {
-        let m = sample();
-        assert_eq!(Manifest::decode(&m.encode()).expect("fresh encoding"), m);
-        let empty = Manifest::new(SketcherSpec::Jl { rows: 8, seed: 1 });
-        assert_eq!(
-            Manifest::decode(&empty.encode()).expect("fresh encoding"),
-            empty
-        );
-    }
-
-    #[test]
-    fn find_locates_entries() {
-        let m = sample();
-        assert_eq!(m.find("taxi", "rides").map(|e| e.rows), Some(500));
-        assert!(m.find("taxi", "missing").is_none());
-        assert!(m.find("missing", "rides").is_none());
-    }
-
-    #[test]
-    fn decode_rejects_every_truncation() {
-        let bytes = sample().encode();
-        for cut in 0..bytes.len() {
-            assert!(
-                matches!(
-                    Manifest::decode(&bytes[..cut]),
-                    Err(CatalogError::Corrupt { .. })
-                ),
-                "cut at {cut} of {} should be corrupt",
-                bytes.len()
+    fn encode_decode_round_trips_both_formats() {
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let m = sample(format);
+            assert_eq!(Manifest::decode(&m.encode()).expect("fresh encoding"), m);
+            let empty = Manifest::new(SketcherSpec::new(
+                format,
+                SketcherKind::Jl { rows: 8, seed: 1 },
+            ));
+            assert_eq!(
+                Manifest::decode(&empty.encode()).expect("fresh encoding"),
+                empty
             );
         }
     }
 
     #[test]
-    fn decode_rejects_bad_magic_version_and_trailing_bytes() {
-        let m = sample();
+    fn v1_encoding_is_byte_identical_to_the_frozen_layout() {
+        // The pre-versioning layout byte for byte: magic, version=1, spec length,
+        // spec bytes, entry count, then per entry the strings/ints with NO flags
+        // byte.  v1 catalogs on disk depend on this never drifting.
+        let m = sample(FormatVersion::V1);
+        let bytes = m.encode();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        expected.push(1);
+        let spec = m.spec.encode();
+        expected.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        expected.extend_from_slice(&spec);
+        expected.extend_from_slice(&2u64.to_le_bytes());
+        for e in &m.entries {
+            expected.extend_from_slice(&(e.table.len() as u32).to_le_bytes());
+            expected.extend_from_slice(e.table.as_bytes());
+            expected.extend_from_slice(&(e.column.len() as u32).to_le_bytes());
+            expected.extend_from_slice(e.column.as_bytes());
+            expected.extend_from_slice(&e.rows.to_le_bytes());
+            expected.extend_from_slice(&(e.file.len() as u32).to_le_bytes());
+            expected.extend_from_slice(e.file.as_bytes());
+            expected.extend_from_slice(&e.blob_len.to_le_bytes());
+            expected.extend_from_slice(&e.checksum.to_le_bytes());
+        }
+        assert_eq!(bytes, expected);
+        // The v2 encoding of the same entries is exactly one flags byte per entry
+        // longer (plus the spec's own format byte difference).
+        let v2 = sample(FormatVersion::V2).encode();
+        assert_eq!(v2.len(), bytes.len() + m.entries.len());
+    }
+
+    #[test]
+    fn tombstones_round_trip_and_hide_from_find() {
+        let mut m = sample(FormatVersion::V2);
+        m.entries.push(entry(2, true));
+        m.entries.push(entry(3, false));
+        let decoded = Manifest::decode(&m.encode()).expect("round trip");
+        assert_eq!(decoded, m);
+        assert!(decoded.entries[2].dropped);
+        // Tombstoned entries are invisible to find/live views but still counted raw.
+        assert!(decoded.find("table2", "col").is_none());
+        assert!(decoded.find("table3", "col").is_some());
+        assert_eq!(decoded.entries.len(), 4);
+        assert_eq!(decoded.live_len(), 3);
+        assert_eq!(decoded.live_entries().count(), 3);
+        assert_eq!(decoded.format(), FormatVersion::V2);
+    }
+
+    #[test]
+    fn find_locates_entries() {
+        let mut m = sample(FormatVersion::V2);
+        assert_eq!(m.find("taxi", "rides").map(|e| e.rows), Some(500));
+        assert!(m.find("taxi", "missing").is_none());
+        assert!(m.find("missing", "rides").is_none());
+        m.find_mut("taxi", "rides").expect("live").dropped = true;
+        assert!(m.find("taxi", "rides").is_none());
+        assert!(m.find_mut("taxi", "rides").is_none());
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation() {
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let bytes = sample(format).encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    matches!(
+                        Manifest::decode(&bytes[..cut]),
+                        Err(CatalogError::Corrupt { .. })
+                    ),
+                    "cut at {cut} of {} should be corrupt",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_version_flags_and_trailing_bytes() {
+        let m = sample(FormatVersion::V2);
         let mut bad_magic = m.encode();
         bad_magic[0] ^= 0xFF;
         assert!(matches!(
@@ -210,9 +361,27 @@ mod tests {
         stale_version[4] = 99;
         let err = Manifest::decode(&stale_version).expect_err("stale version");
         assert!(err.to_string().contains("version 99"), "{err}");
+        assert!(err.to_string().contains("versions 1 through 2"), "{err}");
         let mut padded = m.encode();
         padded.push(0);
         assert!(Manifest::decode(&padded).is_err());
+        // A v2 entry with unknown flag bits is corruption, not silently ignored.
+        let mut bad_flags = m.encode();
+        let last = bad_flags.len() - 1;
+        bad_flags[last] = 0x82;
+        let err = Manifest::decode(&bad_flags).expect_err("unknown flags");
+        assert!(err.to_string().contains("flags"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_version_disagreeing_with_spec_format() {
+        // A manifest whose own version byte says v2 but whose spec encodes as v1 (or
+        // vice versa) is corrupt — one field decides the catalog's format.
+        let v1 = sample(FormatVersion::V1);
+        let mut mismatched = v1.encode();
+        mismatched[4] = 2; // claim manifest v2 over a v1 spec
+        let err = Manifest::decode(&mismatched).expect_err("mismatched versions");
+        assert!(err.to_string().contains("disagrees"), "{err}");
     }
 
     #[test]

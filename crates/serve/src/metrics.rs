@@ -25,7 +25,7 @@ const BUCKETS: usize = 64;
 /// The op labels the server tracks, in the stable order they appear in wire
 /// snapshots.  The final `"invalid"` slot absorbs requests whose op could not be
 /// decoded (bad JSON, unknown op, oversized lines).
-pub const OP_LABELS: [&str; 9] = [
+pub const OP_LABELS: [&str; 10] = [
     "info",
     "query",
     "batch-query",
@@ -34,6 +34,7 @@ pub const OP_LABELS: [&str; 9] = [
     "ingest-announce",
     "ingest-submit",
     "ingest-finish",
+    "drop-column",
     "invalid",
 ];
 
@@ -316,6 +317,10 @@ mod tests {
                 shard: t,
             },
             RequestBody::IngestFinish { session: 1 },
+            RequestBody::DropColumn {
+                table: "t".into(),
+                column: "c".into(),
+            },
         ];
         for body in &bodies {
             assert_ne!(

@@ -1,0 +1,149 @@
+//! Catalog migration: upgrading a read-only format-v1 catalog to the current format.
+//!
+//! Migration is a pure **transcode**: every live column is loaded from the source
+//! catalog (with the usual checksum and spec validation), re-encoded under the
+//! current format's blob layout, and written into a *sibling* destination
+//! directory.  The decoded sketch data is carried over bit-for-bit — only container
+//! bytes change — so every estimate computed from the migrated catalog is
+//! bit-identical to the source, for every method including Weighted MinHash (the
+//! spec's record stream is preserved; the faster v2 stream applies to sketches
+//! built *after* migration, under the writable format).
+//!
+//! The process is crash-safe and resumable:
+//!
+//! * The source catalog is never written to — not even on success.  The caller
+//!   swaps directories (or just starts serving the destination) when it is ready.
+//! * Each destination blob is written atomically; the destination manifest is
+//!   written **last**, also atomically.  A killed migration leaves a directory
+//!   without a manifest, which nothing will ever serve.
+//! * Re-running the same migration skips destination blobs whose bytes already
+//!   equal the expected transcoding ([`MigrationReport::resumed`] counts them), so
+//!   resuming after a crash converges to the same catalog byte-for-byte.
+
+use crate::catalog::{write_atomic, Catalog, MANIFEST_FILE, SKETCH_DIR};
+use crate::error::{io_error, CatalogError};
+use crate::manifest::{fnv64, Manifest, ManifestEntry};
+use ipsketch_core::FormatVersion;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Progress of one column through [`migrate_catalog`], fed to the progress callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateProgress<'a> {
+    /// Table name of the column just processed.
+    pub table: &'a str,
+    /// Column name of the column just processed.
+    pub column: &'a str,
+    /// 1-based index of this column in the migration.
+    pub done: usize,
+    /// Total number of columns to migrate.
+    pub total: usize,
+    /// Whether this column was skipped because a previous (interrupted) run already
+    /// wrote its transcoded blob.
+    pub resumed: bool,
+}
+
+/// What a [`migrate_catalog`] run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Format the source catalog was read in.
+    pub from: FormatVersion,
+    /// Format the destination catalog was written in (always the current format).
+    pub to: FormatVersion,
+    /// Total live columns in the destination catalog.
+    pub columns: usize,
+    /// Columns transcoded and written by this run.
+    pub transcoded: usize,
+    /// Columns skipped because an earlier interrupted run already wrote them.
+    pub resumed: usize,
+    /// Destination catalog root.
+    pub dest: PathBuf,
+}
+
+/// Migrates the catalog at `src` into a new catalog at `dest` under the current
+/// format, calling `progress` after each column.  See the module docs for the
+/// crash-safety contract; `src` is left untouched.
+///
+/// # Errors
+///
+/// Returns [`CatalogError::Incompatible`] if `src` is already the current format,
+/// [`CatalogError::NotACatalog`] if `dest` already holds a manifest (an interrupted
+/// run leaves no manifest, so a manifest means a *finished* catalog — refuse to
+/// clobber it), plus anything [`Catalog::open`]/[`Catalog::load`] can return for a
+/// damaged source, and [`CatalogError::Io`] for filesystem failures.
+pub fn migrate_catalog(
+    src: impl AsRef<Path>,
+    dest: impl Into<PathBuf>,
+    mut progress: impl FnMut(&MigrateProgress<'_>),
+) -> Result<MigrationReport, CatalogError> {
+    let src = Catalog::open(src.as_ref())?;
+    let dest: PathBuf = dest.into();
+    let from = src.format();
+    if from >= FormatVersion::CURRENT {
+        return Err(CatalogError::Incompatible {
+            detail: format!(
+                "catalog at `{}` is already format {} — nothing to migrate",
+                src.root().display(),
+                from.label()
+            ),
+        });
+    }
+    if dest.join(MANIFEST_FILE).exists() {
+        return Err(CatalogError::NotACatalog {
+            path: dest.display().to_string(),
+            detail: "destination already holds a catalog manifest".to_string(),
+        });
+    }
+    let dest_sketches = dest.join(SKETCH_DIR);
+    fs::create_dir_all(&dest_sketches).map_err(|e| io_error(&dest, &e))?;
+
+    let live: Vec<&ManifestEntry> = src.live_entries().collect();
+    let total = live.len();
+    let mut manifest = Manifest::new(src.spec().with_format(FormatVersion::CURRENT));
+    let mut transcoded = 0usize;
+    let mut resumed = 0usize;
+    for (i, entry) in live.into_iter().enumerate() {
+        // Full source-side validation: checksum, decode, spec match.
+        let column = src.load_entry(entry)?;
+        let file = format!("{i:06}.col");
+        let expected = column.encode(FormatVersion::CURRENT);
+        let blob_path = dest_sketches.join(&file);
+        // Resume: a blob already byte-identical to the expected transcoding was
+        // written by a previous interrupted run.  Anything else (partial, stale,
+        // foreign) is rewritten atomically.
+        let already = fs::read(&blob_path).is_ok_and(|existing| existing == expected);
+        if already {
+            resumed += 1;
+        } else {
+            write_atomic(&blob_path, &expected)?;
+            transcoded += 1;
+        }
+        manifest.entries.push(ManifestEntry {
+            table: entry.table.clone(),
+            column: entry.column.clone(),
+            rows: entry.rows,
+            file,
+            blob_len: expected.len() as u64,
+            checksum: fnv64(&expected),
+            dropped: false,
+        });
+        progress(&MigrateProgress {
+            table: &entry.table,
+            column: &entry.column,
+            done: i + 1,
+            total,
+            resumed: already,
+        });
+    }
+    // The manifest lands last: its appearance is the atomic commit point that turns
+    // the destination directory into a catalog.
+    write_atomic(&dest.join(MANIFEST_FILE), &manifest.encode())?;
+    Ok(MigrationReport {
+        from,
+        to: FormatVersion::CURRENT,
+        columns: total,
+        transcoded,
+        resumed,
+        dest,
+    })
+}

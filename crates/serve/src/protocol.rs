@@ -465,6 +465,16 @@ pub enum RequestBody {
         /// Session id from `ingest-begin`.
         session: u64,
     },
+    /// Drop a registered column: the catalog writes a deletion tombstone, the
+    /// column disappears from rankings immediately, and its blob bytes are
+    /// reclaimed by the next compaction.  Read-only (format-v1) catalogs answer
+    /// `incompatible`.
+    DropColumn {
+        /// Table name of the column to drop.
+        table: String,
+        /// Column name of the column to drop.
+        column: String,
+    },
 }
 
 impl RequestBody {
@@ -480,6 +490,7 @@ impl RequestBody {
             RequestBody::IngestAnnounce { .. } => "ingest-announce",
             RequestBody::IngestSubmit { .. } => "ingest-submit",
             RequestBody::IngestFinish { .. } => "ingest-finish",
+            RequestBody::DropColumn { .. } => "drop-column",
         }
     }
 }
@@ -564,6 +575,10 @@ impl Request {
             }
             RequestBody::IngestFinish { session } => {
                 members.push(("session".to_string(), Json::u64(*session)));
+            }
+            RequestBody::DropColumn { table, column } => {
+                members.push(("table".to_string(), Json::str(table)));
+                members.push(("column".to_string(), Json::str(column)));
             }
         }
         Json::Obj(members).to_string()
@@ -686,6 +701,10 @@ impl Request {
                     .get("session")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| fail(WireError::bad_request("missing integer `session`")))?,
+            },
+            "drop-column" => RequestBody::DropColumn {
+                table: require_str(doc, "table").map_err(&fail)?,
+                column: require_str(doc, "column").map_err(&fail)?,
             },
             other => {
                 return Err(fail(WireError {
@@ -949,6 +968,10 @@ pub enum ResponseBody {
         fingerprint: String,
         /// The sketch method label (`SketchMethod::label`).
         method: String,
+        /// The catalog's on-disk format version label (e.g. `"v2"`); `"v1"`
+        /// catalogs serve read-only until migrated.  Always sent by this server;
+        /// optional on decode for compatibility with older transcripts.
+        format: Option<String>,
         /// Every registered column.
         columns: Vec<InfoColumn>,
         /// Deterministic service statistics (always sent by this server; optional
@@ -972,6 +995,13 @@ pub enum ResponseBody {
     /// Answer to `ingest-begin` / `ingest-announce` / `ingest-submit`: the session
     /// the operation touched.
     Session(u64),
+    /// Answer to `drop-column`: the key that was tombstoned.
+    Dropped {
+        /// Table name of the dropped column.
+        table: String,
+        /// Column name of the dropped column.
+        column: String,
+    },
 }
 
 /// One response line: the request's echoed `id` plus either a result or an error.
@@ -1065,6 +1095,7 @@ impl ResponseBody {
                 sketcher,
                 fingerprint,
                 method,
+                format,
                 columns,
                 stats,
                 server,
@@ -1073,22 +1104,25 @@ impl ResponseBody {
                     ("sketcher".to_string(), Json::str(sketcher)),
                     ("fingerprint".to_string(), Json::str(fingerprint)),
                     ("method".to_string(), Json::str(method)),
-                    (
-                        "columns".to_string(),
-                        Json::Arr(
-                            columns
-                                .iter()
-                                .map(|c| {
-                                    Json::Obj(vec![
-                                        ("table".to_string(), Json::str(&c.table)),
-                                        ("column".to_string(), Json::str(&c.column)),
-                                        ("rows".to_string(), Json::u64(c.rows)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
                 ];
+                if let Some(format) = format {
+                    info.push(("format".to_string(), Json::str(format)));
+                }
+                info.push((
+                    "columns".to_string(),
+                    Json::Arr(
+                        columns
+                            .iter()
+                            .map(|c| {
+                                Json::Obj(vec![
+                                    ("table".to_string(), Json::str(&c.table)),
+                                    ("column".to_string(), Json::str(&c.column)),
+                                    ("rows".to_string(), Json::u64(c.rows)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
                 if let Some(stats) = stats {
                     info.push(("stats".to_string(), stats.to_json()));
                 }
@@ -1136,6 +1170,13 @@ impl ResponseBody {
             ResponseBody::Session(session) => {
                 Json::Obj(vec![("session".to_string(), Json::u64(*session))])
             }
+            ResponseBody::Dropped { table, column } => Json::Obj(vec![(
+                "dropped".to_string(),
+                Json::Obj(vec![
+                    ("table".to_string(), Json::str(table)),
+                    ("column".to_string(), Json::str(column)),
+                ]),
+            )]),
         }
     }
 
@@ -1160,6 +1201,10 @@ impl ResponseBody {
                 sketcher: require_str(info, "sketcher")?,
                 fingerprint: require_str(info, "fingerprint")?,
                 method: require_str(info, "method")?,
+                format: info
+                    .get("format")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
                 columns,
                 stats: match info.get("stats") {
                     None => None,
@@ -1209,8 +1254,14 @@ impl ResponseBody {
         if let Some(session) = value.get("session").and_then(Json::as_u64) {
             return Ok(ResponseBody::Session(session));
         }
+        if let Some(dropped) = value.get("dropped") {
+            return Ok(ResponseBody::Dropped {
+                table: require_str(dropped, "table")?,
+                column: require_str(dropped, "column")?,
+            });
+        }
         Err(WireError::bad_request(
-            "unrecognized result payload (expected info/ranking/rankings/registered/session)",
+            "unrecognized result payload (expected info/ranking/rankings/registered/session/dropped)",
         ))
     }
 }
@@ -1339,6 +1390,10 @@ mod tests {
                 shard: sample_table(),
             },
             RequestBody::IngestFinish { session: 9 },
+            RequestBody::DropColumn {
+                table: "weather".to_string(),
+                column: "precip".to_string(),
+            },
         ];
         for body in bodies {
             let request = Request {
@@ -1367,6 +1422,7 @@ mod tests {
                 sketcher: "WMH(m=64, L=16777216, seed=7)".to_string(),
                 fingerprint: "00ff00ff00ff00ff".to_string(),
                 method: "WMH".to_string(),
+                format: None,
                 columns: vec![InfoColumn {
                     table: "weather".to_string(),
                     column: "precip".to_string(),
@@ -1379,6 +1435,7 @@ mod tests {
                 sketcher: "WMH(m=64, L=16777216, seed=7)".to_string(),
                 fingerprint: "00ff00ff00ff00ff".to_string(),
                 method: "WMH".to_string(),
+                format: Some("v2".to_string()),
                 columns: vec![],
                 stats: Some(WireServiceStats {
                     columns: 3,
@@ -1410,6 +1467,10 @@ mod tests {
                 skipped: vec!["zeros".to_string()],
             },
             ResponseBody::Session(3),
+            ResponseBody::Dropped {
+                table: "weather".to_string(),
+                column: "precip".to_string(),
+            },
         ];
         for body in bodies {
             let response = Response {

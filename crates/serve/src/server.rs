@@ -1156,8 +1156,7 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
             Ok(ResponseBody::Info {
                 columns: service
                     .catalog()
-                    .entries()
-                    .iter()
+                    .live_entries()
                     .map(|e| InfoColumn {
                         table: e.table.clone(),
                         column: e.column.clone(),
@@ -1176,6 +1175,7 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
                 sketcher: stats.sketcher,
                 fingerprint: stats.fingerprint,
                 method: stats.method,
+                format: Some(stats.format),
                 server: server.then(|| shared.metrics.snapshot()),
             })
         }
@@ -1292,6 +1292,20 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
             Ok(ResponseBody::Report {
                 registered: report.registered,
                 skipped: report.skipped,
+            })
+        }
+        RequestBody::DropColumn { table, column } => {
+            shared
+                .service
+                .write()
+                .drop_column(table, column)
+                .map_err(WireError::from)?;
+            // The tombstoned blob is garbage now; let the maintenance thread's
+            // next compaction pass reclaim it.
+            shared.signal_maintenance();
+            Ok(ResponseBody::Dropped {
+                table: table.clone(),
+                column: column.clone(),
             })
         }
     }

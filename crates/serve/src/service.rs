@@ -68,7 +68,10 @@ pub struct ServiceStats {
     pub fingerprint: String,
     /// The sketch method label.
     pub method: String,
-    /// Registered column count.
+    /// The catalog's on-disk format version label (e.g. `"v2"`); `"v1"` catalogs
+    /// serve read-only until migrated.
+    pub format: String,
+    /// Registered (live) column count.
     pub columns: usize,
     /// How many registered columns are hydrated into the in-memory index.
     pub hydrated: usize,
@@ -198,6 +201,32 @@ impl QueryService {
         Ok(report)
     }
 
+    /// Drops a column: writes a deletion tombstone into the catalog manifest (see
+    /// [`Catalog::drop_column`]) and evicts the column from the in-memory index, so
+    /// it disappears from rankings immediately.  The blob bytes are reclaimed by the
+    /// next [`compact`](Self::compact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::NotFound`] for unknown keys,
+    /// [`CatalogError::Incompatible`] for read-only (format-v1) catalogs, and
+    /// [`CatalogError::Io`] for filesystem failures; on error neither the catalog
+    /// nor the index changes.
+    pub fn drop_column(&mut self, table: &str, column: &str) -> Result<(), CatalogError> {
+        self.catalog.drop_column(table, column)?;
+        if self
+            .hydrated
+            .remove(&(table.to_string(), column.to_string()))
+        {
+            // The catalog committed the tombstone and the index held the column, so
+            // this remove cannot miss.
+            self.index
+                .remove(table, column)
+                .map_err(CatalogError::Join)?;
+        }
+        Ok(())
+    }
+
     /// A typed snapshot of the service: configuration, column/hydration counts,
     /// on-disk footprint, and the last compaction's report.  Every info surface
     /// (CLI, TCP `info`, `GET /v1/info`) renders from this one struct.
@@ -208,9 +237,10 @@ impl QueryService {
             sketcher: spec.to_string(),
             fingerprint: format!("{:016x}", spec.fingerprint()),
             method: spec.method().label().to_string(),
+            format: self.catalog.format().label().to_string(),
             columns: self.catalog.len(),
             hydrated: self.hydrated.len(),
-            bytes_on_disk: self.catalog.entries().iter().map(|e| e.blob_len).sum(),
+            bytes_on_disk: self.catalog.live_entries().map(|e| e.blob_len).sum(),
             last_compaction: self.last_compaction.clone(),
         }
     }
@@ -246,8 +276,7 @@ impl QueryService {
         }
         let missing: Vec<_> = self
             .catalog
-            .entries()
-            .iter()
+            .live_entries()
             .filter(|e| !self.hydrated.contains(&(e.table.clone(), e.column.clone())))
             .cloned()
             .collect();
@@ -986,6 +1015,7 @@ mod tests {
         );
         assert_eq!(empty.fingerprint.len(), 16);
         assert_eq!(empty.sketcher, spec.to_string());
+        assert_eq!(empty.format, "v2", "fresh catalogs are the current format");
         assert!(empty.last_compaction.is_none());
 
         service.ingest_table(&good).expect("ingest");
@@ -1005,6 +1035,52 @@ mod tests {
         let q = reopened.sketch_query(&query, "rides").expect("sketch");
         reopened.query_joinable(&q, 1).expect("query");
         assert_eq!(reopened.stats().hydrated, 2);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn drop_column_hides_immediately_and_compact_reclaims() {
+        let root = temp_root("drop");
+        let (query, good, bad) = lake();
+        let mut service =
+            QueryService::create(&root, spec_for(SketchMethod::Kmv, 9)).expect("create");
+        service.ingest_table(&good).expect("good");
+        service.ingest_table(&bad).expect("bad");
+        let q = service.sketch_query(&query, "rides").expect("sketch");
+        assert!(service
+            .query_joinable(&q, 10)
+            .expect("query")
+            .iter()
+            .any(|r| r.id.table == "good" && r.id.column == "precip"));
+
+        service.drop_column("good", "precip").expect("drop");
+        // Gone from rankings in the same process, with no rehydration needed.
+        assert!(service
+            .query_joinable(&q, 10)
+            .expect("query")
+            .iter()
+            .all(|r| !(r.id.table == "good" && r.id.column == "precip")));
+        assert_eq!(service.stats().columns, 2);
+        assert!(service.is_fully_hydrated());
+        // Unknown or already-dropped keys are NotFound.
+        assert!(matches!(
+            service.drop_column("good", "precip"),
+            Err(CatalogError::NotFound { .. })
+        ));
+
+        // Gone after a cold reopen too, and compaction reclaims the blob bytes.
+        let mut reopened = QueryService::open(&root).expect("open");
+        let q2 = reopened.sketch_query(&query, "rides").expect("sketch");
+        assert!(reopened
+            .query_joinable(&q2, 10)
+            .expect("query")
+            .iter()
+            .all(|r| !(r.id.table == "good" && r.id.column == "precip")));
+        let before = reopened.stats().bytes_on_disk;
+        let report = reopened.compact().expect("compact");
+        assert_eq!(report.removed_files.len(), 1);
+        assert_eq!(report.live_columns, 2);
+        assert_eq!(reopened.stats().bytes_on_disk, before);
         fs::remove_dir_all(&root).expect("cleanup");
     }
 

@@ -771,6 +771,90 @@ fn wire_ingest_registers_and_compaction_runs_on_demand() {
     fs::remove_dir_all(&root).expect("cleanup");
 }
 
+#[test]
+fn drop_column_over_the_wire_tombstones_and_info_reports_the_format() {
+    let root = temp_root("wiredrop");
+    let (query, good, _) = lake();
+    let mut service = QueryService::create(&root, spec_for(SketchMethod::Kmv, 11)).expect("create");
+    service.ingest_table(&good).expect("ingest");
+    let handle = serve(service, tcp_config()).expect("serve");
+    let mut client = Client::connect(&handle);
+
+    // Info names the current on-disk format and both live columns.
+    let response = client.call(&Request {
+        id: Json::Null,
+        body: RequestBody::Info { server: false },
+    });
+    match response.result.expect("info succeeds") {
+        ResponseBody::Info {
+            format, columns, ..
+        } => {
+            assert_eq!(format.as_deref(), Some("v2"));
+            assert_eq!(columns.len(), 2);
+        }
+        other => panic!("expected info, got {other:?}"),
+    }
+
+    // Drop the joinable column over the wire.
+    let response = client.call(&Request {
+        id: Json::Null,
+        body: RequestBody::DropColumn {
+            table: "good".to_string(),
+            column: "precip".to_string(),
+        },
+    });
+    match response.result.expect("drop succeeds") {
+        ResponseBody::Dropped { table, column } => {
+            assert_eq!((table.as_str(), column.as_str()), ("good", "precip"));
+        }
+        other => panic!("expected dropped, got {other:?}"),
+    }
+
+    // Rankings and info no longer see it, on this same connection.
+    let response = client.call(&Request {
+        id: Json::Null,
+        body: RequestBody::Query {
+            mode: Mode::Joinable,
+            k: 5,
+            min_join_size: 0.0,
+            query: wire_query(&query, "rides"),
+        },
+    });
+    match response.result.expect("query succeeds") {
+        ResponseBody::Ranking(ranking) => {
+            assert!(
+                ranking.iter().all(|r| r.column != "precip"),
+                "dropped column still ranked: {ranking:?}"
+            );
+        }
+        other => panic!("expected ranking, got {other:?}"),
+    }
+    let response = client.call(&Request {
+        id: Json::Null,
+        body: RequestBody::Info { server: false },
+    });
+    match response.result.expect("info succeeds") {
+        ResponseBody::Info { columns, .. } => {
+            assert_eq!(columns.len(), 1, "tombstoned column still listed");
+        }
+        other => panic!("expected info, got {other:?}"),
+    }
+
+    // Dropping it again is a typed `not_found`.
+    let response = client.call(&Request {
+        id: Json::Null,
+        body: RequestBody::DropColumn {
+            table: "good".to_string(),
+            column: "precip".to_string(),
+        },
+    });
+    let error = response.result.expect_err("second drop fails");
+    assert_eq!(error.code, ErrorCode::NotFound);
+
+    handle.shutdown();
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
 /// A table bulky enough that a one-worker server falls behind while decoding it.
 fn bulky(name: &str) -> WireTable {
     let table = Table::new(
