@@ -12,6 +12,11 @@
 //! * `query_under_ingest` — queries while a background client keeps
 //!   registering fresh tables, exercising the read/write lock split.
 //!
+//! A fourth, `routed_query` (TCP only — the router front end speaks the line
+//! framing), sends the same single queries through an `ipsketch route`-style
+//! router fronting three in-process nodes at replication 2, pricing the
+//! fan-out/merge hop relative to the plain `query` rows.
+//!
 //! Each scenario first measures closed-loop capacity, then replays an
 //! **open-loop** schedule at 70% of that capacity: arrivals are fixed in
 //! advance, and each latency is measured from the *scheduled* arrival, so
@@ -37,6 +42,7 @@
 use ipsketch_core::method::{AnySketcher, SketchMethod};
 use ipsketch_data::DataLakeConfig;
 use ipsketch_serve::protocol::{Mode, Request, RequestBody, Response, WireQuery, WireTable};
+use ipsketch_serve::router::{serve_router, NodeSpec, Router, RouterHandle};
 use ipsketch_serve::server::{serve, ServerConfig, ServerHandle};
 use ipsketch_serve::wire::Json;
 use ipsketch_serve::QueryService;
@@ -283,6 +289,95 @@ fn build_workload(tag: &str, profile: &Profile) -> Workload {
         query_line,
         batch_line,
         ingest_template,
+    }
+}
+
+/// Three catalog nodes behind one router, the lake ingested *through* the
+/// router so every `(table, column)` lands on its rendezvous owners.
+struct RoutedWorkload {
+    router: RouterHandle,
+    nodes: Vec<ServerHandle>,
+    roots: Vec<PathBuf>,
+    query_line: String,
+}
+
+fn build_routed_workload(profile: &Profile) -> RoutedWorkload {
+    let mut nodes = Vec::new();
+    let mut roots = Vec::new();
+    for i in 0..3 {
+        let root = std::env::temp_dir().join(format!(
+            "ipsketch-loadgen-routed-{i}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let spec = AnySketcher::for_budget(SketchMethod::Jl, 256.0, SEED)
+            .expect("budget fits")
+            .spec();
+        let service = QueryService::create(&root, spec).expect("create catalog");
+        let handle = serve(
+            service,
+            ServerConfig::builder()
+                .tcp("127.0.0.1:0")
+                .maintenance_interval(None)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("serve node");
+        nodes.push(handle);
+        roots.push(root);
+    }
+    let specs = nodes
+        .iter()
+        .map(|n| NodeSpec::tcp(n.tcp_addr().expect("tcp bound").to_string()))
+        .collect();
+    let router = Router::new(specs, 2).expect("valid router");
+    let router = serve_router(router, "127.0.0.1:0".parse().expect("addr")).expect("route");
+
+    let lake = DataLakeConfig {
+        tables: profile.tables,
+        columns_per_table: 2,
+        min_rows: 100,
+        max_rows: 300,
+        key_universe: 1_000,
+    }
+    .generate(SEED)
+    .expect("valid config");
+    let mut conn = Conn::connect(Framer::Tcp, router.addr());
+    for table in lake.tables() {
+        let line = Request {
+            id: Json::Null,
+            body: RequestBody::Ingest {
+                table: WireTable::from_table(table),
+                partitions: None,
+            },
+        }
+        .encode();
+        conn.call("/v1/ingest", &line);
+    }
+
+    let first = &lake.tables()[0];
+    let query_line = Request {
+        id: Json::u64(1),
+        body: RequestBody::Query {
+            mode: Mode::Joinable,
+            k: 5,
+            min_join_size: 0.0,
+            query: WireQuery {
+                table: "loadgen".to_string(),
+                column: first.columns()[0].name.clone(),
+                keys: first.keys().to_vec(),
+                values: first.columns()[0].values.clone(),
+            },
+        },
+    }
+    .encode();
+    // Warm every node's hydration path through the router before measuring.
+    conn.call("/v1/query", &query_line);
+    RoutedWorkload {
+        router,
+        nodes,
+        roots,
+        query_line,
     }
 }
 
@@ -542,6 +637,44 @@ fn main() {
         }
         workload.handle.shutdown();
         let _ = std::fs::remove_dir_all(&workload.root);
+    }
+
+    // The routed scenario measures the router's line-TCP front end only: the
+    // router has no HTTP listener (HTTP is a node-side transport option).
+    {
+        let routed = build_routed_workload(&profile);
+        let addr = routed.router.addr();
+        let line = routed.query_line.as_str();
+        let capacity_qps = measure_capacity(Framer::Tcp, addr, "/v1/query", line, &profile);
+        let target = capacity_qps * OPEN_LOOP_FRACTION;
+        let (sustained_qps, mut latencies) =
+            measure_open_loop(Framer::Tcp, addr, "/v1/query", line, &profile, target);
+        latencies.sort_unstable();
+        let result = ScenarioResult {
+            scenario: "routed_query".to_string(),
+            framer: Framer::Tcp.label().to_string(),
+            capacity_qps,
+            sustained_qps,
+            p50_us: quantile(&latencies, 0.50),
+            p99_us: quantile(&latencies, 0.99),
+        };
+        println!(
+            "{:>20} / {:<5} capacity {:>8.0} qps | sustained {:>8.0} qps | p50 {:>6} us | p99 {:>6} us",
+            result.scenario,
+            result.framer,
+            result.capacity_qps,
+            result.sustained_qps,
+            result.p50_us,
+            result.p99_us
+        );
+        results.push(result);
+        routed.router.shutdown();
+        for node in routed.nodes {
+            node.shutdown();
+        }
+        for root in routed.roots {
+            let _ = std::fs::remove_dir_all(&root);
+        }
     }
 
     let parameters = Json::Obj(vec![

@@ -377,7 +377,17 @@ impl SketchIndex {
             }
             results.push(ranked);
         }
-        results.sort_by(|a, b| b.score.total_cmp(&a.score));
+        // Deterministic total order: score descending, then `(table, column)`
+        // ascending.  Without the tie-break, equal scores rank in index insertion
+        // order — two indexes holding the same columns could disagree, and a
+        // router merging per-node top-k lists could never reproduce a single
+        // node's answer bit for bit.
+        results.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.id.table.cmp(&b.id.table))
+                .then_with(|| a.id.column.cmp(&b.id.column))
+        });
         results.truncate(k);
         Ok(results)
     }
@@ -682,6 +692,70 @@ mod tests {
         let q = index.sketch_query(&query, "rides")?;
         let ranked = index.top_k_joinable(&q, 10)?;
         assert!(ranked.iter().all(|r| r.id.table != "query"));
+        Ok(())
+    }
+
+    #[test]
+    fn ranking_is_invariant_under_insertion_order() -> Result<(), JoinError> {
+        // Tables "tie_a".."tie_d" carry byte-identical column data, so their
+        // sketches — and therefore their scores against any query — are exactly
+        // equal.  Before the (table, column) tie-break, their relative order
+        // depended on index insertion order; now every permutation must produce
+        // the identical ranked list, bit for bit.
+        let (query, good, bad) = scenario();
+        let tied: Vec<Table> = ["tie_c", "tie_a", "tie_d", "tie_b"]
+            .iter()
+            .map(|name| {
+                Table::new(
+                    *name,
+                    (200..700).collect(),
+                    vec![Column::new(
+                        "v",
+                        (200..700).map(|i| f64::from(i) * 0.5 + 1.0).collect(),
+                    )],
+                )
+                .expect("unique keys")
+            })
+            .collect();
+        let mut tables: Vec<&Table> = vec![&good, &bad];
+        tables.extend(tied.iter());
+
+        let build = |order: &[usize]| -> Result<Vec<RankedColumn>, JoinError> {
+            let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 7)?);
+            for &i in order {
+                index.insert_table(tables[i])?;
+            }
+            let q = index.sketch_query(&query, "rides")?;
+            index.top_k_joinable(&q, tables.len() + 1)
+        };
+
+        let baseline = build(&[0, 1, 2, 3, 4, 5])?;
+        // The tied tables must actually tie, or this test has no teeth.
+        let tie_scores: Vec<u64> = baseline
+            .iter()
+            .filter(|r| r.id.table.starts_with("tie_"))
+            .map(|r| r.score.to_bits())
+            .collect();
+        assert_eq!(tie_scores.len(), 4);
+        assert!(
+            tie_scores.windows(2).all(|w| w[0] == w[1]),
+            "planted columns must score identically"
+        );
+        // Ties break ascending on table name.
+        let tie_names: Vec<&str> = baseline
+            .iter()
+            .filter(|r| r.id.table.starts_with("tie_"))
+            .map(|r| r.id.table.as_str())
+            .collect();
+        assert_eq!(tie_names, vec!["tie_a", "tie_b", "tie_c", "tie_d"]);
+
+        for order in [[5, 4, 3, 2, 1, 0], [2, 0, 4, 1, 5, 3], [3, 5, 1, 4, 0, 2]] {
+            let permuted = build(&order)?;
+            assert_eq!(
+                permuted, baseline,
+                "ranking depends on insertion order {order:?}"
+            );
+        }
         Ok(())
     }
 

@@ -99,6 +99,9 @@ USAGE:
                        [--max-connections <n>] [--queue-depth <n>]
                        [--session-ttl-secs <s>] [--maintenance-secs <s>]
                        (requires the `server` feature; at least one bind address)
+  ipsketch route --addr <host:port> --node <host:port> [--node <host:port> …]
+                       [--http-node <host:port> …] [--replicas <n>]
+                       (requires the `server` feature)
   ipsketch help
 
 CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns.
@@ -109,7 +112,11 @@ would.  `query` ranks every cataloged column against the query column by estimat
 join size (default) or |post-join correlation| (--relatedness).  `serve` puts the
 catalog behind the concurrent network front end — line-delimited JSON over TCP
 (--addr) and/or the HTTP/1.1 binding (--http, curl-able) — and runs until killed;
-protocol spec in docs/PROTOCOL.md.  `catalog compact` reclaims tombstoned and
+protocol spec in docs/PROTOCOL.md.  `route` fronts several `serve` nodes as one
+cluster: `(table, column)` keys are placed on --replicas nodes by rendezvous
+hashing, queries fan out and merge deterministically, and a lost node fails over
+to its replicas (docs/PROTOCOL.md § Cluster routing; --node speaks line-TCP,
+--http-node the HTTP/1.1 binding).  `catalog compact` reclaims tombstoned and
 orphaned sketch blobs; `catalog migrate` transcodes an old-format catalog into a
 fresh directory at the current format (the source is never modified, and an
 interrupted migration resumes where it stopped)."
@@ -175,6 +182,15 @@ impl ParsedArgs {
         Ok(parsed)
     }
 
+    /// Every value given for a repeatable flag, in command-line order.
+    fn flag_values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags
             .iter()
@@ -235,6 +251,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "query" => query(&args[1..], out),
         "info" => info(&args[1..], out),
         "serve" => serve(&args[1..], out),
+        "route" => route(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -582,6 +599,104 @@ fn serve_impl(_dir: &str, _options: &ServeOptions, _out: &mut dyn Write) -> Resu
     ))
 }
 
+/// Everything the `route` subcommand parses; resolved outside the feature gate
+/// like [`ServeOptions`].
+#[cfg_attr(not(feature = "server"), allow(dead_code))]
+struct RouteOptions {
+    addr: String,
+    tcp_nodes: Vec<String>,
+    http_nodes: Vec<String>,
+    replicas: usize,
+}
+
+/// `route --addr host:port --node host:port [--node …] [--http-node …]
+/// [--replicas n]`: front several catalog nodes as one cluster, running until
+/// the process is killed.
+fn route(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &["addr", "node", "http-node", "replicas"], &[])?;
+    if let Some(extra) = parsed.positional.first() {
+        return Err(CliError::Usage(format!(
+            "`route` takes no positional arguments (got `{extra}`)"
+        )));
+    }
+    let options = RouteOptions {
+        addr: parsed
+            .flag("addr")
+            .ok_or_else(|| CliError::Usage("`route` requires --addr host:port".to_string()))?
+            .to_string(),
+        tcp_nodes: parsed
+            .flag_values("node")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        http_nodes: parsed
+            .flag_values("http-node")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        replicas: parsed.parsed_flag("replicas")?.unwrap_or(2),
+    };
+    if options.tcp_nodes.is_empty() && options.http_nodes.is_empty() {
+        return Err(CliError::Usage(
+            "`route` requires at least one catalog node: --node host:port (line-TCP) \
+             and/or --http-node host:port (HTTP/1.1)"
+                .to_string(),
+        ));
+    }
+    route_impl(&options, out)
+}
+
+#[cfg(feature = "server")]
+fn route_impl(options: &RouteOptions, out: &mut dyn Write) -> Result<(), CliError> {
+    use crate::router::{serve_router, NodeSpec, Router};
+    use std::net::ToSocketAddrs;
+    let bind = options
+        .addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "--addr `{}` is not a bindable host:port",
+                options.addr
+            ))
+        })?;
+    let nodes: Vec<NodeSpec> = options
+        .tcp_nodes
+        .iter()
+        .map(NodeSpec::tcp)
+        .chain(options.http_nodes.iter().map(NodeSpec::http))
+        .collect();
+    // Placement is validated before any socket binds, like `serve`.
+    let router =
+        Router::new(nodes, options.replicas).map_err(|e| CliError::Usage(e.to_string()))?;
+    let replicas = router.replicas();
+    let node_count = router.nodes().len();
+    let handle = serve_router(router, bind)
+        .map_err(|e| CliError::Io(format!("cannot bind router on `{}`: {e}", options.addr)))?;
+    writeln!(
+        out,
+        "routing {node_count} catalog nodes (replication {replicas}) on tcp {} — protocol v{}, \
+         one JSON request per line (docs/PROTOCOL.md § Cluster routing)",
+        handle.addr(),
+        crate::protocol::PROTOCOL_VERSION
+    )?;
+    out.flush()?;
+    // Route until killed; nodes are dialed lazily, so a node that is still
+    // booting only fails the requests that need it.
+    handle.wait();
+    Ok(())
+}
+
+#[cfg(not(feature = "server"))]
+fn route_impl(_options: &RouteOptions, _out: &mut dyn Write) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "this build has no network front end; rebuild with `--features server` \
+         (cargo build --release -p ipsketch-serve --features server --bin ipsketch)"
+            .to_string(),
+    ))
+}
+
 fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let parsed = ParsedArgs::parse(args, &[], &[])?;
     let dir = parsed.positional(0, "catalog directory")?;
@@ -828,6 +943,66 @@ mod tests {
                 "{err}"
             );
             fs::remove_dir_all(&dir).expect("cleanup");
+        }
+    }
+
+    #[test]
+    fn route_subcommand_parses_and_gates_on_the_feature() {
+        // Both the bind address and at least one node are required.
+        let err = run_err(&["route"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("--addr")),
+            "{err}"
+        );
+        let err = run_err(&["route", "--addr", "127.0.0.1:0"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("--node") && detail.contains("--http-node")),
+            "no nodes must name both node flags: {err}"
+        );
+        let err = run_err(&["route", "stray", "--addr", "127.0.0.1:0", "--node", "h:1"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("positional")),
+            "{err}"
+        );
+        let err = run_err(&[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--node",
+            "h:1",
+            "--replicas",
+            "two",
+        ]);
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        #[cfg(not(feature = "server"))]
+        {
+            let err = run_err(&["route", "--addr", "127.0.0.1:0", "--node", "127.0.0.1:1"]);
+            assert!(
+                matches!(&err, CliError::Usage(detail) if detail.contains("--features server")),
+                "featureless builds must point at the server feature: {err}"
+            );
+        }
+        #[cfg(feature = "server")]
+        {
+            // Validation runs before any socket binds.
+            let err = run_err(&["route", "--addr", "not an address", "--node", "127.0.0.1:1"]);
+            assert!(
+                matches!(&err, CliError::Usage(detail) if detail.contains("host:port")),
+                "{err}"
+            );
+            let err = run_err(&[
+                "route",
+                "--addr",
+                "127.0.0.1:0",
+                "--node",
+                "127.0.0.1:1",
+                "--replicas",
+                "0",
+            ]);
+            assert!(
+                matches!(&err, CliError::Usage(detail) if detail.contains("replication")),
+                "{err}"
+            );
         }
     }
 

@@ -175,6 +175,16 @@ pub fn try_frame(buf: &mut Vec<u8>, max_body_bytes: usize) -> Result<FrameStep, 
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
+                // RFC 9110 §8.6: Content-Length is `1*DIGIT`.  `parse::<usize>()`
+                // alone would also accept a leading `+` (`+17`), so require the
+                // digits-only form explicitly before parsing.
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(HttpError::new(
+                        400,
+                        ErrorCode::BadRequest,
+                        format!("unparseable Content-Length `{value}`"),
+                    ));
+                }
                 let parsed = value.parse::<usize>().map_err(|_| {
                     HttpError::new(
                         400,
@@ -514,6 +524,32 @@ mod tests {
             400,
             "conflicting lengths"
         );
+        // RFC 9110 requires `1*DIGIT`: a leading sign (which `parse::<usize>()`
+        // would happily accept), an empty value, or any other non-digit form is
+        // a 400, never a silently tolerated frame length.
+        for bad in [
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: +17\r\n\r\n".as_slice(),
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: -2\r\n\r\n".as_slice(),
+            b"POST /v1/query HTTP/1.1\r\nContent-Length:\r\n\r\n".as_slice(),
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 1e2\r\n\r\n".as_slice(),
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n".as_slice(),
+        ] {
+            let e = err(bad, 64);
+            assert_eq!(
+                (e.status, e.error.code),
+                (400, ErrorCode::BadRequest),
+                "non-digit Content-Length must be rejected: {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // Plain digits still frame: `017` is unusual but is `1*DIGIT`.
+        let mut buf =
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 017\r\n\r\n{\"v\":1,\"op\":\"xy\"}"
+                .to_vec();
+        match try_frame(&mut buf, 64).expect("digit form frames") {
+            FrameStep::Request(request) => assert_eq!(request.body.len(), 17),
+            other => panic!("expected a framed request, got {other:?}"),
+        }
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   reactor driving both framers (line-delimited TCP and HTTP/1.1), a worker pool
 //!   over a read-write-locked [`QueryService`], concurrent shard-partial ingest
 //!   sessions, configured overload shedding, and background catalog compaction.
+//! * [`router`] (feature `server`) — the multi-node front end: rendezvous-hashed
+//!   column placement with replication, fan-out reads merged under the
+//!   deterministic total order, failover to replicas on node loss, and the
+//!   cross-node announced-norm round for wire-driven sharded ingest
+//!   (`docs/PROTOCOL.md` § Cluster routing).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +51,8 @@ pub mod manifest;
 pub mod metrics;
 pub mod migrate;
 pub mod protocol;
+#[cfg(feature = "server")]
+pub mod router;
 #[cfg(feature = "server")]
 pub mod server;
 pub mod service;

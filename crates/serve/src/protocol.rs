@@ -854,6 +854,90 @@ pub struct WireOpStats {
     pub p99_us: u64,
 }
 
+/// Cluster routing observability in an `info` response — present only when the
+/// answering process is a router (`ipsketch route`), never a single catalog
+/// node.  See `docs/PROTOCOL.md`, "Cluster routing".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireClusterStats {
+    /// How many nodes each `(table, column)` key is written to.
+    pub replicas: u64,
+    /// Client requests the router has handled.
+    pub requests: u64,
+    /// Per-node requests the router has fanned out (≥ `requests`).
+    pub fanouts: u64,
+    /// Reads answered complete despite a node connect/IO failure — the failed
+    /// node's columns were covered by replicas on the surviving nodes.
+    pub failovers: u64,
+    /// The routed nodes, in the router's configured order.
+    pub nodes: Vec<WireNodeStats>,
+}
+
+/// One catalog node's status in [`WireClusterStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireNodeStats {
+    /// The node's address, as configured on the router.
+    pub addr: String,
+    /// The transport the router speaks to this node (`"tcp"` or `"http"`).
+    pub transport: String,
+    /// Whether the node answered the router's most recent exchange with it.
+    pub healthy: bool,
+    /// Connect/IO errors the router has observed against this node.
+    pub errors: u64,
+}
+
+impl WireClusterStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("replicas".to_string(), Json::u64(self.replicas)),
+            ("requests".to_string(), Json::u64(self.requests)),
+            ("fanouts".to_string(), Json::u64(self.fanouts)),
+            ("failovers".to_string(), Json::u64(self.failovers)),
+            (
+                "nodes".to_string(),
+                Json::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            Json::Obj(vec![
+                                ("addr".to_string(), Json::str(&n.addr)),
+                                ("transport".to_string(), Json::str(&n.transport)),
+                                ("healthy".to_string(), Json::Bool(n.healthy)),
+                                ("errors".to_string(), Json::u64(n.errors)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        let nodes_json = value
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::bad_request("cluster stats need a `nodes` array"))?;
+        let mut nodes = Vec::with_capacity(nodes_json.len());
+        for n in nodes_json {
+            nodes.push(WireNodeStats {
+                addr: require_str(n, "addr")?,
+                transport: require_str(n, "transport")?,
+                healthy: n
+                    .get("healthy")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| WireError::bad_request("cluster node needs `healthy`"))?,
+                errors: require_u64(n, "errors")?,
+            });
+        }
+        Ok(WireClusterStats {
+            replicas: require_u64(value, "replicas")?,
+            requests: require_u64(value, "requests")?,
+            fanouts: require_u64(value, "fanouts")?,
+            failovers: require_u64(value, "failovers")?,
+            nodes,
+        })
+    }
+}
+
 impl WireServiceStats {
     fn to_json(&self) -> Json {
         let mut members = vec![
@@ -980,6 +1064,9 @@ pub enum ResponseBody {
         /// Live server observability; present only when the request set
         /// `"server": true`.
         server: Option<WireServerStats>,
+        /// Cluster routing observability; present only when the answering
+        /// process is a router fronting multiple catalog nodes.
+        cluster: Option<Box<WireClusterStats>>,
     },
     /// Answer to `query`: the ranking for the one query column.
     Ranking(Vec<WireRanked>),
@@ -1099,6 +1186,7 @@ impl ResponseBody {
                 columns,
                 stats,
                 server,
+                cluster,
             } => {
                 let mut info = vec![
                     ("sketcher".to_string(), Json::str(sketcher)),
@@ -1128,6 +1216,9 @@ impl ResponseBody {
                 }
                 if let Some(server) = server {
                     info.push(("server".to_string(), server.to_json()));
+                }
+                if let Some(cluster) = cluster {
+                    info.push(("cluster".to_string(), cluster.to_json()));
                 }
                 Json::Obj(vec![("info".to_string(), Json::Obj(info))])
             }
@@ -1213,6 +1304,10 @@ impl ResponseBody {
                 server: match info.get("server") {
                     None => None,
                     Some(s) => Some(WireServerStats::from_json(s)?),
+                },
+                cluster: match info.get("cluster") {
+                    None => None,
+                    Some(c) => Some(Box::new(WireClusterStats::from_json(c)?)),
                 },
             });
         }
@@ -1430,6 +1525,7 @@ mod tests {
                 }],
                 stats: None,
                 server: None,
+                cluster: None,
             },
             ResponseBody::Info {
                 sketcher: "WMH(m=64, L=16777216, seed=7)".to_string(),
@@ -1459,6 +1555,26 @@ mod tests {
                         p99_us: 4096,
                     }],
                 }),
+                cluster: Some(Box::new(WireClusterStats {
+                    replicas: 2,
+                    requests: 41,
+                    fanouts: 123,
+                    failovers: 1,
+                    nodes: vec![
+                        WireNodeStats {
+                            addr: "127.0.0.1:7001".to_string(),
+                            transport: "tcp".to_string(),
+                            healthy: true,
+                            errors: 0,
+                        },
+                        WireNodeStats {
+                            addr: "127.0.0.1:7002".to_string(),
+                            transport: "http".to_string(),
+                            healthy: false,
+                            errors: 3,
+                        },
+                    ],
+                })),
             },
             ResponseBody::Ranking(vec![ranked.clone()]),
             ResponseBody::Rankings(vec![vec![ranked.clone()], vec![]]),

@@ -1,0 +1,1238 @@
+//! Multi-node catalog router: one process that fronts N independent catalog
+//! nodes and speaks the same line-JSON protocol as a single `ipsketch serve`.
+//!
+//! The router owns no sketches.  It partitions `(table, column)` keys across
+//! the configured nodes with rendezvous (highest-random-weight) hashing,
+//! replicating every key to `replicas` owners so reads survive a node loss:
+//!
+//! * **Writes** (`ingest`, the `ingest-begin`/`announce`/`submit`/`finish`
+//!   session ops) are split column-wise: each owner node receives the shard's
+//!   full key vector plus only the columns it owns.  The announced-norm `Σv²`
+//!   exchange therefore runs as a real cross-node round — the router maps its
+//!   client-facing session onto one lazily-opened session per involved node
+//!   and forwards announce/submit sub-shards in arrival order, so every node
+//!   seals exactly the norms its columns need.
+//! * **Reads** (`query`, `batch-query`, `info`) fan out to every node and the
+//!   per-node top-k lists are merged under the deterministic total order
+//!   (score descending via `total_cmp`, then `(table, column)` ascending),
+//!   deduplicated by key, and truncated to `k`.  Because replicas register
+//!   bit-identical blobs, a node loss changes nothing the merge can observe:
+//!   the surviving replica's entries are byte-identical.  A connect or I/O
+//!   failure on a fan-out is counted as a failover in [`WireClusterStats`].
+//! * **`drop-column`** fans to every node (placement-agnostic: operators may
+//!   have loaded nodes out-of-band) and succeeds when any node dropped the
+//!   key.
+//!
+//! `docs/PROTOCOL.md` § Cluster routing is the normative description of the
+//! routing function and the merge; `tests/cluster_loopback.rs` asserts a
+//! 3-node cluster answers bit-identically to a single node.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    ErrorCode, InfoColumn, Request, RequestBody, Response, ResponseBody, WireClusterStats,
+    WireError, WireNodeStats, WireRanked, WireServiceStats, WireTable,
+};
+use crate::wire::Json;
+
+/// Default replication factor: every key lives on two nodes, so the cluster
+/// keeps answering (bit-identically) with any single node down.
+pub const DEFAULT_REPLICAS: usize = 2;
+
+/// Router request lines are bounded like the server's default.
+const MAX_LINE_BYTES: usize = 64 << 20;
+
+/// How a node is spoken to on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTransport {
+    /// Newline-delimited JSON over a raw TCP connection.
+    Tcp,
+    /// The HTTP/1.1 binding (`POST /v1/<op>`, identical JSON bodies).
+    Http,
+}
+
+impl NodeTransport {
+    /// The stable label reported in [`WireNodeStats::transport`].
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeTransport::Tcp => "tcp",
+            NodeTransport::Http => "http",
+        }
+    }
+}
+
+/// One catalog node the router fronts.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// `host:port` of the node's listener for the chosen transport.
+    pub addr: String,
+    /// Which listener `addr` points at.
+    pub transport: NodeTransport,
+}
+
+impl NodeSpec {
+    /// A line-TCP node.
+    #[must_use]
+    pub fn tcp(addr: impl Into<String>) -> NodeSpec {
+        NodeSpec {
+            addr: addr.into(),
+            transport: NodeTransport::Tcp,
+        }
+    }
+
+    /// An HTTP/1.1 node.
+    #[must_use]
+    pub fn http(addr: impl Into<String>) -> NodeSpec {
+        NodeSpec {
+            addr: addr.into(),
+            transport: NodeTransport::Http,
+        }
+    }
+}
+
+/// Why a [`Router`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterConfigError {
+    /// No nodes were configured.
+    NoNodes,
+    /// `replicas` was zero.
+    ZeroReplicas,
+}
+
+impl fmt::Display for RouterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterConfigError::NoNodes => f.write_str("a router needs at least one catalog node"),
+            RouterConfigError::ZeroReplicas => f.write_str("replication factor must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for RouterConfigError {}
+
+/// The normative rendezvous weight of `docs/PROTOCOL.md` § Cluster routing:
+/// 64-bit FNV-1a over `addr NUL table NUL column`, passed through a 64-bit
+/// avalanche finalizer (FNV alone barely mixes a trailing-byte difference in
+/// the node address into the high bits the comparison is decided by).
+fn rendezvous_weight(addr: &str, table: &str, column: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    };
+    addr.bytes().for_each(&mut fold);
+    fold(0);
+    table.bytes().for_each(&mut fold);
+    fold(0);
+    column.bytes().for_each(&mut fold);
+    // Murmur3's 64-bit finalizer: full avalanche, so every input bit decides
+    // the weight ordering with probability ~1/2.
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^= hash >> 33;
+    hash
+}
+
+/// The rendezvous owners of `(table, column)`: node indices ordered by
+/// descending [`rendezvous_weight`] (ties broken by the lower index),
+/// truncated to `replicas`.  Pure: every router over the same node list
+/// computes the same placement, and removing a node only reassigns the keys
+/// that node owned.
+#[must_use]
+pub fn owners(nodes: &[NodeSpec], replicas: usize, table: &str, column: &str) -> Vec<usize> {
+    let mut ranked: Vec<(u64, usize)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(idx, node)| (rendezvous_weight(&node.addr, table, column), idx))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    ranked.truncate(replicas.min(nodes.len()));
+    ranked.into_iter().map(|(_, idx)| idx).collect()
+}
+
+/// Merges per-node rankings into the deterministic total order (score
+/// descending via `total_cmp`, then `(table, column)` ascending), deduplicated
+/// by `(table, column)` — replicas return bit-identical rows, so keeping the
+/// first occurrence is exact — and truncated to `k`.
+fn merge_rankings(per_node: Vec<Vec<WireRanked>>, k: u64) -> Vec<WireRanked> {
+    let mut all: Vec<WireRanked> = per_node.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.table.cmp(&b.table))
+            .then_with(|| a.column.cmp(&b.column))
+    });
+    let mut seen = BTreeSet::new();
+    all.retain(|r| seen.insert((r.table.clone(), r.column.clone())));
+    all.truncate(usize::try_from(k).unwrap_or(usize::MAX));
+    all
+}
+
+/// Per-node health/error counters, shared across router connections.
+#[derive(Debug)]
+struct NodeState {
+    errors: AtomicU64,
+    healthy: AtomicBool,
+}
+
+/// Cluster-wide router counters backing the `info` response's `cluster`
+/// member.
+#[derive(Debug)]
+struct RouterStats {
+    requests: AtomicU64,
+    fanouts: AtomicU64,
+    failovers: AtomicU64,
+    nodes: Vec<NodeState>,
+}
+
+/// A router-side sharded-ingest session: the client-facing id maps onto one
+/// lazily-opened session per node that owns any announced column.
+#[derive(Debug)]
+struct RouterSession {
+    /// The logical table every shard must carry (checked at the router so the
+    /// error does not depend on which node sees the mismatch first).
+    table: String,
+    /// Node index → that node's session id, opened at first contact.  A
+    /// `BTreeMap` so `ingest-finish` fans out in deterministic node order.
+    node_sessions: BTreeMap<usize, u64>,
+}
+
+/// A node call outcome the router distinguishes: the node answered with a
+/// protocol error (forwarded verbatim) versus the node was unreachable
+/// (candidate for failover on reads, hard failure on writes).
+enum NodeError {
+    Remote(WireError),
+    Unreachable(String),
+}
+
+/// The routing core: placement, fan-out, merge, and session mapping.  Owns no
+/// sockets — each router connection thread brings its own [`NodePool`].
+#[derive(Debug)]
+pub struct Router {
+    nodes: Vec<NodeSpec>,
+    replicas: usize,
+    stats: RouterStats,
+    metrics: ServerMetrics,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<RouterSession>>>>,
+    next_session: AtomicU64,
+}
+
+impl Router {
+    /// Builds a router over `nodes` with the given replication factor
+    /// (clamped to the node count).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterConfigError`] when `nodes` is empty or `replicas` is zero.
+    pub fn new(nodes: Vec<NodeSpec>, replicas: usize) -> Result<Router, RouterConfigError> {
+        if nodes.is_empty() {
+            return Err(RouterConfigError::NoNodes);
+        }
+        if replicas == 0 {
+            return Err(RouterConfigError::ZeroReplicas);
+        }
+        let stats = RouterStats {
+            requests: AtomicU64::new(0),
+            fanouts: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            nodes: nodes
+                .iter()
+                .map(|_| NodeState {
+                    errors: AtomicU64::new(0),
+                    healthy: AtomicBool::new(true),
+                })
+                .collect(),
+        };
+        let replicas = replicas.min(nodes.len());
+        Ok(Router {
+            nodes,
+            replicas,
+            stats,
+            metrics: ServerMetrics::default(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The effective replication factor.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// A wire-ready snapshot of the cluster counters.
+    #[must_use]
+    pub fn cluster_stats(&self) -> WireClusterStats {
+        WireClusterStats {
+            replicas: self.replicas as u64,
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            fanouts: self.stats.fanouts.load(Ordering::Relaxed),
+            failovers: self.stats.failovers.load(Ordering::Relaxed),
+            nodes: self
+                .nodes
+                .iter()
+                .zip(&self.stats.nodes)
+                .map(|(spec, state)| WireNodeStats {
+                    addr: spec.addr.clone(),
+                    transport: spec.transport.label().to_string(),
+                    healthy: state.healthy.load(Ordering::Relaxed),
+                    errors: state.errors.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Column indices of `columns` grouped by owner node (preserving the
+    /// shard's column order inside each group).
+    fn partition(&self, table: &str, columns: &[crate::protocol::WireColumn]) -> Vec<Vec<usize>> {
+        let mut per_node = vec![Vec::new(); self.nodes.len()];
+        for (col_idx, column) in columns.iter().enumerate() {
+            for node in owners(&self.nodes, self.replicas, table, &column.name) {
+                per_node[node].push(col_idx);
+            }
+        }
+        per_node
+    }
+
+    /// The sub-shard node `cols` sees: full keys, owned columns only.
+    fn subset(table: &WireTable, cols: &[usize]) -> WireTable {
+        WireTable {
+            name: table.name.clone(),
+            keys: table.keys.clone(),
+            columns: cols.iter().map(|&i| table.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Executes one decoded request against the cluster.  `pool` is the
+    /// calling connection's private set of node connections.
+    ///
+    /// # Errors
+    ///
+    /// Forwards node-side [`WireError`]s verbatim; unreachable nodes surface
+    /// as `io` (writes, or reads with no live node at all).
+    pub fn execute(
+        &self,
+        body: &RequestBody,
+        pool: &mut NodePool<'_>,
+    ) -> Result<ResponseBody, WireError> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match body {
+            RequestBody::Info { server } => self.info(*server, pool),
+            RequestBody::Query { k, .. } => {
+                let responses = self.fan_read(pool, body)?;
+                let per_node = responses
+                    .into_iter()
+                    .map(|resp| match resp {
+                        ResponseBody::Ranking(ranking) => Ok(ranking),
+                        _ => Err(internal("node answered query with a non-ranking body")),
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Ok(ResponseBody::Ranking(merge_rankings(per_node, *k)))
+            }
+            RequestBody::BatchQuery { k, queries, .. } => {
+                let responses = self.fan_read(pool, body)?;
+                let per_node = responses
+                    .into_iter()
+                    .map(|resp| match resp {
+                        ResponseBody::Rankings(rankings) if rankings.len() == queries.len() => {
+                            Ok(rankings)
+                        }
+                        ResponseBody::Rankings(_) => {
+                            Err(internal("node answered batch-query with a mis-sized batch"))
+                        }
+                        _ => Err(internal("node answered batch-query with a non-batch body")),
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                let merged = (0..queries.len())
+                    .map(|i| {
+                        merge_rankings(per_node.iter().map(|node| node[i].clone()).collect(), *k)
+                    })
+                    .collect();
+                Ok(ResponseBody::Rankings(merged))
+            }
+            RequestBody::Ingest { table, partitions } => {
+                self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+                let per_node = self.partition(&table.name, &table.columns);
+                let mut registered = BTreeSet::new();
+                let mut skipped = BTreeSet::new();
+                for (idx, cols) in per_node.iter().enumerate() {
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    let sub = RequestBody::Ingest {
+                        table: Self::subset(table, cols),
+                        partitions: *partitions,
+                    };
+                    match self.call_write(pool, idx, &sub)? {
+                        ResponseBody::Report {
+                            registered: r,
+                            skipped: s,
+                        } => {
+                            registered.extend(r);
+                            skipped.extend(s);
+                        }
+                        _ => return Err(internal("node answered ingest with a non-report body")),
+                    }
+                }
+                Ok(ResponseBody::Report {
+                    registered: registered.into_iter().collect(),
+                    skipped: skipped.into_iter().collect(),
+                })
+            }
+            RequestBody::IngestBegin { table } => {
+                let id = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                self.sessions.lock().expect("sessions lock").insert(
+                    id,
+                    Arc::new(Mutex::new(RouterSession {
+                        table: table.clone(),
+                        node_sessions: BTreeMap::new(),
+                    })),
+                );
+                Ok(ResponseBody::Session(id))
+            }
+            RequestBody::IngestAnnounce { session, shard } => {
+                self.session_shard_op(pool, *session, shard, true)
+            }
+            RequestBody::IngestSubmit { session, shard } => {
+                self.session_shard_op(pool, *session, shard, false)
+            }
+            RequestBody::IngestFinish { session } => {
+                let entry = self
+                    .sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .remove(session)
+                    .ok_or_else(|| unknown_session(*session))?;
+                let state = entry.lock().expect("session lock");
+                self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+                let mut registered = BTreeSet::new();
+                let mut skipped = BTreeSet::new();
+                for (&idx, &node_session) in &state.node_sessions {
+                    let finish = RequestBody::IngestFinish {
+                        session: node_session,
+                    };
+                    match self.call_write(pool, idx, &finish)? {
+                        ResponseBody::Report {
+                            registered: r,
+                            skipped: s,
+                        } => {
+                            registered.extend(r);
+                            skipped.extend(s);
+                        }
+                        _ => {
+                            return Err(internal(
+                                "node answered ingest-finish with a non-report body",
+                            ))
+                        }
+                    }
+                }
+                Ok(ResponseBody::Report {
+                    registered: registered.into_iter().collect(),
+                    skipped: skipped.into_iter().collect(),
+                })
+            }
+            RequestBody::DropColumn { table, column } => self.drop_column(pool, table, column),
+        }
+    }
+
+    /// `ingest-announce` / `ingest-submit`: partition the shard column-wise
+    /// and forward each owner its sub-shard under that node's session.
+    fn session_shard_op(
+        &self,
+        pool: &mut NodePool<'_>,
+        session: u64,
+        shard: &WireTable,
+        announce: bool,
+    ) -> Result<ResponseBody, WireError> {
+        let entry = self
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .get(&session)
+            .cloned()
+            .ok_or_else(|| unknown_session(session))?;
+        // The per-session lock serialises shards racing in over different
+        // connections, so every node folds announces in one well-defined
+        // order (the same guarantee a single node gives).
+        let mut state = entry.lock().expect("session lock");
+        if shard.name != state.table {
+            return Err(WireError {
+                code: ErrorCode::Incompatible,
+                message: format!(
+                    "shard is for table `{}` but session {session} ingests `{}`",
+                    shard.name, state.table
+                ),
+            });
+        }
+        self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+        let per_node = self.partition(&shard.name, &shard.columns);
+        for (idx, cols) in per_node.iter().enumerate() {
+            if cols.is_empty() {
+                continue;
+            }
+            let node_session = match state.node_sessions.get(&idx) {
+                Some(&id) => id,
+                None => {
+                    let begin = RequestBody::IngestBegin {
+                        table: state.table.clone(),
+                    };
+                    let id = match self.call_write(pool, idx, &begin)? {
+                        ResponseBody::Session(id) => id,
+                        _ => {
+                            return Err(internal(
+                                "node answered ingest-begin with a non-session body",
+                            ))
+                        }
+                    };
+                    state.node_sessions.insert(idx, id);
+                    id
+                }
+            };
+            let sub_shard = Self::subset(shard, cols);
+            let forwarded = if announce {
+                RequestBody::IngestAnnounce {
+                    session: node_session,
+                    shard: sub_shard,
+                }
+            } else {
+                RequestBody::IngestSubmit {
+                    session: node_session,
+                    shard: sub_shard,
+                }
+            };
+            match self.call_write(pool, idx, &forwarded)? {
+                ResponseBody::Session(_) => {}
+                _ => return Err(internal("node answered a shard op with a non-session body")),
+            }
+        }
+        Ok(ResponseBody::Session(session))
+    }
+
+    /// `info`: fan out, verify every node runs the same sketcher fingerprint,
+    /// and merge columns/stats into one cluster-wide view (plus the `cluster`
+    /// member only routers emit).
+    fn info(&self, server: bool, pool: &mut NodePool<'_>) -> Result<ResponseBody, WireError> {
+        let probe = RequestBody::Info { server: false };
+        let responses = self.fan_read(pool, &probe)?;
+        let mut head: Option<(String, String, String, Option<String>)> = None;
+        let mut columns: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut hydrated = 0u64;
+        let mut bytes_on_disk = 0u64;
+        for resp in responses {
+            let ResponseBody::Info {
+                sketcher,
+                fingerprint,
+                method,
+                format,
+                columns: node_columns,
+                stats,
+                ..
+            } = resp
+            else {
+                return Err(internal("node answered info with a non-info body"));
+            };
+            match &head {
+                None => head = Some((sketcher, fingerprint, method, format)),
+                Some((_, expected, _, _)) => {
+                    if *expected != fingerprint {
+                        return Err(WireError {
+                            code: ErrorCode::Incompatible,
+                            message: format!(
+                                "catalog nodes disagree on the sketcher fingerprint \
+                                 ({expected} vs {fingerprint})"
+                            ),
+                        });
+                    }
+                }
+            }
+            for column in node_columns {
+                columns.insert((column.table, column.column), column.rows);
+            }
+            if let Some(stats) = stats {
+                hydrated += stats.hydrated;
+                bytes_on_disk += stats.bytes_on_disk;
+            }
+        }
+        let (sketcher, fingerprint, method, format) =
+            head.ok_or_else(|| internal("info fan-out returned no responses"))?;
+        let distinct = columns.len() as u64;
+        Ok(ResponseBody::Info {
+            sketcher,
+            fingerprint,
+            method,
+            format,
+            columns: columns
+                .into_iter()
+                .map(|((table, column), rows)| InfoColumn {
+                    table,
+                    column,
+                    rows,
+                })
+                .collect(),
+            // `hydrated`/`bytes_on_disk` sum over nodes, so replicated blobs
+            // count once per copy — that is the cluster's real footprint.
+            // `columns` counts distinct keys.
+            stats: Some(WireServiceStats {
+                columns: distinct,
+                hydrated,
+                bytes_on_disk,
+                last_compaction: None,
+            }),
+            server: server.then(|| self.metrics.snapshot()),
+            cluster: Some(Box::new(self.cluster_stats())),
+        })
+    }
+
+    /// `drop-column` fans to every node: placement-agnostic, so it works even
+    /// for catalogs loaded into nodes out-of-band.
+    fn drop_column(
+        &self,
+        pool: &mut NodePool<'_>,
+        table: &str,
+        column: &str,
+    ) -> Result<ResponseBody, WireError> {
+        self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+        let body = RequestBody::DropColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        };
+        let mut dropped = false;
+        let mut remote: Option<WireError> = None;
+        let mut unreachable: Option<String> = None;
+        for idx in 0..self.nodes.len() {
+            match pool.call(idx, &body) {
+                Ok(ResponseBody::Dropped { .. }) => dropped = true,
+                Ok(_) => {
+                    return Err(internal(
+                        "node answered drop-column with an unexpected body",
+                    ))
+                }
+                Err(NodeError::Remote(e)) if e.code == ErrorCode::NotFound => {}
+                Err(NodeError::Remote(e)) => {
+                    remote.get_or_insert(e);
+                }
+                Err(NodeError::Unreachable(message)) => {
+                    unreachable.get_or_insert(message);
+                }
+            }
+        }
+        if let Some(error) = remote {
+            return Err(error);
+        }
+        if dropped {
+            return Ok(ResponseBody::Dropped {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+        }
+        if let Some(message) = unreachable {
+            // Some node we could not reach might hold the key; `not_found`
+            // would over-claim.
+            return Err(WireError {
+                code: ErrorCode::Io,
+                message,
+            });
+        }
+        Err(WireError {
+            code: ErrorCode::NotFound,
+            message: format!("no catalog node holds {table}.{column}"),
+        })
+    }
+
+    /// Fans `body` to every node; unreachable nodes are skipped (and counted
+    /// as failovers when at least one node answered), node-side protocol
+    /// errors are forwarded verbatim.
+    fn fan_read(
+        &self,
+        pool: &mut NodePool<'_>,
+        body: &RequestBody,
+    ) -> Result<Vec<ResponseBody>, WireError> {
+        self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+        let mut answered = Vec::new();
+        let mut failed = 0u64;
+        let mut last_unreachable = String::new();
+        for idx in 0..self.nodes.len() {
+            match pool.call(idx, body) {
+                Ok(resp) => answered.push(resp),
+                Err(NodeError::Remote(error)) => return Err(error),
+                Err(NodeError::Unreachable(message)) => {
+                    failed += 1;
+                    last_unreachable = message;
+                }
+            }
+        }
+        if answered.is_empty() {
+            return Err(WireError {
+                code: ErrorCode::Io,
+                message: format!("no catalog node reachable: {last_unreachable}"),
+            });
+        }
+        if failed > 0 {
+            self.stats.failovers.fetch_add(failed, Ordering::Relaxed);
+        }
+        Ok(answered)
+    }
+
+    /// One write call to one node; unreachable is a hard `io` error (a write
+    /// must land on every owner or the client must hear about it).
+    fn call_write(
+        &self,
+        pool: &mut NodePool<'_>,
+        idx: usize,
+        body: &RequestBody,
+    ) -> Result<ResponseBody, WireError> {
+        pool.call(idx, body).map_err(|error| match error {
+            NodeError::Remote(e) => e,
+            NodeError::Unreachable(message) => WireError {
+                code: ErrorCode::Io,
+                message,
+            },
+        })
+    }
+
+    fn record_node_error(&self, idx: usize) {
+        self.stats.nodes[idx].errors.fetch_add(1, Ordering::Relaxed);
+        self.stats.nodes[idx]
+            .healthy
+            .store(false, Ordering::Relaxed);
+    }
+
+    fn record_node_ok(&self, idx: usize) {
+        self.stats.nodes[idx].healthy.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One pooled connection to a node.
+struct NodeConn {
+    transport: NodeTransport,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NodeConn {
+    fn connect(spec: &NodeSpec) -> io::Result<NodeConn> {
+        let stream = TcpStream::connect(&spec.addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NodeConn {
+            transport: spec.transport,
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One request/response round trip on this connection.
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let line = request.encode();
+        match self.transport {
+            NodeTransport::Tcp => {
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+                let mut reply = String::new();
+                let n = self.reader.read_line(&mut reply)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "node closed the connection",
+                    ));
+                }
+                Response::decode(reply.trim_end_matches(['\r', '\n']))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+            NodeTransport::Http => {
+                let head = format!(
+                    "POST /v1/{} HTTP/1.1\r\nHost: router\r\nContent-Length: {}\r\n\r\n",
+                    request.body.op(),
+                    line.len()
+                );
+                self.writer.write_all(head.as_bytes())?;
+                self.writer.write_all(line.as_bytes())?;
+                let mut status = String::new();
+                if self.reader.read_line(&mut status)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "node closed the connection",
+                    ));
+                }
+                let mut content_length: Option<usize> = None;
+                loop {
+                    let mut header = String::new();
+                    if self.reader.read_line(&mut header)? == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "node closed mid-headers",
+                        ));
+                    }
+                    let header = header.trim_end_matches(['\r', '\n']);
+                    if header.is_empty() {
+                        break;
+                    }
+                    if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:")
+                    {
+                        content_length = Some(value.trim().parse().map_err(|_| {
+                            io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                        })?);
+                    }
+                }
+                let length = content_length.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "node response had no length")
+                })?;
+                let mut body = vec![0u8; length];
+                self.reader.read_exact(&mut body)?;
+                let body = std::str::from_utf8(&body).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "node body is not UTF-8")
+                })?;
+                // Status is ignored on purpose: the JSON envelope carries the
+                // same success/error information with more detail.
+                let _ = status;
+                Response::decode(body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+    }
+}
+
+/// One router connection's private node connections, opened lazily and
+/// re-opened once per call after a stale keep-alive.
+pub struct NodePool<'a> {
+    router: &'a Router,
+    conns: Vec<Option<NodeConn>>,
+}
+
+impl<'a> NodePool<'a> {
+    /// An empty pool for `router`'s node list.
+    #[must_use]
+    pub fn new(router: &'a Router) -> NodePool<'a> {
+        NodePool {
+            conns: router.nodes.iter().map(|_| None).collect(),
+            router,
+        }
+    }
+
+    /// One round trip to node `idx`.  A failed round trip on a pooled
+    /// connection is retried once on a fresh connection (the node may simply
+    /// have dropped an idle keep-alive); a failure on a fresh connection
+    /// marks the node unreachable.
+    fn call(&mut self, idx: usize, body: &RequestBody) -> Result<ResponseBody, NodeError> {
+        let request = Request {
+            id: Json::Null,
+            body: body.clone(),
+        };
+        let had_pooled = self.conns[idx].is_some();
+        for attempt in 0..2 {
+            if self.conns[idx].is_none() {
+                match NodeConn::connect(&self.router.nodes[idx]) {
+                    Ok(conn) => self.conns[idx] = Some(conn),
+                    Err(error) => {
+                        self.router.record_node_error(idx);
+                        return Err(NodeError::Unreachable(format!(
+                            "catalog node {} unreachable: {error}",
+                            self.router.nodes[idx].addr
+                        )));
+                    }
+                }
+            }
+            let conn = self.conns[idx].as_mut().expect("connected above");
+            match conn.call(&request) {
+                Ok(response) => {
+                    self.router.record_node_ok(idx);
+                    return match response.result {
+                        Ok(body) => Ok(body),
+                        Err(error) => Err(NodeError::Remote(error)),
+                    };
+                }
+                Err(error) => {
+                    self.conns[idx] = None;
+                    if attempt == 0 && had_pooled {
+                        continue;
+                    }
+                    self.router.record_node_error(idx);
+                    return Err(NodeError::Unreachable(format!(
+                        "catalog node {} failed: {error}",
+                        self.router.nodes[idx].addr
+                    )));
+                }
+            }
+        }
+        unreachable!("the retry loop always returns");
+    }
+}
+
+fn internal(message: &str) -> WireError {
+    WireError {
+        code: ErrorCode::Internal,
+        message: message.to_string(),
+    }
+}
+
+fn unknown_session(session: u64) -> WireError {
+    WireError {
+        code: ErrorCode::UnknownSession,
+        message: format!("no open ingest session {session}"),
+    }
+}
+
+/// Shared state between the accept loop, connection threads, and the handle.
+struct RouterShared {
+    router: Router,
+    stop: AtomicBool,
+    client_streams: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running router front end; dropping without [`shutdown`](Self::shutdown)
+/// leaks the accept thread, so tests should always shut down.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound listener address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the cluster counters.
+    #[must_use]
+    pub fn stats(&self) -> WireClusterStats {
+        self.shared.router.cluster_stats()
+    }
+
+    /// Blocks until the accept loop exits (it only does when the process is
+    /// killed or [`shutdown`](Self::shutdown) runs from another thread) — the
+    /// CLI's run-until-killed mode.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting, closes every client connection, and joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for stream in self
+            .shared
+            .client_streams
+            .lock()
+            .expect("streams lock")
+            .drain(..)
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<_> = self
+            .shared
+            .conn_threads
+            .lock()
+            .expect("threads lock")
+            .drain(..)
+            .collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the line-JSON protocol over `router`: one blocking
+/// thread per client connection, each with its own node-connection pool.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_router(router: Router, addr: SocketAddr) -> io::Result<RouterHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(RouterShared {
+        router,
+        stop: AtomicBool::new(false),
+        client_streams: Mutex::new(Vec::new()),
+        conn_threads: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("router-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    accept_shared
+                        .client_streams
+                        .lock()
+                        .expect("streams lock")
+                        .push(clone);
+                }
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = thread::Builder::new()
+                    .name("router-conn".to_string())
+                    .spawn(move || handle_connection(&conn_shared, stream))
+                    .expect("spawn router connection thread");
+                accept_shared
+                    .conn_threads
+                    .lock()
+                    .expect("threads lock")
+                    .push(handle);
+            }
+        })?;
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// Reads one newline-terminated line, bounded by `max` bytes.  Returns
+/// `Ok(None)` at EOF and `Err` with a wire error when the line overflowed.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<Option<Result<(), WireError>>> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take((max + 2) as u64)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        if buf.len() > max {
+            return Ok(Some(Err(WireError {
+                code: ErrorCode::TooLarge,
+                message: format!("request line exceeds the router's {max}-byte bound"),
+            })));
+        }
+        // EOF mid-line: nothing well-formed to answer.
+        return Ok(None);
+    }
+    Ok(Some(Ok(())))
+}
+
+fn handle_connection(shared: &RouterShared, stream: TcpStream) {
+    let metrics = &shared.router.metrics;
+    metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut pool = NodePool::new(&shared.router);
+    let mut buf = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let framed = match read_line_bounded(&mut reader, MAX_LINE_BYTES, &mut buf) {
+            Ok(Some(framed)) => framed,
+            Ok(None) | Err(_) => break,
+        };
+        let started = Instant::now();
+        let (response, op, close) = match framed {
+            Err(error) => (
+                Response {
+                    id: Json::Null,
+                    result: Err(error),
+                },
+                "invalid",
+                true,
+            ),
+            Ok(()) => {
+                let line = String::from_utf8_lossy(&buf);
+                let line = line.trim_end_matches(['\r', '\n']);
+                match Request::decode(line) {
+                    Err(decode_error) => (
+                        Response {
+                            id: decode_error.id,
+                            result: Err(decode_error.error),
+                        },
+                        "invalid",
+                        false,
+                    ),
+                    Ok(request) => {
+                        let op = request.body.op();
+                        let result = shared.router.execute(&request.body, &mut pool);
+                        (
+                            Response {
+                                id: request.id,
+                                result,
+                            },
+                            op,
+                            false,
+                        )
+                    }
+                }
+            }
+        };
+        let is_error = response.result.is_err();
+        metrics.record(op, started.elapsed(), is_error);
+        let mut line = response.encode();
+        line.push('\n');
+        if writer.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+    metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WireColumn;
+
+    fn nodes(n: usize) -> Vec<NodeSpec> {
+        (0..n)
+            .map(|i| NodeSpec::tcp(format!("127.0.0.1:{}", 7000 + i)))
+            .collect()
+    }
+
+    #[test]
+    fn rendezvous_placement_is_deterministic_and_replicated() {
+        let cluster = nodes(5);
+        for (table, column) in [("orders", "price"), ("orders", "qty"), ("users", "age")] {
+            let first = owners(&cluster, 2, table, column);
+            let second = owners(&cluster, 2, table, column);
+            assert_eq!(first, second);
+            assert_eq!(first.len(), 2);
+            assert_ne!(first[0], first[1]);
+        }
+        // Replica count clamps to the cluster size.
+        assert_eq!(owners(&cluster, 9, "t", "c").len(), 5);
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys_and_removal_only_moves_orphans() {
+        let cluster = nodes(4);
+        let keys: Vec<(String, String)> = (0..200)
+            .map(|i| ("lake".to_string(), format!("col_{i}")))
+            .collect();
+        let mut load = [0usize; 4];
+        for (table, column) in &keys {
+            for idx in owners(&cluster, 1, table, column) {
+                load[idx] += 1;
+            }
+        }
+        // Each node should carry a non-trivial share of 200 keys.
+        for (idx, count) in load.iter().enumerate() {
+            assert!(*count > 10, "node {idx} got only {count} of 200 keys");
+        }
+        // Dropping the last node must not move keys between surviving nodes.
+        let survivors = &cluster[..3];
+        for (table, column) in &keys {
+            let before = owners(&cluster, 1, table, column)[0];
+            let after = owners(survivors, 1, table, column)[0];
+            if before != 3 {
+                assert_eq!(before, after, "key {table}.{column} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_orders_deduplicates_and_truncates() {
+        let ranked = |table: &str, column: &str, score: f64| WireRanked {
+            table: table.to_string(),
+            column: column.to_string(),
+            score,
+            join_size: 1.0,
+            correlation: 0.0,
+        };
+        let node_a = vec![ranked("t", "a", 0.9), ranked("t", "b", 0.5)];
+        let node_b = vec![ranked("t", "a", 0.9), ranked("t", "c", 0.5)];
+        let merged = merge_rankings(vec![node_a, node_b], 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(
+            (merged[0].table.as_str(), merged[0].column.as_str()),
+            ("t", "a")
+        );
+        // Ties order by (table, column) ascending: `b` before `c`.
+        assert_eq!(
+            (merged[1].table.as_str(), merged[1].column.as_str()),
+            ("t", "b")
+        );
+    }
+
+    #[test]
+    fn partition_covers_every_column_replicas_times() {
+        let router = Router::new(nodes(3), 2).expect("config");
+        let columns: Vec<WireColumn> = (0..40)
+            .map(|i| WireColumn {
+                name: format!("c{i}"),
+                values: vec![1.0],
+            })
+            .collect();
+        let per_node = router.partition("lake", &columns);
+        let mut copies = vec![0usize; columns.len()];
+        for cols in &per_node {
+            for &idx in cols {
+                copies[idx] += 1;
+            }
+        }
+        assert!(copies.iter().all(|&c| c == 2), "every column on 2 nodes");
+    }
+
+    #[test]
+    fn router_config_is_validated() {
+        assert_eq!(
+            Router::new(Vec::new(), 2).unwrap_err(),
+            RouterConfigError::NoNodes
+        );
+        assert_eq!(
+            Router::new(nodes(2), 0).unwrap_err(),
+            RouterConfigError::ZeroReplicas
+        );
+        let clamped = Router::new(nodes(2), 5).expect("config");
+        assert_eq!(clamped.replicas(), 2);
+    }
+
+    #[test]
+    fn cluster_stats_report_every_node() {
+        let router = Router::new(
+            vec![
+                NodeSpec::tcp("127.0.0.1:7001"),
+                NodeSpec::http("127.0.0.1:7002"),
+            ],
+            2,
+        )
+        .expect("config");
+        router.record_node_error(1);
+        let stats = router.cluster_stats();
+        assert_eq!(stats.replicas, 2);
+        assert_eq!(stats.nodes.len(), 2);
+        assert_eq!(stats.nodes[0].transport, "tcp");
+        assert!(stats.nodes[0].healthy);
+        assert_eq!(stats.nodes[1].transport, "http");
+        assert!(!stats.nodes[1].healthy);
+        assert_eq!(stats.nodes[1].errors, 1);
+    }
+}

@@ -1177,6 +1177,9 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
                 method: stats.method,
                 format: Some(stats.format),
                 server: server.then(|| shared.metrics.snapshot()),
+                // Single catalog nodes never report cluster state; only the
+                // router synthesizes info responses with a `cluster` member.
+                cluster: None,
             })
         }
         RequestBody::Query {

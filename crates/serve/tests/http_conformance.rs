@@ -495,6 +495,24 @@ fn http_framing_violations_get_typed_statuses_and_close() {
     assert_eq!(client.read_response().status, 400);
     client.expect_eof();
 
+    // RFC 9110 `1*DIGIT`: a signed Content-Length (which `parse::<usize>()`
+    // would accept for `+`) is malformed framing, typed and closed.
+    for bad in ["+17", "-1", "", "2 2"] {
+        let mut client = HttpClient::connect(addr);
+        client.send(
+            format!("POST /v1/info HTTP/1.1\r\nHost: t\r\nContent-Length: {bad}\r\n\r\n")
+                .as_bytes(),
+        );
+        let response = client.read_response();
+        assert_eq!(response.status, 400, "Content-Length `{bad}`");
+        assert_eq!(
+            response.decode().result.expect_err("rejected").code,
+            ErrorCode::BadRequest,
+            "Content-Length `{bad}`"
+        );
+        client.expect_eof();
+    }
+
     // Header blocks beyond the fixed bound.
     let mut client = HttpClient::connect(addr);
     client.send(
