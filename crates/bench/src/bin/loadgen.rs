@@ -15,7 +15,10 @@
 //! A fourth, `routed_query` (TCP only — the router front end speaks the line
 //! framing), sends the same single queries through an `ipsketch route`-style
 //! router fronting three in-process nodes at replication 2, pricing the
-//! fan-out/merge hop relative to the plain `query` rows.
+//! fan-out/merge hop relative to the plain `query` rows.  A fifth,
+//! `routed_query_flaky_node`, repeats that run with one node behind a
+//! connection-resetting fault proxy: the router demotes it and serves from
+//! the surviving replicas, pricing failover and the degraded fan-out.
 //!
 //! Each scenario first measures closed-loop capacity, then replays an
 //! **open-loop** schedule at 70% of that capacity: arrivals are fixed in
@@ -41,6 +44,7 @@
 
 use ipsketch_core::method::{AnySketcher, SketchMethod};
 use ipsketch_data::DataLakeConfig;
+use ipsketch_serve::faults::{FaultMode, FaultProxy};
 use ipsketch_serve::protocol::{Mode, Request, RequestBody, Response, WireQuery, WireTable};
 use ipsketch_serve::router::{serve_router, NodeSpec, Router, RouterHandle};
 use ipsketch_serve::server::{serve, ServerConfig, ServerHandle};
@@ -293,22 +297,25 @@ fn build_workload(tag: &str, profile: &Profile) -> Workload {
 }
 
 /// Three catalog nodes behind one router, the lake ingested *through* the
-/// router so every `(table, column)` lands on its rendezvous owners.
+/// router so every `(table, column)` lands on its rendezvous owners.  With
+/// `flaky`, node 0 sits behind a connection-resetting [`FaultProxy`]: the
+/// router demotes it after the first failed read and serves from the two
+/// healthy replicas, so the scenario prices a degraded-but-correct cluster.
 struct RoutedWorkload {
     router: RouterHandle,
     nodes: Vec<ServerHandle>,
+    proxy: Option<FaultProxy>,
     roots: Vec<PathBuf>,
     query_line: String,
 }
 
-fn build_routed_workload(profile: &Profile) -> RoutedWorkload {
+fn build_routed_workload(profile: &Profile, flaky: bool) -> RoutedWorkload {
+    let tag = if flaky { "flaky" } else { "routed" };
     let mut nodes = Vec::new();
     let mut roots = Vec::new();
     for i in 0..3 {
-        let root = std::env::temp_dir().join(format!(
-            "ipsketch-loadgen-routed-{i}-{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("ipsketch-loadgen-{tag}-{i}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let spec = AnySketcher::for_budget(SketchMethod::Jl, 256.0, SEED)
             .expect("budget fits")
@@ -326,10 +333,18 @@ fn build_routed_workload(profile: &Profile) -> RoutedWorkload {
         nodes.push(handle);
         roots.push(root);
     }
-    let specs = nodes
+    let mut specs: Vec<NodeSpec> = nodes
         .iter()
         .map(|n| NodeSpec::tcp(n.tcp_addr().expect("tcp bound").to_string()))
         .collect();
+    // The proxy starts honest so the ingest below places blobs everywhere;
+    // the fault is switched on after warmup.
+    let proxy = flaky.then(|| {
+        let proxy =
+            FaultProxy::start(specs[0].addr.clone(), FaultMode::Passthrough).expect("fault proxy");
+        specs[0] = NodeSpec::tcp(proxy.addr());
+        proxy
+    });
     let router = Router::new(specs, 2).expect("valid router");
     let router = serve_router(router, "127.0.0.1:0".parse().expect("addr")).expect("route");
 
@@ -373,9 +388,13 @@ fn build_routed_workload(profile: &Profile) -> RoutedWorkload {
     .encode();
     // Warm every node's hydration path through the router before measuring.
     conn.call("/v1/query", &query_line);
+    if let Some(proxy) = &proxy {
+        proxy.handle().set_mode(FaultMode::Reset);
+    }
     RoutedWorkload {
         router,
         nodes,
+        proxy,
         roots,
         query_line,
     }
@@ -639,10 +658,12 @@ fn main() {
         let _ = std::fs::remove_dir_all(&workload.root);
     }
 
-    // The routed scenario measures the router's line-TCP front end only: the
+    // The routed scenarios measure the router's line-TCP front end only: the
     // router has no HTTP listener (HTTP is a node-side transport option).
-    {
-        let routed = build_routed_workload(&profile);
+    // `routed_query_flaky_node` repeats the run with one node resetting every
+    // connection: the price of failover plus a 2-of-3 fan-out.
+    for (name, flaky) in [("routed_query", false), ("routed_query_flaky_node", true)] {
+        let routed = build_routed_workload(&profile, flaky);
         let addr = routed.router.addr();
         let line = routed.query_line.as_str();
         let capacity_qps = measure_capacity(Framer::Tcp, addr, "/v1/query", line, &profile);
@@ -651,7 +672,7 @@ fn main() {
             measure_open_loop(Framer::Tcp, addr, "/v1/query", line, &profile, target);
         latencies.sort_unstable();
         let result = ScenarioResult {
-            scenario: "routed_query".to_string(),
+            scenario: name.to_string(),
             framer: Framer::Tcp.label().to_string(),
             capacity_qps,
             sustained_qps,
@@ -669,6 +690,9 @@ fn main() {
         );
         results.push(result);
         routed.router.shutdown();
+        if let Some(proxy) = routed.proxy {
+            proxy.shutdown();
+        }
         for node in routed.nodes {
             node.shutdown();
         }

@@ -286,6 +286,35 @@ impl Catalog {
         Ok(column)
     }
 
+    /// Reads a registered column's raw blob bytes for node-to-node transfer,
+    /// running the full verification chain of [`load`](Self::load) first so a
+    /// damaged or foreign blob is never exported.  Returns the entry's row count
+    /// and the blob exactly as stored — a peer that registers these bytes holds a
+    /// byte-identical copy of the sketch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`load`](Self::load).
+    pub fn export_blob(&self, table: &str, column: &str) -> Result<(u64, Vec<u8>), CatalogError> {
+        let entry = self
+            .manifest
+            .find(table, column)
+            .ok_or_else(|| CatalogError::NotFound {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        self.load_entry(entry)?;
+        let path = self.root.join(SKETCH_DIR).join(&entry.file);
+        let blob = fs::read(&path).map_err(|e| io_error(&path, &e))?;
+        if blob.len() as u64 != entry.blob_len || fnv64(&blob) != entry.checksum {
+            return Err(corrupt(format!(
+                "blob `{}` changed between verification and export",
+                entry.file
+            )));
+        }
+        Ok((entry.rows, blob))
+    }
+
     /// Validates all three sketches of a column against the catalog spec.
     fn validate_column(&self, column: &SketchedColumn) -> Result<(), CatalogError> {
         for sketch in [

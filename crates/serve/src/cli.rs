@@ -101,6 +101,11 @@ USAGE:
                        (requires the `server` feature; at least one bind address)
   ipsketch route --addr <host:port> --node <host:port> [--node <host:port> …]
                        [--http-node <host:port> …] [--replicas <n>]
+                       [--read-timeout-ms <ms>] [--probe-ms <ms>]
+                       [--failure-threshold <n>]
+                       (requires the `server` feature)
+  ipsketch rebalance --from <host:port> [--from …] --to <host:port> [--to …]
+                       [--replicas <n>] [--read-timeout-ms <ms>]
                        (requires the `server` feature)
   ipsketch help
 
@@ -116,7 +121,16 @@ protocol spec in docs/PROTOCOL.md.  `route` fronts several `serve` nodes as one
 cluster: `(table, column)` keys are placed on --replicas nodes by rendezvous
 hashing, queries fan out and merge deterministically, and a lost node fails over
 to its replicas (docs/PROTOCOL.md § Cluster routing; --node speaks line-TCP,
---http-node the HTTP/1.1 binding).  `catalog compact` reclaims tombstoned and
+--http-node the HTTP/1.1 binding).  Routed requests run under per-attempt
+deadlines (--read-timeout-ms, default 10000): idempotent reads retry and fail
+over, writes fail fast with `deadline_exceeded`; a node that fails
+--failure-threshold reads in a row (default 1) is demoted and re-probed every
+--probe-ms (default 1000, 0 disables) until it answers again (docs/PROTOCOL.md
+§ Timeouts, retries, and idempotency).  `rebalance` live-migrates a cluster:
+every sketch on the --from nodes is copied byte-identically onto its rendezvous
+owners among the --to nodes (resumable — already-placed copies are skipped);
+flip routers to the new node list once it reports done.  `catalog compact`
+reclaims tombstoned and
 orphaned sketch blobs; `catalog migrate` transcodes an old-format catalog into a
 fresh directory at the current format (the source is never modified, and an
 interrupted migration resumes where it stopped)."
@@ -252,6 +266,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "info" => info(&args[1..], out),
         "serve" => serve(&args[1..], out),
         "route" => route(&args[1..], out),
+        "rebalance" => rebalance(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -607,13 +622,29 @@ struct RouteOptions {
     tcp_nodes: Vec<String>,
     http_nodes: Vec<String>,
     replicas: usize,
+    read_timeout_ms: Option<u64>,
+    probe_ms: Option<u64>,
+    failure_threshold: Option<u64>,
 }
 
 /// `route --addr host:port --node host:port [--node …] [--http-node …]
-/// [--replicas n]`: front several catalog nodes as one cluster, running until
-/// the process is killed.
+/// [--replicas n] [--read-timeout-ms ms] [--probe-ms ms]
+/// [--failure-threshold n]`: front several catalog nodes as one cluster,
+/// running until the process is killed.
 fn route(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let parsed = ParsedArgs::parse(args, &["addr", "node", "http-node", "replicas"], &[])?;
+    let parsed = ParsedArgs::parse(
+        args,
+        &[
+            "addr",
+            "node",
+            "http-node",
+            "replicas",
+            "read-timeout-ms",
+            "probe-ms",
+            "failure-threshold",
+        ],
+        &[],
+    )?;
     if let Some(extra) = parsed.positional.first() {
         return Err(CliError::Usage(format!(
             "`route` takes no positional arguments (got `{extra}`)"
@@ -635,7 +666,17 @@ fn route(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map(|s| s.to_string())
             .collect(),
         replicas: parsed.parsed_flag("replicas")?.unwrap_or(2),
+        read_timeout_ms: parsed.parsed_flag("read-timeout-ms")?,
+        probe_ms: parsed.parsed_flag("probe-ms")?,
+        failure_threshold: parsed.parsed_flag("failure-threshold")?,
     };
+    if options.read_timeout_ms == Some(0) {
+        return Err(CliError::Usage(
+            "`--read-timeout-ms 0` would let every routed request block forever; \
+             pick a positive deadline"
+                .to_string(),
+        ));
+    }
     if options.tcp_nodes.is_empty() && options.http_nodes.is_empty() {
         return Err(CliError::Usage(
             "`route` requires at least one catalog node: --node host:port (line-TCP) \
@@ -648,8 +689,9 @@ fn route(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 #[cfg(feature = "server")]
 fn route_impl(options: &RouteOptions, out: &mut dyn Write) -> Result<(), CliError> {
-    use crate::router::{serve_router, NodeSpec, Router};
+    use crate::router::{serve_router, NodeSpec, RetryPolicy, Router, RouterConfig};
     use std::net::ToSocketAddrs;
+    use std::time::Duration;
     let bind = options
         .addr
         .to_socket_addrs()
@@ -667,9 +709,20 @@ fn route_impl(options: &RouteOptions, out: &mut dyn Write) -> Result<(), CliErro
         .map(NodeSpec::tcp)
         .chain(options.http_nodes.iter().map(NodeSpec::http))
         .collect();
+    let mut config = RouterConfig::new(nodes).replicas(options.replicas);
+    if let Some(ms) = options.read_timeout_ms {
+        config = config.retry(RetryPolicy::with_timeout(Duration::from_millis(ms)));
+    }
+    if let Some(ms) = options.probe_ms {
+        // 0 turns the background prober off; demoted nodes then only return
+        // when regular traffic reaches them again.
+        config = config.probe_interval((ms > 0).then(|| Duration::from_millis(ms)));
+    }
+    if let Some(threshold) = options.failure_threshold {
+        config = config.failure_threshold(threshold);
+    }
     // Placement is validated before any socket binds, like `serve`.
-    let router =
-        Router::new(nodes, options.replicas).map_err(|e| CliError::Usage(e.to_string()))?;
+    let router = Router::with_config(config).map_err(|e| CliError::Usage(e.to_string()))?;
     let replicas = router.replicas();
     let node_count = router.nodes().len();
     let handle = serve_router(router, bind)
@@ -690,6 +743,86 @@ fn route_impl(options: &RouteOptions, out: &mut dyn Write) -> Result<(), CliErro
 
 #[cfg(not(feature = "server"))]
 fn route_impl(_options: &RouteOptions, _out: &mut dyn Write) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "this build has no network front end; rebuild with `--features server` \
+         (cargo build --release -p ipsketch-serve --features server --bin ipsketch)"
+            .to_string(),
+    ))
+}
+
+/// Everything the `rebalance` subcommand parses; resolved outside the feature
+/// gate like [`RouteOptions`].
+#[cfg_attr(not(feature = "server"), allow(dead_code))]
+struct RebalanceOptions {
+    from: Vec<String>,
+    to: Vec<String>,
+    replicas: usize,
+    read_timeout_ms: Option<u64>,
+}
+
+/// `rebalance --from host:port [--from …] --to host:port [--to …]
+/// [--replicas n] [--read-timeout-ms ms]`: copy every sketch held by the old
+/// node list onto its rendezvous owners in the new list, then report.
+fn rebalance(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(args, &["from", "to", "replicas", "read-timeout-ms"], &[])?;
+    if let Some(extra) = parsed.positional.first() {
+        return Err(CliError::Usage(format!(
+            "`rebalance` takes no positional arguments (got `{extra}`)"
+        )));
+    }
+    let options = RebalanceOptions {
+        from: parsed
+            .flag_values("from")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        to: parsed
+            .flag_values("to")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        replicas: parsed.parsed_flag("replicas")?.unwrap_or(2),
+        read_timeout_ms: parsed.parsed_flag("read-timeout-ms")?,
+    };
+    if options.from.is_empty() || options.to.is_empty() {
+        return Err(CliError::Usage(
+            "`rebalance` requires at least one --from host:port and one --to host:port \
+             (both line-TCP catalog nodes)"
+                .to_string(),
+        ));
+    }
+    rebalance_impl(&options, out)
+}
+
+#[cfg(feature = "server")]
+fn rebalance_impl(options: &RebalanceOptions, out: &mut dyn Write) -> Result<(), CliError> {
+    use crate::router::{rebalance, NodeSpec, RetryPolicy};
+    use std::time::Duration;
+    let from: Vec<NodeSpec> = options.from.iter().map(NodeSpec::tcp).collect();
+    let to: Vec<NodeSpec> = options.to.iter().map(NodeSpec::tcp).collect();
+    let retry = options
+        .read_timeout_ms
+        .map_or_else(RetryPolicy::default, |ms| {
+            RetryPolicy::with_timeout(Duration::from_millis(ms))
+        });
+    let report = rebalance(&from, &to, options.replicas, &retry)
+        .map_err(|e| CliError::Io(format!("rebalance failed: {} ({})", e.message, e.code)))?;
+    writeln!(
+        out,
+        "rebalanced {} column sketches onto {} nodes (replication {}): {} copied, {} already \
+         placed — flip routers to the new node list now (byte-identical answers before, during \
+         and after; re-running is a no-op)",
+        report.keys,
+        options.to.len(),
+        options.replicas.min(options.to.len()),
+        report.copied,
+        report.already_placed
+    )?;
+    Ok(())
+}
+
+#[cfg(not(feature = "server"))]
+fn rebalance_impl(_options: &RebalanceOptions, _out: &mut dyn Write) -> Result<(), CliError> {
     Err(CliError::Usage(
         "this build has no network front end; rebuild with `--features server` \
          (cargo build --release -p ipsketch-serve --features server --bin ipsketch)"
@@ -1001,6 +1134,92 @@ mod tests {
             ]);
             assert!(
                 matches!(&err, CliError::Usage(detail) if detail.contains("replication")),
+                "{err}"
+            );
+        }
+        // A zero read deadline is rejected in parsing, before the feature gate.
+        let err = run_err(&[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--node",
+            "h:1",
+            "--read-timeout-ms",
+            "0",
+        ]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("deadline")),
+            "{err}"
+        );
+        #[cfg(feature = "server")]
+        {
+            let err = run_err(&[
+                "route",
+                "--addr",
+                "127.0.0.1:0",
+                "--node",
+                "127.0.0.1:1",
+                "--failure-threshold",
+                "0",
+            ]);
+            assert!(
+                matches!(&err, CliError::Usage(detail) if detail.contains("threshold")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_subcommand_parses_and_gates_on_the_feature() {
+        // Both node lists are required, and stray positionals are rejected.
+        let err = run_err(&["rebalance"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("--from") && detail.contains("--to")),
+            "{err}"
+        );
+        let err = run_err(&["rebalance", "--from", "h:1"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("--to")),
+            "{err}"
+        );
+        let err = run_err(&["rebalance", "stray", "--from", "h:1", "--to", "h:2"]);
+        assert!(
+            matches!(&err, CliError::Usage(detail) if detail.contains("positional")),
+            "{err}"
+        );
+        let err = run_err(&[
+            "rebalance",
+            "--from",
+            "h:1",
+            "--to",
+            "h:2",
+            "--replicas",
+            "x",
+        ]);
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        #[cfg(not(feature = "server"))]
+        {
+            let err = run_err(&["rebalance", "--from", "127.0.0.1:1", "--to", "127.0.0.1:2"]);
+            assert!(
+                matches!(&err, CliError::Usage(detail) if detail.contains("--features server")),
+                "featureless builds must point at the server feature: {err}"
+            );
+        }
+        #[cfg(feature = "server")]
+        {
+            // With nothing listening the copy phase fails as a typed I/O error
+            // — never a usage error, so scripts can tell the cases apart.
+            let err = run_err(&[
+                "rebalance",
+                "--from",
+                "127.0.0.1:1",
+                "--to",
+                "127.0.0.1:2",
+                "--read-timeout-ms",
+                "100",
+            ]);
+            assert!(
+                matches!(&err, CliError::Io(detail) if detail.contains("rebalance failed")),
                 "{err}"
             );
         }

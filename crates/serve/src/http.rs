@@ -28,7 +28,7 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
 /// Route table: URL path ↔ op token, one route per op.  `GET` is only valid on
 /// `/v1/info`; every route accepts `POST`.
-pub const ROUTES: [(&str, &str); 9] = [
+pub const ROUTES: [(&str, &str); 11] = [
     ("/v1/info", "info"),
     ("/v1/query", "query"),
     ("/v1/batch-query", "batch-query"),
@@ -38,6 +38,8 @@ pub const ROUTES: [(&str, &str); 9] = [
     ("/v1/ingest-submit", "ingest-submit"),
     ("/v1/ingest-finish", "ingest-finish"),
     ("/v1/drop-column", "drop-column"),
+    ("/v1/export-column", "export-column"),
+    ("/v1/import-column", "import-column"),
 ];
 
 /// Looks up the op a URL path routes to (query strings already stripped).
@@ -348,6 +350,7 @@ pub fn status_reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }

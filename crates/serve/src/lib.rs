@@ -35,9 +35,15 @@
 //!   sessions, configured overload shedding, and background catalog compaction.
 //! * [`router`] (feature `server`) — the multi-node front end: rendezvous-hashed
 //!   column placement with replication, fan-out reads merged under the
-//!   deterministic total order, failover to replicas on node loss, and the
-//!   cross-node announced-norm round for wire-driven sharded ingest
-//!   (`docs/PROTOCOL.md` § Cluster routing).
+//!   deterministic total order, per-attempt deadlines with idempotent-only
+//!   retries, a health lifecycle (threshold demotion, background probing),
+//!   live rebalance between node lists, and the cross-node announced-norm
+//!   round for wire-driven sharded ingest (`docs/PROTOCOL.md` § Cluster
+//!   routing and § Timeouts, retries, and idempotency).
+//! * [`faults`] (feature `server`) — the fault-injection TCP proxy the chaos
+//!   suite and CI drive to prove the router's deadlines, failover, and
+//!   health lifecycle under stalled, byte-dropping, garbage-speaking, and
+//!   connection-resetting nodes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +52,8 @@ pub mod catalog;
 pub mod cli;
 pub mod csv;
 pub mod error;
+#[cfg(feature = "server")]
+pub mod faults;
 pub mod http;
 pub mod manifest;
 pub mod metrics;

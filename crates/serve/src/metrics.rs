@@ -25,7 +25,7 @@ const BUCKETS: usize = 64;
 /// The op labels the server tracks, in the stable order they appear in wire
 /// snapshots.  The final `"invalid"` slot absorbs requests whose op could not be
 /// decoded (bad JSON, unknown op, oversized lines).
-pub const OP_LABELS: [&str; 10] = [
+pub const OP_LABELS: [&str; 12] = [
     "info",
     "query",
     "batch-query",
@@ -35,6 +35,8 @@ pub const OP_LABELS: [&str; 10] = [
     "ingest-submit",
     "ingest-finish",
     "drop-column",
+    "export-column",
+    "import-column",
     "invalid",
 ];
 
@@ -320,6 +322,18 @@ mod tests {
             RequestBody::DropColumn {
                 table: "t".into(),
                 column: "c".into(),
+            },
+            RequestBody::ExportColumn {
+                table: "t".into(),
+                column: "c".into(),
+            },
+            RequestBody::ImportColumn {
+                sketch: crate::protocol::WireSketch {
+                    table: "t".into(),
+                    column: "c".into(),
+                    rows: 1,
+                    bytes: vec![0],
+                },
             },
         ];
         for body in &bodies {

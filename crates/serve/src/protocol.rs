@@ -48,6 +48,12 @@ pub enum ErrorCode {
     /// The server is at a configured capacity limit (connection cap or request
     /// queue depth); retry after a backoff.
     Overloaded,
+    /// A per-attempt deadline elapsed before the remote side answered.  Routers
+    /// answer this for non-idempotent operations that timed out against a node
+    /// whose true outcome is therefore unknown — clients must check state (e.g.
+    /// `info`) before retrying.  Idempotent reads never surface this code from a
+    /// router; they fail over to replicas instead.
+    DeadlineExceeded,
     /// A filesystem operation failed ([`CatalogError::Io`]).
     Io,
     /// Stored catalog data did not decode ([`CatalogError::Corrupt`]).
@@ -73,13 +79,14 @@ pub enum ErrorCode {
 impl ErrorCode {
     /// Every code, in the order documented in `docs/PROTOCOL.md`'s error table
     /// (the doc conformance test asserts the two lists match).
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::BadRequest,
         ErrorCode::UnsupportedVersion,
         ErrorCode::UnknownOp,
         ErrorCode::TooLarge,
         ErrorCode::UnknownSession,
         ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
         ErrorCode::Io,
         ErrorCode::Corrupt,
         ErrorCode::NotACatalog,
@@ -101,6 +108,7 @@ impl ErrorCode {
             ErrorCode::TooLarge => "too_large",
             ErrorCode::UnknownSession => "unknown_session",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Io => "io",
             ErrorCode::Corrupt => "corrupt",
             ErrorCode::NotACatalog => "not_a_catalog",
@@ -131,6 +139,7 @@ impl ErrorCode {
             ErrorCode::UnknownOp | ErrorCode::UnknownSession | ErrorCode::NotFound => 404,
             ErrorCode::TooLarge => 413,
             ErrorCode::Overloaded => 503,
+            ErrorCode::DeadlineExceeded => 504,
             ErrorCode::Incompatible | ErrorCode::DuplicateColumn => 409,
             ErrorCode::Sketch | ErrorCode::Join => 422,
             ErrorCode::Io | ErrorCode::Corrupt | ErrorCode::NotACatalog | ErrorCode::Internal => {
@@ -365,6 +374,71 @@ impl WireQuery {
     }
 }
 
+/// A registered column's sketch blob in transit between catalog nodes — the
+/// payload of `export-column` responses and `import-column` requests.  The
+/// `bytes` are the node's verified on-disk blob verbatim (hex-encoded on the
+/// wire), so a copy registered elsewhere decodes to the identical sketch and
+/// rankings stay byte-identical across a rebalance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSketch {
+    /// Table name of the sketched column.
+    pub table: String,
+    /// Column name of the sketched column.
+    pub column: String,
+    /// Row count of the source column.
+    pub rows: u64,
+    /// The encoded sketch blob, exactly as stored in the exporting catalog.
+    pub bytes: Vec<u8>,
+}
+
+impl WireSketch {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("table".to_string(), Json::str(&self.table)),
+            ("column".to_string(), Json::str(&self.column)),
+            ("rows".to_string(), Json::u64(self.rows)),
+            ("bytes".to_string(), Json::str(encode_hex(&self.bytes))),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        Ok(WireSketch {
+            table: require_str(value, "table")?,
+            column: require_str(value, "column")?,
+            rows: require_u64(value, "rows")?,
+            bytes: decode_hex(&require_str(value, "bytes")?)?,
+        })
+    }
+}
+
+fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn decode_hex(text: &str) -> Result<Vec<u8>, WireError> {
+    if text.len() % 2 != 0 {
+        return Err(WireError::bad_request(
+            "`bytes` must be an even-length hex string",
+        ));
+    }
+    let digits = text.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| WireError::bad_request("`bytes` must hold only hex digits"))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| WireError::bad_request("`bytes` must hold only hex digits"))?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Ok(out)
+}
+
 /// Which statistic a query ranks by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Mode {
@@ -475,6 +549,22 @@ pub enum RequestBody {
         /// Column name of the column to drop.
         column: String,
     },
+    /// Read one registered column's sketch blob, verbatim and verified, for
+    /// node-to-node transfer (rebalance).  Idempotent and read-only.
+    ExportColumn {
+        /// Table name of the column to export.
+        table: String,
+        /// Column name of the column to export.
+        column: String,
+    },
+    /// Register a sketch blob previously produced by `export-column`.  The blob
+    /// bytes are stored verbatim, so the imported column is byte-identical to
+    /// the exported one.  Importing an already-registered key is a no-op (the
+    /// report lists the column under `skipped`), making the op safe to retry.
+    ImportColumn {
+        /// The sketch blob to register.
+        sketch: WireSketch,
+    },
 }
 
 impl RequestBody {
@@ -491,6 +581,8 @@ impl RequestBody {
             RequestBody::IngestSubmit { .. } => "ingest-submit",
             RequestBody::IngestFinish { .. } => "ingest-finish",
             RequestBody::DropColumn { .. } => "drop-column",
+            RequestBody::ExportColumn { .. } => "export-column",
+            RequestBody::ImportColumn { .. } => "import-column",
         }
     }
 }
@@ -576,9 +668,13 @@ impl Request {
             RequestBody::IngestFinish { session } => {
                 members.push(("session".to_string(), Json::u64(*session)));
             }
-            RequestBody::DropColumn { table, column } => {
+            RequestBody::DropColumn { table, column }
+            | RequestBody::ExportColumn { table, column } => {
                 members.push(("table".to_string(), Json::str(table)));
                 members.push(("column".to_string(), Json::str(column)));
+            }
+            RequestBody::ImportColumn { sketch } => {
+                members.push(("sketch".to_string(), sketch.to_json()));
             }
         }
         Json::Obj(members).to_string()
@@ -705,6 +801,17 @@ impl Request {
             "drop-column" => RequestBody::DropColumn {
                 table: require_str(doc, "table").map_err(&fail)?,
                 column: require_str(doc, "column").map_err(&fail)?,
+            },
+            "export-column" => RequestBody::ExportColumn {
+                table: require_str(doc, "table").map_err(&fail)?,
+                column: require_str(doc, "column").map_err(&fail)?,
+            },
+            "import-column" => RequestBody::ImportColumn {
+                sketch: WireSketch::from_json(
+                    doc.get("sketch")
+                        .ok_or_else(|| fail(WireError::bad_request("missing `sketch` object")))?,
+                )
+                .map_err(&fail)?,
             },
             other => {
                 return Err(fail(WireError {
@@ -883,6 +990,14 @@ pub struct WireNodeStats {
     pub healthy: bool,
     /// Connect/IO errors the router has observed against this node.
     pub errors: u64,
+    /// Times the router demoted this node (consecutive failures reached the
+    /// configured threshold); demoted nodes are skipped by read fan-out until a
+    /// probe restores them.
+    pub demotions: u64,
+    /// Times a background probe restored this node to `healthy`.
+    pub promotions: u64,
+    /// Background health probes attempted against this node while demoted.
+    pub probes: u64,
 }
 
 impl WireClusterStats {
@@ -903,6 +1018,9 @@ impl WireClusterStats {
                                 ("transport".to_string(), Json::str(&n.transport)),
                                 ("healthy".to_string(), Json::Bool(n.healthy)),
                                 ("errors".to_string(), Json::u64(n.errors)),
+                                ("demotions".to_string(), Json::u64(n.demotions)),
+                                ("promotions".to_string(), Json::u64(n.promotions)),
+                                ("probes".to_string(), Json::u64(n.probes)),
                             ])
                         })
                         .collect(),
@@ -926,6 +1044,11 @@ impl WireClusterStats {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| WireError::bad_request("cluster node needs `healthy`"))?,
                 errors: require_u64(n, "errors")?,
+                // Optional on decode for compatibility with pre-health-lifecycle
+                // transcripts; this server always sends them.
+                demotions: n.get("demotions").and_then(Json::as_u64).unwrap_or(0),
+                promotions: n.get("promotions").and_then(Json::as_u64).unwrap_or(0),
+                probes: n.get("probes").and_then(Json::as_u64).unwrap_or(0),
             });
         }
         Ok(WireClusterStats {
@@ -1089,6 +1212,8 @@ pub enum ResponseBody {
         /// Column name of the dropped column.
         column: String,
     },
+    /// Answer to `export-column`: the column's verified sketch blob.
+    Sketch(WireSketch),
 }
 
 /// One response line: the request's echoed `id` plus either a result or an error.
@@ -1268,6 +1393,9 @@ impl ResponseBody {
                     ("column".to_string(), Json::str(column)),
                 ]),
             )]),
+            ResponseBody::Sketch(sketch) => {
+                Json::Obj(vec![("sketch".to_string(), sketch.to_json())])
+            }
         }
     }
 
@@ -1355,8 +1483,11 @@ impl ResponseBody {
                 column: require_str(dropped, "column")?,
             });
         }
+        if let Some(sketch) = value.get("sketch") {
+            return Ok(ResponseBody::Sketch(WireSketch::from_json(sketch)?));
+        }
         Err(WireError::bad_request(
-            "unrecognized result payload (expected info/ranking/rankings/registered/session/dropped)",
+            "unrecognized result payload (expected info/ranking/rankings/registered/session/dropped/sketch)",
         ))
     }
 }
@@ -1489,6 +1620,18 @@ mod tests {
                 table: "weather".to_string(),
                 column: "precip".to_string(),
             },
+            RequestBody::ExportColumn {
+                table: "weather".to_string(),
+                column: "precip".to_string(),
+            },
+            RequestBody::ImportColumn {
+                sketch: WireSketch {
+                    table: "weather".to_string(),
+                    column: "precip".to_string(),
+                    rows: 730,
+                    bytes: vec![0x00, 0x1f, 0xab, 0xff],
+                },
+            },
         ];
         for body in bodies {
             let request = Request {
@@ -1566,12 +1709,18 @@ mod tests {
                             transport: "tcp".to_string(),
                             healthy: true,
                             errors: 0,
+                            demotions: 0,
+                            promotions: 0,
+                            probes: 0,
                         },
                         WireNodeStats {
                             addr: "127.0.0.1:7002".to_string(),
                             transport: "http".to_string(),
                             healthy: false,
                             errors: 3,
+                            demotions: 2,
+                            promotions: 1,
+                            probes: 9,
                         },
                     ],
                 })),
@@ -1587,6 +1736,12 @@ mod tests {
                 table: "weather".to_string(),
                 column: "precip".to_string(),
             },
+            ResponseBody::Sketch(WireSketch {
+                table: "weather".to_string(),
+                column: "precip".to_string(),
+                rows: 730,
+                bytes: (0..=255).collect(),
+            }),
         ];
         for body in bodies {
             let response = Response {
@@ -1706,6 +1861,22 @@ mod tests {
         assert_eq!(ErrorCode::Overloaded.http_status(), 503);
         assert_eq!(ErrorCode::UnknownOp.http_status(), 404);
         assert_eq!(ErrorCode::TooLarge.http_status(), 413);
+        assert_eq!(ErrorCode::DeadlineExceeded.http_status(), 504);
+    }
+
+    #[test]
+    fn sketch_blobs_survive_hex_encoding_and_reject_bad_hex() {
+        let blob: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode_hex(&encode_hex(&blob)).expect("round trips"), blob);
+        assert_eq!(encode_hex(&[0x00, 0xff, 0x0a]), "00ff0a");
+        assert_eq!(
+            decode_hex("abc").expect_err("odd length").code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            decode_hex("zz").expect_err("not hex").code,
+            ErrorCode::BadRequest
+        );
     }
 
     #[test]

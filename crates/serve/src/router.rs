@@ -6,40 +6,55 @@
 //! replicating every key to `replicas` owners so reads survive a node loss:
 //!
 //! * **Writes** (`ingest`, the `ingest-begin`/`announce`/`submit`/`finish`
-//!   session ops) are split column-wise: each owner node receives the shard's
-//!   full key vector plus only the columns it owns.  The announced-norm `Σv²`
-//!   exchange therefore runs as a real cross-node round — the router maps its
-//!   client-facing session onto one lazily-opened session per involved node
-//!   and forwards announce/submit sub-shards in arrival order, so every node
-//!   seals exactly the norms its columns need.
+//!   session ops, `import-column`) are split column-wise: each owner node
+//!   receives the shard's full key vector plus only the columns it owns.  The
+//!   announced-norm `Σv²` exchange therefore runs as a real cross-node round —
+//!   the router maps its client-facing session onto one lazily-opened session
+//!   per involved node and forwards announce/submit sub-shards in arrival
+//!   order, so every node seals exactly the norms its columns need.
 //! * **Reads** (`query`, `batch-query`, `info`) fan out to every node and the
 //!   per-node top-k lists are merged under the deterministic total order
 //!   (score descending via `total_cmp`, then `(table, column)` ascending),
 //!   deduplicated by key, and truncated to `k`.  Because replicas register
 //!   bit-identical blobs, a node loss changes nothing the merge can observe:
-//!   the surviving replica's entries are byte-identical.  A connect or I/O
-//!   failure on a fan-out is counted as a failover in [`WireClusterStats`].
+//!   the surviving replica's entries are byte-identical.
 //! * **`drop-column`** fans to every node (placement-agnostic: operators may
 //!   have loaded nodes out-of-band) and succeeds when any node dropped the
 //!   key.
 //!
-//! `docs/PROTOCOL.md` § Cluster routing is the normative description of the
-//! routing function and the merge; `tests/cluster_loopback.rs` asserts a
-//! 3-node cluster answers bit-identically to a single node.
+//! Every node session runs under a [`RetryPolicy`]: per-attempt connect,
+//! read, and write deadlines plus capped exponential backoff with
+//! deterministic jitter.  Only idempotent reads (`info`, `query`,
+//! `batch-query`, `export-column`) retry — a timed-out write has an unknown
+//! outcome, so it fails fast with `deadline_exceeded` instead.  Nodes that
+//! fail `failure_threshold` consecutive attempts are demoted out of the read
+//! fan-out; a background prober re-checks demoted nodes with `info` and
+//! promotes them back.  Demotions, promotions, and probe counts surface in
+//! the `cluster` member of `info`.
+//!
+//! The node list itself is swappable at runtime ([`Router::set_nodes`]):
+//! in-flight requests and open ingest sessions pin the topology they started
+//! on, so a live rebalance (copy blobs with [`rebalance`], then flip the
+//! router) never splits one request across two placements.
+//!
+//! `docs/PROTOCOL.md` § Cluster routing and § Timeouts, retries, and
+//! idempotency are the normative descriptions; `tests/cluster_loopback.rs`
+//! and `tests/chaos_loopback.rs` assert a faulty cluster answers
+//! bit-identically to a single healthy node.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     ErrorCode, InfoColumn, Request, RequestBody, Response, ResponseBody, WireClusterStats,
-    WireError, WireNodeStats, WireRanked, WireServiceStats, WireTable,
+    WireError, WireNodeStats, WireRanked, WireServiceStats, WireSketch, WireTable,
 };
 use crate::wire::Json;
 
@@ -106,6 +121,11 @@ pub enum RouterConfigError {
     NoNodes,
     /// `replicas` was zero.
     ZeroReplicas,
+    /// The health `failure_threshold` was zero (a node could never be
+    /// considered healthy).
+    ZeroFailureThreshold,
+    /// [`RetryPolicy::read_attempts`] was zero (no read could ever run).
+    ZeroReadAttempts,
 }
 
 impl fmt::Display for RouterConfigError {
@@ -113,11 +133,28 @@ impl fmt::Display for RouterConfigError {
         match self {
             RouterConfigError::NoNodes => f.write_str("a router needs at least one catalog node"),
             RouterConfigError::ZeroReplicas => f.write_str("replication factor must be at least 1"),
+            RouterConfigError::ZeroFailureThreshold => {
+                f.write_str("failure threshold must be at least 1")
+            }
+            RouterConfigError::ZeroReadAttempts => f.write_str("read attempts must be at least 1"),
         }
     }
 }
 
 impl std::error::Error for RouterConfigError {}
+
+/// Murmur3's 64-bit avalanche finalizer: every input bit flips every output
+/// bit with probability ~1/2.  Shared by the rendezvous weight (which needs
+/// the mixing on top of FNV) and the retry backoff jitter (which needs
+/// deterministic pseudo-randomness without a clock or RNG).
+fn fmix64(mut hash: u64) -> u64 {
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^= hash >> 33;
+    hash
+}
 
 /// The normative rendezvous weight of `docs/PROTOCOL.md` § Cluster routing:
 /// 64-bit FNV-1a over `addr NUL table NUL column`, passed through a 64-bit
@@ -134,18 +171,11 @@ fn rendezvous_weight(addr: &str, table: &str, column: &str) -> u64 {
     table.bytes().for_each(&mut fold);
     fold(0);
     column.bytes().for_each(&mut fold);
-    // Murmur3's 64-bit finalizer: full avalanche, so every input bit decides
-    // the weight ordering with probability ~1/2.
-    hash ^= hash >> 33;
-    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    hash ^= hash >> 33;
-    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    hash ^= hash >> 33;
-    hash
+    fmix64(hash)
 }
 
 /// The rendezvous owners of `(table, column)`: node indices ordered by
-/// descending [`rendezvous_weight`] (ties broken by the lower index),
+/// descending rendezvous weight (ties broken by the lower index),
 /// truncated to `replicas`.  Pure: every router over the same node list
 /// computes the same placement, and removing a node only reassigns the keys
 /// that node owned.
@@ -179,11 +209,199 @@ fn merge_rankings(per_node: Vec<Vec<WireRanked>>, k: u64) -> Vec<WireRanked> {
     all
 }
 
-/// Per-node health/error counters, shared across router connections.
+/// Per-attempt deadlines and the retry/backoff schedule every router→node
+/// session runs under.
+///
+/// The policy is deliberately clock- and RNG-free: backoff jitter is derived
+/// from a Murmur3-finalizer hash over `(jitter_seed, salt, attempt)`, so two
+/// routers with
+/// the same seed produce the same schedule — reproducible in tests, and
+/// still decorrelated across nodes because the node index salts the hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline for establishing a TCP connection to a node.
+    pub connect_timeout: Duration,
+    /// Per-attempt deadline for reading a node's response
+    /// (`TcpStream::set_read_timeout`).
+    pub read_timeout: Duration,
+    /// Per-attempt deadline for writing a request to a node
+    /// (`TcpStream::set_write_timeout`).
+    pub write_timeout: Duration,
+    /// Total attempts an idempotent read gets against one node (first try
+    /// included).  Non-idempotent ops always get exactly one attempt.
+    pub read_attempts: u32,
+    /// Backoff before retry `n` starts at `backoff_base * 2^n`…
+    pub backoff_base: Duration,
+    /// …and is capped here.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            read_attempts: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with every deadline set to `timeout` (attempts and backoff
+    /// keep their defaults) — the CLI's `--read-timeout-ms` shorthand.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: timeout,
+            read_timeout: timeout,
+            write_timeout: timeout,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (0-based) against the node
+    /// salted by `salt`: capped exponential `base * 2^attempt`, jittered
+    /// deterministically into `[exp/2, exp]`.
+    #[must_use]
+    pub fn backoff(&self, salt: u64, attempt: u32) -> Duration {
+        let base = self.backoff_base.as_nanos();
+        let cap = self.backoff_cap.as_nanos();
+        let exp = u64::try_from((base << attempt.min(32)).min(cap)).unwrap_or(u64::MAX);
+        let half = exp / 2;
+        let hash = fmix64(self.jitter_seed ^ salt.rotate_left(17) ^ u64::from(attempt));
+        Duration::from_nanos(half + hash % (exp - half + 1))
+    }
+}
+
+/// Everything a [`Router`] can be configured with; built fluently and handed
+/// to [`Router::with_config`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    nodes: Vec<NodeSpec>,
+    replicas: usize,
+    retry: RetryPolicy,
+    failure_threshold: u64,
+    probe_interval: Option<Duration>,
+    session_ttl: Duration,
+}
+
+impl RouterConfig {
+    /// A config over `nodes` with the defaults: [`DEFAULT_REPLICAS`], the
+    /// default [`RetryPolicy`], demotion after 1 failed attempt, a 1-second
+    /// health probe, and a 15-minute ingest-session TTL.
+    #[must_use]
+    pub fn new(nodes: Vec<NodeSpec>) -> RouterConfig {
+        RouterConfig {
+            nodes,
+            replicas: DEFAULT_REPLICAS,
+            retry: RetryPolicy::default(),
+            failure_threshold: 1,
+            probe_interval: Some(Duration::from_secs(1)),
+            session_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+
+    /// Sets the replication factor (clamped to the node count at use).
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> RouterConfig {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the deadline/retry policy for node sessions.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> RouterConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets how many consecutive failed attempts demote a node.
+    #[must_use]
+    pub fn failure_threshold(mut self, threshold: u64) -> RouterConfig {
+        self.failure_threshold = threshold;
+        self
+    }
+
+    /// Sets the health-probe interval for demoted nodes (`None` disables the
+    /// prober thread).
+    #[must_use]
+    pub fn probe_interval(mut self, interval: Option<Duration>) -> RouterConfig {
+        self.probe_interval = interval;
+        self
+    }
+
+    /// Sets how long an idle router-side ingest session lives before the
+    /// prober thread reaps it.
+    #[must_use]
+    pub fn session_ttl(mut self, ttl: Duration) -> RouterConfig {
+        self.session_ttl = ttl;
+        self
+    }
+}
+
+/// Per-node health and error counters, shared across router connections.
 #[derive(Debug)]
 struct NodeState {
     errors: AtomicU64,
+    consecutive: AtomicU64,
+    demotions: AtomicU64,
+    promotions: AtomicU64,
+    probes: AtomicU64,
     healthy: AtomicBool,
+}
+
+impl NodeState {
+    fn new() -> NodeState {
+        NodeState {
+            errors: AtomicU64::new(0),
+            consecutive: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            healthy: AtomicBool::new(true),
+        }
+    }
+
+    /// One failed attempt: bump the error counters and demote the node once
+    /// its consecutive-failure streak reaches `threshold`.
+    fn record_error(&self, threshold: u64) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= threshold && self.healthy.swap(false, Ordering::Relaxed) {
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One successful round trip: the streak resets and a demoted node is
+    /// promoted back into the fan-out.
+    fn record_ok(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        if !self.healthy.swap(true, Ordering::Relaxed) {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One immutable node list plus its health state.  The router swaps whole
+/// topologies atomically ([`Router::set_nodes`]); requests and sessions pin
+/// the `Arc` they started with, so indices never dangle mid-flight.
+#[derive(Debug)]
+struct Topology {
+    nodes: Vec<NodeSpec>,
+    states: Vec<NodeState>,
+}
+
+impl Topology {
+    fn new(nodes: Vec<NodeSpec>) -> Topology {
+        let states = nodes.iter().map(|_| NodeState::new()).collect();
+        Topology { nodes, states }
+    }
 }
 
 /// Cluster-wide router counters backing the `info` response's `cluster`
@@ -193,7 +411,6 @@ struct RouterStats {
     requests: AtomicU64,
     fanouts: AtomicU64,
     failovers: AtomicU64,
-    nodes: Vec<NodeState>,
 }
 
 /// A router-side sharded-ingest session: the client-facing id maps onto one
@@ -203,25 +420,59 @@ struct RouterSession {
     /// The logical table every shard must carry (checked at the router so the
     /// error does not depend on which node sees the mismatch first).
     table: String,
+    /// The topology the session opened under.  A concurrent
+    /// [`Router::set_nodes`] must not re-partition a half-announced ingest,
+    /// so every shard of this session routes on this snapshot.
+    topo: Arc<Topology>,
     /// Node index → that node's session id, opened at first contact.  A
     /// `BTreeMap` so `ingest-finish` fans out in deterministic node order.
     node_sessions: BTreeMap<usize, u64>,
+    /// Last activity; idle sessions past the TTL are reaped by the prober.
+    touched: Instant,
 }
 
 /// A node call outcome the router distinguishes: the node answered with a
 /// protocol error (forwarded verbatim) versus the node was unreachable
-/// (candidate for failover on reads, hard failure on writes).
+/// (candidate for failover on reads; on writes `timed_out` picks between
+/// `deadline_exceeded` and `io`).
 enum NodeError {
     Remote(WireError),
-    Unreachable(String),
+    Unreachable { message: String, timed_out: bool },
 }
 
-/// The routing core: placement, fan-out, merge, and session mapping.  Owns no
-/// sockets — each router connection thread brings its own [`NodePool`].
+/// Whether `body` may be retried / failed over without changing state: the
+/// read-only ops.  Everything else gets exactly one attempt — a timed-out
+/// write has an unknown outcome and must surface as `deadline_exceeded`.
+fn is_idempotent(body: &RequestBody) -> bool {
+    matches!(
+        body,
+        RequestBody::Info { .. }
+            | RequestBody::Query { .. }
+            | RequestBody::BatchQuery { .. }
+            | RequestBody::ExportColumn { .. }
+    )
+}
+
+/// Whether an I/O failure was deadline-flavored (the op may have executed)
+/// rather than connectivity-flavored (it surely did not start).
+fn is_timeout(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The routing core: placement, fan-out, merge, health, and session mapping.
+/// Owns no sockets — each router connection thread brings its own
+/// [`NodePool`].
 #[derive(Debug)]
 pub struct Router {
-    nodes: Vec<NodeSpec>,
+    topology: RwLock<Arc<Topology>>,
     replicas: usize,
+    retry: RetryPolicy,
+    failure_threshold: u64,
+    probe_interval: Option<Duration>,
+    session_ttl: Duration,
     stats: RouterStats,
     metrics: ServerMetrics,
     sessions: Mutex<HashMap<u64, Arc<Mutex<RouterSession>>>>,
@@ -229,86 +480,145 @@ pub struct Router {
 }
 
 impl Router {
-    /// Builds a router over `nodes` with the given replication factor
-    /// (clamped to the node count).
+    /// Builds a router over `nodes` with the given replication factor and
+    /// every other knob at its [`RouterConfig`] default.
     ///
     /// # Errors
     ///
     /// [`RouterConfigError`] when `nodes` is empty or `replicas` is zero.
     pub fn new(nodes: Vec<NodeSpec>, replicas: usize) -> Result<Router, RouterConfigError> {
-        if nodes.is_empty() {
+        Router::with_config(RouterConfig::new(nodes).replicas(replicas))
+    }
+
+    /// Builds a router from a full [`RouterConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouterConfigError`] when the config is degenerate (no nodes, zero
+    /// replicas, zero failure threshold, zero read attempts).
+    pub fn with_config(config: RouterConfig) -> Result<Router, RouterConfigError> {
+        if config.nodes.is_empty() {
             return Err(RouterConfigError::NoNodes);
         }
-        if replicas == 0 {
+        if config.replicas == 0 {
             return Err(RouterConfigError::ZeroReplicas);
         }
-        let stats = RouterStats {
-            requests: AtomicU64::new(0),
-            fanouts: AtomicU64::new(0),
-            failovers: AtomicU64::new(0),
-            nodes: nodes
-                .iter()
-                .map(|_| NodeState {
-                    errors: AtomicU64::new(0),
-                    healthy: AtomicBool::new(true),
-                })
-                .collect(),
-        };
-        let replicas = replicas.min(nodes.len());
+        if config.failure_threshold == 0 {
+            return Err(RouterConfigError::ZeroFailureThreshold);
+        }
+        if config.retry.read_attempts == 0 {
+            return Err(RouterConfigError::ZeroReadAttempts);
+        }
         Ok(Router {
-            nodes,
-            replicas,
-            stats,
+            topology: RwLock::new(Arc::new(Topology::new(config.nodes))),
+            replicas: config.replicas,
+            retry: config.retry,
+            failure_threshold: config.failure_threshold,
+            probe_interval: config.probe_interval,
+            session_ttl: config.session_ttl,
+            stats: RouterStats {
+                requests: AtomicU64::new(0),
+                fanouts: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+            },
             metrics: ServerMetrics::default(),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
         })
     }
 
-    /// The configured nodes.
-    #[must_use]
-    pub fn nodes(&self) -> &[NodeSpec] {
-        &self.nodes
+    /// The current topology snapshot; callers hold the `Arc` for the whole
+    /// operation so a concurrent [`set_nodes`](Self::set_nodes) cannot shift
+    /// indices under them.
+    fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.read().expect("topology lock"))
     }
 
-    /// The effective replication factor.
+    /// The current node list.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeSpec> {
+        self.topology().nodes.clone()
+    }
+
+    /// The effective replication factor (configured, clamped to the current
+    /// node count).
     #[must_use]
     pub fn replicas(&self) -> usize {
-        self.replicas
+        self.replicas.min(self.topology().nodes.len())
+    }
+
+    /// The deadline/retry policy node sessions run under.
+    #[must_use]
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Atomically replaces the node list (fresh health state, placement
+    /// recomputed per request).  In-flight requests and open ingest sessions
+    /// finish on the topology they started with.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterConfigError::NoNodes`] when `nodes` is empty.
+    pub fn set_nodes(&self, nodes: Vec<NodeSpec>) -> Result<(), RouterConfigError> {
+        if nodes.is_empty() {
+            return Err(RouterConfigError::NoNodes);
+        }
+        *self.topology.write().expect("topology lock") = Arc::new(Topology::new(nodes));
+        Ok(())
     }
 
     /// A wire-ready snapshot of the cluster counters.
     #[must_use]
     pub fn cluster_stats(&self) -> WireClusterStats {
+        let topo = self.topology();
         WireClusterStats {
-            replicas: self.replicas as u64,
+            replicas: self.replicas.min(topo.nodes.len()) as u64,
             requests: self.stats.requests.load(Ordering::Relaxed),
             fanouts: self.stats.fanouts.load(Ordering::Relaxed),
             failovers: self.stats.failovers.load(Ordering::Relaxed),
-            nodes: self
+            nodes: topo
                 .nodes
                 .iter()
-                .zip(&self.stats.nodes)
+                .zip(&topo.states)
                 .map(|(spec, state)| WireNodeStats {
                     addr: spec.addr.clone(),
                     transport: spec.transport.label().to_string(),
                     healthy: state.healthy.load(Ordering::Relaxed),
                     errors: state.errors.load(Ordering::Relaxed),
+                    demotions: state.demotions.load(Ordering::Relaxed),
+                    promotions: state.promotions.load(Ordering::Relaxed),
+                    probes: state.probes.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
     }
 
-    /// Column indices of `columns` grouped by owner node (preserving the
-    /// shard's column order inside each group).
-    fn partition(&self, table: &str, columns: &[crate::protocol::WireColumn]) -> Vec<Vec<usize>> {
-        let mut per_node = vec![Vec::new(); self.nodes.len()];
+    /// Column indices of `columns` grouped by owner node under `topo`
+    /// (preserving the shard's column order inside each group).
+    fn partition_on(
+        &self,
+        topo: &Topology,
+        table: &str,
+        columns: &[crate::protocol::WireColumn],
+    ) -> Vec<Vec<usize>> {
+        let mut per_node = vec![Vec::new(); topo.nodes.len()];
         for (col_idx, column) in columns.iter().enumerate() {
-            for node in owners(&self.nodes, self.replicas, table, &column.name) {
+            for node in owners(&topo.nodes, self.replicas, table, &column.name) {
                 per_node[node].push(col_idx);
             }
         }
         per_node
+    }
+
+    #[cfg(test)]
+    fn partition(&self, table: &str, columns: &[crate::protocol::WireColumn]) -> Vec<Vec<usize>> {
+        self.partition_on(&self.topology(), table, columns)
+    }
+
+    #[cfg(test)]
+    fn record_node_error(&self, idx: usize) {
+        self.topology().states[idx].record_error(self.failure_threshold);
     }
 
     /// The sub-shard node `cols` sees: full keys, owned columns only.
@@ -326,17 +636,19 @@ impl Router {
     /// # Errors
     ///
     /// Forwards node-side [`WireError`]s verbatim; unreachable nodes surface
-    /// as `io` (writes, or reads with no live node at all).
+    /// as `io` (or `deadline_exceeded` for timed-out writes), reads only
+    /// after every replica failed.
     pub fn execute(
         &self,
         body: &RequestBody,
         pool: &mut NodePool<'_>,
     ) -> Result<ResponseBody, WireError> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let topo = self.topology();
         match body {
-            RequestBody::Info { server } => self.info(*server, pool),
+            RequestBody::Info { server } => self.info(&topo, *server, pool),
             RequestBody::Query { k, .. } => {
-                let responses = self.fan_read(pool, body)?;
+                let responses = self.fan_read(&topo, pool, body)?;
                 let per_node = responses
                     .into_iter()
                     .map(|resp| match resp {
@@ -347,7 +659,7 @@ impl Router {
                 Ok(ResponseBody::Ranking(merge_rankings(per_node, *k)))
             }
             RequestBody::BatchQuery { k, queries, .. } => {
-                let responses = self.fan_read(pool, body)?;
+                let responses = self.fan_read(&topo, pool, body)?;
                 let per_node = responses
                     .into_iter()
                     .map(|resp| match resp {
@@ -369,7 +681,7 @@ impl Router {
             }
             RequestBody::Ingest { table, partitions } => {
                 self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
-                let per_node = self.partition(&table.name, &table.columns);
+                let per_node = self.partition_on(&topo, &table.name, &table.columns);
                 let mut registered = BTreeSet::new();
                 let mut skipped = BTreeSet::new();
                 for (idx, cols) in per_node.iter().enumerate() {
@@ -380,7 +692,7 @@ impl Router {
                         table: Self::subset(table, cols),
                         partitions: *partitions,
                     };
-                    match self.call_write(pool, idx, &sub)? {
+                    match self.call_write(&topo, pool, idx, &sub)? {
                         ResponseBody::Report {
                             registered: r,
                             skipped: s,
@@ -402,7 +714,9 @@ impl Router {
                     id,
                     Arc::new(Mutex::new(RouterSession {
                         table: table.clone(),
+                        topo: Arc::clone(&topo),
                         node_sessions: BTreeMap::new(),
+                        touched: Instant::now(),
                     })),
                 );
                 Ok(ResponseBody::Session(id))
@@ -422,13 +736,14 @@ impl Router {
                     .ok_or_else(|| unknown_session(*session))?;
                 let state = entry.lock().expect("session lock");
                 self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+                let session_topo = Arc::clone(&state.topo);
                 let mut registered = BTreeSet::new();
                 let mut skipped = BTreeSet::new();
                 for (&idx, &node_session) in &state.node_sessions {
                     let finish = RequestBody::IngestFinish {
                         session: node_session,
                     };
-                    match self.call_write(pool, idx, &finish)? {
+                    match self.call_write(&session_topo, pool, idx, &finish)? {
                         ResponseBody::Report {
                             registered: r,
                             skipped: s,
@@ -448,7 +763,13 @@ impl Router {
                     skipped: skipped.into_iter().collect(),
                 })
             }
-            RequestBody::DropColumn { table, column } => self.drop_column(pool, table, column),
+            RequestBody::DropColumn { table, column } => {
+                self.drop_column(&topo, pool, table, column)
+            }
+            RequestBody::ExportColumn { table, column } => {
+                self.export_column(&topo, pool, table, column)
+            }
+            RequestBody::ImportColumn { sketch } => self.import_column(&topo, pool, sketch),
         }
     }
 
@@ -472,6 +793,7 @@ impl Router {
         // connections, so every node folds announces in one well-defined
         // order (the same guarantee a single node gives).
         let mut state = entry.lock().expect("session lock");
+        state.touched = Instant::now();
         if shard.name != state.table {
             return Err(WireError {
                 code: ErrorCode::Incompatible,
@@ -482,7 +804,8 @@ impl Router {
             });
         }
         self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
-        let per_node = self.partition(&shard.name, &shard.columns);
+        let topo = Arc::clone(&state.topo);
+        let per_node = self.partition_on(&topo, &shard.name, &shard.columns);
         for (idx, cols) in per_node.iter().enumerate() {
             if cols.is_empty() {
                 continue;
@@ -493,7 +816,7 @@ impl Router {
                     let begin = RequestBody::IngestBegin {
                         table: state.table.clone(),
                     };
-                    let id = match self.call_write(pool, idx, &begin)? {
+                    let id = match self.call_write(&topo, pool, idx, &begin)? {
                         ResponseBody::Session(id) => id,
                         _ => {
                             return Err(internal(
@@ -517,7 +840,7 @@ impl Router {
                     shard: sub_shard,
                 }
             };
-            match self.call_write(pool, idx, &forwarded)? {
+            match self.call_write(&topo, pool, idx, &forwarded)? {
                 ResponseBody::Session(_) => {}
                 _ => return Err(internal("node answered a shard op with a non-session body")),
             }
@@ -528,9 +851,14 @@ impl Router {
     /// `info`: fan out, verify every node runs the same sketcher fingerprint,
     /// and merge columns/stats into one cluster-wide view (plus the `cluster`
     /// member only routers emit).
-    fn info(&self, server: bool, pool: &mut NodePool<'_>) -> Result<ResponseBody, WireError> {
+    fn info(
+        &self,
+        topo: &Arc<Topology>,
+        server: bool,
+        pool: &mut NodePool<'_>,
+    ) -> Result<ResponseBody, WireError> {
         let probe = RequestBody::Info { server: false };
-        let responses = self.fan_read(pool, &probe)?;
+        let responses = self.fan_read(topo, pool, &probe)?;
         let mut head: Option<(String, String, String, Option<String>)> = None;
         let mut columns: BTreeMap<(String, String), u64> = BTreeMap::new();
         let mut hydrated = 0u64;
@@ -604,6 +932,7 @@ impl Router {
     /// for catalogs loaded into nodes out-of-band.
     fn drop_column(
         &self,
+        topo: &Arc<Topology>,
         pool: &mut NodePool<'_>,
         table: &str,
         column: &str,
@@ -616,8 +945,8 @@ impl Router {
         let mut dropped = false;
         let mut remote: Option<WireError> = None;
         let mut unreachable: Option<String> = None;
-        for idx in 0..self.nodes.len() {
-            match pool.call(idx, &body) {
+        for idx in 0..topo.nodes.len() {
+            match pool.call(topo, idx, &body) {
                 Ok(ResponseBody::Dropped { .. }) => dropped = true,
                 Ok(_) => {
                     return Err(internal(
@@ -628,7 +957,7 @@ impl Router {
                 Err(NodeError::Remote(e)) => {
                     remote.get_or_insert(e);
                 }
-                Err(NodeError::Unreachable(message)) => {
+                Err(NodeError::Unreachable { message, .. }) => {
                     unreachable.get_or_insert(message);
                 }
             }
@@ -656,25 +985,142 @@ impl Router {
         })
     }
 
-    /// Fans `body` to every node; unreachable nodes are skipped (and counted
-    /// as failovers when at least one node answered), node-side protocol
-    /// errors are forwarded verbatim.
+    /// `export-column`: try the rendezvous owners first (they should hold the
+    /// blob), then every other node (placement-agnostic like `drop-column`);
+    /// the first sketch wins and failed candidates count as failovers.
+    fn export_column(
+        &self,
+        topo: &Arc<Topology>,
+        pool: &mut NodePool<'_>,
+        table: &str,
+        column: &str,
+    ) -> Result<ResponseBody, WireError> {
+        self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+        let body = RequestBody::ExportColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        };
+        let mut order = owners(&topo.nodes, self.replicas, table, column);
+        for idx in 0..topo.nodes.len() {
+            if !order.contains(&idx) {
+                order.push(idx);
+            }
+        }
+        let mut failed = 0u64;
+        let mut unreachable: Option<String> = None;
+        for idx in order {
+            match pool.call(topo, idx, &body) {
+                Ok(ResponseBody::Sketch(sketch)) => {
+                    if failed > 0 {
+                        self.stats.failovers.fetch_add(failed, Ordering::Relaxed);
+                    }
+                    return Ok(ResponseBody::Sketch(sketch));
+                }
+                Ok(_) => {
+                    return Err(internal(
+                        "node answered export-column with a non-sketch body",
+                    ))
+                }
+                Err(NodeError::Remote(e)) if e.code == ErrorCode::NotFound => {}
+                Err(NodeError::Remote(e)) => return Err(e),
+                Err(NodeError::Unreachable { message, .. }) => {
+                    failed += 1;
+                    unreachable.get_or_insert(message);
+                }
+            }
+        }
+        if let Some(message) = unreachable {
+            return Err(WireError {
+                code: ErrorCode::Io,
+                message,
+            });
+        }
+        Err(WireError {
+            code: ErrorCode::NotFound,
+            message: format!("no catalog node holds {table}.{column}"),
+        })
+    }
+
+    /// `import-column`: a write — the blob lands on every rendezvous owner of
+    /// its `(table, column)`, reports merged like `ingest`.
+    fn import_column(
+        &self,
+        topo: &Arc<Topology>,
+        pool: &mut NodePool<'_>,
+        sketch: &WireSketch,
+    ) -> Result<ResponseBody, WireError> {
+        self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+        let mut registered = BTreeSet::new();
+        let mut skipped = BTreeSet::new();
+        for idx in owners(&topo.nodes, self.replicas, &sketch.table, &sketch.column) {
+            let body = RequestBody::ImportColumn {
+                sketch: sketch.clone(),
+            };
+            match self.call_write(topo, pool, idx, &body)? {
+                ResponseBody::Report {
+                    registered: r,
+                    skipped: s,
+                } => {
+                    registered.extend(r);
+                    skipped.extend(s);
+                }
+                _ => {
+                    return Err(internal(
+                        "node answered import-column with a non-report body",
+                    ))
+                }
+            }
+        }
+        Ok(ResponseBody::Report {
+            registered: registered.into_iter().collect(),
+            skipped: skipped.into_iter().collect(),
+        })
+    }
+
+    /// Fans `body` to every node in `topo`.  Demoted nodes are skipped while
+    /// at least one healthy node remains (the prober owns their recovery);
+    /// skipped and unreachable nodes count as failovers once somebody
+    /// answers, and if every healthy node failed the demoted ones get a last
+    /// chance before the read is declared dead.
     fn fan_read(
         &self,
+        topo: &Arc<Topology>,
         pool: &mut NodePool<'_>,
         body: &RequestBody,
     ) -> Result<Vec<ResponseBody>, WireError> {
         self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
+        let any_healthy = topo
+            .states
+            .iter()
+            .any(|state| state.healthy.load(Ordering::Relaxed));
         let mut answered = Vec::new();
+        let mut skipped = Vec::new();
         let mut failed = 0u64;
         let mut last_unreachable = String::new();
-        for idx in 0..self.nodes.len() {
-            match pool.call(idx, body) {
+        for idx in 0..topo.nodes.len() {
+            if any_healthy && !topo.states[idx].healthy.load(Ordering::Relaxed) {
+                skipped.push(idx);
+                failed += 1;
+                continue;
+            }
+            match pool.call(topo, idx, body) {
                 Ok(resp) => answered.push(resp),
                 Err(NodeError::Remote(error)) => return Err(error),
-                Err(NodeError::Unreachable(message)) => {
+                Err(NodeError::Unreachable { message, .. }) => {
                     failed += 1;
                     last_unreachable = message;
+                }
+            }
+        }
+        if answered.is_empty() {
+            for idx in skipped {
+                match pool.call(topo, idx, body) {
+                    Ok(resp) => {
+                        answered.push(resp);
+                        failed = failed.saturating_sub(1);
+                    }
+                    Err(NodeError::Remote(error)) => return Err(error),
+                    Err(NodeError::Unreachable { message, .. }) => last_unreachable = message,
                 }
             }
         }
@@ -690,32 +1136,77 @@ impl Router {
         Ok(answered)
     }
 
-    /// One write call to one node; unreachable is a hard `io` error (a write
-    /// must land on every owner or the client must hear about it).
+    /// One write call to one node; unreachable is a hard error (a write must
+    /// land on every owner or the client must hear about it) — `io` when the
+    /// request surely never started, `deadline_exceeded` when a timeout left
+    /// the outcome unknown.
     fn call_write(
         &self,
+        topo: &Arc<Topology>,
         pool: &mut NodePool<'_>,
         idx: usize,
         body: &RequestBody,
     ) -> Result<ResponseBody, WireError> {
-        pool.call(idx, body).map_err(|error| match error {
+        pool.call(topo, idx, body).map_err(|error| match error {
             NodeError::Remote(e) => e,
-            NodeError::Unreachable(message) => WireError {
-                code: ErrorCode::Io,
-                message,
-            },
+            NodeError::Unreachable { message, timed_out } => {
+                if timed_out {
+                    WireError {
+                        code: ErrorCode::DeadlineExceeded,
+                        message: format!(
+                            "deadline exceeded waiting on catalog node {}: the op was \
+                             not retried and may or may not have been applied ({message})",
+                            topo.nodes[idx].addr
+                        ),
+                    }
+                } else {
+                    WireError {
+                        code: ErrorCode::Io,
+                        message,
+                    }
+                }
+            }
         })
     }
 
-    fn record_node_error(&self, idx: usize) {
-        self.stats.nodes[idx].errors.fetch_add(1, Ordering::Relaxed);
-        self.stats.nodes[idx]
-            .healthy
-            .store(false, Ordering::Relaxed);
+    /// One prober pass: every demoted node gets a fresh-connection `info`
+    /// round trip and is promoted back on success.  Probe failures leave the
+    /// demotion in place without inflating the error counter — the node was
+    /// already out of rotation.
+    fn probe_demoted(&self) {
+        let topo = self.topology();
+        let request = Request {
+            id: Json::Null,
+            body: RequestBody::Info { server: false },
+        };
+        for (spec, state) in topo.nodes.iter().zip(&topo.states) {
+            if state.healthy.load(Ordering::Relaxed) {
+                continue;
+            }
+            state.probes.fetch_add(1, Ordering::Relaxed);
+            let ok = NodeConn::connect(spec, &self.retry)
+                .and_then(|mut conn| conn.call(&request))
+                .map(|response| response.result.is_ok())
+                .unwrap_or(false);
+            if ok {
+                state.record_ok();
+            }
+        }
     }
 
-    fn record_node_ok(&self, idx: usize) {
-        self.stats.nodes[idx].healthy.store(true, Ordering::Relaxed);
+    /// Reaps router-side ingest sessions idle past the TTL.  The mapped
+    /// node-side sessions are left for each node's own TTL sweep — the
+    /// router cannot know whether the nodes are reachable right now.
+    fn expire_sessions(&self) {
+        let ttl = self.session_ttl;
+        self.sessions
+            .lock()
+            .expect("sessions lock")
+            .retain(|_, slot| match slot.try_lock() {
+                Ok(state) => state.touched.elapsed() <= ttl,
+                // Locked means a shard op is mid-flight right now: alive.
+                Err(_) => true,
+            });
     }
 }
 
@@ -727,9 +1218,20 @@ struct NodeConn {
 }
 
 impl NodeConn {
-    fn connect(spec: &NodeSpec) -> io::Result<NodeConn> {
-        let stream = TcpStream::connect(&spec.addr)?;
+    /// Connects under the policy's deadlines: connect, read, and write
+    /// timeouts all apply per attempt, so no node call can block a router
+    /// connection past its configured budget.
+    fn connect(spec: &NodeSpec, retry: &RetryPolicy) -> io::Result<NodeConn> {
+        let addr = spec.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "node address resolved to nothing",
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&addr, retry.connect_timeout)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(retry.read_timeout))?;
+        stream.set_write_timeout(Some(retry.write_timeout))?;
         Ok(NodeConn {
             transport: spec.transport,
             reader: BufReader::new(stream.try_clone()?),
@@ -808,50 +1310,87 @@ impl NodeConn {
     }
 }
 
-/// One router connection's private node connections, opened lazily and
-/// re-opened once per call after a stale keep-alive.
+/// One router connection's private node connections, opened lazily and reset
+/// whenever the topology snapshot they were opened under is swapped out.
 pub struct NodePool<'a> {
     router: &'a Router,
+    topo: Arc<Topology>,
     conns: Vec<Option<NodeConn>>,
 }
 
 impl<'a> NodePool<'a> {
-    /// An empty pool for `router`'s node list.
+    /// An empty pool for `router`'s current node list.
     #[must_use]
     pub fn new(router: &'a Router) -> NodePool<'a> {
+        let topo = router.topology();
         NodePool {
-            conns: router.nodes.iter().map(|_| None).collect(),
+            conns: topo.nodes.iter().map(|_| None).collect(),
+            topo,
             router,
         }
     }
 
-    /// One round trip to node `idx`.  A failed round trip on a pooled
-    /// connection is retried once on a fresh connection (the node may simply
-    /// have dropped an idle keep-alive); a failure on a fresh connection
-    /// marks the node unreachable.
-    fn call(&mut self, idx: usize, body: &RequestBody) -> Result<ResponseBody, NodeError> {
+    /// Re-targets the pool at `topo` (dropping every pooled connection) when
+    /// it is not the snapshot the pool was last synced to.
+    fn sync(&mut self, topo: &Arc<Topology>) {
+        if !Arc::ptr_eq(&self.topo, topo) {
+            self.topo = Arc::clone(topo);
+            self.conns = topo.nodes.iter().map(|_| None).collect();
+        }
+    }
+
+    /// One round trip to node `idx` of `topo` under the router's
+    /// [`RetryPolicy`].
+    ///
+    /// A failed round trip on a *pooled* connection proves nothing about the
+    /// node (it may simply have dropped an idle keep-alive), so it is retried
+    /// once on a fresh connection without recording a node error — but only
+    /// for idempotent bodies: a write may already have landed, so it returns
+    /// unreachable immediately.  Failures on *fresh* connections record node
+    /// errors (driving demotion) and, for idempotent bodies, retry with
+    /// deterministic backoff up to [`RetryPolicy::read_attempts`].
+    fn call(
+        &mut self,
+        topo: &Arc<Topology>,
+        idx: usize,
+        body: &RequestBody,
+    ) -> Result<ResponseBody, NodeError> {
+        self.sync(topo);
         let request = Request {
             id: Json::Null,
             body: body.clone(),
         };
-        let had_pooled = self.conns[idx].is_some();
-        for attempt in 0..2 {
-            if self.conns[idx].is_none() {
-                match NodeConn::connect(&self.router.nodes[idx]) {
+        let spec = &topo.nodes[idx];
+        let state = &topo.states[idx];
+        let retry = &self.router.retry;
+        let idempotent = is_idempotent(body);
+        let attempts = if idempotent { retry.read_attempts } else { 1 };
+        let mut fresh_failures = 0u32;
+        let mut backoff_attempt = 0u32;
+        loop {
+            let pooled = self.conns[idx].is_some();
+            if !pooled {
+                match NodeConn::connect(spec, retry) {
                     Ok(conn) => self.conns[idx] = Some(conn),
                     Err(error) => {
-                        self.router.record_node_error(idx);
-                        return Err(NodeError::Unreachable(format!(
-                            "catalog node {} unreachable: {error}",
-                            self.router.nodes[idx].addr
-                        )));
+                        state.record_error(self.router.failure_threshold);
+                        fresh_failures += 1;
+                        if idempotent && fresh_failures < attempts {
+                            thread::sleep(retry.backoff(idx as u64, backoff_attempt));
+                            backoff_attempt += 1;
+                            continue;
+                        }
+                        return Err(NodeError::Unreachable {
+                            message: format!("catalog node {} unreachable: {error}", spec.addr),
+                            timed_out: is_timeout(&error),
+                        });
                     }
                 }
             }
             let conn = self.conns[idx].as_mut().expect("connected above");
             match conn.call(&request) {
                 Ok(response) => {
-                    self.router.record_node_ok(idx);
+                    state.record_ok();
                     return match response.result {
                         Ok(body) => Ok(body),
                         Err(error) => Err(NodeError::Remote(error)),
@@ -859,18 +1398,34 @@ impl<'a> NodePool<'a> {
                 }
                 Err(error) => {
                     self.conns[idx] = None;
-                    if attempt == 0 && had_pooled {
+                    if pooled {
+                        if idempotent {
+                            // Free reconnect: a dropped keep-alive is not a
+                            // node failure and must not demote anybody.
+                            continue;
+                        }
+                        return Err(NodeError::Unreachable {
+                            message: format!(
+                                "catalog node {} failed mid-write on a pooled connection: {error}",
+                                spec.addr
+                            ),
+                            timed_out: is_timeout(&error),
+                        });
+                    }
+                    state.record_error(self.router.failure_threshold);
+                    fresh_failures += 1;
+                    if idempotent && fresh_failures < attempts {
+                        thread::sleep(retry.backoff(idx as u64, backoff_attempt));
+                        backoff_attempt += 1;
                         continue;
                     }
-                    self.router.record_node_error(idx);
-                    return Err(NodeError::Unreachable(format!(
-                        "catalog node {} failed: {error}",
-                        self.router.nodes[idx].addr
-                    )));
+                    return Err(NodeError::Unreachable {
+                        message: format!("catalog node {} failed: {error}", spec.addr),
+                        timed_out: is_timeout(&error),
+                    });
                 }
             }
         }
-        unreachable!("the retry loop always returns");
     }
 }
 
@@ -888,12 +1443,194 @@ fn unknown_session(session: u64) -> WireError {
     }
 }
 
-/// Shared state between the accept loop, connection threads, and the handle.
+/// The outcome of a [`rebalance`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Distinct `(table, column)` keys discovered on the source nodes.
+    pub keys: u64,
+    /// Blobs copied onto a target node that did not hold them.
+    pub copied: u64,
+    /// `(key, target)` placements that already held the blob (overlapping
+    /// node lists, replicas, or an earlier interrupted run).
+    pub already_placed: u64,
+}
+
+/// Streams every sketched column held by the `from` nodes onto its rendezvous
+/// owners among the `to` nodes — the **copy** half of a copy-then-flip live
+/// rebalance (the flip is [`Router::set_nodes`] / restarting routers on the
+/// new list).
+///
+/// Blobs move verbatim (`export-column` → `import-column`), so the copies are
+/// byte-identical and a router answers bit-identically over the old list, the
+/// new list, or any moment in between.  The run is strict about inventory —
+/// every node on both sides must answer `info`, otherwise keys could be
+/// silently lost — but tolerant of per-blob source hiccups (each export fails
+/// over across every source replica) and idempotent: re-running after an
+/// interruption skips what already landed.
+///
+/// # Errors
+///
+/// `bad_request` for empty node lists; otherwise the first node error, with
+/// timeouts surfaced as `deadline_exceeded` and connectivity as `io`.
+pub fn rebalance(
+    from: &[NodeSpec],
+    to: &[NodeSpec],
+    replicas: usize,
+    retry: &RetryPolicy,
+) -> Result<RebalanceReport, WireError> {
+    if from.is_empty() || to.is_empty() {
+        return Err(WireError {
+            code: ErrorCode::BadRequest,
+            message: "rebalance needs at least one source and one target node".to_string(),
+        });
+    }
+    let replicas = replicas.max(1);
+    let mut from_conns: Vec<Option<NodeConn>> = from.iter().map(|_| None).collect();
+    let mut to_conns: Vec<Option<NodeConn>> = to.iter().map(|_| None).collect();
+    let info = RequestBody::Info { server: false };
+    let mut holders: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for idx in 0..from.len() {
+        let ResponseBody::Info { columns, .. } =
+            rebalance_call(from, &mut from_conns, retry, idx, &info)?
+        else {
+            return Err(internal("node answered info with a non-info body"));
+        };
+        for column in columns {
+            holders
+                .entry((column.table, column.column))
+                .or_default()
+                .push(idx);
+        }
+    }
+    let mut target_keys: Vec<BTreeSet<(String, String)>> = Vec::new();
+    for idx in 0..to.len() {
+        let ResponseBody::Info { columns, .. } =
+            rebalance_call(to, &mut to_conns, retry, idx, &info)?
+        else {
+            return Err(internal("node answered info with a non-info body"));
+        };
+        target_keys.push(columns.into_iter().map(|c| (c.table, c.column)).collect());
+    }
+    let mut report = RebalanceReport {
+        keys: holders.len() as u64,
+        copied: 0,
+        already_placed: 0,
+    };
+    for ((table, column), sources) in &holders {
+        let mut sketch: Option<WireSketch> = None;
+        for target in owners(to, replicas, table, column) {
+            if target_keys[target].contains(&(table.clone(), column.clone())) {
+                report.already_placed += 1;
+                continue;
+            }
+            if sketch.is_none() {
+                sketch = Some(export_from_holders(
+                    from,
+                    &mut from_conns,
+                    retry,
+                    sources,
+                    table,
+                    column,
+                )?);
+            }
+            let import = RequestBody::ImportColumn {
+                sketch: sketch.clone().expect("exported above"),
+            };
+            match rebalance_call(to, &mut to_conns, retry, target, &import)? {
+                ResponseBody::Report { registered, .. } if !registered.is_empty() => {
+                    report.copied += 1;
+                }
+                ResponseBody::Report { .. } => report.already_placed += 1,
+                _ => {
+                    return Err(internal(
+                        "node answered import-column with a non-report body",
+                    ))
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Exports one blob, failing over across every source replica that holds it.
+fn export_from_holders(
+    from: &[NodeSpec],
+    conns: &mut [Option<NodeConn>],
+    retry: &RetryPolicy,
+    sources: &[usize],
+    table: &str,
+    column: &str,
+) -> Result<WireSketch, WireError> {
+    let body = RequestBody::ExportColumn {
+        table: table.to_string(),
+        column: column.to_string(),
+    };
+    let mut last: Option<WireError> = None;
+    for &idx in sources {
+        match rebalance_call(from, conns, retry, idx, &body) {
+            Ok(ResponseBody::Sketch(sketch)) => return Ok(sketch),
+            Ok(_) => {
+                return Err(internal(
+                    "node answered export-column with a non-sketch body",
+                ))
+            }
+            Err(error) => last = Some(error),
+        }
+    }
+    Err(last.unwrap_or_else(|| WireError {
+        code: ErrorCode::NotFound,
+        message: format!("no source node holds {table}.{column}"),
+    }))
+}
+
+/// One lazily-pooled call for [`rebalance`]; remote errors come back
+/// verbatim, I/O failures as `io`/`deadline_exceeded`.
+fn rebalance_call(
+    specs: &[NodeSpec],
+    conns: &mut [Option<NodeConn>],
+    retry: &RetryPolicy,
+    idx: usize,
+    body: &RequestBody,
+) -> Result<ResponseBody, WireError> {
+    let spec = &specs[idx];
+    if conns[idx].is_none() {
+        let conn = NodeConn::connect(spec, retry).map_err(|e| rebalance_io(&spec.addr, &e))?;
+        conns[idx] = Some(conn);
+    }
+    let conn = conns[idx].as_mut().expect("connected above");
+    let request = Request {
+        id: Json::Null,
+        body: body.clone(),
+    };
+    match conn.call(&request) {
+        Ok(response) => response.result,
+        Err(error) => {
+            conns[idx] = None;
+            Err(rebalance_io(&spec.addr, &error))
+        }
+    }
+}
+
+fn rebalance_io(addr: &str, error: &io::Error) -> WireError {
+    WireError {
+        code: if is_timeout(error) {
+            ErrorCode::DeadlineExceeded
+        } else {
+            ErrorCode::Io
+        },
+        message: format!("catalog node {addr}: {error}"),
+    }
+}
+
+/// Shared state between the accept loop, connection threads, the prober, and
+/// the handle.
 struct RouterShared {
     router: Router,
     stop: AtomicBool,
     client_streams: Mutex<Vec<TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    probe_lock: Mutex<()>,
+    probe_cv: Condvar,
 }
 
 /// A running router front end; dropping without [`shutdown`](Self::shutdown)
@@ -902,6 +1639,7 @@ pub struct RouterHandle {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
     accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
 }
 
 impl RouterHandle {
@@ -917,6 +1655,16 @@ impl RouterHandle {
         self.shared.router.cluster_stats()
     }
 
+    /// Atomically re-points the running router at a new node list — the
+    /// **flip** half of a live rebalance.  See [`Router::set_nodes`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouterConfigError::NoNodes`] when `nodes` is empty.
+    pub fn set_nodes(&self, nodes: Vec<NodeSpec>) -> Result<(), RouterConfigError> {
+        self.shared.router.set_nodes(nodes)
+    }
+
     /// Blocks until the accept loop exits (it only does when the process is
     /// killed or [`shutdown`](Self::shutdown) runs from another thread) — the
     /// CLI's run-until-killed mode.
@@ -927,9 +1675,16 @@ impl RouterHandle {
     }
 
     /// Stops accepting, closes every client connection, and joins all
-    /// threads.
+    /// threads (prober included).
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        // Acquire-release the probe lock before notifying so a prober already
+        // past its stop check but not yet waiting cannot miss the wakeup.
+        drop(self.shared.probe_lock.lock().expect("probe lock"));
+        self.shared.probe_cv.notify_all();
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
         // Nudge the blocking accept so it observes the stop flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
@@ -958,7 +1713,8 @@ impl RouterHandle {
 }
 
 /// Binds `addr` and serves the line-JSON protocol over `router`: one blocking
-/// thread per client connection, each with its own node-connection pool.
+/// thread per client connection, each with its own node-connection pool, plus
+/// a background health prober when the config asks for one.
 ///
 /// # Errors
 ///
@@ -966,11 +1722,14 @@ impl RouterHandle {
 pub fn serve_router(router: Router, addr: SocketAddr) -> io::Result<RouterHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let probe_interval = router.probe_interval;
     let shared = Arc::new(RouterShared {
         router,
         stop: AtomicBool::new(false),
         client_streams: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
+        probe_lock: Mutex::new(()),
+        probe_cv: Condvar::new(),
     });
     let accept_shared = Arc::clone(&shared);
     let accept = thread::Builder::new()
@@ -1000,10 +1759,37 @@ pub fn serve_router(router: Router, addr: SocketAddr) -> io::Result<RouterHandle
                     .push(handle);
             }
         })?;
+    let prober = match probe_interval {
+        Some(interval) => {
+            let probe_shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("router-probe".to_string())
+                    .spawn(move || loop {
+                        let guard = probe_shared.probe_lock.lock().expect("probe lock");
+                        if probe_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let (guard, _) = probe_shared
+                            .probe_cv
+                            .wait_timeout(guard, interval)
+                            .expect("probe wait");
+                        drop(guard);
+                        if probe_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        probe_shared.router.probe_demoted();
+                        probe_shared.router.expire_sessions();
+                    })?,
+            )
+        }
+        None => None,
+    };
     Ok(RouterHandle {
         addr,
         shared,
         accept: Some(accept),
+        prober,
     })
 }
 
@@ -1213,6 +1999,18 @@ mod tests {
         );
         let clamped = Router::new(nodes(2), 5).expect("config");
         assert_eq!(clamped.replicas(), 2);
+        assert_eq!(
+            Router::with_config(RouterConfig::new(nodes(2)).failure_threshold(0)).unwrap_err(),
+            RouterConfigError::ZeroFailureThreshold
+        );
+        let zero_reads = RetryPolicy {
+            read_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            Router::with_config(RouterConfig::new(nodes(2)).retry(zero_reads)).unwrap_err(),
+            RouterConfigError::ZeroReadAttempts
+        );
     }
 
     #[test]
@@ -1234,5 +2032,121 @@ mod tests {
         assert_eq!(stats.nodes[1].transport, "http");
         assert!(!stats.nodes[1].healthy);
         assert_eq!(stats.nodes[1].errors, 1);
+        assert_eq!(stats.nodes[1].demotions, 1);
+        assert_eq!(stats.nodes[1].promotions, 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_stays_in_the_jitter_window() {
+        let policy = RetryPolicy::default();
+        for salt in 0..4u64 {
+            for attempt in 0..8u32 {
+                let pause = policy.backoff(salt, attempt);
+                assert_eq!(pause, policy.backoff(salt, attempt), "deterministic");
+                let exp = (policy.backoff_base.as_nanos() << attempt.min(32))
+                    .min(policy.backoff_cap.as_nanos());
+                let exp = u64::try_from(exp).expect("fits");
+                assert!(
+                    pause.as_nanos() >= u128::from(exp / 2) && pause.as_nanos() <= u128::from(exp),
+                    "attempt {attempt} pause {pause:?} outside [{}, {exp}] ns",
+                    exp / 2
+                );
+            }
+        }
+        // The cap holds even for absurd attempt counts.
+        assert!(policy.backoff(0, 63) <= policy.backoff_cap);
+        // Different salts decorrelate the schedule at least somewhere.
+        assert!((0..16u64).any(|s| policy.backoff(s, 3) != policy.backoff(0, 3)));
+    }
+
+    #[test]
+    fn only_reads_are_idempotent() {
+        use crate::protocol::{Mode, WireQuery};
+        let q = WireQuery {
+            table: "t".into(),
+            column: "c".into(),
+            keys: vec![1],
+            values: vec![1.0],
+        };
+        assert!(is_idempotent(&RequestBody::Info { server: true }));
+        assert!(is_idempotent(&RequestBody::Query {
+            mode: Mode::Joinable,
+            k: 1,
+            min_join_size: 0.0,
+            query: q.clone(),
+        }));
+        assert!(is_idempotent(&RequestBody::BatchQuery {
+            mode: Mode::Joinable,
+            k: 1,
+            min_join_size: 0.0,
+            queries: vec![q],
+        }));
+        assert!(is_idempotent(&RequestBody::ExportColumn {
+            table: "t".into(),
+            column: "c".into(),
+        }));
+        assert!(!is_idempotent(&RequestBody::IngestBegin {
+            table: "t".into()
+        }));
+        assert!(!is_idempotent(&RequestBody::IngestFinish { session: 1 }));
+        assert!(!is_idempotent(&RequestBody::DropColumn {
+            table: "t".into(),
+            column: "c".into(),
+        }));
+        assert!(!is_idempotent(&RequestBody::ImportColumn {
+            sketch: WireSketch {
+                table: "t".into(),
+                column: "c".into(),
+                rows: 1,
+                bytes: vec![0],
+            },
+        }));
+    }
+
+    #[test]
+    fn set_nodes_swaps_topology_with_fresh_health() {
+        let router = Router::new(nodes(2), 2).expect("config");
+        router.record_node_error(0);
+        assert!(!router.cluster_stats().nodes[0].healthy);
+        router.set_nodes(nodes(3)).expect("swap");
+        let stats = router.cluster_stats();
+        assert_eq!(stats.nodes.len(), 3);
+        assert!(stats.nodes.iter().all(|n| n.healthy && n.errors == 0));
+        assert_eq!(router.replicas(), 2);
+        assert_eq!(
+            router.set_nodes(Vec::new()).unwrap_err(),
+            RouterConfigError::NoNodes
+        );
+    }
+
+    #[test]
+    fn rebalance_rejects_empty_node_lists() {
+        let error = rebalance(&[], &nodes(1), 2, &RetryPolicy::default()).unwrap_err();
+        assert_eq!(error.code, ErrorCode::BadRequest);
+        let error = rebalance(&nodes(1), &[], 2, &RetryPolicy::default()).unwrap_err();
+        assert_eq!(error.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn health_state_demotes_on_streaks_and_promotes_once() {
+        let state = NodeState::new();
+        state.record_error(2);
+        assert!(state.healthy.load(Ordering::Relaxed), "below threshold");
+        state.record_error(2);
+        assert!(
+            !state.healthy.load(Ordering::Relaxed),
+            "streak of 2 demotes"
+        );
+        assert_eq!(state.demotions.load(Ordering::Relaxed), 1);
+        state.record_error(2);
+        assert_eq!(state.demotions.load(Ordering::Relaxed), 1, "already down");
+        state.record_ok();
+        assert!(state.healthy.load(Ordering::Relaxed));
+        assert_eq!(state.promotions.load(Ordering::Relaxed), 1);
+        state.record_ok();
+        assert_eq!(state.promotions.load(Ordering::Relaxed), 1, "already up");
+        // The streak reset means one new error does not re-demote at 2.
+        state.record_error(2);
+        assert!(state.healthy.load(Ordering::Relaxed));
     }
 }

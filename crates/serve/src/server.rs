@@ -44,7 +44,7 @@ use crate::http::{self, HttpRequest};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     ErrorCode, InfoColumn, Mode, Request, RequestBody, Response, ResponseBody, WireCompaction,
-    WireError, WireQuery, WireRanked, WireServiceStats,
+    WireError, WireQuery, WireRanked, WireServiceStats, WireSketch,
 };
 use crate::service::{QueryService, ShardedIngestState};
 use crate::wire::Json;
@@ -1309,6 +1309,39 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
             Ok(ResponseBody::Dropped {
                 table: table.clone(),
                 column: column.clone(),
+            })
+        }
+        RequestBody::ExportColumn { table, column } => {
+            let service = shared.service.read();
+            let (rows, bytes) = service
+                .catalog()
+                .export_blob(table, column)
+                .map_err(WireError::from)?;
+            Ok(ResponseBody::Sketch(WireSketch {
+                table: table.clone(),
+                column: column.clone(),
+                rows,
+                bytes,
+            }))
+        }
+        RequestBody::ImportColumn { sketch } => {
+            let registered = shared
+                .service
+                .write()
+                .import_sketched_blob(&sketch.table, &sketch.column, &sketch.bytes)
+                .map_err(WireError::from)?;
+            shared.signal_maintenance();
+            Ok(ResponseBody::Report {
+                registered: if registered {
+                    vec![(sketch.table.clone(), sketch.column.clone())]
+                } else {
+                    Vec::new()
+                },
+                skipped: if registered {
+                    Vec::new()
+                } else {
+                    vec![sketch.column.clone()]
+                },
             })
         }
     }

@@ -367,6 +367,46 @@ impl QueryService {
         Ok(report)
     }
 
+    /// Registers a sketch blob exported by a peer catalog (`export-column` on the
+    /// wire): decodes and validates it, checks it names the expected key, and
+    /// registers it like any other sketched column.  Returns `false` — without
+    /// touching anything — when the key is already registered, so replaying an
+    /// import is a harmless no-op (rebalance retries rely on this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Corrupt`] for undecodable bytes,
+    /// [`CatalogError::Incompatible`] when the blob names a different column than
+    /// the request or was sketched under a different configuration, plus
+    /// filesystem failures.
+    pub fn import_sketched_blob(
+        &mut self,
+        table: &str,
+        column: &str,
+        blob: &[u8],
+    ) -> Result<bool, CatalogError> {
+        let (sketched, _format) =
+            SketchedColumn::from_bytes_versioned(blob).map_err(|e| match e {
+                JoinError::Sketch(s) => CatalogError::Corrupt {
+                    detail: format!("imported blob: {s}"),
+                },
+                other => CatalogError::Join(other),
+            })?;
+        if sketched.table != table || sketched.column != column {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "imported blob names column `{}.{}` but the request says `{table}.{column}`",
+                    sketched.table, sketched.column
+                ),
+            });
+        }
+        match self.register_all_hydrated(vec![sketched]) {
+            Ok(()) => Ok(true),
+            Err(CatalogError::DuplicateColumn { .. }) => Ok(false),
+            Err(other) => Err(other),
+        }
+    }
+
     /// Registers a batch of finished columns into the catalog (one manifest commit)
     /// and the in-memory index.
     fn register_all_hydrated(&mut self, sketched: Vec<SketchedColumn>) -> Result<(), CatalogError> {

@@ -1,0 +1,40 @@
+//! A standalone fault-injection TCP proxy for chaos-testing a cluster by hand:
+//!
+//! ```sh
+//! # terminal 1: a catalog node
+//! cargo run --release --features server -p ipsketch-serve --bin ipsketch -- \
+//!     serve ./lake --addr 127.0.0.1:7878
+//! # terminal 2: a stalling proxy in front of it
+//! cargo run --release --features server --example fault_proxy -- \
+//!     127.0.0.1:7900 127.0.0.1:7878 stall
+//! # terminal 3: a router that only knows the proxy address
+//! cargo run --release --features server -p ipsketch-serve --bin ipsketch -- \
+//!     route --addr 127.0.0.1:8000 --node 127.0.0.1:7900 --read-timeout-ms 500
+//! ```
+//!
+//! Modes (`ipsketch_serve::faults::FaultMode::parse` spellings):
+//! `passthrough`, `stall`, `stall-then-resume:<ms>`, `drop-after:<n>`,
+//! `garbage`, `reset`.  The same proxy backs the in-tree chaos suite
+//! (`crates/serve/tests/chaos_loopback.rs`) and the CI chaos-smoke job; this
+//! binary exposes it for manual experiments and shell-scripted scenarios.
+
+use ipsketch::serve::faults::{FaultMode, FaultProxy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [listen, upstream, mode] = args.as_slice() else {
+        eprintln!("usage: fault_proxy <listen-host:port> <upstream-host:port> <mode>");
+        eprintln!("modes: passthrough | stall | stall-then-resume:<ms> | drop-after:<n> | garbage | reset");
+        std::process::exit(2);
+    };
+    let mode = FaultMode::parse(mode).ok_or_else(|| format!("unknown fault mode `{mode}`"))?;
+    let proxy = FaultProxy::bind(listen.parse()?, upstream.clone(), mode)?;
+    println!(
+        "fault proxy on {} -> {upstream} ({mode:?}); ctrl-c to stop",
+        proxy.addr()
+    );
+    // Serve until killed: the proxy runs on background threads, so park here.
+    loop {
+        std::thread::park();
+    }
+}

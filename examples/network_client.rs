@@ -19,8 +19,16 @@ use ipsketch::serve::csv::load_table;
 use ipsketch::serve::protocol::{Mode, Request, RequestBody, Response, ResponseBody, WireQuery};
 use ipsketch::serve::wire::Json;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
+use std::time::Duration;
+
+/// Default per-request deadline: a stalled or wedged server turns into a typed
+/// I/O timeout instead of hanging the client forever (`docs/PROTOCOL.md`
+/// § Timeouts, retries, and idempotency).  `query` is idempotent, so retrying
+/// after a timeout is always safe.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     };
 
-    let stream = TcpStream::connect(addr)?;
+    let socket_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| format!("`{addr}` does not resolve to an address"))?;
+    let stream = TcpStream::connect_timeout(&socket_addr, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
     let mut line = request.encode();
     line.push('\n');
     (&stream).write_all(line.as_bytes())?;
