@@ -255,6 +255,7 @@ fn build_workload(tag: &str, profile: &Profile) -> Workload {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             query: query.clone(),
         },
     }
@@ -265,6 +266,7 @@ fn build_workload(tag: &str, profile: &Profile) -> Workload {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             queries: first
                 .columns()
                 .iter()
@@ -377,6 +379,7 @@ fn build_routed_workload(profile: &Profile, flaky: bool) -> RoutedWorkload {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             query: WireQuery {
                 table: "loadgen".to_string(),
                 column: first.columns()[0].name.clone(),

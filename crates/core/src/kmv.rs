@@ -54,6 +54,34 @@ impl KmvSketch {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Reinterprets the sketch under a smaller capacity `k' <= k` by keeping only the
+    /// `k'` smallest retained hashes — exactly the sketch a [`KmvSketcher`] with
+    /// `capacity = k'` and the same seed would have produced from the original vector,
+    /// since KMV uses a single hash function and retention is a pure bottom-k
+    /// truncation.  This lets a stored KMV sketch be shrunk into a cheap-tier
+    /// companion without access to the raw column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidParameter`] if `capacity < 2` or `capacity`
+    /// exceeds this sketch's own capacity (a larger sketch cannot be reconstructed
+    /// from a smaller one).
+    pub fn truncated(&self, capacity: usize) -> Result<KmvSketch, SketchError> {
+        if capacity < 2 || capacity > self.capacity {
+            return Err(SketchError::InvalidParameter {
+                name: "capacity",
+                allowed: ">= 2 and <= the source sketch's capacity",
+            });
+        }
+        let mut entries = self.entries.clone();
+        entries.truncate(capacity);
+        Ok(KmvSketch {
+            seed: self.seed,
+            capacity,
+            entries,
+        })
+    }
 }
 
 impl Sketch for KmvSketch {
@@ -325,6 +353,25 @@ mod tests {
         assert_eq!(sk.capacity(), 10);
         assert!(sk.entries().windows(2).all(|w| w[0].hash <= w[1].hash));
         assert!((sk.storage_doubles() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_matches_a_smaller_sketcher_bit_for_bit() {
+        let big = KmvSketcher::new(64, 17).unwrap();
+        let small = KmvSketcher::new(16, 17).unwrap();
+        let v =
+            SparseVector::from_pairs((0..300u64).map(|i| (i * 7, (i % 13) as f64 + 0.5))).unwrap();
+        let shrunk = big.sketch(&v).unwrap().truncated(16).unwrap();
+        assert_eq!(shrunk, small.sketch(&v).unwrap());
+        // Under-filled sketches truncate to themselves reinterpreted.
+        let tiny = SparseVector::from_pairs([(3, 1.0), (9, 2.0)]).unwrap();
+        let shrunk_tiny = big.sketch(&tiny).unwrap().truncated(16).unwrap();
+        assert_eq!(shrunk_tiny, small.sketch(&tiny).unwrap());
+        // Invalid target capacities are typed errors.
+        let sk = big.sketch(&v).unwrap();
+        assert!(sk.truncated(1).is_err());
+        assert!(sk.truncated(65).is_err());
+        assert_eq!(sk.truncated(64).unwrap(), sk);
     }
 
     #[test]

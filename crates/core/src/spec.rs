@@ -275,6 +275,36 @@ impl SketcherSpec {
         self.kind.seed()
     }
 
+    /// The Table-1 sample count `m` backing the `ε = 1/√m` additive error bound when
+    /// this spec serves as a cheap cascade-prefilter companion, or `None` for methods
+    /// not eligible as companions.  Only the two cheap estimators are eligible:
+    /// CountSketch (`m` = total counters, `buckets · repetitions`, covered by the
+    /// linear bound `ε‖a‖‖b‖`) and KMV (`m` = capacity, covered by the sampling bound
+    /// `ε·c²·√(max(|A|,|B|)·|A∩B|)`).  On key-indicator vectors both bounds collapse
+    /// to `ε·√(rows_a · rows_b)`, which is what the cascade margin is sized from.
+    #[must_use]
+    pub fn prefilter_samples(&self) -> Option<usize> {
+        match self.kind {
+            SketcherKind::CountSketch {
+                buckets,
+                repetitions,
+                ..
+            } => Some(buckets.saturating_mul(repetitions)),
+            SketcherKind::Kmv { capacity, .. } => Some(capacity),
+            _ => None,
+        }
+    }
+
+    /// The Table-1 additive error rate `ε = 1/√m` of this spec as a cascade-prefilter
+    /// companion (see [`prefilter_samples`](Self::prefilter_samples)), or `None` when
+    /// the method is not companion-eligible.
+    #[must_use]
+    pub fn prefilter_epsilon(&self) -> Option<f64> {
+        self.prefilter_samples()
+            .filter(|&m| m > 0)
+            .map(|m| 1.0 / (m as f64).sqrt())
+    }
+
     /// Encodes the spec into its stable binary form: the format's version byte, the
     /// method tag, the seed, then the method's parameters, all little-endian fixed
     /// width.  Format-v1 encodings are byte-for-byte what the pre-versioning build
@@ -823,6 +853,32 @@ mod tests {
         assert_ne!(base.fingerprint(), other_size.fingerprint());
         assert_ne!(base.fingerprint(), other_method.fingerprint());
         assert_ne!(base.fingerprint(), other_format.fingerprint());
+    }
+
+    #[test]
+    fn prefilter_samples_cover_the_cheap_methods_only() {
+        let cs = SketcherSpec::v2(SketcherKind::CountSketch {
+            buckets: 256,
+            repetitions: 5,
+            seed: 9,
+        });
+        assert_eq!(cs.prefilter_samples(), Some(1280));
+        let eps = cs.prefilter_epsilon().unwrap();
+        assert!((eps - 1.0 / 1280f64.sqrt()).abs() < 1e-15);
+        let kmv = SketcherSpec::v2(SketcherKind::Kmv {
+            capacity: 64,
+            seed: 9,
+        });
+        assert_eq!(kmv.prefilter_samples(), Some(64));
+        assert!((kmv.prefilter_epsilon().unwrap() - 0.125).abs() < 1e-15);
+        for spec in all_specs() {
+            let eligible = matches!(
+                spec.kind,
+                SketcherKind::CountSketch { .. } | SketcherKind::Kmv { .. }
+            );
+            assert_eq!(spec.prefilter_samples().is_some(), eligible, "{spec}");
+            assert_eq!(spec.prefilter_epsilon().is_some(), eligible, "{spec}");
+        }
     }
 
     #[test]

@@ -43,11 +43,43 @@ pub struct RankedColumn {
 /// method.
 const PARALLEL_BATCH_MIN_PAIRS: usize = 4096;
 
+/// The default confidence multiplier applied to the companion's Table-1 error bound
+/// `ε·√(rows_q·rows_c)` when sizing the cascade pruning margin.  At 10× the bound the
+/// per-pair probability that a true top-k candidate's cheap estimate strays outside
+/// its interval is negligible (the Table-1 experiments measure errors well inside one
+/// bound), so the cascade's answer is the flat scan's answer; smaller multipliers
+/// trade recall for a thinner survivor set and are exercised by the recall
+/// regression tests.
+pub const DEFAULT_CASCADE_CONFIDENCE: f64 = 10.0;
+
+/// Telemetry of one cascade query: how hard the cheap tier pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Candidates scored by the cheap tier (all indexed columns outside the query's
+    /// own table).
+    pub candidates: usize,
+    /// Candidates that survived the prefilter and were reranked by the primary
+    /// estimator.
+    pub survivors: usize,
+}
+
 /// A pre-sketched data lake supporting joinability and relatedness queries.
 #[derive(Debug, Clone)]
 pub struct SketchIndex {
     estimator: JoinEstimator,
-    entries: Vec<(ColumnId, SketchedColumn)>,
+    /// The cheap-tier (companion) estimator, when the index carries one; required by
+    /// the cascade query path and used to sketch companion queries.
+    companion: Option<JoinEstimator>,
+    entries: Vec<IndexEntry>,
+}
+
+/// One indexed column: its identity, primary sketch, and (optionally) the cheap
+/// companion sketch the cascade prefilter scores with.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    id: ColumnId,
+    sketch: SketchedColumn,
+    companion: Option<SketchedColumn>,
 }
 
 impl SketchIndex {
@@ -56,8 +88,23 @@ impl SketchIndex {
     pub fn new(estimator: JoinEstimator) -> Self {
         Self {
             estimator,
+            companion: None,
             entries: Vec::new(),
         }
+    }
+
+    /// Attaches (or detaches) the cheap-tier companion estimator the cascade query
+    /// path prefilters with.  Tables inserted *after* this call are companion-sketched
+    /// automatically; already-indexed entries keep whatever companion they were
+    /// inserted with.
+    pub fn set_companion_estimator(&mut self, companion: Option<JoinEstimator>) {
+        self.companion = companion;
+    }
+
+    /// The cheap-tier companion estimator, if the index carries one.
+    #[must_use]
+    pub fn companion_estimator(&self) -> Option<&JoinEstimator> {
+        self.companion.as_ref()
     }
 
     /// Number of indexed columns.
@@ -74,7 +121,7 @@ impl SketchIndex {
 
     /// The indexed column identifiers, in insertion order.
     pub fn columns(&self) -> impl Iterator<Item = &ColumnId> {
-        self.entries.iter().map(|(id, _)| id)
+        self.entries.iter().map(|entry| &entry.id)
     }
 
     /// The estimator this index sketches and ranks with.
@@ -88,7 +135,7 @@ impl SketchIndex {
     pub fn contains(&self, table: &str, column: &str) -> bool {
         self.entries
             .iter()
-            .any(|(id, _)| id.table == table && id.column == column)
+            .any(|entry| entry.id.table == table && entry.id.column == column)
     }
 
     /// Inserts an already-sketched column — the hydration path a persistent catalog
@@ -103,6 +150,23 @@ impl SketchIndex {
     /// Returns [`JoinError::Sketch`] if the column is already present, so hydration
     /// never silently double-counts a candidate.
     pub fn insert_sketched(&mut self, sketched: SketchedColumn) -> Result<(), JoinError> {
+        self.insert_sketched_with_companion(sketched, None)
+    }
+
+    /// Inserts an already-sketched column together with its (optional) cheap
+    /// companion sketch — the hydration path of a companion-carrying catalog.
+    /// Entries without a companion are never pruned by the cascade prefilter: they
+    /// survive unconditionally to the primary rerank, so a partially-backfilled
+    /// catalog stays exactly as correct as the flat scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the column is already present.
+    pub fn insert_sketched_with_companion(
+        &mut self,
+        sketched: SketchedColumn,
+        companion: Option<SketchedColumn>,
+    ) -> Result<(), JoinError> {
         if self.contains(&sketched.table, &sketched.column) {
             return Err(JoinError::Sketch(
                 ipsketch_core::SketchError::IncompatibleSketches {
@@ -113,13 +177,14 @@ impl SketchIndex {
                 },
             ));
         }
-        self.entries.push((
-            ColumnId {
+        self.entries.push(IndexEntry {
+            id: ColumnId {
                 table: sketched.table.clone(),
                 column: sketched.column.clone(),
             },
-            sketched,
-        ));
+            sketch: sketched,
+            companion,
+        });
         Ok(())
     }
 
@@ -136,13 +201,20 @@ impl SketchIndex {
         let mut skipped = Vec::new();
         for column in table.columns() {
             match self.estimator.sketch_column(table, &column.name) {
-                Ok(sketched) => self.entries.push((
-                    ColumnId {
-                        table: table.name().to_string(),
-                        column: column.name.clone(),
-                    },
-                    sketched,
-                )),
+                Ok(sketched) => {
+                    let companion = match &self.companion {
+                        Some(est) => Some(est.sketch_column(table, &column.name)?),
+                        None => None,
+                    };
+                    self.entries.push(IndexEntry {
+                        id: ColumnId {
+                            table: table.name().to_string(),
+                            column: column.name.clone(),
+                        },
+                        sketch: sketched,
+                        companion,
+                    });
+                }
                 Err(JoinError::EmptyColumn { .. }) => skipped.push(column.name.clone()),
                 Err(other) => return Err(other),
             }
@@ -173,13 +245,22 @@ impl SketchIndex {
                 .estimator
                 .sketch_column_partitioned(table, &column.name, partitions)
             {
-                Ok(sketched) => self.entries.push((
-                    ColumnId {
-                        table: table.name().to_string(),
-                        column: column.name.clone(),
-                    },
-                    sketched,
-                )),
+                Ok(sketched) => {
+                    let companion = match &self.companion {
+                        Some(est) => {
+                            Some(est.sketch_column_partitioned(table, &column.name, partitions)?)
+                        }
+                        None => None,
+                    };
+                    self.entries.push(IndexEntry {
+                        id: ColumnId {
+                            table: table.name().to_string(),
+                            column: column.name.clone(),
+                        },
+                        sketch: sketched,
+                        companion,
+                    });
+                }
                 Err(JoinError::EmptyColumn { .. }) => skipped.push(column.name.clone()),
                 Err(other) => return Err(other),
             }
@@ -223,12 +304,12 @@ impl SketchIndex {
         let position = self
             .entries
             .iter()
-            .position(|(id, _)| id.table == table && id.column == column)
+            .position(|entry| entry.id.table == table && entry.id.column == column)
             .ok_or_else(|| JoinError::NotIndexed {
                 table: table.to_string(),
                 column: column.to_string(),
             })?;
-        Ok(self.entries.remove(position).1)
+        Ok(self.entries.remove(position).sketch)
     }
 
     /// Looks up the stored sketch of an indexed column.
@@ -239,12 +320,22 @@ impl SketchIndex {
     pub fn get(&self, table: &str, column: &str) -> Result<&SketchedColumn, JoinError> {
         self.entries
             .iter()
-            .find(|(id, _)| id.table == table && id.column == column)
-            .map(|(_, sketch)| sketch)
+            .find(|entry| entry.id.table == table && entry.id.column == column)
+            .map(|entry| &entry.sketch)
             .ok_or_else(|| JoinError::NotIndexed {
                 table: table.to_string(),
                 column: column.to_string(),
             })
+    }
+
+    /// Looks up the stored cheap companion sketch of an indexed column, if the entry
+    /// carries one.
+    #[must_use]
+    pub fn get_companion(&self, table: &str, column: &str) -> Option<&SketchedColumn> {
+        self.entries
+            .iter()
+            .find(|entry| entry.id.table == table && entry.id.column == column)
+            .and_then(|entry| entry.companion.as_ref())
     }
 
     /// Ranks all indexed columns (excluding those from the query's own table) by
@@ -259,6 +350,176 @@ impl SketchIndex {
         k: usize,
     ) -> Result<Vec<RankedColumn>, JoinError> {
         self.rank(query, k, |r| r.estimated_join_size)
+    }
+
+    /// Sketches a query column with the companion (cheap-tier) configuration, or
+    /// `None` when the index has no companion estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing or cannot be sketched.
+    pub fn sketch_companion_query(
+        &self,
+        table: &Table,
+        column: &str,
+    ) -> Result<Option<SketchedColumn>, JoinError> {
+        match &self.companion {
+            Some(est) => Ok(Some(est.sketch_column(table, column)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The two-tier joinability query: the cheap companion tier scores every
+    /// candidate, an interval prefilter sized from the Table-1 bound keeps the
+    /// candidates whose cheap score could still reach the top `k`, and the primary
+    /// estimator reranks the survivors.
+    ///
+    /// Per candidate `c` the cheap score `s_c` is bracketed by the additive margin
+    /// `b_c = confidence · ε · √(rows_q · rows_c)` (with `ε = 1/√m` from the
+    /// companion's [`SketcherSpec::prefilter_epsilon`](ipsketch_core::SketcherSpec::prefilter_epsilon));
+    /// the pruning threshold `τ` is the `k`-th largest lower bound `s_c − b_c`, and a
+    /// candidate survives iff `s_c + b_c ≥ τ`.  Whenever every cheap estimate is
+    /// within its margin of the true score — which `confidence` is sized to make
+    /// overwhelmingly likely — at least `k` candidates with true score above any
+    /// pruned candidate survive, so the returned ranking is exactly (bit for bit,
+    /// including the deterministic `(score, table, column)` tie-break) the flat
+    /// scan's top `k`.  Entries without a stored companion sketch are never pruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Sketch`] if the index has no companion estimator, the
+    /// companion method is not prefilter-eligible, or a sketch is incompatible.
+    pub fn top_k_joinable_cascade(
+        &self,
+        query: &SketchedColumn,
+        companion_query: &SketchedColumn,
+        k: usize,
+        confidence: f64,
+    ) -> Result<(Vec<RankedColumn>, CascadeStats), JoinError> {
+        let incompatible = |detail: String| {
+            JoinError::Sketch(ipsketch_core::SketchError::IncompatibleSketches { detail })
+        };
+        let companion = self.companion.as_ref().ok_or_else(|| {
+            incompatible("this index has no companion (cheap-tier) estimator".to_string())
+        })?;
+        let epsilon = companion
+            .sketcher()
+            .spec()
+            .prefilter_epsilon()
+            .ok_or_else(|| {
+                incompatible(format!(
+                    "companion method {} is not prefilter-eligible",
+                    companion.sketcher().method().label()
+                ))
+            })?;
+
+        // Cheap tier: score every candidate outside the query's own table and bracket
+        // the true score with the bound-sized interval.  A non-finite cheap score (a
+        // corrupt companion) falls back to "never pruned" — the primary rerank then
+        // surfaces the same typed error the flat scan would.
+        let candidates: Vec<&IndexEntry> = self
+            .entries
+            .iter()
+            .filter(|entry| entry.id.table != query.table)
+            .collect();
+        let mut intervals: Vec<Option<(f64, f64)>> = Vec::with_capacity(candidates.len());
+        for entry in &candidates {
+            let interval = match &entry.companion {
+                None => None,
+                Some(comp) => {
+                    let score = companion.estimate_join_size(companion_query, comp)?;
+                    if score.is_finite() {
+                        let margin = confidence
+                            * epsilon
+                            * ((query.rows as f64) * (entry.sketch.rows as f64)).sqrt();
+                        Some((score - margin, score + margin))
+                    } else {
+                        None
+                    }
+                }
+            };
+            intervals.push(interval);
+        }
+
+        // τ = k-th largest cheap lower bound.  With fewer than k bracketed candidates
+        // no threshold exists and everyone survives (the cascade degenerates to the
+        // flat scan plus one cheap pass).
+        let mut lowers: Vec<f64> = intervals
+            .iter()
+            .filter_map(|i| i.map(|(lower, _)| lower))
+            .collect();
+        let threshold = if k > 0 && lowers.len() >= k {
+            lowers.sort_by(|a, b| b.total_cmp(a));
+            Some(lowers[k - 1])
+        } else {
+            None
+        };
+
+        // Primary rerank of the survivors — identical scoring, identical total order,
+        // identical non-finite handling to the flat scan.
+        let mut results = Vec::new();
+        let mut survivors = 0usize;
+        for (entry, interval) in candidates.iter().zip(&intervals) {
+            let survives = match (threshold, interval) {
+                (Some(tau), Some((_, upper))) => *upper >= tau,
+                _ => true,
+            };
+            if !survives {
+                continue;
+            }
+            survivors += 1;
+            let stats = self.estimator.estimate(query, &entry.sketch)?;
+            let ranked = RankedColumn {
+                id: entry.id.clone(),
+                score: stats.join_size,
+                estimated_join_size: stats.join_size,
+                estimated_correlation: stats.correlation,
+            };
+            if !ranked.score.is_finite() {
+                return Err(JoinError::NonFiniteScore {
+                    table: entry.id.table.clone(),
+                    column: entry.id.column.clone(),
+                });
+            }
+            results.push(ranked);
+        }
+        results.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.id.table.cmp(&b.id.table))
+                .then_with(|| a.id.column.cmp(&b.id.column))
+        });
+        results.truncate(k);
+        Ok((
+            results,
+            CascadeStats {
+                candidates: candidates.len(),
+                survivors,
+            },
+        ))
+    }
+
+    /// Answers a batch of cascade joinability queries (each a primary + companion
+    /// query-sketch pair) with the same parallel scheduling as
+    /// [`top_k_joinable_batch`](Self::top_k_joinable_batch); result `i` is exactly
+    /// [`top_k_joinable_cascade`](Self::top_k_joinable_cascade) for query `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) per-query error; batches are
+    /// all-or-nothing.
+    pub fn top_k_joinable_cascade_batch(
+        &self,
+        queries: &[(SketchedColumn, SketchedColumn)],
+        k: usize,
+        confidence: f64,
+    ) -> Result<Vec<Vec<RankedColumn>>, JoinError> {
+        parallel_map(queries, self.batch_threads(queries.len()), |(q, cq)| {
+            self.top_k_joinable_cascade(q, cq, k, confidence)
+                .map(|(results, _)| results)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Ranks all indexed columns (excluding those from the query's own table) by the
@@ -354,13 +615,13 @@ impl SketchIndex {
         F: Fn(&RankedColumn) -> f64,
     {
         let mut results = Vec::new();
-        for (id, candidate) in &self.entries {
-            if id.table == query.table {
+        for entry in &self.entries {
+            if entry.id.table == query.table {
                 continue;
             }
-            let stats = self.estimator.estimate(query, candidate)?;
+            let stats = self.estimator.estimate(query, &entry.sketch)?;
             let mut ranked = RankedColumn {
-                id: id.clone(),
+                id: entry.id.clone(),
                 score: 0.0,
                 estimated_join_size: stats.join_size,
                 estimated_correlation: stats.correlation,
@@ -371,8 +632,8 @@ impl SketchIndex {
             // fail with a typed error naming the culprit instead of panicking mid-sort.
             if !ranked.score.is_finite() {
                 return Err(JoinError::NonFiniteScore {
-                    table: id.table.clone(),
-                    column: id.column.clone(),
+                    table: entry.id.table.clone(),
+                    column: entry.id.column.clone(),
                 });
             }
             results.push(ranked);
@@ -779,6 +1040,200 @@ mod tests {
         assert_eq!(ranked.len(), 3);
         // Scores are sorted descending.
         assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        Ok(())
+    }
+
+    /// A CountSketch cheap-tier estimator for cascade tests.
+    fn cs_companion(seed: u64) -> JoinEstimator {
+        JoinEstimator::new(
+            AnySketcher::for_budget(SketchMethod::CountSketch, 300.0, seed)
+                .expect("valid CS budget"),
+        )
+    }
+
+    #[test]
+    fn cascade_matches_flat_scan_bit_for_bit() -> Result<(), JoinError> {
+        let lake = DataLakeConfig {
+            tables: 8,
+            columns_per_table: 3,
+            min_rows: 100,
+            max_rows: 300,
+            key_universe: 1_000,
+        }
+        .generate(11)?;
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 5)?);
+        index.set_companion_estimator(Some(cs_companion(5)));
+        for table in lake.tables() {
+            index.insert_table(table)?;
+        }
+        for table in lake.tables() {
+            for column in table.columns() {
+                let q = index.sketch_query(table, &column.name)?;
+                let cq = index
+                    .sketch_companion_query(table, &column.name)?
+                    .expect("companion estimator attached");
+                for k in [1, 3, 7] {
+                    let flat = index.top_k_joinable(&q, k)?;
+                    let (cascade, stats) =
+                        index.top_k_joinable_cascade(&q, &cq, k, DEFAULT_CASCADE_CONFIDENCE)?;
+                    assert_eq!(
+                        cascade,
+                        flat,
+                        "cascade diverged for {}.{column:?}",
+                        table.name()
+                    );
+                    // Bit-stability, not just PartialEq: scores must be identical f64s.
+                    for (a, b) in cascade.iter().zip(&flat) {
+                        assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                    assert!(stats.survivors <= stats.candidates);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn cascade_batch_matches_per_query_cascade() -> Result<(), JoinError> {
+        let (query, good, bad) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 3)?);
+        index.set_companion_estimator(Some(cs_companion(3)));
+        index.insert_table(&good)?;
+        index.insert_table(&bad)?;
+        let q = index.sketch_query(&query, "rides")?;
+        let cq = index.sketch_companion_query(&query, "rides")?.unwrap();
+        let (single, _) = index.top_k_joinable_cascade(&q, &cq, 3, DEFAULT_CASCADE_CONFIDENCE)?;
+        let batch = index.top_k_joinable_cascade_batch(
+            &[(q.clone(), cq.clone()), (q, cq)],
+            3,
+            DEFAULT_CASCADE_CONFIDENCE,
+        )?;
+        assert_eq!(batch, vec![single.clone(), single]);
+        Ok(())
+    }
+
+    #[test]
+    fn cascade_preserves_the_tie_break() -> Result<(), JoinError> {
+        // Same planted byte-identical tables as `ranking_is_invariant_under_insertion_order`:
+        // the cascade must break their exactly-equal scores on (table, column) too.
+        let (query, good, bad) = scenario();
+        let tied: Vec<Table> = ["tie_c", "tie_a", "tie_d", "tie_b"]
+            .iter()
+            .map(|name| {
+                Table::new(
+                    *name,
+                    (200..700).collect(),
+                    vec![Column::new(
+                        "v",
+                        (200..700).map(|i| f64::from(i) * 0.5 + 1.0).collect(),
+                    )],
+                )
+                .expect("unique keys")
+            })
+            .collect();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 7)?);
+        index.set_companion_estimator(Some(cs_companion(7)));
+        index.insert_table(&good)?;
+        index.insert_table(&bad)?;
+        for table in &tied {
+            index.insert_table(table)?;
+        }
+        let q = index.sketch_query(&query, "rides")?;
+        let cq = index.sketch_companion_query(&query, "rides")?.unwrap();
+        let (cascade, _) = index.top_k_joinable_cascade(&q, &cq, 10, DEFAULT_CASCADE_CONFIDENCE)?;
+        let flat = index.top_k_joinable(&q, 10)?;
+        assert_eq!(cascade, flat);
+        let tie_names: Vec<&str> = cascade
+            .iter()
+            .filter(|r| r.id.table.starts_with("tie_"))
+            .map(|r| r.id.table.as_str())
+            .collect();
+        assert_eq!(tie_names, vec!["tie_a", "tie_b", "tie_c", "tie_d"]);
+        Ok(())
+    }
+
+    #[test]
+    fn companionless_entries_survive_the_prefilter_unconditionally() -> Result<(), JoinError> {
+        // A partially-backfilled index (some entries carry no companion) must still
+        // answer exactly like the flat scan: no-companion entries bypass pruning.
+        let (query, good, bad) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 3)?);
+        index.set_companion_estimator(Some(cs_companion(3)));
+        index.insert_table(&good)?;
+        // `bad` is hydrated without a companion, as from a v1 catalog entry.
+        let bare = JoinEstimator::weighted_minhash(300.0, 3)?;
+        for column in bad.columns() {
+            index.insert_sketched(bare.sketch_column(&bad, &column.name)?)?;
+        }
+        let q = index.sketch_query(&query, "rides")?;
+        let cq = index.sketch_companion_query(&query, "rides")?.unwrap();
+        // Even with a zero-width margin (confidence 0) the companionless entries are
+        // scored by the primary tier.
+        let (cascade, stats) = index.top_k_joinable_cascade(&q, &cq, 10, 0.0)?;
+        let flat = index.top_k_joinable(&q, 10)?;
+        assert_eq!(
+            cascade.iter().map(|r| r.id.clone()).collect::<Vec<_>>(),
+            flat.iter().map(|r| r.id.clone()).collect::<Vec<_>>()
+        );
+        assert!(
+            cascade.iter().any(|r| r.id.table == "bad"),
+            "companionless candidates must appear in the ranking"
+        );
+        assert_eq!(stats.candidates, index.len());
+        Ok(())
+    }
+
+    #[test]
+    fn tight_margins_prune_and_loose_margins_do_not() -> Result<(), JoinError> {
+        let lake = DataLakeConfig {
+            tables: 10,
+            columns_per_table: 2,
+            min_rows: 100,
+            max_rows: 300,
+            key_universe: 1_000,
+        }
+        .generate(23)?;
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(200.0, 9)?);
+        index.set_companion_estimator(Some(cs_companion(9)));
+        for table in lake.tables() {
+            index.insert_table(table)?;
+        }
+        let query_table = &lake.tables()[0];
+        let name = &query_table.columns()[0].name;
+        let q = index.sketch_query(query_table, name)?;
+        let cq = index.sketch_companion_query(query_table, name)?.unwrap();
+        // Zero-width margins keep only the cheap tier's own top-k (plus exact ties).
+        let (_, tight) = index.top_k_joinable_cascade(&q, &cq, 1, 0.0)?;
+        assert!(
+            tight.survivors < tight.candidates,
+            "a zero-width margin must prune: {tight:?}"
+        );
+        // An absurdly wide margin keeps everyone.
+        let (wide_ranked, wide) = index.top_k_joinable_cascade(&q, &cq, 1, 1e12)?;
+        assert_eq!(wide.survivors, wide.candidates);
+        assert_eq!(wide_ranked, index.top_k_joinable(&q, 1)?);
+        Ok(())
+    }
+
+    #[test]
+    fn cascade_without_a_companion_estimator_is_a_typed_error() -> Result<(), JoinError> {
+        let (query, good, _) = scenario();
+        let mut index = SketchIndex::new(JoinEstimator::weighted_minhash(300.0, 3)?);
+        index.insert_table(&good)?;
+        let q = index.sketch_query(&query, "rides")?;
+        assert!(index.sketch_companion_query(&query, "rides")?.is_none());
+        let err = index
+            .top_k_joinable_cascade(&q, &q, 5, DEFAULT_CASCADE_CONFIDENCE)
+            .expect_err("no companion tier");
+        assert!(matches!(err, JoinError::Sketch(_)), "unexpected: {err:?}");
+
+        // A companion method without a Table-1 prefilter bound (WMH) is also rejected.
+        index.set_companion_estimator(Some(JoinEstimator::weighted_minhash(100.0, 3)?));
+        let cq = index.sketch_companion_query(&query, "rides")?.unwrap();
+        let err = index
+            .top_k_joinable_cascade(&q, &cq, 5, DEFAULT_CASCADE_CONFIDENCE)
+            .expect_err("WMH is not prefilter-eligible");
+        assert!(matches!(err, JoinError::Sketch(_)), "unexpected: {err:?}");
         Ok(())
     }
 }

@@ -26,5 +26,5 @@ pub mod vectorize;
 pub use error::JoinError;
 pub use estimate::{ColumnNormPartials, JoinEstimator, SketchedColumn};
 pub use exact::{exact_join_statistics, JoinStatistics};
-pub use index::{ColumnId, RankedColumn, SketchIndex};
+pub use index::{CascadeStats, ColumnId, RankedColumn, SketchIndex, DEFAULT_CASCADE_CONFIDENCE};
 pub use vectorize::ColumnVectors;

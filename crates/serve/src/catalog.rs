@@ -19,8 +19,8 @@
 //! a previously valid catalog.
 
 use crate::error::{corrupt, io_error, CatalogError};
-use crate::manifest::{fnv64, Manifest, ManifestEntry};
-use ipsketch_core::{FormatVersion, SketcherSpec};
+use crate::manifest::{fnv64, CompanionRef, Manifest, ManifestEntry};
+use ipsketch_core::{FormatVersion, SketcherKind, SketcherSpec};
 use ipsketch_join::SketchedColumn;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,6 +48,42 @@ impl Catalog {
     /// (new catalogs are always written in the current format — v1 exists only so
     /// old catalogs keep loading), and [`CatalogError::Io`] for filesystem failures.
     pub fn init(root: impl Into<PathBuf>, spec: SketcherSpec) -> Result<Self, CatalogError> {
+        Self::init_with_companion(root, spec, None)
+    }
+
+    /// [`init`](Self::init), optionally declaring a companion (cheap-tier) sketcher
+    /// configuration: every subsequently registered column may carry a companion
+    /// sketch built by it, which the query cascade's prefilter scores.
+    ///
+    /// # Errors
+    ///
+    /// As for [`init`](Self::init), plus [`CatalogError::Incompatible`] if the
+    /// companion spec's format disagrees with the primary's or its method has no
+    /// Table-1 prefilter bound (only CountSketch and KMV qualify).
+    pub fn init_with_companion(
+        root: impl Into<PathBuf>,
+        spec: SketcherSpec,
+        companion_spec: Option<SketcherSpec>,
+    ) -> Result<Self, CatalogError> {
+        if let Some(companion) = &companion_spec {
+            if companion.format != spec.format {
+                return Err(CatalogError::Incompatible {
+                    detail: format!(
+                        "companion spec format {} disagrees with catalog format {}",
+                        companion.format.label(),
+                        spec.format.label()
+                    ),
+                });
+            }
+            if companion.prefilter_epsilon().is_none() {
+                return Err(CatalogError::Incompatible {
+                    detail: format!(
+                        "companion sketcher `{companion}` is not prefilter-eligible \
+                         (use a CountSketch or KMV configuration)"
+                    ),
+                });
+            }
+        }
         if spec.format < FormatVersion::CURRENT {
             return Err(CatalogError::Incompatible {
                 detail: format!(
@@ -66,12 +102,29 @@ impl Catalog {
             });
         }
         fs::create_dir_all(root.join(SKETCH_DIR)).map_err(|e| io_error(&root, &e))?;
-        let catalog = Self {
-            root,
-            manifest: Manifest::new(spec),
-        };
+        let mut manifest = Manifest::new(spec);
+        manifest.companion_spec = companion_spec;
+        let catalog = Self { root, manifest };
         catalog.write_manifest()?;
         Ok(catalog)
+    }
+
+    /// The default companion (cheap-tier) configuration for a catalog whose primary
+    /// sketcher is `spec`: a CountSketch sized well below the primary's cost (its
+    /// per-pair estimate is one counter-array product instead of the primary's six
+    /// sampler products) whose Table-1 bound `ε = 1/√(buckets·repetitions)` sizes
+    /// the cascade pruning margin.  Shares the primary's seed so a catalog's whole
+    /// configuration stays one number.
+    #[must_use]
+    pub fn default_companion_spec(spec: SketcherSpec) -> SketcherSpec {
+        SketcherSpec::new(
+            spec.format,
+            SketcherKind::CountSketch {
+                buckets: 256,
+                repetitions: 5,
+                seed: spec.seed(),
+            },
+        )
     }
 
     /// Opens an existing catalog, decoding and validating its manifest.  Blobs are not
@@ -114,6 +167,13 @@ impl Catalog {
     #[must_use]
     pub fn spec(&self) -> SketcherSpec {
         self.manifest.spec
+    }
+
+    /// The companion (cheap-tier) sketcher configuration, when this catalog stores
+    /// companion sketches for the query cascade.
+    #[must_use]
+    pub fn companion_spec(&self) -> Option<SketcherSpec> {
+        self.manifest.companion_spec
     }
 
     /// The catalog's on-disk format version.  [`FormatVersion::V1`] catalogs are
@@ -174,6 +234,44 @@ impl Catalog {
     /// committed (blob files already written by the failing batch are orphaned until
     /// the same slots are reused, but are never referenced by the manifest).
     pub fn register_all(&mut self, columns: &[SketchedColumn]) -> Result<(), CatalogError> {
+        self.register_batch(columns, None)
+    }
+
+    /// [`register_all`](Self::register_all) with one optional companion (cheap-tier)
+    /// sketch per column, stored alongside the primary blob and later served to the
+    /// query cascade's prefilter.  `companions` must be the same length as `columns`;
+    /// a `None` slot registers the column companion-less (it is then never pruned by
+    /// the cascade).
+    ///
+    /// # Errors
+    ///
+    /// As for [`register_all`](Self::register_all), plus
+    /// [`CatalogError::Incompatible`] if a companion is supplied but the catalog
+    /// declares no companion spec, a companion was not built by that spec, or a
+    /// companion's identity/row count disagrees with its primary.
+    pub fn register_all_with_companions(
+        &mut self,
+        columns: &[SketchedColumn],
+        companions: &[Option<SketchedColumn>],
+    ) -> Result<(), CatalogError> {
+        if columns.len() != companions.len() {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "{} columns but {} companion slots",
+                    columns.len(),
+                    companions.len()
+                ),
+            });
+        }
+        self.register_batch(columns, Some(companions))
+    }
+
+    /// Shared implementation of the registration paths.
+    fn register_batch(
+        &mut self,
+        columns: &[SketchedColumn],
+        companions: Option<&[Option<SketchedColumn>]>,
+    ) -> Result<(), CatalogError> {
         self.check_writable()?;
         for (i, column) in columns.iter().enumerate() {
             let in_batch_dup = columns[..i]
@@ -186,6 +284,9 @@ impl Catalog {
                 });
             }
             self.validate_column(column)?;
+            if let Some(Some(companion)) = companions.map(|c| &c[i]) {
+                self.validate_companion(column, companion)?;
+            }
         }
         if columns.is_empty() {
             return Ok(());
@@ -199,6 +300,22 @@ impl Catalog {
             let blob = column.encode(self.manifest.format());
             let blob_path = self.root.join(SKETCH_DIR).join(&file);
             write_atomic(&blob_path, &blob)?;
+            let companion = match companions.map(|c| &c[offset]) {
+                Some(Some(companion)) => {
+                    let companion_file = format!("{:06}.cmp", base + offset);
+                    let companion_blob = companion.encode(self.manifest.format());
+                    write_atomic(
+                        &self.root.join(SKETCH_DIR).join(&companion_file),
+                        &companion_blob,
+                    )?;
+                    Some(CompanionRef {
+                        file: companion_file,
+                        blob_len: companion_blob.len() as u64,
+                        checksum: fnv64(&companion_blob),
+                    })
+                }
+                _ => None,
+            };
             new_entries.push(ManifestEntry {
                 table: column.table.clone(),
                 column: column.column.clone(),
@@ -207,6 +324,7 @@ impl Catalog {
                 blob_len: blob.len() as u64,
                 checksum: fnv64(&blob),
                 dropped: false,
+                companion,
             });
         }
         self.manifest.entries.extend(new_entries);
@@ -315,6 +433,85 @@ impl Catalog {
         Ok((entry.rows, blob))
     }
 
+    /// Loads a registered column's companion (cheap-tier) sketch, with the same
+    /// verification chain as [`load`](Self::load) but against the companion spec.
+    /// Returns `Ok(None)` when the entry stores no companion — the caller's cascade
+    /// then treats the column as unprunable rather than failing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::NotFound`] for unknown keys; otherwise as for
+    /// [`load`](Self::load).
+    pub fn load_companion(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<Option<SketchedColumn>, CatalogError> {
+        let entry = self
+            .manifest
+            .find(table, column)
+            .ok_or_else(|| CatalogError::NotFound {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        self.load_companion_entry(entry)
+    }
+
+    /// Loads the companion sketch described by a manifest entry, or `None` if the
+    /// entry carries no companion (see [`load_companion`](Self::load_companion)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`load_companion`](Self::load_companion), minus the key lookup.
+    pub fn load_companion_entry(
+        &self,
+        entry: &ManifestEntry,
+    ) -> Result<Option<SketchedColumn>, CatalogError> {
+        let Some(companion_ref) = &entry.companion else {
+            return Ok(None);
+        };
+        let path = self.root.join(SKETCH_DIR).join(&companion_ref.file);
+        let blob = fs::read(&path).map_err(|e| io_error(&path, &e))?;
+        if blob.len() as u64 != companion_ref.blob_len {
+            return Err(corrupt(format!(
+                "companion blob `{}` is {} bytes, manifest records {}",
+                companion_ref.file,
+                blob.len(),
+                companion_ref.blob_len
+            )));
+        }
+        if fnv64(&blob) != companion_ref.checksum {
+            return Err(corrupt(format!(
+                "companion blob `{}` fails its checksum (truncated or bit-rotted)",
+                companion_ref.file
+            )));
+        }
+        let (companion, blob_format) =
+            SketchedColumn::from_bytes_versioned(&blob).map_err(|e| match e {
+                ipsketch_join::JoinError::Sketch(s) => {
+                    corrupt(format!("companion blob `{}`: {s}", companion_ref.file))
+                }
+                other => CatalogError::Join(other),
+            })?;
+        if blob_format != self.manifest.format() {
+            return Err(corrupt(format!(
+                "companion blob `{}` is format {}, catalog is format {}",
+                companion_ref.file,
+                blob_format.label(),
+                self.manifest.format().label()
+            )));
+        }
+        if companion.table != entry.table || companion.column != entry.column {
+            return Err(corrupt(format!(
+                "companion blob `{}` names column `{}.{}`, manifest records `{}.{}`",
+                companion_ref.file, companion.table, companion.column, entry.table, entry.column
+            )));
+        }
+        let primary = self.load_entry(entry)?;
+        self.validate_companion(&primary, &companion)?;
+        Ok(Some(companion))
+    }
+
     /// Validates all three sketches of a column against the catalog spec.
     fn validate_column(&self, column: &SketchedColumn) -> Result<(), CatalogError> {
         for sketch in [
@@ -327,6 +524,55 @@ impl Catalog {
                 .validate_sketch(sketch)
                 .map_err(|e| CatalogError::Incompatible {
                     detail: format!("column `{}.{}`: {e}", column.table, column.column),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Validates a companion sketch against the catalog's companion spec and its
+    /// primary column's identity.
+    fn validate_companion(
+        &self,
+        primary: &SketchedColumn,
+        companion: &SketchedColumn,
+    ) -> Result<(), CatalogError> {
+        let Some(spec) = &self.manifest.companion_spec else {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "companion sketch supplied for `{}.{}` but this catalog declares \
+                     no companion spec",
+                    primary.table, primary.column
+                ),
+            });
+        };
+        if companion.table != primary.table
+            || companion.column != primary.column
+            || companion.rows != primary.rows
+        {
+            return Err(CatalogError::Incompatible {
+                detail: format!(
+                    "companion sketch identifies `{}.{}` ({} rows), primary is \
+                     `{}.{}` ({} rows)",
+                    companion.table,
+                    companion.column,
+                    companion.rows,
+                    primary.table,
+                    primary.column,
+                    primary.rows
+                ),
+            });
+        }
+        for sketch in [
+            companion.key_indicator(),
+            companion.values(),
+            companion.squared_values(),
+        ] {
+            spec.validate_sketch(sketch)
+                .map_err(|e| CatalogError::Incompatible {
+                    detail: format!(
+                        "companion for `{}.{}`: {e}",
+                        companion.table, companion.column
+                    ),
                 })?;
         }
         Ok(())
@@ -424,7 +670,10 @@ impl Catalog {
             .manifest
             .entries
             .iter()
-            .map(|e| e.file.as_str())
+            .flat_map(|e| {
+                std::iter::once(e.file.as_str())
+                    .chain(e.companion.as_ref().map(|c| c.file.as_str()))
+            })
             .collect();
         let mut removed = Vec::new();
         for entry in fs::read_dir(&dir).map_err(|e| io_error(&dir, &e))? {

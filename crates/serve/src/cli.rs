@@ -4,12 +4,14 @@
 //!
 //! ```text
 //! ipsketch catalog init <dir> --method wmh --budget 400 [--seed 7] [--wmh-l 16777216]
+//!                             [--no-companion]
 //! ipsketch catalog compact <dir>
 //! ipsketch catalog migrate <dir> <dest-dir>
 //! ipsketch ingest <dir> <csv> [--table <name>] [--partitions <n>]
 //! ipsketch ingest-partial <dir> <csv> --shards <n> [--table <name>]
 //! ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
 //!                            [--relatedness] [--min-join-size <x>]
+//!                            [--cascade | --no-cascade]
 //! ipsketch info <dir>
 //! ```
 //!
@@ -87,13 +89,14 @@ pub fn usage() -> String {
 
 USAGE:
   ipsketch catalog init <dir> --method <jl|cs|mh|kmv|wmh|simhash|icws> --budget <doubles>
-                       [--seed <n>] [--wmh-l <L>]
+                       [--seed <n>] [--wmh-l <L>] [--no-companion]
   ipsketch catalog compact <dir>
   ipsketch catalog migrate <dir> <dest-dir>
   ipsketch ingest <dir> <csv> [--table <name>] [--partitions <n>]
   ipsketch ingest-partial <dir> <csv> --shards <n> [--table <name>]
   ipsketch query <dir> <csv> --column <name> [--table <name>] [--top <k>]
                        [--relatedness] [--min-join-size <x>]
+                       [--cascade | --no-cascade]
   ipsketch info <dir>
   ipsketch serve <dir> [--addr <host:port>] [--http <host:port>] [--workers <n>]
                        [--max-connections <n>] [--queue-depth <n>]
@@ -114,7 +117,11 @@ CSV files carry a header `key,<col>,…`: a u64 join key, then f64 value columns
 `ingest-partial` splits the rows into shards and runs the two-pass announced-norm
 protocol, folding per-shard partial sketches exactly as a distributed deployment
 would.  `query` ranks every cataloged column against the query column by estimated
-join size (default) or |post-join correlation| (--relatedness).  `serve` puts the
+join size (default) or |post-join correlation| (--relatedness); `--cascade` answers
+joinability through the tiered cascade (cheap-sketch prefilter, then the primary
+rerank — same ranking, fewer full estimates) when the catalog stores companion
+sketches, falling back to the flat scan with a printed note when it does not.
+`serve` puts the
 catalog behind the concurrent network front end — line-delimited JSON over TCP
 (--addr) and/or the HTTP/1.1 binding (--http, curl-able) — and runs until killed;
 protocol spec in docs/PROTOCOL.md.  `route` fronts several `serve` nodes as one
@@ -276,7 +283,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn catalog_init(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let parsed = ParsedArgs::parse(args, &["method", "budget", "seed", "wmh-l"], &[])?;
+    let parsed = ParsedArgs::parse(
+        args,
+        &["method", "budget", "seed", "wmh-l"],
+        &["no-companion"],
+    )?;
     let dir = parsed.positional(0, "catalog directory")?;
     let method_name = parsed
         .flag("method")
@@ -298,10 +309,17 @@ fn catalog_init(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(CatalogError::Sketch)?
             .spec(),
     };
-    let catalog = Catalog::init(dir, spec)?;
+    // Companions on by default, matching `QueryService::create`: a fresh
+    // catalog should serve `query --cascade` without falling back.
+    let companion = (!parsed.switch("no-companion")).then(|| Catalog::default_companion_spec(spec));
+    let catalog = Catalog::init_with_companion(dir, spec, companion)?;
+    let companion_label = match catalog.companion_spec() {
+        Some(c) => format!("companion {c}"),
+        None => "no companion".to_string(),
+    };
     writeln!(
         out,
-        "initialized catalog at {} with sketcher {} (fingerprint {:016x})",
+        "initialized catalog at {} with sketcher {}, {companion_label} (fingerprint {:016x})",
         catalog.root().display(),
         spec,
         spec.fingerprint()
@@ -445,7 +463,7 @@ fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let parsed = ParsedArgs::parse(
         args,
         &["column", "table", "top", "min-join-size"],
-        &["relatedness"],
+        &["relatedness", "cascade", "no-cascade"],
     )?;
     let dir = parsed.positional(0, "catalog directory")?;
     let csv = parsed.positional(1, "query CSV file")?;
@@ -454,11 +472,34 @@ fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("`query` requires --column".to_string()))?;
     let top: usize = parsed.parsed_flag("top")?.unwrap_or(10);
     let min_join_size: f64 = parsed.parsed_flag("min-join-size")?.unwrap_or(0.0);
+    let cascade = parsed.switch("cascade");
+    if cascade && parsed.switch("no-cascade") {
+        return Err(CliError::Usage(
+            "--cascade and --no-cascade are mutually exclusive".to_string(),
+        ));
+    }
+    if cascade && parsed.switch("relatedness") {
+        return Err(CliError::Usage(
+            "--cascade applies to joinability queries only (drop --relatedness)".to_string(),
+        ));
+    }
     let table = load_table(Path::new(csv), parsed.flag("table"))?;
     let mut service = QueryService::open(dir)?;
     let query_sketch = service.sketch_query(&table, column)?;
     let ranked = if parsed.switch("relatedness") {
         service.query_related(&query_sketch, top, min_join_size)?
+    } else if cascade {
+        let companion_sketch = service.sketch_query_companion(&table, column)?;
+        let (ranked, note) = service.query_joinable_cascade(
+            &query_sketch,
+            companion_sketch.as_ref(),
+            top,
+            ipsketch_join::DEFAULT_CASCADE_CONFIDENCE,
+        )?;
+        if let Some(note) = note {
+            writeln!(out, "note ({}): {}", note.code, note.message)?;
+        }
+        ranked
     } else {
         service.query_joinable(&query_sketch, top)?
     };

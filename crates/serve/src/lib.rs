@@ -68,6 +68,9 @@ pub mod wire;
 
 pub use catalog::Catalog;
 pub use error::CatalogError;
-pub use manifest::{Manifest, ManifestEntry};
-pub use migrate::{migrate_catalog, MigrationReport};
-pub use service::{shard_rows, IngestReport, QueryService, ServiceStats, ShardedIngestState};
+pub use manifest::{CompanionRef, Manifest, ManifestEntry};
+pub use migrate::{derived_companion_spec, migrate_catalog, MigrationReport};
+pub use service::{
+    shard_rows, CascadeNote, IngestReport, QueryService, ServiceStats, ShardedIngestState,
+    NOTE_CASCADE_FALLBACK,
+};

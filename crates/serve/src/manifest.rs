@@ -28,6 +28,29 @@ const MANIFEST_MAGIC: u32 = 0x4950_4354;
 /// The v2 per-entry flags bit marking a tombstoned (dropped) column.
 const FLAG_DROPPED: u8 = 1;
 
+/// The v2 per-entry flags bit marking an entry that carries a companion (cheap-tier)
+/// sketch blob.  When set, the companion's file name, blob length, and checksum
+/// follow the flags byte; entries without the bit encode byte-identically to
+/// pre-companion v2 manifests.
+const FLAG_COMPANION: u8 = 2;
+
+/// The section tag introducing the optional trailing companion sketcher spec in a v2
+/// manifest.  A manifest without one ends right after its entries, byte-identically
+/// to pre-companion encodings.
+const SECTION_COMPANION_SPEC: u8 = 1;
+
+/// Where an entry's companion (cheap-tier) sketch blob lives, mirroring the primary
+/// blob's file/length/checksum triple so corruption is caught before decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompanionRef {
+    /// Companion blob file name, relative to the catalog's `sketches/` directory.
+    pub file: String,
+    /// Expected companion blob length in bytes.
+    pub blob_len: u64,
+    /// Expected FNV-1a checksum of the companion blob.
+    pub checksum: u64,
+}
+
 /// One registered column in the manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestEntry {
@@ -47,6 +70,11 @@ pub struct ManifestEntry {
     /// entry (and blob) linger until [`compact`](crate::Catalog::compact) reclaims
     /// them.  Only persistable under format v2; every v1 entry decodes as live.
     pub dropped: bool,
+    /// The companion (cheap-tier) sketch blob backing the query cascade's prefilter,
+    /// when one was stored.  Only persistable under format v2 (the catalog never
+    /// writes companions into v1 manifests); v1 entries always decode as `None`, and
+    /// a cascade query over companion-less entries falls back to the flat scan.
+    pub companion: Option<CompanionRef>,
 }
 
 /// The decoded manifest: the catalog's sketcher configuration plus its column entries.
@@ -58,6 +86,11 @@ pub struct Manifest {
     /// The registered columns, in registration order — including tombstoned ones
     /// (blob slot numbering must never reuse a dropped entry's file).
     pub entries: Vec<ManifestEntry>,
+    /// The cheap-tier companion sketcher configuration, when the catalog stores
+    /// companion sketches for the query cascade.  Persisted as a trailing v2 section;
+    /// `None` encodes byte-identically to pre-companion manifests, and v1 manifests
+    /// can never carry one.
+    pub companion_spec: Option<SketcherSpec>,
 }
 
 impl Manifest {
@@ -67,6 +100,7 @@ impl Manifest {
         Self {
             spec,
             entries: Vec::new(),
+            companion_spec: None,
         }
     }
 
@@ -105,9 +139,13 @@ impl Manifest {
     }
 
     /// Encodes the manifest into its stable binary form, under the embedded spec's
-    /// format.  The v1 layout is frozen (and has no per-entry flags byte, so a
-    /// tombstone cannot be persisted under it — the catalog refuses to drop from v1
-    /// catalogs in the first place); v2 appends one flags byte per entry.
+    /// format.  The v1 layout is frozen (and has no per-entry flags byte, so neither
+    /// a tombstone nor a companion can be persisted under it — the catalog refuses
+    /// both operations on v1 catalogs in the first place); v2 appends one flags byte
+    /// per entry, companion file/length/checksum fields behind the companion flag
+    /// bit,
+    /// and an optional trailing companion-spec section.  A v2 manifest without
+    /// companions encodes byte-identically to the pre-companion layout.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -130,7 +168,27 @@ impl Manifest {
             out.extend_from_slice(&entry.blob_len.to_le_bytes());
             out.extend_from_slice(&entry.checksum.to_le_bytes());
             if format >= FormatVersion::V2 {
-                out.push(if entry.dropped { FLAG_DROPPED } else { 0 });
+                let mut flags = 0u8;
+                if entry.dropped {
+                    flags |= FLAG_DROPPED;
+                }
+                if entry.companion.is_some() {
+                    flags |= FLAG_COMPANION;
+                }
+                out.push(flags);
+                if let Some(companion) = &entry.companion {
+                    put_str(&mut out, &companion.file);
+                    out.extend_from_slice(&companion.blob_len.to_le_bytes());
+                    out.extend_from_slice(&companion.checksum.to_le_bytes());
+                }
+            }
+        }
+        if format >= FormatVersion::V2 {
+            if let Some(companion_spec) = &self.companion_spec {
+                out.push(SECTION_COMPANION_SPEC);
+                let spec = companion_spec.encode();
+                out.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+                out.extend_from_slice(&spec);
             }
         }
         out
@@ -180,17 +238,27 @@ impl Manifest {
                 let file = reader.string().map_err(sk)?;
                 let blob_len = reader.u64().map_err(sk)?;
                 let checksum = reader.u64().map_err(sk)?;
-                // The v1 layout predates tombstones: every v1 entry is live.
-                let dropped = if format >= FormatVersion::V2 {
+                // The v1 layout predates tombstones and companions: every v1 entry is
+                // live and companion-less.
+                let (dropped, companion) = if format >= FormatVersion::V2 {
                     let flags = reader.u8().map_err(sk)?;
-                    if flags & !FLAG_DROPPED != 0 {
+                    if flags & !(FLAG_DROPPED | FLAG_COMPANION) != 0 {
                         return Err(corrupt(format!(
                             "unknown manifest entry flags {flags:#04x} on `{table}.{column}`"
                         )));
                     }
-                    flags & FLAG_DROPPED != 0
+                    let companion = if flags & FLAG_COMPANION != 0 {
+                        Some(CompanionRef {
+                            file: reader.string().map_err(sk)?,
+                            blob_len: reader.u64().map_err(sk)?,
+                            checksum: reader.u64().map_err(sk)?,
+                        })
+                    } else {
+                        None
+                    };
+                    (flags & FLAG_DROPPED != 0, companion)
                 } else {
-                    false
+                    (false, None)
                 };
                 Ok(ManifestEntry {
                     table,
@@ -200,12 +268,41 @@ impl Manifest {
                     blob_len,
                     checksum,
                     dropped,
+                    companion,
                 })
             };
             entries.push(entry()?);
         }
+        // Optional trailing sections (v2 only): currently just the companion spec.
+        let mut companion_spec = None;
+        if format >= FormatVersion::V2 && reader.finished().is_err() {
+            let tag = reader.u8().map_err(sk)?;
+            if tag != SECTION_COMPANION_SPEC {
+                return Err(corrupt(format!("unknown manifest section tag {tag:#04x}")));
+            }
+            let spec_len = reader.u32().map_err(sk)? as usize;
+            let spec = SketcherSpec::decode(reader.take(spec_len).map_err(sk)?)
+                .map_err(|e| corrupt(format!("manifest companion spec: {e}")))?;
+            companion_spec = Some(spec);
+        }
         reader.finished().map_err(sk)?;
-        Ok(Self { spec, entries })
+        // An entry can only reference a companion blob built under the manifest's
+        // declared companion spec — a manifest carrying refs without a spec is
+        // inconsistent (e.g. truncated right at the trailing-section boundary).
+        if companion_spec.is_none() {
+            if let Some(entry) = entries.iter().find(|e| e.companion.is_some()) {
+                return Err(corrupt(format!(
+                    "entry `{}.{}` references a companion sketch but the manifest declares no \
+                     companion spec",
+                    entry.table, entry.column
+                )));
+            }
+        }
+        Ok(Self {
+            spec,
+            entries,
+            companion_spec,
+        })
     }
 }
 
@@ -223,6 +320,7 @@ mod tests {
             blob_len: 1000 + n,
             checksum: 0xDEAD_BEEF ^ n,
             dropped,
+            companion: None,
         }
     }
 
@@ -242,6 +340,7 @@ mod tests {
             blob_len: 1234,
             checksum: 0xDEAD_BEEF,
             dropped: false,
+            companion: None,
         });
         m.entries.push(ManifestEntry {
             table: "weather".into(),
@@ -251,6 +350,7 @@ mod tests {
             blob_len: 99,
             checksum: 42,
             dropped: false,
+            companion: None,
         });
         m
     }
@@ -382,6 +482,92 @@ mod tests {
         mismatched[4] = 2; // claim manifest v2 over a v1 spec
         let err = Manifest::decode(&mismatched).expect_err("mismatched versions");
         assert!(err.to_string().contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn companions_round_trip_under_v2() {
+        let mut m = sample(FormatVersion::V2);
+        m.companion_spec = Some(SketcherSpec::new(
+            FormatVersion::V2,
+            SketcherKind::CountSketch {
+                buckets: 256,
+                repetitions: 5,
+                seed: 7,
+            },
+        ));
+        m.entries[0].companion = Some(CompanionRef {
+            file: "000000.cmp".into(),
+            blob_len: 777,
+            checksum: 0xFEED,
+        });
+        // Entry 1 deliberately stays companion-less: partially-backfilled catalogs
+        // are a first-class state.
+        let mut tombstoned_with_companion = entry(2, true);
+        tombstoned_with_companion.companion = Some(CompanionRef {
+            file: "000002.cmp".into(),
+            blob_len: 88,
+            checksum: 3,
+        });
+        m.entries.push(tombstoned_with_companion);
+        let decoded = Manifest::decode(&m.encode()).expect("round trip");
+        assert_eq!(decoded, m);
+        assert!(decoded.entries[0].companion.is_some());
+        assert!(decoded.entries[1].companion.is_none());
+        assert!(decoded.entries[2].dropped && decoded.entries[2].companion.is_some());
+
+        // Every truncation of the companion-carrying encoding is still rejected.
+        let bytes = m.encode();
+        for cut in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn companion_free_v2_encoding_is_byte_identical_to_the_pre_companion_layout() {
+        // Adding the companion feature must not move a single byte of existing v2
+        // catalogs: no flags bit, no trailing section.
+        let m = sample(FormatVersion::V2);
+        let bytes = m.encode();
+        let v1_len = sample(FormatVersion::V1).encode().len();
+        assert_eq!(bytes.len(), v1_len + m.entries.len());
+        assert_eq!(
+            *bytes.last().expect("non-empty"),
+            0,
+            "plain flags byte last"
+        );
+    }
+
+    #[test]
+    fn unknown_trailing_section_tags_are_corruption() {
+        let m = sample(FormatVersion::V2);
+        let mut bad_section = m.encode();
+        bad_section.push(0x7F);
+        let err = Manifest::decode(&bad_section).expect_err("unknown section");
+        assert!(err.to_string().contains("section"), "{err}");
+    }
+
+    #[test]
+    fn v1_encoding_never_carries_companions() {
+        // A v1 manifest hand-assembled with companion data still encodes the frozen
+        // v1 layout; decoding it yields companion-less entries.
+        let mut m = sample(FormatVersion::V1);
+        let plain = m.encode();
+        m.companion_spec = Some(SketcherSpec::new(
+            FormatVersion::V1,
+            SketcherKind::Kmv {
+                capacity: 8,
+                seed: 7,
+            },
+        ));
+        m.entries[0].companion = Some(CompanionRef {
+            file: "000000.cmp".into(),
+            blob_len: 1,
+            checksum: 2,
+        });
+        assert_eq!(m.encode(), plain);
+        let decoded = Manifest::decode(&m.encode()).expect("frozen layout");
+        assert!(decoded.companion_spec.is_none());
+        assert!(decoded.entries.iter().all(|e| e.companion.is_none()));
     }
 
     #[test]

@@ -297,12 +297,14 @@ mod tests {
                 mode: Mode::Joinable,
                 k: 1,
                 min_join_size: 0.0,
+                cascade: false,
                 query: q.clone(),
             },
             RequestBody::BatchQuery {
                 mode: Mode::Joinable,
                 k: 1,
                 min_join_size: 0.0,
+                cascade: false,
                 queries: vec![q],
             },
             RequestBody::Ingest {

@@ -22,8 +22,10 @@
 
 use crate::catalog::{write_atomic, Catalog, MANIFEST_FILE, SKETCH_DIR};
 use crate::error::{io_error, CatalogError};
-use crate::manifest::{fnv64, Manifest, ManifestEntry};
-use ipsketch_core::FormatVersion;
+use crate::manifest::{fnv64, CompanionRef, Manifest, ManifestEntry};
+use ipsketch_core::method::AnySketch;
+use ipsketch_core::{FormatVersion, SketcherKind, SketcherSpec};
+use ipsketch_join::SketchedColumn;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -56,8 +58,71 @@ pub struct MigrationReport {
     pub transcoded: usize,
     /// Columns skipped because an earlier interrupted run already wrote them.
     pub resumed: usize,
+    /// Companion (cheap-tier) sketches backfilled into the destination so migrated
+    /// catalogs can serve cascade queries.  Backfill is only possible when the
+    /// companion is *derivable* from the stored primary — a KMV primary truncates
+    /// exactly to a smaller-capacity KMV — because the source data is gone; other
+    /// methods migrate companion-less and cascade queries over them fall back to
+    /// the flat scan.
+    pub backfilled: usize,
     /// Destination catalog root.
     pub dest: PathBuf,
+}
+
+/// The companion spec a migration derives from a v1 primary, when one is derivable.
+///
+/// Only a KMV primary qualifies: its bottom-`k` structure means dropping entries
+/// beyond a smaller capacity yields **exactly** the sketch the smaller sketcher
+/// would have built (same hash, same bottom-of-order prefix), so the backfilled
+/// companion is bit-identical to one built from the raw data.  The derived capacity
+/// is a quarter of the primary's (floored at the KMV minimum of 2), keeping the
+/// cheap tier cheap.
+#[must_use]
+pub fn derived_companion_spec(primary: SketcherSpec) -> Option<SketcherSpec> {
+    match primary.kind {
+        SketcherKind::Kmv { capacity, seed } => Some(SketcherSpec::new(
+            FormatVersion::CURRENT,
+            SketcherKind::Kmv {
+                capacity: (capacity / 4).max(2),
+                seed,
+            },
+        )),
+        _ => None,
+    }
+}
+
+/// Truncates all three KMV sketches of a column to `capacity`, producing the
+/// companion column a `capacity`-sized sketcher would have built from the raw data.
+fn truncate_kmv_column(
+    column: &SketchedColumn,
+    capacity: usize,
+) -> Result<SketchedColumn, CatalogError> {
+    let shrink = |sketch: &AnySketch| -> Result<AnySketch, CatalogError> {
+        match sketch {
+            AnySketch::Kmv(s) => Ok(AnySketch::Kmv(s.truncated(capacity).map_err(|e| {
+                CatalogError::Incompatible {
+                    detail: format!(
+                        "cannot derive companion for `{}.{}`: {e}",
+                        column.table, column.column
+                    ),
+                }
+            })?)),
+            _ => Err(CatalogError::Incompatible {
+                detail: format!(
+                    "cannot derive a KMV companion for `{}.{}` from a non-KMV sketch",
+                    column.table, column.column
+                ),
+            }),
+        }
+    };
+    Ok(SketchedColumn::from_parts(
+        &column.table,
+        &column.column,
+        column.rows,
+        shrink(column.key_indicator())?,
+        shrink(column.values())?,
+        shrink(column.squared_values())?,
+    ))
 }
 
 /// Migrates the catalog at `src` into a new catalog at `dest` under the current
@@ -100,8 +165,13 @@ pub fn migrate_catalog(
     let live: Vec<&ManifestEntry> = src.live_entries().collect();
     let total = live.len();
     let mut manifest = Manifest::new(src.spec().with_format(FormatVersion::CURRENT));
+    // Backfill companions when they are derivable from the stored primaries (the
+    // raw data is long gone, so derivation is the only honest option — anything
+    // else would be a differently-seeded sketch masquerading as a companion).
+    manifest.companion_spec = derived_companion_spec(src.spec());
     let mut transcoded = 0usize;
     let mut resumed = 0usize;
+    let mut backfilled = 0usize;
     for (i, entry) in live.into_iter().enumerate() {
         // Full source-side validation: checksum, decode, spec match.
         let column = src.load_entry(entry)?;
@@ -118,6 +188,27 @@ pub fn migrate_catalog(
             write_atomic(&blob_path, &expected)?;
             transcoded += 1;
         }
+        let companion = match &manifest.companion_spec {
+            Some(spec) => {
+                let SketcherKind::Kmv { capacity, .. } = spec.kind else {
+                    unreachable!("derived companion specs are always KMV");
+                };
+                let derived = truncate_kmv_column(&column, capacity)?;
+                let companion_file = format!("{i:06}.cmp");
+                let companion_blob = derived.encode(FormatVersion::CURRENT);
+                let companion_path = dest_sketches.join(&companion_file);
+                if !fs::read(&companion_path).is_ok_and(|existing| existing == companion_blob) {
+                    write_atomic(&companion_path, &companion_blob)?;
+                }
+                backfilled += 1;
+                Some(CompanionRef {
+                    file: companion_file,
+                    blob_len: companion_blob.len() as u64,
+                    checksum: fnv64(&companion_blob),
+                })
+            }
+            None => None,
+        };
         manifest.entries.push(ManifestEntry {
             table: entry.table.clone(),
             column: entry.column.clone(),
@@ -126,6 +217,7 @@ pub fn migrate_catalog(
             blob_len: expected.len() as u64,
             checksum: fnv64(&expected),
             dropped: false,
+            companion,
         });
         progress(&MigrateProgress {
             table: &entry.table,
@@ -144,6 +236,7 @@ pub fn migrate_catalog(
         columns: total,
         transcoded,
         resumed,
+        backfilled,
         dest,
     })
 }

@@ -490,6 +490,11 @@ pub enum RequestBody {
         k: u64,
         /// Minimum estimated join size (`related` mode only).
         min_join_size: f64,
+        /// Answer through the tiered cascade (cheap-sketch prefilter, WMH
+        /// rerank) when the catalog stores companion sketches (`joinable` mode
+        /// only).  Catalogs without companions answer by the flat scan and
+        /// attach an advisory `note`.
+        cascade: bool,
         /// The query column.
         query: WireQuery,
     },
@@ -502,6 +507,8 @@ pub enum RequestBody {
         k: u64,
         /// Minimum estimated join size (`related` mode only).
         min_join_size: f64,
+        /// Answer through the tiered cascade; see [`RequestBody::Query`].
+        cascade: bool,
         /// The query columns; response ranking `i` answers query `i`.
         queries: Vec<WireQuery>,
     },
@@ -626,6 +633,7 @@ impl Request {
                 mode,
                 k,
                 min_join_size,
+                cascade,
                 query,
             } => {
                 members.push(("mode".to_string(), Json::str(mode.as_str())));
@@ -633,18 +641,25 @@ impl Request {
                 if *mode == Mode::Related {
                     members.push(("min_join_size".to_string(), Json::f64(*min_join_size)));
                 }
+                if *cascade {
+                    members.push(("cascade".to_string(), Json::Bool(true)));
+                }
                 members.push(("query".to_string(), query.to_json()));
             }
             RequestBody::BatchQuery {
                 mode,
                 k,
                 min_join_size,
+                cascade,
                 queries,
             } => {
                 members.push(("mode".to_string(), Json::str(mode.as_str())));
                 members.push(("k".to_string(), Json::u64(*k)));
                 if *mode == Mode::Related {
                     members.push(("min_join_size".to_string(), Json::f64(*min_join_size)));
+                }
+                if *cascade {
+                    members.push(("cascade".to_string(), Json::Bool(true)));
                 }
                 members.push((
                     "queries".to_string(),
@@ -735,6 +750,7 @@ impl Request {
                         .ok_or_else(|| fail(WireError::bad_request("`k` must be an integer")))
                 })?,
                 min_join_size: decode_min_join_size(doc).map_err(&fail)?,
+                cascade: decode_cascade(doc).map_err(&fail)?,
                 query: WireQuery::from_json(
                     doc.get("query")
                         .ok_or_else(|| fail(WireError::bad_request("missing `query` object")))?,
@@ -757,6 +773,7 @@ impl Request {
                             .ok_or_else(|| fail(WireError::bad_request("`k` must be an integer")))
                     })?,
                     min_join_size: decode_min_join_size(doc).map_err(&fail)?,
+                    cascade: decode_cascade(doc).map_err(&fail)?,
                     queries,
                 }
             }
@@ -834,6 +851,15 @@ fn decode_mode(doc: &Json) -> Result<Mode, WireError> {
     }
 }
 
+fn decode_cascade(doc: &Json) -> Result<bool, WireError> {
+    match doc.get("cascade") {
+        None => Ok(false),
+        Some(c) => c
+            .as_bool()
+            .ok_or_else(|| WireError::bad_request("`cascade` must be a boolean")),
+    }
+}
+
 fn decode_min_join_size(doc: &Json) -> Result<f64, WireError> {
     match doc.get("min_join_size") {
         None => Ok(0.0),
@@ -888,6 +914,34 @@ impl WireRanked {
             score: require_f64(value, "score")?,
             join_size: require_f64(value, "join_size")?,
             correlation: require_f64(value, "correlation")?,
+        })
+    }
+}
+
+/// An advisory note attached to a ranking response: the answer is still correct
+/// and complete, but the server took a different path than the request asked
+/// for (e.g. a `cascade` query against a catalog with no companion sketches is
+/// answered by the flat scan).  Notes are never errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireNote {
+    /// Stable machine-readable note code (e.g. `"cascade_fallback"`).
+    pub code: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl WireNote {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".to_string(), Json::str(&self.code)),
+            ("message".to_string(), Json::str(&self.message)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        Ok(WireNote {
+            code: require_str(value, "code")?,
+            message: require_str(value, "message")?,
         })
     }
 }
@@ -1192,9 +1246,21 @@ pub enum ResponseBody {
         cluster: Option<Box<WireClusterStats>>,
     },
     /// Answer to `query`: the ranking for the one query column.
-    Ranking(Vec<WireRanked>),
+    Ranking {
+        /// The ranked results, best first.
+        ranking: Vec<WireRanked>,
+        /// Advisory note when the server answered by a different path than the
+        /// request asked for (e.g. cascade fallback); absent otherwise.
+        note: Option<WireNote>,
+    },
     /// Answer to `batch-query`: ranking `i` answers query `i`.
-    Rankings(Vec<Vec<WireRanked>>),
+    Rankings {
+        /// The rankings, one per query, each best first.
+        rankings: Vec<Vec<WireRanked>>,
+        /// Advisory note covering the whole batch; see
+        /// [`ResponseBody::Ranking`].
+        note: Option<WireNote>,
+    },
     /// Answer to `ingest` and `ingest-finish`: what was registered/skipped.
     Report {
         /// `(table, column)` keys registered by this operation.
@@ -1347,19 +1413,31 @@ impl ResponseBody {
                 }
                 Json::Obj(vec![("info".to_string(), Json::Obj(info))])
             }
-            ResponseBody::Ranking(ranking) => Json::Obj(vec![(
-                "ranking".to_string(),
-                Json::Arr(ranking.iter().map(WireRanked::to_json).collect()),
-            )]),
-            ResponseBody::Rankings(rankings) => Json::Obj(vec![(
-                "rankings".to_string(),
-                Json::Arr(
-                    rankings
-                        .iter()
-                        .map(|r| Json::Arr(r.iter().map(WireRanked::to_json).collect()))
-                        .collect(),
-                ),
-            )]),
+            ResponseBody::Ranking { ranking, note } => {
+                let mut members = vec![(
+                    "ranking".to_string(),
+                    Json::Arr(ranking.iter().map(WireRanked::to_json).collect()),
+                )];
+                if let Some(note) = note {
+                    members.push(("note".to_string(), note.to_json()));
+                }
+                Json::Obj(members)
+            }
+            ResponseBody::Rankings { rankings, note } => {
+                let mut members = vec![(
+                    "rankings".to_string(),
+                    Json::Arr(
+                        rankings
+                            .iter()
+                            .map(|r| Json::Arr(r.iter().map(WireRanked::to_json).collect()))
+                            .collect(),
+                    ),
+                )];
+                if let Some(note) = note {
+                    members.push(("note".to_string(), note.to_json()));
+                }
+                Json::Obj(members)
+            }
             ResponseBody::Report {
                 registered,
                 skipped,
@@ -1440,7 +1518,10 @@ impl ResponseBody {
             });
         }
         if let Some(ranking) = value.get("ranking").and_then(Json::as_arr) {
-            return Ok(ResponseBody::Ranking(decode_ranking(ranking)?));
+            return Ok(ResponseBody::Ranking {
+                ranking: decode_ranking(ranking)?,
+                note: decode_note(value)?,
+            });
         }
         if let Some(rankings) = value.get("rankings").and_then(Json::as_arr) {
             let mut out = Vec::with_capacity(rankings.len());
@@ -1450,7 +1531,10 @@ impl ResponseBody {
                     .ok_or_else(|| WireError::bad_request("`rankings` must hold arrays"))?;
                 out.push(decode_ranking(items)?);
             }
-            return Ok(ResponseBody::Rankings(out));
+            return Ok(ResponseBody::Rankings {
+                rankings: out,
+                note: decode_note(value)?,
+            });
         }
         if let Some(registered) = value.get("registered").and_then(Json::as_arr) {
             let mut pairs = Vec::with_capacity(registered.len());
@@ -1494,6 +1578,13 @@ impl ResponseBody {
 
 fn decode_ranking(items: &[Json]) -> Result<Vec<WireRanked>, WireError> {
     items.iter().map(WireRanked::from_json).collect()
+}
+
+fn decode_note(value: &Json) -> Result<Option<WireNote>, WireError> {
+    match value.get("note") {
+        None => Ok(None),
+        Some(note) => Ok(Some(WireNote::from_json(note)?)),
+    }
 }
 
 fn require_str(value: &Json, key: &str) -> Result<String, WireError> {
@@ -1588,13 +1679,29 @@ mod tests {
                 mode: Mode::Related,
                 k: 5,
                 min_join_size: 42.5,
+                cascade: false,
+                query: sample_query(),
+            },
+            RequestBody::Query {
+                mode: Mode::Joinable,
+                k: 5,
+                min_join_size: 0.0,
+                cascade: true,
                 query: sample_query(),
             },
             RequestBody::BatchQuery {
                 mode: Mode::Joinable,
                 k: 3,
                 min_join_size: 0.0,
+                cascade: false,
                 queries: vec![sample_query(), sample_query()],
+            },
+            RequestBody::BatchQuery {
+                mode: Mode::Joinable,
+                k: 3,
+                min_join_size: 0.0,
+                cascade: true,
+                queries: vec![sample_query()],
             },
             RequestBody::Ingest {
                 table: sample_table(),
@@ -1725,8 +1832,28 @@ mod tests {
                     ],
                 })),
             },
-            ResponseBody::Ranking(vec![ranked.clone()]),
-            ResponseBody::Rankings(vec![vec![ranked.clone()], vec![]]),
+            ResponseBody::Ranking {
+                ranking: vec![ranked.clone()],
+                note: None,
+            },
+            ResponseBody::Ranking {
+                ranking: vec![ranked.clone()],
+                note: Some(WireNote {
+                    code: "cascade_fallback".to_string(),
+                    message: "catalog stores no companion sketches".to_string(),
+                }),
+            },
+            ResponseBody::Rankings {
+                rankings: vec![vec![ranked.clone()], vec![]],
+                note: None,
+            },
+            ResponseBody::Rankings {
+                rankings: vec![vec![ranked.clone()]],
+                note: Some(WireNote {
+                    code: "cascade_fallback".to_string(),
+                    message: "catalog stores no companion sketches".to_string(),
+                }),
+            },
             ResponseBody::Report {
                 registered: vec![("weather".to_string(), "precip".to_string())],
                 skipped: vec!["zeros".to_string()],
@@ -1798,14 +1925,83 @@ mod tests {
                 mode,
                 k,
                 min_join_size,
+                cascade,
                 ..
             } => {
                 assert_eq!(mode, Mode::Joinable);
                 assert_eq!(k, DEFAULT_TOP_K);
                 assert_eq!(min_join_size, 0.0);
+                assert!(!cascade);
             }
             other => panic!("wrong body {other:?}"),
         }
+    }
+
+    #[test]
+    fn cascade_knob_is_strict_and_encodes_only_when_set() {
+        // Omitting `cascade` and `cascade: false` encode identically — replayed
+        // pre-cascade transcripts stay byte-stable.
+        let flat = Request {
+            id: Json::Null,
+            body: RequestBody::Query {
+                mode: Mode::Joinable,
+                k: 3,
+                min_join_size: 0.0,
+                cascade: false,
+                query: sample_query(),
+            },
+        };
+        assert!(!flat.encode().contains("cascade"));
+        let cascaded = Request {
+            id: Json::Null,
+            body: RequestBody::Query {
+                mode: Mode::Joinable,
+                k: 3,
+                min_join_size: 0.0,
+                cascade: true,
+                query: sample_query(),
+            },
+        };
+        assert!(cascaded.encode().contains(r#""cascade":true"#));
+        // Non-boolean `cascade` is rejected, not coerced.
+        let err = Request::decode(
+            r#"{"v":1,"op":"query","cascade":1,"query":{"table":"t","column":"c","keys":[1],"values":[2.0]}}"#,
+        )
+        .expect_err("non-bool cascade");
+        assert_eq!(err.error.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn ranking_notes_encode_only_when_present() {
+        let plain = Response {
+            id: Json::Null,
+            result: Ok(ResponseBody::Ranking {
+                ranking: vec![],
+                note: None,
+            }),
+        };
+        assert!(!plain.encode().contains("note"));
+        let noted = Response {
+            id: Json::Null,
+            result: Ok(ResponseBody::Ranking {
+                ranking: vec![],
+                note: Some(WireNote {
+                    code: "cascade_fallback".to_string(),
+                    message: "flat scan answered".to_string(),
+                }),
+            }),
+        };
+        let line = noted.encode();
+        assert!(
+            line.contains(r#""note":{"code":"cascade_fallback""#),
+            "{line}"
+        );
+        // A note without both members is a malformed response.
+        let err = Response::decode(
+            r#"{"v":1,"id":null,"ok":true,"result":{"ranking":[],"note":{"code":"x"}}}"#,
+        )
+        .expect_err("note missing message");
+        assert_eq!(err.code, ErrorCode::BadRequest);
     }
 
     #[test]

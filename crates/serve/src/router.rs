@@ -209,6 +209,16 @@ fn merge_rankings(per_node: Vec<Vec<WireRanked>>, k: u64) -> Vec<WireRanked> {
     all
 }
 
+/// Merges per-node advisory notes into the lexicographically-first one by
+/// `(code, message)`.  Node order must not leak into the merged answer (it
+/// varies across topologies and failovers), and in practice every node that
+/// attaches a note attaches the identical fixed-message one, so the merge is a
+/// deterministic pick — routed answers stay byte-identical to single-node twins.
+fn merge_notes(mut notes: Vec<crate::protocol::WireNote>) -> Option<crate::protocol::WireNote> {
+    notes.sort_by(|a, b| a.code.cmp(&b.code).then_with(|| a.message.cmp(&b.message)));
+    notes.into_iter().next()
+}
+
 /// Per-attempt deadlines and the retry/backoff schedule every router→node
 /// session runs under.
 ///
@@ -649,35 +659,51 @@ impl Router {
             RequestBody::Info { server } => self.info(&topo, *server, pool),
             RequestBody::Query { k, .. } => {
                 let responses = self.fan_read(&topo, pool, body)?;
-                let per_node = responses
-                    .into_iter()
-                    .map(|resp| match resp {
-                        ResponseBody::Ranking(ranking) => Ok(ranking),
-                        _ => Err(internal("node answered query with a non-ranking body")),
-                    })
-                    .collect::<Result<Vec<_>, WireError>>()?;
-                Ok(ResponseBody::Ranking(merge_rankings(per_node, *k)))
+                let mut per_node = Vec::with_capacity(responses.len());
+                let mut notes = Vec::new();
+                for resp in responses {
+                    match resp {
+                        ResponseBody::Ranking { ranking, note } => {
+                            per_node.push(ranking);
+                            notes.extend(note);
+                        }
+                        _ => return Err(internal("node answered query with a non-ranking body")),
+                    }
+                }
+                Ok(ResponseBody::Ranking {
+                    ranking: merge_rankings(per_node, *k),
+                    note: merge_notes(notes),
+                })
             }
             RequestBody::BatchQuery { k, queries, .. } => {
                 let responses = self.fan_read(&topo, pool, body)?;
-                let per_node = responses
-                    .into_iter()
-                    .map(|resp| match resp {
-                        ResponseBody::Rankings(rankings) if rankings.len() == queries.len() => {
-                            Ok(rankings)
+                let mut per_node = Vec::with_capacity(responses.len());
+                let mut notes = Vec::new();
+                for resp in responses {
+                    match resp {
+                        ResponseBody::Rankings { rankings, note } => {
+                            if rankings.len() != queries.len() {
+                                return Err(internal(
+                                    "node answered batch-query with a mis-sized batch",
+                                ));
+                            }
+                            per_node.push(rankings);
+                            notes.extend(note);
                         }
-                        ResponseBody::Rankings(_) => {
-                            Err(internal("node answered batch-query with a mis-sized batch"))
+                        _ => {
+                            return Err(internal("node answered batch-query with a non-batch body"))
                         }
-                        _ => Err(internal("node answered batch-query with a non-batch body")),
-                    })
-                    .collect::<Result<Vec<_>, WireError>>()?;
+                    }
+                }
                 let merged = (0..queries.len())
                     .map(|i| {
                         merge_rankings(per_node.iter().map(|node| node[i].clone()).collect(), *k)
                     })
                     .collect();
-                Ok(ResponseBody::Rankings(merged))
+                Ok(ResponseBody::Rankings {
+                    rankings: merged,
+                    note: merge_notes(notes),
+                })
             }
             RequestBody::Ingest { table, partitions } => {
                 self.stats.fanouts.fetch_add(1, Ordering::Relaxed);
@@ -2073,12 +2099,14 @@ mod tests {
             mode: Mode::Joinable,
             k: 1,
             min_join_size: 0.0,
+            cascade: false,
             query: q.clone(),
         }));
         assert!(is_idempotent(&RequestBody::BatchQuery {
             mode: Mode::Joinable,
             k: 1,
             min_join_size: 0.0,
+            cascade: true,
             queries: vec![q],
         }));
         assert!(is_idempotent(&RequestBody::ExportColumn {

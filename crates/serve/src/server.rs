@@ -44,9 +44,9 @@ use crate::http::{self, HttpRequest};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     ErrorCode, InfoColumn, Mode, Request, RequestBody, Response, ResponseBody, WireCompaction,
-    WireError, WireQuery, WireRanked, WireServiceStats, WireSketch,
+    WireError, WireNote, WireQuery, WireRanked, WireServiceStats, WireSketch,
 };
-use crate::service::{QueryService, ShardedIngestState};
+use crate::service::{CascadeNote, QueryService, ShardedIngestState};
 use crate::wire::Json;
 use ipsketch_core::runner::{self, ThreadReservation};
 use ipsketch_join::{JoinEstimator, SketchedColumn};
@@ -443,9 +443,11 @@ pub fn serve(service: QueryService, config: ServerConfig) -> io::Result<ServerHa
     // sketching must not need any service lock.  The configuration is immutable for
     // the catalog's lifetime, so the clone can never go stale.
     let estimator = service.estimator().clone();
+    let companion_estimator = service.companion_estimator().cloned();
     let shared = Arc::new(Shared {
         service: RwLock::new(service),
         estimator,
+        companion_estimator,
         sessions: Mutex::new(SessionMap {
             next_id: 1,
             slots: HashMap::new(),
@@ -557,6 +559,10 @@ impl SessionMap {
 struct Shared {
     service: RwLock<QueryService>,
     estimator: JoinEstimator,
+    /// Clone of the catalog's companion (cheap-tier) estimator, when it stores
+    /// one: cascade queries sketch their cheap-tier query outside any lock,
+    /// exactly like the primary tier.
+    companion_estimator: Option<JoinEstimator>,
     sessions: Mutex<SessionMap>,
     queue: StdMutex<VecDeque<Job>>,
     queue_cv: Condvar,
@@ -1186,37 +1192,38 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
             mode,
             k,
             min_join_size,
+            cascade,
             query,
         } => {
-            let rankings = run_batch(
+            let (rankings, note) = run_batch(
                 shared,
                 std::slice::from_ref(query),
                 *mode,
                 *k,
                 *min_join_size,
+                *cascade,
             )?;
             let [ranking] =
                 <[Vec<WireRanked>; 1]>::try_from(rankings).expect("one query yields one ranking");
-            Ok(ResponseBody::Ranking(ranking))
+            Ok(ResponseBody::Ranking { ranking, note })
         }
         RequestBody::BatchQuery {
             mode,
             k,
             min_join_size,
+            cascade,
             queries,
-        } => Ok(ResponseBody::Rankings(run_batch(
-            shared,
-            queries,
-            *mode,
-            *k,
-            *min_join_size,
-        )?)),
+        } => {
+            let (rankings, note) = run_batch(shared, queries, *mode, *k, *min_join_size, *cascade)?;
+            Ok(ResponseBody::Rankings { rankings, note })
+        }
         RequestBody::Ingest { table, partitions } => {
             let table = table.to_table()?;
             // Sketch every column *outside* the service lock (the expensive part —
             // seconds for a large table), so queries keep flowing; only the final
             // registration commit below needs exclusive access.
             let mut sketched = Vec::new();
+            let mut companions = Vec::new();
             let mut skipped = Vec::new();
             for column in table.columns() {
                 let result = match partitions {
@@ -1228,7 +1235,20 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
                     None => shared.estimator.sketch_column(&table, &column.name),
                 };
                 match result {
-                    Ok(column) => sketched.push(column),
+                    Ok(primary) => {
+                        // The companion (cheap-tier) sketch is always built
+                        // one-shot: its sketchers are mergeable, so the result
+                        // is independent of the primary's partitioning.
+                        let companion = match &shared.companion_estimator {
+                            Some(est) => Some(
+                                est.sketch_column(&table, &column.name)
+                                    .map_err(WireError::from)?,
+                            ),
+                            None => None,
+                        };
+                        sketched.push(primary);
+                        companions.push(companion);
+                    }
                     Err(ipsketch_join::JoinError::EmptyColumn { .. }) => {
                         skipped.push(column.name.clone());
                     }
@@ -1238,7 +1258,7 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
             let report = shared
                 .service
                 .write()
-                .register_sketched(sketched)
+                .register_sketched_with_companions(sketched, companions)
                 .map_err(WireError::from)?;
             shared.signal_maintenance();
             Ok(ResponseBody::Report {
@@ -1253,7 +1273,10 @@ fn execute(shared: &Shared, body: &RequestBody) -> Result<ResponseBody, WireErro
             sessions.slots.insert(
                 id,
                 SessionSlot {
-                    state: Arc::new(Mutex::new(Some(ShardedIngestState::new(table.clone())))),
+                    state: Arc::new(Mutex::new(Some(
+                        ShardedIngestState::new(table.clone())
+                            .with_companion(shared.companion_estimator.clone()),
+                    ))),
                     touched: Instant::now(),
                 },
             );
@@ -1379,28 +1402,64 @@ fn run_batch(
     mode: Mode,
     k: u64,
     min_join_size: f64,
-) -> Result<Vec<Vec<WireRanked>>, WireError> {
+    cascade: bool,
+) -> Result<(Vec<Vec<WireRanked>>, Option<WireNote>), WireError> {
+    if cascade && mode == Mode::Related {
+        return Err(WireError::bad_request(
+            "`cascade` applies to `joinable` queries only",
+        ));
+    }
     let k = usize::try_from(k).unwrap_or(usize::MAX);
+    // A cascade request against a catalog with no companion tier is answered by
+    // the flat scan with an advisory note — never an error (the answer is the
+    // same ranking, just computed the slow way).
+    let companion_est = if cascade {
+        shared.companion_estimator.as_ref()
+    } else {
+        None
+    };
+    let note = if cascade && companion_est.is_none() {
+        let fallback = CascadeNote::fallback();
+        Some(WireNote {
+            code: fallback.code.to_string(),
+            message: fallback.message,
+        })
+    } else {
+        None
+    };
     // Sketch the query columns *outside* any lock, with the immutable estimator
     // clone (identical configuration → bit-identical sketches): the CPU-heavy
     // phase of a large batch must never hold the read lock, or it would stall
     // ingest commits and compaction behind it (and, on writer-preferring lock
     // implementations, every later query behind those).
     let mut sketched: Vec<SketchedColumn> = Vec::with_capacity(queries.len());
+    let mut cascade_pairs: Vec<(SketchedColumn, SketchedColumn)> = Vec::new();
     for query in queries {
         let table = query.to_table()?;
-        sketched.push(
-            shared
-                .estimator
+        let primary = shared
+            .estimator
+            .sketch_column(&table, &query.column)
+            .map_err(WireError::from)?;
+        if let Some(est) = companion_est {
+            let companion = est
                 .sketch_column(&table, &query.column)
-                .map_err(WireError::from)?,
-        );
+                .map_err(WireError::from)?;
+            cascade_pairs.push((primary.clone(), companion));
+        }
+        sketched.push(primary);
     }
     loop {
         {
             let service = shared.service.read();
             if service.is_fully_hydrated() {
                 let rankings = match mode {
+                    Mode::Joinable if companion_est.is_some() => {
+                        service.index().top_k_joinable_cascade_batch(
+                            &cascade_pairs,
+                            k,
+                            ipsketch_join::DEFAULT_CASCADE_CONFIDENCE,
+                        )
+                    }
                     Mode::Joinable => service.index().top_k_joinable_batch(&sketched, k),
                     Mode::Related => {
                         service
@@ -1409,10 +1468,13 @@ fn run_batch(
                     }
                 }
                 .map_err(WireError::from)?;
-                return Ok(rankings
-                    .iter()
-                    .map(|ranking| ranking.iter().map(WireRanked::from).collect())
-                    .collect());
+                return Ok((
+                    rankings
+                        .iter()
+                        .map(|ranking| ranking.iter().map(WireRanked::from).collect())
+                        .collect(),
+                    note,
+                ));
             }
         }
         // Columns exist that are not in the index yet (catalog opened cold):

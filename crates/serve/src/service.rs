@@ -18,6 +18,42 @@ use ipsketch_join::{
 use std::collections::HashSet;
 use std::path::PathBuf;
 
+/// Stable machine-readable code of the [`CascadeNote`] a cascade query answers
+/// with when it fell back to the flat scan (the catalog stores no companion
+/// sketches — e.g. it was migrated from a format that could not derive them).
+pub const NOTE_CASCADE_FALLBACK: &str = "cascade_fallback";
+
+/// The one fallback message, shared by every node so routed cascade answers stay
+/// byte-identical to a single-node twin's (notes merge lexicographically).
+const CASCADE_FALLBACK_MESSAGE: &str =
+    "catalog stores no companion sketches; answered by the flat scan";
+
+/// A typed informational note attached to a cascade answer: the query succeeded,
+/// but not through the two-tier path the client asked for.  Never an error — a
+/// v1-migrated or companion-less catalog still answers every cascade query, just
+/// by the flat scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeNote {
+    /// Stable machine-readable note class ([`NOTE_CASCADE_FALLBACK`]).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl CascadeNote {
+    /// The note attached when a cascade request is answered by the flat scan
+    /// because the catalog stores no companion sketches.  The message is a
+    /// fixed string (no paths, no per-node state), so routed answers stay
+    /// byte-identical to their single-node twins.
+    #[must_use]
+    pub fn fallback() -> Self {
+        CascadeNote {
+            code: NOTE_CASCADE_FALLBACK,
+            message: CASCADE_FALLBACK_MESSAGE.to_string(),
+        }
+    }
+}
+
 /// Splits a table into (up to) `shards` contiguous row-range shards, each carrying the
 /// same table name and column layout — the shape [`ShardedIngestState`] expects.  In a real
 /// deployment shards exist because the data arrives partitioned; this helper lets
@@ -132,14 +168,35 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Initializes a fresh catalog at `root` and serves it.
+    /// Initializes a fresh catalog at `root` and serves it.  The catalog declares
+    /// the default cheap-sketch companion tier ([`Catalog::default_companion_spec`]),
+    /// so its columns serve cascade queries; use
+    /// [`create_with_companion`](Self::create_with_companion) to choose a different
+    /// companion configuration or none at all.
     ///
     /// # Errors
     ///
     /// Returns [`CatalogError`] for filesystem failures, an already-initialized
     /// directory, or a spec that cannot build a sketcher.
     pub fn create(root: impl Into<PathBuf>, spec: SketcherSpec) -> Result<Self, CatalogError> {
-        Self::from_catalog(Catalog::init(root, spec)?)
+        Self::create_with_companion(root, spec, Some(Catalog::default_companion_spec(spec)))
+    }
+
+    /// [`create`](Self::create) with an explicit companion (cheap-tier) choice:
+    /// `None` builds a flat catalog whose cascade queries fall back to the flat
+    /// scan (with a typed [`CascadeNote`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`create`](Self::create), plus [`CatalogError::Incompatible`] for a
+    /// companion spec that is not prefilter-eligible (see
+    /// [`Catalog::init_with_companion`]).
+    pub fn create_with_companion(
+        root: impl Into<PathBuf>,
+        spec: SketcherSpec,
+        companion_spec: Option<SketcherSpec>,
+    ) -> Result<Self, CatalogError> {
+        Self::from_catalog(Catalog::init_with_companion(root, spec, companion_spec)?)
     }
 
     /// Opens an existing catalog at `root` and serves it.
@@ -153,7 +210,10 @@ impl QueryService {
     }
 
     fn from_catalog(catalog: Catalog) -> Result<Self, CatalogError> {
-        let index = SketchIndex::new(JoinEstimator::new(catalog.spec().build()?));
+        let mut index = SketchIndex::new(JoinEstimator::new(catalog.spec().build()?));
+        if let Some(companion_spec) = catalog.companion_spec() {
+            index.set_companion_estimator(Some(JoinEstimator::new(companion_spec.build()?)));
+        }
         Ok(Self {
             catalog,
             index,
@@ -240,7 +300,11 @@ impl QueryService {
             format: self.catalog.format().label().to_string(),
             columns: self.catalog.len(),
             hydrated: self.hydrated.len(),
-            bytes_on_disk: self.catalog.live_entries().map(|e| e.blob_len).sum(),
+            bytes_on_disk: self
+                .catalog
+                .live_entries()
+                .map(|e| e.blob_len + e.companion.as_ref().map_or(0, |c| c.blob_len))
+                .sum(),
             last_compaction: self.last_compaction.clone(),
         }
     }
@@ -250,6 +314,13 @@ impl QueryService {
     #[must_use]
     pub fn estimator(&self) -> &JoinEstimator {
         self.index.estimator()
+    }
+
+    /// The cheap-tier companion estimator, when the catalog declares a companion
+    /// spec; `None` means this catalog has no cascade tier.
+    #[must_use]
+    pub fn companion_estimator(&self) -> Option<&JoinEstimator> {
+        self.index.companion_estimator()
     }
 
     /// Number of columns already hydrated into the in-memory index.
@@ -282,7 +353,9 @@ impl QueryService {
             .collect();
         for entry in &missing {
             let column = self.catalog.load_entry(entry)?;
-            self.index.insert_sketched(column)?;
+            let companion = self.catalog.load_companion_entry(entry)?;
+            self.index
+                .insert_sketched_with_companion(column, companion)?;
             self.hydrated
                 .insert((entry.table.clone(), entry.column.clone()));
         }
@@ -324,19 +397,28 @@ impl QueryService {
     ) -> Result<IngestReport, CatalogError> {
         let mut report = IngestReport::default();
         let mut sketched_columns = Vec::new();
+        let mut companions = Vec::new();
         for column in table.columns() {
             match sketch(self.index.estimator(), table, &column.name) {
                 Ok(sketched) => {
+                    // The companion rides through the same sketching path (one-shot
+                    // or partitioned) as the primary; a column sketchable by the
+                    // primary is sketchable by the companion (same value mass).
+                    let companion = match self.index.companion_estimator() {
+                        Some(est) => Some(sketch(est, table, &column.name)?),
+                        None => None,
+                    };
                     report
                         .registered
                         .push((table.name().to_string(), column.name.clone()));
                     sketched_columns.push(sketched);
+                    companions.push(companion);
                 }
                 Err(JoinError::EmptyColumn { .. }) => report.skipped.push(column.name.clone()),
                 Err(other) => return Err(other.into()),
             }
         }
-        self.register_all_hydrated(sketched_columns)?;
+        self.register_all_hydrated_with(sketched_columns, companions)?;
         Ok(report)
     }
 
@@ -356,6 +438,27 @@ impl QueryService {
         &mut self,
         sketched: Vec<SketchedColumn>,
     ) -> Result<IngestReport, CatalogError> {
+        let companions = vec![None; sketched.len()];
+        self.register_sketched_with_companions(sketched, companions)
+    }
+
+    /// [`register_sketched`](Self::register_sketched) with one optional companion
+    /// (cheap-tier) sketch per column, built by the caller with a clone of
+    /// [`companion_estimator`](Self::companion_estimator) — the same
+    /// outside-the-lock division of labor as the primaries.  A `None` slot
+    /// registers the column companion-less; the cascade then reranks it
+    /// unconditionally instead of prefiltering it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`register_sketched`](Self::register_sketched), plus
+    /// [`CatalogError::Incompatible`] for companions not built under the
+    /// catalog's companion spec (or supplied to a catalog that declares none).
+    pub fn register_sketched_with_companions(
+        &mut self,
+        sketched: Vec<SketchedColumn>,
+        companions: Vec<Option<SketchedColumn>>,
+    ) -> Result<IngestReport, CatalogError> {
         let report = IngestReport {
             registered: sketched
                 .iter()
@@ -363,7 +466,7 @@ impl QueryService {
                 .collect(),
             skipped: Vec::new(),
         };
-        self.register_all_hydrated(sketched)?;
+        self.register_all_hydrated_with(sketched, companions)?;
         Ok(report)
     }
 
@@ -410,10 +513,23 @@ impl QueryService {
     /// Registers a batch of finished columns into the catalog (one manifest commit)
     /// and the in-memory index.
     fn register_all_hydrated(&mut self, sketched: Vec<SketchedColumn>) -> Result<(), CatalogError> {
-        self.catalog.register_all(&sketched)?;
-        for column in sketched {
+        let companions = vec![None; sketched.len()];
+        self.register_all_hydrated_with(sketched, companions)
+    }
+
+    /// [`register_all_hydrated`](Self::register_all_hydrated) carrying one optional
+    /// companion sketch per column into both the catalog and the index.
+    fn register_all_hydrated_with(
+        &mut self,
+        sketched: Vec<SketchedColumn>,
+        companions: Vec<Option<SketchedColumn>>,
+    ) -> Result<(), CatalogError> {
+        self.catalog
+            .register_all_with_companions(&sketched, &companions)?;
+        for (column, companion) in sketched.into_iter().zip(companions) {
             let key = (column.table.clone(), column.column.clone());
-            self.index.insert_sketched(column)?;
+            self.index
+                .insert_sketched_with_companion(column, companion)?;
             self.hydrated.insert(key);
         }
         Ok(())
@@ -432,6 +548,7 @@ impl QueryService {
     #[must_use]
     pub fn begin_sharded_ingest(&self, table_name: impl Into<String>) -> ShardedIngestState {
         ShardedIngestState::new(table_name)
+            .with_companion(self.index.companion_estimator().cloned())
     }
 
     /// Registers the folded columns of a completed [`ShardedIngestState`] into the
@@ -447,20 +564,24 @@ impl QueryService {
         &mut self,
         state: ShardedIngestState,
     ) -> Result<IngestReport, CatalogError> {
-        let (table_name, columns, partials) = state.into_folded()?;
+        let (table_name, columns, partials, companion_partials) = state.into_folded()?;
         let mut report = IngestReport::default();
         let mut folded_columns = Vec::new();
-        for (column, partial) in columns.into_iter().zip(partials) {
+        let mut folded_companions = Vec::new();
+        for ((column, partial), companion) in
+            columns.into_iter().zip(partials).zip(companion_partials)
+        {
             match partial {
                 Some(folded) => {
                     report.registered.push((table_name.clone(), column));
                     folded_columns.push(folded);
+                    folded_companions.push(companion);
                 }
                 None => report.skipped.push(column),
             }
         }
         // One catalog commit for the whole table, moving (not cloning) the folds.
-        self.register_all_hydrated(folded_columns)?;
+        self.register_all_hydrated_with(folded_columns, folded_companions)?;
         Ok(report)
     }
 
@@ -472,6 +593,22 @@ impl QueryService {
     /// Returns [`JoinError`] if the column is missing or unsketchable.
     pub fn sketch_query(&self, table: &Table, column: &str) -> Result<SketchedColumn, JoinError> {
         self.index.estimator().sketch_column(table, column)
+    }
+
+    /// Sketches a query column with the companion (cheap-tier) configuration.
+    /// `Ok(None)` means the catalog declares no cascade tier — pass it through to
+    /// [`query_joinable_cascade`](Self::query_joinable_cascade), which then answers
+    /// by the flat scan with a typed note.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError`] if the column is missing or unsketchable.
+    pub fn sketch_query_companion(
+        &self,
+        table: &Table,
+        column: &str,
+    ) -> Result<Option<SketchedColumn>, JoinError> {
+        self.index.sketch_companion_query(table, column)
     }
 
     /// Ranks all served columns by estimated join size with the query and returns the
@@ -487,6 +624,90 @@ impl QueryService {
     ) -> Result<Vec<RankedColumn>, CatalogError> {
         self.ensure_hydrated()?;
         Ok(self.index.top_k_joinable(query, k)?)
+    }
+
+    /// [`query_joinable`](Self::query_joinable) through the two-tier cascade: the
+    /// cheap companion sketches score every candidate, the Table 1 error bounds
+    /// (scaled by `confidence`, see
+    /// [`DEFAULT_CASCADE_CONFIDENCE`](ipsketch_join::DEFAULT_CASCADE_CONFIDENCE))
+    /// prune candidates that provably cannot reach the top `k`, and the primary
+    /// sketches rerank the survivors under the same deterministic
+    /// `(score, table, column)` total order — so at the default margin the answer
+    /// is byte-identical to the flat scan's.
+    ///
+    /// When the catalog stores no companion sketches (`companion_query` is `None`
+    /// because [`sketch_query_companion`](Self::sketch_query_companion) found no
+    /// tier — e.g. a catalog migrated from v1 under a non-derivable method), the
+    /// query is answered by the flat scan and the returned [`CascadeNote`] says so;
+    /// this is never an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for hydration failures or incompatible query
+    /// sketches.
+    pub fn query_joinable_cascade(
+        &mut self,
+        query: &SketchedColumn,
+        companion_query: Option<&SketchedColumn>,
+        k: usize,
+        confidence: f64,
+    ) -> Result<(Vec<RankedColumn>, Option<CascadeNote>), CatalogError> {
+        self.ensure_hydrated()?;
+        match companion_query {
+            Some(cq) if self.index.companion_estimator().is_some() => {
+                let (ranking, _stats) = self
+                    .index
+                    .top_k_joinable_cascade(query, cq, k, confidence)?;
+                Ok((ranking, None))
+            }
+            _ => Ok((
+                self.index.top_k_joinable(query, k)?,
+                Some(CascadeNote::fallback()),
+            )),
+        }
+    }
+
+    /// Answers a batch of cascade queries (see
+    /// [`query_joinable_cascade`](Self::query_joinable_cascade)); result `i` ranks
+    /// query `i`, ranked in parallel on the work-claiming runner.  The whole batch
+    /// shares one fallback note: either the catalog has a companion tier and every
+    /// query cascades, or it has none and every query falls back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure — batches are all-or-nothing.
+    pub fn query_joinable_cascade_batch(
+        &mut self,
+        queries: &[(SketchedColumn, Option<SketchedColumn>)],
+        k: usize,
+        confidence: f64,
+    ) -> Result<(Vec<Vec<RankedColumn>>, Option<CascadeNote>), CatalogError> {
+        self.ensure_hydrated()?;
+        if self.index.companion_estimator().is_some()
+            && queries.iter().all(|(_, companion)| companion.is_some())
+        {
+            let pairs: Vec<(SketchedColumn, SketchedColumn)> = queries
+                .iter()
+                .map(|(query, companion)| {
+                    (
+                        query.clone(),
+                        companion.clone().expect("all companions checked above"),
+                    )
+                })
+                .collect();
+            Ok((
+                self.index
+                    .top_k_joinable_cascade_batch(&pairs, k, confidence)?,
+                None,
+            ))
+        } else {
+            let flat: Vec<SketchedColumn> =
+                queries.iter().map(|(query, _)| query.clone()).collect();
+            Ok((
+                self.index.top_k_joinable_batch(&flat, k)?,
+                Some(CascadeNote::fallback()),
+            ))
+        }
     }
 
     /// Ranks all served columns by |estimated post-join correlation| and returns the
@@ -569,6 +790,11 @@ pub struct ShardedIngestState {
     columns: Vec<String>,
     norms: Vec<ColumnNormPartials>,
     partials: Vec<Option<SketchedColumn>>,
+    /// When set, every submitted shard is additionally sketched with this
+    /// cheap-tier estimator (against the same announced norms) and folded, so the
+    /// finished table carries cascade companions.
+    companion_estimator: Option<JoinEstimator>,
+    companion_partials: Vec<Option<SketchedColumn>>,
     /// Set on the first `submit` *attempt* (even a failed one): norms may already
     /// have been used to sketch, so further announcements are refused.
     sealed: bool,
@@ -585,9 +811,22 @@ impl ShardedIngestState {
             columns: Vec::new(),
             norms: Vec::new(),
             partials: Vec::new(),
+            companion_estimator: None,
+            companion_partials: Vec::new(),
             sealed: false,
             submitted: false,
         }
+    }
+
+    /// Attaches the catalog's companion (cheap-tier) estimator, so submitted shards
+    /// also fold companion sketches ([`QueryService::begin_sharded_ingest`] does
+    /// this automatically; front ends constructing sessions directly pass a clone
+    /// of [`QueryService::companion_estimator`]).  Must be called before the first
+    /// [`submit`](Self::submit); `None` leaves the session companion-less.
+    #[must_use]
+    pub fn with_companion(mut self, estimator: Option<JoinEstimator>) -> Self {
+        self.companion_estimator = estimator;
+        self
     }
 
     /// The logical table this session ingests.
@@ -615,6 +854,7 @@ impl ShardedIngestState {
             self.columns = shard.columns().iter().map(|c| c.name.clone()).collect();
             self.norms = vec![ColumnNormPartials::default(); self.columns.len()];
             self.partials = vec![None; self.columns.len()];
+            self.companion_partials = vec![None; self.columns.len()];
         }
         for (i, column) in self.columns.iter().enumerate() {
             let partial = JoinEstimator::column_norm_partials(shard, column)?;
@@ -656,6 +896,13 @@ impl ShardedIngestState {
                 None => sketched,
                 Some(acc) => estimator.merge_sketched_columns(&acc, &sketched)?,
             });
+            if let Some(companion_est) = &self.companion_estimator {
+                let companion = companion_est.sketch_column_shard(shard, column, &self.norms[i])?;
+                self.companion_partials[i] = Some(match self.companion_partials[i].take() {
+                    None => companion,
+                    Some(acc) => companion_est.merge_sketched_columns(&acc, &companion)?,
+                });
+            }
         }
         // Only a fully successful submit counts toward finish's "at least one shard
         // was submitted" requirement.
@@ -672,7 +919,12 @@ impl ShardedIngestState {
                     .to_string(),
             });
         }
-        Ok((self.table_name, self.columns, self.partials))
+        Ok((
+            self.table_name,
+            self.columns,
+            self.partials,
+            self.companion_partials,
+        ))
     }
 
     /// Validates that a shard belongs to this session: same table name and, once the
@@ -703,8 +955,15 @@ impl ShardedIngestState {
 }
 
 /// What a completed session hands to registration: the table name, its column
-/// names, and one folded partial per column (`None` for skipped all-zero columns).
-type FoldedIngest = (String, Vec<String>, Vec<Option<SketchedColumn>>);
+/// names, one folded partial per column (`None` for skipped all-zero columns), and
+/// one folded companion per column (`None` when the session has no companion
+/// estimator or the column was skipped).
+type FoldedIngest = (
+    String,
+    Vec<String>,
+    Vec<Option<SketchedColumn>>,
+    Vec<Option<SketchedColumn>>,
+);
 
 #[cfg(test)]
 mod tests {
@@ -1118,10 +1377,154 @@ mod tests {
             .all(|r| !(r.id.table == "good" && r.id.column == "precip")));
         let before = reopened.stats().bytes_on_disk;
         let report = reopened.compact().expect("compact");
-        assert_eq!(report.removed_files.len(), 1);
+        // The dropped column's primary blob and its cascade companion blob.
+        assert_eq!(report.removed_files.len(), 2);
         assert_eq!(report.live_columns, 2);
         assert_eq!(reopened.stats().bytes_on_disk, before);
         fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn cascade_answers_match_the_flat_scan_and_survive_reopen() {
+        let root = temp_root("cascade");
+        let (query, good, bad) = lake();
+        let spec = spec_for(SketchMethod::WeightedMinHash, 23);
+        let mut service = QueryService::create(&root, spec).expect("create");
+        assert!(
+            service.companion_estimator().is_some(),
+            "companions default on"
+        );
+        service.ingest_table(&good).expect("good");
+        service.ingest_table(&bad).expect("bad");
+
+        let q = service.sketch_query(&query, "rides").expect("sketch");
+        let cq = service
+            .sketch_query_companion(&query, "rides")
+            .expect("companion sketch")
+            .expect("companion tier exists");
+        let flat = service.query_joinable(&q, 3).expect("flat");
+        let (cascaded, note) = service
+            .query_joinable_cascade(&q, Some(&cq), 3, ipsketch_join::DEFAULT_CASCADE_CONFIDENCE)
+            .expect("cascade");
+        assert!(note.is_none(), "a served cascade carries no fallback note");
+        assert_eq!(
+            cascaded, flat,
+            "cascade answers are bit-identical to the flat scan"
+        );
+
+        // The batch path agrees, sharing the same (absent) note.
+        let (batch, batch_note) = service
+            .query_joinable_cascade_batch(
+                &[(q.clone(), Some(cq.clone()))],
+                3,
+                ipsketch_join::DEFAULT_CASCADE_CONFIDENCE,
+            )
+            .expect("batch");
+        assert!(batch_note.is_none());
+        assert_eq!(batch, vec![flat.clone()]);
+
+        // A cold reopen hydrates the companions from disk and cascades identically.
+        drop(service);
+        let mut reopened = QueryService::open(&root).expect("open");
+        assert!(reopened.companion_estimator().is_some());
+        let q2 = reopened.sketch_query(&query, "rides").expect("sketch");
+        let cq2 = reopened
+            .sketch_query_companion(&query, "rides")
+            .expect("companion sketch")
+            .expect("companion tier persists");
+        let (cascaded2, note2) = reopened
+            .query_joinable_cascade(
+                &q2,
+                Some(&cq2),
+                3,
+                ipsketch_join::DEFAULT_CASCADE_CONFIDENCE,
+            )
+            .expect("cascade");
+        assert!(note2.is_none());
+        assert_eq!(cascaded2, flat);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn companionless_catalogs_fall_back_to_the_flat_scan_with_a_note() {
+        let root = temp_root("cascade-fallback");
+        let (query, good, _) = lake();
+        let mut service = QueryService::create_with_companion(
+            &root,
+            spec_for(SketchMethod::WeightedMinHash, 29),
+            None,
+        )
+        .expect("create flat");
+        assert!(service.companion_estimator().is_none());
+        service.ingest_table(&good).expect("ingest");
+
+        let q = service.sketch_query(&query, "rides").expect("sketch");
+        assert!(service
+            .sketch_query_companion(&query, "rides")
+            .expect("companion sketch")
+            .is_none());
+        let flat = service.query_joinable(&q, 2).expect("flat");
+        let (ranking, note) = service
+            .query_joinable_cascade(&q, None, 2, ipsketch_join::DEFAULT_CASCADE_CONFIDENCE)
+            .expect("cascade never errors on flat catalogs");
+        let note = note.expect("fallback is reported");
+        assert_eq!(note.code, NOTE_CASCADE_FALLBACK);
+        assert_eq!(ranking, flat);
+
+        let (batch, batch_note) = service
+            .query_joinable_cascade_batch(
+                &[(q.clone(), None)],
+                2,
+                ipsketch_join::DEFAULT_CASCADE_CONFIDENCE,
+            )
+            .expect("batch");
+        assert_eq!(batch_note.expect("noted").code, NOTE_CASCADE_FALLBACK);
+        assert_eq!(batch, vec![flat]);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn sharded_ingest_stores_companions_that_match_one_shot_ingest() {
+        // Both ingest paths must produce byte-identical companion blobs (CountSketch
+        // folds are order-exact over disjoint shards), so cascade answers never
+        // depend on which path registered a column.
+        let (query, good, _) = lake();
+        let spec = spec_for(SketchMethod::Kmv, 31);
+        let root_shot = temp_root("cmp-oneshot");
+        let root_shard = temp_root("cmp-sharded");
+        let mut one_shot = QueryService::create(&root_shot, spec).expect("create");
+        one_shot.ingest_table(&good).expect("ingest");
+        let mut sharded = QueryService::create(&root_shard, spec).expect("create");
+        let mut ingest = sharded.begin_sharded_ingest(good.name());
+        let shards = shards_of(&good, 3);
+        for shard in &shards {
+            ingest.announce(shard).expect("announce");
+        }
+        for shard in &shards {
+            ingest.submit(sharded.estimator(), shard).expect("submit");
+        }
+        sharded.finish_sharded_ingest(ingest).expect("finish");
+
+        let q1 = one_shot.sketch_query(&query, "rides").expect("sketch");
+        let c1 = one_shot
+            .sketch_query_companion(&query, "rides")
+            .expect("companion")
+            .expect("tier");
+        let q2 = sharded.sketch_query(&query, "rides").expect("sketch");
+        let c2 = sharded
+            .sketch_query_companion(&query, "rides")
+            .expect("companion")
+            .expect("tier");
+        let (a, note_a) = one_shot
+            .query_joinable_cascade(&q1, Some(&c1), 2, ipsketch_join::DEFAULT_CASCADE_CONFIDENCE)
+            .expect("cascade");
+        let (b, note_b) = sharded
+            .query_joinable_cascade(&q2, Some(&c2), 2, ipsketch_join::DEFAULT_CASCADE_CONFIDENCE)
+            .expect("cascade");
+        assert!(note_a.is_none() && note_b.is_none());
+        assert_eq!(a, b, "companion-backed cascades agree across ingest paths");
+        fs::remove_dir_all(&root_shot).expect("cleanup");
+        fs::remove_dir_all(&root_shard).expect("cleanup");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use ipsketch_core::wmh::{WmhStream, WmhVariant};
 use ipsketch_core::{FormatVersion, SketcherKind, SketcherSpec};
 use ipsketch_serve::error::CatalogError;
-use ipsketch_serve::manifest::{fnv64, Manifest, ManifestEntry};
+use ipsketch_serve::manifest::{fnv64, CompanionRef, Manifest, ManifestEntry};
 use proptest::prelude::*;
 
 /// Characters used in generated names: ASCII plus multi-byte UTF-8, so string
@@ -82,6 +82,16 @@ fn spec_strategy() -> impl Strategy<Value = SketcherSpec> {
     })
 }
 
+fn companion_strategy() -> impl Strategy<Value = Option<CompanionRef>> {
+    proptest::option::of((any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(slot, blob_len, checksum)| CompanionRef {
+            file: format!("{:06}.cmp", slot % 1_000_000),
+            blob_len,
+            checksum,
+        },
+    ))
+}
+
 fn entry_strategy() -> impl Strategy<Value = ManifestEntry> {
     (
         name_strategy(),
@@ -90,9 +100,10 @@ fn entry_strategy() -> impl Strategy<Value = ManifestEntry> {
         any::<u64>(),
         any::<u64>(),
         any::<bool>(),
+        companion_strategy(),
     )
         .prop_map(
-            |(table, column, rows, blob_len, checksum, dropped)| ManifestEntry {
+            |(table, column, rows, blob_len, checksum, dropped, companion)| ManifestEntry {
                 file: format!("{:06}.col", rows % 1_000_000),
                 table,
                 column,
@@ -100,6 +111,7 @@ fn entry_strategy() -> impl Strategy<Value = ManifestEntry> {
                 blob_len,
                 checksum,
                 dropped,
+                companion,
             },
         )
 }
@@ -108,17 +120,33 @@ fn manifest_strategy() -> impl Strategy<Value = Manifest> {
     (
         spec_strategy(),
         proptest::collection::vec(entry_strategy(), 0..10),
+        proptest::option::of(spec_strategy()),
     )
-        .prop_map(|(spec, mut entries)| {
+        .prop_map(|(spec, mut entries, companion_spec)| {
             // The v1 layout has no flags byte: a v1 manifest cannot carry a
-            // tombstone, so don't generate one (it would not round-trip).
-            if spec.format == FormatVersion::V1 {
+            // tombstone or a companion, so don't generate one (it would not
+            // round-trip).
+            let v1 = spec.format == FormatVersion::V1;
+            // The trailing companion-spec section likewise only exists under v2;
+            // pin the declared companion to the manifest's own format so it
+            // round-trips as written.
+            let companion_spec = companion_spec
+                .filter(|_| !v1)
+                .map(|c| c.with_format(spec.format));
+            if v1 || companion_spec.is_none() {
+                // Companion refs are only consistent under a declared companion
+                // spec (decode enforces this), and v1 additionally has no flags
+                // byte to carry tombstones or companions.
                 for entry in &mut entries {
-                    entry.dropped = false;
+                    entry.companion = None;
+                    if v1 {
+                        entry.dropped = false;
+                    }
                 }
             }
             let mut manifest = Manifest::new(spec);
             manifest.entries = entries;
+            manifest.companion_spec = companion_spec;
             manifest
         })
 }
@@ -137,12 +165,26 @@ proptest! {
     fn every_truncation_is_a_typed_error(manifest in manifest_strategy(), cut in any::<u64>()) {
         let encoded = manifest.encode();
         // Any strict prefix must fail with Corrupt — never panic, never decode.
+        // One documented exception: the companion-spec section trails the entries,
+        // so cutting exactly at its boundary yields a well-formed companion-less
+        // manifest — *unless* some entry references a companion blob, which decode
+        // rejects as inconsistent without the spec.
         let cut = (cut as usize) % encoded.len().max(1);
-        let is_corrupt = matches!(
-            Manifest::decode(&encoded[..cut]),
-            Err(CatalogError::Corrupt { .. })
-        );
-        prop_assert!(is_corrupt);
+        // The trailing section is `tag (1) + len (4) + spec bytes`; cutting exactly
+        // before it leaves everything up to and including the entries intact.
+        let section_boundary = manifest.companion_spec.as_ref().is_some_and(|s| {
+            cut == encoded.len() - (1 + 4 + s.encode().len())
+        });
+        let has_companion_refs = manifest.entries.iter().any(|e| e.companion.is_some());
+        if section_boundary && !has_companion_refs {
+            prop_assert!(Manifest::decode(&encoded[..cut]).is_ok());
+        } else {
+            let is_corrupt = matches!(
+                Manifest::decode(&encoded[..cut]),
+                Err(CatalogError::Corrupt { .. })
+            );
+            prop_assert!(is_corrupt);
+        }
     }
 
     #[test]

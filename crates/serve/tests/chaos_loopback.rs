@@ -201,6 +201,7 @@ fn query_request(id: u64, table: &Table, column: &str, k: u64) -> Request {
             mode: Mode::Joinable,
             k,
             min_join_size: 0.0,
+            cascade: false,
             query: wire_query(table, column),
         },
     }
@@ -277,7 +278,7 @@ fn run_fault_scenario(
     // Healthy sanity check (also warms every node).
     let response = client.call(&query_request(1, &query, "rides", 5));
     match response.result.expect("healthy query succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
         other => panic!("expected ranking, got {other:?}"),
     }
 
@@ -288,7 +289,7 @@ fn run_fault_scenario(
     let response = degraded.call(&query_request(2, &query, "rides", 5));
     let elapsed = started.elapsed();
     match response.result.expect("degraded query succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
         other => panic!("expected ranking, got {other:?}"),
     }
     assert!(
@@ -310,7 +311,7 @@ fn run_fault_scenario(
         let response = skipping.call(&query_request(3, &query, "rides", 5));
         let elapsed = started.elapsed();
         match response.result.expect("skipping query succeeds") {
-            ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+            ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
             other => panic!("expected ranking, got {other:?}"),
         }
         assert!(
@@ -432,7 +433,7 @@ fn a_demoted_node_is_probed_back_to_health_and_serves_again() {
     let mut client = Client::connect(router.addr());
     let response = client.call(&query_request(9, &query, "rides", 5));
     match response.result.expect("recovered query succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
         other => panic!("expected ranking, got {other:?}"),
     }
 
@@ -616,7 +617,7 @@ fn rebalance_preserves_byte_identity_before_during_and_after_the_flip() {
     let assert_ranking = |client: &mut Client, id: u64| {
         let response = client.call(&query_request(id, &query, "rides", 5));
         match response.result.expect("query succeeds") {
-            ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+            ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
             other => panic!("expected ranking, got {other:?}"),
         }
     };

@@ -8,7 +8,7 @@
 use ipsketch_core::method::{AnySketcher, SketchMethod};
 use ipsketch_core::SketcherSpec;
 use ipsketch_data::{Column, Table};
-use ipsketch_join::RankedColumn;
+use ipsketch_join::{RankedColumn, DEFAULT_CASCADE_CONFIDENCE};
 use ipsketch_serve::protocol::{
     ErrorCode, Mode, Request, RequestBody, Response, ResponseBody, WireQuery, WireRanked, WireTable,
 };
@@ -100,10 +100,21 @@ struct Node {
 /// Boots `n` empty catalog nodes of the same spec, each with a TCP and an
 /// HTTP listener on ephemeral ports.
 fn boot_nodes(tag: &str, seed: u64, n: usize) -> Vec<Node> {
+    boot_nodes_opts(tag, seed, n, true)
+}
+
+/// As [`boot_nodes`], but `companions: false` boots catalogs that store no
+/// companion sketches (the pre-cascade layout).
+fn boot_nodes_opts(tag: &str, seed: u64, n: usize, companions: bool) -> Vec<Node> {
     (0..n)
         .map(|i| {
             let root = temp_root(&format!("{tag}-node{i}"));
-            let service = QueryService::create(&root, spec_for(seed)).expect("create node");
+            let service = if companions {
+                QueryService::create(&root, spec_for(seed)).expect("create node")
+            } else {
+                QueryService::create_with_companion(&root, spec_for(seed), None)
+                    .expect("create node")
+            };
             let config = ServerConfig::builder()
                 .tcp("127.0.0.1:0")
                 .http("127.0.0.1:0")
@@ -204,6 +215,20 @@ fn query_request(id: u64, table: &Table, column: &str, k: u64) -> Request {
             mode: Mode::Joinable,
             k,
             min_join_size: 0.0,
+            cascade: false,
+            query: wire_query(table, column),
+        },
+    }
+}
+
+fn cascade_request(id: u64, table: &Table, column: &str, k: u64) -> Request {
+    Request {
+        id: Json::u64(id),
+        body: RequestBody::Query {
+            mode: Mode::Joinable,
+            k,
+            min_join_size: 0.0,
+            cascade: true,
             query: wire_query(table, column),
         },
     }
@@ -259,12 +284,13 @@ fn routed_cluster_answers_bit_identical_to_a_single_node() {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             queries: vec![wire_query(&query, "rides"), wire_query(&good, "precip")],
         },
     });
     assert_eq!(response.id.as_u64(), Some(1));
     match response.result.expect("batch succeeds") {
-        ResponseBody::Rankings(rankings) => {
+        ResponseBody::Rankings { rankings, .. } => {
             assert_eq!(rankings.len(), expected_batch.len());
             for (served, in_process) in rankings.iter().zip(&expected_batch) {
                 assert_bit_identical(served, in_process);
@@ -280,11 +306,12 @@ fn routed_cluster_answers_bit_identical_to_a_single_node() {
             mode: Mode::Related,
             k: 3,
             min_join_size: 10.0,
+            cascade: false,
             query: wire_query(&query, "rides"),
         },
     });
     match response.result.expect("related succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected_related),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected_related),
         other => panic!("expected ranking, got {other:?}"),
     }
 
@@ -334,7 +361,7 @@ fn routed_cluster_answers_bit_identical_to_a_single_node() {
     }
     let response = client.call(&query_request(9, &query, "rides", 5));
     match response.result.expect("query succeeds") {
-        ResponseBody::Ranking(ranking) => {
+        ResponseBody::Ranking { ranking, .. } => {
             assert!(
                 ranking.iter().all(|r| r.column != "precip"),
                 "dropped column still ranked: {ranking:?}"
@@ -410,7 +437,7 @@ fn rankings_are_identical_for_any_ingest_order_and_cluster_shape() {
         let raw = client.recv_raw();
         let response = Response::decode(&raw).expect("well-formed");
         match response.result.expect("query succeeds") {
-            ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+            ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
             other => panic!("expected ranking, got {other:?}"),
         }
         encoded.push(raw);
@@ -443,7 +470,7 @@ fn a_stopped_node_fails_over_to_its_replicas_bit_identically() {
     // Healthy-cluster sanity check first.
     let response = client.call(&query_request(1, &query, "rides", 5));
     match response.result.expect("query succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
         other => panic!("expected ranking, got {other:?}"),
     }
 
@@ -460,7 +487,7 @@ fn a_stopped_node_fails_over_to_its_replicas_bit_identically() {
     let mut degraded = Client::connect(router.addr());
     let response = degraded.call(&query_request(2, &query, "rides", 5));
     match response.result.expect("query still succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
         other => panic!("expected ranking, got {other:?}"),
     }
 
@@ -491,7 +518,7 @@ fn a_stopped_node_fails_over_to_its_replicas_bit_identically() {
     }
     let response = degraded.call(&query_request(3, &query, "rides", 5));
     match response.result.expect("query succeeds after failed write") {
-        ResponseBody::Ranking(ranking) => {
+        ResponseBody::Ranking { ranking, .. } => {
             assert_eq!(ranking.len(), expected.len().max(ranking.len()).min(5));
         }
         other => panic!("expected ranking, got {other:?}"),
@@ -603,7 +630,7 @@ fn node_overlapping_sharded_ingest_yields_only_consistent_states() {
                         client.call(&query_request(u64::from(rounds), &query, "rides", 5));
                     assert_eq!(response.id.as_u64(), Some(u64::from(rounds)));
                     let ranking = match response.result.expect("query succeeds") {
-                        ResponseBody::Ranking(ranking) => ranking,
+                        ResponseBody::Ranking { ranking, .. } => ranking,
                         other => panic!("worker {worker}: expected ranking, got {other:?}"),
                     };
                     // Every observation is one of the two consistent states.
@@ -707,11 +734,139 @@ fn node_overlapping_sharded_ingest_yields_only_consistent_states() {
     // Post-ingest answers are the after state, bit for bit.
     let response = seed_client.call(&query_request(99, &query, "rides", 5));
     match response.result.expect("post-ingest query") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &after),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &after),
         other => panic!("expected ranking, got {other:?}"),
     }
 
     router.shutdown();
     cleanup(nodes);
+    fs::remove_dir_all(&twin_root).expect("cleanup");
+}
+
+#[test]
+fn cascaded_queries_route_bit_identically_and_fall_back_deterministically() {
+    let (query, good, bad) = lake();
+    let seed = 43;
+
+    // In-process twin with companions (the default layout): ground truth for
+    // both the cascade answer and the flat answer it must equal.
+    let twin_root = temp_root("cascade-twin");
+    let mut twin = QueryService::create(&twin_root, spec_for(seed)).expect("twin");
+    twin.ingest_table(&good).expect("good");
+    twin.ingest_table(&bad).expect("bad");
+    let q = twin.sketch_query(&query, "rides").expect("sketch");
+    let cq = twin
+        .sketch_query_companion(&query, "rides")
+        .expect("companion sketch");
+    assert!(cq.is_some(), "created catalogs store companions by default");
+    let (expected, twin_note) = twin
+        .query_joinable_cascade(&q, cq.as_ref(), 5, DEFAULT_CASCADE_CONFIDENCE)
+        .expect("cascade");
+    assert!(twin_note.is_none());
+    assert_eq!(
+        expected,
+        twin.query_joinable(&q, 5).expect("flat"),
+        "cascade must equal the flat scan at the default margin"
+    );
+
+    // A 3-node cluster populated through the router answers the cascade
+    // bit-identically to the twin, and byte-identically to its own flat
+    // answer — the knob must be invisible in the response bytes.
+    let nodes = boot_nodes("cascade", seed, 3);
+    let router = boot_router(tcp_specs(&nodes), 2);
+    let mut client = Client::connect(router.addr());
+    client.ingest(&good);
+    client.ingest(&bad);
+
+    client.send_raw(&cascade_request(11, &query, "rides", 5).encode());
+    let raw_cascade = client.recv_raw();
+    let response = Response::decode(&raw_cascade).expect("well-formed");
+    match response.result.expect("routed cascade succeeds") {
+        ResponseBody::Ranking { ranking, note } => {
+            assert!(note.is_none(), "companion cluster must not fall back");
+            assert_bit_identical(&ranking, &expected);
+        }
+        other => panic!("expected ranking, got {other:?}"),
+    }
+    client.send_raw(&query_request(11, &query, "rides", 5).encode());
+    let raw_flat = client.recv_raw();
+    assert_eq!(raw_cascade, raw_flat, "cascade changed the answer bytes");
+
+    // Batch cascades route too, with no note.
+    let response = client.call(&Request {
+        id: Json::u64(12),
+        body: RequestBody::BatchQuery {
+            mode: Mode::Joinable,
+            k: 5,
+            min_join_size: 0.0,
+            cascade: true,
+            queries: vec![wire_query(&query, "rides")],
+        },
+    });
+    match response.result.expect("routed batch cascade succeeds") {
+        ResponseBody::Rankings { rankings, note } => {
+            assert!(note.is_none());
+            assert_eq!(rankings.len(), 1);
+            assert_bit_identical(&rankings[0], &expected);
+        }
+        other => panic!("expected rankings, got {other:?}"),
+    }
+
+    // A cascade against `related` mode is refused node-side and the router
+    // forwards the typed error verbatim.
+    let response = client.call(&Request {
+        id: Json::Null,
+        body: RequestBody::Query {
+            mode: Mode::Related,
+            k: 3,
+            min_join_size: 0.0,
+            cascade: true,
+            query: wire_query(&query, "rides"),
+        },
+    });
+    assert_eq!(
+        response.result.expect_err("related cascade refused").code,
+        ErrorCode::BadRequest
+    );
+
+    router.shutdown();
+    cleanup(nodes);
+
+    // Companion-less cluster: the same cascade request falls back to the flat
+    // scan with the typed note, byte-identical to one companion-less node
+    // holding the whole catalog — the note carries no node-local detail.
+    let old_nodes = boot_nodes_opts("cascade-nocmp", seed, 3, false);
+    let old_router = boot_router(tcp_specs(&old_nodes), 2);
+    let mut old_client = Client::connect(old_router.addr());
+    old_client.ingest(&good);
+    old_client.ingest(&bad);
+
+    let single = boot_nodes_opts("cascade-nocmp-single", seed, 1, false);
+    let mut single_client = Client::connect(single[0].handle.tcp_addr().expect("tcp"));
+    single_client.ingest(&good);
+    single_client.ingest(&bad);
+
+    let request = cascade_request(21, &query, "rides", 5);
+    old_client.send_raw(&request.encode());
+    let via_router = old_client.recv_raw();
+    single_client.send_raw(&request.encode());
+    let via_single = single_client.recv_raw();
+    assert_eq!(
+        via_router, via_single,
+        "fallback answer must not depend on cluster shape"
+    );
+    let response = Response::decode(&via_router).expect("well-formed");
+    match response.result.expect("fallback succeeds") {
+        ResponseBody::Ranking { ranking, note } => {
+            let note = note.expect("companion-less catalogs must attach the note");
+            assert_eq!(note.code, "cascade_fallback");
+            assert!(!ranking.is_empty());
+        }
+        other => panic!("expected ranking, got {other:?}"),
+    }
+
+    old_router.shutdown();
+    cleanup(old_nodes);
+    cleanup(single);
     fs::remove_dir_all(&twin_root).expect("cleanup");
 }

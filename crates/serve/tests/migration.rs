@@ -79,6 +79,7 @@ fn v1_catalog_files(spec: SketcherSpec) -> Vec<(String, Vec<u8>)> {
             blob_len: blob.len() as u64,
             checksum: fnv64(&blob),
             dropped: false,
+            companion: None,
         });
         files.push((format!("{SKETCH_DIR}/{file}"), blob));
     }
@@ -273,6 +274,114 @@ fn migration_preserves_every_estimate_bit_for_bit() {
     // The destination accepts writes: drop a column, which v1 refused.
     let mut migrated = Catalog::open(&dest).expect("reopen");
     migrated.drop_column("weather", "noise").expect("v2 drops");
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn migration_backfills_kmv_companions_that_serve_cascades() {
+    // A KMV primary truncates exactly to a smaller-capacity KMV, so migration can
+    // backfill the cheap-tier companions even though the raw data is gone — and the
+    // migrated catalog then serves cascade queries with no fallback.
+    let root = temp_root("backfill");
+    let src = root.join("v1");
+    write_catalog_files(&src, &v1_catalog_files(golden_spec()));
+    let dest = root.join("v2");
+    let report = migrate_catalog(&src, &dest, |_| {}).expect("migration succeeds");
+    assert_eq!(
+        report.backfilled, 3,
+        "every KMV column gains a derived companion"
+    );
+
+    let migrated = Catalog::open(&dest).expect("destination opens");
+    let companion_spec = migrated
+        .companion_spec()
+        .expect("migrated KMV catalogs declare a companion tier");
+    assert_eq!(
+        companion_spec.kind,
+        SketcherKind::Kmv {
+            capacity: 8, // a quarter of the primary's 32
+            seed: 7,
+        }
+    );
+    for entry in migrated.live_entries() {
+        let companion = migrated
+            .load_companion_entry(entry)
+            .expect("companion loads")
+            .expect("companion stored");
+        // The backfilled companion is bit-identical to one sketched from the raw
+        // data by the smaller sketcher — the truncation-exactness guarantee.
+        let fresh = JoinEstimator::new(companion_spec.build().expect("builds"))
+            .sketch_column(&weather(), &entry.column)
+            .expect("sketches");
+        assert_eq!(
+            companion.encode(FormatVersion::V2),
+            fresh.encode(FormatVersion::V2),
+            "backfilled companion for `{}` drifted from a fresh sketch",
+            entry.column
+        );
+    }
+
+    // Cascade queries over the migrated catalog run the real two-tier path (no
+    // note) and answer bit-identically to the flat scan.
+    let mut service = QueryService::open(&dest).expect("service opens");
+    let query = service.sketch_query(&rides(), "rides").expect("sketch");
+    let companion_query = service
+        .sketch_query_companion(&rides(), "rides")
+        .expect("companion sketch")
+        .expect("companion tier");
+    let flat = service.query_joinable(&query, 3).expect("flat scan");
+    let (cascaded, note) = service
+        .query_joinable_cascade(
+            &query,
+            Some(&companion_query),
+            3,
+            ipsketch_join::DEFAULT_CASCADE_CONFIDENCE,
+        )
+        .expect("cascade");
+    assert!(
+        note.is_none(),
+        "backfilled catalogs cascade without fallback"
+    );
+    assert_eq!(cascaded, flat);
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn non_derivable_migrations_fall_back_to_the_flat_scan_with_a_note() {
+    // A WMH primary cannot derive a companion (no truncation exactness), so the
+    // migrated catalog is companion-less — and a cascade request over it must be
+    // answered by the flat scan with a typed `info` note, never an error.
+    let spec = SketcherSpec::v1(SketcherKind::WeightedMinHash {
+        samples: 32,
+        seed: 5,
+        discretization: 1 << 20,
+        variant: WmhVariant::Fast,
+        stream: WmhStream::V1,
+    });
+    let root = temp_root("no-backfill");
+    let src = root.join("v1");
+    write_catalog_files(&src, &v1_catalog_files(spec));
+    let dest = root.join("v2");
+    let report = migrate_catalog(&src, &dest, |_| {}).expect("migration succeeds");
+    assert_eq!(report.backfilled, 0, "nothing derivable from WMH primaries");
+    assert!(Catalog::open(&dest)
+        .expect("opens")
+        .companion_spec()
+        .is_none());
+
+    let mut service = QueryService::open(&dest).expect("service opens");
+    let query = service.sketch_query(&rides(), "rides").expect("sketch");
+    assert!(service
+        .sketch_query_companion(&rides(), "rides")
+        .expect("companion sketch")
+        .is_none());
+    let flat = service.query_joinable(&query, 3).expect("flat scan");
+    let (ranking, note) = service
+        .query_joinable_cascade(&query, None, 3, ipsketch_join::DEFAULT_CASCADE_CONFIDENCE)
+        .expect("cascade requests over companion-less catalogs never error");
+    let note = note.expect("the fallback is reported as a typed note");
+    assert_eq!(note.code, ipsketch_serve::NOTE_CASCADE_FALLBACK);
+    assert_eq!(ranking, flat);
     fs::remove_dir_all(&root).expect("cleanup");
 }
 

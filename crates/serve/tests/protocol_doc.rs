@@ -125,7 +125,7 @@ fn every_annotated_example_conforms_to_the_implementation() {
     // The harvest itself is load-bearing: if the doc is restructured and the
     // annotations stop matching, this catches the silent loss of coverage.
     assert!(
-        requests >= 8 && responses >= 7 && request_errors >= 3,
+        requests >= 10 && responses >= 9 && request_errors >= 4,
         "suspiciously few examples harvested: {requests} requests, {responses} responses, \
          {request_errors} request-errors"
     );

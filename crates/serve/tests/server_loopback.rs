@@ -178,12 +178,13 @@ fn served_batch_queries_are_bit_identical_to_in_process_answers() {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             queries: vec![wire_query(&query, "rides"), wire_query(&good, "precip")],
         },
     });
     assert_eq!(response.id.as_u64(), Some(1));
     match response.result.expect("batch succeeds") {
-        ResponseBody::Rankings(rankings) => {
+        ResponseBody::Rankings { rankings, .. } => {
             assert_eq!(rankings.len(), expected.len());
             for (served, in_process) in rankings.iter().zip(&expected) {
                 assert_bit_identical(served, in_process);
@@ -199,11 +200,12 @@ fn served_batch_queries_are_bit_identical_to_in_process_answers() {
             mode: Mode::Related,
             k: 3,
             min_join_size: 10.0,
+            cascade: false,
             query: wire_query(&query, "rides"),
         },
     });
     match response.result.expect("related succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected_related),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected_related),
         other => panic!("expected ranking, got {other:?}"),
     }
 
@@ -238,11 +240,12 @@ fn reopened_catalogs_hydrate_lazily_behind_the_read_write_lock() {
             mode: Mode::Joinable,
             k: 3,
             min_join_size: 0.0,
+            cascade: false,
             query: wire_query(&query, "rides"),
         },
     });
     match response.result.expect("query succeeds") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &expected),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &expected),
         other => panic!("expected ranking, got {other:?}"),
     }
     handle.shutdown();
@@ -316,12 +319,13 @@ fn parallel_clients_during_sharded_ingest_see_only_consistent_states() {
                             mode: Mode::Joinable,
                             k: 5,
                             min_join_size: 0.0,
+                            cascade: false,
                             queries: vec![wire_query(&query, "rides")],
                         },
                     });
                     assert_eq!(response.id.as_u64(), Some(u64::from(rounds)));
                     let rankings = match response.result.expect("query succeeds") {
-                        ResponseBody::Rankings(rankings) => rankings,
+                        ResponseBody::Rankings { rankings, .. } => rankings,
                         other => panic!("worker {worker}: expected rankings, got {other:?}"),
                     };
                     let ranking = &rankings[0];
@@ -418,11 +422,12 @@ fn parallel_clients_during_sharded_ingest_see_only_consistent_states() {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             query: wire_query(&query, "rides"),
         },
     });
     match response.result.expect("post-ingest query") {
-        ResponseBody::Ranking(ranking) => assert_bit_identical(&ranking, &after),
+        ResponseBody::Ranking { ranking, .. } => assert_bit_identical(&ranking, &after),
         other => panic!("expected ranking, got {other:?}"),
     }
     // At least the confirming query saw the new state; typically the background
@@ -528,6 +533,7 @@ fn pipelined_requests_answer_in_order() {
                     mode: Mode::Joinable,
                     k: 2,
                     min_join_size: 0.0,
+                    cascade: false,
                     query: wire_query(&query, "rides"),
                 }
             },
@@ -756,11 +762,12 @@ fn wire_ingest_registers_and_compaction_runs_on_demand() {
             mode: Mode::Joinable,
             k: 2,
             min_join_size: 0.0,
+            cascade: false,
             query: wire_query(&query, "rides"),
         },
     });
     match response.result.expect("query succeeds") {
-        ResponseBody::Ranking(ranking) => {
+        ResponseBody::Ranking { ranking, .. } => {
             assert!(!ranking.is_empty());
             assert_eq!(ranking[0].table, "good");
         }
@@ -817,11 +824,12 @@ fn drop_column_over_the_wire_tombstones_and_info_reports_the_format() {
             mode: Mode::Joinable,
             k: 5,
             min_join_size: 0.0,
+            cascade: false,
             query: wire_query(&query, "rides"),
         },
     });
     match response.result.expect("query succeeds") {
-        ResponseBody::Ranking(ranking) => {
+        ResponseBody::Ranking { ranking, .. } => {
             assert!(
                 ranking.iter().all(|r| r.column != "precip"),
                 "dropped column still ranked: {ranking:?}"

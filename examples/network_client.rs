@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode: Mode::Joinable,
             k,
             min_join_size: 0.0,
+            cascade: false,
             query: WireQuery {
                 table: table.name().to_string(),
                 column: column.clone(),
@@ -72,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     BufReader::new(&stream).read_line(&mut reply)?;
     let response = Response::decode(reply.trim_end())?;
     match response.result {
-        Ok(ResponseBody::Ranking(ranking)) => {
+        Ok(ResponseBody::Ranking { ranking, .. }) => {
             println!(
                 "top {} joinable columns for {}.{column}:",
                 ranking.len(),

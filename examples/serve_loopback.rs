@@ -112,10 +112,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode: Mode::Joinable,
             k: 3,
             min_join_size: 0.0,
+            cascade: false,
             queries: vec![query.clone()],
         },
     })?;
-    let ResponseBody::Rankings(rankings) = response.result.map_err(|e| e.to_string())? else {
+    let ResponseBody::Rankings { rankings, .. } = response.result.map_err(|e| e.to_string())?
+    else {
         return Err("expected rankings".into());
     };
     assert_eq!(rankings.len(), 1);
@@ -192,10 +194,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode: Mode::Joinable,
             k: 3,
             min_join_size: 0.0,
+            cascade: false,
             query: query.clone(),
         },
     })?;
-    let ResponseBody::Ranking(ranking) = response.result.map_err(|e| e.to_string())? else {
+    let ResponseBody::Ranking { ranking, .. } = response.result.map_err(|e| e.to_string())? else {
         return Err("expected ranking".into());
     };
     assert_eq!(ranking.len(), expected_after.len());
@@ -220,6 +223,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode: Mode::Joinable,
             k: 3,
             min_join_size: 0.0,
+            cascade: false,
             query,
         },
     }

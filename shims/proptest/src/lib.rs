@@ -19,6 +19,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
 pub mod rng;
 pub mod strategy;
 

@@ -1,0 +1,51 @@
+//! Strategies producing `Option<T>` values, mirroring `proptest::option`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Wraps `strategy` so roughly half the generated values are `Some` and the
+/// rest `None` (the real crate defaults to a 50% `Some` probability as well).
+pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+    OptionStrategy { inner: strategy }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64() % 2 == 0 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_both_variants() {
+        let mut rng = TestRng::for_test("option");
+        let strategy = of(0u64..10);
+        let mut some = 0usize;
+        let mut none = 0usize;
+        for _ in 0..200 {
+            match strategy.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

@@ -166,6 +166,7 @@ tuple_strategies!(
     (A.0, B.1, C.2, D.3),
     (A.0, B.1, C.2, D.3, E.4),
     (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
 );
 
 #[cfg(test)]
